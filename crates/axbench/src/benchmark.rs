@@ -1,0 +1,134 @@
+//! The [`Benchmark`] trait: the contract every suite workload implements.
+
+use crate::dataset::{Dataset, DatasetScale, OutputBuffer};
+use crate::quality::QualityMetric;
+use mithra_npu::topology::Topology;
+
+/// Calibrated timing profile of a workload on the modeled core.
+///
+/// These two numbers — how many core cycles one precise invocation of the
+/// target function costs, and what fraction of the baseline runtime lies
+/// *outside* the target function — drive the Amdahl accounting in
+/// `mithra-sim`. They substitute for the paper's MARSSx86 measurements and
+/// are calibrated so full-approximation speedups land in the published
+/// range (see `DESIGN.md`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadProfile {
+    /// Core cycles for one precise execution of the target function.
+    pub kernel_cycles: u64,
+    /// Fraction of baseline application time spent outside the target
+    /// function (not accelerable).
+    pub non_kernel_fraction: f64,
+}
+
+impl WorkloadProfile {
+    /// Baseline (all-precise) application cycles for `invocations` calls.
+    pub fn baseline_cycles(&self, invocations: u64) -> f64 {
+        let kernel = (self.kernel_cycles * invocations) as f64;
+        kernel / (1.0 - self.non_kernel_fraction)
+    }
+
+    /// The fixed non-kernel cycle budget implied by `invocations` calls.
+    pub fn non_kernel_cycles(&self, invocations: u64) -> f64 {
+        self.baseline_cycles(invocations) * self.non_kernel_fraction
+    }
+}
+
+/// A suite workload: target function, datasets, application layer and
+/// quality metric.
+///
+/// Implementors are stateless descriptions; all state (trained networks,
+/// thresholds, classifier tables) lives in `mithra-core`'s pipeline.
+pub trait Benchmark: Send + Sync + std::fmt::Debug {
+    /// Short name, e.g. `"blackscholes"`.
+    fn name(&self) -> &'static str;
+
+    /// Application domain (paper Table I "Type" column).
+    fn domain(&self) -> &'static str;
+
+    /// One-line description (paper Table I "Description" column).
+    fn description(&self) -> &'static str;
+
+    /// Elements in the accelerator input vector.
+    fn input_dim(&self) -> usize;
+
+    /// Elements in the accelerator output vector.
+    fn output_dim(&self) -> usize;
+
+    /// The NPU topology the paper uses for this workload (Table I).
+    fn npu_topology(&self) -> Topology;
+
+    /// The application-specific quality metric (Table I).
+    fn quality_metric(&self) -> QualityMetric;
+
+    /// Executes the precise target function for one invocation.
+    ///
+    /// `output` is cleared and filled with exactly
+    /// [`output_dim`](Self::output_dim) elements.
+    fn precise(&self, input: &[f32], output: &mut Vec<f32>);
+
+    /// Generates the dataset for `seed` at the requested scale.
+    ///
+    /// Generation is deterministic in `(seed, scale)`; distinct seeds give
+    /// the paper's "distinct datasets".
+    fn dataset(&self, seed: u64, scale: DatasetScale) -> Dataset;
+
+    /// Combines per-invocation outputs into the final application output.
+    ///
+    /// `outputs` holds one output vector per invocation of `dataset`, in
+    /// invocation order — either precise results, accelerator results, or
+    /// the per-invocation mix a classifier produced. Error *propagation*
+    /// happens here (FFT butterflies, JPEG decode).
+    fn run_application(&self, dataset: &Dataset, outputs: &OutputBuffer) -> Vec<f64>;
+
+    /// The paper's Table I "Error with Full Approximation" for this
+    /// workload, as a fraction (e.g. `0.0603` for blackscholes).
+    fn paper_full_approx_error(&self) -> f64;
+
+    /// Calibrated timing profile for the system simulator.
+    fn profile(&self) -> WorkloadProfile;
+
+    /// Suggested training epochs for the NPU on this workload (the
+    /// compile pipeline's default; heavier kernels need more).
+    fn npu_training_epochs(&self) -> usize {
+        60
+    }
+}
+
+/// Runs the precise function over a whole dataset into a fresh buffer —
+/// shared convenience for the profiler and tests.
+pub fn run_precise(bench: &dyn Benchmark, dataset: &Dataset) -> OutputBuffer {
+    let mut buf = OutputBuffer::with_capacity(bench.output_dim(), dataset.invocation_count());
+    let mut out = Vec::with_capacity(bench.output_dim());
+    for input in dataset.iter() {
+        bench.precise(input, &mut out);
+        buf.push(&out);
+    }
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_profile_amdahl_accounting() {
+        let p = WorkloadProfile {
+            kernel_cycles: 100,
+            non_kernel_fraction: 0.5,
+        };
+        // 10 invocations: 1000 kernel cycles = half the app -> 2000 total.
+        assert!((p.baseline_cycles(10) - 2000.0).abs() < 1e-9);
+        assert!((p.non_kernel_cycles(10) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_non_kernel_fraction() {
+        let p = WorkloadProfile {
+            kernel_cycles: 50,
+            non_kernel_fraction: 0.0,
+        };
+        assert_eq!(p.baseline_cycles(4), 200.0);
+        assert_eq!(p.non_kernel_cycles(4), 0.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Datasets: flat, seeded collections of accelerator input vectors.
+//!
+//! The paper uses 250 distinct compilation datasets and 250 distinct unseen
+//! validation datasets per benchmark; each dataset is one typical program
+//! input (a whole image, a batch of options). Profiling touches millions of
+//! invocations, so inputs are stored flat (`count × input_dim` in one
+//! allocation) rather than as nested vectors.
+
+use std::fmt;
+
+/// How large a generated dataset should be.
+///
+/// `Smoke` keeps unit tests fast; `Full` is the experiment configuration
+/// (reduced from the paper's native sizes as documented in `DESIGN.md`, but
+/// still thousands of invocations per dataset for most workloads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DatasetScale {
+    /// A few dozen invocations — for tests.
+    Smoke,
+    /// The experiment size (e.g. 2048 invocations, a 64×64 image).
+    #[default]
+    Full,
+}
+
+/// A single application input: the ordered accelerator input vectors its
+/// execution produces, stored flat.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    seed: u64,
+    input_dim: usize,
+    inputs: Vec<f32>,
+}
+
+impl Dataset {
+    /// Creates a dataset from flat input storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` is not a multiple of `input_dim` — the
+    /// generators in this crate always produce whole vectors, so a mismatch
+    /// is a bug.
+    pub fn from_flat(seed: u64, input_dim: usize, inputs: Vec<f32>) -> Self {
+        assert!(input_dim > 0, "input_dim must be positive");
+        assert_eq!(
+            inputs.len() % input_dim,
+            0,
+            "flat input storage must be a whole number of vectors"
+        );
+        Self {
+            seed,
+            input_dim,
+            inputs,
+        }
+    }
+
+    /// The seed this dataset was generated from (application context such
+    /// as an FFT's signal is regenerated deterministically from it).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Elements per accelerator input vector.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Number of accelerator invocations in this dataset.
+    pub fn invocation_count(&self) -> usize {
+        self.inputs.len() / self.input_dim
+    }
+
+    /// The `i`-th invocation's input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= invocation_count()`.
+    pub fn input(&self, i: usize) -> &[f32] {
+        &self.inputs[i * self.input_dim..(i + 1) * self.input_dim]
+    }
+
+    /// Iterates over the input vectors in invocation order.
+    pub fn iter(&self) -> impl Iterator<Item = &[f32]> {
+        self.inputs.chunks_exact(self.input_dim)
+    }
+}
+
+impl<'a> IntoIterator for &'a Dataset {
+    type Item = &'a [f32];
+    type IntoIter = std::slice::ChunksExact<'a, f32>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inputs.chunks_exact(self.input_dim)
+    }
+}
+
+/// Flat storage for per-invocation output vectors, mirroring [`Dataset`].
+#[derive(Clone, PartialEq, Default)]
+pub struct OutputBuffer {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl OutputBuffer {
+    /// Creates an empty buffer for `dim`-element output vectors.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            dim,
+            data: Vec::new(),
+        }
+    }
+
+    /// Creates an empty buffer with room for `invocations` vectors.
+    pub fn with_capacity(dim: usize, invocations: usize) -> Self {
+        Self {
+            dim,
+            data: Vec::with_capacity(dim * invocations),
+        }
+    }
+
+    /// Elements per output vector.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored output vectors.
+    pub fn len(&self) -> usize {
+        if self.dim == 0 {
+            0
+        } else {
+            self.data.len() / self.dim
+        }
+    }
+
+    /// Whether the buffer holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends one output vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output.len() != dim()`.
+    pub fn push(&mut self, output: &[f32]) {
+        assert_eq!(output.len(), self.dim, "output vector width mismatch");
+        self.data.extend_from_slice(output);
+    }
+
+    /// The `i`-th stored output vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Iterates over stored vectors in order.
+    pub fn iter(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// The flat element storage.
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for OutputBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OutputBuffer")
+            .field("dim", &self.dim)
+            .field("vectors", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_indexing() {
+        let ds = Dataset::from_flat(7, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(ds.invocation_count(), 2);
+        assert_eq!(ds.input(0), &[1.0, 2.0]);
+        assert_eq!(ds.input(1), &[3.0, 4.0]);
+        assert_eq!(ds.seed(), 7);
+        let collected: Vec<&[f32]> = ds.iter().collect();
+        assert_eq!(collected.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of vectors")]
+    fn ragged_storage_panics() {
+        let _ = Dataset::from_flat(0, 3, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn output_buffer_round_trip() {
+        let mut buf = OutputBuffer::with_capacity(3, 2);
+        buf.push(&[1.0, 2.0, 3.0]);
+        buf.push(&[4.0, 5.0, 6.0]);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.get(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(buf.as_flat().len(), 6);
+        assert!(!buf.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_width_push_panics() {
+        let mut buf = OutputBuffer::new(2);
+        buf.push(&[1.0]);
+    }
+
+    #[test]
+    fn default_scale_is_full() {
+        assert_eq!(DatasetScale::default(), DatasetScale::Full);
+    }
+}

@@ -1,0 +1,170 @@
+//! `inversek2j` — inverse kinematics for a 2-joint robotic arm.
+//!
+//! The target function maps an end-effector position `(x, y)` to the two
+//! joint angles `(θ1, θ2)` that reach it. Paper Table I: topology `2→8→2`,
+//! avg. relative error metric, 7.50% error under full approximation.
+
+use crate::benchmark::{Benchmark, WorkloadProfile};
+use crate::dataset::{Dataset, DatasetScale, OutputBuffer};
+use crate::quality::QualityMetric;
+use mithra_npu::topology::Topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Upper-arm length of the modeled 2-joint arm.
+pub const L1: f32 = 0.5;
+/// Forearm length of the modeled 2-joint arm.
+pub const L2: f32 = 0.5;
+
+/// The `inversek2j` workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InverseK2J;
+
+/// Computes the joint angles reaching `(x, y)` (elbow-down solution).
+///
+/// Positions outside the arm's annulus are clamped onto it first, so the
+/// function is total — matching the AxBench kernel's behaviour on its
+/// pre-validated inputs.
+pub fn inverse_kinematics(x: f32, y: f32) -> (f32, f32) {
+    let r2 = x * x + y * y;
+    let cos_t2 = ((r2 - L1 * L1 - L2 * L2) / (2.0 * L1 * L2)).clamp(-1.0, 1.0);
+    let theta2 = cos_t2.acos();
+    let k1 = L1 + L2 * cos_t2;
+    let k2 = L2 * theta2.sin();
+    let theta1 = y.atan2(x) - k2.atan2(k1);
+    (theta1, theta2)
+}
+
+/// Forward kinematics — used by the generator to produce reachable targets
+/// and by tests to verify the inverse.
+pub fn forward_kinematics(theta1: f32, theta2: f32) -> (f32, f32) {
+    let x = L1 * theta1.cos() + L2 * (theta1 + theta2).cos();
+    let y = L1 * theta1.sin() + L2 * (theta1 + theta2).sin();
+    (x, y)
+}
+
+impl Benchmark for InverseK2J {
+    fn name(&self) -> &'static str {
+        "inversek2j"
+    }
+
+    fn domain(&self) -> &'static str {
+        "Robotics"
+    }
+
+    fn description(&self) -> &'static str {
+        "Inverse kinematics for 2-joint arm"
+    }
+
+    fn input_dim(&self) -> usize {
+        2
+    }
+
+    fn output_dim(&self) -> usize {
+        2
+    }
+
+    fn npu_topology(&self) -> Topology {
+        Topology::new(&[2, 8, 2]).expect("static topology is valid")
+    }
+
+    fn quality_metric(&self) -> QualityMetric {
+        QualityMetric::AvgRelativeError
+    }
+
+    fn precise(&self, input: &[f32], output: &mut Vec<f32>) {
+        let (t1, t2) = inverse_kinematics(input[0], input[1]);
+        output.clear();
+        output.push(t1);
+        output.push(t2);
+    }
+
+    fn dataset(&self, seed: u64, scale: DatasetScale) -> Dataset {
+        let count = match scale {
+            DatasetScale::Smoke => 64,
+            DatasetScale::Full => 2048,
+        };
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x14B2_0C01));
+        let mut flat = Vec::with_capacity(count * 2);
+        for _ in 0..count {
+            // Sample joint space, project to workspace: every target is
+            // reachable, like AxBench's pre-generated coordinate files.
+            let t1: f32 = rng.gen_range(0.1..(std::f32::consts::PI / 2.0));
+            let t2: f32 = rng.gen_range(0.1..(std::f32::consts::PI / 2.0));
+            let (x, y) = forward_kinematics(t1, t2);
+            flat.extend_from_slice(&[x, y]);
+        }
+        Dataset::from_flat(seed, 2, flat)
+    }
+
+    fn run_application(&self, _dataset: &Dataset, outputs: &OutputBuffer) -> Vec<f64> {
+        outputs.as_flat().iter().map(|&v| f64::from(v)).collect()
+    }
+
+    fn paper_full_approx_error(&self) -> f64 {
+        0.075
+    }
+
+    fn profile(&self) -> WorkloadProfile {
+        // acos, asin/atan2 twice, sqrt: trig-heavy — the workload where
+        // the NPU shines (paper reports the largest gains here).
+        WorkloadProfile {
+            kernel_cycles: 350,
+            non_kernel_fraction: 0.04,
+        }
+    }
+
+    fn npu_training_epochs(&self) -> usize {
+        120
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_matches_forward() {
+        for &(t1, t2) in &[(0.3f32, 0.8f32), (0.9, 0.4), (0.2, 1.4), (1.2, 0.15)] {
+            let (x, y) = forward_kinematics(t1, t2);
+            let (r1, r2) = inverse_kinematics(x, y);
+            let (x2, y2) = forward_kinematics(r1, r2);
+            assert!((x - x2).abs() < 1e-4 && (y - y2).abs() < 1e-4,
+                "({t1},{t2}) -> ({x},{y}) -> ({r1},{r2}) -> ({x2},{y2})");
+        }
+    }
+
+    #[test]
+    fn unreachable_point_is_clamped_not_nan() {
+        let (t1, t2) = inverse_kinematics(5.0, 5.0);
+        assert!(t1.is_finite() && t2.is_finite());
+        assert_eq!(t2, 0.0); // fully extended
+    }
+
+    #[test]
+    fn generated_targets_are_reachable() {
+        let b = InverseK2J;
+        let ds = b.dataset(3, DatasetScale::Smoke);
+        for input in ds.iter() {
+            let r = (input[0] * input[0] + input[1] * input[1]).sqrt();
+            assert!(r <= L1 + L2 + 1e-5, "target outside workspace: {input:?}");
+        }
+    }
+
+    #[test]
+    fn precise_output_dim() {
+        let b = InverseK2J;
+        let mut out = Vec::new();
+        b.precise(&[0.5, 0.5], &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn datasets_are_distinct_by_seed() {
+        let b = InverseK2J;
+        assert_ne!(
+            b.dataset(10, DatasetScale::Smoke),
+            b.dataset(11, DatasetScale::Smoke)
+        );
+    }
+}

@@ -1,0 +1,365 @@
+//! `jmeint` — triangle–triangle intersection detection (3D gaming).
+//!
+//! The target function takes two 3D triangles (18 coordinates) and decides
+//! whether they intersect — Möller's interval-overlap test, the jMonkeyEngine
+//! kernel AxBench extracts. The NPU emits two scores (intersect /
+//! no-intersect); the application output is the binary decision stream and
+//! the quality metric is the miss rate. Paper Table I: topology
+//! `18→32→8→2`, 17.69% miss rate under full approximation — the hardest
+//! workload in the suite.
+
+use crate::benchmark::{Benchmark, WorkloadProfile};
+use crate::dataset::{Dataset, DatasetScale, OutputBuffer};
+use crate::quality::QualityMetric;
+use mithra_npu::topology::Topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The `jmeint` workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Jmeint;
+
+type Vec3 = [f32; 3];
+
+fn sub(a: Vec3, b: Vec3) -> Vec3 {
+    [a[0] - b[0], a[1] - b[1], a[2] - b[2]]
+}
+
+fn cross(a: Vec3, b: Vec3) -> Vec3 {
+    [
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ]
+}
+
+fn dot(a: Vec3, b: Vec3) -> f32 {
+    a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+}
+
+const EPS: f32 = 1e-6;
+
+/// Computes the parametric interval of triangle (`v0`,`v1`,`v2`) along the
+/// intersection line, given projections `p` and signed plane distances `d`.
+/// Returns `None` if the triangle is coplanar with the other's plane.
+fn compute_interval(p: [f32; 3], d: [f32; 3]) -> Option<(f32, f32)> {
+    // Find the vertex on the opposite side.
+    let (a, b, c) = if d[0] * d[1] > 0.0 {
+        // 0 and 1 on the same side; 2 alone.
+        (2, 0, 1)
+    } else if d[0] * d[2] > 0.0 {
+        (1, 0, 2)
+    } else if d[1] * d[2] > 0.0 || d[0] != 0.0 {
+        (0, 1, 2)
+    } else if d[1] != 0.0 {
+        (1, 0, 2)
+    } else if d[2] != 0.0 {
+        (2, 0, 1)
+    } else {
+        return None; // coplanar
+    };
+    let t1 = p[b] + (p[a] - p[b]) * d[b] / (d[b] - d[a]);
+    let t2 = p[c] + (p[a] - p[c]) * d[c] / (d[c] - d[a]);
+    Some((t1.min(t2), t1.max(t2)))
+}
+
+/// Coplanar fallback: 2D overlap test after projecting onto the dominant
+/// axis plane of the normal.
+fn coplanar_tri_tri(n: Vec3, t1: [Vec3; 3], t2: [Vec3; 3]) -> bool {
+    // Project onto the plane where the normal is largest.
+    let abs = [n[0].abs(), n[1].abs(), n[2].abs()];
+    let (i0, i1) = if abs[0] >= abs[1] && abs[0] >= abs[2] {
+        (1, 2)
+    } else if abs[1] >= abs[2] {
+        (0, 2)
+    } else {
+        (0, 1)
+    };
+    let p1: Vec<[f32; 2]> = t1.iter().map(|v| [v[i0], v[i1]]).collect();
+    let p2: Vec<[f32; 2]> = t2.iter().map(|v| [v[i0], v[i1]]).collect();
+
+    // Edge-edge tests plus point-in-triangle tests.
+    for i in 0..3 {
+        for j in 0..3 {
+            if segments_intersect_2d(p1[i], p1[(i + 1) % 3], p2[j], p2[(j + 1) % 3]) {
+                return true;
+            }
+        }
+    }
+    point_in_tri_2d(p1[0], &p2) || point_in_tri_2d(p2[0], &p1)
+}
+
+fn orient_2d(a: [f32; 2], b: [f32; 2], c: [f32; 2]) -> f32 {
+    (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
+}
+
+fn segments_intersect_2d(a: [f32; 2], b: [f32; 2], c: [f32; 2], d: [f32; 2]) -> bool {
+    let d1 = orient_2d(c, d, a);
+    let d2 = orient_2d(c, d, b);
+    let d3 = orient_2d(a, b, c);
+    let d4 = orient_2d(a, b, d);
+    ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+        && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+}
+
+fn point_in_tri_2d(p: [f32; 2], tri: &[[f32; 2]]) -> bool {
+    let d1 = orient_2d(tri[0], tri[1], p);
+    let d2 = orient_2d(tri[1], tri[2], p);
+    let d3 = orient_2d(tri[2], tri[0], p);
+    let has_neg = d1 < 0.0 || d2 < 0.0 || d3 < 0.0;
+    let has_pos = d1 > 0.0 || d2 > 0.0 || d3 > 0.0;
+    !(has_neg && has_pos)
+}
+
+/// Möller's triangle-triangle intersection test.
+pub fn tri_tri_intersect(t1: [Vec3; 3], t2: [Vec3; 3]) -> bool {
+    // Plane of triangle 2.
+    let n2 = cross(sub(t2[1], t2[0]), sub(t2[2], t2[0]));
+    let d2 = -dot(n2, t2[0]);
+    let mut dv = [
+        dot(n2, t1[0]) + d2,
+        dot(n2, t1[1]) + d2,
+        dot(n2, t1[2]) + d2,
+    ];
+    for v in dv.iter_mut() {
+        if v.abs() < EPS {
+            *v = 0.0;
+        }
+    }
+    if dv[0] * dv[1] > 0.0 && dv[0] * dv[2] > 0.0 {
+        return false; // all on one side
+    }
+
+    // Plane of triangle 1.
+    let n1 = cross(sub(t1[1], t1[0]), sub(t1[2], t1[0]));
+    let d1 = -dot(n1, t1[0]);
+    let mut du = [
+        dot(n1, t2[0]) + d1,
+        dot(n1, t2[1]) + d1,
+        dot(n1, t2[2]) + d1,
+    ];
+    for v in du.iter_mut() {
+        if v.abs() < EPS {
+            *v = 0.0;
+        }
+    }
+    if du[0] * du[1] > 0.0 && du[0] * du[2] > 0.0 {
+        return false;
+    }
+
+    // Direction of the intersection line; project onto its largest axis.
+    let dir = cross(n1, n2);
+    let abs = [dir[0].abs(), dir[1].abs(), dir[2].abs()];
+    let axis = if abs[0] >= abs[1] && abs[0] >= abs[2] {
+        0
+    } else if abs[1] >= abs[2] {
+        1
+    } else {
+        2
+    };
+    let p1 = [t1[0][axis], t1[1][axis], t1[2][axis]];
+    let p2 = [t2[0][axis], t2[1][axis], t2[2][axis]];
+
+    match (compute_interval(p1, dv), compute_interval(p2, du)) {
+        (Some((a0, a1)), Some((b0, b1))) => a0 <= b1 && b0 <= a1,
+        _ => coplanar_tri_tri(n2, t1, t2),
+    }
+}
+
+fn unpack(input: &[f32]) -> ([Vec3; 3], [Vec3; 3]) {
+    let v = |i: usize| [input[3 * i], input[3 * i + 1], input[3 * i + 2]];
+    ([v(0), v(1), v(2)], [v(3), v(4), v(5)])
+}
+
+impl Benchmark for Jmeint {
+    fn name(&self) -> &'static str {
+        "jmeint"
+    }
+
+    fn domain(&self) -> &'static str {
+        "3D Gaming"
+    }
+
+    fn description(&self) -> &'static str {
+        "Triangle intersection detection"
+    }
+
+    fn input_dim(&self) -> usize {
+        18
+    }
+
+    fn output_dim(&self) -> usize {
+        2
+    }
+
+    fn npu_topology(&self) -> Topology {
+        Topology::new(&[18, 32, 8, 2]).expect("static topology is valid")
+    }
+
+    fn quality_metric(&self) -> QualityMetric {
+        QualityMetric::MissRate
+    }
+
+    fn precise(&self, input: &[f32], output: &mut Vec<f32>) {
+        let (t1, t2) = unpack(input);
+        let hit = tri_tri_intersect(t1, t2);
+        output.clear();
+        if hit {
+            output.push(1.0);
+            output.push(0.0);
+        } else {
+            output.push(0.0);
+            output.push(1.0);
+        }
+    }
+
+    fn dataset(&self, seed: u64, scale: DatasetScale) -> Dataset {
+        let count = match scale {
+            DatasetScale::Smoke => 64,
+            DatasetScale::Full => 2048,
+        };
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x4A4D_4549));
+        let mut flat = Vec::with_capacity(count * 18);
+        for _ in 0..count {
+            // First triangle around a random center; second at a random
+            // offset so roughly half the pairs intersect.
+            let c1: Vec3 = [rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)];
+            let offset: f32 = rng.gen_range(0.0..0.35);
+            let dir: Vec3 = random_unit(&mut rng);
+            let c2 = [
+                c1[0] + offset * dir[0],
+                c1[1] + offset * dir[1],
+                c1[2] + offset * dir[2],
+            ];
+            for c in [c1, c2] {
+                for _ in 0..3 {
+                    flat.push(c[0] + rng.gen_range(-0.45..0.45));
+                    flat.push(c[1] + rng.gen_range(-0.45..0.45));
+                    flat.push(c[2] + rng.gen_range(-0.45..0.45));
+                }
+            }
+        }
+        Dataset::from_flat(seed, 18, flat)
+    }
+
+    fn run_application(&self, _dataset: &Dataset, outputs: &OutputBuffer) -> Vec<f64> {
+        // Binary decision stream: score 0 beats score 1 -> intersect.
+        outputs
+            .iter()
+            .map(|o| if o[0] >= o[1] { 1.0 } else { 0.0 })
+            .collect()
+    }
+
+    fn paper_full_approx_error(&self) -> f64 {
+        0.1769
+    }
+
+    fn profile(&self) -> WorkloadProfile {
+        // Cross products, plane tests and interval overlap: ~300 cycles on
+        // average (early-outs make it cheaper than the worst case).
+        WorkloadProfile {
+            kernel_cycles: 290,
+            non_kernel_fraction: 0.05,
+        }
+    }
+
+    fn npu_training_epochs(&self) -> usize {
+        50
+    }
+}
+
+fn random_unit(rng: &mut StdRng) -> Vec3 {
+    loop {
+        let v: Vec3 = [
+            rng.gen_range(-1.0..1.0),
+            rng.gen_range(-1.0..1.0),
+            rng.gen_range(-1.0..1.0),
+        ];
+        let len = dot(v, v).sqrt();
+        if len > 1e-3 {
+            return [v[0] / len, v[1] / len, v[2] / len];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clearly_separated_triangles_miss() {
+        let t1 = [[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0]];
+        let t2 = [[0.0, 0.0, 5.0], [1.0, 0.0, 5.0], [0.0, 1.0, 5.0]];
+        assert!(!tri_tri_intersect(t1, t2));
+    }
+
+    #[test]
+    fn crossing_triangles_hit() {
+        // t2 pierces t1's plane through its interior.
+        let t1 = [[0.0, 0.0, 0.0], [2.0, 0.0, 0.0], [0.0, 2.0, 0.0]];
+        let t2 = [[0.5, 0.5, -1.0], [0.5, 0.5, 1.0], [1.0, 1.0, 1.0]];
+        assert!(tri_tri_intersect(t1, t2));
+    }
+
+    #[test]
+    fn touching_plane_but_outside_misses() {
+        let t1 = [[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0]];
+        // Crosses the plane far away from t1.
+        let t2 = [[10.0, 10.0, -1.0], [10.0, 10.0, 1.0], [11.0, 10.0, 0.0]];
+        assert!(!tri_tri_intersect(t1, t2));
+    }
+
+    #[test]
+    fn coplanar_overlapping_hit() {
+        let t1 = [[0.0, 0.0, 0.0], [2.0, 0.0, 0.0], [0.0, 2.0, 0.0]];
+        let t2 = [[0.5, 0.5, 0.0], [2.5, 0.5, 0.0], [0.5, 2.5, 0.0]];
+        assert!(tri_tri_intersect(t1, t2));
+    }
+
+    #[test]
+    fn coplanar_disjoint_miss() {
+        let t1 = [[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0]];
+        let t2 = [[5.0, 5.0, 0.0], [6.0, 5.0, 0.0], [5.0, 6.0, 0.0]];
+        assert!(!tri_tri_intersect(t1, t2));
+    }
+
+    #[test]
+    fn intersection_is_symmetric() {
+        let b = Jmeint;
+        let ds = b.dataset(13, DatasetScale::Smoke);
+        for input in ds.iter() {
+            let (t1, t2) = unpack(input);
+            assert_eq!(
+                tri_tri_intersect(t1, t2),
+                tri_tri_intersect(t2, t1),
+                "asymmetry on {input:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn datasets_are_roughly_balanced() {
+        let b = Jmeint;
+        let ds = b.dataset(1, DatasetScale::Full);
+        let mut out = Vec::new();
+        let mut hits = 0usize;
+        for input in ds.iter() {
+            b.precise(input, &mut out);
+            if out[0] > 0.5 {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / ds.invocation_count() as f64;
+        assert!(
+            (0.15..=0.85).contains(&rate),
+            "intersection rate {rate} too skewed"
+        );
+    }
+
+    #[test]
+    fn shared_vertex_counts_as_hit() {
+        let t1 = [[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0]];
+        let t2 = [[0.0, 0.0, 0.0], [-1.0, 0.0, 1.0], [0.0, -1.0, 1.0]];
+        assert!(tri_tri_intersect(t1, t2));
+    }
+}

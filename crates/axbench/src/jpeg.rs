@@ -1,0 +1,305 @@
+//! `jpeg` — JPEG encoding (compression).
+//!
+//! The target function is the per-block transform at the heart of the
+//! encoder: an 8×8 pixel block goes through the 2D DCT and quantization,
+//! producing 64 quantized coefficients. The application layer decodes
+//! (dequantize + inverse DCT) to reconstruct the image, and quality is the
+//! image diff against the precisely encoded/decoded result. Paper Table I:
+//! topology `64→16→64`, image diff metric, 7.00% under full approximation.
+
+use crate::benchmark::{Benchmark, WorkloadProfile};
+use crate::dataset::{Dataset, DatasetScale, OutputBuffer};
+use crate::image::GrayImage;
+use crate::quality::QualityMetric;
+use mithra_npu::topology::Topology;
+
+/// The `jpeg` workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Jpeg;
+
+/// Image side at full scale: 128×128, i.e. 256 blocks (reduced from the
+/// paper's 512×512 — see `DESIGN.md`).
+pub const FULL_IMAGE_SIDE: usize = 128;
+/// Image side at smoke scale: 16×16, i.e. 4 blocks.
+pub const SMOKE_IMAGE_SIDE: usize = 16;
+
+fn image_side(scale: DatasetScale) -> usize {
+    match scale {
+        DatasetScale::Smoke => SMOKE_IMAGE_SIDE,
+        DatasetScale::Full => FULL_IMAGE_SIDE,
+    }
+}
+
+/// The JPEG Annex-K luminance quantization table (quality 50).
+pub const LUMINANCE_QUANT: [f32; 64] = [
+    16.0, 11.0, 10.0, 16.0, 24.0, 40.0, 51.0, 61.0, //
+    12.0, 12.0, 14.0, 19.0, 26.0, 58.0, 60.0, 55.0, //
+    14.0, 13.0, 16.0, 24.0, 40.0, 57.0, 69.0, 56.0, //
+    14.0, 17.0, 22.0, 29.0, 51.0, 87.0, 80.0, 62.0, //
+    18.0, 22.0, 37.0, 56.0, 68.0, 109.0, 103.0, 77.0, //
+    24.0, 35.0, 55.0, 64.0, 81.0, 104.0, 113.0, 92.0, //
+    49.0, 64.0, 78.0, 87.0, 103.0, 121.0, 120.0, 101.0, //
+    72.0, 92.0, 95.0, 98.0, 112.0, 100.0, 103.0, 99.0,
+];
+
+/// `COS[u][x] = c(u) · cos((2x+1)uπ/16)` — the orthonormal 1D DCT basis,
+/// computed once (the transform is separable: rows then columns).
+fn basis() -> &'static [[f32; 8]; 8] {
+    use std::sync::OnceLock;
+    static BASIS: OnceLock<[[f32; 8]; 8]> = OnceLock::new();
+    BASIS.get_or_init(|| {
+        let mut b = [[0.0f32; 8]; 8];
+        for (u, row) in b.iter_mut().enumerate() {
+            let c = if u == 0 {
+                (1.0f32 / 8.0).sqrt()
+            } else {
+                (2.0f32 / 8.0).sqrt()
+            };
+            for (x, v) in row.iter_mut().enumerate() {
+                *v = c * ((2 * x + 1) as f32 * u as f32 * std::f32::consts::PI / 16.0).cos();
+            }
+        }
+        b
+    })
+}
+
+/// Forward 8×8 2D DCT-II (orthonormal) of a row-major block, as two
+/// separable 1D passes.
+pub fn dct_8x8(block: &[f32; 64]) -> [f32; 64] {
+    let b = basis();
+    // Rows.
+    let mut tmp = [0.0f32; 64];
+    for y in 0..8 {
+        for u in 0..8 {
+            let mut acc = 0.0f32;
+            for x in 0..8 {
+                acc += block[y * 8 + x] * b[u][x];
+            }
+            tmp[y * 8 + u] = acc;
+        }
+    }
+    // Columns.
+    let mut out = [0.0f32; 64];
+    for u in 0..8 {
+        for v in 0..8 {
+            let mut acc = 0.0f32;
+            for y in 0..8 {
+                acc += tmp[y * 8 + u] * b[v][y];
+            }
+            out[v * 8 + u] = acc;
+        }
+    }
+    out
+}
+
+/// Inverse 8×8 2D DCT (orthonormal), as two separable 1D passes.
+pub fn idct_8x8(coeffs: &[f32; 64]) -> [f32; 64] {
+    let b = basis();
+    // Columns.
+    let mut tmp = [0.0f32; 64];
+    for u in 0..8 {
+        for y in 0..8 {
+            let mut acc = 0.0f32;
+            for v in 0..8 {
+                acc += coeffs[v * 8 + u] * b[v][y];
+            }
+            tmp[y * 8 + u] = acc;
+        }
+    }
+    // Rows.
+    let mut out = [0.0f32; 64];
+    for y in 0..8 {
+        for x in 0..8 {
+            let mut acc = 0.0f32;
+            for u in 0..8 {
+                acc += tmp[y * 8 + u] * b[u][x];
+            }
+            out[y * 8 + x] = acc;
+        }
+    }
+    out
+}
+
+/// The precise target function: level-shift, DCT, quantize.
+pub fn encode_block(pixels: &[f32]) -> [f32; 64] {
+    let mut shifted = [0.0f32; 64];
+    for (s, &p) in shifted.iter_mut().zip(pixels) {
+        *s = p - 128.0;
+    }
+    let coeffs = dct_8x8(&shifted);
+    let mut quantized = [0.0f32; 64];
+    for i in 0..64 {
+        quantized[i] = (coeffs[i] / LUMINANCE_QUANT[i]).round();
+    }
+    quantized
+}
+
+/// The decoder: dequantize, inverse DCT, level-shift back, clamp.
+pub fn decode_block(quantized: &[f32]) -> [f32; 64] {
+    let mut coeffs = [0.0f32; 64];
+    for i in 0..64 {
+        coeffs[i] = quantized[i] * LUMINANCE_QUANT[i];
+    }
+    let pixels = idct_8x8(&coeffs);
+    let mut out = [0.0f32; 64];
+    for i in 0..64 {
+        out[i] = (pixels[i] + 128.0).clamp(0.0, 255.0);
+    }
+    out
+}
+
+impl Benchmark for Jpeg {
+    fn name(&self) -> &'static str {
+        "jpeg"
+    }
+
+    fn domain(&self) -> &'static str {
+        "Compression"
+    }
+
+    fn description(&self) -> &'static str {
+        "JPEG encoding"
+    }
+
+    fn input_dim(&self) -> usize {
+        64
+    }
+
+    fn output_dim(&self) -> usize {
+        64
+    }
+
+    fn npu_topology(&self) -> Topology {
+        Topology::new(&[64, 16, 64]).expect("static topology is valid")
+    }
+
+    fn quality_metric(&self) -> QualityMetric {
+        QualityMetric::ImageDiff
+    }
+
+    fn precise(&self, input: &[f32], output: &mut Vec<f32>) {
+        output.clear();
+        output.extend_from_slice(&encode_block(input));
+    }
+
+    fn dataset(&self, seed: u64, scale: DatasetScale) -> Dataset {
+        let side = image_side(scale);
+        let img = GrayImage::synthetic(side, side, seed);
+        let blocks = side / 8;
+        let mut flat = Vec::with_capacity(blocks * blocks * 64);
+        for by in 0..blocks {
+            for bx in 0..blocks {
+                for y in 0..8 {
+                    for x in 0..8 {
+                        flat.push(
+                            img.get_clamped((bx * 8 + x) as isize, (by * 8 + y) as isize),
+                        );
+                    }
+                }
+            }
+        }
+        Dataset::from_flat(seed, 64, flat)
+    }
+
+    fn run_application(&self, _dataset: &Dataset, outputs: &OutputBuffer) -> Vec<f64> {
+        // Decode every block back to pixels: the final output is the
+        // reconstructed image, block scan order.
+        let mut pixels = Vec::with_capacity(outputs.len() * 64);
+        for block in outputs.iter() {
+            let decoded = decode_block(block);
+            pixels.extend(decoded.iter().map(|&p| f64::from(p)));
+        }
+        pixels
+    }
+
+    fn paper_full_approx_error(&self) -> f64 {
+        0.07
+    }
+
+    fn profile(&self) -> WorkloadProfile {
+        // A separable DCT plus quantization of an 8x8 block.
+        WorkloadProfile {
+            kernel_cycles: 1400,
+            non_kernel_fraction: 0.3,
+        }
+    }
+
+    fn npu_training_epochs(&self) -> usize {
+        60
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dct_idct_round_trip() {
+        let mut block = [0.0f32; 64];
+        for (i, b) in block.iter_mut().enumerate() {
+            *b = ((i * 37) % 256) as f32 - 128.0;
+        }
+        let coeffs = dct_8x8(&block);
+        let back = idct_8x8(&coeffs);
+        for i in 0..64 {
+            assert!((back[i] - block[i]).abs() < 1e-3, "pixel {i}");
+        }
+    }
+
+    #[test]
+    fn dct_of_constant_block_is_dc_only() {
+        let block = [80.0f32; 64];
+        let coeffs = dct_8x8(&block);
+        assert!((coeffs[0] - 8.0 * 80.0).abs() < 1e-3, "DC = {}", coeffs[0]);
+        for (i, &c) in coeffs.iter().enumerate().skip(1) {
+            assert!(c.abs() < 1e-3, "AC[{i}] = {c}");
+        }
+    }
+
+    #[test]
+    fn encode_decode_is_lossy_but_close() {
+        let img = GrayImage::synthetic(8, 8, 77);
+        let mut pixels = [0.0f32; 64];
+        for y in 0..8 {
+            for x in 0..8 {
+                pixels[y * 8 + x] = img.get_clamped(x as isize, y as isize);
+            }
+        }
+        let decoded = decode_block(&encode_block(&pixels));
+        let mae: f32 =
+            pixels.iter().zip(&decoded).map(|(a, b)| (a - b).abs()).sum::<f32>() / 64.0;
+        assert!(mae < 15.0, "encode/decode too lossy: MAE {mae}");
+        assert!(mae > 0.0, "quantization should lose something");
+    }
+
+    #[test]
+    fn quantization_zeroes_high_frequencies() {
+        let img = GrayImage::synthetic(8, 8, 3);
+        let mut pixels = [0.0f32; 64];
+        for (i, p) in pixels.iter_mut().enumerate() {
+            *p = img.get_clamped((i % 8) as isize, (i / 8) as isize);
+        }
+        let q = encode_block(&pixels);
+        let zeros = q.iter().filter(|&&c| c == 0.0).count();
+        assert!(zeros > 16, "only {zeros} zero coefficients");
+    }
+
+    #[test]
+    fn dataset_block_count() {
+        let b = Jpeg;
+        let ds = b.dataset(1, DatasetScale::Smoke);
+        assert_eq!(ds.invocation_count(), (SMOKE_IMAGE_SIDE / 8).pow(2));
+        let ds_full = b.dataset(1, DatasetScale::Full);
+        assert_eq!(ds_full.invocation_count(), (FULL_IMAGE_SIDE / 8).pow(2));
+    }
+
+    #[test]
+    fn application_reconstructs_plausible_image() {
+        let b = Jpeg;
+        let ds = b.dataset(4, DatasetScale::Smoke);
+        let precise = crate::benchmark::run_precise(&b, &ds);
+        let pixels = b.run_application(&ds, &precise);
+        assert_eq!(pixels.len(), ds.invocation_count() * 64);
+        assert!(pixels.iter().all(|&p| (0.0..=255.0).contains(&p)));
+    }
+}

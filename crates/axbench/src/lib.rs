@@ -1,0 +1,53 @@
+//! An AxBench-style benchmark suite for approximate acceleration.
+//!
+//! The paper evaluates MITHRA on six AxBench applications (Table I):
+//! `blackscholes`, `fft`, `inversek2j`, `jmeint`, `jpeg` and `sobel`. Each
+//! application has
+//!
+//! * a **target function** — the hot, safe-to-approximate region the NPU
+//!   replaces (e.g. the Black–Scholes pricing kernel, one 8×8 DCT block);
+//! * a **dataset generator** — seeded synthetic inputs standing in for the
+//!   paper's native inputs (PARSEC option batches, 512×512 images, …);
+//! * an **application layer** — how per-invocation outputs combine into the
+//!   final program output (the FFT's butterflies, JPEG's decode path);
+//! * an **application-specific quality metric** — average relative error,
+//!   miss rate, or image diff.
+//!
+//! The [`Benchmark`](benchmark::Benchmark) trait captures that shape; [`suite::all`] returns the
+//! six paper workloads.
+//!
+//! # Example
+//!
+//! ```
+//! use mithra_axbench::prelude::*;
+//!
+//! let bench = suite::by_name("sobel").expect("sobel is in the suite");
+//! let ds = bench.dataset(42, DatasetScale::Smoke);
+//! let mut out = Vec::new();
+//! bench.precise(ds.input(0), &mut out);
+//! assert_eq!(out.len(), bench.output_dim());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod benchmark;
+pub mod blackscholes;
+pub mod dataset;
+pub mod fft;
+pub mod image;
+pub mod inversek2j;
+pub mod jmeint;
+pub mod jpeg;
+pub mod pgm;
+pub mod quality;
+pub mod sobel;
+pub mod suite;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::benchmark::{Benchmark, WorkloadProfile};
+    pub use crate::dataset::{Dataset, DatasetScale, OutputBuffer};
+    pub use crate::quality::QualityMetric;
+    pub use crate::suite;
+}

@@ -1,0 +1,143 @@
+//! PGM (portable graymap) export — tangible artifacts from the image
+//! workloads.
+//!
+//! The sobel and jpeg examples produce edge maps and reconstructed
+//! images; writing them as binary PGM (`P5`) files lets a user actually
+//! look at what a 5% "image diff" means.
+
+use crate::image::GrayImage;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Encodes an image as a binary PGM (`P5`) byte stream.
+pub fn encode(image: &GrayImage) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + image.width() * image.height());
+    out.extend_from_slice(
+        format!("P5\n{} {}\n255\n", image.width(), image.height()).as_bytes(),
+    );
+    out.extend(
+        image
+            .pixels()
+            .iter()
+            .map(|&p| p.clamp(0.0, 255.0).round() as u8),
+    );
+    out
+}
+
+/// Writes an image to a `.pgm` file.
+///
+/// # Errors
+///
+/// Propagates I/O errors from file creation and writing.
+pub fn write_file(image: &GrayImage, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(&encode(image))
+}
+
+/// Parses a binary PGM (`P5`) byte stream back into an image.
+///
+/// Supports the subset [`encode`] emits: `P5`, single whitespace-separated
+/// header fields, `maxval` 255.
+///
+/// # Errors
+///
+/// Returns [`io::Error`] with `InvalidData` for malformed streams.
+pub fn decode(bytes: &[u8]) -> io::Result<GrayImage> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    // Parse the three header tokens after the magic.
+    let header_end = {
+        let mut fields = 0;
+        let mut i = 2; // skip "P5"
+        loop {
+            if i >= bytes.len() {
+                return Err(bad("truncated PGM header"));
+            }
+            // Skip whitespace, then a token.
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            let start = i;
+            while i < bytes.len() && !bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i == start {
+                return Err(bad("truncated PGM header"));
+            }
+            fields += 1;
+            if fields == 3 {
+                break i + 1; // single whitespace after maxval
+            }
+        }
+    };
+    if &bytes[..2] != b"P5" {
+        return Err(bad("not a P5 PGM"));
+    }
+    let header = std::str::from_utf8(&bytes[2..header_end - 1])
+        .map_err(|_| bad("non-UTF8 PGM header"))?;
+    let mut tokens = header.split_ascii_whitespace();
+    let width: usize = tokens
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| bad("bad width"))?;
+    let height: usize = tokens
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| bad("bad height"))?;
+    let maxval: usize = tokens
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| bad("bad maxval"))?;
+    if maxval != 255 {
+        return Err(bad("only maxval 255 is supported"));
+    }
+    let data = &bytes[header_end..];
+    if data.len() < width * height {
+        return Err(bad("truncated PGM payload"));
+    }
+    let pixels = data[..width * height].iter().map(|&b| f32::from(b)).collect();
+    Ok(GrayImage::from_pixels(width, height, pixels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let img = GrayImage::synthetic(24, 16, 7);
+        let decoded = decode(&encode(&img)).unwrap();
+        assert_eq!(decoded.width(), 24);
+        assert_eq!(decoded.height(), 16);
+        for (a, b) in img.pixels().iter().zip(decoded.pixels()) {
+            assert!((a.round() - b).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn header_format() {
+        let img = GrayImage::new(3, 2);
+        let bytes = encode(&img);
+        assert!(bytes.starts_with(b"P5\n3 2\n255\n"));
+        assert_eq!(bytes.len(), b"P5\n3 2\n255\n".len() + 6);
+    }
+
+    #[test]
+    fn malformed_streams_rejected() {
+        assert!(decode(b"").is_err());
+        assert!(decode(b"P6\n2 2\n255\n0000").is_err());
+        assert!(decode(b"P5\n2 2\n255\n0").is_err()); // truncated payload
+        assert!(decode(b"P5\n2 2\n65535\n0000").is_err()); // 16-bit
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("mithra_pgm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.pgm");
+        let img = GrayImage::synthetic(8, 8, 1);
+        write_file(&img, &path).unwrap();
+        let back = decode(&std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(back.width(), 8);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,186 @@
+//! Application-specific quality metrics (paper Table I).
+//!
+//! Quality loss compares the *final application output* of an approximated
+//! run against the fully precise run. Three metrics cover the suite:
+//! average relative error (blackscholes, fft, inversek2j), miss rate
+//! (jmeint) and image diff (jpeg, sobel).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The quality metric a benchmark reports (paper Table I column
+/// "Application Error Metric").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum QualityMetric {
+    /// Mean over elements of `|approx − precise| / max(|precise|, ε)`,
+    /// each element's relative error capped at 1.
+    AvgRelativeError,
+    /// Fraction of binary decisions that differ.
+    MissRate,
+    /// Mean absolute pixel difference, normalized to the 0–255 range.
+    ImageDiff,
+}
+
+impl fmt::Display for QualityMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            QualityMetric::AvgRelativeError => "Avg. Relative Error",
+            QualityMetric::MissRate => "Miss Rate",
+            QualityMetric::ImageDiff => "Image Diff",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Floor on `|precise|` when forming relative errors, so near-zero
+/// reference elements do not explode the metric.
+const REL_ERR_FLOOR: f64 = 0.01;
+
+impl QualityMetric {
+    /// Quality loss in `[0, 1]` between the precise and approximate final
+    /// application outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices have different lengths or are empty — the
+    /// harness always compares like with like.
+    pub fn quality_loss(&self, precise: &[f64], approx: &[f64]) -> f64 {
+        assert_eq!(
+            precise.len(),
+            approx.len(),
+            "quality comparison requires equal-length outputs"
+        );
+        assert!(!precise.is_empty(), "cannot score empty outputs");
+        match self {
+            QualityMetric::AvgRelativeError => {
+                let sum: f64 = precise
+                    .iter()
+                    .zip(approx)
+                    .map(|(&p, &a)| relative_error(p, a))
+                    .sum();
+                sum / precise.len() as f64
+            }
+            QualityMetric::MissRate => {
+                let misses = precise
+                    .iter()
+                    .zip(approx)
+                    .filter(|(&p, &a)| (p >= 0.5) != (a >= 0.5))
+                    .count();
+                misses as f64 / precise.len() as f64
+            }
+            QualityMetric::ImageDiff => {
+                let sum: f64 = precise
+                    .iter()
+                    .zip(approx)
+                    .map(|(&p, &a)| ((a - p).abs() / 255.0).min(1.0))
+                    .sum();
+                sum / precise.len() as f64
+            }
+        }
+    }
+
+    /// Per-element error contributions — the sample Figure 1 plots as a
+    /// CDF ("only a small fraction of these elements see large errors").
+    pub fn element_errors(&self, precise: &[f64], approx: &[f64]) -> Vec<f64> {
+        assert_eq!(precise.len(), approx.len());
+        match self {
+            QualityMetric::AvgRelativeError => precise
+                .iter()
+                .zip(approx)
+                .map(|(&p, &a)| relative_error(p, a))
+                .collect(),
+            QualityMetric::MissRate => precise
+                .iter()
+                .zip(approx)
+                .map(|(&p, &a)| if (p >= 0.5) != (a >= 0.5) { 1.0 } else { 0.0 })
+                .collect(),
+            QualityMetric::ImageDiff => precise
+                .iter()
+                .zip(approx)
+                .map(|(&p, &a)| ((a - p).abs() / 255.0).min(1.0))
+                .collect(),
+        }
+    }
+}
+
+fn relative_error(precise: f64, approx: f64) -> f64 {
+    ((approx - precise).abs() / precise.abs().max(REL_ERR_FLOOR)).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_outputs_have_zero_loss() {
+        let v = [1.0, 2.0, 3.0];
+        for m in [
+            QualityMetric::AvgRelativeError,
+            QualityMetric::MissRate,
+            QualityMetric::ImageDiff,
+        ] {
+            assert_eq!(m.quality_loss(&v, &v), 0.0, "{m}");
+        }
+    }
+
+    #[test]
+    fn avg_relative_error_basic() {
+        // 10% error on one of two elements -> 5% average.
+        let loss =
+            QualityMetric::AvgRelativeError.quality_loss(&[1.0, 1.0], &[1.1, 1.0]);
+        assert!((loss - 0.05).abs() < 1e-9, "got {loss}");
+    }
+
+    #[test]
+    fn relative_error_capped_at_one() {
+        let loss = QualityMetric::AvgRelativeError.quality_loss(&[1.0], &[100.0]);
+        assert_eq!(loss, 1.0);
+    }
+
+    #[test]
+    fn relative_error_floored_reference() {
+        // precise ~ 0: the floor keeps this finite.
+        let loss = QualityMetric::AvgRelativeError.quality_loss(&[0.0], &[0.005]);
+        assert!((loss - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn miss_rate_counts_flips() {
+        let p = [0.0, 1.0, 1.0, 0.0];
+        let a = [0.0, 0.0, 1.0, 1.0];
+        assert_eq!(QualityMetric::MissRate.quality_loss(&p, &a), 0.5);
+    }
+
+    #[test]
+    fn image_diff_normalized() {
+        // 25.5 grey-level error on every pixel -> 10%.
+        let p = [100.0, 200.0];
+        let a = [125.5, 174.5];
+        let loss = QualityMetric::ImageDiff.quality_loss(&p, &a);
+        assert!((loss - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn element_errors_align_with_loss() {
+        let p = [1.0, 2.0, 4.0];
+        let a = [1.1, 2.0, 4.4];
+        let errs = QualityMetric::AvgRelativeError.element_errors(&p, &a);
+        let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+        let loss = QualityMetric::AvgRelativeError.quality_loss(&p, &a);
+        assert!((mean - loss).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mismatched_lengths_panic() {
+        let _ = QualityMetric::MissRate.quality_loss(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(QualityMetric::AvgRelativeError.to_string(), "Avg. Relative Error");
+        assert_eq!(QualityMetric::MissRate.to_string(), "Miss Rate");
+        assert_eq!(QualityMetric::ImageDiff.to_string(), "Image Diff");
+    }
+}

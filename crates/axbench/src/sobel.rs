@@ -1,0 +1,173 @@
+//! `sobel` — Sobel edge detection.
+//!
+//! The target function maps a 3×3 pixel neighborhood to the gradient
+//! magnitude at its center. The application output is the edge map over a
+//! whole image. Paper Table I: topology `9→8→1`, image diff metric, 9.96%
+//! error under full approximation.
+
+use crate::benchmark::{Benchmark, WorkloadProfile};
+use crate::dataset::{Dataset, DatasetScale, OutputBuffer};
+use crate::image::GrayImage;
+use crate::quality::QualityMetric;
+use mithra_npu::topology::Topology;
+
+/// The `sobel` workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sobel;
+
+/// Image side length at full scale (64×64; reduced from the paper's
+/// 512×512 — see `DESIGN.md`).
+pub const FULL_IMAGE_SIDE: usize = 64;
+/// Image side length at smoke scale.
+pub const SMOKE_IMAGE_SIDE: usize = 12;
+
+fn image_side(scale: DatasetScale) -> usize {
+    match scale {
+        DatasetScale::Smoke => SMOKE_IMAGE_SIDE,
+        DatasetScale::Full => FULL_IMAGE_SIDE,
+    }
+}
+
+/// The precise kernel: Sobel gradient magnitude of a 3×3 window
+/// (row-major: `w[0..3]` top row), clamped to `[0, 255]`.
+pub fn gradient_magnitude(w: &[f32]) -> f32 {
+    let gx = (w[2] + 2.0 * w[5] + w[8]) - (w[0] + 2.0 * w[3] + w[6]);
+    let gy = (w[6] + 2.0 * w[7] + w[8]) - (w[0] + 2.0 * w[1] + w[2]);
+    (gx * gx + gy * gy).sqrt().min(255.0)
+}
+
+impl Benchmark for Sobel {
+    fn name(&self) -> &'static str {
+        "sobel"
+    }
+
+    fn domain(&self) -> &'static str {
+        "Image Processing"
+    }
+
+    fn description(&self) -> &'static str {
+        "Sobel edge detector"
+    }
+
+    fn input_dim(&self) -> usize {
+        9
+    }
+
+    fn output_dim(&self) -> usize {
+        1
+    }
+
+    fn npu_topology(&self) -> Topology {
+        Topology::new(&[9, 8, 1]).expect("static topology is valid")
+    }
+
+    fn quality_metric(&self) -> QualityMetric {
+        QualityMetric::ImageDiff
+    }
+
+    fn precise(&self, input: &[f32], output: &mut Vec<f32>) {
+        output.clear();
+        output.push(gradient_magnitude(input));
+    }
+
+    fn dataset(&self, seed: u64, scale: DatasetScale) -> Dataset {
+        let side = image_side(scale);
+        let img = GrayImage::synthetic(side, side, seed);
+        // One invocation per pixel, border-clamped 3×3 window.
+        let mut flat = Vec::with_capacity(side * side * 9);
+        for y in 0..side as isize {
+            for x in 0..side as isize {
+                for dy in -1..=1 {
+                    for dx in -1..=1 {
+                        flat.push(img.get_clamped(x + dx, y + dy));
+                    }
+                }
+            }
+        }
+        Dataset::from_flat(seed, 9, flat)
+    }
+
+    fn run_application(&self, _dataset: &Dataset, outputs: &OutputBuffer) -> Vec<f64> {
+        // The edge map itself, one value per pixel.
+        outputs
+            .as_flat()
+            .iter()
+            .map(|&v| f64::from(v.clamp(0.0, 255.0)))
+            .collect()
+    }
+
+    fn paper_full_approx_error(&self) -> f64 {
+        0.0996
+    }
+
+    fn profile(&self) -> WorkloadProfile {
+        // Two 3x3 convolutions and a square root per pixel.
+        WorkloadProfile {
+            kernel_cycles: 110,
+            non_kernel_fraction: 0.15,
+        }
+    }
+
+    fn npu_training_epochs(&self) -> usize {
+        40
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmark::run_precise;
+
+    #[test]
+    fn flat_window_has_zero_gradient() {
+        assert_eq!(gradient_magnitude(&[100.0; 9]), 0.0);
+    }
+
+    #[test]
+    fn vertical_edge_detected() {
+        // Left column dark, right column bright.
+        let w = [0.0, 128.0, 255.0, 0.0, 128.0, 255.0, 0.0, 128.0, 255.0];
+        let g = gradient_magnitude(&w);
+        assert!(g > 200.0, "got {g}");
+    }
+
+    #[test]
+    fn horizontal_edge_detected() {
+        let w = [0.0, 0.0, 0.0, 128.0, 128.0, 128.0, 255.0, 255.0, 255.0];
+        assert!(gradient_magnitude(&w) > 200.0);
+    }
+
+    #[test]
+    fn gradient_clamped_to_pixel_range() {
+        let w = [0.0, 0.0, 255.0, 0.0, 0.0, 255.0, 0.0, 0.0, 255.0];
+        assert!(gradient_magnitude(&w) <= 255.0);
+    }
+
+    #[test]
+    fn dataset_has_one_invocation_per_pixel() {
+        let b = Sobel;
+        let ds = b.dataset(1, DatasetScale::Smoke);
+        assert_eq!(ds.invocation_count(), SMOKE_IMAGE_SIDE * SMOKE_IMAGE_SIDE);
+    }
+
+    #[test]
+    fn edge_map_matches_image_content() {
+        let b = Sobel;
+        let ds = b.dataset(9, DatasetScale::Smoke);
+        let out = run_precise(&b, &ds);
+        let edges = b.run_application(&ds, &out);
+        // Synthetic images contain hard rectangle edges.
+        let max = edges.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max > 50.0, "no edges found ({max})");
+    }
+
+    #[test]
+    fn rotation_symmetry() {
+        // Rotating the window 90 degrees preserves the magnitude.
+        let w = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0];
+        let rotated = [70.0, 40.0, 10.0, 80.0, 50.0, 20.0, 90.0, 60.0, 30.0];
+        let a = gradient_magnitude(&w);
+        let b = gradient_magnitude(&rotated);
+        assert!((a - b).abs() < 1e-3);
+    }
+}

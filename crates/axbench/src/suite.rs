@@ -1,0 +1,134 @@
+//! The assembled suite: the paper's six workloads (Table I).
+
+use crate::benchmark::Benchmark;
+use crate::blackscholes::BlackScholes;
+use crate::fft::Fft;
+use crate::inversek2j::InverseK2J;
+use crate::jmeint::Jmeint;
+use crate::jpeg::Jpeg;
+use crate::sobel::Sobel;
+
+/// Returns the six paper benchmarks in Table I order.
+///
+/// # Example
+///
+/// ```
+/// let suite = mithra_axbench::suite::all();
+/// let names: Vec<&str> = suite.iter().map(|b| b.name()).collect();
+/// assert_eq!(
+///     names,
+///     ["blackscholes", "fft", "inversek2j", "jmeint", "jpeg", "sobel"]
+/// );
+/// ```
+pub fn all() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(BlackScholes),
+        Box::new(Fft),
+        Box::new(InverseK2J),
+        Box::new(Jmeint),
+        Box::new(Jpeg),
+        Box::new(Sobel),
+    ]
+}
+
+/// Looks a benchmark up by its Table I name.
+pub fn by_name(name: &str) -> Option<Box<dyn Benchmark>> {
+    match name {
+        "blackscholes" => Some(Box::new(BlackScholes)),
+        "fft" => Some(Box::new(Fft)),
+        "inversek2j" => Some(Box::new(InverseK2J)),
+        "jmeint" => Some(Box::new(Jmeint)),
+        "jpeg" => Some(Box::new(Jpeg)),
+        "sobel" => Some(Box::new(Sobel)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmark::run_precise;
+    use crate::dataset::DatasetScale;
+
+    #[test]
+    fn suite_has_six_benchmarks() {
+        assert_eq!(all().len(), 6);
+    }
+
+    #[test]
+    fn lookup_by_name_round_trips() {
+        for bench in all() {
+            let found = by_name(bench.name()).expect("suite member must be findable");
+            assert_eq!(found.name(), bench.name());
+        }
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn topologies_match_io_dims() {
+        for bench in all() {
+            let t = bench.npu_topology();
+            assert_eq!(t.inputs(), bench.input_dim(), "{}", bench.name());
+            assert_eq!(t.outputs(), bench.output_dim(), "{}", bench.name());
+        }
+    }
+
+    #[test]
+    fn precise_runs_fill_output_dim() {
+        for bench in all() {
+            let ds = bench.dataset(1, DatasetScale::Smoke);
+            let mut out = Vec::new();
+            bench.precise(ds.input(0), &mut out);
+            assert_eq!(out.len(), bench.output_dim(), "{}", bench.name());
+            assert!(out.iter().all(|v| v.is_finite()), "{}", bench.name());
+        }
+    }
+
+    #[test]
+    fn datasets_deterministic_and_distinct() {
+        for bench in all() {
+            let a = bench.dataset(5, DatasetScale::Smoke);
+            let b = bench.dataset(5, DatasetScale::Smoke);
+            let c = bench.dataset(6, DatasetScale::Smoke);
+            assert_eq!(a, b, "{} not deterministic", bench.name());
+            // fft datasets carry context in the seed, not the inputs.
+            if bench.name() != "fft" {
+                assert_ne!(a, c, "{} seeds collide", bench.name());
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_outputs_give_zero_quality_loss() {
+        for bench in all() {
+            let ds = bench.dataset(2, DatasetScale::Smoke);
+            let out = run_precise(bench.as_ref(), &ds);
+            let fin_a = bench.run_application(&ds, &out);
+            let fin_b = bench.run_application(&ds, &out);
+            let loss = bench.quality_metric().quality_loss(&fin_a, &fin_b);
+            assert_eq!(loss, 0.0, "{}", bench.name());
+        }
+    }
+
+    #[test]
+    fn profiles_are_sane() {
+        for bench in all() {
+            let p = bench.profile();
+            assert!(p.kernel_cycles > 0, "{}", bench.name());
+            assert!(
+                (0.0..1.0).contains(&p.non_kernel_fraction),
+                "{}",
+                bench.name()
+            );
+        }
+    }
+
+    #[test]
+    fn paper_error_levels_in_published_range() {
+        // Table I: 6.03% .. 17.69%.
+        for bench in all() {
+            let e = bench.paper_full_approx_error();
+            assert!((0.06..=0.177).contains(&e), "{}: {e}", bench.name());
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests on the benchmark kernels and quality metrics.
+
+use mithra_axbench::blackscholes::price_option;
+use mithra_axbench::fft::{fft_with_twiddles, twiddle};
+use mithra_axbench::jmeint::tri_tri_intersect;
+use mithra_axbench::jpeg::{dct_8x8, decode_block, encode_block, idct_8x8};
+use mithra_axbench::quality::QualityMetric;
+use mithra_axbench::sobel::gradient_magnitude;
+use proptest::prelude::*;
+
+fn precise_twiddles(n: usize) -> Vec<(f32, f32)> {
+    (0..n / 2).map(|k| twiddle(k as f32 / n as f32)).collect()
+}
+
+/// Naive O(n^2) DFT as an independent reference.
+fn naive_dft(signal: &[f32]) -> Vec<(f64, f64)> {
+    let n = signal.len();
+    (0..n)
+        .map(|k| {
+            let mut re = 0.0f64;
+            let mut im = 0.0f64;
+            for (t, &x) in signal.iter().enumerate() {
+                let angle = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                re += f64::from(x) * angle.cos();
+                im += f64::from(x) * angle.sin();
+            }
+            (re, im)
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn fft_matches_naive_dft(signal in prop::collection::vec(-10.0f32..10.0, 16..=16)) {
+        let fast = fft_with_twiddles(&signal, &precise_twiddles(16));
+        let slow = naive_dft(&signal);
+        for (k, (re, im)) in slow.iter().enumerate() {
+            prop_assert!((fast[2 * k] - re).abs() < 1e-3, "re[{}]", k);
+            prop_assert!((fast[2 * k + 1] - im).abs() < 1e-3, "im[{}]", k);
+        }
+    }
+
+    #[test]
+    fn dct_preserves_energy(block in prop::collection::vec(-128.0f32..128.0, 64..=64)) {
+        // The orthonormal DCT is an isometry.
+        let mut arr = [0.0f32; 64];
+        arr.copy_from_slice(&block);
+        let coeffs = dct_8x8(&arr);
+        let time_energy: f64 = arr.iter().map(|&v| f64::from(v).powi(2)).sum();
+        let freq_energy: f64 = coeffs.iter().map(|&v| f64::from(v).powi(2)).sum();
+        prop_assert!((time_energy - freq_energy).abs() <= time_energy.max(1.0) * 1e-4);
+    }
+
+    #[test]
+    fn dct_idct_is_identity(block in prop::collection::vec(-128.0f32..128.0, 64..=64)) {
+        let mut arr = [0.0f32; 64];
+        arr.copy_from_slice(&block);
+        let back = idct_8x8(&dct_8x8(&arr));
+        for (a, b) in arr.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn jpeg_decode_is_bounded(block in prop::collection::vec(0.0f32..255.0, 64..=64)) {
+        let decoded = decode_block(&encode_block(&block));
+        prop_assert!(decoded.iter().all(|&p| (0.0..=255.0).contains(&p)));
+    }
+
+    #[test]
+    fn sobel_nonnegative_and_clamped(window in prop::collection::vec(0.0f32..255.0, 9..=9)) {
+        let g = gradient_magnitude(&window);
+        prop_assert!((0.0..=255.0).contains(&g));
+    }
+
+    #[test]
+    fn sobel_invariant_to_brightness_offset(
+        window in prop::collection::vec(0.0f32..200.0, 9..=9),
+        offset in 0.0f32..50.0,
+    ) {
+        let shifted: Vec<f32> = window.iter().map(|&v| v + offset).collect();
+        let a = gradient_magnitude(&window);
+        let b = gradient_magnitude(&shifted);
+        prop_assert!((a - b).abs() < 1e-2);
+    }
+
+    #[test]
+    fn call_price_bounded_by_spot(
+        spot in 10.0f32..200.0,
+        moneyness in 0.7f32..1.3,
+        rate in 0.01f32..0.1,
+        vol in 0.05f32..0.8,
+        time in 0.1f32..2.0,
+    ) {
+        let strike = spot * moneyness;
+        let call = price_option(spot, strike, rate, vol, time, 0.0);
+        prop_assert!(call >= -1e-3, "negative call {}", call);
+        prop_assert!(call <= spot + 1e-3, "call above spot {}", call);
+        // Monotone in volatility.
+        let call_hi_vol = price_option(spot, strike, rate, vol + 0.1, time, 0.0);
+        prop_assert!(call_hi_vol >= call - 2e-2);
+    }
+
+    #[test]
+    fn tri_tri_invariant_under_vertex_rotation(
+        coords in prop::collection::vec(-1.0f32..1.0, 18..=18),
+    ) {
+        let v = |i: usize| [coords[3 * i], coords[3 * i + 1], coords[3 * i + 2]];
+        let t1 = [v(0), v(1), v(2)];
+        let t1_rot = [v(1), v(2), v(0)];
+        let t2 = [v(3), v(4), v(5)];
+        prop_assert_eq!(
+            tri_tri_intersect(t1, t2),
+            tri_tri_intersect(t1_rot, t2),
+            "vertex rotation changed the verdict"
+        );
+    }
+
+    #[test]
+    fn quality_metrics_bounded(
+        pairs in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..100),
+    ) {
+        let precise: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let approx: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        for m in [
+            QualityMetric::AvgRelativeError,
+            QualityMetric::MissRate,
+            QualityMetric::ImageDiff,
+        ] {
+            let loss = m.quality_loss(&precise, &approx);
+            prop_assert!((0.0..=1.0).contains(&loss), "{} loss {}", m, loss);
+        }
+    }
+
+    #[test]
+    fn quality_zero_iff_identical_for_miss_rate(
+        values in prop::collection::vec(-10.0f64..10.0, 1..50),
+    ) {
+        let loss = QualityMetric::MissRate.quality_loss(&values, &values);
+        prop_assert_eq!(loss, 0.0);
+    }
+}

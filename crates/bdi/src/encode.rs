@@ -1,0 +1,329 @@
+//! Per-line BDI encoding and decoding.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Size of a BDI line in bytes (one cache line).
+pub const LINE_BYTES: usize = 64;
+
+/// The encoding chosen for a single 64-byte line.
+///
+/// The numeric suffixes follow the BDI paper's naming: `BaseBDeltaD` views
+/// the line as `64/B` words of `B` bytes and stores each as a `D`-byte
+/// signed delta from the line's first word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Encoding {
+    /// The entire line is zero. Stored as the tag alone.
+    Zeros,
+    /// The line is one 8-byte value repeated. Stored as that value.
+    Repeated,
+    /// 8-byte base, 1-byte deltas.
+    Base8Delta1,
+    /// 8-byte base, 2-byte deltas.
+    Base8Delta2,
+    /// 8-byte base, 4-byte deltas.
+    Base8Delta4,
+    /// 4-byte base, 1-byte deltas.
+    Base4Delta1,
+    /// 4-byte base, 2-byte deltas.
+    Base4Delta2,
+    /// 2-byte base, 1-byte deltas.
+    Base2Delta1,
+    /// No format applied; the line is stored verbatim.
+    Uncompressed,
+}
+
+impl Encoding {
+    /// Number of payload bytes this encoding stores for one line
+    /// (excluding the per-line tag, which hardware holds in metadata).
+    pub fn payload_len(&self) -> usize {
+        match self {
+            Encoding::Zeros => 1,
+            Encoding::Repeated => 8,
+            Encoding::Base8Delta1 => 8 + 8,
+            Encoding::Base8Delta2 => 8 + 16,
+            Encoding::Base8Delta4 => 8 + 32,
+            Encoding::Base4Delta1 => 4 + 16,
+            Encoding::Base4Delta2 => 4 + 32,
+            Encoding::Base2Delta1 => 2 + 32,
+            Encoding::Uncompressed => LINE_BYTES,
+        }
+    }
+
+    /// All base+delta candidate formats, cheapest payload first.
+    fn base_delta_candidates() -> [(Encoding, usize, usize); 6] {
+        [
+            (Encoding::Base8Delta1, 8, 1),
+            (Encoding::Base2Delta1, 2, 1),
+            (Encoding::Base4Delta1, 4, 1),
+            (Encoding::Base8Delta2, 8, 2),
+            (Encoding::Base4Delta2, 4, 2),
+            (Encoding::Base8Delta4, 8, 4),
+        ]
+    }
+}
+
+/// A single line after BDI encoding: the chosen format plus its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedLine {
+    encoding: Encoding,
+    payload: Bytes,
+}
+
+impl EncodedLine {
+    /// The format this line was stored with.
+    pub fn encoding(&self) -> Encoding {
+        self.encoding
+    }
+
+    /// The stored payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Total compressed size in bytes (payload only, matching how the
+    /// paper's Table II accounts for table size).
+    pub fn compressed_len(&self) -> usize {
+        self.encoding.payload_len()
+    }
+}
+
+fn read_word(line: &[u8], base: usize, idx: usize) -> i64 {
+    let mut v: u64 = 0;
+    for b in 0..base {
+        v |= u64::from(line[idx * base + b]) << (8 * b);
+    }
+    // Sign-extend so deltas behave for values near the top of the range.
+    let shift = 64 - base * 8;
+    ((v << shift) as i64) >> shift
+}
+
+fn delta_fits(delta: i128, delta_bytes: usize) -> bool {
+    let bits = delta_bytes * 8;
+    let min = -(1i128 << (bits - 1));
+    let max = (1i128 << (bits - 1)) - 1;
+    (min..=max).contains(&delta)
+}
+
+/// Compresses one 64-byte line, choosing the cheapest applicable format.
+///
+/// # Panics
+///
+/// Panics if `line` is not exactly [`LINE_BYTES`] long; lines are a hardware
+/// fixed size and a mismatch is a programming error.
+///
+/// # Example
+///
+/// ```
+/// # use mithra_bdi::{compress, Encoding};
+/// let mut line = [7u8; 64]; // repeated byte pattern -> repeated 8-byte word
+/// let enc = compress(&line);
+/// assert_eq!(enc.encoding(), Encoding::Repeated);
+/// ```
+pub fn compress(line: &[u8]) -> EncodedLine {
+    assert_eq!(
+        line.len(),
+        LINE_BYTES,
+        "BDI lines are exactly {LINE_BYTES} bytes"
+    );
+
+    if line.iter().all(|&b| b == 0) {
+        return EncodedLine {
+            encoding: Encoding::Zeros,
+            payload: Bytes::from_static(&[0]),
+        };
+    }
+
+    if line.chunks_exact(8).all(|c| c == &line[..8]) {
+        return EncodedLine {
+            encoding: Encoding::Repeated,
+            payload: Bytes::copy_from_slice(&line[..8]),
+        };
+    }
+
+    let mut best: Option<EncodedLine> = None;
+    for (encoding, base, delta_bytes) in Encoding::base_delta_candidates() {
+        let words = LINE_BYTES / base;
+        let base_val = i128::from(read_word(line, base, 0));
+        let mut ok = true;
+        for i in 1..words {
+            let delta = i128::from(read_word(line, base, i)) - base_val;
+            if !delta_fits(delta, delta_bytes) {
+                ok = false;
+                break;
+            }
+        }
+        if !ok {
+            continue;
+        }
+        if best
+            .as_ref()
+            .is_some_and(|b| b.compressed_len() <= encoding.payload_len())
+        {
+            continue;
+        }
+        let mut payload = BytesMut::with_capacity(encoding.payload_len());
+        payload.put_slice(&line[..base]);
+        for i in 1..words {
+            let delta = i128::from(read_word(line, base, i)) - base_val;
+            payload.put_slice(&delta.to_le_bytes()[..delta_bytes]);
+        }
+        best = Some(EncodedLine {
+            encoding,
+            payload: payload.freeze(),
+        });
+    }
+
+    best.unwrap_or_else(|| EncodedLine {
+        encoding: Encoding::Uncompressed,
+        payload: Bytes::copy_from_slice(line),
+    })
+}
+
+/// Decompresses an encoded line back to its 64 bytes.
+///
+/// Lossless inverse of [`compress`].
+pub fn decompress(encoded: &EncodedLine) -> [u8; LINE_BYTES] {
+    let mut out = [0u8; LINE_BYTES];
+    match encoded.encoding {
+        Encoding::Zeros => {}
+        Encoding::Repeated => {
+            for chunk in out.chunks_exact_mut(8) {
+                chunk.copy_from_slice(&encoded.payload[..8]);
+            }
+        }
+        Encoding::Uncompressed => out.copy_from_slice(&encoded.payload),
+        enc => {
+            let (base, delta_bytes) = match enc {
+                Encoding::Base8Delta1 => (8, 1),
+                Encoding::Base8Delta2 => (8, 2),
+                Encoding::Base8Delta4 => (8, 4),
+                Encoding::Base4Delta1 => (4, 1),
+                Encoding::Base4Delta2 => (4, 2),
+                Encoding::Base2Delta1 => (2, 1),
+                _ => unreachable!("handled above"),
+            };
+            let words = LINE_BYTES / base;
+            out[..base].copy_from_slice(&encoded.payload[..base]);
+            let base_val = i128::from(read_word(&out, base, 0));
+            for i in 1..words {
+                let start = base + (i - 1) * delta_bytes;
+                let mut delta: i64 = 0;
+                for b in 0..delta_bytes {
+                    delta |= i64::from(encoded.payload[start + b]) << (8 * b);
+                }
+                // Sign-extend the delta.
+                let shift = 64 - delta_bytes * 8;
+                let delta = i128::from((delta << shift) >> shift);
+                let value = (base_val + delta) as u64;
+                for b in 0..base {
+                    out[i * base + b] = ((value >> (8 * b)) & 0xff) as u8;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(line: &[u8; LINE_BYTES]) -> Encoding {
+        let enc = compress(line);
+        assert_eq!(&decompress(&enc), line, "round trip failed for {enc:?}");
+        enc.encoding()
+    }
+
+    #[test]
+    fn zeros_line() {
+        let enc = compress(&[0u8; 64]);
+        assert_eq!(enc.encoding(), Encoding::Zeros);
+        assert_eq!(enc.compressed_len(), 1);
+        assert_eq!(decompress(&enc), [0u8; 64]);
+    }
+
+    #[test]
+    fn repeated_line() {
+        let mut line = [0u8; 64];
+        for chunk in line.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&0xDEAD_BEEF_u64.to_le_bytes());
+        }
+        assert_eq!(round_trip(&line), Encoding::Repeated);
+    }
+
+    #[test]
+    fn small_deltas_pick_base8_delta1() {
+        let mut line = [0u8; 64];
+        for (i, chunk) in line.chunks_exact_mut(8).enumerate() {
+            chunk.copy_from_slice(&(1000u64 + i as u64).to_le_bytes());
+        }
+        let enc = compress(&line);
+        assert_eq!(enc.encoding(), Encoding::Base8Delta1);
+        assert_eq!(decompress(&enc), line);
+    }
+
+    #[test]
+    fn negative_deltas_round_trip() {
+        let mut line = [0u8; 64];
+        for (i, chunk) in line.chunks_exact_mut(8).enumerate() {
+            let v = 5000i64 - 3 * i as i64;
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+        let enc = compress(&line);
+        assert_ne!(enc.encoding(), Encoding::Uncompressed);
+        assert_eq!(decompress(&enc), line);
+    }
+
+    #[test]
+    fn incompressible_line_stored_verbatim() {
+        let mut line = [0u8; 64];
+        // A pseudo-random pattern with large word-to-word distances.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for chunk in line.chunks_exact_mut(8) {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            chunk.copy_from_slice(&state.to_le_bytes());
+        }
+        assert_eq!(round_trip(&line), Encoding::Uncompressed);
+    }
+
+    #[test]
+    fn sparse_bitmap_lines_compress_well() {
+        // A classifier table line with a single set bit: all words are 0
+        // except one — fits base8-delta1 (base 0, one small delta) or better.
+        // The set bit lands high inside its 8-byte word, so the best fit is
+        // a 4-byte base with 2-byte deltas (36 bytes) — still a win.
+        let mut line = [0u8; 64];
+        line[37] = 0x01;
+        let enc = compress(&line);
+        assert!(enc.compressed_len() <= 36, "got {}", enc.compressed_len());
+        assert_eq!(decompress(&enc), line);
+    }
+
+    #[test]
+    fn base2_delta1_applies_to_16bit_ramps() {
+        let mut line = [0u8; 64];
+        for (i, chunk) in line.chunks_exact_mut(2).enumerate() {
+            let v = 300u16 + i as u16;
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+        let enc = compress(&line);
+        assert_ne!(enc.encoding(), Encoding::Uncompressed);
+        assert_eq!(decompress(&enc), line);
+        assert!(enc.compressed_len() <= 34);
+    }
+
+    #[test]
+    fn payload_len_is_honest() {
+        for line in [[0u8; 64], [0xFFu8; 64]] {
+            let enc = compress(&line);
+            assert_eq!(enc.compressed_len(), enc.encoding().payload_len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "BDI lines are exactly 64 bytes")]
+    fn wrong_length_panics() {
+        let _ = compress(&[0u8; 32]);
+    }
+}

@@ -1,0 +1,33 @@
+//! Base-Delta-Immediate (BDI) compression.
+//!
+//! MITHRA's table-based classifier is mostly zeros (only the small fraction
+//! of accelerator inputs that cause large errors set entries to `1`), so the
+//! paper compresses the trained tables with BDI — a low-latency cache-line
+//! compression scheme (Pekhimenko et al., PACT 2012) — before encoding them
+//! into the program binary (paper §IV-C1, §V-B3, Table II).
+//!
+//! BDI operates on 64-byte lines. Each line is encoded with the cheapest of
+//! a fixed menu of formats: all-zeros, a repeated 8-byte value, or a *base +
+//! deltas* layout where the line is viewed as an array of `base`-byte words
+//! and each word is stored as a small signed delta from the first word. A
+//! line that fits none of the formats is stored verbatim.
+//!
+//! # Example
+//!
+//! ```
+//! use mithra_bdi::{compress, decompress};
+//!
+//! let line = [0u8; 64]; // an all-zero line: 1 byte + tag after compression
+//! let encoded = compress(&line);
+//! assert!(encoded.compressed_len() < 64);
+//! assert_eq!(decompress(&encoded), line);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod encode;
+mod table;
+
+pub use encode::{compress, decompress, EncodedLine, Encoding, LINE_BYTES};
+pub use table::{CompressedTable, CompressionStats};

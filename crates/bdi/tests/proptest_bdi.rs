@@ -1,0 +1,48 @@
+//! Property tests: BDI is lossless and never expands accounting.
+
+use mithra_bdi::{compress, decompress, CompressedTable, LINE_BYTES};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn any_line_round_trips(line in prop::array::uniform32(any::<u8>())) {
+        // Build a 64-byte line from two copies of the 32-byte array with a
+        // tweak so both halves are exercised.
+        let mut full = [0u8; LINE_BYTES];
+        full[..32].copy_from_slice(&line);
+        full[32..].copy_from_slice(&line);
+        full[63] ^= 0x5A;
+        let enc = compress(&full);
+        prop_assert_eq!(decompress(&enc), full);
+    }
+
+    #[test]
+    fn compressed_len_never_exceeds_line(seed in any::<u64>()) {
+        let mut state = seed | 1;
+        let mut full = [0u8; LINE_BYTES];
+        for b in full.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *b = (state >> 56) as u8;
+        }
+        let enc = compress(&full);
+        prop_assert!(enc.compressed_len() <= LINE_BYTES);
+    }
+
+    #[test]
+    fn table_round_trips(content in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let c = CompressedTable::new(&content);
+        prop_assert_eq!(c.decompress(), content);
+    }
+
+    #[test]
+    fn sparse_tables_compress(bit_positions in prop::collection::vec(0usize..4096, 0..20)) {
+        let mut table = vec![0u8; 4096];
+        for &p in &bit_positions {
+            table[p] = 1;
+        }
+        let c = CompressedTable::new(&table);
+        prop_assert_eq!(c.decompress(), table);
+        // At most 20 dirty lines out of 64; compression must win.
+        prop_assert!(c.stats().ratio() > 2.0);
+    }
+}

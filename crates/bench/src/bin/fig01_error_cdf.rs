@@ -1,0 +1,55 @@
+//! Figure 1: CDF of final per-element error under full approximation.
+//!
+//! "Only a small fraction (0%–20%) of these elements see large errors" —
+//! the observation motivating MITHRA. For each benchmark we run every
+//! compilation dataset fully approximated and plot the empirical CDF of
+//! per-element final error.
+
+use mithra_bench::{collect_profiles_parallel, ExperimentConfig, TextTable};
+use mithra_core::function::{AcceleratedFunction, NpuTrainConfig};
+use mithra_stats::descriptive::EmpiricalCdf;
+use std::sync::Arc;
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    println!("# Figure 1: CDF of per-element final error, full approximation");
+    println!(
+        "# scale={:?} datasets={}\n",
+        cfg.scale, cfg.compile_datasets
+    );
+
+    let probes = [0.0, 0.01, 0.025, 0.05, 0.075, 0.10, 0.15, 0.20, 0.30, 0.50, 1.0];
+    let mut table = TextTable::new(
+        std::iter::once("benchmark".to_string())
+            .chain(probes.iter().map(|p| format!("P(err<={p})"))),
+    );
+
+    for bench in cfg.suite() {
+        let name = bench.name();
+        let train_sets: Vec<_> = (0..10.min(cfg.compile_datasets as u64))
+            .map(|i| bench.dataset(i, cfg.scale))
+            .collect();
+        let function =
+            AcceleratedFunction::train(Arc::clone(&bench), &train_sets, &NpuTrainConfig::default())
+                .expect("NPU training succeeds on suite benchmarks");
+        let profiles =
+            collect_profiles_parallel(&function, 0, cfg.compile_datasets, cfg.scale);
+
+        let mut errors: Vec<f64> = Vec::new();
+        for p in &profiles {
+            errors.extend(p.full_approx_element_errors(&function));
+        }
+        let cdf = EmpiricalCdf::new(errors).expect("profiles yield elements");
+        table.row(
+            std::iter::once(name.to_string())
+                .chain(probes.iter().map(|&p| format!("{:.3}", cdf.eval(p)))),
+        );
+        let tail = 1.0 - cdf.eval(0.10);
+        println!(
+            "{name}: {} elements, {:.1}% see error > 10% (paper: 0-20%)",
+            cdf.len(),
+            tail * 100.0
+        );
+    }
+    println!("\n{table}");
+}

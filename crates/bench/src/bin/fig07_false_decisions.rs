@@ -1,0 +1,66 @@
+//! Figure 7a/7b/7c: false positives and false negatives of the table and
+//! neural designs.
+//!
+//! False positive: the classifier rejected an invocation the oracle would
+//! have approximated (quality-safe but benefit lost). False negative: the
+//! classifier approximated an invocation the oracle would have rejected
+//! (benefit kept but quality risked). Both designs are conservative, so
+//! FP > FN throughout.
+
+use mithra_bench::{certify_at, evaluate, prepare_base, DesignKind, ExperimentConfig, TextTable};
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    println!("# Figure 7: false decisions vs quality-loss level");
+    println!(
+        "# scale={:?} datasets={} validation={}\n",
+        cfg.scale, cfg.compile_datasets, cfg.validation_datasets
+    );
+
+    let mut table_fp = TextTable::new(["quality", "table FP", "table FN", "neural FP", "neural FN"]);
+
+    let bases: Vec<_> = cfg
+        .suite()
+        .into_iter()
+        .filter_map(|bench| {
+            let name = bench.name();
+            prepare_base(bench, &cfg)
+                .map_err(|e| eprintln!("{name}: {e}"))
+                .ok()
+        })
+        .collect();
+
+    for &q in &cfg.quality_levels {
+        let (mut tfp, mut tfn, mut nfp, mut nfn) = (0.0, 0.0, 0.0, 0.0);
+        let mut count = 0.0;
+        for base in &bases {
+            let name = base.name;
+            let prepared = match certify_at(base, &cfg, q) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{name} @ {:.1}%: {e}", q * 100.0);
+                    continue;
+                }
+            };
+            let t = evaluate(&prepared, DesignKind::Table, q).summary;
+            let n = evaluate(&prepared, DesignKind::Neural, q).summary;
+            tfp += t.false_positive_rate;
+            tfn += t.false_negative_rate;
+            nfp += n.false_positive_rate;
+            nfn += n.false_negative_rate;
+            count += 1.0;
+        }
+        if count == 0.0 {
+            continue;
+        }
+        table_fp.row([
+            format!("{:.1}%", q * 100.0),
+            format!("{:.1}%", tfp / count * 100.0),
+            format!("{:.1}%", tfn / count * 100.0),
+            format!("{:.1}%", nfp / count * 100.0),
+            format!("{:.1}%", nfn / count * 100.0),
+        ]);
+    }
+    println!("{table_fp}");
+    println!("paper @5%: table 22% FP / 5% FN; neural 18% FP / 9% FN");
+}

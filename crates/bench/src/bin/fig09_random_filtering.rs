@@ -1,0 +1,93 @@
+//! Figure 9: MITHRA's input-conscious designs versus random filtering at
+//! matched invocation rates (5% quality loss).
+//!
+//! Random filtering drops the same *number* of invocations but not the
+//! *right* ones: quality suffers at equal gains, or equivalently, at equal
+//! quality the random filter must drop far more. We report both designs'
+//! speedup/energy relative to a random filter matched to their invocation
+//! rate, plus the quality each achieves.
+
+use mithra_bench::{evaluate, prepare, DesignKind, ExperimentConfig, TextTable};
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let quality = cfg.quality_levels.get(1).copied().unwrap_or(0.05);
+    println!(
+        "# Figure 9: table/neural vs random filtering at {:.1}% quality loss",
+        quality * 100.0
+    );
+    println!(
+        "# scale={:?} datasets={} validation={}\n",
+        cfg.scale, cfg.compile_datasets, cfg.validation_datasets
+    );
+
+    let mut table = TextTable::new([
+        "benchmark",
+        "design",
+        "invocation",
+        "speedup vs random",
+        "energy vs random",
+        "quality (design)",
+        "quality (random)",
+    ]);
+
+    let mut rel_speedups = Vec::new();
+    let mut rel_energies = Vec::new();
+
+    for bench in cfg.suite() {
+        let name = bench.name();
+        let prepared = match prepare(bench, &cfg, quality) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                continue;
+            }
+        };
+        for design in [DesignKind::Table, DesignKind::Neural] {
+            let s = evaluate(&prepared, design, quality).summary;
+            let random = evaluate(
+                &prepared,
+                DesignKind::Random(s.invocation_rate),
+                quality,
+            )
+            .summary;
+            // At matched invocation rates the cycles are comparable; the
+            // interesting comparison the paper plots is gains at equal
+            // quality. Derive the random rate that matches the design's
+            // quality by scaling: random quality grows ~linearly with its
+            // invocation rate.
+            let quality_matched_rate = if random.quality_loss > 1e-12 {
+                (s.quality_loss / random.quality_loss * s.invocation_rate).clamp(0.0, 1.0)
+            } else {
+                s.invocation_rate
+            };
+            let random_qm = evaluate(
+                &prepared,
+                DesignKind::Random(quality_matched_rate),
+                quality,
+            )
+            .summary;
+            let rel_speed = s.speedup / random_qm.speedup;
+            let rel_energy = s.energy_reduction / random_qm.energy_reduction;
+            rel_speedups.push(rel_speed);
+            rel_energies.push(rel_energy);
+            table.row([
+                name.to_string(),
+                design.label().to_string(),
+                format!("{:.0}%", s.invocation_rate * 100.0),
+                format!("{rel_speed:.2}x"),
+                format!("{rel_energy:.2}x"),
+                format!("{:.2}%", s.quality_loss * 100.0),
+                format!("{:.2}%", random.quality_loss * 100.0),
+            ]);
+        }
+    }
+    println!("{table}");
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "mean gain over quality-matched random filtering: {:.0}% speedup, {:.0}% energy",
+        (mean(&rel_speedups) - 1.0) * 100.0,
+        (mean(&rel_energies) - 1.0) * 100.0
+    );
+    println!("paper: table +41% speedup / +50% energy; neural +46% / +76% over random");
+}

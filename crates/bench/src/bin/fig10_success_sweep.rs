@@ -1,0 +1,118 @@
+//! Figure 10: energy-delay-product improvement versus success rate at
+//! 95% confidence, 5% quality loss.
+//!
+//! Tightening the required success rate forces a tighter threshold, fewer
+//! accelerator invocations, and therefore smaller EDP gains: "higher
+//! success rate provides higher statistical guarantee and therefore comes
+//! at a higher price."
+
+use mithra_bench::{collect_profiles_parallel, evaluate, DesignKind, ExperimentConfig, TextTable};
+use mithra_bench::runner::{PreparedBenchmark, VALIDATION_SEED_BASE};
+use mithra_core::function::{AcceleratedFunction, NpuTrainConfig};
+use mithra_core::pipeline::{compile_with_profiles, CompileConfig};
+use mithra_core::threshold::QualitySpec;
+use mithra_stats::descriptive::geomean;
+use std::sync::Arc;
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let quality = cfg.quality_levels.get(1).copied().unwrap_or(0.05);
+    let success_rates = [0.50, 0.60, 0.70, 0.80, 0.85, 0.90, 0.95];
+    println!(
+        "# Figure 10: EDP improvement vs success rate ({:.1}% quality, {:.0}% confidence)",
+        quality * 100.0,
+        cfg.confidence * 100.0
+    );
+    println!(
+        "# scale={:?} datasets={} validation={}\n",
+        cfg.scale, cfg.compile_datasets, cfg.validation_datasets
+    );
+
+    // Train + profile each benchmark once; re-certify per success rate.
+    struct Base {
+        function: AcceleratedFunction,
+        profiles: Vec<mithra_core::profile::DatasetProfile>,
+        validation: Vec<mithra_core::profile::DatasetProfile>,
+        name: &'static str,
+    }
+    let bases: Vec<Base> = cfg
+        .suite()
+        .into_iter()
+        .map(|bench| {
+            let name = bench.name();
+            let train_sets: Vec<_> = (0..10u64).map(|i| bench.dataset(i, cfg.scale)).collect();
+            let function = AcceleratedFunction::train(
+                Arc::clone(&bench),
+                &train_sets,
+                &NpuTrainConfig::default(),
+            )
+            .expect("NPU training succeeds");
+            let profiles =
+                collect_profiles_parallel(&function, 0, cfg.compile_datasets, cfg.scale);
+            let validation = collect_profiles_parallel(
+                &function,
+                VALIDATION_SEED_BASE,
+                cfg.validation_datasets,
+                cfg.scale,
+            );
+            Base {
+                function,
+                profiles,
+                validation,
+                name,
+            }
+        })
+        .collect();
+
+    let mut table = TextTable::new(["success rate", "EDP improvement (table)", "mean threshold"]);
+    for &s in &success_rates {
+        let mut edps = Vec::new();
+        let mut thresholds = Vec::new();
+        for base in &bases {
+            let compile_cfg = CompileConfig {
+                scale: cfg.scale,
+                compile_datasets: cfg.compile_datasets,
+                spec: match QualitySpec::new(quality, cfg.confidence, s) {
+                    Ok(sp) => sp,
+                    Err(e) => {
+                        eprintln!("invalid spec: {e}");
+                        continue;
+                    }
+                },
+                ..CompileConfig::default()
+            };
+            let compiled = match compile_with_profiles(
+                base.function.clone(),
+                base.profiles.clone(),
+                &compile_cfg,
+            ) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("{} @ S={s}: {e}", base.name);
+                    continue;
+                }
+            };
+            thresholds.push(f64::from(compiled.threshold.threshold));
+            let prepared = PreparedBenchmark {
+                name: base.name,
+                compiled,
+                validation: base.validation.clone(),
+            };
+            let summary = evaluate(&prepared, DesignKind::Table, quality).summary;
+            edps.push(summary.edp_improvement);
+        }
+        if edps.is_empty() {
+            continue;
+        }
+        table.row([
+            format!("{:.0}%", s * 100.0),
+            format!("{:.2}x", geomean(&edps).expect("positive EDP")),
+            format!(
+                "{:.4}",
+                thresholds.iter().sum::<f64>() / thresholds.len() as f64
+            ),
+        ]);
+    }
+    println!("{table}");
+    println!("paper: benefits decrease monotonically as the success rate rises");
+}

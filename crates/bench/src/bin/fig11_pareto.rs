@@ -1,0 +1,151 @@
+//! Figure 11: Pareto analysis of the table design space — {1,2,4,8}
+//! parallel tables × {0.125, 0.5, 2, 4} KB per table, scored by mean
+//! accelerator invocation rate at 5% quality loss.
+//!
+//! The paper finds (8T × 0.5KB) Pareto-optimal: more tables with distinct
+//! hash functions beat one big table because destructive aliasing, not raw
+//! capacity, is the limiter.
+
+use mithra_bench::{collect_profiles_parallel, ExperimentConfig, TextTable};
+use mithra_bench::runner::VALIDATION_SEED_BASE;
+use mithra_core::function::{AcceleratedFunction, NpuTrainConfig};
+use mithra_core::pipeline::quantizer_from_profiles;
+use mithra_core::table::{TableClassifier, TableDesign};
+use mithra_core::threshold::{QualitySpec, ThresholdOptimizer};
+use mithra_core::training::generate_training_data;
+use std::sync::Arc;
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let quality = cfg.quality_levels.get(1).copied().unwrap_or(0.05);
+    println!(
+        "# Figure 11: table design space Pareto analysis at {:.1}% quality loss",
+        quality * 100.0
+    );
+    println!(
+        "# scale={:?} datasets={} validation={}\n",
+        cfg.scale, cfg.compile_datasets, cfg.validation_datasets
+    );
+
+    // Per design point, mean invocation rate and quality across benchmarks.
+    let grid = TableDesign::pareto_grid();
+    let mut rates = vec![Vec::new(); grid.len()];
+    let mut losses = vec![Vec::new(); grid.len()];
+    let mut meets = vec![Vec::new(); grid.len()];
+
+    for bench in cfg.suite() {
+        let name = bench.name();
+        let train_sets: Vec<_> = (0..10u64).map(|i| bench.dataset(i, cfg.scale)).collect();
+        let function =
+            AcceleratedFunction::train(Arc::clone(&bench), &train_sets, &NpuTrainConfig::default())
+                .expect("NPU training succeeds");
+        let profiles = collect_profiles_parallel(&function, 0, cfg.compile_datasets, cfg.scale);
+        let spec = match QualitySpec::new(quality, cfg.confidence, cfg.success_rate) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("bad spec: {e}");
+                return;
+            }
+        };
+        let threshold = match ThresholdOptimizer::new(spec).optimize(&function, &profiles) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                continue;
+            }
+        };
+        let training =
+            generate_training_data(&profiles, threshold.threshold, 30_000, 0x7261_696E);
+        let quantizer = quantizer_from_profiles(&profiles);
+        let validation = collect_profiles_parallel(
+            &function,
+            VALIDATION_SEED_BASE,
+            cfg.validation_datasets,
+            cfg.scale,
+        );
+
+        // Choose the hash policy (granularity + vote threshold) once on
+        // the default design, then hold it fixed across the grid so the
+        // sweep isolates the *geometry* — the quantity Figure 11 varies.
+        let default_cls =
+            TableClassifier::train(TableDesign::paper_default(), quantizer.clone(), &training)
+                .expect("default design trains");
+        let levels = default_cls.quantizer().levels();
+        let vote = default_cls.vote_threshold();
+
+        for (g, design) in grid.iter().enumerate() {
+            let mut classifier = TableClassifier::train_with_policy(
+                *design,
+                quantizer.clone().with_levels(levels),
+                vote,
+                &training,
+            )
+            .expect("grid designs are valid");
+            let (mut rate_sum, mut loss_sum, mut ok) = (0.0, 0.0, 0usize);
+            for profile in &validation {
+                let replay = profile.replay_with_classifier(
+                    &function,
+                    &mut classifier,
+                    threshold.threshold,
+                    0,
+                );
+                rate_sum += replay.invocation_rate();
+                loss_sum += replay.quality_loss;
+                if replay.quality_loss <= quality {
+                    ok += 1;
+                }
+            }
+            let n = validation.len() as f64;
+            rates[g].push(rate_sum / n);
+            losses[g].push(loss_sum / n);
+            meets[g].push(ok as f64 / n);
+        }
+    }
+
+    let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let mut points: Vec<(TableDesign, f64, f64, f64)> = grid
+        .iter()
+        .enumerate()
+        .filter(|(g, _)| !rates[*g].is_empty())
+        .map(|(g, d)| (*d, mean(&rates[g]), mean(&losses[g]), mean(&meets[g])))
+        .collect();
+    points.sort_by(|a, b| a.0.total_kb().partial_cmp(&b.0.total_kb()).unwrap());
+
+    // Pareto frontier among quality-respecting designs: smallest size,
+    // largest invocation rate, success fraction within 2 points of the
+    // best (designs that buy invocations with missed rejects are not
+    // comparable points).
+    let best_meet = points.iter().map(|p| p.3).fold(0.0f64, f64::max);
+    let pareto: Vec<bool> = points
+        .iter()
+        .map(|(d, r, _, m)| {
+            *m >= best_meet - 0.02
+                && !points.iter().any(|(d2, r2, _, m2)| {
+                    *m2 >= best_meet - 0.02
+                        && ((d2.total_kb() < d.total_kb() && r2 >= r)
+                            || (d2.total_kb() <= d.total_kb() && r2 > r))
+                })
+        })
+        .collect();
+
+    let mut table = TextTable::new([
+        "design",
+        "total size (KB)",
+        "invocation rate",
+        "quality loss",
+        "datasets in target",
+        "pareto",
+    ]);
+    for ((design, rate, loss, meet), is_pareto) in points.iter().zip(&pareto) {
+        table.row([
+            design.to_string(),
+            format!("{:.3}", design.total_kb()),
+            format!("{:.1}%", rate * 100.0),
+            format!("{:.2}%", loss * 100.0),
+            format!("{:.0}%", meet * 100.0),
+            if *is_pareto { "*".to_string() } else { String::new() },
+        ]);
+    }
+    println!("{table}");
+    println!("paper: (8T x 0.5KB) is the Pareto-optimal default");
+}

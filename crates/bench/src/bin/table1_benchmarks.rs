@@ -1,0 +1,54 @@
+//! Table I: the benchmark suite and its error under full approximation.
+
+use mithra_bench::{collect_profiles_parallel, ExperimentConfig, TextTable};
+use mithra_core::function::{AcceleratedFunction, NpuTrainConfig};
+use std::sync::Arc;
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    println!("# Table I: benchmarks, quality metric, NPU topology, full-approximation error");
+    println!(
+        "# scale={:?} validation datasets={}\n",
+        cfg.scale, cfg.validation_datasets
+    );
+
+    let mut table = TextTable::new([
+        "benchmark",
+        "type",
+        "error metric",
+        "npu topology",
+        "invocations/ds",
+        "error (full approx)",
+        "paper",
+    ]);
+
+    for bench in cfg.suite() {
+        let train_sets: Vec<_> = (0..10u64).map(|i| bench.dataset(i, cfg.scale)).collect();
+        let function =
+            AcceleratedFunction::train(Arc::clone(&bench), &train_sets, &NpuTrainConfig::default())
+                .expect("NPU training succeeds on suite benchmarks");
+        // Unseen datasets, always invoking the accelerator.
+        let profiles = collect_profiles_parallel(
+            &function,
+            mithra_bench::runner::VALIDATION_SEED_BASE,
+            cfg.validation_datasets,
+            cfg.scale,
+        );
+        let mean_loss: f64 = profiles
+            .iter()
+            .map(|p| p.replay_with_threshold(&function, f32::INFINITY).quality_loss)
+            .sum::<f64>()
+            / profiles.len() as f64;
+
+        table.row([
+            bench.name().to_string(),
+            bench.domain().to_string(),
+            bench.quality_metric().to_string(),
+            bench.npu_topology().to_string(),
+            profiles[0].invocation_count().to_string(),
+            format!("{:.2}%", mean_loss * 100.0),
+            format!("{:.2}%", bench.paper_full_approx_error() * 100.0),
+        ]);
+    }
+    println!("{table}");
+}

@@ -1,0 +1,50 @@
+//! Table II: compressed table-classifier sizes and neural topologies.
+//!
+//! The 8T×0.5KB design is 4 KB uncompressed; BDI shrinks the mostly-zero
+//! tables (the paper reports 16× for blackscholes/fft/inversek2j/jmeint,
+//! little gain for jpeg/sobel whose tables are dense).
+
+use mithra_bench::{prepare, ExperimentConfig, TextTable};
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let quality = cfg.quality_levels.get(1).copied().unwrap_or(0.05);
+    println!("# Table II: classifier sizes at {:.1}% quality loss", quality * 100.0);
+    println!(
+        "# scale={:?} datasets={} confidence={} success-rate={}\n",
+        cfg.scale, cfg.compile_datasets, cfg.confidence, cfg.success_rate
+    );
+
+    let mut table = TextTable::new([
+        "benchmark",
+        "table uncompressed (KB)",
+        "table compressed (KB)",
+        "ratio",
+        "fill",
+        "neural topology",
+        "neural size (KB)",
+    ]);
+
+    for bench in cfg.suite() {
+        let name = bench.name();
+        match prepare(bench, &cfg, quality) {
+            Ok(prepared) => {
+                let stats = prepared.compiled.table.compress().stats();
+                table.row([
+                    name.to_string(),
+                    format!("{:.2}", stats.uncompressed_bytes as f64 / 1024.0),
+                    format!("{:.2}", stats.compressed_bytes as f64 / 1024.0),
+                    format!("{:.1}x", stats.ratio()),
+                    format!("{:.3}%", prepared.compiled.table.fill_ratio() * 100.0),
+                    prepared.compiled.neural.topology().to_string(),
+                    format!("{:.2}", prepared.compiled.neural.size_kb()),
+                ]);
+            }
+            Err(e) => {
+                table.row([name.to_string(), format!("uncertifiable: {e}")]);
+            }
+        }
+    }
+    println!("{table}");
+    println!("paper: blackscholes/fft/inversek2j/jmeint compress ~16x; jpeg/sobel barely compress");
+}

@@ -1,0 +1,87 @@
+//! §V-B text experiment: software-only classifier overhead.
+//!
+//! "The software implementation of the table-based and neural classifiers
+//! slow the average execution time by 2.9× and 9.6×, respectively. These
+//! results confirm the necessity of a co-designed hardware-software
+//! solution for quality control." We model the classifiers executing as
+//! plain core code on every invocation and compare against the
+//! hardware-assisted system.
+
+use mithra_bench::{evaluate, prepare, DesignKind, ExperimentConfig, TextTable};
+use mithra_sim::software::SoftwareClassifierCosts;
+use mithra_stats::descriptive::geomean;
+
+fn main() {
+    let cfg = ExperimentConfig::from_args();
+    let quality = cfg.quality_levels.get(1).copied().unwrap_or(0.05);
+    println!(
+        "# Software-only classifier overhead at {:.1}% quality loss",
+        quality * 100.0
+    );
+    println!(
+        "# scale={:?} datasets={} validation={}\n",
+        cfg.scale, cfg.compile_datasets, cfg.validation_datasets
+    );
+
+    let sw = SoftwareClassifierCosts::paper_default();
+    let mut table = TextTable::new([
+        "benchmark",
+        "hw table cycles/inv",
+        "sw table cycles/inv",
+        "sw table slowdown",
+        "sw neural cycles/inv",
+        "sw neural slowdown",
+    ]);
+    let (mut table_slowdowns, mut neural_slowdowns) = (Vec::new(), Vec::new());
+
+    for bench in cfg.suite() {
+        let name = bench.name();
+        let input_dim = bench.input_dim();
+        let prepared = match prepare(bench, &cfg, quality) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                continue;
+            }
+        };
+        let hw_table = evaluate(&prepared, DesignKind::Table, quality);
+        let hw_neural = evaluate(&prepared, DesignKind::Neural, quality);
+
+        let n_tables = prepared.compiled.table.design().tables;
+        let sw_table_cycles = sw.table_cycles(input_dim, n_tables);
+        let sw_neural_cycles = sw.neural_cycles(prepared.compiled.neural.topology());
+
+        // Software run: hardware-accelerated cycles plus the classifier
+        // executed on the core for every invocation.
+        let slowdown = |hw: &mithra_bench::EvalResult, extra_cycles: u64| -> f64 {
+            let mut ratio_sum = 0.0;
+            for run in &hw.runs {
+                let sw_cycles =
+                    run.accelerated_cycles + (extra_cycles * run.total as u64) as f64;
+                ratio_sum += sw_cycles / run.accelerated_cycles;
+            }
+            ratio_sum / hw.runs.len() as f64
+        };
+        let t_slow = slowdown(&hw_table, sw_table_cycles);
+        let n_slow = slowdown(&hw_neural, sw_neural_cycles);
+        table_slowdowns.push(t_slow);
+        neural_slowdowns.push(n_slow);
+
+        table.row([
+            name.to_string(),
+            "4".to_string(),
+            sw_table_cycles.to_string(),
+            format!("{t_slow:.2}x"),
+            sw_neural_cycles.to_string(),
+            format!("{n_slow:.2}x"),
+        ]);
+    }
+    println!("{table}");
+    if !table_slowdowns.is_empty() {
+        println!(
+            "geomean slowdown with software checks: table {:.1}x, neural {:.1}x (paper: 2.9x, 9.6x)",
+            geomean(&table_slowdowns).expect("positive"),
+            geomean(&neural_slowdowns).expect("positive")
+        );
+    }
+}

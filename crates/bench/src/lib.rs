@@ -1,0 +1,27 @@
+//! The experiment harness shared by every table/figure binary.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper. They all share this runner: command-line parsing, the per-
+//! benchmark compile flow (NPU training → profiling → threshold → both
+//! classifiers), parallel dataset profiling, validation-set simulation,
+//! and text-table printing.
+//!
+//! Scale knobs: every binary accepts
+//!
+//! ```text
+//! --scale smoke|full      dataset sizes (default full)
+//! --datasets N            compilation datasets (default 250, paper value)
+//! --validation N          validation datasets (default 250)
+//! --quality a,b,c         quality-loss levels (default 2.5,5,7.5,10 %)
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod runner;
+pub mod table_text;
+
+pub use runner::{
+    certify_at, collect_profiles_parallel, evaluate, prepare, prepare_base, BenchmarkBase,
+    DesignKind, EvalResult, ExperimentConfig, PreparedBenchmark,
+};
+pub use table_text::TextTable;

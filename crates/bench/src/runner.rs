@@ -1,0 +1,471 @@
+//! The shared experiment runner.
+
+use mithra_axbench::benchmark::Benchmark;
+use mithra_axbench::dataset::DatasetScale;
+use mithra_core::classifier::Classifier;
+use mithra_core::function::{AcceleratedFunction, NpuTrainConfig};
+use mithra_core::pipeline::{compile_with_profiles, CompileConfig, Compiled};
+use mithra_core::profile::DatasetProfile;
+use mithra_core::random::RandomFilter;
+use mithra_core::threshold::QualitySpec;
+use mithra_core::Result;
+use mithra_sim::report::BenchmarkSummary;
+use mithra_sim::system::{simulate, RunResult, SimOptions};
+use std::sync::Arc;
+
+/// Seed offset separating validation datasets from compilation datasets —
+/// the paper's "250 different unseen datasets".
+pub const VALIDATION_SEED_BASE: u64 = 1_000_000;
+
+/// Experiment-wide configuration, parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Dataset scale.
+    pub scale: DatasetScale,
+    /// Number of compilation datasets (paper: 250).
+    pub compile_datasets: usize,
+    /// Number of unseen validation datasets (paper: 250).
+    pub validation_datasets: usize,
+    /// Quality-loss levels to sweep (fractions).
+    pub quality_levels: Vec<f64>,
+    /// Confidence level β.
+    pub confidence: f64,
+    /// Required success rate S.
+    pub success_rate: f64,
+    /// Benchmarks to run (defaults to the whole suite).
+    pub benchmarks: Vec<String>,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            scale: DatasetScale::Full,
+            compile_datasets: 250,
+            validation_datasets: 250,
+            quality_levels: vec![0.025, 0.05, 0.075, 0.10],
+            confidence: 0.95,
+            success_rate: 0.90,
+            benchmarks: mithra_axbench::suite::all()
+                .iter()
+                .map(|b| b.name().to_string())
+                .collect(),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Parses `--scale`, `--datasets`, `--validation`, `--quality`,
+    /// `--confidence`, `--success-rate` and `--bench` from the process
+    /// arguments; unknown arguments abort with a usage message.
+    pub fn from_args() -> Self {
+        Self::from_arg_list(&std::env::args().skip(1).collect::<Vec<_>>())
+    }
+
+    /// Parses an explicit argument list (see [`from_args`](Self::from_args)).
+    pub fn from_arg_list(args: &[String]) -> Self {
+        let mut cfg = Self::default();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            let value = args.get(i + 1).cloned();
+            let take = |v: Option<String>| -> String {
+                v.unwrap_or_else(|| {
+                    eprintln!("missing value for {flag}");
+                    std::process::exit(2);
+                })
+            };
+            match flag {
+                "--scale" => {
+                    cfg.scale = match take(value).as_str() {
+                        "smoke" => DatasetScale::Smoke,
+                        "full" => DatasetScale::Full,
+                        other => {
+                            eprintln!("unknown scale `{other}` (smoke|full)");
+                            std::process::exit(2);
+                        }
+                    };
+                    i += 2;
+                }
+                "--datasets" => {
+                    cfg.compile_datasets = take(value).parse().expect("--datasets N");
+                    i += 2;
+                }
+                "--validation" => {
+                    cfg.validation_datasets = take(value).parse().expect("--validation N");
+                    i += 2;
+                }
+                "--quality" => {
+                    cfg.quality_levels = take(value)
+                        .split(',')
+                        .map(|s| s.trim().parse::<f64>().expect("--quality a,b,c") / 100.0)
+                        .collect();
+                    i += 2;
+                }
+                "--confidence" => {
+                    cfg.confidence = take(value).parse().expect("--confidence 0.95");
+                    i += 2;
+                }
+                "--success-rate" => {
+                    cfg.success_rate = take(value).parse().expect("--success-rate 0.90");
+                    i += 2;
+                }
+                "--bench" => {
+                    cfg.benchmarks = take(value).split(',').map(str::to_string).collect();
+                    i += 2;
+                }
+                other => {
+                    eprintln!(
+                        "unknown argument `{other}`\n\
+                         usage: --scale smoke|full --datasets N --validation N \
+                         --quality 2.5,5,7.5,10 --confidence 0.95 --success-rate 0.90 \
+                         --bench name,name"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        cfg
+    }
+
+    /// The quality spec at one quality level.
+    pub fn spec(&self, quality: f64) -> Result<QualitySpec> {
+        QualitySpec::new(quality, self.confidence, self.success_rate)
+    }
+
+    /// The suite members selected by `--bench`.
+    pub fn suite(&self) -> Vec<Arc<dyn Benchmark>> {
+        self.benchmarks
+            .iter()
+            .map(|n| {
+                let b: Arc<dyn Benchmark> = mithra_axbench::suite::by_name(n)
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown benchmark `{n}`");
+                        std::process::exit(2);
+                    })
+                    .into();
+                b
+            })
+            .collect()
+    }
+}
+
+/// Profiles `count` datasets in parallel across available cores.
+pub fn collect_profiles_parallel(
+    function: &AcceleratedFunction,
+    seed_base: u64,
+    count: usize,
+    scale: DatasetScale,
+) -> Vec<DatasetProfile> {
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(count.max(1));
+    let mut slots: Vec<Option<DatasetProfile>> = (0..count).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (t, chunk) in slots.chunks_mut(count.div_ceil(threads)).enumerate() {
+            let start = t * count.div_ceil(threads);
+            scope.spawn(move |_| {
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    let seed = seed_base + (start + off) as u64;
+                    let ds = function.dataset(seed, scale);
+                    *slot = Some(DatasetProfile::collect(function, ds));
+                }
+            });
+        }
+    })
+    .expect("profiling threads do not panic");
+    slots.into_iter().map(|s| s.expect("all slots filled")).collect()
+}
+
+/// A benchmark compiled at one quality level, with its validation
+/// profiles ready to simulate.
+#[derive(Debug)]
+pub struct PreparedBenchmark {
+    /// The benchmark name.
+    pub name: &'static str,
+    /// The compile-flow output.
+    pub compiled: Compiled,
+    /// Profiles of the unseen validation datasets.
+    pub validation: Vec<DatasetProfile>,
+}
+
+/// The quality-independent part of an experiment: trained NPU plus
+/// compile and validation profiles. Sweeps over quality levels or
+/// success rates re-certify against this base instead of re-profiling.
+#[derive(Debug)]
+pub struct BenchmarkBase {
+    /// The benchmark name.
+    pub name: &'static str,
+    /// The benchmark bound to its trained accelerator.
+    pub function: AcceleratedFunction,
+    /// Profiles of the compilation datasets.
+    pub profiles: Vec<DatasetProfile>,
+    /// Profiles of the unseen validation datasets.
+    pub validation: Vec<DatasetProfile>,
+}
+
+/// Trains the NPU and profiles both dataset populations — everything that
+/// does not depend on the quality level.
+pub fn prepare_base(
+    benchmark: Arc<dyn Benchmark>,
+    config: &ExperimentConfig,
+) -> Result<BenchmarkBase> {
+    let name = benchmark.name();
+    let train_sets: Vec<_> = (0..10.min(config.compile_datasets.max(1) as u64))
+        .map(|i| benchmark.dataset(i, config.scale))
+        .collect();
+    let function =
+        AcceleratedFunction::train(Arc::clone(&benchmark), &train_sets, &NpuTrainConfig::default())?;
+    let profiles =
+        collect_profiles_parallel(&function, 0, config.compile_datasets, config.scale);
+    let validation = collect_profiles_parallel(
+        &function,
+        VALIDATION_SEED_BASE,
+        config.validation_datasets,
+        config.scale,
+    );
+    Ok(BenchmarkBase {
+        name,
+        function,
+        profiles,
+        validation,
+    })
+}
+
+/// Certifies one quality level against a prepared base and trains the
+/// classifiers — the quality-dependent remainder of the compile flow.
+///
+/// # Errors
+///
+/// Propagates certification and training failures.
+pub fn certify_at(
+    base: &BenchmarkBase,
+    config: &ExperimentConfig,
+    quality: f64,
+) -> Result<PreparedBenchmark> {
+    let compile_cfg = CompileConfig {
+        scale: config.scale,
+        compile_datasets: config.compile_datasets,
+        seed_base: 0,
+        spec: config.spec(quality)?,
+        ..CompileConfig::default()
+    };
+    let compiled =
+        compile_with_profiles(base.function.clone(), base.profiles.clone(), &compile_cfg)?;
+    Ok(PreparedBenchmark {
+        name: base.name,
+        compiled,
+        validation: base.validation.clone(),
+    })
+}
+
+/// Runs the compile flow for one benchmark at one quality level and
+/// profiles its validation set.
+///
+/// # Errors
+///
+/// Propagates compile-flow failures (most notably
+/// [`mithra_core::MithraError::Uncertifiable`]).
+pub fn prepare(
+    benchmark: Arc<dyn Benchmark>,
+    config: &ExperimentConfig,
+    quality: f64,
+) -> Result<PreparedBenchmark> {
+    let name = benchmark.name();
+    let compile_cfg = CompileConfig {
+        scale: config.scale,
+        compile_datasets: config.compile_datasets,
+        seed_base: 0,
+        spec: config.spec(quality)?,
+        npu: NpuTrainConfig::default(),
+        npu_train_datasets: 10.min(config.compile_datasets.max(1)),
+        ..CompileConfig::default()
+    };
+
+    // Train the NPU, profile compile datasets in parallel, then hand the
+    // profiles to the (sequential) certification and training stages.
+    let train_sets: Vec<_> = (0..compile_cfg.npu_train_datasets as u64)
+        .map(|i| benchmark.dataset(i, config.scale))
+        .collect();
+    let function =
+        AcceleratedFunction::train(Arc::clone(&benchmark), &train_sets, &compile_cfg.npu)?;
+    let profiles = collect_profiles_parallel(
+        &function,
+        compile_cfg.seed_base,
+        compile_cfg.compile_datasets,
+        config.scale,
+    );
+    let compiled = compile_with_profiles(function, profiles, &compile_cfg)?;
+
+    let validation = collect_profiles_parallel(
+        &compiled.function,
+        VALIDATION_SEED_BASE,
+        config.validation_datasets,
+        config.scale,
+    );
+    Ok(PreparedBenchmark {
+        name,
+        compiled,
+        validation,
+    })
+}
+
+/// Which design drives the quality-control decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DesignKind {
+    /// The ideal, infeasible oracle.
+    Oracle,
+    /// The MISR multi-table classifier.
+    Table,
+    /// The MLP classifier run on the NPU.
+    Neural,
+    /// Input-oblivious random filtering at the given invocation rate.
+    Random(f64),
+    /// Always invoke the accelerator (no quality control).
+    AlwaysApproximate,
+}
+
+impl DesignKind {
+    /// Display name matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DesignKind::Oracle => "oracle",
+            DesignKind::Table => "table",
+            DesignKind::Neural => "neural",
+            DesignKind::Random(_) => "random",
+            DesignKind::AlwaysApproximate => "always",
+        }
+    }
+}
+
+/// The evaluation of one design on one prepared benchmark.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// Per-validation-dataset simulation results.
+    pub runs: Vec<RunResult>,
+    /// The aggregate.
+    pub summary: BenchmarkSummary,
+}
+
+/// Simulates `design` over every validation dataset of `prepared`.
+pub fn evaluate(prepared: &PreparedBenchmark, design: DesignKind, quality: f64) -> EvalResult {
+    let options = SimOptions::default();
+    let runs: Vec<RunResult> = prepared
+        .validation
+        .iter()
+        .map(|profile| {
+            let mut classifier: Box<dyn Classifier> = match design {
+                DesignKind::Oracle => Box::new(prepared.compiled.oracle_for(profile)),
+                DesignKind::Table => Box::new(prepared.compiled.table.clone()),
+                DesignKind::Neural => Box::new(prepared.compiled.neural.clone()),
+                DesignKind::Random(rate) => {
+                    Box::new(RandomFilter::new(rate, profile.dataset().seed()))
+                }
+                DesignKind::AlwaysApproximate => Box::new(RandomFilter::new(1.0, 0)),
+            };
+            simulate(&prepared.compiled, profile, classifier.as_mut(), &options)
+        })
+        .collect();
+    let summary = BenchmarkSummary::from_runs(&runs, quality);
+    EvalResult { runs, summary }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_config() -> ExperimentConfig {
+        ExperimentConfig {
+            scale: DatasetScale::Smoke,
+            compile_datasets: 15,
+            validation_datasets: 8,
+            quality_levels: vec![0.10],
+            confidence: 0.9,
+            success_rate: 0.5,
+            benchmarks: vec!["sobel".into()],
+        }
+    }
+
+    #[test]
+    fn prepare_and_evaluate_sobel() {
+        let cfg = smoke_config();
+        let bench = cfg.suite().remove(0);
+        let prepared = prepare(bench, &cfg, 0.10).unwrap();
+        assert_eq!(prepared.validation.len(), 8);
+
+        let oracle = evaluate(&prepared, DesignKind::Oracle, 0.10);
+        let table = evaluate(&prepared, DesignKind::Table, 0.10);
+        assert_eq!(oracle.runs.len(), 8);
+        // The oracle never makes false decisions.
+        assert_eq!(oracle.summary.false_positive_rate, 0.0);
+        assert_eq!(oracle.summary.false_negative_rate, 0.0);
+        // The oracle's invocation rate upper-bounds the table's
+        // (both at the same threshold; the table is conservative).
+        assert!(
+            oracle.summary.invocation_rate >= table.summary.invocation_rate - 0.05,
+            "oracle {} vs table {}",
+            oracle.summary.invocation_rate,
+            table.summary.invocation_rate
+        );
+    }
+
+    #[test]
+    fn parallel_profiling_matches_sequential() {
+        let cfg = smoke_config();
+        let bench = cfg.suite().remove(0);
+        let train_sets: Vec<_> = (0..2).map(|i| bench.dataset(i, cfg.scale)).collect();
+        let f = AcceleratedFunction::train(
+            bench,
+            &train_sets,
+            &NpuTrainConfig {
+                epochs: Some(20),
+                max_samples: 1000,
+                seed: 5,
+            },
+        )
+        .unwrap();
+        let par = collect_profiles_parallel(&f, 40, 6, cfg.scale);
+        for (i, p) in par.iter().enumerate() {
+            let ds = f.dataset(40 + i as u64, cfg.scale);
+            let seq = DatasetProfile::collect(&f, ds);
+            assert_eq!(p.errors(), seq.errors(), "profile {i} differs");
+        }
+    }
+
+    #[test]
+    fn design_labels() {
+        assert_eq!(DesignKind::Oracle.label(), "oracle");
+        assert_eq!(DesignKind::Random(0.5).label(), "random");
+    }
+
+    #[test]
+    fn arg_list_parsing() {
+        let args: Vec<String> = [
+            "--scale", "smoke", "--datasets", "33", "--validation", "7",
+            "--quality", "2.5,5", "--confidence", "0.9", "--success-rate", "0.8",
+            "--bench", "sobel,fft",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let cfg = ExperimentConfig::from_arg_list(&args);
+        assert_eq!(cfg.scale, DatasetScale::Smoke);
+        assert_eq!(cfg.compile_datasets, 33);
+        assert_eq!(cfg.validation_datasets, 7);
+        assert_eq!(cfg.quality_levels, vec![0.025, 0.05]);
+        assert_eq!(cfg.confidence, 0.9);
+        assert_eq!(cfg.success_rate, 0.8);
+        assert_eq!(cfg.benchmarks, vec!["sobel".to_string(), "fft".to_string()]);
+        assert_eq!(cfg.suite().len(), 2);
+    }
+
+    #[test]
+    fn empty_arg_list_gives_paper_defaults() {
+        let cfg = ExperimentConfig::from_arg_list(&[]);
+        assert_eq!(cfg.compile_datasets, 250);
+        assert_eq!(cfg.validation_datasets, 250);
+        assert_eq!(cfg.confidence, 0.95);
+        assert_eq!(cfg.success_rate, 0.90);
+        assert_eq!(cfg.benchmarks.len(), 6);
+    }
+}

@@ -1,0 +1,257 @@
+//! The MITHRA binary section — how a compiled configuration ships inside
+//! the program executable.
+//!
+//! The compile flow's outputs "are incorporated in the accelerator
+//! configuration and loaded in the classifiers when the program is loaded
+//! to the memory for execution" (§III). This module defines that artifact
+//! concretely: a versioned, self-describing byte section containing
+//!
+//! * the accelerator's config-FIFO word stream (topology + Q16.16 weights),
+//! * the certified threshold,
+//! * the table classifier (MISR configurations, quantizer, BDI-compressed
+//!   table content),
+//! * the neural classifier's config stream,
+//!
+//! with encode/decode round-tripping through plain bytes — what a loader
+//! would map and stream to the hardware.
+
+use crate::misr::InputQuantizer;
+use crate::neural::NeuralClassifier;
+use crate::pipeline::Compiled;
+use crate::table::TableClassifier;
+use crate::{MithraError, Result};
+use mithra_npu::config as npu_config;
+use mithra_npu::train::Normalizer;
+use serde::{Deserialize, Serialize};
+
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+/// Section magic: "MTHR".
+pub const MAGIC: [u8; 4] = *b"MTHR";
+
+/// The deserialized content of a MITHRA binary section.
+///
+/// The section carries everything the runtime needs *except* the precise
+/// function itself (which is ordinary program text) and the benchmark's
+/// application layer (which is the program). Loading therefore pairs a
+/// section with a benchmark to rebuild a runnable system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinarySection {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// The accelerator's config-FIFO word stream.
+    pub accelerator_words: Vec<u32>,
+    /// Input/output normalizers of the accelerated function.
+    pub input_norm: Normalizer,
+    /// Output normalizer (see [`input_norm`](Self::input_norm)).
+    pub output_norm: Normalizer,
+    /// The certified accelerator-error threshold.
+    pub threshold: f32,
+    /// The trained table classifier (tables stored uncompressed in the
+    /// serialized form; the loader applies BDI when sizing the image —
+    /// see [`compressed_table_bytes`](Self::compressed_table_bytes)).
+    pub table: TableClassifier,
+    /// The neural classifier's config-FIFO word stream.
+    pub neural_words: Vec<u32>,
+    /// The neural classifier's input quantizer/normalizer.
+    pub neural_input_norm: Normalizer,
+}
+
+impl BinarySection {
+    /// Captures a compiled application into a section.
+    pub fn capture(compiled: &Compiled) -> Self {
+        Self {
+            version: FORMAT_VERSION,
+            accelerator_words: npu_config::encode(compiled.function.npu()),
+            input_norm: compiled.function.input_normalizer().clone(),
+            output_norm: compiled.function.output_normalizer().clone(),
+            threshold: compiled.threshold.threshold,
+            table: compiled.table.clone(),
+            neural_words: npu_config::encode(compiled.neural.network()),
+            neural_input_norm: compiled.neural.input_normalizer().clone(),
+        }
+    }
+
+    /// Serializes the section to bytes: magic, a little-endian length, and
+    /// a JSON payload (a self-describing container keeps the format
+    /// inspectable; hardware-bound streams inside it are already word
+    /// encodings).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload = serde_json::to_vec(self).expect("section serializes");
+        let mut out = Vec::with_capacity(8 + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Parses a section from bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MithraError::InvalidConfig`] for a malformed or
+    /// wrong-version section.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let bad = |constraint: &'static str| MithraError::InvalidConfig {
+            parameter: "binary section",
+            constraint,
+        };
+        if bytes.len() < 8 || bytes[..4] != MAGIC {
+            return Err(bad("starts with the MTHR magic"));
+        }
+        let len = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+        if bytes.len() < 8 + len {
+            return Err(bad("payload length matches the header"));
+        }
+        let section: BinarySection = serde_json::from_slice(&bytes[8..8 + len])
+            .map_err(|_| bad("contains a valid payload"))?;
+        if section.version != FORMAT_VERSION {
+            return Err(bad("matches the supported format version"));
+        }
+        Ok(section)
+    }
+
+    /// Rebuilds the runtime classifiers and accelerator from the section.
+    ///
+    /// # Errors
+    ///
+    /// Propagates config-stream decoding failures.
+    pub fn load(
+        &self,
+        benchmark: std::sync::Arc<dyn mithra_axbench::benchmark::Benchmark>,
+    ) -> Result<LoadedSection> {
+        let npu = npu_config::decode(&self.accelerator_words)?;
+        let function = crate::function::AcceleratedFunction::from_parts(
+            benchmark,
+            npu,
+            self.input_norm.clone(),
+            self.output_norm.clone(),
+        );
+        let neural_mlp = npu_config::decode(&self.neural_words)?;
+        let neural = NeuralClassifier::from_parts(neural_mlp, self.neural_input_norm.clone());
+        Ok(LoadedSection {
+            function,
+            threshold: self.threshold,
+            table: self.table.clone(),
+            neural,
+        })
+    }
+
+    /// Size of the table content after BDI compression — what the image
+    /// actually carries (paper Table II).
+    pub fn compressed_table_bytes(&self) -> usize {
+        self.table.compress().stats().compressed_bytes
+    }
+
+    /// The quantizer the table classifier hashes through.
+    pub fn table_quantizer(&self) -> &InputQuantizer {
+        self.table.quantizer()
+    }
+}
+
+/// A binary section rebuilt into runnable runtime components.
+#[derive(Debug)]
+pub struct LoadedSection {
+    /// The accelerated function (benchmark + decoded NPU).
+    pub function: crate::function::AcceleratedFunction,
+    /// The certified threshold.
+    pub threshold: f32,
+    /// The table classifier, ready to decide.
+    pub table: TableClassifier,
+    /// The neural classifier, ready to decide.
+    pub neural: NeuralClassifier,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::Classifier;
+    use crate::pipeline::{compile, CompileConfig};
+    use mithra_axbench::benchmark::Benchmark;
+    use mithra_axbench::dataset::DatasetScale;
+    use mithra_axbench::suite;
+    use std::sync::Arc;
+
+    fn compiled() -> (Arc<dyn Benchmark>, Compiled) {
+        let bench: Arc<dyn Benchmark> = suite::by_name("inversek2j").unwrap().into();
+        let c = compile(Arc::clone(&bench), &CompileConfig::smoke()).unwrap();
+        (bench, c)
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let (_, c) = compiled();
+        let section = BinarySection::capture(&c);
+        let bytes = section.to_bytes();
+        let parsed = BinarySection::from_bytes(&bytes).unwrap();
+        assert_eq!(parsed, section);
+    }
+
+    #[test]
+    fn loaded_section_reproduces_decisions() {
+        let (bench, c) = compiled();
+        let section = BinarySection::capture(&c);
+        let loaded = section.load(Arc::clone(&bench)).unwrap();
+        assert_eq!(loaded.threshold, c.threshold.threshold);
+
+        let ds = bench.dataset(12_345, DatasetScale::Smoke);
+        let mut original_table = c.table.clone();
+        let mut loaded_table = loaded.table.clone();
+        let mut original_neural = c.neural.clone();
+        let mut loaded_neural = loaded.neural.clone();
+        for (i, input) in ds.iter().enumerate() {
+            assert_eq!(
+                original_table.classify(i, input),
+                loaded_table.classify(i, input),
+                "table decision diverged at {i}"
+            );
+            assert_eq!(
+                original_neural.classify(i, input),
+                loaded_neural.classify(i, input),
+                "neural decision diverged at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn loaded_accelerator_matches_original_outputs() {
+        let (bench, c) = compiled();
+        let section = BinarySection::capture(&c);
+        let loaded = section.load(Arc::clone(&bench)).unwrap();
+        let ds = bench.dataset(54_321, DatasetScale::Smoke);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for input in ds.iter().take(32) {
+            c.function.approx_into(input, &mut a);
+            loaded.function.approx_into(input, &mut b);
+            for (x, y) in a.iter().zip(&b) {
+                // Q16.16 weight quantization bounds the divergence.
+                assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_sections_rejected() {
+        let (_, c) = compiled();
+        let bytes = BinarySection::capture(&c).to_bytes();
+        assert!(BinarySection::from_bytes(&[]).is_err());
+        assert!(BinarySection::from_bytes(b"NOPE0000").is_err());
+        assert!(BinarySection::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+        let mut bad_version = bytes.clone();
+        // Corrupt the payload.
+        let n = bad_version.len();
+        bad_version[n / 2] = 0;
+        let _ = BinarySection::from_bytes(&bad_version); // must not panic
+    }
+
+    #[test]
+    fn compressed_size_matches_table_ii_accounting() {
+        let (_, c) = compiled();
+        let section = BinarySection::capture(&c);
+        assert_eq!(
+            section.compressed_table_bytes(),
+            c.table.compress().stats().compressed_bytes
+        );
+        assert!(section.table_quantizer().dims() > 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Architectural state and context-switch cost (paper §III).
+//!
+//! "The configurations of both the accelerator and MITHRA are part of the
+//! architectural state. Therefore, the operating system must save and
+//! restore the configuration data for both the accelerator and MITHRA on
+//! a context switch. To reduce context switch overheads, the OS can use
+//! the same lazy context switch techniques that are typically used with
+//! floating point units."
+//!
+//! This module sizes that state (accelerator config stream + compressed
+//! classifier content) and models eager versus lazy save/restore costs.
+
+use crate::pipeline::Compiled;
+use mithra_npu::config as npu_config;
+
+/// The saved architectural state of an accelerated process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchitecturalState {
+    /// Bytes of the accelerator (NPU) configuration stream.
+    pub accelerator_bytes: usize,
+    /// Bytes of the table classifier, BDI-compressed.
+    pub table_bytes: usize,
+    /// Bytes of the neural classifier configuration stream.
+    pub neural_bytes: usize,
+}
+
+impl ArchitecturalState {
+    /// Sizes the state of a compiled application.
+    pub fn of(compiled: &Compiled) -> Self {
+        Self {
+            accelerator_bytes: npu_config::encoded_bytes(compiled.function.npu().topology()),
+            table_bytes: compiled.table.compress().stats().compressed_bytes,
+            neural_bytes: npu_config::encoded_bytes(compiled.neural.topology()),
+        }
+    }
+
+    /// Total bytes the OS must save and restore.
+    pub fn total_bytes(&self) -> usize {
+        self.accelerator_bytes + self.table_bytes + self.neural_bytes
+    }
+}
+
+/// Cost model for saving/restoring the state across context switches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContextSwitchModel {
+    /// Bytes the memory system moves per cycle during state transfer.
+    pub bytes_per_cycle: f64,
+    /// Fixed cycles per save or restore (trap + bookkeeping).
+    pub fixed_cycles: f64,
+    /// Probability that a process touches the accelerator between two
+    /// consecutive context switches (drives the lazy model).
+    pub touch_probability: f64,
+}
+
+impl ContextSwitchModel {
+    /// A DDR3-era default: 16 B/cycle effective, 200-cycle fixed cost,
+    /// and a workload that touches the accelerator 30% of the quanta.
+    pub fn default_model() -> Self {
+        Self {
+            bytes_per_cycle: 16.0,
+            fixed_cycles: 200.0,
+            touch_probability: 0.3,
+        }
+    }
+
+    /// Cycles for one eager switch: save + restore unconditionally.
+    pub fn eager_cycles(&self, state: &ArchitecturalState) -> f64 {
+        2.0 * (self.fixed_cycles + state.total_bytes() as f64 / self.bytes_per_cycle)
+    }
+
+    /// Expected cycles for one lazy switch: the state moves only when the
+    /// incoming process actually touches the accelerator (plus the cheap
+    /// trap that arms the lazy fault).
+    pub fn lazy_expected_cycles(&self, state: &ArchitecturalState) -> f64 {
+        self.fixed_cycles
+            + self.touch_probability
+                * (self.fixed_cycles + 2.0 * state.total_bytes() as f64 / self.bytes_per_cycle)
+    }
+
+    /// The saving factor of lazy over eager switching.
+    pub fn lazy_saving(&self, state: &ArchitecturalState) -> f64 {
+        self.eager_cycles(state) / self.lazy_expected_cycles(state)
+    }
+}
+
+impl Default for ContextSwitchModel {
+    fn default() -> Self {
+        Self::default_model()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{compile, CompileConfig};
+    use mithra_axbench::benchmark::Benchmark;
+    use mithra_axbench::suite;
+    use std::sync::Arc;
+
+    fn state() -> ArchitecturalState {
+        let bench: Arc<dyn Benchmark> = suite::by_name("inversek2j").unwrap().into();
+        let compiled = compile(bench, &CompileConfig::smoke()).unwrap();
+        ArchitecturalState::of(&compiled)
+    }
+
+    #[test]
+    fn state_sizes_are_plausible() {
+        let s = state();
+        // inversek2j: 2->8->2 NPU (~34 params) plus a mostly-empty 4 KB
+        // table compressed well below 4 KB, plus a small classifier net.
+        assert!(s.accelerator_bytes > 100 && s.accelerator_bytes < 1024);
+        assert!(s.table_bytes < 4096);
+        assert!(s.neural_bytes > 0);
+        assert_eq!(
+            s.total_bytes(),
+            s.accelerator_bytes + s.table_bytes + s.neural_bytes
+        );
+    }
+
+    #[test]
+    fn lazy_beats_eager_for_rarely_touching_workloads() {
+        let s = state();
+        let m = ContextSwitchModel {
+            touch_probability: 0.1,
+            ..ContextSwitchModel::default_model()
+        };
+        assert!(m.lazy_saving(&s) > 1.0);
+    }
+
+    #[test]
+    fn always_touching_workloads_gain_nothing_from_lazy() {
+        let s = state();
+        let m = ContextSwitchModel {
+            touch_probability: 1.0,
+            ..ContextSwitchModel::default_model()
+        };
+        // Lazy pays the arming trap on top of the full transfer.
+        assert!(m.lazy_saving(&s) <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn bigger_state_costs_more() {
+        let s = state();
+        let double = ArchitecturalState {
+            accelerator_bytes: s.accelerator_bytes * 2,
+            table_bytes: s.table_bytes * 2,
+            neural_bytes: s.neural_bytes * 2,
+        };
+        let m = ContextSwitchModel::default_model();
+        assert!(m.eager_cycles(&double) > m.eager_cycles(&s));
+    }
+}

@@ -1,0 +1,106 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by MITHRA's compile pipeline and classifiers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MithraError {
+    /// A configuration value was invalid.
+    InvalidConfig {
+        /// Which parameter was rejected.
+        parameter: &'static str,
+        /// The constraint it violates.
+        constraint: &'static str,
+    },
+    /// The statistical optimizer could not certify any threshold for the
+    /// requested quality specification.
+    Uncertifiable {
+        /// The quality-loss target that could not be certified.
+        quality_target: f64,
+        /// The success rate that was required.
+        required_rate: f64,
+        /// The best certified rate achievable (at threshold zero).
+        best_rate: f64,
+    },
+    /// Not enough profiled data to train or certify.
+    InsufficientData {
+        /// What was being attempted.
+        stage: &'static str,
+        /// How many items were available.
+        available: usize,
+        /// How many were needed.
+        needed: usize,
+    },
+    /// An error bubbled up from the NPU substrate.
+    Npu(mithra_npu::NpuError),
+    /// An error bubbled up from the statistics substrate.
+    Stats(mithra_stats::StatsError),
+}
+
+impl fmt::Display for MithraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MithraError::InvalidConfig { parameter, constraint } => {
+                write!(f, "invalid configuration `{parameter}`: expected {constraint}")
+            }
+            MithraError::Uncertifiable {
+                quality_target,
+                required_rate,
+                best_rate,
+            } => write!(
+                f,
+                "cannot certify quality target {quality_target} at success rate {required_rate} \
+                 (best certified rate {best_rate})"
+            ),
+            MithraError::InsufficientData { stage, available, needed } => {
+                write!(f, "{stage} needs {needed} items but only {available} are available")
+            }
+            MithraError::Npu(e) => write!(f, "accelerator error: {e}"),
+            MithraError::Stats(e) => write!(f, "statistics error: {e}"),
+        }
+    }
+}
+
+impl Error for MithraError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MithraError::Npu(e) => Some(e),
+            MithraError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<mithra_npu::NpuError> for MithraError {
+    fn from(e: mithra_npu::NpuError) -> Self {
+        MithraError::Npu(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<mithra_stats::StatsError> for MithraError {
+    fn from(e: mithra_stats::StatsError) -> Self {
+        MithraError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MithraError>();
+    }
+
+    #[test]
+    fn source_chains() {
+        let e = MithraError::Npu(mithra_npu::NpuError::InvalidTrainingSet {
+            reason: "no samples",
+        });
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("accelerator error"));
+    }
+}

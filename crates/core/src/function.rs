@@ -1,0 +1,242 @@
+//! The accelerated target function: a benchmark's kernel bound to its
+//! trained NPU configuration.
+//!
+//! This couples a [`Benchmark`] with the trained network and the
+//! input/output normalizers the NPU compiler fits. It also defines the
+//! **accelerator error** of an invocation: the paper's Equation (1)
+//! compares precise and approximate output vectors element-wise against
+//! the threshold, and MITHRA deems an invocation unacceptable if *any*
+//! element exceeds it. Errors are measured in normalized output space so a
+//! single threshold is meaningful across output dimensions with different
+//! physical scales.
+
+use crate::Result;
+use mithra_axbench::benchmark::Benchmark;
+use mithra_axbench::dataset::{Dataset, DatasetScale};
+use mithra_npu::mlp::{Activation, Mlp};
+use mithra_npu::train::{Normalizer, Trainer};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Settings for offline NPU training.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NpuTrainConfig {
+    /// Training epochs; `None` uses the benchmark's suggested count.
+    pub epochs: Option<usize>,
+    /// Cap on (input, output) samples drawn from the training datasets.
+    pub max_samples: usize,
+    /// RNG seed for sampling and weight initialization.
+    pub seed: u64,
+}
+
+impl Default for NpuTrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: None,
+            max_samples: 20_000,
+            seed: 0x4E50_5545,
+        }
+    }
+}
+
+/// A benchmark kernel bound to its trained approximate accelerator.
+#[derive(Debug, Clone)]
+pub struct AcceleratedFunction {
+    benchmark: Arc<dyn Benchmark>,
+    npu: Mlp,
+    input_norm: Normalizer,
+    output_norm: Normalizer,
+}
+
+impl AcceleratedFunction {
+    /// Trains the NPU on profile samples drawn from `datasets` and binds
+    /// it to the benchmark.
+    ///
+    /// This is the standard NPU compilation workflow (paper \[16\]): profile
+    /// the target function, normalize, train a fixed-topology MLP offline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates NPU training failures (e.g. no samples).
+    pub fn train(
+        benchmark: Arc<dyn Benchmark>,
+        datasets: &[Dataset],
+        config: &NpuTrainConfig,
+    ) -> Result<Self> {
+        // Collect raw (input, precise output) pairs, subsampled.
+        let mut pairs: Vec<(Vec<f32>, Vec<f32>)> = Vec::new();
+        let mut out = Vec::with_capacity(benchmark.output_dim());
+        for ds in datasets {
+            for input in ds.iter() {
+                benchmark.precise(input, &mut out);
+                pairs.push((input.to_vec(), out.clone()));
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        pairs.shuffle(&mut rng);
+        pairs.truncate(config.max_samples);
+
+        // Fit normalizers in raw space (inputs -> [0,1], outputs -> [0.1, 0.9]
+        // so the network's linear output layer trains in a gentle range).
+        let inputs: Vec<Vec<f32>> = pairs.iter().map(|(i, _)| i.clone()).collect();
+        let outputs: Vec<Vec<f32>> = pairs.iter().map(|(_, o)| o.clone()).collect();
+        let input_norm = Normalizer::fit(&inputs, 0.0, 1.0);
+        let output_norm = Normalizer::fit(&outputs, 0.1, 0.9);
+
+        let normalized: Vec<(Vec<f32>, Vec<f32>)> = pairs
+            .iter()
+            .map(|(i, o)| (input_norm.forward(i), output_norm.forward(o)))
+            .collect();
+
+        let epochs = config.epochs.unwrap_or_else(|| benchmark.npu_training_epochs());
+        let npu = Trainer::new(benchmark.npu_topology())
+            .epochs(epochs)
+            .learning_rate(0.3)
+            .batch_size(32)
+            .seed(config.seed)
+            .output_activation(Activation::Linear)
+            .train(&normalized)?;
+
+        Ok(Self {
+            benchmark,
+            npu,
+            input_norm,
+            output_norm,
+        })
+    }
+
+    /// Builds an accelerated function from pre-trained parts (loading a
+    /// stored accelerator configuration).
+    pub fn from_parts(
+        benchmark: Arc<dyn Benchmark>,
+        npu: Mlp,
+        input_norm: Normalizer,
+        output_norm: Normalizer,
+    ) -> Self {
+        Self {
+            benchmark,
+            npu,
+            input_norm,
+            output_norm,
+        }
+    }
+
+    /// The underlying benchmark.
+    pub fn benchmark(&self) -> &Arc<dyn Benchmark> {
+        &self.benchmark
+    }
+
+    /// The trained network.
+    pub fn npu(&self) -> &Mlp {
+        &self.npu
+    }
+
+    /// The fitted input normalizer (the table classifier's quantizer is
+    /// derived from the same ranges).
+    pub fn input_normalizer(&self) -> &Normalizer {
+        &self.input_norm
+    }
+
+    /// The fitted output normalizer (defines the normalized error space
+    /// the threshold lives in).
+    pub fn output_normalizer(&self) -> &Normalizer {
+        &self.output_norm
+    }
+
+    /// Generates a dataset through the underlying benchmark.
+    pub fn dataset(&self, seed: u64, scale: DatasetScale) -> Dataset {
+        self.benchmark.dataset(seed, scale)
+    }
+
+    /// Runs the accelerator for one invocation, producing raw-space
+    /// outputs in `out`.
+    pub fn approx_into(&self, input: &[f32], out: &mut Vec<f32>) {
+        let normalized_in = self.input_norm.forward(input);
+        let mut raw = Vec::with_capacity(self.benchmark.output_dim());
+        self.npu
+            .run_into(&normalized_in, &mut raw)
+            .expect("topology input width matches benchmark input_dim");
+        let denorm = self.output_norm.inverse(&raw);
+        out.clear();
+        out.extend_from_slice(&denorm);
+    }
+
+    /// Runs the precise function for one invocation.
+    pub fn precise_into(&self, input: &[f32], out: &mut Vec<f32>) {
+        self.benchmark.precise(input, out);
+    }
+
+    /// The accelerator error of an invocation in normalized output space:
+    /// the maximum over elements of `|precise − approx| / range`, the
+    /// quantity Equation (1) compares against the threshold.
+    pub fn max_normalized_error(&self, precise: &[f32], approx: &[f32]) -> f32 {
+        let p = self.output_norm.forward(precise);
+        let a = self.output_norm.forward(approx);
+        p.iter()
+            .zip(&a)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mithra_axbench::suite;
+
+    fn trained_sobel() -> AcceleratedFunction {
+        let bench: Arc<dyn Benchmark> = suite::by_name("sobel").unwrap().into();
+        let datasets: Vec<Dataset> = (0..3)
+            .map(|s| bench.dataset(s, DatasetScale::Smoke))
+            .collect();
+        AcceleratedFunction::train(
+            bench,
+            &datasets,
+            &NpuTrainConfig {
+                epochs: Some(30),
+                max_samples: 2000,
+                seed: 1,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn approx_tracks_precise_roughly() {
+        let f = trained_sobel();
+        let ds = f.dataset(50, DatasetScale::Smoke);
+        let (mut p, mut a) = (Vec::new(), Vec::new());
+        let mut total_err = 0.0f32;
+        for input in ds.iter() {
+            f.precise_into(input, &mut p);
+            f.approx_into(input, &mut a);
+            total_err += f.max_normalized_error(&p, &a);
+        }
+        let mean = total_err / ds.invocation_count() as f32;
+        assert!(mean < 0.25, "mean normalized error {mean} too high");
+    }
+
+    #[test]
+    fn error_is_zero_for_identical_outputs() {
+        let f = trained_sobel();
+        assert_eq!(f.max_normalized_error(&[100.0], &[100.0]), 0.0);
+    }
+
+    #[test]
+    fn error_scales_with_divergence() {
+        let f = trained_sobel();
+        let small = f.max_normalized_error(&[100.0], &[105.0]);
+        let large = f.max_normalized_error(&[100.0], &[200.0]);
+        assert!(large > small);
+        assert!(small > 0.0);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = trained_sobel();
+        let b = trained_sobel();
+        assert_eq!(a.npu().to_parameters(), b.npu().to_parameters());
+    }
+}

@@ -1,0 +1,335 @@
+//! The neural classifier (paper §IV-B).
+//!
+//! A three-layer MLP — input layer matching the accelerator's inputs, one
+//! hidden layer of 2/4/8/16/32 neurons, and two output neurons (one per
+//! decision) — executed on the NPU itself. The compiler trains all five
+//! topologies and keeps "the one that provides the highest accuracy with
+//! the fewest neurons". The classifier spends some of the acceleration
+//! gains (an extra network evaluation per invocation) to buy better
+//! filtering accuracy than the table design on high-dimensional inputs.
+
+use crate::classifier::{Classifier, ClassifierOverhead, Decision};
+use crate::training::{split_examples, TrainingExample};
+use crate::{MithraError, Result};
+use mithra_npu::mlp::{Activation, Mlp};
+use mithra_npu::topology::Topology;
+use mithra_npu::train::{Normalizer, Trainer};
+
+/// Hidden-layer widths the paper's topology search explores.
+pub const HIDDEN_CANDIDATES: [usize; 5] = [2, 4, 8, 16, 32];
+
+/// Training settings for the neural classifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeuralTrainConfig {
+    /// Hidden-layer widths to try.
+    pub hidden_candidates: Vec<usize>,
+    /// Training epochs per candidate.
+    pub epochs: usize,
+    /// Fraction of examples held out to score candidates.
+    pub validation_fraction: f64,
+    /// Accuracy slack within which a smaller network wins the tie.
+    pub accuracy_tolerance: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NeuralTrainConfig {
+    fn default() -> Self {
+        Self {
+            hidden_candidates: HIDDEN_CANDIDATES.to_vec(),
+            epochs: 60,
+            validation_fraction: 0.2,
+            accuracy_tolerance: 0.005,
+            seed: 0x4E45_5552,
+        }
+    }
+}
+
+/// The trained neural classifier.
+#[derive(Debug, Clone)]
+pub struct NeuralClassifier {
+    mlp: Mlp,
+    input_norm: Normalizer,
+    validation_accuracy: f64,
+    scratch_out: Vec<f32>,
+}
+
+impl NeuralClassifier {
+    /// Trains the classifier with the paper's topology search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MithraError::InsufficientData`] with fewer than 10
+    /// examples, and propagates NPU training errors.
+    pub fn train(
+        input_dim: usize,
+        examples: &[TrainingExample],
+        config: &NeuralTrainConfig,
+    ) -> Result<Self> {
+        if examples.len() < 10 {
+            return Err(MithraError::InsufficientData {
+                stage: "neural classifier training",
+                available: examples.len(),
+                needed: 10,
+            });
+        }
+        if config.hidden_candidates.is_empty() {
+            return Err(MithraError::InvalidConfig {
+                parameter: "hidden_candidates",
+                constraint: "at least one hidden width",
+            });
+        }
+
+        let inputs: Vec<Vec<f32>> = examples.iter().map(|e| e.input.clone()).collect();
+        let input_norm = Normalizer::fit(&inputs, 0.0, 1.0);
+
+        let (train_set, val_set) = split_examples(
+            examples.to_vec(),
+            config.validation_fraction,
+            config.seed,
+        );
+        let to_pairs = |set: &[TrainingExample]| -> Vec<(Vec<f32>, Vec<f32>)> {
+            set.iter()
+                .map(|e| {
+                    let target = if e.reject {
+                        vec![0.0, 1.0] // output 1 = precise
+                    } else {
+                        vec![1.0, 0.0] // output 0 = approximate
+                    };
+                    (input_norm.forward(&e.input), target)
+                })
+                .collect()
+        };
+        // Rejects are the minority class (only a small fraction of
+        // invocations cause large errors); oversample them so the MSE
+        // objective does not learn to always answer "approximate" —
+        // missed rejects are what breach the quality target.
+        let mut train_pairs = to_pairs(&train_set);
+        let reject_count = train_set.iter().filter(|e| e.reject).count();
+        if reject_count > 0 && reject_count * 4 < train_set.len() {
+            let replicas =
+                ((train_set.len() - reject_count) / reject_count.max(1)).min(5);
+            let rejects: Vec<(Vec<f32>, Vec<f32>)> = train_set
+                .iter()
+                .zip(&train_pairs)
+                .filter(|(e, _)| e.reject)
+                .map(|(_, p)| p.clone())
+                .collect();
+            for _ in 1..replicas {
+                train_pairs.extend(rejects.iter().cloned());
+            }
+        }
+        let val_pairs = to_pairs(if val_set.is_empty() { &train_set } else { &val_set });
+
+        let mut best: Option<(usize, f64, Mlp)> = None;
+        for &hidden in &config.hidden_candidates {
+            let topology = Topology::new(&[input_dim, hidden, 2])?;
+            let mlp = Trainer::new(topology)
+                .epochs(config.epochs)
+                .learning_rate(0.5)
+                .batch_size(32)
+                .output_activation(Activation::Sigmoid)
+                .seed(config.seed ^ hidden as u64)
+                .train(&train_pairs)?;
+            let accuracy = classification_accuracy(&mlp, &val_pairs);
+            let better = match &best {
+                None => true,
+                Some((best_hidden, best_acc, _)) => {
+                    accuracy > best_acc + config.accuracy_tolerance
+                        || (accuracy >= best_acc - config.accuracy_tolerance
+                            && hidden < *best_hidden
+                            && accuracy >= *best_acc)
+                }
+            };
+            if better {
+                best = Some((hidden, accuracy, mlp));
+            }
+        }
+        let (_, validation_accuracy, mlp) = best.expect("at least one candidate trained");
+        Ok(Self {
+            mlp,
+            input_norm,
+            validation_accuracy,
+            scratch_out: Vec::new(),
+        })
+    }
+
+    /// Builds a classifier from a pre-trained network (loading a stored
+    /// configuration).
+    pub fn from_parts(mlp: Mlp, input_norm: Normalizer) -> Self {
+        Self {
+            mlp,
+            input_norm,
+            validation_accuracy: f64::NAN,
+            scratch_out: Vec::new(),
+        }
+    }
+
+    /// The selected network topology.
+    pub fn topology(&self) -> &Topology {
+        self.mlp.topology()
+    }
+
+    /// The trained network itself (for configuration encoding).
+    pub fn network(&self) -> &Mlp {
+        &self.mlp
+    }
+
+    /// The fitted input normalizer.
+    pub fn input_normalizer(&self) -> &Normalizer {
+        &self.input_norm
+    }
+
+    /// Held-out accuracy of the selected candidate (NaN when loaded from
+    /// parts).
+    pub fn validation_accuracy(&self) -> f64 {
+        self.validation_accuracy
+    }
+
+    /// Storage footprint of the network parameters in kilobytes, at 16-bit
+    /// fixed-point weights (how Table II sizes the neural design).
+    pub fn size_kb(&self) -> f64 {
+        self.mlp.topology().parameter_bytes(2) as f64 / 1024.0
+    }
+
+    /// The decision for one input vector.
+    pub fn decide(&mut self, input: &[f32]) -> Decision {
+        let normalized = self.input_norm.forward(input);
+        let mut out = std::mem::take(&mut self.scratch_out);
+        self.mlp
+            .run_into(&normalized, &mut out)
+            .expect("input width fixed at training time");
+        // Output neuron 0 votes approximate, neuron 1 votes precise; the
+        // larger value wins (paper §IV-B).
+        let decision = Decision::from_reject(out[1] > out[0]);
+        self.scratch_out = out;
+        decision
+    }
+}
+
+fn classification_accuracy(mlp: &Mlp, pairs: &[(Vec<f32>, Vec<f32>)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let mut out = Vec::new();
+    let correct = pairs
+        .iter()
+        .filter(|(x, target)| {
+            mlp.run_into(x, &mut out).expect("widths match");
+            (out[1] > out[0]) == (target[1] > target[0])
+        })
+        .count();
+    correct as f64 / pairs.len() as f64
+}
+
+impl Classifier for NeuralClassifier {
+    fn name(&self) -> &'static str {
+        "neural"
+    }
+
+    fn classify(&mut self, _index: usize, input: &[f32]) -> Decision {
+        self.decide(input)
+    }
+
+    fn overhead(&self) -> ClassifierOverhead {
+        // The classifier network runs on the NPU before the accelerator
+        // network: a full extra invocation of its topology.
+        ClassifierOverhead {
+            decision_cycles: 0,
+            misr_shifts: 0,
+            table_bit_reads: 0,
+            npu_topology: Some(self.mlp.topology().clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A linearly separable task: reject when x > 0.7.
+    fn separable_examples(n: usize) -> Vec<TrainingExample> {
+        (0..n)
+            .map(|i| {
+                let x = i as f32 / (n - 1) as f32;
+                TrainingExample {
+                    input: vec![x, 1.0 - x],
+                    reject: x > 0.7,
+                }
+            })
+            .collect()
+    }
+
+    fn quick_config() -> NeuralTrainConfig {
+        NeuralTrainConfig {
+            hidden_candidates: vec![2, 4],
+            epochs: 150,
+            ..NeuralTrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn learns_separable_boundary() {
+        let ex = separable_examples(200);
+        let mut c = NeuralClassifier::train(2, &ex, &quick_config()).unwrap();
+        assert_eq!(c.decide(&[0.95, 0.05]), Decision::Precise);
+        assert_eq!(c.decide(&[0.1, 0.9]), Decision::Approximate);
+        assert!(c.validation_accuracy() > 0.85, "{}", c.validation_accuracy());
+    }
+
+    #[test]
+    fn topology_search_prefers_small_networks_on_easy_tasks() {
+        let ex = separable_examples(300);
+        let cfg = NeuralTrainConfig {
+            hidden_candidates: vec![2, 4, 8, 16, 32],
+            epochs: 120,
+            ..NeuralTrainConfig::default()
+        };
+        let c = NeuralClassifier::train(2, &ex, &cfg).unwrap();
+        // A 2-neuron hidden layer suffices for a linear boundary; the
+        // search must not pick 32.
+        let hidden = c.topology().layers()[1];
+        assert!(hidden <= 8, "picked {hidden} hidden neurons");
+    }
+
+    #[test]
+    fn output_layer_always_two_neurons() {
+        let ex = separable_examples(100);
+        let c = NeuralClassifier::train(2, &ex, &quick_config()).unwrap();
+        assert_eq!(c.topology().outputs(), 2);
+    }
+
+    #[test]
+    fn size_kb_matches_parameter_count() {
+        let ex = separable_examples(100);
+        let c = NeuralClassifier::train(2, &ex, &quick_config()).unwrap();
+        let expected = c.topology().parameter_bytes(2) as f64 / 1024.0;
+        assert_eq!(c.size_kb(), expected);
+    }
+
+    #[test]
+    fn rejects_tiny_training_sets() {
+        let ex = separable_examples(5);
+        assert!(matches!(
+            NeuralClassifier::train(2, &ex, &quick_config()),
+            Err(MithraError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn overhead_charges_npu_invocation() {
+        let ex = separable_examples(100);
+        let c = NeuralClassifier::train(2, &ex, &quick_config()).unwrap();
+        let o = c.overhead();
+        assert!(o.npu_topology.is_some());
+        assert_eq!(o.table_bit_reads, 0);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let ex = separable_examples(150);
+        let a = NeuralClassifier::train(2, &ex, &quick_config()).unwrap();
+        let b = NeuralClassifier::train(2, &ex, &quick_config()).unwrap();
+        assert_eq!(a.mlp.to_parameters(), b.mlp.to_parameters());
+    }
+}

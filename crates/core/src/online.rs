@@ -1,0 +1,223 @@
+//! Online training for the neural design (paper §IV-C2).
+//!
+//! "An alternative design could train the neural design concurrently with
+//! in-vivo operation. Online training could improve accuracy but would
+//! result in runtime overheads. To mitigate these overheads, an online
+//! training system could offload neural training to a remote server on
+//! the cloud."
+//!
+//! [`OnlineNeuralClassifier`] implements that alternative: runtime error
+//! samples (the same sporadic sampling that drives the table design's
+//! updates) accumulate in a buffer; every `refresh_period` observations
+//! the buffered window — together with a retained fraction of the original
+//! compile-time tuples — retrains the network "remotely". Decisions keep
+//! flowing from the current network while training happens off the
+//! critical path; only the configuration upload (a config-FIFO stream) is
+//! charged locally.
+
+use crate::classifier::{Classifier, ClassifierOverhead, Decision};
+use crate::neural::{NeuralClassifier, NeuralTrainConfig};
+use crate::training::TrainingExample;
+use crate::Result;
+
+/// The neural classifier with cloud-offloaded online retraining.
+#[derive(Debug, Clone)]
+pub struct OnlineNeuralClassifier {
+    current: NeuralClassifier,
+    train_config: NeuralTrainConfig,
+    input_dim: usize,
+    /// Compile-time tuples retained as the stable part of every retrain.
+    baseline: Vec<TrainingExample>,
+    /// Runtime observations since the last refresh.
+    buffer: Vec<TrainingExample>,
+    refresh_period: usize,
+    refreshes: usize,
+}
+
+impl OnlineNeuralClassifier {
+    /// Wraps an offline-trained classifier with online retraining.
+    ///
+    /// `baseline` is (a sample of) the compile-time training data;
+    /// `refresh_period` is how many runtime observations trigger a
+    /// retrain.
+    pub fn new(
+        initial: NeuralClassifier,
+        baseline: Vec<TrainingExample>,
+        input_dim: usize,
+        train_config: NeuralTrainConfig,
+        refresh_period: usize,
+    ) -> Self {
+        Self {
+            current: initial,
+            train_config,
+            input_dim,
+            baseline,
+            buffer: Vec::new(),
+            refresh_period: refresh_period.max(1),
+            refreshes: 0,
+        }
+    }
+
+    /// Trains the initial network and wraps it, in one step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures.
+    pub fn train(
+        input_dim: usize,
+        examples: &[TrainingExample],
+        config: &NeuralTrainConfig,
+        refresh_period: usize,
+    ) -> Result<Self> {
+        let initial = NeuralClassifier::train(input_dim, examples, config)?;
+        Ok(Self::new(
+            initial,
+            examples.to_vec(),
+            input_dim,
+            config.clone(),
+            refresh_period,
+        ))
+    }
+
+    /// Number of completed retrains.
+    pub fn refresh_count(&self) -> usize {
+        self.refreshes
+    }
+
+    /// Observations waiting for the next retrain.
+    pub fn pending_observations(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// The currently deployed network.
+    pub fn current(&self) -> &NeuralClassifier {
+        &self.current
+    }
+
+    fn maybe_refresh(&mut self) {
+        if self.buffer.len() < self.refresh_period {
+            return;
+        }
+        // The "remote server" trains on baseline + the fresh window.
+        let mut combined = self.baseline.clone();
+        combined.extend(self.buffer.iter().cloned());
+        let mut config = self.train_config.clone();
+        // Vary the seed per refresh so retrains explore; keep determinism.
+        config.seed ^= (self.refreshes as u64 + 1).wrapping_mul(0x9E37_79B9);
+        if let Ok(next) = NeuralClassifier::train(self.input_dim, &combined, &config) {
+            self.current = next;
+            self.refreshes += 1;
+        }
+        // Fold the window into the baseline (bounded) and clear it.
+        let keep = self.refresh_period * 4;
+        self.baseline.extend(self.buffer.drain(..));
+        if self.baseline.len() > keep.max(1000) {
+            let excess = self.baseline.len() - keep.max(1000);
+            self.baseline.drain(..excess);
+        }
+    }
+}
+
+impl Classifier for OnlineNeuralClassifier {
+    fn name(&self) -> &'static str {
+        "neural-online"
+    }
+
+    fn classify(&mut self, index: usize, input: &[f32]) -> Decision {
+        self.current.classify(index, input)
+    }
+
+    fn overhead(&self) -> ClassifierOverhead {
+        // Decisions cost the same as the offline neural design; training
+        // is remote. (Config re-upload cost is charged by the simulator's
+        // table-decompression path analogue and is negligible per quantum.)
+        self.current.overhead()
+    }
+
+    fn observe(&mut self, _index: usize, input: &[f32], reject: bool) {
+        self.buffer.push(TrainingExample {
+            input: input.to_vec(),
+            reject,
+        });
+        self.maybe_refresh();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boundary_examples(split: f32, n: usize) -> Vec<TrainingExample> {
+        (0..n)
+            .map(|i| {
+                let x = i as f32 / (n - 1) as f32;
+                TrainingExample {
+                    input: vec![x, 1.0 - x],
+                    reject: x > split,
+                }
+            })
+            .collect()
+    }
+
+    fn quick_config() -> NeuralTrainConfig {
+        NeuralTrainConfig {
+            hidden_candidates: vec![4],
+            epochs: 120,
+            ..NeuralTrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn starts_with_offline_behaviour() {
+        let ex = boundary_examples(0.7, 200);
+        let mut online =
+            OnlineNeuralClassifier::train(2, &ex, &quick_config(), 50).unwrap();
+        assert_eq!(online.refresh_count(), 0);
+        assert_eq!(online.classify(0, &[0.95, 0.05]), Decision::Precise);
+        assert_eq!(online.classify(1, &[0.1, 0.9]), Decision::Approximate);
+    }
+
+    #[test]
+    fn refresh_fires_after_period() {
+        let ex = boundary_examples(0.7, 200);
+        let mut online =
+            OnlineNeuralClassifier::train(2, &ex, &quick_config(), 30).unwrap();
+        for i in 0..30 {
+            let x = i as f32 / 29.0;
+            online.observe(i, &[x, 1.0 - x], x > 0.7);
+        }
+        assert_eq!(online.refresh_count(), 1);
+        assert_eq!(online.pending_observations(), 0);
+    }
+
+    #[test]
+    fn adapts_to_a_drifted_boundary() {
+        // Train at split 0.7, then stream observations from a drifted
+        // regime where errors start at 0.4. After enough refreshes the
+        // classifier should reject at 0.55 (clearly accept-side before).
+        let ex = boundary_examples(0.7, 300);
+        let mut online =
+            OnlineNeuralClassifier::train(2, &ex, &quick_config(), 150).unwrap();
+        assert_eq!(online.classify(0, &[0.55, 0.45]), Decision::Approximate);
+
+        let mut i = 0;
+        while online.refresh_count() < 3 {
+            let x = (i % 100) as f32 / 99.0;
+            online.observe(i, &[x, 1.0 - x], x > 0.4);
+            i += 1;
+            assert!(i < 10_000, "refresh never fired");
+        }
+        assert_eq!(
+            online.classify(0, &[0.55, 0.45]),
+            Decision::Precise,
+            "classifier failed to adapt to the drifted boundary"
+        );
+    }
+
+    #[test]
+    fn overhead_matches_deployed_network() {
+        let ex = boundary_examples(0.5, 100);
+        let online = OnlineNeuralClassifier::train(2, &ex, &quick_config(), 10).unwrap();
+        assert_eq!(online.overhead(), online.current().overhead());
+    }
+}

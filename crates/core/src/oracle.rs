@@ -1,0 +1,84 @@
+//! The oracle — the paper's ideal but infeasible comparison design.
+//!
+//! "At any level of quality loss, the oracle always achieves the maximum
+//! performance and energy benefits by only filtering out the invocations
+//! that produce an accelerator error larger than the threshold" (§V-B1).
+//! It is infeasible in hardware because knowing the accelerator error
+//! requires running the precise function too; in simulation it is simply a
+//! lookup into the profiled ground truth.
+
+use crate::classifier::{Classifier, ClassifierOverhead, Decision};
+use crate::profile::DatasetProfile;
+
+/// A classifier with perfect knowledge of each invocation's error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleClassifier {
+    rejects: Vec<bool>,
+}
+
+impl OracleClassifier {
+    /// Builds the oracle for one profiled dataset at `threshold`.
+    pub fn for_profile(profile: &DatasetProfile, threshold: f32) -> Self {
+        Self {
+            rejects: profile.oracle_rejects(threshold),
+        }
+    }
+
+    /// Builds an oracle from explicit per-invocation reject decisions.
+    pub fn from_rejects(rejects: Vec<bool>) -> Self {
+        Self { rejects }
+    }
+
+    /// The ground-truth reject decisions.
+    pub fn rejects(&self) -> &[bool] {
+        &self.rejects
+    }
+
+    /// Number of invocations this oracle covers.
+    pub fn len(&self) -> usize {
+        self.rejects.len()
+    }
+
+    /// Whether the oracle covers no invocations.
+    pub fn is_empty(&self) -> bool {
+        self.rejects.is_empty()
+    }
+}
+
+impl Classifier for OracleClassifier {
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+
+    fn classify(&mut self, index: usize, _input: &[f32]) -> Decision {
+        Decision::from_reject(self.rejects.get(index).copied().unwrap_or(false))
+    }
+
+    fn overhead(&self) -> ClassifierOverhead {
+        // Ideal: free decisions.
+        ClassifierOverhead::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_replays_ground_truth() {
+        let mut o = OracleClassifier::from_rejects(vec![false, true, false]);
+        assert_eq!(o.classify(0, &[]), Decision::Approximate);
+        assert_eq!(o.classify(1, &[]), Decision::Precise);
+        assert_eq!(o.classify(2, &[]), Decision::Approximate);
+        // Out-of-range indices default to the accelerator.
+        assert_eq!(o.classify(99, &[]), Decision::Approximate);
+    }
+
+    #[test]
+    fn oracle_has_no_overhead() {
+        let o = OracleClassifier::from_rejects(vec![true]);
+        assert_eq!(o.overhead(), ClassifierOverhead::default());
+        assert_eq!(o.len(), 1);
+        assert!(!o.is_empty());
+    }
+}

@@ -1,0 +1,284 @@
+//! Profiling: the cached per-invocation data the compiler's statistical
+//! optimization runs over.
+//!
+//! Algorithm 1 instruments the program to run *both* the precise function
+//! and the accelerator for every invocation, then re-evaluates final
+//! quality at each candidate threshold. Re-running the accelerator per
+//! candidate would repeat identical work, so the profiler executes both
+//! paths **once** per dataset and caches the precise outputs, accelerator
+//! outputs and per-invocation accelerator error; threshold candidates then
+//! only re-mix cached outputs and re-run the (cheap) application layer.
+//! This is an implementation optimization of the paper's loop, not a
+//! semantic change.
+
+use crate::classifier::{Classifier, Decision};
+use crate::function::AcceleratedFunction;
+use mithra_axbench::dataset::{Dataset, OutputBuffer};
+
+/// Cached profile of one dataset: inputs, both output streams, and the
+/// per-invocation accelerator error.
+#[derive(Debug, Clone)]
+pub struct DatasetProfile {
+    dataset: Dataset,
+    precise: OutputBuffer,
+    approx: OutputBuffer,
+    max_err: Vec<f32>,
+    final_precise: Vec<f64>,
+}
+
+/// Outcome of replaying a dataset under some filtering policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayOutcome {
+    /// Final-output quality loss versus the all-precise run.
+    pub quality_loss: f64,
+    /// Invocations delegated to the accelerator.
+    pub invoked: usize,
+    /// Total invocations.
+    pub total: usize,
+}
+
+impl ReplayOutcome {
+    /// Fraction of invocations delegated to the accelerator.
+    pub fn invocation_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.invoked as f64 / self.total as f64
+        }
+    }
+}
+
+impl DatasetProfile {
+    /// Profiles one dataset: runs the precise function and the accelerator
+    /// for every invocation and caches everything the optimizer needs.
+    pub fn collect(function: &AcceleratedFunction, dataset: Dataset) -> Self {
+        let bench = function.benchmark();
+        let n = dataset.invocation_count();
+        let mut precise = OutputBuffer::with_capacity(bench.output_dim(), n);
+        let mut approx = OutputBuffer::with_capacity(bench.output_dim(), n);
+        let mut max_err = Vec::with_capacity(n);
+        let (mut p, mut a) = (Vec::new(), Vec::new());
+        for input in dataset.iter() {
+            function.precise_into(input, &mut p);
+            function.approx_into(input, &mut a);
+            max_err.push(function.max_normalized_error(&p, &a));
+            precise.push(&p);
+            approx.push(&a);
+        }
+        let final_precise = bench.run_application(&dataset, &precise);
+        Self {
+            dataset,
+            precise,
+            approx,
+            max_err,
+            final_precise,
+        }
+    }
+
+    /// The profiled dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Number of profiled invocations.
+    pub fn invocation_count(&self) -> usize {
+        self.max_err.len()
+    }
+
+    /// The accelerator error of invocation `i` (normalized max-element).
+    pub fn max_error(&self, i: usize) -> f32 {
+        self.max_err[i]
+    }
+
+    /// All per-invocation accelerator errors.
+    pub fn errors(&self) -> &[f32] {
+        &self.max_err
+    }
+
+    /// The cached precise output of invocation `i`.
+    pub fn precise_output(&self, i: usize) -> &[f32] {
+        self.precise.get(i)
+    }
+
+    /// The cached accelerator output of invocation `i`.
+    pub fn approx_output(&self, i: usize) -> &[f32] {
+        self.approx.get(i)
+    }
+
+    /// The final application output of the all-precise run.
+    pub fn final_precise(&self) -> &[f64] {
+        &self.final_precise
+    }
+
+    /// Replays the dataset with the **oracle filter at `threshold`**: an
+    /// invocation uses the accelerator exactly when its measured error is
+    /// within the threshold (this is what Algorithm 1's instrumented run
+    /// computes).
+    pub fn replay_with_threshold(
+        &self,
+        function: &AcceleratedFunction,
+        threshold: f32,
+    ) -> ReplayOutcome {
+        self.replay_with(function, |i, _input| {
+            Decision::from_reject(self.max_err[i] > threshold)
+        })
+    }
+
+    /// Replays the dataset with an arbitrary per-invocation policy.
+    pub fn replay_with(
+        &self,
+        function: &AcceleratedFunction,
+        mut policy: impl FnMut(usize, &[f32]) -> Decision,
+    ) -> ReplayOutcome {
+        let bench = function.benchmark();
+        let n = self.invocation_count();
+        let mut mixed = OutputBuffer::with_capacity(bench.output_dim(), n);
+        let mut invoked = 0usize;
+        for (i, input) in self.dataset.iter().enumerate() {
+            match policy(i, input) {
+                Decision::Approximate => {
+                    invoked += 1;
+                    mixed.push(self.approx.get(i));
+                }
+                Decision::Precise => mixed.push(self.precise.get(i)),
+            }
+        }
+        let final_mixed = bench.run_application(&self.dataset, &mixed);
+        let quality_loss = bench
+            .quality_metric()
+            .quality_loss(&self.final_precise, &final_mixed);
+        ReplayOutcome {
+            quality_loss,
+            invoked,
+            total: n,
+        }
+    }
+
+    /// Replays the dataset driving a [`Classifier`], optionally applying
+    /// online updates every `online_update_period` invocations (0 = no
+    /// updates) using the measured error at `threshold` — the paper's
+    /// sporadic error sampling.
+    pub fn replay_with_classifier(
+        &self,
+        function: &AcceleratedFunction,
+        classifier: &mut dyn Classifier,
+        threshold: f32,
+        online_update_period: usize,
+    ) -> ReplayOutcome {
+        let bench = function.benchmark();
+        let n = self.invocation_count();
+        let mut mixed = OutputBuffer::with_capacity(bench.output_dim(), n);
+        let mut invoked = 0usize;
+        for (i, input) in self.dataset.iter().enumerate() {
+            let decision = classifier.classify(i, input);
+            match decision {
+                Decision::Approximate => {
+                    invoked += 1;
+                    mixed.push(self.approx.get(i));
+                }
+                Decision::Precise => mixed.push(self.precise.get(i)),
+            }
+            if online_update_period > 0 && i % online_update_period == 0 {
+                classifier.observe(i, input, self.max_err[i] > threshold);
+            }
+        }
+        let final_mixed = bench.run_application(&self.dataset, &mixed);
+        let quality_loss = bench
+            .quality_metric()
+            .quality_loss(&self.final_precise, &final_mixed);
+        ReplayOutcome {
+            quality_loss,
+            invoked,
+            total: n,
+        }
+    }
+
+    /// Per-element final error of the full-approximation run — the sample
+    /// Figure 1 plots.
+    pub fn full_approx_element_errors(&self, function: &AcceleratedFunction) -> Vec<f64> {
+        let bench = function.benchmark();
+        let final_approx = bench.run_application(&self.dataset, &self.approx);
+        bench
+            .quality_metric()
+            .element_errors(&self.final_precise, &final_approx)
+    }
+
+    /// The oracle decision (reject?) of every invocation at `threshold` —
+    /// ground truth for false-positive/negative accounting.
+    pub fn oracle_rejects(&self, threshold: f32) -> Vec<bool> {
+        self.max_err.iter().map(|&e| e > threshold).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::NpuTrainConfig;
+    use mithra_axbench::benchmark::Benchmark;
+    use mithra_axbench::dataset::DatasetScale;
+    use mithra_axbench::suite;
+    use std::sync::Arc;
+
+    fn profile_for(name: &str) -> (AcceleratedFunction, DatasetProfile) {
+        let bench: Arc<dyn Benchmark> = suite::by_name(name).unwrap().into();
+        let datasets: Vec<Dataset> = (0..2)
+            .map(|s| bench.dataset(s, DatasetScale::Smoke))
+            .collect();
+        let f = AcceleratedFunction::train(
+            bench,
+            &datasets,
+            &NpuTrainConfig {
+                epochs: Some(25),
+                max_samples: 1500,
+                seed: 3,
+            },
+        )
+        .unwrap();
+        let ds = f.dataset(100, DatasetScale::Smoke);
+        let p = DatasetProfile::collect(&f, ds);
+        (f, p)
+    }
+
+    #[test]
+    fn infinite_threshold_is_full_approximation() {
+        let (f, p) = profile_for("sobel");
+        let replay = p.replay_with_threshold(&f, f32::INFINITY);
+        assert_eq!(replay.invoked, replay.total);
+        assert!(replay.quality_loss > 0.0, "approximation should be lossy");
+    }
+
+    #[test]
+    fn negative_threshold_is_all_precise() {
+        let (f, p) = profile_for("sobel");
+        let replay = p.replay_with_threshold(&f, -1.0);
+        assert_eq!(replay.invoked, 0);
+        assert_eq!(replay.quality_loss, 0.0);
+        assert_eq!(replay.invocation_rate(), 0.0);
+    }
+
+    #[test]
+    fn tighter_threshold_never_invokes_more() {
+        let (f, p) = profile_for("inversek2j");
+        let loose = p.replay_with_threshold(&f, 0.2);
+        let tight = p.replay_with_threshold(&f, 0.05);
+        assert!(tight.invoked <= loose.invoked);
+    }
+
+    #[test]
+    fn oracle_rejects_match_threshold_replay() {
+        let (f, p) = profile_for("blackscholes");
+        let th = 0.05;
+        let rejects = p.oracle_rejects(th);
+        let replay = p.replay_with_threshold(&f, th);
+        let expected_invoked = rejects.iter().filter(|&&r| !r).count();
+        assert_eq!(replay.invoked, expected_invoked);
+    }
+
+    #[test]
+    fn element_errors_have_final_output_length() {
+        let (f, p) = profile_for("sobel");
+        let errs = p.full_approx_element_errors(&f);
+        assert_eq!(errs.len(), p.final_precise().len());
+        assert!(errs.iter().all(|&e| (0.0..=1.0).contains(&e)));
+    }
+}

@@ -1,0 +1,93 @@
+//! Random filtering — the paper's input-oblivious baseline (§V-B1,
+//! "Comparison with random filtering").
+//!
+//! "The decision to delegate a function invocation to the accelerator is
+//! random, irrespective of the inputs." Matching MITHRA's invocation rate
+//! with random decisions isolates the value of *input-conscious* filtering:
+//! anything MITHRA gains beyond this baseline comes from actually
+//! recognizing the inputs that cause large errors.
+
+use crate::classifier::{Classifier, ClassifierOverhead, Decision};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A classifier that invokes the accelerator with fixed probability,
+/// ignoring the input.
+#[derive(Debug, Clone)]
+pub struct RandomFilter {
+    invoke_probability: f64,
+    rng: StdRng,
+}
+
+impl RandomFilter {
+    /// Creates a random filter that approximates with probability
+    /// `invoke_probability` (clamped to `[0, 1]`).
+    pub fn new(invoke_probability: f64, seed: u64) -> Self {
+        Self {
+            invoke_probability: invoke_probability.clamp(0.0, 1.0),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configured accelerator-invocation probability.
+    pub fn invoke_probability(&self) -> f64 {
+        self.invoke_probability
+    }
+}
+
+impl Classifier for RandomFilter {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn classify(&mut self, _index: usize, _input: &[f32]) -> Decision {
+        Decision::from_reject(!self.rng.gen_bool(self.invoke_probability))
+    }
+
+    fn overhead(&self) -> ClassifierOverhead {
+        // A hardware RNG decision is effectively free.
+        ClassifierOverhead::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_matches_probability() {
+        let mut f = RandomFilter::new(0.7, 42);
+        let n = 20_000;
+        let invoked = (0..n)
+            .filter(|&i| f.classify(i, &[]) == Decision::Approximate)
+            .count();
+        let rate = invoked as f64 / n as f64;
+        assert!((rate - 0.7).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn extremes() {
+        let mut always = RandomFilter::new(1.0, 1);
+        let mut never = RandomFilter::new(0.0, 1);
+        for i in 0..100 {
+            assert_eq!(always.classify(i, &[]), Decision::Approximate);
+            assert_eq!(never.classify(i, &[]), Decision::Precise);
+        }
+    }
+
+    #[test]
+    fn probability_clamped() {
+        assert_eq!(RandomFilter::new(1.5, 0).invoke_probability(), 1.0);
+        assert_eq!(RandomFilter::new(-0.5, 0).invoke_probability(), 0.0);
+    }
+
+    #[test]
+    fn seeded_reproducibility() {
+        let run = |seed| {
+            let mut f = RandomFilter::new(0.5, seed);
+            (0..50).map(|i| f.classify(i, &[]).is_precise()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

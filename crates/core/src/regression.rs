@@ -1,0 +1,241 @@
+//! Error-regression filtering — the Rumba-style alternative (paper §VI).
+//!
+//! Rumba (concurrent work) predicts the accelerator's *error value* with a
+//! regression model and rejects invocations whose predicted error exceeds
+//! the threshold. The paper argues this is "significantly more demanding
+//! and less reliable than MITHRA's binary classification solution": the
+//! regressor must learn the whole error surface, while the classifier only
+//! learns one level set of it. This module implements the regression
+//! design so the claim can be measured (see the `ablation_designs`
+//! experiment binary).
+
+use crate::classifier::{Classifier, ClassifierOverhead, Decision};
+use crate::profile::DatasetProfile;
+use crate::{MithraError, Result};
+use mithra_npu::mlp::{Activation, Mlp};
+use mithra_npu::topology::Topology;
+use mithra_npu::train::{Normalizer, Trainer};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Training settings for the error regressor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionTrainConfig {
+    /// Hidden-layer width of the regression network.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Cap on training samples drawn from the profiles.
+    pub max_samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RegressionTrainConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 8,
+            epochs: 80,
+            max_samples: 30_000,
+            seed: 0x5245_4752,
+        }
+    }
+}
+
+/// A classifier that predicts the accelerator error and compares it with
+/// the threshold at runtime.
+#[derive(Debug, Clone)]
+pub struct RegressionFilter {
+    mlp: Mlp,
+    input_norm: Normalizer,
+    /// Error values are trained in a normalized space; this maps the
+    /// network's output back to raw error units.
+    error_scale: f32,
+    threshold: f32,
+    scratch: Vec<f32>,
+}
+
+impl RegressionFilter {
+    /// Trains the error regressor on profiled invocations and binds it to
+    /// `threshold`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MithraError::InsufficientData`] with no profiled
+    /// invocations and propagates training failures.
+    pub fn train(
+        profiles: &[DatasetProfile],
+        threshold: f32,
+        config: &RegressionTrainConfig,
+    ) -> Result<Self> {
+        let mut samples: Vec<(Vec<f32>, f32)> = profiles
+            .iter()
+            .flat_map(|p| {
+                (0..p.invocation_count())
+                    .map(move |i| (p.dataset().input(i).to_vec(), p.max_error(i)))
+            })
+            .collect();
+        if samples.is_empty() {
+            return Err(MithraError::InsufficientData {
+                stage: "regression filter training",
+                available: 0,
+                needed: 1,
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        samples.shuffle(&mut rng);
+        samples.truncate(config.max_samples);
+
+        let inputs: Vec<Vec<f32>> = samples.iter().map(|(x, _)| x.clone()).collect();
+        let input_norm = Normalizer::fit(&inputs, 0.0, 1.0);
+        let error_scale = samples
+            .iter()
+            .map(|&(_, e)| e)
+            .fold(0.0f32, f32::max)
+            .max(1e-6);
+
+        let pairs: Vec<(Vec<f32>, Vec<f32>)> = samples
+            .iter()
+            .map(|(x, e)| (input_norm.forward(x), vec![e / error_scale]))
+            .collect();
+        let input_dim = inputs[0].len();
+        let topology = Topology::new(&[input_dim, config.hidden, 1])?;
+        let mlp = Trainer::new(topology)
+            .epochs(config.epochs)
+            .learning_rate(0.3)
+            .batch_size(32)
+            .output_activation(Activation::Linear)
+            .seed(config.seed)
+            .train(&pairs)?;
+        Ok(Self {
+            mlp,
+            input_norm,
+            error_scale,
+            threshold,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// The regression network's topology.
+    pub fn topology(&self) -> &Topology {
+        self.mlp.topology()
+    }
+
+    /// Predicts the accelerator error for one input (raw units).
+    pub fn predict_error(&mut self, input: &[f32]) -> f32 {
+        let normalized = self.input_norm.forward(input);
+        let mut out = std::mem::take(&mut self.scratch);
+        self.mlp
+            .run_into(&normalized, &mut out)
+            .expect("input width fixed at training time");
+        let predicted = out[0] * self.error_scale;
+        self.scratch = out;
+        predicted
+    }
+}
+
+impl Classifier for RegressionFilter {
+    fn name(&self) -> &'static str {
+        "regression"
+    }
+
+    fn classify(&mut self, _index: usize, input: &[f32]) -> Decision {
+        let predicted = self.predict_error(input);
+        Decision::from_reject(predicted > self.threshold)
+    }
+
+    fn overhead(&self) -> ClassifierOverhead {
+        // Like the neural design, the regressor runs on the NPU; the
+        // comparison against the threshold is one extra ALU op.
+        ClassifierOverhead {
+            decision_cycles: 1,
+            misr_shifts: 0,
+            table_bit_reads: 0,
+            npu_topology: Some(self.mlp.topology().clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{AcceleratedFunction, NpuTrainConfig};
+    use mithra_axbench::benchmark::Benchmark;
+    use mithra_axbench::dataset::DatasetScale;
+    use mithra_axbench::suite;
+    use std::sync::Arc;
+
+    fn profiles_for(name: &str, n: u64) -> (AcceleratedFunction, Vec<DatasetProfile>) {
+        let bench: Arc<dyn Benchmark> = suite::by_name(name).unwrap().into();
+        let train: Vec<_> = (0..2).map(|s| bench.dataset(s, DatasetScale::Smoke)).collect();
+        let f = AcceleratedFunction::train(
+            bench,
+            &train,
+            &NpuTrainConfig {
+                epochs: Some(25),
+                max_samples: 1500,
+                seed: 5,
+            },
+        )
+        .unwrap();
+        let profiles = (0..n)
+            .map(|s| DatasetProfile::collect(&f, f.dataset(400 + s, DatasetScale::Smoke)))
+            .collect();
+        (f, profiles)
+    }
+
+    #[test]
+    fn regressor_learns_error_ordering() {
+        let (_, profiles) = profiles_for("sobel", 8);
+        let mut filter =
+            RegressionFilter::train(&profiles, 0.05, &RegressionTrainConfig::default()).unwrap();
+        // Predicted errors should correlate with measured ones: compare
+        // mean prediction on the top-error decile vs the bottom decile.
+        let mut pairs: Vec<(f32, f32)> = Vec::new();
+        for p in &profiles {
+            for i in 0..p.invocation_count() {
+                pairs.push((p.max_error(i), filter.predict_error(p.dataset().input(i))));
+            }
+        }
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let decile = pairs.len() / 10;
+        let low: f32 =
+            pairs[..decile].iter().map(|p| p.1).sum::<f32>() / decile as f32;
+        let high: f32 =
+            pairs[pairs.len() - decile..].iter().map(|p| p.1).sum::<f32>() / decile as f32;
+        assert!(
+            high > low,
+            "regressor failed to order errors: low {low} vs high {high}"
+        );
+    }
+
+    #[test]
+    fn threshold_drives_decisions() {
+        let (_, profiles) = profiles_for("sobel", 4);
+        let cfg = RegressionTrainConfig::default();
+        let mut strict = RegressionFilter::train(&profiles, 0.0, &cfg).unwrap();
+        let mut lax = RegressionFilter::train(&profiles, 10.0, &cfg).unwrap();
+        let input = profiles[0].dataset().input(0);
+        // With threshold 0 everything with positive predicted error is
+        // rejected; with threshold 10 (far above the error scale) nothing.
+        assert_eq!(lax.classify(0, input), Decision::Approximate);
+        let _ = strict.classify(0, input); // must not panic either way
+    }
+
+    #[test]
+    fn empty_profiles_rejected() {
+        assert!(matches!(
+            RegressionFilter::train(&[], 0.05, &RegressionTrainConfig::default()),
+            Err(MithraError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn overhead_is_npu_class() {
+        let (_, profiles) = profiles_for("sobel", 2);
+        let filter =
+            RegressionFilter::train(&profiles, 0.05, &RegressionTrainConfig::default()).unwrap();
+        assert!(filter.overhead().npu_topology.is_some());
+    }
+}

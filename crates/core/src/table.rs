@@ -1,0 +1,617 @@
+//! The table-based classifier (paper §IV-A).
+//!
+//! An ensemble of equally sized single-bit tables, each indexed by a
+//! different MISR hash of the quantized accelerator inputs. Entries start
+//! at `0` ("invoke the accelerator"); training sets an entry to `1` when
+//! any training input hashing there exceeded the error threshold — the
+//! conservative policy that biases toward quality. At runtime the ensemble
+//! ORs the per-table bits: any table saying "precise" wins. The compiler
+//! assigns MISR configurations greedily from the fixed pool of 16,
+//! minimizing the ensemble's false decisions on the training data. Trained
+//! tables ship in the binary compressed with Base-Delta-Immediate.
+
+use crate::classifier::{Classifier, ClassifierOverhead, Decision};
+use crate::misr::{InputQuantizer, Misr, MisrConfig};
+use crate::training::TrainingExample;
+use crate::{MithraError, Result};
+use mithra_bdi::CompressedTable;
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a table design point: `aT × bKB` in the paper's notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TableDesign {
+    /// Number of parallel tables.
+    pub tables: usize,
+    /// Entries (bits) per table; must be a power of two.
+    pub entries_per_table: usize,
+}
+
+impl TableDesign {
+    /// The paper's Pareto-optimal default: 8 tables × 0.5 KB.
+    pub fn paper_default() -> Self {
+        Self {
+            tables: 8,
+            entries_per_table: 4096, // 0.5 KB of single-bit entries
+        }
+    }
+
+    /// The Pareto-analysis grid of Figure 11: {1,2,4,8} tables ×
+    /// {0.125, 0.5, 2, 4} KB.
+    pub fn pareto_grid() -> Vec<TableDesign> {
+        let mut grid = Vec::new();
+        for &tables in &[1usize, 2, 4, 8] {
+            for &kb in &[0.125f64, 0.5, 2.0, 4.0] {
+                grid.push(TableDesign {
+                    tables,
+                    entries_per_table: (kb * 8.0 * 1024.0) as usize,
+                });
+            }
+        }
+        grid
+    }
+
+    /// Size of one table in kilobytes (single-bit entries).
+    pub fn table_kb(&self) -> f64 {
+        self.entries_per_table as f64 / 8.0 / 1024.0
+    }
+
+    /// Total uncompressed size in kilobytes.
+    pub fn total_kb(&self) -> f64 {
+        self.table_kb() * self.tables as f64
+    }
+
+    /// Index width in bits (`log2` of entries).
+    pub fn index_width(&self) -> u32 {
+        self.entries_per_table.trailing_zeros()
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.tables == 0 || self.tables > 16 {
+            return Err(MithraError::InvalidConfig {
+                parameter: "tables",
+                constraint: "1..=16 (the MISR configuration pool size)",
+            });
+        }
+        if !self.entries_per_table.is_power_of_two() || self.entries_per_table < 256 {
+            return Err(MithraError::InvalidConfig {
+                parameter: "entries_per_table",
+                constraint: "a power of two >= 256",
+            });
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for TableDesign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}T x {}KB", self.tables, self.table_kb())
+    }
+}
+
+/// A single-bit direct-mapped table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) struct BitTable {
+    bits: Vec<u64>,
+    entries: usize,
+}
+
+impl BitTable {
+    fn new(entries: usize) -> Self {
+        Self {
+            bits: vec![0; entries.div_ceil(64)],
+            entries,
+        }
+    }
+
+    fn get(&self, idx: usize) -> bool {
+        (self.bits[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    fn set(&mut self, idx: usize) {
+        self.bits[idx / 64] |= 1 << (idx % 64);
+    }
+
+    fn ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Byte representation for compression (entry `i` is bit `i%8` of
+    /// byte `i/8`, matching a hardware row layout).
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.entries / 8);
+        for i in 0..self.entries.div_ceil(8) {
+            let mut b = 0u8;
+            for bit in 0..8 {
+                let idx = i * 8 + bit;
+                if idx < self.entries && self.get(idx) {
+                    b |= 1 << bit;
+                }
+            }
+            out.push(b);
+        }
+        out
+    }
+}
+
+/// The trained multi-table classifier.
+///
+/// Construct with [`TableClassifier::train`]; at runtime it implements
+/// [`Classifier`]. The online-update path ([`Classifier::observe`]) applies
+/// the same conservative rule as pre-training.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableClassifier {
+    design: TableDesign,
+    configs: Vec<MisrConfig>,
+    tables: Vec<BitTable>,
+    quantizer: InputQuantizer,
+    vote_threshold: f64,
+    #[serde(skip)]
+    scratch: Vec<u8>,
+}
+
+impl TableClassifier {
+    /// Trains the ensemble, searching the MISR input-quantization
+    /// granularity per application.
+    ///
+    /// The paper's MISR is "reconfigurable to work across different
+    /// applications", with the configuration "decided at compile time for
+    /// each application". Granularity is the reconfiguration that matters
+    /// for generalization: too fine and unseen inputs never revisit
+    /// trained buckets (every reject-aliased bucket then falsely fires
+    /// through the ensemble's OR); too coarse and accept/reject inputs
+    /// share patterns. The compiler holds out 25% of the training tuples,
+    /// trains an ensemble at each candidate granularity, and keeps the one
+    /// with the fewest held-out false decisions (false negatives weighted
+    /// heavier — quality first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MithraError::InvalidConfig`] for a bad geometry and
+    /// [`MithraError::InsufficientData`] if no examples are given.
+    pub fn train(
+        design: TableDesign,
+        quantizer: InputQuantizer,
+        examples: &[TrainingExample],
+    ) -> Result<Self> {
+        const CANDIDATE_LEVELS: [u16; 5] = [2, 4, 8, 16, 32];
+        const CANDIDATE_VOTES: [f64; 3] = [0.0, 0.15, 0.35];
+        if examples.len() < 8 {
+            // Too little data to hold anything out; train directly.
+            return Self::train_with_policy(design, quantizer, 0.0, examples);
+        }
+        let holdout = examples.len() / 4;
+        let (fit, eval) = examples.split_at(examples.len() - holdout);
+
+        // Quality is a constraint, not a linear tradeoff: a candidate is
+        // feasible when its held-out false-negative rate stays within a
+        // small fraction of the reject rate (missed rejects directly
+        // breach the certified threshold). Among feasible candidates the
+        // cheapest false-positive rate wins; if none is feasible the
+        // design degrades conservatively — fewest missed rejects first —
+        // which is exactly the paper's jmeint behaviour ("it
+        // conservatively falls back to the original precise code").
+        let eval_rejects = eval.iter().filter(|e| e.reject).count();
+
+        // Score every candidate once.
+        let mut scored: Vec<(usize, usize, u16, f64)> = Vec::new(); // (fn, fp, levels, vote)
+        for &levels in &CANDIDATE_LEVELS {
+            for &vote in &CANDIDATE_VOTES {
+                let mut candidate = Self::train_with_policy(
+                    design,
+                    quantizer.clone().with_levels(levels),
+                    vote,
+                    fit,
+                )?;
+                let (mut fp, mut fn_) = (0usize, 0usize);
+                for ex in eval {
+                    let rejected = candidate.decide(&ex.input).is_precise();
+                    match (rejected, ex.reject) {
+                        (true, false) => fp += 1,
+                        (false, true) => fn_ += 1,
+                        _ => {}
+                    }
+                }
+                scored.push((fn_, fp, levels, vote));
+            }
+        }
+        // Tiered selection: prefer candidates whose missed-reject rate
+        // stays within an increasingly lax fraction of the reject
+        // population; within a tier, fewest false positives wins. If no
+        // tier admits anyone, degrade to fewest misses — the design then
+        // "conservatively falls back to the original precise code".
+        let pick = |cap: f64| -> Option<(u16, f64)> {
+            scored
+                .iter()
+                .filter(|(fn_, _, _, _)| {
+                    (*fn_ as f64) <= (eval_rejects as f64 * cap).max(eval.len() as f64 * 0.02)
+                })
+                .min_by(|a, b| (a.1, a.0).cmp(&(b.1, b.0)))
+                .map(|&(_, _, l, v)| (l, v))
+        };
+        let (levels, vote) = pick(0.25)
+            .or_else(|| pick(0.5))
+            .unwrap_or_else(|| {
+                let &(_, _, l, v) = scored
+                    .iter()
+                    .min_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)))
+                    .expect("the candidate grid is non-empty");
+                (l, v)
+            });
+        // Retrain the winning policy on the full example set.
+        Self::train_with_policy(design, quantizer.with_levels(levels), vote, examples)
+    }
+
+    /// Trains the ensemble with the paper's conservative rule at a fixed
+    /// quantizer granularity (any reject in a bucket sets its bit).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`train`](Self::train).
+    pub fn train_with_quantizer(
+        design: TableDesign,
+        quantizer: InputQuantizer,
+        examples: &[TrainingExample],
+    ) -> Result<Self> {
+        Self::train_with_policy(design, quantizer, 0.0, examples)
+    }
+
+    /// Trains the ensemble at a fixed quantizer granularity and bucket
+    /// vote threshold.
+    ///
+    /// `vote_threshold = 0` is the paper's conservative rule: a single
+    /// rejected training input sets its bucket's bit. Positive thresholds
+    /// require that fraction of a bucket's training inputs to be rejects —
+    /// an adaptation needed when continuous synthetic inputs make buckets
+    /// impure (the conservative rule then rejects nearly everything
+    /// through the ensemble OR). The compile-time search in
+    /// [`train`](Self::train) picks the value per application.
+    ///
+    /// The compiler's greedy assignment (paper §IV-A2): the first table
+    /// takes the pool configuration with the fewest false decisions on its
+    /// own; each subsequent table takes the unused configuration that
+    /// minimizes the *ensemble's* false decisions so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MithraError::InvalidConfig`] for a bad geometry or
+    /// out-of-range `vote_threshold`, and
+    /// [`MithraError::InsufficientData`] if no examples are given.
+    pub fn train_with_policy(
+        design: TableDesign,
+        quantizer: InputQuantizer,
+        vote_threshold: f64,
+        examples: &[TrainingExample],
+    ) -> Result<Self> {
+        design.validate()?;
+        if !(0.0..=1.0).contains(&vote_threshold) {
+            return Err(MithraError::InvalidConfig {
+                parameter: "vote_threshold",
+                constraint: "0.0..=1.0",
+            });
+        }
+        if examples.is_empty() {
+            return Err(MithraError::InsufficientData {
+                stage: "table classifier training",
+                available: 0,
+                needed: 1,
+            });
+        }
+
+        let width = design.index_width();
+        // Pre-hash every example under every pool configuration once.
+        let pool = MisrConfig::pool();
+        let mut hashes: Vec<Vec<usize>> = Vec::with_capacity(pool.len());
+        let mut qbuf = Vec::new();
+        for &cfg in &pool {
+            let mut per_cfg = Vec::with_capacity(examples.len());
+            for ex in examples {
+                quantizer.quantize_into(&ex.input, &mut qbuf);
+                per_cfg.push(Misr::hash(cfg, width, &qbuf));
+            }
+            hashes.push(per_cfg);
+        }
+
+        // Build each pool configuration's trained table once: a bucket's
+        // bit is set when its reject share passes the vote threshold
+        // (threshold 0 = the paper's "any reject" rule).
+        let candidate_tables: Vec<BitTable> = hashes
+            .iter()
+            .map(|per_cfg| {
+                let mut rejects = vec![0u32; design.entries_per_table];
+                let mut totals = vec![0u32; design.entries_per_table];
+                for (ex, &h) in examples.iter().zip(per_cfg) {
+                    totals[h] += 1;
+                    if ex.reject {
+                        rejects[h] += 1;
+                    }
+                }
+                let mut t = BitTable::new(design.entries_per_table);
+                for (idx, (&r, &n)) in rejects.iter().zip(&totals).enumerate() {
+                    if r > 0 && f64::from(r) >= vote_threshold * f64::from(n) {
+                        t.set(idx);
+                    }
+                }
+                t
+            })
+            .collect();
+
+        // Greedy selection: minimize ensemble false decisions.
+        let mut chosen: Vec<usize> = Vec::with_capacity(design.tables);
+        let mut ensemble_says_reject = vec![false; examples.len()];
+        for _slot in 0..design.tables {
+            let mut best: Option<(usize, usize)> = None; // (cfg index, false count)
+            for (c, per_cfg) in hashes.iter().enumerate() {
+                if chosen.contains(&c) {
+                    continue;
+                }
+                let mut false_decisions = 0usize;
+                for (i, ex) in examples.iter().enumerate() {
+                    let reject =
+                        ensemble_says_reject[i] || candidate_tables[c].get(per_cfg[i]);
+                    if reject != ex.reject {
+                        false_decisions += 1;
+                    }
+                }
+                if best.map_or(true, |(_, f)| false_decisions < f) {
+                    best = Some((c, false_decisions));
+                }
+            }
+            let (c, _) = best.expect("pool is larger than any valid design");
+            for (i, r) in ensemble_says_reject.iter_mut().enumerate() {
+                *r = *r || candidate_tables[c].get(hashes[c][i]);
+            }
+            chosen.push(c);
+        }
+
+        Ok(Self {
+            design,
+            configs: chosen.iter().map(|&c| pool[c]).collect(),
+            tables: chosen.iter().map(|&c| candidate_tables[c].clone()).collect(),
+            quantizer,
+            vote_threshold,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// The geometry of this classifier.
+    pub fn design(&self) -> TableDesign {
+        self.design
+    }
+
+    /// The MISR configurations assigned to the tables, in table order.
+    pub fn configs(&self) -> &[MisrConfig] {
+        &self.configs
+    }
+
+    /// The input quantizer (including the granularity the compile-time
+    /// search selected).
+    pub fn quantizer(&self) -> &InputQuantizer {
+        &self.quantizer
+    }
+
+    /// The bucket-vote threshold the compile-time search selected
+    /// (0 = the paper's conservative "any reject" rule).
+    pub fn vote_threshold(&self) -> f64 {
+        self.vote_threshold
+    }
+
+    /// Fraction of table entries set to `1` (reject), across the ensemble.
+    pub fn fill_ratio(&self) -> f64 {
+        let ones: usize = self.tables.iter().map(BitTable::ones).sum();
+        ones as f64 / (self.design.tables * self.design.entries_per_table) as f64
+    }
+
+    /// Compresses the trained tables with Base-Delta-Immediate, as they
+    /// would be encoded into the program binary (paper Table II).
+    pub fn compress(&self) -> CompressedTable {
+        let mut bytes = Vec::new();
+        for t in &self.tables {
+            bytes.extend_from_slice(&t.to_bytes());
+        }
+        CompressedTable::new(&bytes)
+    }
+
+    /// The decision for a raw input vector without mutating online state —
+    /// used by trainers evaluating candidate designs.
+    pub fn decide(&mut self, input: &[f32]) -> Decision {
+        let width = self.design.index_width();
+        let mut qbuf = std::mem::take(&mut self.scratch);
+        self.quantizer.quantize_into(input, &mut qbuf);
+        let mut reject = false;
+        for (cfg, table) in self.configs.iter().zip(&self.tables) {
+            if table.get(Misr::hash(*cfg, width, &qbuf)) {
+                reject = true;
+                break;
+            }
+        }
+        self.scratch = qbuf;
+        Decision::from_reject(reject)
+    }
+}
+
+impl Classifier for TableClassifier {
+    fn name(&self) -> &'static str {
+        "table"
+    }
+
+    fn classify(&mut self, _index: usize, input: &[f32]) -> Decision {
+        self.decide(input)
+    }
+
+    fn overhead(&self) -> ClassifierOverhead {
+        // Hashing overlaps with input enqueue; after the last element the
+        // tri-state gates open, the tables are read in parallel and the OR
+        // reduces them: a small fixed latency.
+        ClassifierOverhead {
+            decision_cycles: 4,
+            misr_shifts: (self.design.tables * self.quantizer.dims()) as u64,
+            table_bit_reads: self.design.tables as u64,
+            npu_topology: None,
+        }
+    }
+
+    fn observe(&mut self, _index: usize, input: &[f32], reject: bool) {
+        if !reject {
+            return; // entries only ever turn 1 (conservative policy)
+        }
+        let width = self.design.index_width();
+        let mut qbuf = std::mem::take(&mut self.scratch);
+        self.quantizer.quantize_into(input, &mut qbuf);
+        for (cfg, table) in self.configs.iter().zip(self.tables.iter_mut()) {
+            let idx = Misr::hash(*cfg, width, &qbuf);
+            table.set(idx);
+        }
+        self.scratch = qbuf;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quantizer_1d() -> InputQuantizer {
+        InputQuantizer::new(vec![0.0], vec![1.0])
+    }
+
+    fn examples_1d(rejects: &[f32], accepts: &[f32]) -> Vec<TrainingExample> {
+        rejects
+            .iter()
+            .map(|&v| TrainingExample {
+                input: vec![v],
+                reject: true,
+            })
+            .chain(accepts.iter().map(|&v| TrainingExample {
+                input: vec![v],
+                reject: false,
+            }))
+            .collect()
+    }
+
+    #[test]
+    fn trained_table_rejects_trained_inputs() {
+        let ex = examples_1d(&[0.9, 0.95], &[0.1, 0.2, 0.3]);
+        let mut c =
+            TableClassifier::train(TableDesign::paper_default(), quantizer_1d(), &ex).unwrap();
+        assert_eq!(c.decide(&[0.9]), Decision::Precise);
+        assert_eq!(c.decide(&[0.95]), Decision::Precise);
+        assert_eq!(c.decide(&[0.1]), Decision::Approximate);
+    }
+
+    #[test]
+    fn untouched_inputs_default_to_accelerator() {
+        let ex = examples_1d(&[0.9], &[0.1]);
+        let mut c =
+            TableClassifier::train(TableDesign::paper_default(), quantizer_1d(), &ex).unwrap();
+        // 0.5 hashes to buckets no training example touched.
+        assert_eq!(c.decide(&[0.5]), Decision::Approximate);
+    }
+
+    #[test]
+    fn online_update_flips_future_decisions() {
+        let ex = examples_1d(&[0.9], &[0.1]);
+        let mut c =
+            TableClassifier::train(TableDesign::paper_default(), quantizer_1d(), &ex).unwrap();
+        assert_eq!(c.decide(&[0.5]), Decision::Approximate);
+        c.observe(0, &[0.5], true);
+        assert_eq!(c.decide(&[0.5]), Decision::Precise);
+        // Observing a non-reject never clears a bit.
+        c.observe(1, &[0.5], false);
+        assert_eq!(c.decide(&[0.5]), Decision::Precise);
+    }
+
+    #[test]
+    fn greedy_assignment_uses_distinct_configs() {
+        let ex = examples_1d(&[0.8, 0.85, 0.9], &[0.1, 0.2, 0.3, 0.4]);
+        let c =
+            TableClassifier::train(TableDesign::paper_default(), quantizer_1d(), &ex).unwrap();
+        let set: std::collections::HashSet<_> = c.configs().iter().collect();
+        assert_eq!(set.len(), 8, "configs must be distinct pool entries");
+    }
+
+    #[test]
+    fn fresh_tables_compress_16x() {
+        let ex = examples_1d(&[], &[0.5]);
+        let c =
+            TableClassifier::train(TableDesign::paper_default(), quantizer_1d(), &ex).unwrap();
+        let stats = c.compress().stats();
+        assert!(stats.ratio() >= 16.0, "ratio {}", stats.ratio());
+        assert_eq!(stats.uncompressed_bytes, 4096); // 8 tables x 0.5 KB
+    }
+
+    #[test]
+    fn fill_ratio_tracks_rejects() {
+        let ex = examples_1d(&[0.7, 0.8, 0.9], &[]);
+        let c =
+            TableClassifier::train(TableDesign::paper_default(), quantizer_1d(), &ex).unwrap();
+        assert!(c.fill_ratio() > 0.0);
+        assert!(c.fill_ratio() < 0.01);
+    }
+
+    #[test]
+    fn aliasing_is_conservative() {
+        // Train a tiny single table so aliasing is likely: when an accept
+        // and a reject collide, the decision must be Precise.
+        let design = TableDesign {
+            tables: 1,
+            entries_per_table: 256,
+        };
+        let rejects: Vec<f32> = (0..50).map(|i| i as f32 / 100.0).collect();
+        let accepts: Vec<f32> = (50..100).map(|i| i as f32 / 100.0).collect();
+        let ex = examples_1d(&rejects, &accepts);
+        let mut c = TableClassifier::train(design, quantizer_1d(), &ex).unwrap();
+        for &r in &rejects {
+            assert_eq!(c.decide(&[r]), Decision::Precise, "input {r}");
+        }
+    }
+
+    #[test]
+    fn design_validation() {
+        let q = quantizer_1d();
+        let ex = examples_1d(&[0.9], &[0.1]);
+        assert!(TableClassifier::train(
+            TableDesign { tables: 0, entries_per_table: 4096 },
+            q.clone(),
+            &ex
+        )
+        .is_err());
+        assert!(TableClassifier::train(
+            TableDesign { tables: 17, entries_per_table: 4096 },
+            q.clone(),
+            &ex
+        )
+        .is_err());
+        assert!(TableClassifier::train(
+            TableDesign { tables: 4, entries_per_table: 1000 },
+            q.clone(),
+            &ex
+        )
+        .is_err());
+        assert!(TableClassifier::train(TableDesign::paper_default(), q, &[]).is_err());
+    }
+
+    #[test]
+    fn pareto_grid_is_16_points_including_default() {
+        let grid = TableDesign::pareto_grid();
+        assert_eq!(grid.len(), 16);
+        assert!(grid.contains(&TableDesign::paper_default()));
+    }
+
+    #[test]
+    fn design_display_and_sizes() {
+        let d = TableDesign::paper_default();
+        assert_eq!(d.to_string(), "8T x 0.5KB");
+        assert!((d.total_kb() - 4.0).abs() < 1e-12);
+        assert_eq!(d.index_width(), 12);
+    }
+
+    #[test]
+    fn overhead_shape() {
+        let ex = examples_1d(&[0.9], &[0.1]);
+        let c =
+            TableClassifier::train(TableDesign::paper_default(), quantizer_1d(), &ex).unwrap();
+        let o = c.overhead();
+        assert_eq!(o.table_bit_reads, 8);
+        assert_eq!(o.misr_shifts, 8); // 8 tables x 1 input dim
+        assert!(o.npu_topology.is_none());
+    }
+}

@@ -1,0 +1,409 @@
+//! The statistical threshold optimizer (paper §III-A, Algorithm 1).
+//!
+//! The knob MITHRA exposes is a threshold on the *local accelerator error*.
+//! The optimizer picks the loosest threshold whose final-quality behaviour,
+//! measured over the representative compilation datasets, can be certified
+//! with the Clopper–Pearson exact method: with confidence β, at least a
+//! fraction S of unseen datasets will meet the quality-loss target `q`.
+//!
+//! The search exploits monotonicity: loosening the threshold can only send
+//! more invocations to the accelerator, degrading (weakly) each dataset's
+//! quality. Bisection over the threshold therefore finds the boundary the
+//! paper's delta-stepping loop converges to, with the same certification
+//! test at every probe. [`ThresholdOptimizer::optimize_stepping`] also
+//! provides the paper's literal Algorithm 1 for comparison.
+
+use crate::function::AcceleratedFunction;
+use crate::profile::DatasetProfile;
+use crate::{MithraError, Result};
+use mithra_stats::clopper_pearson::{lower_bound, Confidence};
+
+/// The programmer's quality requirement: target loss, confidence, and
+/// required success rate (paper: "5% quality loss, with 95% confidence and
+/// 90% success rate").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualitySpec {
+    /// Maximum acceptable final-output quality loss `q` (fraction).
+    pub max_quality_loss: f64,
+    /// Confidence level β of the statistical guarantee.
+    pub confidence: Confidence,
+    /// Required success rate S over unseen datasets.
+    pub success_rate: f64,
+}
+
+impl QualitySpec {
+    /// The paper's main configuration for a given quality-loss target:
+    /// 95% confidence, 90% success rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `max_quality_loss` is outside `(0, 1]`.
+    pub fn paper_default(max_quality_loss: f64) -> Result<Self> {
+        Self::new(max_quality_loss, 0.95, 0.90)
+    }
+
+    /// Creates a fully custom specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MithraError::InvalidConfig`] for out-of-range values.
+    pub fn new(max_quality_loss: f64, confidence: f64, success_rate: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&max_quality_loss) || max_quality_loss == 0.0 {
+            return Err(MithraError::InvalidConfig {
+                parameter: "max_quality_loss",
+                constraint: "0 < q <= 1",
+            });
+        }
+        if !(0.0..=1.0).contains(&success_rate) {
+            return Err(MithraError::InvalidConfig {
+                parameter: "success_rate",
+                constraint: "0 <= S <= 1",
+            });
+        }
+        let confidence = Confidence::new(confidence).map_err(|_| MithraError::InvalidConfig {
+            parameter: "confidence",
+            constraint: "0 < beta < 1",
+        })?;
+        Ok(Self {
+            max_quality_loss,
+            confidence,
+            success_rate,
+        })
+    }
+}
+
+/// The optimizer's result: the certified threshold and its statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdOutcome {
+    /// The certified accelerator-error threshold (normalized output space).
+    pub threshold: f32,
+    /// Datasets meeting the quality target at this threshold.
+    pub successes: u64,
+    /// Total datasets evaluated.
+    pub trials: u64,
+    /// The Clopper–Pearson lower bound on the unseen-dataset success rate.
+    pub certified_rate: f64,
+    /// Mean accelerator invocation rate over the datasets at this threshold.
+    pub mean_invocation_rate: f64,
+}
+
+/// Searches for the optimal threshold over a set of dataset profiles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdOptimizer {
+    spec: QualitySpec,
+    /// Bisection probes; 24 localizes the threshold to ~1e-7 of its range.
+    iterations: u32,
+}
+
+impl ThresholdOptimizer {
+    /// Creates an optimizer for the given specification.
+    pub fn new(spec: QualitySpec) -> Self {
+        Self {
+            spec,
+            iterations: 24,
+        }
+    }
+
+    /// The specification being optimized for.
+    pub fn spec(&self) -> &QualitySpec {
+        &self.spec
+    }
+
+    /// Certification probe: successes and the Clopper–Pearson bound at one
+    /// candidate threshold.
+    pub fn certify(
+        &self,
+        function: &AcceleratedFunction,
+        profiles: &[DatasetProfile],
+        threshold: f32,
+    ) -> Result<(u64, f64, f64)> {
+        let mut successes = 0u64;
+        let mut invocation_rates = 0.0f64;
+        for p in profiles {
+            let replay = p.replay_with_threshold(function, threshold);
+            if replay.quality_loss <= self.spec.max_quality_loss {
+                successes += 1;
+            }
+            invocation_rates += replay.invocation_rate();
+        }
+        let bound = lower_bound(successes, profiles.len() as u64, self.spec.confidence)?;
+        Ok((successes, bound, invocation_rates / profiles.len() as f64))
+    }
+
+    /// Finds the loosest certifiable threshold by bisection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MithraError::InsufficientData`] with no profiles, and
+    /// [`MithraError::Uncertifiable`] if even threshold 0 (all-precise)
+    /// cannot be certified — i.e. the dataset count is too small for the
+    /// requested confidence/success rate.
+    pub fn optimize(
+        &self,
+        function: &AcceleratedFunction,
+        profiles: &[DatasetProfile],
+    ) -> Result<ThresholdOutcome> {
+        if profiles.is_empty() {
+            return Err(MithraError::InsufficientData {
+                stage: "threshold optimization",
+                available: 0,
+                needed: 1,
+            });
+        }
+
+        // Upper end of the search range: the largest observed error.
+        let max_err = profiles
+            .iter()
+            .flat_map(|p| p.errors().iter().copied())
+            .fold(0.0f32, f32::max)
+            .max(1e-6);
+
+        // Threshold 0 filters every erroneous invocation: quality loss 0.
+        let (s0, bound0, _) = self.certify(function, profiles, 0.0)?;
+        if bound0 < self.spec.success_rate {
+            return Err(MithraError::Uncertifiable {
+                quality_target: self.spec.max_quality_loss,
+                required_rate: self.spec.success_rate,
+                best_rate: bound0,
+            });
+        }
+        let _ = s0;
+
+        // If even the loosest threshold certifies, take it.
+        let (s_hi, bound_hi, inv_hi) = self.certify(function, profiles, max_err)?;
+        if bound_hi >= self.spec.success_rate {
+            return Ok(ThresholdOutcome {
+                threshold: max_err,
+                successes: s_hi,
+                trials: profiles.len() as u64,
+                certified_rate: bound_hi,
+                mean_invocation_rate: inv_hi,
+            });
+        }
+
+        // Bisection: lo certifies, hi does not.
+        let (mut lo, mut hi) = (0.0f32, max_err);
+        let mut best = (0.0f32, 0u64, bound0, 0.0f64);
+        for _ in 0..self.iterations {
+            let mid = 0.5 * (lo + hi);
+            let (s, bound, inv) = self.certify(function, profiles, mid)?;
+            if bound >= self.spec.success_rate {
+                best = (mid, s, bound, inv);
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+
+        // `best` may still be the all-precise origin if nothing in between
+        // certified; recompute its invocation rate for reporting.
+        let (threshold, successes, certified_rate, mean_invocation_rate) = if best.0 == 0.0 {
+            let (s, b, inv) = self.certify(function, profiles, 0.0)?;
+            (0.0, s, b, inv)
+        } else {
+            best
+        };
+
+        Ok(ThresholdOutcome {
+            threshold,
+            successes,
+            trials: profiles.len() as u64,
+            certified_rate,
+            mean_invocation_rate,
+        })
+    }
+
+    /// The paper's literal Algorithm 1: delta-stepping from an initial
+    /// threshold, loosening while certification holds and tightening while
+    /// it fails, terminating at the boundary crossing.
+    ///
+    /// Provided for fidelity and cross-validation against [`optimize`];
+    /// bisection reaches the same boundary in fewer probes.
+    ///
+    /// [`optimize`]: Self::optimize
+    ///
+    /// # Errors
+    ///
+    /// Same as [`optimize`](Self::optimize).
+    pub fn optimize_stepping(
+        &self,
+        function: &AcceleratedFunction,
+        profiles: &[DatasetProfile],
+        initial: f32,
+        delta: f32,
+        max_steps: u32,
+    ) -> Result<ThresholdOutcome> {
+        if profiles.is_empty() {
+            return Err(MithraError::InsufficientData {
+                stage: "threshold optimization",
+                available: 0,
+                needed: 1,
+            });
+        }
+        let mut th = initial.max(0.0);
+        let mut last_pass: Option<(f32, u64, f64, f64)> = None;
+        for _ in 0..max_steps {
+            let (s, bound, inv) = self.certify(function, profiles, th)?;
+            let pass = bound >= self.spec.success_rate;
+            if pass {
+                last_pass = Some((th, s, bound, inv));
+                // Success: loosen the knob (step 5: increase threshold).
+                th += delta;
+            } else {
+                // Failure right after a pass: the boundary is crossed
+                // (step 6 terminates).
+                if last_pass.is_some() {
+                    break;
+                }
+                // Failure: tighten the knob (step 5: decrease threshold).
+                th -= delta;
+                if th < 0.0 {
+                    th = 0.0;
+                }
+            }
+        }
+        match last_pass {
+            Some((threshold, successes, certified_rate, mean_invocation_rate)) => {
+                Ok(ThresholdOutcome {
+                    threshold,
+                    successes,
+                    trials: profiles.len() as u64,
+                    certified_rate,
+                    mean_invocation_rate,
+                })
+            }
+            None => {
+                let (s, bound, inv) = self.certify(function, profiles, 0.0)?;
+                if bound >= self.spec.success_rate {
+                    Ok(ThresholdOutcome {
+                        threshold: 0.0,
+                        successes: s,
+                        trials: profiles.len() as u64,
+                        certified_rate: bound,
+                        mean_invocation_rate: inv,
+                    })
+                } else {
+                    Err(MithraError::Uncertifiable {
+                        quality_target: self.spec.max_quality_loss,
+                        required_rate: self.spec.success_rate,
+                        best_rate: bound,
+                    })
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::NpuTrainConfig;
+    use mithra_axbench::benchmark::Benchmark;
+    use mithra_axbench::dataset::{Dataset, DatasetScale};
+    use mithra_axbench::suite;
+    use std::sync::Arc;
+
+    fn setup(name: &str, n_profiles: u64) -> (AcceleratedFunction, Vec<DatasetProfile>) {
+        let bench: Arc<dyn Benchmark> = suite::by_name(name).unwrap().into();
+        let train: Vec<Dataset> = (0..2)
+            .map(|s| bench.dataset(s, DatasetScale::Smoke))
+            .collect();
+        let f = AcceleratedFunction::train(
+            bench,
+            &train,
+            &NpuTrainConfig {
+                epochs: Some(25),
+                max_samples: 1500,
+                seed: 7,
+            },
+        )
+        .unwrap();
+        let profiles: Vec<DatasetProfile> = (100..100 + n_profiles)
+            .map(|s| DatasetProfile::collect(&f, f.dataset(s, DatasetScale::Smoke)))
+            .collect();
+        (f, profiles)
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(QualitySpec::new(0.05, 0.95, 0.9).is_ok());
+        assert!(QualitySpec::new(0.0, 0.95, 0.9).is_err());
+        assert!(QualitySpec::new(0.05, 1.0, 0.9).is_err());
+        assert!(QualitySpec::new(0.05, 0.95, 1.5).is_err());
+        let spec = QualitySpec::paper_default(0.05).unwrap();
+        assert_eq!(spec.max_quality_loss, 0.05);
+    }
+
+    #[test]
+    fn optimizer_certifies_loose_targets() {
+        // With a generous quality target and modest success rate the
+        // optimizer must find a positive threshold.
+        let (f, profiles) = setup("sobel", 30);
+        let spec = QualitySpec::new(0.30, 0.9, 0.5).unwrap();
+        let outcome = ThresholdOptimizer::new(spec).optimize(&f, &profiles).unwrap();
+        assert!(outcome.threshold > 0.0);
+        assert!(outcome.certified_rate >= 0.5);
+        assert!(outcome.mean_invocation_rate > 0.0);
+        assert_eq!(outcome.trials, 30);
+    }
+
+    #[test]
+    fn stricter_targets_give_tighter_thresholds() {
+        let (f, profiles) = setup("sobel", 30);
+        let loose = ThresholdOptimizer::new(QualitySpec::new(0.30, 0.9, 0.5).unwrap())
+            .optimize(&f, &profiles)
+            .unwrap();
+        let tight = ThresholdOptimizer::new(QualitySpec::new(0.02, 0.9, 0.5).unwrap())
+            .optimize(&f, &profiles)
+            .unwrap();
+        assert!(tight.threshold <= loose.threshold);
+        assert!(tight.mean_invocation_rate <= loose.mean_invocation_rate + 1e-9);
+    }
+
+    #[test]
+    fn impossible_success_rate_errors() {
+        // 5 datasets cannot certify 99% at 95% confidence.
+        let (f, profiles) = setup("sobel", 5);
+        let spec = QualitySpec::new(0.05, 0.95, 0.99).unwrap();
+        let err = ThresholdOptimizer::new(spec).optimize(&f, &profiles).unwrap_err();
+        assert!(matches!(err, MithraError::Uncertifiable { .. }));
+    }
+
+    #[test]
+    fn empty_profiles_error() {
+        let (f, _) = setup("sobel", 1);
+        let spec = QualitySpec::paper_default(0.05).unwrap();
+        assert!(matches!(
+            ThresholdOptimizer::new(spec).optimize(&f, &[]),
+            Err(MithraError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn stepping_agrees_with_bisection() {
+        let (f, profiles) = setup("sobel", 20);
+        let spec = QualitySpec::new(0.20, 0.9, 0.5).unwrap();
+        let opt = ThresholdOptimizer::new(spec);
+        let bisect = opt.optimize(&f, &profiles).unwrap();
+        let stepped = opt
+            .optimize_stepping(&f, &profiles, 0.05, 0.01, 200)
+            .unwrap();
+        // Same boundary to within the step size.
+        assert!(
+            (bisect.threshold - stepped.threshold).abs() <= 0.011,
+            "bisect {} vs stepped {}",
+            bisect.threshold,
+            stepped.threshold
+        );
+    }
+
+    #[test]
+    fn certified_rate_is_conservative() {
+        let (f, profiles) = setup("inversek2j", 25);
+        let spec = QualitySpec::new(0.25, 0.9, 0.5).unwrap();
+        let outcome = ThresholdOptimizer::new(spec).optimize(&f, &profiles).unwrap();
+        // The certified (lower-bound) rate never exceeds the empirical one.
+        let empirical = outcome.successes as f64 / outcome.trials as f64;
+        assert!(outcome.certified_rate <= empirical + 1e-12);
+    }
+}

@@ -1,0 +1,106 @@
+//! Training-data generation for the hardware classifiers (paper §III-B).
+//!
+//! Once the threshold is fixed, profiled invocations are labeled: an input
+//! whose accelerator error exceeds the threshold on *any* output element
+//! maps to "run the precise function" (`reject = true`), otherwise to
+//! "invoke the accelerator". The paper samples invocations randomly; a
+//! single image already yields hundreds of thousands of candidate tuples,
+//! so sampling caps the training-set size without losing coverage.
+
+use crate::profile::DatasetProfile;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One labeled training tuple: an accelerator input vector and the binary
+/// decision (paper: `1` = error above threshold = run precise).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingExample {
+    /// The raw accelerator input vector.
+    pub input: Vec<f32>,
+    /// `true` when this input must be filtered out (precise execution).
+    pub reject: bool,
+}
+
+/// Labels profiled invocations against `threshold` and randomly samples at
+/// most `max_samples` tuples (deterministically, from `seed`).
+///
+/// Sampling is stratified implicitly by shuffling the full index space, so
+/// the reject fraction of the sample matches the population's.
+pub fn generate_training_data(
+    profiles: &[DatasetProfile],
+    threshold: f32,
+    max_samples: usize,
+    seed: u64,
+) -> Vec<TrainingExample> {
+    // Index space: (dataset, invocation).
+    let mut indices: Vec<(usize, usize)> = profiles
+        .iter()
+        .enumerate()
+        .flat_map(|(d, p)| (0..p.invocation_count()).map(move |i| (d, i)))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    indices.truncate(max_samples);
+
+    indices
+        .into_iter()
+        .map(|(d, i)| {
+            let p = &profiles[d];
+            TrainingExample {
+                input: p.dataset().input(i).to_vec(),
+                reject: p.max_error(i) > threshold,
+            }
+        })
+        .collect()
+}
+
+/// Splits examples into train/validation partitions (deterministic).
+///
+/// `validation_fraction` of the examples (at least one if possible) go to
+/// the second returned vector. Used by the neural classifier's topology
+/// search.
+pub fn split_examples(
+    mut examples: Vec<TrainingExample>,
+    validation_fraction: f64,
+    seed: u64,
+) -> (Vec<TrainingExample>, Vec<TrainingExample>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    examples.shuffle(&mut rng);
+    let val_len = ((examples.len() as f64 * validation_fraction) as usize)
+        .min(examples.len().saturating_sub(1));
+    let val = examples.split_off(examples.len() - val_len);
+    (examples, val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_example(v: f32, reject: bool) -> TrainingExample {
+        TrainingExample {
+            input: vec![v],
+            reject,
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic_and_partitions() {
+        let examples: Vec<TrainingExample> =
+            (0..100).map(|i| fake_example(i as f32, i % 3 == 0)).collect();
+        let (a1, v1) = split_examples(examples.clone(), 0.2, 9);
+        let (a2, v2) = split_examples(examples.clone(), 0.2, 9);
+        assert_eq!(a1, a2);
+        assert_eq!(v1, v2);
+        assert_eq!(a1.len() + v1.len(), 100);
+        assert_eq!(v1.len(), 20);
+    }
+
+    #[test]
+    fn split_never_leaves_train_empty() {
+        let examples = vec![fake_example(1.0, false), fake_example(2.0, true)];
+        let (train, _val) = split_examples(examples, 0.99, 1);
+        assert!(!train.is_empty());
+    }
+}

@@ -1,0 +1,310 @@
+//! A decision-tree classifier — Rumba's other microarchitectural
+//! mechanism (paper §VI), implemented as a comparison design.
+//!
+//! A small axis-aligned CART tree trained on the same labeled tuples as
+//! MITHRA's classifiers. In hardware this is a pipeline of
+//! compare-and-branch nodes — cheap, but the axis-aligned splits struggle
+//! with the entangled input spaces (jmeint's triangle coordinates) where
+//! the MLP shines. Depth is capped so the hardware stays comparable to a
+//! table lookup.
+
+use crate::classifier::{Classifier, ClassifierOverhead, Decision};
+use crate::training::TrainingExample;
+use crate::{MithraError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Training settings for the decision tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeTrainConfig {
+    /// Maximum tree depth (hardware pipeline stages).
+    pub max_depth: usize,
+    /// Minimum samples in a node before it may split.
+    pub min_split: usize,
+    /// Candidate split positions evaluated per dimension.
+    pub candidate_splits: usize,
+}
+
+impl Default for TreeTrainConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 6,
+            min_split: 16,
+            candidate_splits: 8,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        reject: bool,
+    },
+    Split {
+        dim: usize,
+        value: f32,
+        below: Box<Node>,
+        above: Box<Node>,
+    },
+}
+
+impl Node {
+    fn decide(&self, input: &[f32]) -> bool {
+        match self {
+            Node::Leaf { reject } => *reject,
+            Node::Split {
+                dim,
+                value,
+                below,
+                above,
+            } => {
+                if input[*dim] <= *value {
+                    below.decide(input)
+                } else {
+                    above.decide(input)
+                }
+            }
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 0,
+            Node::Split { below, above, .. } => 1 + below.depth().max(above.depth()),
+        }
+    }
+
+    fn node_count(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Split { below, above, .. } => 1 + below.node_count() + above.node_count(),
+        }
+    }
+}
+
+/// Gini impurity of a (reject, accept) count pair.
+fn gini(rejects: usize, total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let p = rejects as f64 / total as f64;
+    2.0 * p * (1.0 - p)
+}
+
+/// The trained decision-tree classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeClassifier {
+    root: Node,
+    dims: usize,
+}
+
+impl TreeClassifier {
+    /// Trains a CART tree on labeled tuples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MithraError::InsufficientData`] with no examples.
+    pub fn train(examples: &[TrainingExample], config: &TreeTrainConfig) -> Result<Self> {
+        if examples.is_empty() {
+            return Err(MithraError::InsufficientData {
+                stage: "decision tree training",
+                available: 0,
+                needed: 1,
+            });
+        }
+        let dims = examples[0].input.len();
+        let indices: Vec<usize> = (0..examples.len()).collect();
+        let root = Self::build(examples, indices, dims, config.max_depth, config);
+        Ok(Self { root, dims })
+    }
+
+    fn build(
+        examples: &[TrainingExample],
+        indices: Vec<usize>,
+        dims: usize,
+        depth_left: usize,
+        config: &TreeTrainConfig,
+    ) -> Node {
+        let rejects = indices.iter().filter(|&&i| examples[i].reject).count();
+        let total = indices.len();
+        // Majority leaf; ties resolve toward reject (quality first).
+        let majority = rejects * 2 >= total;
+        if depth_left == 0 || total < config.min_split || rejects == 0 || rejects == total {
+            return Node::Leaf { reject: majority };
+        }
+
+        // Best axis-aligned split by Gini gain over quantile candidates.
+        let parent_gini = gini(rejects, total);
+        let mut best: Option<(f64, usize, f32)> = None;
+        for dim in 0..dims {
+            let mut values: Vec<f32> = indices.iter().map(|&i| examples[i].input[dim]).collect();
+            values.sort_by(|a, b| a.partial_cmp(b).expect("finite inputs"));
+            for c in 1..=config.candidate_splits {
+                let pos = values.len() * c / (config.candidate_splits + 1);
+                let split = values[pos.min(values.len() - 1)];
+                let (mut below_r, mut below_n) = (0usize, 0usize);
+                for &i in &indices {
+                    if examples[i].input[dim] <= split {
+                        below_n += 1;
+                        if examples[i].reject {
+                            below_r += 1;
+                        }
+                    }
+                }
+                let above_n = total - below_n;
+                let above_r = rejects - below_r;
+                if below_n == 0 || above_n == 0 {
+                    continue;
+                }
+                let weighted = (below_n as f64 * gini(below_r, below_n)
+                    + above_n as f64 * gini(above_r, above_n))
+                    / total as f64;
+                let gain = parent_gini - weighted;
+                if best.map_or(gain > 1e-9, |(g, _, _)| gain > g) {
+                    best = Some((gain, dim, split));
+                }
+            }
+        }
+
+        match best {
+            None => Node::Leaf { reject: majority },
+            Some((_, dim, split)) => {
+                let (below, above): (Vec<usize>, Vec<usize>) = indices
+                    .into_iter()
+                    .partition(|&i| examples[i].input[dim] <= split);
+                Node::Split {
+                    dim,
+                    value: split,
+                    below: Box::new(Self::build(examples, below, dims, depth_left - 1, config)),
+                    above: Box::new(Self::build(examples, above, dims, depth_left - 1, config)),
+                }
+            }
+        }
+    }
+
+    /// Number of input dimensions the tree was trained on.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Depth of the trained tree.
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+
+    /// Total node count (hardware comparator budget).
+    pub fn node_count(&self) -> usize {
+        self.root.node_count()
+    }
+
+    /// The decision for one input.
+    pub fn decide(&self, input: &[f32]) -> Decision {
+        Decision::from_reject(self.root.decide(input))
+    }
+}
+
+impl Classifier for TreeClassifier {
+    fn name(&self) -> &'static str {
+        "tree"
+    }
+
+    fn classify(&mut self, _index: usize, input: &[f32]) -> Decision {
+        self.decide(input)
+    }
+
+    fn overhead(&self) -> ClassifierOverhead {
+        // One compare per level on the critical path.
+        ClassifierOverhead {
+            decision_cycles: self.depth() as u64,
+            misr_shifts: 0,
+            table_bit_reads: 0,
+            npu_topology: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boundary_examples(n: usize, split: f32) -> Vec<TrainingExample> {
+        (0..n)
+            .map(|i| {
+                let x = i as f32 / (n - 1) as f32;
+                TrainingExample {
+                    input: vec![x, (i % 7) as f32 / 7.0],
+                    reject: x > split,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_axis_aligned_boundary() {
+        let ex = boundary_examples(400, 0.7);
+        let tree = TreeClassifier::train(&ex, &TreeTrainConfig::default()).unwrap();
+        assert_eq!(tree.decide(&[0.9, 0.5]), Decision::Precise);
+        assert_eq!(tree.decide(&[0.2, 0.5]), Decision::Approximate);
+        assert!(tree.depth() >= 1);
+    }
+
+    #[test]
+    fn pure_classes_yield_leaves() {
+        let ex: Vec<TrainingExample> = (0..50)
+            .map(|i| TrainingExample {
+                input: vec![i as f32],
+                reject: false,
+            })
+            .collect();
+        let tree = TreeClassifier::train(&ex, &TreeTrainConfig::default()).unwrap();
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.decide(&[25.0]), Decision::Approximate);
+    }
+
+    #[test]
+    fn depth_respects_cap() {
+        // A checkerboard labeling forces deep splits; the cap must hold.
+        let ex: Vec<TrainingExample> = (0..512)
+            .map(|i| TrainingExample {
+                input: vec![(i % 32) as f32, (i / 32) as f32],
+                reject: (i % 2) == 0,
+            })
+            .collect();
+        let cfg = TreeTrainConfig {
+            max_depth: 4,
+            ..TreeTrainConfig::default()
+        };
+        let tree = TreeClassifier::train(&ex, &cfg).unwrap();
+        assert!(tree.depth() <= 4, "depth {}", tree.depth());
+    }
+
+    #[test]
+    fn tie_breaks_toward_reject() {
+        let ex = vec![
+            TrainingExample { input: vec![0.0], reject: true },
+            TrainingExample { input: vec![0.0], reject: false },
+        ];
+        let tree = TreeClassifier::train(&ex, &TreeTrainConfig::default()).unwrap();
+        assert_eq!(tree.decide(&[0.0]), Decision::Precise);
+    }
+
+    #[test]
+    fn empty_training_rejected() {
+        assert!(TreeClassifier::train(&[], &TreeTrainConfig::default()).is_err());
+    }
+
+    #[test]
+    fn overhead_tracks_depth() {
+        let ex = boundary_examples(200, 0.5);
+        let tree = TreeClassifier::train(&ex, &TreeTrainConfig::default()).unwrap();
+        assert_eq!(tree.overhead().decision_cycles, tree.depth() as u64);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let ex = boundary_examples(200, 0.6);
+        let tree = TreeClassifier::train(&ex, &TreeTrainConfig::default()).unwrap();
+        let json = serde_json::to_string(&tree).unwrap();
+        let restored: TreeClassifier = serde_json::from_str(&json).unwrap();
+        assert_eq!(tree, restored);
+    }
+}

@@ -1,0 +1,71 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the NPU substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NpuError {
+    /// A topology had fewer than two layers or a zero-width layer.
+    InvalidTopology {
+        /// Why the shape was rejected.
+        reason: &'static str,
+    },
+    /// An input vector's length did not match the network's input layer.
+    DimensionMismatch {
+        /// Expected number of elements.
+        expected: usize,
+        /// Number of elements supplied.
+        actual: usize,
+    },
+    /// The training set was empty or inconsistent.
+    InvalidTrainingSet {
+        /// Why the training set was rejected.
+        reason: &'static str,
+    },
+    /// A FIFO operation failed (enqueue to a full queue, dequeue from an
+    /// empty one).
+    Fifo {
+        /// Which operation failed.
+        operation: &'static str,
+        /// Queue capacity at the time.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for NpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NpuError::InvalidTopology { reason } => {
+                write!(f, "invalid network topology: {reason}")
+            }
+            NpuError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected} elements, got {actual}")
+            }
+            NpuError::InvalidTrainingSet { reason } => {
+                write!(f, "invalid training set: {reason}")
+            }
+            NpuError::Fifo { operation, capacity } => {
+                write!(f, "fifo {operation} failed (capacity {capacity})")
+            }
+        }
+    }
+}
+
+impl Error for NpuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NpuError>();
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = NpuError::DimensionMismatch { expected: 6, actual: 2 };
+        assert_eq!(e.to_string(), "dimension mismatch: expected 6 elements, got 2");
+    }
+}

@@ -1,0 +1,207 @@
+//! The core↔NPU queue interface.
+//!
+//! The NPU "exposes three queues to the processor to communicate inputs,
+//! outputs, and configurations" (paper §V-A). The ISA adds enqueue/dequeue
+//! instructions that move one element per issue. MITHRA's classifiers snoop
+//! the input queue: "classifiers receive the inputs as the processor
+//! enqueues them in the accelerator FIFO". This module models those bounded
+//! queues so the system simulator can charge per-element transport costs
+//! and so tests can exercise back-pressure behaviour.
+
+use crate::{NpuError, Result};
+use std::collections::VecDeque;
+
+/// A bounded single-producer FIFO as exposed by the accelerator interface.
+///
+/// # Example
+///
+/// ```
+/// # use mithra_npu::fifo::Fifo;
+/// let mut q = Fifo::new(4);
+/// q.enqueue(1.0f32)?;
+/// q.enqueue(2.0)?;
+/// assert_eq!(q.dequeue()?, 1.0);
+/// assert_eq!(q.len(), 1);
+/// # Ok::<(), mithra_npu::NpuError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO with the given capacity (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            items: VecDeque::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Maximum number of elements the queue holds.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of queued elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the queue is at capacity (an enqueue would stall the core).
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Enqueues one element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NpuError::Fifo`] if the queue is full — the hardware would
+    /// stall the enqueue instruction; simulation surfaces it as an error so
+    /// callers decide how to model the stall.
+    pub fn enqueue(&mut self, value: T) -> Result<()> {
+        if self.is_full() {
+            return Err(NpuError::Fifo {
+                operation: "enqueue",
+                capacity: self.capacity,
+            });
+        }
+        self.items.push_back(value);
+        Ok(())
+    }
+
+    /// Dequeues the oldest element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NpuError::Fifo`] if the queue is empty.
+    pub fn dequeue(&mut self) -> Result<T> {
+        self.items.pop_front().ok_or(NpuError::Fifo {
+            operation: "dequeue",
+            capacity: self.capacity,
+        })
+    }
+
+    /// Removes all queued elements.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Iterates over queued elements oldest-first without consuming them
+    /// (how a snooping classifier observes the input stream).
+    pub fn iter(&self) -> std::collections::vec_deque::Iter<'_, T> {
+        self.items.iter()
+    }
+}
+
+impl<T> Extend<T> for Fifo<T> {
+    /// Extends the queue, silently stopping at capacity (matching burst
+    /// enqueue behaviour where the tail stalls).
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            if self.enqueue(v).is_err() {
+                break;
+            }
+        }
+    }
+}
+
+/// The accelerator's full queue interface: input, output, and config.
+#[derive(Debug, Clone)]
+pub struct QueueInterface {
+    /// Input operands from the core to the accelerator.
+    pub input: Fifo<f32>,
+    /// Results from the accelerator back to the core.
+    pub output: Fifo<f32>,
+    /// Configuration words (weights, topology descriptors).
+    pub config: Fifo<u32>,
+}
+
+impl QueueInterface {
+    /// Creates an interface with the NPU's queue depths: 128-deep data
+    /// queues and a 32-deep config queue.
+    pub fn new() -> Self {
+        Self {
+            input: Fifo::new(128),
+            output: Fifo::new(128),
+            config: Fifo::new(32),
+        }
+    }
+}
+
+impl Default for QueueInterface {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = Fifo::new(8);
+        for i in 0..5 {
+            q.enqueue(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(q.dequeue().unwrap(), i);
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_queue_rejects_enqueue() {
+        let mut q = Fifo::new(2);
+        q.enqueue(1).unwrap();
+        q.enqueue(2).unwrap();
+        assert!(q.is_full());
+        assert!(matches!(
+            q.enqueue(3),
+            Err(NpuError::Fifo { operation: "enqueue", .. })
+        ));
+    }
+
+    #[test]
+    fn empty_queue_rejects_dequeue() {
+        let mut q: Fifo<u8> = Fifo::new(2);
+        assert!(q.dequeue().is_err());
+    }
+
+    #[test]
+    fn zero_capacity_clamped_to_one() {
+        let q: Fifo<u8> = Fifo::new(0);
+        assert_eq!(q.capacity(), 1);
+    }
+
+    #[test]
+    fn extend_stops_at_capacity() {
+        let mut q = Fifo::new(3);
+        q.extend(0..100);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn snooping_iteration_does_not_consume() {
+        let mut q = Fifo::new(4);
+        q.extend([1.0f32, 2.0, 3.0]);
+        let seen: Vec<f32> = q.iter().copied().collect();
+        assert_eq!(seen, vec![1.0, 2.0, 3.0]);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn interface_defaults() {
+        let qi = QueueInterface::default();
+        assert_eq!(qi.input.capacity(), 128);
+        assert_eq!(qi.config.capacity(), 32);
+    }
+}

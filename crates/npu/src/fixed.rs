@@ -1,0 +1,280 @@
+//! Fixed-point datapath: what the NPU hardware actually computes.
+//!
+//! The hardware PEs use fixed-point multiply-accumulate units and a
+//! lookup-table sigmoid rather than IEEE floating point. This module models
+//! that: values are Q-format signed integers and the sigmoid is a uniform
+//! 256-entry LUT with linear interpolation. Quantization is one of the
+//! sources of the accelerator's approximation error, so profiling through
+//! [`FixedMlp`] exposes error behaviour the f32 path would hide.
+
+use crate::mlp::{Activation, Mlp};
+use crate::{NpuError, Result};
+
+/// A Q-format signed fixed-point configuration: `frac_bits` fractional bits
+/// in an `i32` container (accumulation in `i64`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QFormat {
+    frac_bits: u32,
+}
+
+impl QFormat {
+    /// Creates a Q-format with the given number of fractional bits
+    /// (1..=24; the NPU uses Q16.16-like formats).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NpuError::InvalidTopology`] (reused as the generic
+    /// configuration error) if `frac_bits` is out of range.
+    pub fn new(frac_bits: u32) -> Result<Self> {
+        if !(1..=24).contains(&frac_bits) {
+            return Err(NpuError::InvalidTopology {
+                reason: "fixed-point fractional bits must be in 1..=24",
+            });
+        }
+        Ok(Self { frac_bits })
+    }
+
+    /// Number of fractional bits.
+    pub fn frac_bits(&self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Quantizes an `f32` to this format (round-to-nearest, saturating).
+    pub fn quantize(&self, v: f32) -> i32 {
+        let scaled = f64::from(v) * (1i64 << self.frac_bits) as f64;
+        scaled.round().clamp(f64::from(i32::MIN), f64::from(i32::MAX)) as i32
+    }
+
+    /// Converts a fixed-point value back to `f32`.
+    pub fn dequantize(&self, v: i32) -> f32 {
+        (f64::from(v) / (1i64 << self.frac_bits) as f64) as f32
+    }
+
+    /// Multiplies two fixed-point values, keeping the format.
+    fn mul(&self, a: i32, b: i32) -> i64 {
+        (i64::from(a) * i64::from(b)) >> self.frac_bits
+    }
+
+    fn saturate(&self, v: i64) -> i32 {
+        v.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32
+    }
+}
+
+/// The hardware sigmoid: a 256-entry LUT over `[-8, 8]` with linear
+/// interpolation, saturating outside the covered range.
+#[derive(Debug, Clone)]
+pub struct SigmoidLut {
+    table: Vec<f32>,
+    range: f32,
+}
+
+impl SigmoidLut {
+    /// Builds the LUT with `entries` samples over `[-range, range]`.
+    pub fn new(entries: usize, range: f32) -> Self {
+        let entries = entries.max(2);
+        let table = (0..entries)
+            .map(|i| {
+                let x = -range + 2.0 * range * i as f32 / (entries - 1) as f32;
+                1.0 / (1.0 + (-x).exp())
+            })
+            .collect();
+        Self { table, range }
+    }
+
+    /// The default hardware configuration: 256 entries over `[-8, 8]`.
+    pub fn hardware_default() -> Self {
+        Self::new(256, 8.0)
+    }
+
+    /// Evaluates the LUT sigmoid at `x`.
+    pub fn eval(&self, x: f32) -> f32 {
+        if x <= -self.range {
+            return self.table[0];
+        }
+        if x >= self.range {
+            return self.table[self.table.len() - 1];
+        }
+        let pos = (x + self.range) / (2.0 * self.range) * (self.table.len() - 1) as f32;
+        let idx = pos.floor() as usize;
+        let frac = pos - idx as f32;
+        let hi = (idx + 1).min(self.table.len() - 1);
+        self.table[idx] * (1.0 - frac) + self.table[hi] * frac
+    }
+}
+
+/// A quantized MLP evaluated entirely in fixed point.
+///
+/// # Example
+///
+/// ```
+/// # use mithra_npu::fixed::{FixedMlp, QFormat};
+/// # use mithra_npu::mlp::{Activation, Mlp};
+/// # use mithra_npu::topology::Topology;
+/// let t = Topology::new(&[1, 1])?;
+/// let mlp = Mlp::from_parameters(t, &[0.5], &[0.25], Activation::Linear)?;
+/// let fixed = FixedMlp::quantize(&mlp, QFormat::new(16)?);
+/// let out = fixed.run(&[1.0])?;
+/// assert!((out[0] - 0.75).abs() < 1e-3);
+/// # Ok::<(), mithra_npu::NpuError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FixedMlp {
+    format: QFormat,
+    lut: SigmoidLut,
+    layers: Vec<FixedLayer>,
+    inputs: usize,
+}
+
+#[derive(Debug, Clone)]
+struct FixedLayer {
+    weights: Vec<i32>,
+    biases: Vec<i32>,
+    fan_in: usize,
+    activation: Activation,
+}
+
+impl FixedMlp {
+    /// Quantizes a trained floating-point network into this datapath.
+    pub fn quantize(mlp: &Mlp, format: QFormat) -> Self {
+        let layers = mlp
+            .layers()
+            .iter()
+            .map(|l| FixedLayer {
+                weights: l.weights.iter().map(|&w| format.quantize(w)).collect(),
+                biases: l.biases.iter().map(|&b| format.quantize(b)).collect(),
+                fan_in: l.fan_in,
+                activation: l.activation,
+            })
+            .collect();
+        Self {
+            format,
+            lut: SigmoidLut::hardware_default(),
+            layers,
+            inputs: mlp.topology().inputs(),
+        }
+    }
+
+    /// The fixed-point format in use.
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+
+    /// Runs a forward pass in fixed point; inputs and outputs are `f32` at
+    /// the interface (the FIFOs carry quantized values; conversion happens
+    /// at the boundary).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NpuError::DimensionMismatch`] on input length mismatch.
+    pub fn run(&self, input: &[f32]) -> Result<Vec<f32>> {
+        if input.len() != self.inputs {
+            return Err(NpuError::DimensionMismatch {
+                expected: self.inputs,
+                actual: input.len(),
+            });
+        }
+        let mut current: Vec<i32> = input.iter().map(|&v| self.format.quantize(v)).collect();
+        for layer in &self.layers {
+            let mut next = Vec::with_capacity(layer.biases.len());
+            for n in 0..layer.biases.len() {
+                let row = &layer.weights[n * layer.fan_in..(n + 1) * layer.fan_in];
+                let mut acc = i64::from(layer.biases[n]);
+                for (w, x) in row.iter().zip(&current) {
+                    acc += self.format.mul(*w, *x);
+                }
+                let acc = self.format.saturate(acc);
+                let v = match layer.activation {
+                    Activation::Sigmoid => {
+                        self.format.quantize(self.lut.eval(self.format.dequantize(acc)))
+                    }
+                    Activation::Linear => acc,
+                };
+                next.push(v);
+            }
+            current = next;
+        }
+        Ok(current.iter().map(|&v| self.format.dequantize(v)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    #[test]
+    fn qformat_round_trip() {
+        let q = QFormat::new(16).unwrap();
+        for &v in &[0.0f32, 1.0, -1.0, 3.14159, -127.5] {
+            let back = q.dequantize(q.quantize(v));
+            assert!((back - v).abs() < 1e-4, "{v} -> {back}");
+        }
+    }
+
+    #[test]
+    fn qformat_saturates() {
+        let q = QFormat::new(16).unwrap();
+        assert_eq!(q.quantize(1e9), i32::MAX);
+        assert_eq!(q.quantize(-1e9), i32::MIN);
+    }
+
+    #[test]
+    fn qformat_rejects_bad_widths() {
+        assert!(QFormat::new(0).is_err());
+        assert!(QFormat::new(30).is_err());
+    }
+
+    #[test]
+    fn lut_matches_sigmoid() {
+        let lut = SigmoidLut::hardware_default();
+        for i in -80..=80 {
+            let x = i as f32 / 10.0;
+            let exact = 1.0 / (1.0 + (-x).exp());
+            assert!((lut.eval(x) - exact).abs() < 2e-3, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn lut_saturates_outside_range() {
+        let lut = SigmoidLut::hardware_default();
+        assert!((lut.eval(100.0) - 1.0).abs() < 1e-3);
+        assert!(lut.eval(-100.0) < 1e-3);
+    }
+
+    #[test]
+    fn fixed_tracks_float_closely() {
+        // A small trained-looking network: fixed-point output should be
+        // within quantization distance of the float path.
+        let t = Topology::new(&[2, 3, 1]).unwrap();
+        let weights = [0.5, -0.25, 0.75, 0.1, -0.6, 0.33, 1.0, -1.0, 0.5];
+        let biases = [0.05, -0.1, 0.2, 0.0];
+        let mlp =
+            Mlp::from_parameters(t, &weights, &biases, Activation::Linear).unwrap();
+        let fixed = FixedMlp::quantize(&mlp, QFormat::new(16).unwrap());
+        for &input in &[[0.3f32, 0.7f32], [1.0, -1.0], [0.0, 0.0]] {
+            let f = mlp.run(&input).unwrap()[0];
+            let q = fixed.run(&input).unwrap()[0];
+            assert!((f - q).abs() < 5e-3, "float {f} vs fixed {q}");
+        }
+    }
+
+    #[test]
+    fn coarse_quantization_introduces_error() {
+        let t = Topology::new(&[1, 1]).unwrap();
+        let mlp = Mlp::from_parameters(t, &[0.123456], &[0.0], Activation::Linear).unwrap();
+        let coarse = FixedMlp::quantize(&mlp, QFormat::new(4).unwrap());
+        let fine = FixedMlp::quantize(&mlp, QFormat::new(20).unwrap());
+        let exact = mlp.run(&[1.0]).unwrap()[0];
+        let coarse_err = (coarse.run(&[1.0]).unwrap()[0] - exact).abs();
+        let fine_err = (fine.run(&[1.0]).unwrap()[0] - exact).abs();
+        assert!(coarse_err > fine_err);
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let t = Topology::new(&[2, 1]).unwrap();
+        let mlp = Mlp::from_parameters(t, &[1.0, 1.0], &[0.0], Activation::Linear).unwrap();
+        let fixed = FixedMlp::quantize(&mlp, QFormat::new(12).unwrap());
+        assert!(fixed.run(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,298 @@
+//! The floating-point MLP datapath.
+//!
+//! Weights are stored per layer in row-major `[neuron][input]` order — the
+//! same order the PE array streams them — so the forward pass is a plain
+//! sequence of dot products.
+
+use crate::topology::Topology;
+use crate::{NpuError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Activation function applied by a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Activation {
+    /// Logistic sigmoid, `1 / (1 + e^-x)` — the NPU's hidden-layer unit.
+    Sigmoid,
+    /// Identity; used on output layers of regression networks.
+    Linear,
+}
+
+impl Activation {
+    /// Applies the activation to a pre-activation value.
+    pub fn apply(&self, x: f32) -> f32 {
+        match self {
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Linear => x,
+        }
+    }
+
+    /// Derivative of the activation expressed in terms of its *output* `y`
+    /// (the form backpropagation wants).
+    pub fn derivative_from_output(&self, y: f32) -> f32 {
+        match self {
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Linear => 1.0,
+        }
+    }
+}
+
+/// One fully connected layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct Layer {
+    /// `weights[n * fan_in + i]` is the weight from input `i` to neuron `n`.
+    pub(crate) weights: Vec<f32>,
+    pub(crate) biases: Vec<f32>,
+    pub(crate) fan_in: usize,
+    pub(crate) activation: Activation,
+}
+
+impl Layer {
+    fn forward_into(&self, input: &[f32], out: &mut Vec<f32>) {
+        out.clear();
+        for n in 0..self.biases.len() {
+            let row = &self.weights[n * self.fan_in..(n + 1) * self.fan_in];
+            let mut acc = self.biases[n];
+            for (w, x) in row.iter().zip(input) {
+                acc += w * x;
+            }
+            out.push(self.activation.apply(acc));
+        }
+    }
+}
+
+/// A multi-layer perceptron — the network the NPU executes.
+///
+/// Construct one with [`Trainer`](crate::train::Trainer) (the compiler's
+/// path) or [`Mlp::from_parameters`] (loading a stored configuration).
+///
+/// # Example
+///
+/// ```
+/// # use mithra_npu::mlp::{Activation, Mlp};
+/// # use mithra_npu::topology::Topology;
+/// // An identity-ish single linear neuron: y = 2x + 1.
+/// let t = Topology::new(&[1, 1])?;
+/// let mlp = Mlp::from_parameters(t, &[2.0], &[1.0], Activation::Linear)?;
+/// assert_eq!(mlp.run(&[3.0])?, vec![7.0]);
+/// # Ok::<(), mithra_npu::NpuError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    topology: Topology,
+    layers: Vec<Layer>,
+}
+
+impl Mlp {
+    /// Builds an MLP from flat parameter slices.
+    ///
+    /// `weights` holds each layer's matrix in row-major `[neuron][input]`
+    /// order, layers concatenated input-side first; `biases` holds each
+    /// non-input neuron's bias in the same layer order. Hidden layers use
+    /// sigmoid activation; the output layer uses `output_activation`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NpuError::DimensionMismatch`] if the slice lengths do not
+    /// match the topology's parameter counts.
+    pub fn from_parameters(
+        topology: Topology,
+        weights: &[f32],
+        biases: &[f32],
+        output_activation: Activation,
+    ) -> Result<Self> {
+        if weights.len() != topology.weight_count() {
+            return Err(NpuError::DimensionMismatch {
+                expected: topology.weight_count(),
+                actual: weights.len(),
+            });
+        }
+        if biases.len() != topology.bias_count() {
+            return Err(NpuError::DimensionMismatch {
+                expected: topology.bias_count(),
+                actual: biases.len(),
+            });
+        }
+        let mut layers = Vec::with_capacity(topology.layers().len() - 1);
+        let mut w_off = 0;
+        let mut b_off = 0;
+        let shape = topology.layers();
+        for l in 0..shape.len() - 1 {
+            let fan_in = shape[l];
+            let fan_out = shape[l + 1];
+            let activation = if l + 2 == shape.len() {
+                output_activation
+            } else {
+                Activation::Sigmoid
+            };
+            layers.push(Layer {
+                weights: weights[w_off..w_off + fan_in * fan_out].to_vec(),
+                biases: biases[b_off..b_off + fan_out].to_vec(),
+                fan_in,
+                activation,
+            });
+            w_off += fan_in * fan_out;
+            b_off += fan_out;
+        }
+        Ok(Self { topology, layers })
+    }
+
+    /// The network's shape.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Activation of the output layer.
+    pub fn output_activation(&self) -> Activation {
+        self.layers
+            .last()
+            .expect("topology guarantees at least one layer")
+            .activation
+    }
+
+    /// Flattens the parameters back out in [`from_parameters`] order —
+    /// the form the accelerator configuration FIFO transports.
+    ///
+    /// [`from_parameters`]: Self::from_parameters
+    pub fn to_parameters(&self) -> (Vec<f32>, Vec<f32>) {
+        let mut weights = Vec::with_capacity(self.topology.weight_count());
+        let mut biases = Vec::with_capacity(self.topology.bias_count());
+        for layer in &self.layers {
+            weights.extend_from_slice(&layer.weights);
+            biases.extend_from_slice(&layer.biases);
+        }
+        (weights, biases)
+    }
+
+    /// Runs one forward pass, allocating the output vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NpuError::DimensionMismatch`] if `input` does not match
+    /// the input layer width.
+    pub fn run(&self, input: &[f32]) -> Result<Vec<f32>> {
+        let mut out = Vec::new();
+        self.run_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// Runs one forward pass into a caller-provided buffer, avoiding
+    /// allocation on hot paths (profiling runs millions of invocations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NpuError::DimensionMismatch`] if `input` does not match
+    /// the input layer width.
+    pub fn run_into(&self, input: &[f32], output: &mut Vec<f32>) -> Result<()> {
+        if input.len() != self.topology.inputs() {
+            return Err(NpuError::DimensionMismatch {
+                expected: self.topology.inputs(),
+                actual: input.len(),
+            });
+        }
+        let mut current: Vec<f32> = input.to_vec();
+        let mut next: Vec<f32> = Vec::new();
+        for layer in &self.layers {
+            layer.forward_into(&current, &mut next);
+            std::mem::swap(&mut current, &mut next);
+        }
+        output.clear();
+        output.extend_from_slice(&current);
+        Ok(())
+    }
+
+    /// Runs a forward pass and additionally returns every layer's
+    /// activations (used by the trainer's backward pass).
+    pub(crate) fn forward_trace(&self, input: &[f32]) -> Vec<Vec<f32>> {
+        let mut activations = Vec::with_capacity(self.layers.len() + 1);
+        activations.push(input.to_vec());
+        for layer in &self.layers {
+            let mut out = Vec::new();
+            layer.forward_into(activations.last().expect("seeded above"), &mut out);
+            activations.push(out);
+        }
+        activations
+    }
+
+    pub(crate) fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    pub(crate) fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_network() -> Mlp {
+        // Hand-built XOR: hidden sigmoid pair, linear output.
+        let t = Topology::new(&[2, 2, 1]).unwrap();
+        let weights = [
+            // hidden neuron 0: OR-ish, neuron 1: AND-ish
+            20.0, 20.0, //
+            20.0, 20.0, //
+            // output: or - 2*and
+            20.0, -40.0,
+        ];
+        let biases = [-10.0, -30.0, -10.0];
+        Mlp::from_parameters(t, &weights, &biases, Activation::Linear).unwrap()
+    }
+
+    #[test]
+    fn xor_behaviour() {
+        let mlp = xor_network();
+        let f = |a: f32, b: f32| mlp.run(&[a, b]).unwrap()[0];
+        assert!(f(0.0, 0.0) < 0.0);
+        assert!(f(1.0, 0.0) > 0.0);
+        assert!(f(0.0, 1.0) > 0.0);
+        assert!(f(1.0, 1.0) < 0.0);
+    }
+
+    #[test]
+    fn parameter_round_trip() {
+        let mlp = xor_network();
+        let (w, b) = mlp.to_parameters();
+        let rebuilt =
+            Mlp::from_parameters(mlp.topology().clone(), &w, &b, Activation::Linear).unwrap();
+        assert_eq!(mlp, rebuilt);
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let mlp = xor_network();
+        assert!(matches!(
+            mlp.run(&[1.0]),
+            Err(NpuError::DimensionMismatch { expected: 2, actual: 1 })
+        ));
+        let t = Topology::new(&[2, 2, 1]).unwrap();
+        assert!(Mlp::from_parameters(t.clone(), &[0.0; 3], &[0.0; 3], Activation::Linear).is_err());
+        assert!(Mlp::from_parameters(t, &[0.0; 6], &[0.0; 1], Activation::Linear).is_err());
+    }
+
+    #[test]
+    fn run_into_reuses_buffer() {
+        let mlp = xor_network();
+        let mut buf = vec![99.0; 8];
+        mlp.run_into(&[1.0, 0.0], &mut buf).unwrap();
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn sigmoid_saturates() {
+        assert!((Activation::Sigmoid.apply(40.0) - 1.0).abs() < 1e-6);
+        assert!(Activation::Sigmoid.apply(-40.0).abs() < 1e-6);
+        assert_eq!(Activation::Sigmoid.apply(0.0), 0.5);
+    }
+
+    #[test]
+    fn forward_trace_layer_count() {
+        let mlp = xor_network();
+        let trace = mlp.forward_trace(&[1.0, 1.0]);
+        assert_eq!(trace.len(), 3); // input + hidden + output
+        assert_eq!(trace[0], vec![1.0, 1.0]);
+        assert_eq!(trace[2].len(), 1);
+    }
+}

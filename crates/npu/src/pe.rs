@@ -1,0 +1,108 @@
+//! The processing-element array schedule.
+//!
+//! The NPU datapath is eight PEs (paper §V-A). A layer with `n` neurons of
+//! fan-in `f` is computed in waves: each wave assigns one neuron per PE,
+//! and a neuron takes `f` MAC cycles plus a fixed sigmoid/writeback
+//! overhead. Layers are sequential (each consumes the previous one's
+//! outputs), so the invocation latency is the sum of per-layer wave costs
+//! plus input/output streaming.
+
+use crate::topology::Topology;
+
+/// Scheduling parameters of the PE array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeArray {
+    /// Number of processing elements computing neurons in parallel.
+    pub pe_count: usize,
+    /// Cycles per multiply-accumulate step.
+    pub mac_cycles: u64,
+    /// Fixed cycles per neuron for the sigmoid LUT lookup and writeback.
+    pub neuron_overhead_cycles: u64,
+    /// Cycles to stream one input element into the array.
+    pub input_stream_cycles: u64,
+    /// Cycles to stream one output element back to the queue.
+    pub output_stream_cycles: u64,
+}
+
+impl PeArray {
+    /// The NPU configuration used throughout the paper: 8 PEs,
+    /// single-cycle MACs, 2-cycle neuron overhead, single-cycle streaming.
+    pub fn npu_default() -> Self {
+        Self {
+            pe_count: 8,
+            mac_cycles: 1,
+            neuron_overhead_cycles: 2,
+            input_stream_cycles: 1,
+            output_stream_cycles: 1,
+        }
+    }
+
+    /// Cycles to evaluate one layer of `neurons` neurons with `fan_in`
+    /// inputs each.
+    pub fn layer_cycles(&self, fan_in: usize, neurons: usize) -> u64 {
+        let waves = neurons.div_ceil(self.pe_count) as u64;
+        waves * (fan_in as u64 * self.mac_cycles + self.neuron_overhead_cycles)
+    }
+
+    /// Total cycles for one forward pass of `topology`, including input
+    /// and output streaming.
+    pub fn invocation_cycles(&self, topology: &Topology) -> u64 {
+        let shape = topology.layers();
+        let mut cycles = shape[0] as u64 * self.input_stream_cycles;
+        for w in shape.windows(2) {
+            cycles += self.layer_cycles(w[0], w[1]);
+        }
+        cycles += topology.outputs() as u64 * self.output_stream_cycles;
+        cycles
+    }
+}
+
+impl Default for PeArray {
+    fn default() -> Self {
+        Self::npu_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_wave_layer() {
+        let pe = PeArray::npu_default();
+        // 8 neurons on 8 PEs: one wave of (6 MACs + 2 overhead) = 8 cycles.
+        assert_eq!(pe.layer_cycles(6, 8), 8);
+    }
+
+    #[test]
+    fn multi_wave_layer() {
+        let pe = PeArray::npu_default();
+        // 32 neurons on 8 PEs: 4 waves of (18 + 2) = 80 cycles.
+        assert_eq!(pe.layer_cycles(18, 32), 80);
+    }
+
+    #[test]
+    fn invocation_cycles_sum_layers_and_streaming() {
+        let pe = PeArray::npu_default();
+        let t = Topology::new(&[2, 8, 2]).unwrap();
+        // in-stream 2 + layer(2,8)=4 + layer(8,2)=10 + out-stream 2 = 18.
+        assert_eq!(pe.invocation_cycles(&t), 2 + 4 + 10 + 2);
+    }
+
+    #[test]
+    fn bigger_network_costs_more() {
+        let pe = PeArray::npu_default();
+        let small = Topology::new(&[2, 4, 1]).unwrap();
+        let big = Topology::new(&[18, 32, 8, 2]).unwrap();
+        assert!(pe.invocation_cycles(&big) > pe.invocation_cycles(&small));
+    }
+
+    #[test]
+    fn jmeint_topology_cost_matches_hand_count() {
+        let pe = PeArray::npu_default();
+        let t = Topology::new(&[18, 32, 8, 2]).unwrap();
+        // in 18, L1: 4 waves * 20 = 80, L2: 1 wave * 34 = 34,
+        // L3: 1 wave * 10 = 10, out 2 -> 144.
+        assert_eq!(pe.invocation_cycles(&t), 18 + 80 + 34 + 10 + 2);
+    }
+}

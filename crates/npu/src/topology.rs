@@ -1,0 +1,178 @@
+//! Network topologies — the `6→8→3→1` shapes of the paper's Table I.
+
+use crate::{NpuError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The layer widths of a multi-layer perceptron, input layer first.
+///
+/// A valid topology has at least two layers (input and output) and no
+/// zero-width layer.
+///
+/// # Example
+///
+/// ```
+/// # use mithra_npu::topology::Topology;
+/// let t = Topology::new(&[6, 8, 3, 1])?;
+/// assert_eq!(t.inputs(), 6);
+/// assert_eq!(t.outputs(), 1);
+/// assert_eq!(t.to_string(), "6->8->3->1");
+/// assert_eq!(t.weight_count(), 6 * 8 + 8 * 3 + 3 * 1);
+/// # Ok::<(), mithra_npu::NpuError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Topology {
+    layers: Vec<usize>,
+}
+
+impl Topology {
+    /// Creates a topology from layer widths, input layer first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NpuError::InvalidTopology`] if fewer than two layers are
+    /// given or any layer is empty.
+    pub fn new(layers: &[usize]) -> Result<Self> {
+        if layers.len() < 2 {
+            return Err(NpuError::InvalidTopology {
+                reason: "at least an input and an output layer are required",
+            });
+        }
+        if layers.iter().any(|&w| w == 0) {
+            return Err(NpuError::InvalidTopology {
+                reason: "layers must have at least one neuron",
+            });
+        }
+        Ok(Self {
+            layers: layers.to_vec(),
+        })
+    }
+
+    /// Layer widths, input layer first.
+    pub fn layers(&self) -> &[usize] {
+        &self.layers
+    }
+
+    /// Width of the input layer.
+    pub fn inputs(&self) -> usize {
+        self.layers[0]
+    }
+
+    /// Width of the output layer.
+    pub fn outputs(&self) -> usize {
+        *self.layers.last().expect("validated: at least two layers")
+    }
+
+    /// Number of weight parameters (excluding biases).
+    pub fn weight_count(&self) -> usize {
+        self.layers.windows(2).map(|w| w[0] * w[1]).sum()
+    }
+
+    /// Number of bias parameters (one per non-input neuron).
+    pub fn bias_count(&self) -> usize {
+        self.layers.iter().skip(1).sum()
+    }
+
+    /// Total parameter count: weights plus biases.
+    pub fn parameter_count(&self) -> usize {
+        self.weight_count() + self.bias_count()
+    }
+
+    /// Total multiply-accumulate operations for one forward pass.
+    pub fn macs_per_invocation(&self) -> usize {
+        self.weight_count()
+    }
+
+    /// Number of hidden + output neurons (sigmoid evaluations per pass).
+    pub fn neuron_count(&self) -> usize {
+        self.bias_count()
+    }
+
+    /// Storage for the parameters in bytes, assuming `bytes_per_weight`
+    /// (the NPU stores 16- or 32-bit fixed-point weights).
+    pub fn parameter_bytes(&self, bytes_per_weight: usize) -> usize {
+        self.parameter_count() * bytes_per_weight
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for w in &self.layers {
+            if !first {
+                write!(f, "->")?;
+            }
+            write!(f, "{w}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Topology {
+    type Err = NpuError;
+
+    /// Parses the paper's arrow notation: `"6->8->3->1"` (also accepts the
+    /// unicode arrow `→`).
+    fn from_str(s: &str) -> Result<Self> {
+        let widths: std::result::Result<Vec<usize>, _> = s
+            .replace('→', "->")
+            .split("->")
+            .map(|p| p.trim().parse::<usize>())
+            .collect();
+        match widths {
+            Ok(w) => Topology::new(&w),
+            Err(_) => Err(NpuError::InvalidTopology {
+                reason: "could not parse layer widths",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_counts_table1_topologies() {
+        // Spot-check against the paper's Table I shapes.
+        let cases: &[(&str, usize)] = &[
+            ("6->8->3->1", 6 * 8 + 8 * 3 + 3),
+            ("1->4->4->2", 4 + 16 + 8),
+            ("2->8->2", 16 + 16),
+            ("18->32->8->2", 18 * 32 + 32 * 8 + 16),
+            ("64->16->64", 1024 + 1024),
+            ("9->8->1", 72 + 8),
+        ];
+        for (s, weights) in cases {
+            let t: Topology = s.parse().unwrap();
+            assert_eq!(t.weight_count(), *weights, "weights of {s}");
+            assert_eq!(t.to_string(), *s);
+        }
+    }
+
+    #[test]
+    fn unicode_arrows_parse() {
+        let t: Topology = "2→8→2".parse().unwrap();
+        assert_eq!(t.layers(), &[2, 8, 2]);
+    }
+
+    #[test]
+    fn invalid_shapes_rejected() {
+        assert!(Topology::new(&[]).is_err());
+        assert!(Topology::new(&[5]).is_err());
+        assert!(Topology::new(&[3, 0, 1]).is_err());
+        assert!("6->x->1".parse::<Topology>().is_err());
+        assert!("".parse::<Topology>().is_err());
+    }
+
+    #[test]
+    fn bias_and_parameter_counts() {
+        let t = Topology::new(&[2, 8, 2]).unwrap();
+        assert_eq!(t.bias_count(), 10);
+        assert_eq!(t.parameter_count(), 42);
+        assert_eq!(t.parameter_bytes(2), 84);
+        assert_eq!(t.neuron_count(), 10);
+    }
+}

@@ -1,0 +1,491 @@
+//! The compiler-side offline trainer.
+//!
+//! The NPU workflow trains the network at compilation time from
+//! (input, precise-output) pairs collected by profiling the target function
+//! (paper §IV-C2 follows the same workflow for MITHRA's neural classifier).
+//! This module implements minibatch stochastic gradient descent with
+//! momentum on mean-squared error, plus the input/output normalization the
+//! NPU compiler applies so sigmoid layers see well-scaled values.
+
+use crate::mlp::{Activation, Mlp};
+use crate::topology::Topology;
+use crate::{NpuError, Result};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Per-dimension affine normalization to a target interval.
+///
+/// The NPU compiler normalizes both inputs and outputs so the network
+/// trains in a well-conditioned range; the inverse transform is applied to
+/// the network's outputs at runtime (folded into the output layer in real
+/// hardware, explicit here).
+///
+/// # Example
+///
+/// ```
+/// # use mithra_npu::train::Normalizer;
+/// let norm = Normalizer::fit(&[vec![0.0, 10.0], vec![4.0, 30.0]], 0.0, 1.0);
+/// assert_eq!(norm.forward(&[2.0, 20.0]), vec![0.5, 0.5]);
+/// assert_eq!(norm.inverse(&[0.5, 0.5]), vec![2.0, 20.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    mins: Vec<f32>,
+    maxs: Vec<f32>,
+    lo: f32,
+    hi: f32,
+}
+
+impl Normalizer {
+    /// Fits a normalizer mapping each dimension's observed `[min, max]`
+    /// onto `[lo, hi]`. Constant dimensions map to the interval midpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty (there is nothing to fit) — callers
+    /// validate their training sets first.
+    pub fn fit(samples: &[Vec<f32>], lo: f32, hi: f32) -> Self {
+        assert!(!samples.is_empty(), "cannot fit a normalizer to no samples");
+        let dims = samples[0].len();
+        let mut mins = vec![f32::INFINITY; dims];
+        let mut maxs = vec![f32::NEG_INFINITY; dims];
+        for s in samples {
+            for d in 0..dims {
+                mins[d] = mins[d].min(s[d]);
+                maxs[d] = maxs[d].max(s[d]);
+            }
+        }
+        Self { mins, maxs, lo, hi }
+    }
+
+    /// Identity normalizer of the given dimensionality.
+    pub fn identity(dims: usize) -> Self {
+        Self {
+            mins: vec![0.0; dims],
+            maxs: vec![1.0; dims],
+            lo: 0.0,
+            hi: 1.0,
+        }
+    }
+
+    /// Number of dimensions this normalizer was fitted on.
+    pub fn dims(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Maps raw values into the target interval.
+    pub fn forward(&self, raw: &[f32]) -> Vec<f32> {
+        raw.iter()
+            .enumerate()
+            .map(|(d, &v)| {
+                let span = self.maxs[d] - self.mins[d];
+                if span <= f32::EPSILON {
+                    0.5 * (self.lo + self.hi)
+                } else {
+                    self.lo + (v - self.mins[d]) / span * (self.hi - self.lo)
+                }
+            })
+            .collect()
+    }
+
+    /// Maps normalized values back to raw scale.
+    pub fn inverse(&self, normalized: &[f32]) -> Vec<f32> {
+        normalized
+            .iter()
+            .enumerate()
+            .map(|(d, &v)| {
+                let span = self.maxs[d] - self.mins[d];
+                if span <= f32::EPSILON {
+                    self.mins[d]
+                } else {
+                    self.mins[d] + (v - self.lo) / (self.hi - self.lo) * span
+                }
+            })
+            .collect()
+    }
+}
+
+/// Offline backpropagation trainer (non-consuming builder).
+///
+/// # Example
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    topology: Topology,
+    epochs: usize,
+    learning_rate: f32,
+    momentum: f32,
+    batch_size: usize,
+    seed: u64,
+    output_activation: Activation,
+    target_mse: Option<f32>,
+}
+
+impl Trainer {
+    /// Creates a trainer for the given topology with the defaults the NPU
+    /// compiler uses: 200 epochs, learning rate 0.2, momentum 0.9,
+    /// minibatches of 16, linear output layer.
+    pub fn new(topology: Topology) -> Self {
+        Self {
+            topology,
+            epochs: 200,
+            learning_rate: 0.2,
+            momentum: 0.9,
+            batch_size: 16,
+            seed: 0x4D49_5448,
+            output_activation: Activation::Linear,
+            target_mse: None,
+        }
+    }
+
+    /// Sets the number of passes over the training set.
+    pub fn epochs(&mut self, epochs: usize) -> &mut Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Sets the SGD learning rate.
+    pub fn learning_rate(&mut self, lr: f32) -> &mut Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Sets the momentum coefficient.
+    pub fn momentum(&mut self, momentum: f32) -> &mut Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Sets the minibatch size.
+    pub fn batch_size(&mut self, batch: usize) -> &mut Self {
+        self.batch_size = batch.max(1);
+        self
+    }
+
+    /// Sets the RNG seed for weight initialization and shuffling, making
+    /// training fully deterministic.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the output layer activation (sigmoid for classification
+    /// networks, linear for regression).
+    pub fn output_activation(&mut self, activation: Activation) -> &mut Self {
+        self.output_activation = activation;
+        self
+    }
+
+    /// Stops early once the epoch's mean-squared error drops below `mse`.
+    pub fn target_mse(&mut self, mse: f32) -> &mut Self {
+        self.target_mse = Some(mse);
+        self
+    }
+
+    /// Trains a network on `(input, target)` pairs in *normalized* space —
+    /// the caller is responsible for normalization (see
+    /// [`train_normalized`](Self::train) vs the usual flow in
+    /// `mithra-core`, which wraps this with [`Normalizer`]s).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NpuError::InvalidTrainingSet`] if `samples` is empty, or
+    /// [`NpuError::DimensionMismatch`] if any pair disagrees with the
+    /// topology.
+    pub fn train(&self, samples: &[(Vec<f32>, Vec<f32>)]) -> Result<Mlp> {
+        if samples.is_empty() {
+            return Err(NpuError::InvalidTrainingSet {
+                reason: "no samples",
+            });
+        }
+        for (x, y) in samples {
+            if x.len() != self.topology.inputs() {
+                return Err(NpuError::DimensionMismatch {
+                    expected: self.topology.inputs(),
+                    actual: x.len(),
+                });
+            }
+            if y.len() != self.topology.outputs() {
+                return Err(NpuError::DimensionMismatch {
+                    expected: self.topology.outputs(),
+                    actual: y.len(),
+                });
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut mlp = self.init_network(&mut rng);
+
+        // Momentum state mirrors the parameter layout.
+        let mut w_vel: Vec<Vec<f32>> = mlp
+            .layers()
+            .iter()
+            .map(|l| vec![0.0; l.weights.len()])
+            .collect();
+        let mut b_vel: Vec<Vec<f32>> = mlp
+            .layers()
+            .iter()
+            .map(|l| vec![0.0; l.biases.len()])
+            .collect();
+
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        for _epoch in 0..self.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_sse = 0.0f64;
+            for batch in order.chunks(self.batch_size) {
+                epoch_sse += self.sgd_step(&mut mlp, samples, batch, &mut w_vel, &mut b_vel);
+            }
+            let mse = epoch_sse / (samples.len() * self.topology.outputs()) as f64;
+            if let Some(target) = self.target_mse {
+                if mse < f64::from(target) {
+                    break;
+                }
+            }
+        }
+        Ok(mlp)
+    }
+
+    fn init_network(&self, rng: &mut StdRng) -> Mlp {
+        // Xavier/Glorot uniform initialization.
+        let shape = self.topology.layers();
+        let mut weights = Vec::with_capacity(self.topology.weight_count());
+        for l in 0..shape.len() - 1 {
+            let bound = (6.0 / (shape[l] + shape[l + 1]) as f32).sqrt();
+            for _ in 0..shape[l] * shape[l + 1] {
+                weights.push(rng.gen_range(-bound..bound));
+            }
+        }
+        let biases = vec![0.0; self.topology.bias_count()];
+        Mlp::from_parameters(
+            self.topology.clone(),
+            &weights,
+            &biases,
+            self.output_activation,
+        )
+        .expect("constructed lengths match the topology")
+    }
+
+    /// One minibatch step; returns the batch's summed squared error.
+    fn sgd_step(
+        &self,
+        mlp: &mut Mlp,
+        samples: &[(Vec<f32>, Vec<f32>)],
+        batch: &[usize],
+        w_vel: &mut [Vec<f32>],
+        b_vel: &mut [Vec<f32>],
+    ) -> f64 {
+        let n_layers = mlp.layers().len();
+        let mut w_grad: Vec<Vec<f32>> = mlp
+            .layers()
+            .iter()
+            .map(|l| vec![0.0; l.weights.len()])
+            .collect();
+        let mut b_grad: Vec<Vec<f32>> = mlp
+            .layers()
+            .iter()
+            .map(|l| vec![0.0; l.biases.len()])
+            .collect();
+        let mut sse = 0.0f64;
+
+        for &idx in batch {
+            let (x, target) = &samples[idx];
+            let acts = mlp.forward_trace(x);
+            let output = &acts[n_layers];
+
+            // Output delta: dE/dz for MSE loss.
+            let mut delta: Vec<f32> = output
+                .iter()
+                .zip(target)
+                .map(|(&o, &t)| {
+                    let err = o - t;
+                    sse += f64::from(err) * f64::from(err);
+                    err * mlp.layers()[n_layers - 1]
+                        .activation
+                        .derivative_from_output(o)
+                })
+                .collect();
+
+            for l in (0..n_layers).rev() {
+                let input = &acts[l];
+                let fan_in = mlp.layers()[l].fan_in;
+                for (n, &d) in delta.iter().enumerate() {
+                    b_grad[l][n] += d;
+                    for (i, &xi) in input.iter().enumerate() {
+                        w_grad[l][n * fan_in + i] += d * xi;
+                    }
+                }
+                if l > 0 {
+                    let layer = &mlp.layers()[l];
+                    let prev_act = &acts[l];
+                    let mut prev_delta = vec![0.0f32; fan_in];
+                    for (n, &d) in delta.iter().enumerate() {
+                        for i in 0..fan_in {
+                            prev_delta[i] += d * layer.weights[n * fan_in + i];
+                        }
+                    }
+                    let prev_layer_act = mlp.layers()[l - 1].activation;
+                    for (i, pd) in prev_delta.iter_mut().enumerate() {
+                        *pd *= prev_layer_act.derivative_from_output(prev_act[i]);
+                    }
+                    delta = prev_delta;
+                }
+            }
+        }
+
+        let scale = self.learning_rate / batch.len() as f32;
+        for l in 0..n_layers {
+            for (w, (g, v)) in mlp.layers_mut()[l]
+                .weights
+                .iter_mut()
+                .zip(w_grad[l].iter().zip(w_vel[l].iter_mut()))
+            {
+                *v = self.momentum * *v - scale * g;
+                *w += *v;
+            }
+            for (b, (g, v)) in mlp.layers_mut()[l]
+                .biases
+                .iter_mut()
+                .zip(b_grad[l].iter().zip(b_vel[l].iter_mut()))
+            {
+                *v = self.momentum * *v - scale * g;
+                *b += *v;
+            }
+        }
+        sse
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_samples(f: impl Fn(f32, f32) -> f32) -> Vec<(Vec<f32>, Vec<f32>)> {
+        let mut out = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                let x = i as f32 / 19.0;
+                let y = j as f32 / 19.0;
+                out.push((vec![x, y], vec![f(x, y)]));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn learns_linear_function() {
+        let samples = grid_samples(|x, y| 0.3 * x + 0.5 * y + 0.1);
+        let mlp = Trainer::new(Topology::new(&[2, 4, 1]).unwrap())
+            .epochs(150)
+            .seed(1)
+            .train(&samples)
+            .unwrap();
+        let out = mlp.run(&[0.5, 0.5]).unwrap()[0];
+        assert!((out - 0.5).abs() < 0.03, "got {out}");
+    }
+
+    #[test]
+    fn learns_product() {
+        let samples = grid_samples(|x, y| x * y);
+        let mlp = Trainer::new(Topology::new(&[2, 6, 1]).unwrap())
+            .epochs(400)
+            .learning_rate(0.4)
+            .seed(2)
+            .train(&samples)
+            .unwrap();
+        for &(x, y) in &[(0.2f32, 0.8f32), (0.9, 0.9), (0.1, 0.1)] {
+            let out = mlp.run(&[x, y]).unwrap()[0];
+            assert!((out - x * y).abs() < 0.06, "f({x},{y}) = {out}");
+        }
+    }
+
+    #[test]
+    fn learns_xor_with_sigmoid_output() {
+        let samples = vec![
+            (vec![0.0, 0.0], vec![0.0]),
+            (vec![0.0, 1.0], vec![1.0]),
+            (vec![1.0, 0.0], vec![1.0]),
+            (vec![1.0, 1.0], vec![0.0]),
+        ];
+        let mlp = Trainer::new(Topology::new(&[2, 4, 1]).unwrap())
+            .epochs(3000)
+            .learning_rate(0.8)
+            .output_activation(Activation::Sigmoid)
+            .seed(3)
+            .train(&samples)
+            .unwrap();
+        for (x, t) in &samples {
+            let o = mlp.run(x).unwrap()[0];
+            assert!((o - t[0]).abs() < 0.25, "xor({x:?}) = {o}");
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let samples = grid_samples(|x, y| x - y);
+        let train = || {
+            Trainer::new(Topology::new(&[2, 3, 1]).unwrap())
+                .epochs(30)
+                .seed(42)
+                .train(&samples)
+                .unwrap()
+                .to_parameters()
+        };
+        assert_eq!(train(), train());
+    }
+
+    #[test]
+    fn early_stop_respects_target() {
+        let samples = grid_samples(|x, _| x);
+        let mlp = Trainer::new(Topology::new(&[2, 2, 1]).unwrap())
+            .epochs(10_000)
+            .target_mse(1e-3)
+            .seed(4)
+            .train(&samples)
+            .unwrap();
+        // If early stopping worked this is still a good fit.
+        let out = mlp.run(&[0.7, 0.3]).unwrap()[0];
+        assert!((out - 0.7).abs() < 0.1);
+    }
+
+    #[test]
+    fn rejects_empty_and_mismatched_sets() {
+        let t = Topology::new(&[2, 2, 1]).unwrap();
+        assert!(Trainer::new(t.clone()).train(&[]).is_err());
+        assert!(Trainer::new(t.clone())
+            .train(&[(vec![1.0], vec![1.0])])
+            .is_err());
+        assert!(Trainer::new(t)
+            .train(&[(vec![1.0, 2.0], vec![1.0, 2.0])])
+            .is_err());
+    }
+
+    #[test]
+    fn normalizer_round_trip() {
+        let samples = vec![vec![-5.0, 100.0], vec![5.0, 300.0], vec![0.0, 200.0]];
+        let n = Normalizer::fit(&samples, 0.1, 0.9);
+        for s in &samples {
+            let back = n.inverse(&n.forward(s));
+            for (a, b) in back.iter().zip(s) {
+                assert!((a - b).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn normalizer_constant_dimension() {
+        let samples = vec![vec![3.0], vec![3.0]];
+        let n = Normalizer::fit(&samples, 0.0, 1.0);
+        assert_eq!(n.forward(&[3.0]), vec![0.5]);
+        assert_eq!(n.inverse(&[0.5]), vec![3.0]);
+    }
+
+    #[test]
+    fn normalizer_identity() {
+        let n = Normalizer::identity(3);
+        assert_eq!(n.dims(), 3);
+        assert_eq!(n.forward(&[0.25, 0.5, 1.0]), vec![0.25, 0.5, 1.0]);
+    }
+}

@@ -1,0 +1,75 @@
+//! The core-side cycle model: ISA extension costs and invocation timing.
+//!
+//! The NPU interface adds enqueue/dequeue instructions and MITHRA adds one
+//! special branch (paper §IV-D) "inserted after the instructions that send
+//! the inputs to the accelerator"; its overhead "is modeled in our
+//! evaluations". This module captures those per-invocation costs.
+
+use serde::{Deserialize, Serialize};
+
+/// Cycle costs of the accelerator/classifier ISA interface on the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IsaCosts {
+    /// Core cycles per element enqueued to the input FIFO.
+    pub enqueue_per_element: u64,
+    /// Core cycles per element dequeued from the output FIFO.
+    pub dequeue_per_element: u64,
+    /// Cycles of the special quality-control branch instruction.
+    pub branch: u64,
+    /// One-time cycles per 64-byte line to decompress the table-classifier
+    /// configuration when the program is loaded (BDI decompression is
+    /// vector add/compare work).
+    pub table_decompress_per_line: u64,
+}
+
+impl IsaCosts {
+    /// The evaluation defaults: single-cycle queue operations, a 2-cycle
+    /// branch (dispatch + possible redirect), 2-cycle-per-line
+    /// decompression.
+    pub fn paper_default() -> Self {
+        Self {
+            enqueue_per_element: 1,
+            dequeue_per_element: 1,
+            branch: 2,
+            table_decompress_per_line: 2,
+        }
+    }
+
+    /// Core-busy cycles for one accelerated invocation: stream inputs,
+    /// take the branch decision, stream outputs back.
+    pub fn accelerated_invocation_core_cycles(&self, inputs: usize, outputs: usize) -> u64 {
+        inputs as u64 * self.enqueue_per_element
+            + self.branch
+            + outputs as u64 * self.dequeue_per_element
+    }
+
+    /// Core-busy cycles wasted when the classifier redirects to the
+    /// precise path: the inputs were already being enqueued when the
+    /// branch resolved.
+    pub fn rejected_invocation_core_cycles(&self, inputs: usize) -> u64 {
+        inputs as u64 * self.enqueue_per_element + self.branch
+    }
+}
+
+impl Default for IsaCosts {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accelerated_invocation_counts_streams_and_branch() {
+        let c = IsaCosts::paper_default();
+        assert_eq!(c.accelerated_invocation_core_cycles(6, 1), 6 + 2 + 1);
+    }
+
+    #[test]
+    fn rejection_still_pays_enqueue_and_branch() {
+        let c = IsaCosts::paper_default();
+        assert_eq!(c.rejected_invocation_core_cycles(9), 9 + 2);
+    }
+}

@@ -1,0 +1,129 @@
+//! Pipelined invocation throughput.
+//!
+//! The default timing model charges each accelerated invocation its full
+//! latency (enqueue → PE compute → dequeue) — correct when the program
+//! consumes each result before producing the next input. Streaming
+//! kernels (sobel over an image, jpeg over blocks) instead enqueue the
+//! next invocation while the accelerator computes the current one; the
+//! FIFOs decouple the two sides. This module models that steady state:
+//! the initiation interval is the slower of the core side and the NPU
+//! side, and the input queue must be deep enough to cover the rate
+//! mismatch jitter.
+
+use crate::cpu::IsaCosts;
+use mithra_npu::cost::NpuCostModel;
+use mithra_npu::topology::Topology;
+
+/// Steady-state throughput analysis of back-to-back accelerated
+/// invocations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverlapModel {
+    /// ISA costs of the core side.
+    pub isa: IsaCosts,
+    /// Depth of the input FIFO (elements).
+    pub input_fifo_depth: usize,
+}
+
+/// The result of an overlap analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverlapAnalysis {
+    /// Cycles between consecutive invocation completions at steady state.
+    pub initiation_interval: f64,
+    /// Full latency of a single isolated invocation.
+    pub single_latency: f64,
+    /// Throughput gain of pipelining over serialized invocations.
+    pub overlap_speedup: f64,
+    /// Whether the input FIFO can hold a whole in-flight input vector
+    /// (if not, the core stalls mid-enqueue and overlap degrades).
+    pub fifo_sufficient: bool,
+}
+
+impl OverlapModel {
+    /// The NPU interface defaults: 128-element input FIFO.
+    pub fn npu_default() -> Self {
+        Self {
+            isa: IsaCosts::paper_default(),
+            input_fifo_depth: 128,
+        }
+    }
+
+    /// Analyzes steady-state overlap for a network topology.
+    pub fn analyze(&self, topology: &Topology) -> OverlapAnalysis {
+        let cost = NpuCostModel::new().invocation(topology);
+        let core_side = self
+            .isa
+            .accelerated_invocation_core_cycles(topology.inputs(), topology.outputs())
+            as f64;
+        let npu_side = cost.cycles as f64;
+        let single_latency = core_side + npu_side;
+        // The FIFO must buffer at least one full input vector beyond the
+        // one being consumed for the producer/consumer to decouple.
+        let fifo_sufficient = self.input_fifo_depth >= 2 * topology.inputs();
+        let initiation_interval = if fifo_sufficient {
+            core_side.max(npu_side)
+        } else {
+            single_latency
+        };
+        OverlapAnalysis {
+            initiation_interval,
+            single_latency,
+            overlap_speedup: single_latency / initiation_interval,
+            fifo_sufficient,
+        }
+    }
+}
+
+impl Default for OverlapModel {
+    fn default() -> Self {
+        Self::npu_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_never_slower_than_serial() {
+        let model = OverlapModel::npu_default();
+        for shape in ["6->8->8->1", "2->8->2", "18->32->8->2", "9->8->1"] {
+            let t: Topology = shape.parse().unwrap();
+            let a = model.analyze(&t);
+            assert!(a.overlap_speedup >= 1.0, "{shape}: {a:?}");
+            assert!(a.initiation_interval <= a.single_latency);
+        }
+    }
+
+    #[test]
+    fn compute_bound_kernels_hide_core_time() {
+        // jmeint's 18->32->8->2 network computes far longer than the core
+        // streams: the initiation interval is the NPU side.
+        let model = OverlapModel::npu_default();
+        let t: Topology = "18->32->8->2".parse().unwrap();
+        let a = model.analyze(&t);
+        let npu_cycles = NpuCostModel::new().invocation(&t).cycles as f64;
+        assert_eq!(a.initiation_interval, npu_cycles);
+        assert!(a.fifo_sufficient);
+    }
+
+    #[test]
+    fn shallow_fifo_serializes() {
+        let model = OverlapModel {
+            input_fifo_depth: 16, // cannot double-buffer 64 inputs
+            ..OverlapModel::npu_default()
+        };
+        let t: Topology = "64->16->64".parse().unwrap();
+        let a = model.analyze(&t);
+        assert!(!a.fifo_sufficient);
+        assert_eq!(a.overlap_speedup, 1.0);
+    }
+
+    #[test]
+    fn default_fifo_covers_every_paper_topology() {
+        let model = OverlapModel::npu_default();
+        for shape in ["6->8->8->1", "1->4->4->2", "2->8->2", "18->32->8->2", "64->16->64", "9->8->1"] {
+            let t: Topology = shape.parse().unwrap();
+            assert!(model.analyze(&t).fifo_sufficient, "{shape}");
+        }
+    }
+}

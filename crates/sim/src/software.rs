@@ -1,0 +1,84 @@
+//! Software-only classifier cost model.
+//!
+//! The paper motivates the hardware co-design by measuring what the
+//! classifiers cost when run as plain software on the core: "the software
+//! implementation of the table-based and neural classifiers slow the
+//! average execution time by 2.9× and 9.6×, respectively" (§V-B). This
+//! module models those software implementations' per-invocation core
+//! cycles so the experiment can be regenerated.
+
+use mithra_npu::topology::Topology;
+
+/// Core cycles for a software MISR-hash table lookup: per element and per
+/// table the core executes a handful of ALU ops (rotate, XOR, mask), then
+/// a load and compare per table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoftwareClassifierCosts {
+    /// ALU operations per (element × table) of software hashing.
+    pub ops_per_element_table: u64,
+    /// Cycles per table for the load + test + branch.
+    pub lookup_cycles_per_table: u64,
+    /// Cycles per multiply-accumulate of a software MLP evaluation
+    /// (fused multiply-add plus loads).
+    pub cycles_per_mac: u64,
+    /// Cycles per activation function evaluation in software.
+    pub cycles_per_activation: u64,
+}
+
+impl SoftwareClassifierCosts {
+    /// Defaults for a Nehalem-class core.
+    pub fn paper_default() -> Self {
+        Self {
+            ops_per_element_table: 4,
+            lookup_cycles_per_table: 3,
+            cycles_per_mac: 2,
+            cycles_per_activation: 12,
+        }
+    }
+
+    /// Per-invocation core cycles of the software table classifier.
+    pub fn table_cycles(&self, input_dim: usize, tables: usize) -> u64 {
+        (input_dim * tables) as u64 * self.ops_per_element_table
+            + tables as u64 * self.lookup_cycles_per_table
+    }
+
+    /// Per-invocation core cycles of the software neural classifier.
+    pub fn neural_cycles(&self, topology: &Topology) -> u64 {
+        topology.macs_per_invocation() as u64 * self.cycles_per_mac
+            + topology.neuron_count() as u64 * self.cycles_per_activation
+    }
+}
+
+impl Default for SoftwareClassifierCosts {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn software_neural_costs_more_than_software_table() {
+        let c = SoftwareClassifierCosts::paper_default();
+        let table = c.table_cycles(18, 8);
+        let neural = c.neural_cycles(&Topology::new(&[18, 32, 2]).unwrap());
+        assert!(neural > table, "{neural} vs {table}");
+    }
+
+    #[test]
+    fn table_cost_scales_with_inputs_and_tables() {
+        let c = SoftwareClassifierCosts::paper_default();
+        assert!(c.table_cycles(64, 8) > c.table_cycles(2, 8));
+        assert!(c.table_cycles(9, 8) > c.table_cycles(9, 1));
+    }
+
+    #[test]
+    fn software_costs_dwarf_hardware_decision() {
+        // Hardware table decision: ~4 cycles. Software: dozens to
+        // hundreds — the co-design motivation.
+        let c = SoftwareClassifierCosts::paper_default();
+        assert!(c.table_cycles(9, 8) > 10 * 4);
+    }
+}

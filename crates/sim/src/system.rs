@@ -1,0 +1,292 @@
+//! The combined system: core + NPU + classifier, per-dataset.
+//!
+//! For every invocation of a profiled dataset the simulator asks the
+//! classifier for a decision, charges the corresponding cycles and energy,
+//! and finally scores the mixed output's quality. The baseline is the
+//! benchmark running entirely on the precise core.
+
+use crate::cpu::IsaCosts;
+use crate::energy::EnergyModel;
+use mithra_core::classifier::{Classifier, Decision};
+use mithra_core::pipeline::Compiled;
+use mithra_core::profile::DatasetProfile;
+use mithra_npu::cost::NpuCostModel;
+
+/// Simulation options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimOptions {
+    /// ISA cost configuration.
+    pub isa: IsaCosts,
+    /// Energy constants.
+    pub energy: EnergyModel,
+    /// Online-update sampling period for the table design (0 disables;
+    /// the paper samples "at sporadic intervals").
+    pub online_update_period: usize,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self {
+            isa: IsaCosts::paper_default(),
+            energy: EnergyModel::paper_default(),
+            online_update_period: 0,
+        }
+    }
+}
+
+/// The result of simulating one dataset under one classifier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunResult {
+    /// Wall cycles of the all-precise baseline.
+    pub baseline_cycles: f64,
+    /// Wall cycles of the accelerated, quality-controlled run.
+    pub accelerated_cycles: f64,
+    /// Energy (nJ) of the baseline.
+    pub baseline_energy_nj: f64,
+    /// Energy (nJ) of the accelerated run.
+    pub accelerated_energy_nj: f64,
+    /// Final-output quality loss of the accelerated run.
+    pub quality_loss: f64,
+    /// Invocations delegated to the accelerator.
+    pub invoked: usize,
+    /// Total invocations.
+    pub total: usize,
+    /// Classifier rejected, oracle would have approximated.
+    pub false_positives: usize,
+    /// Classifier approximated, oracle would have rejected.
+    pub false_negatives: usize,
+}
+
+impl RunResult {
+    /// Application speedup over the all-precise baseline.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_cycles / self.accelerated_cycles
+    }
+
+    /// Energy reduction factor over the baseline.
+    pub fn energy_reduction(&self) -> f64 {
+        self.baseline_energy_nj / self.accelerated_energy_nj
+    }
+
+    /// Fraction of invocations delegated to the accelerator.
+    pub fn invocation_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.invoked as f64 / self.total as f64
+        }
+    }
+
+    /// Energy-delay-product improvement factor over the baseline.
+    pub fn edp_improvement(&self) -> f64 {
+        (self.baseline_cycles * self.baseline_energy_nj)
+            / (self.accelerated_cycles * self.accelerated_energy_nj)
+    }
+
+    /// False positives as a fraction of all invocations.
+    pub fn false_positive_rate(&self) -> f64 {
+        self.false_positives as f64 / self.total.max(1) as f64
+    }
+
+    /// False negatives as a fraction of all invocations.
+    pub fn false_negative_rate(&self) -> f64 {
+        self.false_negatives as f64 / self.total.max(1) as f64
+    }
+}
+
+/// Simulates one dataset under `classifier`, with the compiled artifacts
+/// providing the accelerator, threshold and timing profile.
+pub fn simulate(
+    compiled: &Compiled,
+    profile: &DatasetProfile,
+    classifier: &mut dyn Classifier,
+    options: &SimOptions,
+) -> RunResult {
+    let function = &compiled.function;
+    let bench = function.benchmark();
+    let workload = bench.profile();
+    let npu_cost_model = NpuCostModel::new();
+    let accel_cost = npu_cost_model.invocation(&bench.npu_topology());
+    let overhead = classifier.overhead();
+    let classifier_npu_cost = overhead
+        .npu_topology
+        .as_ref()
+        .map(|t| npu_cost_model.invocation(t));
+    let threshold = compiled.threshold.threshold;
+
+    let n = profile.invocation_count();
+    let oracle_rejects = profile.oracle_rejects(threshold);
+
+    // Baseline: the whole application on the precise core.
+    let baseline_cycles = workload.baseline_cycles(n as u64);
+    let baseline_energy = baseline_cycles * options.energy.core_active_nj_per_cycle;
+
+    // Non-kernel portion runs identically in both systems.
+    let non_kernel_cycles = workload.non_kernel_cycles(n as u64);
+    let mut cycles = non_kernel_cycles;
+    let mut energy = non_kernel_cycles * options.energy.core_active_nj_per_cycle;
+
+    // One-time table decompression at program load.
+    if overhead.table_bit_reads > 0 {
+        let table_lines = (overhead.table_bit_reads * 512).div_ceil(512); // ~1 line per table
+        cycles += (table_lines * options.isa.table_decompress_per_line) as f64;
+    }
+
+    let mut decisions: Vec<Decision> = Vec::with_capacity(n);
+    let mut invoked = 0usize;
+    let (mut false_positives, mut false_negatives) = (0usize, 0usize);
+
+    for (i, input) in profile.dataset().iter().enumerate() {
+        let decision = classifier.classify(i, input);
+        decisions.push(decision);
+
+        // Classifier decision cost (both paths pay it).
+        let mut inv_cycles = overhead.decision_cycles as f64;
+        let mut inv_energy =
+            options.energy.classifier_decision_nj(&overhead, &npu_cost_model);
+        if let Some(c) = &classifier_npu_cost {
+            // The classifier network runs on the NPU before the decision:
+            // its latency is on the critical path.
+            inv_cycles += c.cycles as f64;
+        }
+
+        match decision {
+            Decision::Approximate => {
+                invoked += 1;
+                if oracle_rejects[i] {
+                    false_negatives += 1;
+                }
+                let core_busy = options
+                    .isa
+                    .accelerated_invocation_core_cycles(bench.input_dim(), bench.output_dim())
+                    as f64;
+                // The accelerator latency dominates; core streaming
+                // overlaps with PE compute except for the dequeue tail.
+                inv_cycles += accel_cost.cycles as f64 + options.isa.branch as f64;
+                inv_energy += options.energy.npu_invocation_nj(&accel_cost)
+                    + core_busy * options.energy.core_active_nj_per_cycle
+                    + (accel_cost.cycles as f64 - core_busy).max(0.0)
+                        * options.energy.core_idle_nj_per_cycle;
+            }
+            Decision::Precise => {
+                if !oracle_rejects[i] {
+                    false_positives += 1;
+                }
+                let redirect = options.isa.rejected_invocation_core_cycles(bench.input_dim());
+                inv_cycles += (workload.kernel_cycles + redirect) as f64;
+                inv_energy += (workload.kernel_cycles + redirect) as f64
+                    * options.energy.core_active_nj_per_cycle;
+            }
+        }
+        cycles += inv_cycles;
+        energy += inv_energy;
+
+        if options.online_update_period > 0 && i % options.online_update_period == 0 {
+            classifier.observe(i, input, profile.max_error(i) > threshold);
+        }
+    }
+
+    // Quality of the mixed output stream.
+    let replay = profile.replay_with(function, |i, _| decisions[i]);
+
+    RunResult {
+        baseline_cycles,
+        accelerated_cycles: cycles,
+        baseline_energy_nj: baseline_energy,
+        accelerated_energy_nj: energy,
+        quality_loss: replay.quality_loss,
+        invoked,
+        total: n,
+        false_positives,
+        false_negatives,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mithra_axbench::benchmark::Benchmark;
+    use mithra_axbench::dataset::DatasetScale;
+    use mithra_axbench::suite;
+    use mithra_core::pipeline::{compile, CompileConfig};
+    use mithra_core::random::RandomFilter;
+    use std::sync::Arc;
+
+    fn compiled_for(name: &str) -> Compiled {
+        let bench: Arc<dyn Benchmark> = suite::by_name(name).unwrap().into();
+        compile(bench, &CompileConfig::smoke()).unwrap()
+    }
+
+    fn fresh_profile(compiled: &Compiled, seed: u64) -> DatasetProfile {
+        let ds = compiled.function.dataset(seed, DatasetScale::Smoke);
+        DatasetProfile::collect(&compiled.function, ds)
+    }
+
+    #[test]
+    fn oracle_dominates_realistic_designs() {
+        let compiled = compiled_for("sobel");
+        let profile = fresh_profile(&compiled, 777);
+        let opts = SimOptions::default();
+
+        let mut oracle = compiled.oracle_for(&profile);
+        let oracle_run = simulate(&compiled, &profile, &mut oracle, &opts);
+
+        let mut table = compiled.table.clone();
+        let table_run = simulate(&compiled, &profile, &mut table, &opts);
+
+        assert!(oracle_run.speedup() >= table_run.speedup() * 0.999);
+        assert!(oracle_run.invocation_rate() >= table_run.invocation_rate() - 1e-9);
+        assert_eq!(oracle_run.false_positives, 0);
+        assert_eq!(oracle_run.false_negatives, 0);
+    }
+
+    #[test]
+    fn speedup_exceeds_one_for_accelerated_runs() {
+        let compiled = compiled_for("inversek2j");
+        let profile = fresh_profile(&compiled, 888);
+        let mut oracle = compiled.oracle_for(&profile);
+        let run = simulate(&compiled, &profile, &mut oracle, &SimOptions::default());
+        assert!(run.speedup() > 1.0, "speedup {}", run.speedup());
+        assert!(run.energy_reduction() > 1.0, "energy {}", run.energy_reduction());
+        assert!(run.edp_improvement() > run.speedup());
+    }
+
+    #[test]
+    fn never_approximating_matches_baseline_closely() {
+        let compiled = compiled_for("sobel");
+        let profile = fresh_profile(&compiled, 999);
+        let mut never = RandomFilter::new(0.0, 1);
+        let run = simulate(&compiled, &profile, &mut never, &SimOptions::default());
+        assert_eq!(run.quality_loss, 0.0);
+        assert_eq!(run.invocation_rate(), 0.0);
+        // Only the redirect overhead separates it from the baseline.
+        assert!(run.speedup() < 1.0);
+        assert!(run.speedup() > 0.8, "speedup {}", run.speedup());
+    }
+
+    #[test]
+    fn false_decision_accounting_is_consistent() {
+        let compiled = compiled_for("blackscholes");
+        let profile = fresh_profile(&compiled, 123);
+        let mut table = compiled.table.clone();
+        let run = simulate(&compiled, &profile, &mut table, &SimOptions::default());
+        assert!(run.false_positives + run.false_negatives <= run.total);
+        assert!(run.false_positive_rate() <= 1.0);
+        // FP + correct rejections = total rejections.
+        let rejections = run.total - run.invoked;
+        assert!(run.false_positives <= rejections);
+    }
+
+    #[test]
+    fn full_invocation_gives_max_speedup() {
+        let compiled = compiled_for("sobel");
+        let profile = fresh_profile(&compiled, 55);
+        let opts = SimOptions::default();
+        let mut always = RandomFilter::new(1.0, 2);
+        let mut half = RandomFilter::new(0.5, 2);
+        let full = simulate(&compiled, &profile, &mut always, &opts);
+        let partial = simulate(&compiled, &profile, &mut half, &opts);
+        assert!(full.speedup() > partial.speedup());
+        assert!(full.energy_reduction() > partial.energy_reduction());
+    }
+}

@@ -1,0 +1,221 @@
+//! Per-invocation execution traces.
+//!
+//! The aggregate metrics in [`crate::system`] answer *how much*; a trace
+//! answers *where*: which invocations were rejected, where the classifier
+//! disagreed with the oracle, and how the error magnitudes of accepted
+//! and rejected invocations separate. Used for debugging classifier
+//! behaviour and for the per-benchmark deep dives in the experiment
+//! write-ups.
+
+use mithra_core::classifier::{Classifier, Decision};
+use mithra_core::profile::DatasetProfile;
+use serde::{Deserialize, Serialize};
+
+/// One invocation's record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Invocation index within the dataset.
+    pub index: usize,
+    /// The classifier's decision.
+    pub rejected: bool,
+    /// The oracle's ground-truth decision at the compiled threshold.
+    pub oracle_rejected: bool,
+    /// The invocation's measured accelerator error.
+    pub error: f32,
+}
+
+impl TraceEvent {
+    /// Whether the classifier disagreed with the oracle.
+    pub fn is_false_decision(&self) -> bool {
+        self.rejected != self.oracle_rejected
+    }
+}
+
+/// A full dataset trace with summary queries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InvocationTrace {
+    events: Vec<TraceEvent>,
+    threshold: f32,
+}
+
+impl InvocationTrace {
+    /// Records a trace by driving `classifier` over a profiled dataset.
+    pub fn record(
+        profile: &DatasetProfile,
+        classifier: &mut dyn Classifier,
+        threshold: f32,
+    ) -> Self {
+        let events = profile
+            .dataset()
+            .iter()
+            .enumerate()
+            .map(|(i, input)| TraceEvent {
+                index: i,
+                rejected: classifier.classify(i, input) == Decision::Precise,
+                oracle_rejected: profile.max_error(i) > threshold,
+                error: profile.max_error(i),
+            })
+            .collect();
+        Self { events, threshold }
+    }
+
+    /// The recorded events in invocation order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// The threshold the oracle column was computed against.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Number of recorded invocations.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Indices of all false decisions, for drill-down.
+    pub fn false_decision_indices(&self) -> Vec<usize> {
+        self.events
+            .iter()
+            .filter(|e| e.is_false_decision())
+            .map(|e| e.index)
+            .collect()
+    }
+
+    /// Mean accelerator error of invocations the classifier accepted —
+    /// the residual error actually flowing into the output.
+    pub fn mean_accepted_error(&self) -> f64 {
+        let accepted: Vec<f64> = self
+            .events
+            .iter()
+            .filter(|e| !e.rejected)
+            .map(|e| f64::from(e.error))
+            .collect();
+        if accepted.is_empty() {
+            0.0
+        } else {
+            accepted.iter().sum::<f64>() / accepted.len() as f64
+        }
+    }
+
+    /// Mean accelerator error of invocations the classifier rejected — a
+    /// working classifier rejects the high-error population, so this
+    /// should exceed [`mean_accepted_error`](Self::mean_accepted_error).
+    pub fn mean_rejected_error(&self) -> f64 {
+        let rejected: Vec<f64> = self
+            .events
+            .iter()
+            .filter(|e| e.rejected)
+            .map(|e| f64::from(e.error))
+            .collect();
+        if rejected.is_empty() {
+            0.0
+        } else {
+            rejected.iter().sum::<f64>() / rejected.len() as f64
+        }
+    }
+
+    /// Longest run of consecutive accelerator invocations — relevant to
+    /// the pipelining analysis in [`crate::overlap`] (overlap only pays
+    /// off across consecutive accepted invocations).
+    pub fn longest_accept_run(&self) -> usize {
+        let mut best = 0;
+        let mut current = 0;
+        for e in &self.events {
+            if e.rejected {
+                current = 0;
+            } else {
+                current += 1;
+                best = best.max(current);
+            }
+        }
+        best
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        let rejected = self.events.iter().filter(|e| e.rejected).count();
+        let false_dec = self.false_decision_indices().len();
+        format!(
+            "{} invocations, {} rejected ({:.1}%), {} false decisions, \
+             accepted err {:.4} vs rejected err {:.4}",
+            self.len(),
+            rejected,
+            rejected as f64 / self.len().max(1) as f64 * 100.0,
+            false_dec,
+            self.mean_accepted_error(),
+            self.mean_rejected_error()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mithra_core::oracle::OracleClassifier;
+    use mithra_core::pipeline::{compile, CompileConfig};
+    use mithra_axbench::benchmark::Benchmark;
+    use mithra_axbench::dataset::DatasetScale;
+    use mithra_axbench::suite;
+    use std::sync::Arc;
+
+    fn setup() -> (mithra_core::pipeline::Compiled, DatasetProfile) {
+        let bench: Arc<dyn Benchmark> = suite::by_name("sobel").unwrap().into();
+        let compiled = compile(bench, &CompileConfig::smoke()).unwrap();
+        let ds = compiled.function.dataset(777_000, DatasetScale::Smoke);
+        let profile = DatasetProfile::collect(&compiled.function, ds);
+        (compiled, profile)
+    }
+
+    #[test]
+    fn oracle_trace_has_no_false_decisions() {
+        let (compiled, profile) = setup();
+        let mut oracle = OracleClassifier::for_profile(&profile, compiled.threshold.threshold);
+        let trace =
+            InvocationTrace::record(&profile, &mut oracle, compiled.threshold.threshold);
+        assert!(trace.false_decision_indices().is_empty());
+        assert_eq!(trace.len(), profile.invocation_count());
+    }
+
+    #[test]
+    fn working_classifier_separates_error_populations() {
+        let (compiled, profile) = setup();
+        let mut oracle = OracleClassifier::for_profile(&profile, compiled.threshold.threshold);
+        let trace =
+            InvocationTrace::record(&profile, &mut oracle, compiled.threshold.threshold);
+        if trace.events().iter().any(|e| e.rejected)
+            && trace.events().iter().any(|e| !e.rejected)
+        {
+            assert!(trace.mean_rejected_error() > trace.mean_accepted_error());
+        }
+    }
+
+    #[test]
+    fn accept_runs_and_summary() {
+        let (compiled, profile) = setup();
+        let mut table = compiled.table.clone();
+        let trace = InvocationTrace::record(&profile, &mut table, compiled.threshold.threshold);
+        assert!(trace.longest_accept_run() <= trace.len());
+        let s = trace.summary();
+        assert!(s.contains("invocations"));
+        assert!(!trace.is_empty());
+        assert_eq!(trace.threshold(), compiled.threshold.threshold);
+    }
+
+    #[test]
+    fn trace_serializes() {
+        let (compiled, profile) = setup();
+        let mut table = compiled.table.clone();
+        let trace = InvocationTrace::record(&profile, &mut table, compiled.threshold.threshold);
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: InvocationTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, trace);
+    }
+
+}

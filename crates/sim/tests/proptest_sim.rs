@@ -1,0 +1,101 @@
+//! Property tests on the simulator's accounting identities.
+
+use mithra_sim::cpu::IsaCosts;
+use mithra_sim::energy::EnergyModel;
+use mithra_sim::report::BenchmarkSummary;
+use mithra_sim::software::SoftwareClassifierCosts;
+use mithra_sim::system::RunResult;
+use proptest::prelude::*;
+
+fn arb_run() -> impl Strategy<Value = RunResult> {
+    (
+        1.0f64..1e9,
+        1.0f64..1e9,
+        1.0f64..1e9,
+        1.0f64..1e9,
+        0.0f64..1.0,
+        0usize..1000,
+    )
+        .prop_map(|(bc, ac, be, ae, q, total)| RunResult {
+            baseline_cycles: bc,
+            accelerated_cycles: ac,
+            baseline_energy_nj: be,
+            accelerated_energy_nj: ae,
+            quality_loss: q,
+            invoked: total / 2,
+            total,
+            false_positives: total / 10,
+            false_negatives: total / 20,
+        })
+}
+
+proptest! {
+    #[test]
+    fn edp_is_product_of_speedup_and_energy(run in arb_run()) {
+        let expected = run.speedup() * run.energy_reduction();
+        prop_assert!((run.edp_improvement() - expected).abs() <= expected * 1e-12);
+    }
+
+    #[test]
+    fn rates_are_fractions(run in arb_run()) {
+        prop_assert!((0.0..=1.0).contains(&run.invocation_rate()));
+        prop_assert!(run.false_positive_rate() >= 0.0);
+        prop_assert!(run.false_negative_rate() >= 0.0);
+    }
+
+    #[test]
+    fn summary_means_lie_within_run_extremes(
+        runs in prop::collection::vec(arb_run(), 1..20),
+    ) {
+        let summary = BenchmarkSummary::from_runs(&runs, 0.05);
+        let min = runs.iter().map(RunResult::speedup).fold(f64::INFINITY, f64::min);
+        let max = runs.iter().map(RunResult::speedup).fold(0.0, f64::max);
+        prop_assert!(summary.speedup >= min - 1e-9 && summary.speedup <= max + 1e-9);
+        prop_assert!((0.0..=1.0).contains(&summary.success_fraction));
+    }
+
+    #[test]
+    fn isa_costs_scale_with_vector_width(inputs in 1usize..256, outputs in 1usize..256) {
+        let isa = IsaCosts::paper_default();
+        let small = isa.accelerated_invocation_core_cycles(inputs, outputs);
+        let big = isa.accelerated_invocation_core_cycles(inputs + 1, outputs + 1);
+        prop_assert!(big > small);
+        prop_assert!(isa.rejected_invocation_core_cycles(inputs) <= small);
+    }
+
+    #[test]
+    fn software_costs_monotone(dims in 1usize..128, tables in 1usize..16) {
+        let sw = SoftwareClassifierCosts::paper_default();
+        prop_assert!(sw.table_cycles(dims + 1, tables) >= sw.table_cycles(dims, tables));
+        prop_assert!(sw.table_cycles(dims, tables + 1) >= sw.table_cycles(dims, tables));
+    }
+
+    #[test]
+    fn npu_energy_additive_in_costs(
+        macs in 1u64..10_000,
+        cycles in 1u64..10_000,
+        luts in 0u64..1_000,
+    ) {
+        use mithra_npu::cost::InvocationCost;
+        let e = EnergyModel::paper_default();
+        let cost = InvocationCost {
+            cycles,
+            macs,
+            lut_lookups: luts,
+            weight_reads: macs,
+            inputs_streamed: 1,
+            outputs_streamed: 1,
+        };
+        let double = InvocationCost {
+            cycles: 2 * cycles,
+            macs: 2 * macs,
+            lut_lookups: 2 * luts,
+            weight_reads: 2 * macs,
+            inputs_streamed: 2,
+            outputs_streamed: 2,
+        };
+        let single_nj = e.npu_invocation_nj(&cost);
+        let double_nj = e.npu_invocation_nj(&double);
+        prop_assert!((double_nj - 2.0 * single_nj).abs() < single_nj * 1e-9);
+    }
+}

@@ -1,0 +1,208 @@
+//! The Beta distribution: CDF and quantile (inverse CDF).
+//!
+//! The Clopper–Pearson exact interval is most directly expressed through
+//! Beta quantiles: with `k` successes in `n` trials, the lower bound at
+//! significance `α` is the `α` quantile of `Beta(k, n−k+1)`. This module
+//! provides the quantile via a bracketed Newton iteration on the regularized
+//! incomplete beta function.
+
+use crate::special::betainc;
+use crate::{Result, StatsError};
+
+/// A Beta(a, b) distribution with strictly positive shape parameters.
+///
+/// # Example
+///
+/// ```
+/// # use mithra_stats::beta::Beta;
+/// let d = Beta::new(2.0, 3.0)?;
+/// let median = d.quantile(0.5)?;
+/// assert!((d.cdf(median)? - 0.5).abs() < 1e-10);
+/// # Ok::<(), mithra_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beta {
+    a: f64,
+    b: f64,
+}
+
+impl Beta {
+    /// Creates a Beta distribution with shape parameters `a, b > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] if either parameter is not
+    /// positive and finite.
+    pub fn new(a: f64, b: f64) -> Result<Self> {
+        if !a.is_finite() || a <= 0.0 {
+            return Err(StatsError::InvalidArgument {
+                parameter: "a",
+                constraint: "finite and > 0",
+                value: a,
+            });
+        }
+        if !b.is_finite() || b <= 0.0 {
+            return Err(StatsError::InvalidArgument {
+                parameter: "b",
+                constraint: "finite and > 0",
+                value: b,
+            });
+        }
+        Ok(Self { a, b })
+    }
+
+    /// First shape parameter.
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// Second shape parameter.
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+
+    /// Mean of the distribution, `a / (a + b)`.
+    pub fn mean(&self) -> f64 {
+        self.a / (self.a + self.b)
+    }
+
+    /// Cumulative distribution function at `x ∈ [0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates domain errors from the incomplete beta evaluation.
+    pub fn cdf(&self, x: f64) -> Result<f64> {
+        betainc(x, self.a, self.b)
+    }
+
+    /// Quantile function (inverse CDF) at probability `p ∈ [0, 1]`.
+    ///
+    /// Uses bisection to bracket the root, then Newton steps (the PDF is the
+    /// analytic derivative of the CDF) with fallback to bisection whenever a
+    /// Newton step leaves the bracket. Converges to ~1e-12 in `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] for `p` outside `[0, 1]` and
+    /// [`StatsError::NoConvergence`] if iteration stalls (practically
+    /// unreachable).
+    pub fn quantile(&self, p: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+            return Err(StatsError::InvalidArgument {
+                parameter: "p",
+                constraint: "0 <= p <= 1",
+                value: p,
+            });
+        }
+        if p == 0.0 {
+            return Ok(0.0);
+        }
+        if p == 1.0 {
+            return Ok(1.0);
+        }
+
+        const MAX_ITER: u32 = 200;
+        let (mut lo, mut hi) = (0.0f64, 1.0f64);
+        // Start from the mean: a cheap, always-in-bracket initial guess.
+        let mut x = self.mean().clamp(1e-12, 1.0 - 1e-12);
+
+        for _ in 0..MAX_ITER {
+            let f = self.cdf(x)? - p;
+            if f.abs() < 1e-14 {
+                return Ok(x);
+            }
+            if f > 0.0 {
+                hi = x;
+            } else {
+                lo = x;
+            }
+
+            // Newton step using the analytic PDF.
+            let ln_pdf = (self.a - 1.0) * x.ln()
+                + (self.b - 1.0) * (1.0 - x).ln()
+                - crate::special::ln_beta(self.a, self.b)?;
+            let pdf = ln_pdf.exp();
+            let mut next = if pdf > 1e-300 { x - f / pdf } else { f64::NAN };
+            if !next.is_finite() || next <= lo || next >= hi {
+                next = 0.5 * (lo + hi);
+            }
+            if (next - x).abs() < 1e-14 {
+                return Ok(next);
+            }
+            x = next;
+        }
+        // The bracket shrinks monotonically; its midpoint is a fine answer
+        // if we somehow exhaust iterations without meeting the tolerance.
+        if hi - lo < 1e-9 {
+            return Ok(0.5 * (lo + hi));
+        }
+        Err(StatsError::NoConvergence {
+            kernel: "beta quantile",
+            iterations: MAX_ITER,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_of_uniform_is_identity() {
+        let d = Beta::new(1.0, 1.0).unwrap();
+        for i in 1..10 {
+            let p = f64::from(i) / 10.0;
+            assert!((d.quantile(p).unwrap() - p).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &(a, b) in &[(2.0, 5.0), (0.5, 0.5), (10.0, 3.0), (90.0, 11.0)] {
+            let d = Beta::new(a, b).unwrap();
+            for i in 1..20 {
+                let p = f64::from(i) / 20.0;
+                let x = d.quantile(p).unwrap();
+                assert!(
+                    (d.cdf(x).unwrap() - p).abs() < 1e-9,
+                    "round trip failed for Beta({a},{b}) at p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_boundaries() {
+        let d = Beta::new(3.0, 2.0).unwrap();
+        assert_eq!(d.quantile(0.0).unwrap(), 0.0);
+        assert_eq!(d.quantile(1.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn quantile_rejects_bad_probability() {
+        let d = Beta::new(1.0, 1.0).unwrap();
+        assert!(d.quantile(-0.5).is_err());
+        assert!(d.quantile(1.5).is_err());
+        assert!(d.quantile(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn new_rejects_bad_shapes() {
+        assert!(Beta::new(0.0, 1.0).is_err());
+        assert!(Beta::new(1.0, f64::INFINITY).is_err());
+        assert!(Beta::new(-2.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn mean_is_a_over_a_plus_b() {
+        let d = Beta::new(2.0, 6.0).unwrap();
+        assert!((d.mean() - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn known_median_beta_2_2() {
+        // Beta(2,2) is symmetric: median = 0.5.
+        let d = Beta::new(2.0, 2.0).unwrap();
+        assert!((d.quantile(0.5).unwrap() - 0.5).abs() < 1e-10);
+    }
+}

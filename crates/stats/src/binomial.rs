@@ -1,0 +1,183 @@
+//! Exact binomial distribution — the ground the Clopper–Pearson interval
+//! stands on, exposed for cross-checks and planning.
+
+use crate::special::{betainc, ln_gamma};
+use crate::{Result, StatsError};
+
+/// A Binomial(n, p) distribution.
+///
+/// # Example
+///
+/// ```
+/// # use mithra_stats::binomial::Binomial;
+/// let b = Binomial::new(10, 0.5)?;
+/// assert!((b.pmf(5)? - 0.24609375).abs() < 1e-12);
+/// assert!((b.cdf(5)? - 0.623046875).abs() < 1e-12);
+/// # Ok::<(), mithra_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Creates a Binomial(n, p) with `n >= 1` and `p ∈ [0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] for out-of-range values.
+    pub fn new(n: u64, p: f64) -> Result<Self> {
+        if n == 0 {
+            return Err(StatsError::InvalidArgument {
+                parameter: "n",
+                constraint: ">= 1",
+                value: 0.0,
+            });
+        }
+        if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+            return Err(StatsError::InvalidArgument {
+                parameter: "p",
+                constraint: "0 <= p <= 1",
+                value: p,
+            });
+        }
+        Ok(Self { n, p })
+    }
+
+    /// Number of trials.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Mean, `n p`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Probability mass at `k`, computed in log space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] if `k > n`.
+    pub fn pmf(&self, k: u64) -> Result<f64> {
+        if k > self.n {
+            return Err(StatsError::InvalidArgument {
+                parameter: "k",
+                constraint: "k <= n",
+                value: k as f64,
+            });
+        }
+        if self.p == 0.0 {
+            return Ok(if k == 0 { 1.0 } else { 0.0 });
+        }
+        if self.p == 1.0 {
+            return Ok(if k == self.n { 1.0 } else { 0.0 });
+        }
+        let (n, k) = (self.n as f64, k as f64);
+        let ln_choose = ln_gamma(n + 1.0)? - ln_gamma(k + 1.0)? - ln_gamma(n - k + 1.0)?;
+        Ok((ln_choose + k * self.p.ln() + (n - k) * (1.0 - self.p).ln()).exp())
+    }
+
+    /// `P[X <= k]`, via the incomplete-beta identity (exact, no summation
+    /// loss for large `n`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] if `k > n`.
+    pub fn cdf(&self, k: u64) -> Result<f64> {
+        if k > self.n {
+            return Err(StatsError::InvalidArgument {
+                parameter: "k",
+                constraint: "k <= n",
+                value: k as f64,
+            });
+        }
+        if k == self.n {
+            return Ok(1.0);
+        }
+        betainc(1.0 - self.p, (self.n - k) as f64, k as f64 + 1.0)
+    }
+
+    /// `P[X >= k]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] if `k > n`.
+    pub fn sf(&self, k: u64) -> Result<f64> {
+        if k == 0 {
+            return Ok(1.0);
+        }
+        Ok(1.0 - self.cdf(k - 1)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let b = Binomial::new(20, 0.3).unwrap();
+        let total: f64 = (0..=20).map(|k| b.pmf(k).unwrap()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_matches_pmf_summation() {
+        let b = Binomial::new(15, 0.62).unwrap();
+        let mut acc = 0.0;
+        for k in 0..=15 {
+            acc += b.pmf(k).unwrap();
+            assert!((b.cdf(k).unwrap() - acc).abs() < 1e-10, "k={k}");
+        }
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        let zero = Binomial::new(5, 0.0).unwrap();
+        assert_eq!(zero.pmf(0).unwrap(), 1.0);
+        assert_eq!(zero.pmf(3).unwrap(), 0.0);
+        let one = Binomial::new(5, 1.0).unwrap();
+        assert_eq!(one.pmf(5).unwrap(), 1.0);
+        assert_eq!(one.cdf(4).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn sf_complements_cdf() {
+        let b = Binomial::new(30, 0.4).unwrap();
+        for k in 1..=30 {
+            let lhs = b.sf(k).unwrap();
+            let rhs = 1.0 - b.cdf(k - 1).unwrap();
+            assert!((lhs - rhs).abs() < 1e-12);
+        }
+        assert_eq!(b.sf(0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn clopper_pearson_coverage_cross_check() {
+        // The defining property of the CP lower bound L(k, n): if the true
+        // p equals L, then P[X >= k] = alpha. Verify numerically.
+        use crate::clopper_pearson::{lower_bound, Confidence};
+        let (k, n) = (90u64, 100u64);
+        let conf = Confidence::new(0.95).unwrap();
+        let lower = lower_bound(k, n, conf).unwrap();
+        let at_bound = Binomial::new(n, lower).unwrap().sf(k).unwrap();
+        assert!((at_bound - 0.05).abs() < 1e-6, "P[X>=k] = {at_bound}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Binomial::new(0, 0.5).is_err());
+        assert!(Binomial::new(10, 1.5).is_err());
+        let b = Binomial::new(10, 0.5).unwrap();
+        assert!(b.pmf(11).is_err());
+        assert!(b.cdf(11).is_err());
+        assert_eq!(b.mean(), 5.0);
+    }
+}

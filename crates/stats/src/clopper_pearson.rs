@@ -1,0 +1,352 @@
+//! Clopper–Pearson exact binomial confidence intervals.
+//!
+//! This is the statistical heart of MITHRA's guarantee (paper §III,
+//! Equation 3): given `n_trials` representative datasets of which
+//! `n_success` met the quality target, the one-sided lower bound tells us —
+//! with confidence β — what fraction of *unseen* datasets will meet it. The
+//! exact method is conservative: the true coverage is at least the nominal
+//! confidence.
+
+use crate::beta::Beta;
+use crate::{Result, StatsError};
+
+/// A validated confidence level in the open interval `(0, 1)`.
+///
+/// Newtype per C-NEWTYPE: a bare `f64` confidence is too easy to confuse
+/// with a significance level or a success rate.
+///
+/// # Example
+///
+/// ```
+/// # use mithra_stats::clopper_pearson::Confidence;
+/// let c = Confidence::new(0.95)?;
+/// assert_eq!(c.level(), 0.95);
+/// assert!((c.alpha() - 0.05).abs() < 1e-15);
+/// # Ok::<(), mithra_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Confidence(f64);
+
+impl Confidence {
+    /// Creates a confidence level; must satisfy `0 < level < 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] outside that range.
+    pub fn new(level: f64) -> Result<Self> {
+        if !level.is_finite() || level <= 0.0 || level >= 1.0 {
+            return Err(StatsError::InvalidArgument {
+                parameter: "level",
+                constraint: "0 < level < 1",
+                value: level,
+            });
+        }
+        Ok(Self(level))
+    }
+
+    /// The confidence level β, e.g. `0.95`.
+    pub fn level(&self) -> f64 {
+        self.0
+    }
+
+    /// The significance level α = 1 − β.
+    pub fn alpha(&self) -> f64 {
+        1.0 - self.0
+    }
+}
+
+impl std::fmt::Display for Confidence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1}%", self.0 * 100.0)
+    }
+}
+
+/// A two-sided exact confidence interval on a binomial proportion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower endpoint of the interval.
+    pub lower: f64,
+    /// Upper endpoint of the interval.
+    pub upper: f64,
+}
+
+fn validate_counts(successes: u64, trials: u64) -> Result<()> {
+    if trials == 0 {
+        return Err(StatsError::InvalidArgument {
+            parameter: "trials",
+            constraint: "> 0",
+            value: 0.0,
+        });
+    }
+    if successes > trials {
+        return Err(StatsError::SuccessesExceedTrials { successes, trials });
+    }
+    Ok(())
+}
+
+/// One-sided exact lower confidence bound on the success probability.
+///
+/// With confidence β (`confidence.level()`), at least this fraction of
+/// unseen datasets will be successes. This is the `S(q)` lower limit of the
+/// paper's Equation (3): the α quantile of `Beta(k, n−k+1)` where `k` is
+/// `successes` and `n` is `trials`. When `k = 0` the bound is exactly 0.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidArgument`] if `trials == 0` and
+/// [`StatsError::SuccessesExceedTrials`] if `successes > trials`.
+///
+/// # Example
+///
+/// Projecting MITHRA's headline guarantee — certifying "90% of unseen input
+/// sets at 95% confidence" with 250 validation datasets. The paper reports
+/// 235 of 250 passing; the exact method needs at least 234:
+///
+/// ```
+/// # use mithra_stats::clopper_pearson::{lower_bound, Confidence};
+/// let beta = Confidence::new(0.95)?;
+/// assert!(lower_bound(235, 250, beta)? >= 0.90); // the paper's observed count
+/// assert!(lower_bound(234, 250, beta)? >= 0.90); // the exact minimum
+/// assert!(lower_bound(233, 250, beta)? < 0.90);
+/// # Ok::<(), mithra_stats::StatsError>(())
+/// ```
+pub fn lower_bound(successes: u64, trials: u64, confidence: Confidence) -> Result<f64> {
+    validate_counts(successes, trials)?;
+    if successes == 0 {
+        return Ok(0.0);
+    }
+    let k = successes as f64;
+    let n = trials as f64;
+    Beta::new(k, n - k + 1.0)?.quantile(confidence.alpha())
+}
+
+/// One-sided exact upper confidence bound on the success probability.
+///
+/// The β-confidence statement "the true success rate is at most this".
+/// When `successes == trials` the bound is exactly 1.
+///
+/// # Errors
+///
+/// Same as [`lower_bound`].
+pub fn upper_bound(successes: u64, trials: u64, confidence: Confidence) -> Result<f64> {
+    validate_counts(successes, trials)?;
+    if successes == trials {
+        return Ok(1.0);
+    }
+    let k = successes as f64;
+    let n = trials as f64;
+    Beta::new(k + 1.0, n - k)?.quantile(confidence.level())
+}
+
+/// Two-sided exact confidence interval, splitting α evenly between tails.
+///
+/// The paper's worked example uses this form: 90/100 successes at 95%
+/// confidence gives a lower endpoint of ≈ 82.4%... strictly, the printed
+/// 80.7% corresponds to using the 97.5% one-sided tail, i.e. the lower
+/// endpoint of this two-sided interval.
+///
+/// # Errors
+///
+/// Same as [`lower_bound`].
+///
+/// # Example
+///
+/// ```
+/// # use mithra_stats::clopper_pearson::{interval, Confidence};
+/// let iv = interval(90, 100, Confidence::new(0.95)?)?;
+/// assert!((iv.lower - 0.8238).abs() < 5e-4);
+/// assert!((iv.upper - 0.9510).abs() < 5e-4);
+/// # Ok::<(), mithra_stats::StatsError>(())
+/// ```
+pub fn interval(successes: u64, trials: u64, confidence: Confidence) -> Result<Interval> {
+    validate_counts(successes, trials)?;
+    let half = Confidence::new(1.0 - confidence.alpha() / 2.0)?;
+    Ok(Interval {
+        lower: lower_bound(successes, trials, half)?,
+        upper: upper_bound(successes, trials, half)?,
+    })
+}
+
+/// Minimum number of successes out of `trials` whose one-sided lower bound
+/// at `confidence` reaches `target_rate`.
+///
+/// Returns `None` if even `trials` successes cannot certify the target
+/// (possible for small `trials` and demanding targets). This is the planning
+/// companion to [`lower_bound`]: it answers "how many of my validation
+/// datasets must pass for the guarantee to hold?".
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidArgument`] if `trials == 0` or
+/// `target_rate` is outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// # use mithra_stats::clopper_pearson::{required_successes, Confidence};
+/// let beta = Confidence::new(0.95)?;
+/// // 234 of 250 datasets certify a 90% success rate (the paper observed
+/// // 235 passing, comfortably above the minimum).
+/// assert_eq!(required_successes(250, 0.90, beta)?, Some(234));
+/// # Ok::<(), mithra_stats::StatsError>(())
+/// ```
+pub fn required_successes(
+    trials: u64,
+    target_rate: f64,
+    confidence: Confidence,
+) -> Result<Option<u64>> {
+    if trials == 0 {
+        return Err(StatsError::InvalidArgument {
+            parameter: "trials",
+            constraint: "> 0",
+            value: 0.0,
+        });
+    }
+    if !(0.0..=1.0).contains(&target_rate) {
+        return Err(StatsError::InvalidArgument {
+            parameter: "target_rate",
+            constraint: "0 <= target_rate <= 1",
+            value: target_rate,
+        });
+    }
+    // lower_bound is monotone in successes: binary search the smallest k.
+    if lower_bound(trials, trials, confidence)? < target_rate {
+        return Ok(None);
+    }
+    let (mut lo, mut hi) = (0u64, trials);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if lower_bound(mid, trials, confidence)? >= target_rate {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Ok(Some(lo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conf(level: f64) -> Confidence {
+        Confidence::new(level).unwrap()
+    }
+
+    #[test]
+    fn lower_bound_known_value_90_of_100() {
+        // One-sided 95%: alpha quantile of Beta(90, 11) ≈ 0.83628
+        // (cross-checked against an independent numerical integration).
+        let b = lower_bound(90, 100, conf(0.95)).unwrap();
+        assert!((b - 0.83628).abs() < 5e-4, "got {b}");
+    }
+
+    #[test]
+    fn two_sided_matches_paper_example() {
+        // Paper: 90/100 at "95% confidence" prints 80.7% — but the exact
+        // two-sided lower endpoint is 82.38%; the paper's figure appears to
+        // include additional rounding. We assert the exact value.
+        let iv = interval(90, 100, conf(0.95)).unwrap();
+        assert!((iv.lower - 0.8238).abs() < 5e-4, "got {}", iv.lower);
+    }
+
+    #[test]
+    fn zero_successes_bound_is_zero() {
+        assert_eq!(lower_bound(0, 50, conf(0.95)).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn all_successes_upper_bound_is_one() {
+        assert_eq!(upper_bound(50, 50, conf(0.95)).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn all_successes_lower_bound_rule_of_three() {
+        // k = n: lower bound at 95% is alpha^(1/n) — the "rule of three"
+        // companion. For n = 60: 0.05^(1/60) ≈ 0.9513.
+        let b = lower_bound(60, 60, conf(0.95)).unwrap();
+        assert!((b - 0.05f64.powf(1.0 / 60.0)).abs() < 1e-9, "got {b}");
+    }
+
+    #[test]
+    fn lower_bound_monotone_in_successes() {
+        let mut prev = -1.0;
+        for k in 0..=20 {
+            let b = lower_bound(k, 20, conf(0.95)).unwrap();
+            assert!(b >= prev, "bound decreased at k={k}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn lower_bound_below_point_estimate() {
+        for &(k, n) in &[(5u64, 10u64), (90, 100), (235, 250), (1, 1000)] {
+            let b = lower_bound(k, n, conf(0.95)).unwrap();
+            assert!(b <= k as f64 / n as f64 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn higher_confidence_gives_lower_bound() {
+        let loose = lower_bound(90, 100, conf(0.90)).unwrap();
+        let tight = lower_bound(90, 100, conf(0.99)).unwrap();
+        assert!(tight < loose);
+    }
+
+    #[test]
+    fn interval_contains_point_estimate() {
+        let iv = interval(42, 100, conf(0.95)).unwrap();
+        assert!(iv.lower < 0.42 && 0.42 < iv.upper);
+    }
+
+    #[test]
+    fn required_successes_is_minimal() {
+        let beta = conf(0.95);
+        let k = required_successes(250, 0.90, beta).unwrap().unwrap();
+        assert!(lower_bound(k, 250, beta).unwrap() >= 0.90);
+        assert!(lower_bound(k - 1, 250, beta).unwrap() < 0.90);
+    }
+
+    #[test]
+    fn required_successes_unreachable_target() {
+        // With 5 trials even 5/5 cannot certify 99% at 95% confidence.
+        assert_eq!(
+            required_successes(5, 0.99, conf(0.95)).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn counts_validation() {
+        assert!(lower_bound(3, 0, conf(0.9)).is_err());
+        assert!(matches!(
+            lower_bound(11, 10, conf(0.9)),
+            Err(StatsError::SuccessesExceedTrials { .. })
+        ));
+    }
+
+    #[test]
+    fn confidence_rejects_degenerate_levels() {
+        assert!(Confidence::new(0.0).is_err());
+        assert!(Confidence::new(1.0).is_err());
+        assert!(Confidence::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn matches_f_distribution_form() {
+        // Equation (3) of the paper expresses the bound through F-critical
+        // values: lower = k / (k + (n-k+1) * F_{1-alpha}(2(n-k+1), 2k)).
+        use crate::fdist::FDistribution;
+        let (k, n) = (90u64, 100u64);
+        let beta = conf(0.95);
+        let kf = k as f64;
+        let nf = n as f64;
+        let f = FDistribution::new(2.0 * (nf - kf + 1.0), 2.0 * kf)
+            .unwrap()
+            .quantile(beta.level())
+            .unwrap();
+        let via_f = kf / (kf + (nf - kf + 1.0) * f);
+        let via_beta = lower_bound(k, n, beta).unwrap();
+        assert!((via_f - via_beta).abs() < 1e-8, "{via_f} vs {via_beta}");
+    }
+}

@@ -1,0 +1,297 @@
+//! Descriptive statistics used by the evaluation harness.
+//!
+//! The paper reports geometric means across benchmarks (Figure 6), empirical
+//! CDFs of per-element error (Figure 1) and percentile summaries. These are
+//! small, but having them in one tested place keeps every experiment binary
+//! consistent about e.g. how an empirical CDF treats ties.
+
+use crate::{Result, StatsError};
+
+/// Arithmetic mean of a non-empty slice.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidArgument`] for an empty slice.
+///
+/// # Example
+///
+/// ```
+/// # use mithra_stats::descriptive::mean;
+/// assert_eq!(mean(&[1.0, 2.0, 3.0])?, 2.0);
+/// # Ok::<(), mithra_stats::StatsError>(())
+/// ```
+pub fn mean(values: &[f64]) -> Result<f64> {
+    if values.is_empty() {
+        return Err(StatsError::InvalidArgument {
+            parameter: "values",
+            constraint: "non-empty slice",
+            value: 0.0,
+        });
+    }
+    Ok(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Geometric mean of a non-empty slice of positive values.
+///
+/// Computed in log space for numerical robustness; this is how the paper
+/// aggregates per-benchmark speedups and energy reductions.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidArgument`] if the slice is empty or any
+/// value is non-positive.
+///
+/// # Example
+///
+/// ```
+/// # use mithra_stats::descriptive::geomean;
+/// assert!((geomean(&[1.0, 4.0])? - 2.0).abs() < 1e-12);
+/// # Ok::<(), mithra_stats::StatsError>(())
+/// ```
+pub fn geomean(values: &[f64]) -> Result<f64> {
+    if values.is_empty() {
+        return Err(StatsError::InvalidArgument {
+            parameter: "values",
+            constraint: "non-empty slice",
+            value: 0.0,
+        });
+    }
+    let mut acc = 0.0;
+    for &v in values {
+        if !v.is_finite() || v <= 0.0 {
+            return Err(StatsError::InvalidArgument {
+                parameter: "values",
+                constraint: "all values finite and > 0",
+                value: v,
+            });
+        }
+        acc += v.ln();
+    }
+    Ok((acc / values.len() as f64).exp())
+}
+
+/// Population variance of a non-empty slice.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidArgument`] for an empty slice.
+pub fn variance(values: &[f64]) -> Result<f64> {
+    let m = mean(values)?;
+    Ok(values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64)
+}
+
+/// Linearly interpolated percentile `p ∈ [0, 100]` of a non-empty slice.
+///
+/// Uses the common "linear interpolation between closest ranks" definition
+/// (NumPy's default).
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidArgument`] if the slice is empty or `p` is
+/// outside `[0, 100]`.
+pub fn percentile(values: &[f64], p: f64) -> Result<f64> {
+    if values.is_empty() {
+        return Err(StatsError::InvalidArgument {
+            parameter: "values",
+            constraint: "non-empty slice",
+            value: 0.0,
+        });
+    }
+    if !(0.0..=100.0).contains(&p) {
+        return Err(StatsError::InvalidArgument {
+            parameter: "p",
+            constraint: "0 <= p <= 100",
+            value: p,
+        });
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Ok(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// An empirical cumulative distribution function over a sample.
+///
+/// Built once (sorting the sample), then queried cheaply. Used to produce
+/// the paper's Figure 1 — the CDF of per-element final error under full
+/// approximation.
+///
+/// # Example
+///
+/// ```
+/// # use mithra_stats::descriptive::EmpiricalCdf;
+/// let cdf = EmpiricalCdf::new(vec![0.0, 1.0, 2.0, 3.0])?;
+/// assert_eq!(cdf.eval(1.5), 0.5);
+/// assert_eq!(cdf.eval(-1.0), 0.0);
+/// assert_eq!(cdf.eval(10.0), 1.0);
+/// # Ok::<(), mithra_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Builds an empirical CDF from a non-empty sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] if the sample is empty or
+    /// contains NaN.
+    pub fn new(mut sample: Vec<f64>) -> Result<Self> {
+        if sample.is_empty() {
+            return Err(StatsError::InvalidArgument {
+                parameter: "sample",
+                constraint: "non-empty",
+                value: 0.0,
+            });
+        }
+        if sample.iter().any(|v| v.is_nan()) {
+            return Err(StatsError::InvalidArgument {
+                parameter: "sample",
+                constraint: "free of NaN",
+                value: f64::NAN,
+            });
+        }
+        sample.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+        Ok(Self { sorted: sample })
+    }
+
+    /// Number of sample points.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF has no sample points (never true for a constructed
+    /// value; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of the sample `<= x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point gives the count of elements <= x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The value at or below which a fraction `q ∈ [0, 1]` of the sample
+    /// lies (the inverse of [`eval`](Self::eval), step-function style).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] for `q` outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(StatsError::InvalidArgument {
+                parameter: "q",
+                constraint: "0 <= q <= 1",
+                value: q,
+            });
+        }
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.sorted.len() - 1);
+        Ok(self.sorted[idx])
+    }
+
+    /// Samples the CDF at `points` evenly spaced x positions between the
+    /// sample min and max, returning `(x, F(x))` pairs — the series plotted
+    /// in the paper's Figure 1.
+    pub fn series(&self, points: usize) -> Vec<(f64, f64)> {
+        let lo = self.sorted[0];
+        let hi = self.sorted[self.sorted.len() - 1];
+        if points <= 1 || hi <= lo {
+            return vec![(hi, 1.0)];
+        }
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        assert_eq!(mean(&[2.0, 4.0, 6.0]).unwrap(), 4.0);
+        assert!((variance(&[2.0, 4.0, 6.0]).unwrap() - 8.0 / 3.0).abs() < 1e-12);
+        assert!(mean(&[]).is_err());
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+        assert!(geomean(&[1.0, -1.0]).is_err());
+        assert!(geomean(&[]).is_err());
+        assert!(geomean(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn geomean_le_arithmetic_mean() {
+        let vals = [1.3, 2.7, 0.9, 5.5, 3.1];
+        assert!(geomean(&vals).unwrap() <= mean(&vals).unwrap() + 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&v, 0.0).unwrap(), 10.0);
+        assert_eq!(percentile(&v, 100.0).unwrap(), 40.0);
+        assert_eq!(percentile(&v, 50.0).unwrap(), 25.0);
+        assert!(percentile(&v, 101.0).is_err());
+        assert!(percentile(&[], 50.0).is_err());
+    }
+
+    #[test]
+    fn cdf_monotone_and_bounded() {
+        let cdf = EmpiricalCdf::new(vec![3.0, 1.0, 2.0, 2.0, 5.0]).unwrap();
+        let mut prev = 0.0;
+        for i in 0..60 {
+            let x = -1.0 + f64::from(i) * 0.15;
+            let f = cdf.eval(x);
+            assert!((0.0..=1.0).contains(&f));
+            assert!(f >= prev);
+            prev = f;
+        }
+        assert_eq!(cdf.eval(5.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_handles_ties() {
+        let cdf = EmpiricalCdf::new(vec![1.0, 1.0, 1.0, 2.0]).unwrap();
+        assert_eq!(cdf.eval(1.0), 0.75);
+    }
+
+    #[test]
+    fn cdf_quantile_round_trip() {
+        let cdf = EmpiricalCdf::new((1..=100).map(f64::from).collect()).unwrap();
+        assert_eq!(cdf.quantile(0.5).unwrap(), 50.0);
+        assert_eq!(cdf.quantile(1.0).unwrap(), 100.0);
+        assert_eq!(cdf.quantile(0.0).unwrap(), 1.0);
+        assert!(cdf.quantile(1.5).is_err());
+    }
+
+    #[test]
+    fn cdf_rejects_bad_sample() {
+        assert!(EmpiricalCdf::new(vec![]).is_err());
+        assert!(EmpiricalCdf::new(vec![1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn cdf_series_covers_range() {
+        let cdf = EmpiricalCdf::new(vec![0.0, 10.0]).unwrap();
+        let series = cdf.series(11);
+        assert_eq!(series.len(), 11);
+        assert_eq!(series[0].0, 0.0);
+        assert_eq!(series[10], (10.0, 1.0));
+    }
+}

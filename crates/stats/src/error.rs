@@ -1,0 +1,93 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the statistical routines in this crate.
+///
+/// Every fallible public function in `mithra-stats` returns this type. The
+/// variants distinguish domain errors (arguments outside the mathematical
+/// domain of the function) from convergence failures in the iterative
+/// numerical kernels.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// An argument was outside the domain of the requested function.
+    InvalidArgument {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        constraint: &'static str,
+        /// The value that was supplied.
+        value: f64,
+    },
+    /// A success count exceeded its trial count.
+    SuccessesExceedTrials {
+        /// Number of successes supplied.
+        successes: u64,
+        /// Number of trials supplied.
+        trials: u64,
+    },
+    /// An iterative numerical kernel failed to converge.
+    NoConvergence {
+        /// Which kernel failed.
+        kernel: &'static str,
+        /// Number of iterations attempted before giving up.
+        iterations: u32,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidArgument {
+                parameter,
+                constraint,
+                value,
+            } => write!(
+                f,
+                "invalid argument `{parameter}` = {value}: expected {constraint}"
+            ),
+            StatsError::SuccessesExceedTrials { successes, trials } => write!(
+                f,
+                "successes ({successes}) exceed trials ({trials})"
+            ),
+            StatsError::NoConvergence { kernel, iterations } => write!(
+                f,
+                "{kernel} failed to converge after {iterations} iterations"
+            ),
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = StatsError::InvalidArgument {
+            parameter: "x",
+            constraint: "0 <= x <= 1",
+            value: 2.0,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("invalid argument"));
+        assert!(msg.contains('x'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        let err = StatsError::NoConvergence {
+            kernel: "betainc",
+            iterations: 100,
+        };
+        assert!(!format!("{err:?}").is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! The F distribution, via its relationship to the Beta distribution.
+//!
+//! The paper's Equation (3) states the Clopper–Pearson bound in terms of
+//! F-critical values. The Beta-quantile form used in
+//! [`crate::clopper_pearson`] is mathematically identical; this module
+//! exists so the Equation (3) form can be evaluated and cross-checked
+//! directly, and to document the equivalence in executable form.
+
+use crate::beta::Beta;
+use crate::{Result, StatsError};
+
+/// An F(d1, d2) distribution with positive degrees of freedom.
+///
+/// If `X ~ F(d1, d2)` then `Y = (d1 X) / (d1 X + d2) ~ Beta(d1/2, d2/2)`,
+/// which is the identity used for both the CDF and the quantile.
+///
+/// # Example
+///
+/// ```
+/// # use mithra_stats::fdist::FDistribution;
+/// let f = FDistribution::new(4.0, 10.0)?;
+/// let q = f.quantile(0.95)?;
+/// assert!((f.cdf(q)? - 0.95).abs() < 1e-9);
+/// # Ok::<(), mithra_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FDistribution {
+    d1: f64,
+    d2: f64,
+}
+
+impl FDistribution {
+    /// Creates an F distribution with degrees of freedom `d1, d2 > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] if either degree of freedom
+    /// is not positive and finite.
+    pub fn new(d1: f64, d2: f64) -> Result<Self> {
+        if !d1.is_finite() || d1 <= 0.0 {
+            return Err(StatsError::InvalidArgument {
+                parameter: "d1",
+                constraint: "finite and > 0",
+                value: d1,
+            });
+        }
+        if !d2.is_finite() || d2 <= 0.0 {
+            return Err(StatsError::InvalidArgument {
+                parameter: "d2",
+                constraint: "finite and > 0",
+                value: d2,
+            });
+        }
+        Ok(Self { d1, d2 })
+    }
+
+    /// Numerator degrees of freedom.
+    pub fn d1(&self) -> f64 {
+        self.d1
+    }
+
+    /// Denominator degrees of freedom.
+    pub fn d2(&self) -> f64 {
+        self.d2
+    }
+
+    /// Cumulative distribution function at `x >= 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] if `x` is negative or not
+    /// finite.
+    pub fn cdf(&self, x: f64) -> Result<f64> {
+        if !x.is_finite() || x < 0.0 {
+            return Err(StatsError::InvalidArgument {
+                parameter: "x",
+                constraint: "finite and >= 0",
+                value: x,
+            });
+        }
+        let y = (self.d1 * x) / (self.d1 * x + self.d2);
+        Beta::new(self.d1 / 2.0, self.d2 / 2.0)?.cdf(y)
+    }
+
+    /// Quantile function (the F-critical value) at probability `p ∈ [0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] for `p` outside `[0, 1)`
+    /// (the F distribution has unbounded support, so `p = 1` has no finite
+    /// quantile).
+    pub fn quantile(&self, p: f64) -> Result<f64> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(StatsError::InvalidArgument {
+                parameter: "p",
+                constraint: "0 <= p < 1",
+                value: p,
+            });
+        }
+        if p == 0.0 {
+            return Ok(0.0);
+        }
+        let y = Beta::new(self.d1 / 2.0, self.d2 / 2.0)?.quantile(p)?;
+        // Invert y = d1 x / (d1 x + d2).
+        Ok(self.d2 * y / (self.d1 * (1.0 - y)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_quantile_round_trip() {
+        for &(d1, d2) in &[(1.0, 1.0), (5.0, 2.0), (10.0, 20.0), (22.0, 180.0)] {
+            let f = FDistribution::new(d1, d2).unwrap();
+            for i in 1..10 {
+                let p = f64::from(i) / 10.0;
+                let x = f.quantile(p).unwrap();
+                assert!(
+                    (f.cdf(x).unwrap() - p).abs() < 1e-8,
+                    "round trip failed for F({d1},{d2}) at p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn known_critical_value() {
+        // F(0.95; 5, 10) ≈ 3.3258 (standard tables).
+        let f = FDistribution::new(5.0, 10.0).unwrap();
+        let q = f.quantile(0.95).unwrap();
+        assert!((q - 3.3258).abs() < 5e-3, "got {q}");
+    }
+
+    #[test]
+    fn median_of_f_1_1() {
+        // F(1,1) median is 1.0.
+        let f = FDistribution::new(1.0, 1.0).unwrap();
+        assert!((f.quantile(0.5).unwrap() - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        assert!(FDistribution::new(0.0, 1.0).is_err());
+        assert!(FDistribution::new(1.0, -1.0).is_err());
+        let f = FDistribution::new(2.0, 2.0).unwrap();
+        assert!(f.cdf(-1.0).is_err());
+        assert!(f.quantile(1.0).is_err());
+    }
+}

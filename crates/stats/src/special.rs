@@ -1,0 +1,309 @@
+//! Special functions: log-gamma and the regularized incomplete beta.
+//!
+//! These are the numerical primitives behind exact binomial confidence
+//! intervals. `ln_gamma` uses the Lanczos approximation; `betainc` uses the
+//! Lentz continued-fraction evaluation with the standard symmetry switch for
+//! numerical stability.
+
+use crate::{Result, StatsError};
+
+/// Coefficients for the Lanczos approximation (g = 7, n = 9).
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS_COEF: [f64; 9] = [
+    0.999_999_999_999_809_93,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_13,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_571_6e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural logarithm of the gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Accurate to roughly 1e-13 relative error over the domain used by the
+/// binomial interval computations.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidArgument`] if `x <= 0` or is not finite.
+///
+/// # Example
+///
+/// ```
+/// # use mithra_stats::special::ln_gamma;
+/// // Γ(5) = 24
+/// let v = ln_gamma(5.0)?;
+/// assert!((v - 24f64.ln()).abs() < 1e-12);
+/// # Ok::<(), mithra_stats::StatsError>(())
+/// ```
+pub fn ln_gamma(x: f64) -> Result<f64> {
+    if !x.is_finite() || x <= 0.0 {
+        return Err(StatsError::InvalidArgument {
+            parameter: "x",
+            constraint: "finite and > 0",
+            value: x,
+        });
+    }
+    Ok(ln_gamma_unchecked(x))
+}
+
+/// `ln Γ(x)` without domain validation; callers guarantee `x > 0`.
+fn ln_gamma_unchecked(x: f64) -> f64 {
+    if x < 0.5 {
+        // Reflection formula keeps the Lanczos series in its accurate range.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma_unchecked(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = LANCZOS_COEF[0];
+    for (i, &c) in LANCZOS_COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + LANCZOS_G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Natural log of the complete beta function, `ln B(a, b)`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidArgument`] if `a` or `b` is not positive and
+/// finite.
+pub fn ln_beta(a: f64, b: f64) -> Result<f64> {
+    Ok(ln_gamma(a)? + ln_gamma(b)? - ln_gamma(a + b)?)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` for `a, b > 0` and
+/// `0 <= x <= 1`.
+///
+/// This equals the CDF of a Beta(a, b) distribution evaluated at `x`, which
+/// is in turn the bridge between binomial tail probabilities and the exact
+/// Clopper–Pearson interval:
+/// `P[X <= k] = I_{1-p}(n-k, k+1)` for `X ~ Binomial(n, p)`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidArgument`] for out-of-domain arguments, and
+/// [`StatsError::NoConvergence`] if the continued fraction fails to settle
+/// (practically unreachable for sane inputs).
+///
+/// # Example
+///
+/// ```
+/// # use mithra_stats::special::betainc;
+/// // I_x(1, 1) is the identity: Beta(1,1) is uniform.
+/// assert!((betainc(0.3, 1.0, 1.0)? - 0.3).abs() < 1e-14);
+/// # Ok::<(), mithra_stats::StatsError>(())
+/// ```
+pub fn betainc(x: f64, a: f64, b: f64) -> Result<f64> {
+    if !(0.0..=1.0).contains(&x) || !x.is_finite() {
+        return Err(StatsError::InvalidArgument {
+            parameter: "x",
+            constraint: "0 <= x <= 1",
+            value: x,
+        });
+    }
+    if !a.is_finite() || a <= 0.0 {
+        return Err(StatsError::InvalidArgument {
+            parameter: "a",
+            constraint: "finite and > 0",
+            value: a,
+        });
+    }
+    if !b.is_finite() || b <= 0.0 {
+        return Err(StatsError::InvalidArgument {
+            parameter: "b",
+            constraint: "finite and > 0",
+            value: b,
+        });
+    }
+    if x == 0.0 {
+        return Ok(0.0);
+    }
+    if x == 1.0 {
+        return Ok(1.0);
+    }
+
+    // Prefactor: x^a (1-x)^b / (a B(a,b)).
+    let ln_front = a * x.ln() + b * (1.0 - x).ln() - ln_beta(a, b)?;
+
+    // Use the symmetry I_x(a,b) = 1 - I_{1-x}(b,a) so the continued fraction
+    // converges quickly.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        Ok((ln_front.exp() * beta_cf(x, a, b)?) / a)
+    } else {
+        let ln_front_sym = b * (1.0 - x).ln() + a * x.ln() - ln_beta(a, b)?;
+        Ok(1.0 - (ln_front_sym.exp() * beta_cf(1.0 - x, b, a)?) / b)
+    }
+}
+
+/// Continued-fraction evaluation for the incomplete beta (Lentz's method).
+fn beta_cf(x: f64, a: f64, b: f64) -> Result<f64> {
+    const MAX_ITER: u32 = 300;
+    const EPS: f64 = 1e-15;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+
+    for m in 1..=MAX_ITER {
+        let m = f64::from(m);
+        let m2 = 2.0 * m;
+
+        // Even step of the recurrence.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+
+        if (del - 1.0).abs() < EPS {
+            return Ok(h);
+        }
+    }
+    Err(StatsError::NoConvergence {
+        kernel: "betainc continued fraction",
+        iterations: MAX_ITER,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() <= tol,
+            "expected {expected}, got {actual} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)! for integer n.
+        let mut fact = 1.0f64;
+        for n in 1..15u32 {
+            if n > 1 {
+                fact *= f64::from(n - 1);
+            }
+            assert_close(ln_gamma(f64::from(n)).unwrap(), fact.ln(), 1e-10);
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = sqrt(pi)
+        assert_close(
+            ln_gamma(0.5).unwrap(),
+            std::f64::consts::PI.sqrt().ln(),
+            1e-12,
+        );
+        // Γ(3/2) = sqrt(pi)/2
+        assert_close(
+            ln_gamma(1.5).unwrap(),
+            (std::f64::consts::PI.sqrt() / 2.0).ln(),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn ln_gamma_rejects_nonpositive() {
+        assert!(ln_gamma(0.0).is_err());
+        assert!(ln_gamma(-1.0).is_err());
+        assert!(ln_gamma(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn betainc_uniform_is_identity() {
+        for i in 0..=10 {
+            let x = f64::from(i) / 10.0;
+            assert_close(betainc(x, 1.0, 1.0).unwrap(), x, 1e-13);
+        }
+    }
+
+    #[test]
+    fn betainc_boundaries() {
+        assert_eq!(betainc(0.0, 3.0, 4.0).unwrap(), 0.0);
+        assert_eq!(betainc(1.0, 3.0, 4.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn betainc_symmetry() {
+        // I_x(a,b) = 1 - I_{1-x}(b,a)
+        for &(x, a, b) in &[(0.3, 2.0, 5.0), (0.7, 4.5, 1.5), (0.5, 10.0, 10.0)] {
+            let lhs = betainc(x, a, b).unwrap();
+            let rhs = 1.0 - betainc(1.0 - x, b, a).unwrap();
+            assert_close(lhs, rhs, 1e-12);
+        }
+    }
+
+    #[test]
+    fn betainc_known_values() {
+        // Beta(2,2) CDF is 3x^2 - 2x^3.
+        for &x in &[0.1, 0.25, 0.5, 0.75, 0.9] {
+            let expected = 3.0 * x * x - 2.0 * x * x * x;
+            assert_close(betainc(x, 2.0, 2.0).unwrap(), expected, 1e-12);
+        }
+        // Beta(1,3) CDF is 1 - (1-x)^3.
+        for &x in &[0.2, 0.5, 0.8] {
+            let expected = 1.0 - (1.0f64 - x).powi(3);
+            assert_close(betainc(x, 1.0, 3.0).unwrap(), expected, 1e-12);
+        }
+    }
+
+    #[test]
+    fn betainc_binomial_tail_identity() {
+        // P[X <= k] for X ~ Binomial(n, p) equals I_{1-p}(n-k, k+1).
+        // Check against direct summation for a small case.
+        let (n, k, p) = (12u32, 4u32, 0.35f64);
+        let mut direct = 0.0;
+        for i in 0..=k {
+            let comb = (0..i).fold(1.0f64, |acc, j| {
+                acc * f64::from(n - j) / f64::from(j + 1)
+            });
+            direct += comb * p.powi(i as i32) * (1.0 - p).powi((n - i) as i32);
+        }
+        let via_beta = betainc(1.0 - p, f64::from(n - k), f64::from(k + 1)).unwrap();
+        assert_close(via_beta, direct, 1e-12);
+    }
+
+    #[test]
+    fn betainc_rejects_bad_domain() {
+        assert!(betainc(-0.1, 1.0, 1.0).is_err());
+        assert!(betainc(1.1, 1.0, 1.0).is_err());
+        assert!(betainc(0.5, 0.0, 1.0).is_err());
+        assert!(betainc(0.5, 1.0, -2.0).is_err());
+        assert!(betainc(f64::NAN, 1.0, 1.0).is_err());
+    }
+}

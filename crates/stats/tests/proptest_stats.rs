@@ -1,0 +1,95 @@
+//! Property-based tests for the statistical kernels.
+
+use mithra_stats::beta::Beta;
+use mithra_stats::clopper_pearson::{interval, lower_bound, upper_bound, Confidence};
+use mithra_stats::descriptive::{geomean, mean, EmpiricalCdf};
+use mithra_stats::special::betainc;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn betainc_in_unit_interval(x in 0.0f64..=1.0, a in 0.01f64..50.0, b in 0.01f64..50.0) {
+        let v = betainc(x, a, b).unwrap();
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn betainc_monotone_in_x(x1 in 0.0f64..1.0, dx in 0.0f64..1.0, a in 0.1f64..30.0, b in 0.1f64..30.0) {
+        let x2 = (x1 + dx).min(1.0);
+        let v1 = betainc(x1, a, b).unwrap();
+        let v2 = betainc(x2, a, b).unwrap();
+        prop_assert!(v2 >= v1 - 1e-12);
+    }
+
+    #[test]
+    fn betainc_complement_symmetry(x in 0.001f64..0.999, a in 0.1f64..30.0, b in 0.1f64..30.0) {
+        let lhs = betainc(x, a, b).unwrap();
+        let rhs = 1.0 - betainc(1.0 - x, b, a).unwrap();
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    // Shapes below 0.5 with extreme p push the quantile into the region
+    // where a single f64 ulp in x moves the CDF by more than any useful
+    // tolerance (the density is singular at the boundary), so the test
+    // domain is restricted to the regime the Clopper-Pearson code uses:
+    // shape parameters >= 0.5 (they are success/failure counts there).
+    #[test]
+    fn beta_quantile_round_trips(p in 0.001f64..0.999, a in 0.5f64..40.0, b in 0.5f64..40.0) {
+        let d = Beta::new(a, b).unwrap();
+        let x = d.quantile(p).unwrap();
+        prop_assert!((d.cdf(x).unwrap() - p).abs() < 5e-6);
+    }
+
+    #[test]
+    fn clopper_pearson_brackets_point_estimate(k in 0u64..200, extra in 1u64..200) {
+        let n = k + extra;
+        let c = Confidence::new(0.95).unwrap();
+        let lo = lower_bound(k, n, c).unwrap();
+        let hi = upper_bound(k, n, c).unwrap();
+        let p_hat = k as f64 / n as f64;
+        prop_assert!(lo <= p_hat + 1e-12);
+        prop_assert!(hi >= p_hat - 1e-12);
+        prop_assert!(lo <= hi);
+    }
+
+    #[test]
+    fn two_sided_tighter_than_nothing(k in 0u64..100, extra in 0u64..100) {
+        let n = k + extra + 1;
+        let k = k.min(n);
+        let iv = interval(k, n, Confidence::new(0.9).unwrap()).unwrap();
+        prop_assert!(iv.lower >= 0.0 && iv.upper <= 1.0);
+        prop_assert!(iv.lower <= iv.upper);
+    }
+
+    #[test]
+    fn lower_bound_monotone_in_confidence(k in 1u64..100, extra in 0u64..100, c1 in 0.5f64..0.98) {
+        let n = k + extra;
+        let c2 = c1 + 0.01;
+        let loose = lower_bound(k, n, Confidence::new(c1).unwrap()).unwrap();
+        let tight = lower_bound(k, n, Confidence::new(c2).unwrap()).unwrap();
+        prop_assert!(tight <= loose + 1e-12);
+    }
+
+    #[test]
+    fn geomean_bounded_by_extremes(values in prop::collection::vec(0.01f64..100.0, 1..50)) {
+        let g = geomean(&values).unwrap();
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(g >= min - 1e-9 && g <= max + 1e-9);
+    }
+
+    #[test]
+    fn geomean_le_mean(values in prop::collection::vec(0.01f64..100.0, 1..50)) {
+        prop_assert!(geomean(&values).unwrap() <= mean(&values).unwrap() + 1e-9);
+    }
+
+    #[test]
+    fn empirical_cdf_is_a_cdf(sample in prop::collection::vec(-1e3f64..1e3, 1..200), probe in -2e3f64..2e3) {
+        let cdf = EmpiricalCdf::new(sample.clone()).unwrap();
+        let f = cdf.eval(probe);
+        prop_assert!((0.0..=1.0).contains(&f));
+        // Evaluating at the max always yields 1.
+        let max = sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(cdf.eval(max), 1.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Sweeping the quality knob on a financial-analytics workload.
+//!
+//! An option-pricing service (blackscholes) wants to choose how much
+//! accuracy to trade for throughput. This example compiles MITHRA at a
+//! range of quality targets and prints the resulting threshold,
+//! invocation rate and gains — the tradeoff curve the programmer
+//! navigates (the paper's Figure 6, one benchmark).
+//!
+//! ```text
+//! cargo run --release --example finance_quality_sweep
+//! ```
+
+use mithra::prelude::*;
+use mithra_core::pipeline::compile_with_profiles;
+use mithra_core::profile::DatasetProfile;
+use mithra_sim::system::simulate;
+use std::sync::Arc;
+
+fn main() -> Result<(), MithraError> {
+    let bench: Arc<_> = suite::by_name("blackscholes")
+        .expect("blackscholes is in the suite")
+        .into();
+    let base_config = CompileConfig::smoke();
+
+    // Train the accelerator and profile once; re-certify per target.
+    println!("training the pricing accelerator...");
+    let first = compile(Arc::clone(&bench), &base_config)?;
+    let function = first.function.clone();
+    let profiles = first.profiles.clone();
+
+    println!("\n{:<10} {:>10} {:>10} {:>10} {:>10}", "target", "threshold", "invoked", "speedup", "quality");
+    for target in [0.02, 0.05, 0.10, 0.20] {
+        let mut config = base_config.clone();
+        config.spec = QualitySpec::new(target, 0.90, 0.70)?;
+        let compiled = match compile_with_profiles(function.clone(), profiles.clone(), &config) {
+            Ok(c) => c,
+            Err(e) => {
+                println!("{:<10} {e}", format!("{:.0}%", target * 100.0));
+                continue;
+            }
+        };
+
+        // Average over a few unseen batches.
+        let (mut speedup, mut invoked, mut quality) = (0.0, 0.0, 0.0);
+        let n = 6u64;
+        for i in 0..n {
+            let ds = compiled.function.dataset(3_000_000 + i, config.scale);
+            let profile = DatasetProfile::collect(&compiled.function, ds);
+            let mut table = compiled.table.clone();
+            let run = simulate(&compiled, &profile, &mut table, &SimOptions::default());
+            speedup += run.speedup();
+            invoked += run.invocation_rate();
+            quality += run.quality_loss;
+        }
+        let n = n as f64;
+        println!(
+            "{:<10} {:>10.4} {:>9.0}% {:>9.2}x {:>9.2}%",
+            format!("{:.0}%", target * 100.0),
+            compiled.threshold.threshold,
+            invoked / n * 100.0,
+            speedup / n,
+            quality / n * 100.0
+        );
+    }
+    println!("\nlooser quality targets widen the threshold, raise the invocation rate,");
+    println!("and buy more speedup - the tradeoff MITHRA lets the programmer control.");
+    Ok(())
+}

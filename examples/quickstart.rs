@@ -1,0 +1,61 @@
+//! Quickstart: compile MITHRA for one workload and run an unseen dataset.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mithra::prelude::*;
+use mithra_sim::system::simulate;
+use std::sync::Arc;
+
+fn main() -> Result<(), MithraError> {
+    // The quality requirement: at most 10% final quality loss, certified
+    // at 90% confidence for 70% of unseen datasets. (Smoke scale keeps
+    // this example fast; the paper's configuration is 5% / 95% / 90% over
+    // 250 full-size datasets — see the experiment binaries.)
+    let bench: Arc<_> = suite::by_name("sobel").expect("sobel is in the suite").into();
+    let mut config = CompileConfig::smoke();
+    config.spec = QualitySpec::new(0.10, 0.90, 0.70)?;
+
+    println!("compiling MITHRA for `sobel`...");
+    let compiled = compile(bench, &config)?;
+    println!(
+        "  threshold         : {:.4} (normalized accelerator error)",
+        compiled.threshold.threshold
+    );
+    println!(
+        "  compile successes : {}/{} datasets met the target",
+        compiled.threshold.successes, compiled.threshold.trials
+    );
+    println!(
+        "  certified         : >= {:.1}% of unseen datasets will meet it (at {})",
+        compiled.threshold.certified_rate * 100.0,
+        config.spec.confidence,
+    );
+    println!(
+        "  table classifier  : {} ({:.2} KB compressed)",
+        compiled.table.design(),
+        compiled.table.compress().stats().compressed_bytes as f64 / 1024.0
+    );
+    println!("  neural classifier : {}", compiled.neural.topology());
+
+    // Run a dataset MITHRA has never seen.
+    let dataset = compiled.function.dataset(1_000_001, config.scale);
+    let profile = DatasetProfile::collect(&compiled.function, dataset);
+
+    for (label, mut classifier) in [
+        ("oracle", Box::new(compiled.oracle_for(&profile)) as Box<dyn Classifier>),
+        ("table", Box::new(compiled.table.clone())),
+        ("neural", Box::new(compiled.neural.clone())),
+    ] {
+        let run = simulate(&compiled, &profile, classifier.as_mut(), &SimOptions::default());
+        println!(
+            "  {label:<6} -> speedup {:.2}x, energy {:.2}x, invoked {:.0}%, quality loss {:.2}%",
+            run.speedup(),
+            run.energy_reduction(),
+            run.invocation_rate() * 100.0,
+            run.quality_loss * 100.0
+        );
+    }
+    Ok(())
+}

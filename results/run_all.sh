@@ -1,0 +1,18 @@
+#!/bin/bash
+# Regenerates every table and figure at the paper's scale.
+set -x
+cd /root/repo
+R=results
+run() { name=$1; shift; start=$(date +%s); cargo run --release -q -p mithra-bench --bin $name -- "$@" > $R/$name.txt 2> $R/$name.log || echo "FAILED: $name" >> $R/failures.txt; echo "done: $name in $(( $(date +%s) - start ))s" >> $R/progress.txt; }
+run table1_benchmarks
+run fig01_error_cdf
+run fig06_main_results
+run fig07_false_decisions
+run fig08_per_benchmark
+run table2_classifier_sizes
+run fig09_random_filtering
+run fig10_success_sweep
+run fig11_pareto
+run ablation_designs
+run textA_sw_overhead
+echo ALL_DONE >> $R/progress.txt

@@ -1,0 +1,64 @@
+//! MITHRA — statistical quality control for approximate acceleration.
+//!
+//! This facade crate re-exports the whole reproduction of *"Towards
+//! Statistical Guarantees in Controlling Quality Tradeoffs for Approximate
+//! Acceleration"* (ISCA 2016):
+//!
+//! * [`core`] — the paper's contribution: MISR table and neural
+//!   classifiers, the statistical threshold optimizer, the compile
+//!   pipeline;
+//! * [`npu`] — the approximate accelerator substrate;
+//! * [`axbench`] — the six-benchmark suite (Table I);
+//! * [`sim`] — the system-level timing/energy simulator;
+//! * [`stats`] — Clopper–Pearson exact intervals and friends;
+//! * [`bdi`] — Base-Delta-Immediate compression.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use mithra::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // 1. Pick a workload and a quality requirement: at most 5% final
+//! //    quality loss, certified at 95% confidence for 90% of unseen
+//! //    datasets.
+//! let bench: Arc<_> = mithra::axbench::suite::by_name("sobel").unwrap().into();
+//! let mut config = CompileConfig::default();
+//! config.spec = QualitySpec::paper_default(0.05)?;
+//!
+//! // 2. Compile: trains the NPU, finds the certified threshold, trains
+//! //    both hardware classifiers.
+//! let compiled = compile(bench, &config)?;
+//!
+//! // 3. Run an unseen dataset under the table classifier.
+//! let dataset = compiled.function.dataset(1_000_001, Default::default());
+//! let profile = DatasetProfile::collect(&compiled.function, dataset);
+//! let mut classifier = compiled.table.clone();
+//! let run = mithra::sim::system::simulate(
+//!     &compiled,
+//!     &profile,
+//!     &mut classifier,
+//!     &Default::default(),
+//! );
+//! println!("speedup {:.2}x at {:.2}% quality loss", run.speedup(), run.quality_loss * 100.0);
+//! # Ok::<(), mithra::core::MithraError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use mithra_axbench as axbench;
+pub use mithra_bdi as bdi;
+pub use mithra_core as core;
+pub use mithra_npu as npu;
+pub use mithra_sim as sim;
+pub use mithra_stats as stats;
+
+/// The most commonly used items across all crates.
+pub mod prelude {
+    pub use mithra_axbench::prelude::*;
+    pub use mithra_core::prelude::*;
+    pub use mithra_npu::prelude::*;
+    pub use mithra_sim::report::{BenchmarkSummary, SuiteSummary};
+    pub use mithra_sim::system::{simulate, RunResult, SimOptions};
+    pub use mithra_stats::clopper_pearson::{lower_bound, Confidence};
+}

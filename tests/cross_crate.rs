@@ -1,0 +1,89 @@
+//! Cross-crate seams: serialization, compression round-trips, and the
+//! NPU/classifier cost interfaces the simulator consumes.
+
+use mithra::prelude::*;
+use mithra_npu::cost::NpuCostModel;
+use std::sync::Arc;
+
+fn compiled_smoke(name: &str) -> Compiled {
+    let bench: Arc<_> = mithra::axbench::suite::by_name(name).unwrap().into();
+    compile(bench, &CompileConfig::smoke()).unwrap()
+}
+
+#[test]
+fn table_classifier_serde_round_trip_preserves_decisions() {
+    let compiled = compiled_smoke("inversek2j");
+    let json = serde_json::to_string(&compiled.table).expect("serializes");
+    let mut restored: TableClassifier = serde_json::from_str(&json).expect("deserializes");
+    let mut original = compiled.table.clone();
+
+    let ds = compiled
+        .function
+        .dataset(8_000_000, mithra::axbench::dataset::DatasetScale::Smoke);
+    for (i, input) in ds.iter().enumerate() {
+        assert_eq!(
+            original.classify(i, input),
+            restored.classify(i, input),
+            "decision diverged after serde round trip at invocation {i}"
+        );
+    }
+}
+
+#[test]
+fn compressed_table_is_lossless() {
+    let compiled = compiled_smoke("sobel");
+    let compressed = compiled.table.compress();
+    let bytes = compressed.decompress();
+    // Re-compressing the decompressed content is a fixed point.
+    let recompressed = mithra::bdi::CompressedTable::new(&bytes);
+    assert_eq!(recompressed.decompress(), bytes);
+    assert_eq!(
+        compressed.stats().compressed_bytes,
+        recompressed.stats().compressed_bytes
+    );
+}
+
+#[test]
+fn npu_parameters_round_trip_through_accelerator_config() {
+    let compiled = compiled_smoke("blackscholes");
+    let (weights, biases) = compiled.function.npu().to_parameters();
+    let rebuilt = mithra::npu::mlp::Mlp::from_parameters(
+        compiled.function.npu().topology().clone(),
+        &weights,
+        &biases,
+        compiled.function.npu().output_activation(),
+    )
+    .unwrap();
+    let input = vec![0.5f32; compiled.function.benchmark().input_dim()];
+    assert_eq!(
+        compiled.function.npu().run(&input).unwrap(),
+        rebuilt.run(&input).unwrap()
+    );
+}
+
+#[test]
+fn classifier_overheads_price_into_energy_model() {
+    use mithra_sim::energy::EnergyModel;
+    let compiled = compiled_smoke("jmeint");
+    let energy = EnergyModel::paper_default();
+    let cost_model = NpuCostModel::new();
+
+    let table_nj = energy.classifier_decision_nj(&compiled.table.overhead(), &cost_model);
+    let neural_nj = energy.classifier_decision_nj(&compiled.neural.overhead(), &cost_model);
+    // The neural classifier runs a whole network; it must cost more than
+    // the table's handful of SRAM bit reads.
+    assert!(neural_nj > table_nj * 10.0, "{neural_nj} vs {table_nj}");
+}
+
+#[test]
+fn fixed_point_npu_tracks_float_npu() {
+    use mithra::npu::fixed::{FixedMlp, QFormat};
+    let compiled = compiled_smoke("inversek2j");
+    let fixed = FixedMlp::quantize(compiled.function.npu(), QFormat::new(16).unwrap());
+    let input = vec![0.4f32, 0.6];
+    let float_out = compiled.function.npu().run(&input).unwrap();
+    let fixed_out = fixed.run(&input).unwrap();
+    for (f, q) in float_out.iter().zip(&fixed_out) {
+        assert!((f - q).abs() < 0.02, "float {f} vs fixed {q}");
+    }
+}

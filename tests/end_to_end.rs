@@ -1,0 +1,134 @@
+//! End-to-end integration: the full compile → classify → simulate flow
+//! across crates, at smoke scale.
+
+use mithra::prelude::*;
+use mithra_core::random::RandomFilter;
+use mithra_sim::system::simulate;
+use std::sync::Arc;
+
+fn compiled_smoke(name: &str) -> Compiled {
+    let bench: Arc<_> = mithra::axbench::suite::by_name(name)
+        .expect("suite benchmark")
+        .into();
+    compile(bench, &CompileConfig::smoke()).expect("smoke compile succeeds")
+}
+
+fn fresh_profile(compiled: &Compiled, seed: u64) -> DatasetProfile {
+    let ds = compiled
+        .function
+        .dataset(seed, mithra::axbench::dataset::DatasetScale::Smoke);
+    DatasetProfile::collect(&compiled.function, ds)
+}
+
+#[test]
+fn pipeline_produces_working_system_for_every_benchmark() {
+    for bench in mithra::axbench::suite::all() {
+        let name = bench.name();
+        let compiled = compiled_smoke(name);
+        let profile = fresh_profile(&compiled, 5_000_000);
+        let mut table = compiled.table.clone();
+        let run = simulate(&compiled, &profile, &mut table, &SimOptions::default());
+        assert!(run.accelerated_cycles > 0.0, "{name}: no cycles charged");
+        assert!(run.quality_loss.is_finite(), "{name}: bad quality");
+        assert!(
+            run.invocation_rate() <= 1.0 && run.invocation_rate() >= 0.0,
+            "{name}: invocation rate out of range"
+        );
+    }
+}
+
+#[test]
+fn oracle_upper_bounds_quality_respecting_designs() {
+    // The oracle maximizes benefit *among designs that never approximate
+    // an above-threshold invocation*. A classifier with false negatives
+    // can out-invoke it (by sacrificing quality), so dominance is only
+    // asserted against runs with zero false negatives.
+    let compiled = compiled_smoke("inversek2j");
+    for seed in 5_100_000..5_100_005u64 {
+        let profile = fresh_profile(&compiled, seed);
+        let mut oracle = compiled.oracle_for(&profile);
+        let mut table = compiled.table.clone();
+        let mut neural = compiled.neural.clone();
+        let opts = SimOptions::default();
+        let o = simulate(&compiled, &profile, &mut oracle, &opts);
+        assert_eq!(o.false_positives + o.false_negatives, 0);
+        for run in [
+            simulate(&compiled, &profile, &mut table, &opts),
+            simulate(&compiled, &profile, &mut neural, &opts),
+        ] {
+            // Invocation-rate dominance over quality-respecting runs.
+            if run.false_negatives == 0 {
+                assert!(
+                    o.invocation_rate() >= run.invocation_rate() - 1e-9,
+                    "oracle out-invoked by a zero-FN design"
+                );
+                assert!(
+                    o.speedup() >= run.speedup() * 0.98,
+                    "oracle beaten by a zero-FN design"
+                );
+            }
+            // And the oracle's quality always respects the threshold
+            // semantics: every approximated invocation was within it.
+            assert!(o.quality_loss.is_finite());
+        }
+    }
+}
+
+#[test]
+fn quality_control_beats_full_approximation_on_quality() {
+    let compiled = compiled_smoke("sobel");
+    let mut better = 0;
+    let n = 6;
+    for seed in 5_200_000..(5_200_000 + n) {
+        let profile = fresh_profile(&compiled, seed);
+        let mut always = RandomFilter::new(1.0, 0);
+        let mut table = compiled.table.clone();
+        let opts = SimOptions::default();
+        let full = simulate(&compiled, &profile, &mut always, &opts);
+        let controlled = simulate(&compiled, &profile, &mut table, &opts);
+        if controlled.quality_loss <= full.quality_loss + 1e-12 {
+            better += 1;
+        }
+    }
+    assert!(
+        better >= n - 1,
+        "quality control improved quality on only {better}/{n} datasets"
+    );
+}
+
+#[test]
+fn compiled_artifacts_are_internally_consistent() {
+    let compiled = compiled_smoke("blackscholes");
+    // The classifier training data is labeled against the compiled
+    // threshold.
+    for ex in compiled.training_data.iter().take(200) {
+        assert_eq!(ex.input.len(), compiled.function.benchmark().input_dim());
+    }
+    // Compressed tables decompress to the same decisions.
+    let stats = compiled.table.compress().stats();
+    assert_eq!(stats.uncompressed_bytes, 4096);
+    assert!(stats.compressed_bytes <= stats.uncompressed_bytes);
+    // The neural classifier matches the accelerator's input width.
+    assert_eq!(
+        compiled.neural.topology().inputs(),
+        compiled.function.benchmark().input_dim()
+    );
+    assert_eq!(compiled.neural.topology().outputs(), 2);
+}
+
+#[test]
+fn online_updates_only_increase_conservatism() {
+    let compiled = compiled_smoke("sobel");
+    let profile = fresh_profile(&compiled, 5_300_000);
+    let opts_off = SimOptions::default();
+    let opts_on = SimOptions {
+        online_update_period: 4,
+        ..SimOptions::default()
+    };
+    let mut table_off = compiled.table.clone();
+    let mut table_on = compiled.table.clone();
+    let off = simulate(&compiled, &profile, &mut table_off, &opts_off);
+    let on = simulate(&compiled, &profile, &mut table_on, &opts_on);
+    // Online updates only ever set bits: the invocation rate cannot rise.
+    assert!(on.invocation_rate() <= off.invocation_rate() + 1e-9);
+}
