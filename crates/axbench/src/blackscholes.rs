@@ -27,9 +27,9 @@ fn cndf(x: f32) -> f32 {
     let x_abs = x.abs();
     let k = 1.0 / (1.0 + 0.2316419 * x_abs);
     let poly = k
-        * (0.319381530
-            + k * (-0.356563782 + k * (1.781477937 + k * (-1.821255978 + k * 1.330274429))));
-    let pdf = (-(0.5) * x_abs * x_abs).exp() * 0.3989422804014327;
+        * (0.319_381_54
+            + k * (-0.356_563_78 + k * (1.781_477_9 + k * (-1.821_255_9 + k * 1.330_274_5))));
+    let pdf = (-(0.5) * x_abs * x_abs).exp() * 0.398_942_3;
     let cnd = 1.0 - pdf * poly;
     if sign {
         1.0 - cnd
@@ -102,7 +102,7 @@ impl Benchmark for BlackScholes {
             DatasetScale::Smoke => 64,
             DatasetScale::Full => 2048,
         };
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xB1AC_5C01_E5u64));
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x00B1_AC5C_01E5_u64));
         let mut flat = Vec::with_capacity(count * 6);
         for _ in 0..count {
             let spot: f32 = rng.gen_range(20.0..120.0);

@@ -82,6 +82,11 @@ impl Dataset {
     pub fn iter(&self) -> impl Iterator<Item = &[f32]> {
         self.inputs.chunks_exact(self.input_dim)
     }
+
+    /// The flat element storage (`invocation_count() × input_dim()`).
+    pub fn as_flat(&self) -> &[f32] {
+        &self.inputs
+    }
 }
 
 impl<'a> IntoIterator for &'a Dataset {
@@ -117,6 +122,24 @@ impl OutputBuffer {
         }
     }
 
+    /// Creates a buffer from flat element storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of `dim` (for positive
+    /// `dim`) — buffers always hold whole vectors.
+    pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
+        assert!(dim > 0 || data.is_empty(), "zero-dim buffers must be empty");
+        if dim > 0 {
+            assert_eq!(
+                data.len() % dim,
+                0,
+                "flat output storage must be a whole number of vectors"
+            );
+        }
+        Self { dim, data }
+    }
+
     /// Elements per output vector.
     pub fn dim(&self) -> usize {
         self.dim
@@ -124,11 +147,7 @@ impl OutputBuffer {
 
     /// Number of stored output vectors.
     pub fn len(&self) -> usize {
-        if self.dim == 0 {
-            0
-        } else {
-            self.data.len() / self.dim
-        }
+        self.data.len().checked_div(self.dim).unwrap_or_default()
     }
 
     /// Whether the buffer holds no vectors.

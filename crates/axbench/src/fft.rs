@@ -255,8 +255,11 @@ mod tests {
         let signal = generate_signal(7, n);
         let spec = fft_with_twiddles(&signal, &precise_twiddles(n));
         let time_energy: f64 = signal.iter().map(|&v| f64::from(v).powi(2)).sum();
-        let freq_energy: f64 =
-            spec.chunks_exact(2).map(|c| c[0] * c[0] + c[1] * c[1]).sum::<f64>() / n as f64;
+        let freq_energy: f64 = spec
+            .chunks_exact(2)
+            .map(|c| c[0] * c[0] + c[1] * c[1])
+            .sum::<f64>()
+            / n as f64;
         // f32 twiddles bound the achievable precision.
         assert!((time_energy - freq_energy).abs() / time_energy < 1e-5);
     }

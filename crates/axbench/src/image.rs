@@ -126,8 +126,12 @@ impl GrayImage {
         // Hard-edged rectangles: the high-gradient content.
         let rect_count = rng.gen_range(1..4);
         for _ in 0..rect_count {
-            let rw = rng.gen_range(width / 8..(width / 2).max(width / 8 + 1)).max(1);
-            let rh = rng.gen_range(height / 8..(height / 2).max(height / 8 + 1)).max(1);
+            let rw = rng
+                .gen_range(width / 8..(width / 2).max(width / 8 + 1))
+                .max(1);
+            let rh = rng
+                .gen_range(height / 8..(height / 2).max(height / 8 + 1))
+                .max(1);
             let rx = rng.gen_range(0..width.saturating_sub(rw).max(1));
             let ry = rng.gen_range(0..height.saturating_sub(rh).max(1));
             let level: f32 = rng.gen_range(0.0..255.0);
@@ -135,7 +139,11 @@ impl GrayImage {
             for y in ry..(ry + rh).min(height) {
                 for x in rx..(rx + rw).min(width) {
                     let old = img.get_clamped(x as isize, y as isize);
-                    img.set(x, y, (old * (1.0 - alpha) + level * alpha).clamp(0.0, 255.0));
+                    img.set(
+                        x,
+                        y,
+                        (old * (1.0 - alpha) + level * alpha).clamp(0.0, 255.0),
+                    );
                 }
             }
         }

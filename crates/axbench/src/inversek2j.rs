@@ -129,8 +129,10 @@ mod tests {
             let (x, y) = forward_kinematics(t1, t2);
             let (r1, r2) = inverse_kinematics(x, y);
             let (x2, y2) = forward_kinematics(r1, r2);
-            assert!((x - x2).abs() < 1e-4 && (y - y2).abs() < 1e-4,
-                "({t1},{t2}) -> ({x},{y}) -> ({r1},{r2}) -> ({x2},{y2})");
+            assert!(
+                (x - x2).abs() < 1e-4 && (y - y2).abs() < 1e-4,
+                "({t1},{t2}) -> ({x},{y}) -> ({r1},{r2}) -> ({x2},{y2})"
+            );
         }
     }
 

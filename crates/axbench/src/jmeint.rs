@@ -223,7 +223,11 @@ impl Benchmark for Jmeint {
         for _ in 0..count {
             // First triangle around a random center; second at a random
             // offset so roughly half the pairs intersect.
-            let c1: Vec3 = [rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)];
+            let c1: Vec3 = [
+                rng.gen_range(0.0..1.0),
+                rng.gen_range(0.0..1.0),
+                rng.gen_range(0.0..1.0),
+            ];
             let offset: f32 = rng.gen_range(0.0..0.35);
             let dir: Vec3 = random_unit(&mut rng);
             let c2 = [

@@ -191,9 +191,7 @@ impl Benchmark for Jpeg {
             for bx in 0..blocks {
                 for y in 0..8 {
                     for x in 0..8 {
-                        flat.push(
-                            img.get_clamped((bx * 8 + x) as isize, (by * 8 + y) as isize),
-                        );
+                        flat.push(img.get_clamped((bx * 8 + x) as isize, (by * 8 + y) as isize));
                     }
                 }
             }
@@ -266,8 +264,12 @@ mod tests {
             }
         }
         let decoded = decode_block(&encode_block(&pixels));
-        let mae: f32 =
-            pixels.iter().zip(&decoded).map(|(a, b)| (a - b).abs()).sum::<f32>() / 64.0;
+        let mae: f32 = pixels
+            .iter()
+            .zip(&decoded)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f32>()
+            / 64.0;
         assert!(mae < 15.0, "encode/decode too lossy: MAE {mae}");
         assert!(mae > 0.0, "quantization should lose something");
     }

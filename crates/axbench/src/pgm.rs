@@ -12,9 +12,7 @@ use std::path::Path;
 /// Encodes an image as a binary PGM (`P5`) byte stream.
 pub fn encode(image: &GrayImage) -> Vec<u8> {
     let mut out = Vec::with_capacity(32 + image.width() * image.height());
-    out.extend_from_slice(
-        format!("P5\n{} {}\n255\n", image.width(), image.height()).as_bytes(),
-    );
+    out.extend_from_slice(format!("P5\n{} {}\n255\n", image.width(), image.height()).as_bytes());
     out.extend(
         image
             .pixels()
@@ -72,8 +70,8 @@ pub fn decode(bytes: &[u8]) -> io::Result<GrayImage> {
     if &bytes[..2] != b"P5" {
         return Err(bad("not a P5 PGM"));
     }
-    let header = std::str::from_utf8(&bytes[2..header_end - 1])
-        .map_err(|_| bad("non-UTF8 PGM header"))?;
+    let header =
+        std::str::from_utf8(&bytes[2..header_end - 1]).map_err(|_| bad("non-UTF8 PGM header"))?;
     let mut tokens = header.split_ascii_whitespace();
     let width: usize = tokens
         .next()
@@ -94,7 +92,10 @@ pub fn decode(bytes: &[u8]) -> io::Result<GrayImage> {
     if data.len() < width * height {
         return Err(bad("truncated PGM payload"));
     }
-    let pixels = data[..width * height].iter().map(|&b| f32::from(b)).collect();
+    let pixels = data[..width * height]
+        .iter()
+        .map(|&b| f32::from(b))
+        .collect();
     Ok(GrayImage::from_pixels(width, height, pixels))
 }
 

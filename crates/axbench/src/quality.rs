@@ -127,8 +127,7 @@ mod tests {
     #[test]
     fn avg_relative_error_basic() {
         // 10% error on one of two elements -> 5% average.
-        let loss =
-            QualityMetric::AvgRelativeError.quality_loss(&[1.0, 1.0], &[1.1, 1.0]);
+        let loss = QualityMetric::AvgRelativeError.quality_loss(&[1.0, 1.0], &[1.1, 1.0]);
         assert!((loss - 0.05).abs() < 1e-9, "got {loss}");
     }
 
@@ -179,7 +178,10 @@ mod tests {
 
     #[test]
     fn display_names_match_paper() {
-        assert_eq!(QualityMetric::AvgRelativeError.to_string(), "Avg. Relative Error");
+        assert_eq!(
+            QualityMetric::AvgRelativeError.to_string(),
+            "Avg. Relative Error"
+        );
         assert_eq!(QualityMetric::MissRate.to_string(), "Miss Rate");
         assert_eq!(QualityMetric::ImageDiff.to_string(), "Image Diff");
     }

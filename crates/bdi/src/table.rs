@@ -139,7 +139,9 @@ mod tests {
         let mut table = vec![0u8; 1024];
         let mut state = 123456789u64;
         for b in table.iter_mut() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *b = (state >> 33) as u8;
         }
         let c = CompressedTable::new(&table);

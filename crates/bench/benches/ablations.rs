@@ -53,8 +53,7 @@ fn bench_table_size_training(c: &mut Criterion) {
         };
         group.bench_function(format!("{entries}_entries"), |b| {
             b.iter(|| {
-                TableClassifier::train_with_quantizer(design, quantizer(), black_box(&ex))
-                    .unwrap()
+                TableClassifier::train_with_quantizer(design, quantizer(), black_box(&ex)).unwrap()
             })
         });
     }

@@ -53,13 +53,14 @@ fn bench_table_train(c: &mut Criterion) {
     let mut group = c.benchmark_group("table_train_2000_examples");
     group.sample_size(10);
     for design in [
-        TableDesign { tables: 1, entries_per_table: 4096 },
+        TableDesign {
+            tables: 1,
+            entries_per_table: 4096,
+        },
         TableDesign::paper_default(),
     ] {
         group.bench_function(design.to_string(), |b| {
-            b.iter(|| {
-                TableClassifier::train(design, quantizer(9), black_box(&examples)).unwrap()
-            })
+            b.iter(|| TableClassifier::train(design, quantizer(9), black_box(&examples)).unwrap())
         });
     }
     group.finish();

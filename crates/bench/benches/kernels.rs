@@ -32,7 +32,14 @@ fn mlp_for(topology: &Topology) -> Mlp {
 
 fn bench_mlp_forward(c: &mut Criterion) {
     let mut group = c.benchmark_group("npu_forward");
-    for shape in ["6->8->8->1", "1->4->4->2", "2->8->2", "18->32->8->2", "64->16->64", "9->8->1"] {
+    for shape in [
+        "6->8->8->1",
+        "1->4->4->2",
+        "2->8->2",
+        "18->32->8->2",
+        "64->16->64",
+        "9->8->1",
+    ] {
         let topology: Topology = shape.parse().unwrap();
         let mlp = mlp_for(&topology);
         let input = vec![0.5f32; topology.inputs()];
@@ -54,9 +61,13 @@ fn bench_bdi(c: &mut Criterion) {
     for (i, v) in ramp.iter_mut().enumerate() {
         *v = i as u8;
     }
-    group.bench_function("compress_ramp_line", |b| b.iter(|| compress(black_box(&ramp))));
+    group.bench_function("compress_ramp_line", |b| {
+        b.iter(|| compress(black_box(&ramp)))
+    });
     let enc = compress(&ramp);
-    group.bench_function("decompress_ramp_line", |b| b.iter(|| decompress(black_box(&enc))));
+    group.bench_function("decompress_ramp_line", |b| {
+        b.iter(|| decompress(black_box(&enc)))
+    });
     let sparse_table = {
         let mut t = vec![0u8; 4096];
         t[10] = 1;
@@ -95,9 +106,13 @@ fn bench_precise_kernels(c: &mut Criterion) {
     for (i, v) in block.iter_mut().enumerate() {
         *v = ((i * 13) % 256) as f32;
     }
-    group.bench_function("jpeg_encode_block", |b| b.iter(|| encode_block(black_box(&block))));
+    group.bench_function("jpeg_encode_block", |b| {
+        b.iter(|| encode_block(black_box(&block)))
+    });
     let coeffs = encode_block(&block);
-    group.bench_function("jpeg_decode_block", |b| b.iter(|| decode_block(black_box(&coeffs))));
+    group.bench_function("jpeg_decode_block", |b| {
+        b.iter(|| decode_block(black_box(&coeffs)))
+    });
     group.finish();
 }
 

@@ -11,7 +11,9 @@ use std::sync::Arc;
 
 fn trained_sobel() -> AcceleratedFunction {
     let bench: Arc<dyn Benchmark> = suite::by_name("sobel").unwrap().into();
-    let datasets: Vec<_> = (0..3).map(|s| bench.dataset(s, DatasetScale::Smoke)).collect();
+    let datasets: Vec<_> = (0..3)
+        .map(|s| bench.dataset(s, DatasetScale::Smoke))
+        .collect();
     AcceleratedFunction::train(
         bench,
         &datasets,
@@ -64,5 +66,10 @@ fn bench_replay(c: &mut Criterion) {
     });
 }
 
-criterion_group!(pipeline, bench_profile_collection, bench_threshold_machinery, bench_replay);
+criterion_group!(
+    pipeline,
+    bench_profile_collection,
+    bench_threshold_machinery,
+    bench_replay
+);
 criterion_main!(pipeline);

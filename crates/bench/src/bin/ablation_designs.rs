@@ -39,7 +39,7 @@ fn main() {
         "speedup",
     ]);
 
-    for bench in cfg.suite() {
+    for bench in cfg.suite_or_exit() {
         let name = bench.name();
         let prepared = match prepare(bench, &cfg, quality) {
             Ok(p) => p,
@@ -61,12 +61,17 @@ fn main() {
         };
 
         for design in [DesignKind::Oracle, DesignKind::Table, DesignKind::Neural] {
-            row(design.label(), &evaluate(&prepared, design, quality).summary);
+            row(
+                design.label(),
+                &evaluate(&prepared, design, quality).summary,
+            );
         }
 
         // Decision tree, trained on the same labeled tuples.
-        match TreeClassifier::train(&prepared.compiled.training_data, &TreeTrainConfig::default())
-        {
+        match TreeClassifier::train(
+            &prepared.compiled.training_data,
+            &TreeTrainConfig::default(),
+        ) {
             Ok(tree) => {
                 let runs: Vec<_> = prepared
                     .validation

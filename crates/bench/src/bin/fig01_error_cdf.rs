@@ -5,10 +5,9 @@
 //! compilation dataset fully approximated and plot the empirical CDF of
 //! per-element final error.
 
-use mithra_bench::{collect_profiles_parallel, ExperimentConfig, TextTable};
-use mithra_core::function::{AcceleratedFunction, NpuTrainConfig};
+use mithra_bench::{ExperimentConfig, TextTable};
+use mithra_core::session::CompileSession;
 use mithra_stats::descriptive::EmpiricalCdf;
-use std::sync::Arc;
 
 fn main() {
     let cfg = ExperimentConfig::from_args();
@@ -18,22 +17,27 @@ fn main() {
         cfg.scale, cfg.compile_datasets
     );
 
-    let probes = [0.0, 0.01, 0.025, 0.05, 0.075, 0.10, 0.15, 0.20, 0.30, 0.50, 1.0];
+    let probes = [
+        0.0, 0.01, 0.025, 0.05, 0.075, 0.10, 0.15, 0.20, 0.30, 0.50, 1.0,
+    ];
     let mut table = TextTable::new(
         std::iter::once("benchmark".to_string())
             .chain(probes.iter().map(|p| format!("P(err<={p})"))),
     );
 
-    for bench in cfg.suite() {
+    let quality = cfg.quality_levels.first().copied().unwrap_or(0.05);
+    for bench in cfg.suite_or_exit() {
         let name = bench.name();
-        let train_sets: Vec<_> = (0..10.min(cfg.compile_datasets as u64))
-            .map(|i| bench.dataset(i, cfg.scale))
-            .collect();
-        let function =
-            AcceleratedFunction::train(Arc::clone(&bench), &train_sets, &NpuTrainConfig::default())
-                .expect("NPU training succeeds on suite benchmarks");
-        let profiles =
-            collect_profiles_parallel(&function, 0, cfg.compile_datasets, cfg.scale);
+        let compile_cfg = cfg
+            .compile_config(quality)
+            .expect("default quality levels are valid");
+        let session = CompileSession::new(bench, compile_cfg)
+            .train_npu()
+            .expect("NPU training succeeds on suite benchmarks")
+            .profile()
+            .expect("profiling succeeds on suite benchmarks");
+        let (function, profiles, report) = session.into_parts();
+        eprint!("{report}");
 
         let mut errors: Vec<f64> = Vec::new();
         for p in &profiles {

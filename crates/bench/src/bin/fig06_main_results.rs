@@ -27,7 +27,7 @@ fn main() {
 
     // Train + profile each benchmark once; re-certify per quality level.
     let bases: Vec<_> = cfg
-        .suite()
+        .suite_or_exit()
         .into_iter()
         .filter_map(|bench| {
             let name = bench.name();
@@ -66,11 +66,7 @@ fn main() {
             for (d, design) in designs.iter().enumerate() {
                 let eval = evaluate(&prepared, *design, q);
                 if *design == DesignKind::Table {
-                    val_success += eval
-                        .runs
-                        .iter()
-                        .filter(|r| r.quality_loss <= q)
-                        .count();
+                    val_success += eval.runs.iter().filter(|r| r.quality_loss <= q).count();
                     val_total += eval.runs.len();
                 }
                 per_design[d].push(eval.summary);

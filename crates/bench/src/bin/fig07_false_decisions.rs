@@ -17,10 +17,11 @@ fn main() {
         cfg.scale, cfg.compile_datasets, cfg.validation_datasets
     );
 
-    let mut table_fp = TextTable::new(["quality", "table FP", "table FN", "neural FP", "neural FN"]);
+    let mut table_fp =
+        TextTable::new(["quality", "table FP", "table FN", "neural FP", "neural FN"]);
 
     let bases: Vec<_> = cfg
-        .suite()
+        .suite_or_exit()
         .into_iter()
         .filter_map(|bench| {
             let name = bench.name();

@@ -22,7 +22,7 @@ fn main() {
         "quality loss",
     ]);
 
-    for bench in cfg.suite() {
+    for bench in cfg.suite_or_exit() {
         let name = bench.name();
         let base = match prepare_base(bench, &cfg) {
             Ok(b) => b,

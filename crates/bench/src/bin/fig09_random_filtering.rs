@@ -34,7 +34,7 @@ fn main() {
     let mut rel_speedups = Vec::new();
     let mut rel_energies = Vec::new();
 
-    for bench in cfg.suite() {
+    for bench in cfg.suite_or_exit() {
         let name = bench.name();
         let prepared = match prepare(bench, &cfg, quality) {
             Ok(p) => p,
@@ -45,12 +45,8 @@ fn main() {
         };
         for design in [DesignKind::Table, DesignKind::Neural] {
             let s = evaluate(&prepared, design, quality).summary;
-            let random = evaluate(
-                &prepared,
-                DesignKind::Random(s.invocation_rate),
-                quality,
-            )
-            .summary;
+            let random =
+                evaluate(&prepared, DesignKind::Random(s.invocation_rate), quality).summary;
             // At matched invocation rates the cycles are comparable; the
             // interesting comparison the paper plots is gains at equal
             // quality. Derive the random rate that matches the design's
@@ -61,12 +57,8 @@ fn main() {
             } else {
                 s.invocation_rate
             };
-            let random_qm = evaluate(
-                &prepared,
-                DesignKind::Random(quality_matched_rate),
-                quality,
-            )
-            .summary;
+            let random_qm =
+                evaluate(&prepared, DesignKind::Random(quality_matched_rate), quality).summary;
             let rel_speed = s.speedup / random_qm.speedup;
             let rel_energy = s.energy_reduction / random_qm.energy_reduction;
             rel_speedups.push(rel_speed);

@@ -6,13 +6,9 @@
 //! success rate provides higher statistical guarantee and therefore comes
 //! at a higher price."
 
-use mithra_bench::{collect_profiles_parallel, evaluate, DesignKind, ExperimentConfig, TextTable};
-use mithra_bench::runner::{PreparedBenchmark, VALIDATION_SEED_BASE};
-use mithra_core::function::{AcceleratedFunction, NpuTrainConfig};
-use mithra_core::pipeline::{compile_with_profiles, CompileConfig};
-use mithra_core::threshold::QualitySpec;
+use mithra_bench::runner::{certify_at, prepare_base, BenchmarkBase};
+use mithra_bench::{evaluate, DesignKind, ExperimentConfig, TextTable};
 use mithra_stats::descriptive::geomean;
-use std::sync::Arc;
 
 fn main() {
     let cfg = ExperimentConfig::from_args();
@@ -29,75 +25,29 @@ fn main() {
     );
 
     // Train + profile each benchmark once; re-certify per success rate.
-    struct Base {
-        function: AcceleratedFunction,
-        profiles: Vec<mithra_core::profile::DatasetProfile>,
-        validation: Vec<mithra_core::profile::DatasetProfile>,
-        name: &'static str,
-    }
-    let bases: Vec<Base> = cfg
-        .suite()
+    let bases: Vec<BenchmarkBase> = cfg
+        .suite_or_exit()
         .into_iter()
-        .map(|bench| {
-            let name = bench.name();
-            let train_sets: Vec<_> = (0..10u64).map(|i| bench.dataset(i, cfg.scale)).collect();
-            let function = AcceleratedFunction::train(
-                Arc::clone(&bench),
-                &train_sets,
-                &NpuTrainConfig::default(),
-            )
-            .expect("NPU training succeeds");
-            let profiles =
-                collect_profiles_parallel(&function, 0, cfg.compile_datasets, cfg.scale);
-            let validation = collect_profiles_parallel(
-                &function,
-                VALIDATION_SEED_BASE,
-                cfg.validation_datasets,
-                cfg.scale,
-            );
-            Base {
-                function,
-                profiles,
-                validation,
-                name,
-            }
-        })
+        .map(|bench| prepare_base(bench, &cfg).expect("NPU training succeeds"))
         .collect();
 
     let mut table = TextTable::new(["success rate", "EDP improvement (table)", "mean threshold"]);
     for &s in &success_rates {
+        let sweep_cfg = ExperimentConfig {
+            success_rate: s,
+            ..cfg.clone()
+        };
         let mut edps = Vec::new();
         let mut thresholds = Vec::new();
         for base in &bases {
-            let compile_cfg = CompileConfig {
-                scale: cfg.scale,
-                compile_datasets: cfg.compile_datasets,
-                spec: match QualitySpec::new(quality, cfg.confidence, s) {
-                    Ok(sp) => sp,
-                    Err(e) => {
-                        eprintln!("invalid spec: {e}");
-                        continue;
-                    }
-                },
-                ..CompileConfig::default()
-            };
-            let compiled = match compile_with_profiles(
-                base.function.clone(),
-                base.profiles.clone(),
-                &compile_cfg,
-            ) {
-                Ok(c) => c,
+            let prepared = match certify_at(base, &sweep_cfg, quality) {
+                Ok(p) => p,
                 Err(e) => {
                     eprintln!("{} @ S={s}: {e}", base.name);
                     continue;
                 }
             };
-            thresholds.push(f64::from(compiled.threshold.threshold));
-            let prepared = PreparedBenchmark {
-                name: base.name,
-                compiled,
-                validation: base.validation.clone(),
-            };
+            thresholds.push(f64::from(prepared.compiled.threshold.threshold));
             let summary = evaluate(&prepared, DesignKind::Table, quality).summary;
             edps.push(summary.edp_improvement);
         }

@@ -6,14 +6,10 @@
 //! hash functions beat one big table because destructive aliasing, not raw
 //! capacity, is the limiter.
 
-use mithra_bench::{collect_profiles_parallel, ExperimentConfig, TextTable};
-use mithra_bench::runner::VALIDATION_SEED_BASE;
-use mithra_core::function::{AcceleratedFunction, NpuTrainConfig};
+use mithra_bench::runner::{certify_at, prepare_base};
+use mithra_bench::{ExperimentConfig, TextTable};
 use mithra_core::pipeline::quantizer_from_profiles;
 use mithra_core::table::{TableClassifier, TableDesign};
-use mithra_core::threshold::{QualitySpec, ThresholdOptimizer};
-use mithra_core::training::generate_training_data;
-use std::sync::Arc;
 
 fn main() {
     let cfg = ExperimentConfig::from_args();
@@ -33,69 +29,48 @@ fn main() {
     let mut losses = vec![Vec::new(); grid.len()];
     let mut meets = vec![Vec::new(); grid.len()];
 
-    for bench in cfg.suite() {
+    for bench in cfg.suite_or_exit() {
         let name = bench.name();
-        let train_sets: Vec<_> = (0..10u64).map(|i| bench.dataset(i, cfg.scale)).collect();
-        let function =
-            AcceleratedFunction::train(Arc::clone(&bench), &train_sets, &NpuTrainConfig::default())
-                .expect("NPU training succeeds");
-        let profiles = collect_profiles_parallel(&function, 0, cfg.compile_datasets, cfg.scale);
-        let spec = match QualitySpec::new(quality, cfg.confidence, cfg.success_rate) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("bad spec: {e}");
-                return;
-            }
-        };
-        let threshold = match ThresholdOptimizer::new(spec).optimize(&function, &profiles) {
-            Ok(t) => t,
+        let base = prepare_base(bench, &cfg).expect("NPU training succeeds");
+        // The full compile flow at the sweep's spec: its default-design
+        // table classifier fixes the hash policy, and its training data
+        // and threshold are shared by every grid point.
+        let prepared = match certify_at(&base, &cfg, quality) {
+            Ok(p) => p,
             Err(e) => {
                 eprintln!("{name}: {e}");
                 continue;
             }
         };
-        let training =
-            generate_training_data(&profiles, threshold.threshold, 30_000, 0x7261_696E);
-        let quantizer = quantizer_from_profiles(&profiles);
-        let validation = collect_profiles_parallel(
-            &function,
-            VALIDATION_SEED_BASE,
-            cfg.validation_datasets,
-            cfg.scale,
-        );
+        let threshold = prepared.compiled.threshold.threshold;
+        let training = &prepared.compiled.training_data;
+        let quantizer = quantizer_from_profiles(&base.profiles);
 
         // Choose the hash policy (granularity + vote threshold) once on
         // the default design, then hold it fixed across the grid so the
         // sweep isolates the *geometry* — the quantity Figure 11 varies.
-        let default_cls =
-            TableClassifier::train(TableDesign::paper_default(), quantizer.clone(), &training)
-                .expect("default design trains");
-        let levels = default_cls.quantizer().levels();
-        let vote = default_cls.vote_threshold();
+        let levels = prepared.compiled.table.quantizer().levels();
+        let vote = prepared.compiled.table.vote_threshold();
 
         for (g, design) in grid.iter().enumerate() {
             let mut classifier = TableClassifier::train_with_policy(
                 *design,
                 quantizer.clone().with_levels(levels),
                 vote,
-                &training,
+                training,
             )
             .expect("grid designs are valid");
             let (mut rate_sum, mut loss_sum, mut ok) = (0.0, 0.0, 0usize);
-            for profile in &validation {
-                let replay = profile.replay_with_classifier(
-                    &function,
-                    &mut classifier,
-                    threshold.threshold,
-                    0,
-                );
+            for profile in &prepared.validation {
+                let replay =
+                    profile.replay_with_classifier(&base.function, &mut classifier, threshold, 0);
                 rate_sum += replay.invocation_rate();
                 loss_sum += replay.quality_loss;
                 if replay.quality_loss <= quality {
                     ok += 1;
                 }
             }
-            let n = validation.len() as f64;
+            let n = prepared.validation.len() as f64;
             rates[g].push(rate_sum / n);
             losses[g].push(loss_sum / n);
             meets[g].push(ok as f64 / n);
@@ -143,7 +118,11 @@ fn main() {
             format!("{:.1}%", rate * 100.0),
             format!("{:.2}%", loss * 100.0),
             format!("{:.0}%", meet * 100.0),
-            if *is_pareto { "*".to_string() } else { String::new() },
+            if *is_pareto {
+                "*".to_string()
+            } else {
+                String::new()
+            },
         ]);
     }
     println!("{table}");

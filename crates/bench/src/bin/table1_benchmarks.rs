@@ -1,8 +1,7 @@
 //! Table I: the benchmark suite and its error under full approximation.
 
-use mithra_bench::{collect_profiles_parallel, ExperimentConfig, TextTable};
-use mithra_core::function::{AcceleratedFunction, NpuTrainConfig};
-use std::sync::Arc;
+use mithra_bench::{ExperimentConfig, TextTable};
+use mithra_core::session::{profile_validation, CompileSession};
 
 fn main() {
     let cfg = ExperimentConfig::from_args();
@@ -22,24 +21,34 @@ fn main() {
         "paper",
     ]);
 
-    for bench in cfg.suite() {
-        let train_sets: Vec<_> = (0..10u64).map(|i| bench.dataset(i, cfg.scale)).collect();
-        let function =
-            AcceleratedFunction::train(Arc::clone(&bench), &train_sets, &NpuTrainConfig::default())
-                .expect("NPU training succeeds on suite benchmarks");
+    let quality = cfg.quality_levels.first().copied().unwrap_or(0.05);
+    for bench in cfg.suite_or_exit() {
+        let compile_cfg = cfg
+            .compile_config(quality)
+            .expect("default quality levels are valid");
+        let session = CompileSession::new(bench, compile_cfg.clone())
+            .train_npu()
+            .expect("NPU training succeeds on suite benchmarks");
+        let (function, mut report) = session.into_parts();
         // Unseen datasets, always invoking the accelerator.
-        let profiles = collect_profiles_parallel(
+        let (profiles, validation_report) = profile_validation(
             &function,
+            &compile_cfg,
             mithra_bench::runner::VALIDATION_SEED_BASE,
             cfg.validation_datasets,
-            cfg.scale,
         );
+        report.stages.push(validation_report);
+        eprint!("{report}");
         let mean_loss: f64 = profiles
             .iter()
-            .map(|p| p.replay_with_threshold(&function, f32::INFINITY).quality_loss)
+            .map(|p| {
+                p.replay_with_threshold(&function, f32::INFINITY)
+                    .quality_loss
+            })
             .sum::<f64>()
             / profiles.len() as f64;
 
+        let bench = function.benchmark();
         table.row([
             bench.name().to_string(),
             bench.domain().to_string(),

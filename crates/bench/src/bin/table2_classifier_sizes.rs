@@ -9,7 +9,10 @@ use mithra_bench::{prepare, ExperimentConfig, TextTable};
 fn main() {
     let cfg = ExperimentConfig::from_args();
     let quality = cfg.quality_levels.get(1).copied().unwrap_or(0.05);
-    println!("# Table II: classifier sizes at {:.1}% quality loss", quality * 100.0);
+    println!(
+        "# Table II: classifier sizes at {:.1}% quality loss",
+        quality * 100.0
+    );
     println!(
         "# scale={:?} datasets={} confidence={} success-rate={}\n",
         cfg.scale, cfg.compile_datasets, cfg.confidence, cfg.success_rate
@@ -25,7 +28,7 @@ fn main() {
         "neural size (KB)",
     ]);
 
-    for bench in cfg.suite() {
+    for bench in cfg.suite_or_exit() {
         let name = bench.name();
         match prepare(bench, &cfg, quality) {
             Ok(prepared) => {

@@ -34,7 +34,7 @@ fn main() {
     ]);
     let (mut table_slowdowns, mut neural_slowdowns) = (Vec::new(), Vec::new());
 
-    for bench in cfg.suite() {
+    for bench in cfg.suite_or_exit() {
         let name = bench.name();
         let input_dim = bench.input_dim();
         let prepared = match prepare(bench, &cfg, quality) {
@@ -56,8 +56,7 @@ fn main() {
         let slowdown = |hw: &mithra_bench::EvalResult, extra_cycles: u64| -> f64 {
             let mut ratio_sum = 0.0;
             for run in &hw.runs {
-                let sw_cycles =
-                    run.accelerated_cycles + (extra_cycles * run.total as u64) as f64;
+                let sw_cycles = run.accelerated_cycles + (extra_cycles * run.total as u64) as f64;
                 ratio_sum += sw_cycles / run.accelerated_cycles;
             }
             ratio_sum / hw.runs.len() as f64

@@ -6,13 +6,24 @@
 //! classifiers), parallel dataset profiling, validation-set simulation,
 //! and text-table printing.
 //!
+//! The compile flow itself lives in `mithra-core` as the staged
+//! [`mithra_core::session::CompileSession`] pipeline; the runner's
+//! [`prepare_base`]/[`certify_at`]/[`prepare`] are thin wrappers that
+//! translate an [`ExperimentConfig`] into the single
+//! [`mithra_core::pipeline::CompileConfig`] and print each session's
+//! per-stage instrumentation to stderr.
+//!
 //! Scale knobs: every binary accepts
 //!
 //! ```text
-//! --scale smoke|full      dataset sizes (default full)
-//! --datasets N            compilation datasets (default 250, paper value)
-//! --validation N          validation datasets (default 250)
-//! --quality a,b,c         quality-loss levels (default 2.5,5,7.5,10 %)
+//! --scale smoke|full       dataset sizes (default full)
+//! --datasets N             compilation datasets (default 250, paper value)
+//! --validation N           validation datasets (default 250)
+//! --quality a,b,c          quality-loss levels (default 2.5,5,7.5,10 %)
+//! --npu-epochs N           override NPU training epochs
+//! --npu-train-datasets N   datasets feeding NPU training (default 10)
+//! --cache-dir PATH         artifact-cache root (default target/mithra-cache)
+//! --no-cache               disable the on-disk artifact cache
 //! ```
 
 #![warn(missing_docs)]
@@ -21,7 +32,7 @@ pub mod runner;
 pub mod table_text;
 
 pub use runner::{
-    certify_at, collect_profiles_parallel, evaluate, prepare, prepare_base, BenchmarkBase,
-    DesignKind, EvalResult, ExperimentConfig, PreparedBenchmark,
+    certify_at, collect_profiles_parallel, evaluate, prepare, prepare_base, ArgError,
+    BenchmarkBase, DesignKind, EvalResult, ExperimentConfig, PreparedBenchmark,
 };
 pub use table_text::TextTable;

@@ -1,21 +1,71 @@
 //! The shared experiment runner.
+//!
+//! Every figure/table binary drives the same staged compile pipeline
+//! ([`CompileSession`] in `mithra-core`); this module adds the harness
+//! conveniences on top: command-line parsing, the quality-independent
+//! [`BenchmarkBase`] that sweeps re-certify against, validation-set
+//! profiling, and design evaluation. Per-stage instrumentation
+//! ([`mithra_core::session::StageReport`]) is printed to **stderr** so
+//! the tables on stdout stay byte-comparable across runs.
 
 use mithra_axbench::benchmark::Benchmark;
 use mithra_axbench::dataset::DatasetScale;
+use mithra_core::cache::CacheConfig;
 use mithra_core::classifier::Classifier;
 use mithra_core::function::{AcceleratedFunction, NpuTrainConfig};
-use mithra_core::pipeline::{compile_with_profiles, CompileConfig, Compiled};
+use mithra_core::pipeline::{CompileConfig, Compiled};
 use mithra_core::profile::DatasetProfile;
 use mithra_core::random::RandomFilter;
+use mithra_core::session::{profile_validation, CompileSession};
 use mithra_core::threshold::QualitySpec;
 use mithra_core::Result;
-use mithra_sim::report::BenchmarkSummary;
+use mithra_sim::report::{BenchmarkSummary, CompileCost};
 use mithra_sim::system::{simulate, RunResult, SimOptions};
+use std::fmt;
+use std::path::PathBuf;
 use std::sync::Arc;
+
+pub use mithra_core::profile::collect_profiles_parallel;
 
 /// Seed offset separating validation datasets from compilation datasets —
 /// the paper's "250 different unseen datasets".
 pub const VALIDATION_SEED_BASE: u64 = 1_000_000;
+
+/// Default root of the on-disk artifact cache (relative to the working
+/// directory; disable with `--no-cache`).
+pub const DEFAULT_CACHE_DIR: &str = "target/mithra-cache";
+
+const USAGE: &str = "usage: --scale smoke|full --datasets N --validation N \
+                     --quality 2.5,5,7.5,10 --confidence 0.95 --success-rate 0.90 \
+                     --bench name,name --npu-epochs N --npu-train-datasets N \
+                     --cache-dir PATH --no-cache";
+
+/// A command-line parsing or configuration error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError {
+    message: String,
+}
+
+impl ArgError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// The problem, without the usage banner.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}\n{USAGE}", self.message)
+    }
+}
+
+impl std::error::Error for ArgError {}
 
 /// Experiment-wide configuration, parsed from the command line.
 #[derive(Debug, Clone)]
@@ -34,6 +84,13 @@ pub struct ExperimentConfig {
     pub success_rate: f64,
     /// Benchmarks to run (defaults to the whole suite).
     pub benchmarks: Vec<String>,
+    /// NPU training settings, honored by every compile path.
+    pub npu: NpuTrainConfig,
+    /// Compilation datasets feeding NPU training (clamped to
+    /// `compile_datasets`).
+    pub npu_train_datasets: usize,
+    /// Artifact-cache root; `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for ExperimentConfig {
@@ -49,132 +106,174 @@ impl Default for ExperimentConfig {
                 .iter()
                 .map(|b| b.name().to_string())
                 .collect(),
+            npu: NpuTrainConfig::default(),
+            npu_train_datasets: 10,
+            cache_dir: Some(PathBuf::from(DEFAULT_CACHE_DIR)),
         }
     }
 }
 
 impl ExperimentConfig {
-    /// Parses `--scale`, `--datasets`, `--validation`, `--quality`,
-    /// `--confidence`, `--success-rate` and `--bench` from the process
-    /// arguments; unknown arguments abort with a usage message.
+    /// Parses the process arguments, printing the usage banner and
+    /// exiting with status 2 on error — the binary-boundary wrapper
+    /// around [`from_arg_list`](Self::from_arg_list).
     pub fn from_args() -> Self {
-        Self::from_arg_list(&std::env::args().skip(1).collect::<Vec<_>>())
+        match Self::from_arg_list(&std::env::args().skip(1).collect::<Vec<_>>()) {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
     }
 
-    /// Parses an explicit argument list (see [`from_args`](Self::from_args)).
-    pub fn from_arg_list(args: &[String]) -> Self {
+    /// Parses an explicit argument list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] for unknown flags, missing values, and
+    /// malformed values.
+    pub fn from_arg_list(args: &[String]) -> std::result::Result<Self, ArgError> {
         let mut cfg = Self::default();
         let mut i = 0;
         while i < args.len() {
             let flag = args[i].as_str();
-            let value = args.get(i + 1).cloned();
-            let take = |v: Option<String>| -> String {
-                v.unwrap_or_else(|| {
-                    eprintln!("missing value for {flag}");
-                    std::process::exit(2);
-                })
+            let take = || -> std::result::Result<String, ArgError> {
+                args.get(i + 1)
+                    .cloned()
+                    .ok_or_else(|| ArgError::new(format!("missing value for {flag}")))
             };
+            fn parse<T: std::str::FromStr>(
+                flag: &str,
+                value: &str,
+            ) -> std::result::Result<T, ArgError> {
+                value
+                    .parse()
+                    .map_err(|_| ArgError::new(format!("malformed value `{value}` for {flag}")))
+            }
             match flag {
                 "--scale" => {
-                    cfg.scale = match take(value).as_str() {
+                    cfg.scale = match take()?.as_str() {
                         "smoke" => DatasetScale::Smoke,
                         "full" => DatasetScale::Full,
                         other => {
-                            eprintln!("unknown scale `{other}` (smoke|full)");
-                            std::process::exit(2);
+                            return Err(ArgError::new(format!(
+                                "unknown scale `{other}` (smoke|full)"
+                            )))
                         }
                     };
                     i += 2;
                 }
                 "--datasets" => {
-                    cfg.compile_datasets = take(value).parse().expect("--datasets N");
+                    cfg.compile_datasets = parse(flag, &take()?)?;
                     i += 2;
                 }
                 "--validation" => {
-                    cfg.validation_datasets = take(value).parse().expect("--validation N");
+                    cfg.validation_datasets = parse(flag, &take()?)?;
                     i += 2;
                 }
                 "--quality" => {
-                    cfg.quality_levels = take(value)
+                    cfg.quality_levels = take()?
                         .split(',')
-                        .map(|s| s.trim().parse::<f64>().expect("--quality a,b,c") / 100.0)
-                        .collect();
+                        .map(|s| parse::<f64>(flag, s.trim()).map(|q| q / 100.0))
+                        .collect::<std::result::Result<_, _>>()?;
                     i += 2;
                 }
                 "--confidence" => {
-                    cfg.confidence = take(value).parse().expect("--confidence 0.95");
+                    cfg.confidence = parse(flag, &take()?)?;
                     i += 2;
                 }
                 "--success-rate" => {
-                    cfg.success_rate = take(value).parse().expect("--success-rate 0.90");
+                    cfg.success_rate = parse(flag, &take()?)?;
                     i += 2;
                 }
                 "--bench" => {
-                    cfg.benchmarks = take(value).split(',').map(str::to_string).collect();
+                    cfg.benchmarks = take()?.split(',').map(str::to_string).collect();
                     i += 2;
                 }
+                "--npu-epochs" => {
+                    cfg.npu.epochs = Some(parse(flag, &take()?)?);
+                    i += 2;
+                }
+                "--npu-train-datasets" => {
+                    cfg.npu_train_datasets = parse(flag, &take()?)?;
+                    i += 2;
+                }
+                "--cache-dir" => {
+                    cfg.cache_dir = Some(PathBuf::from(take()?));
+                    i += 2;
+                }
+                "--no-cache" => {
+                    cfg.cache_dir = None;
+                    i += 1;
+                }
                 other => {
-                    eprintln!(
-                        "unknown argument `{other}`\n\
-                         usage: --scale smoke|full --datasets N --validation N \
-                         --quality 2.5,5,7.5,10 --confidence 0.95 --success-rate 0.90 \
-                         --bench name,name"
-                    );
-                    std::process::exit(2);
+                    return Err(ArgError::new(format!("unknown argument `{other}`")));
                 }
             }
         }
-        cfg
+        Ok(cfg)
     }
 
     /// The quality spec at one quality level.
+    ///
+    /// # Errors
+    ///
+    /// Propagates out-of-range spec parameters.
     pub fn spec(&self, quality: f64) -> Result<QualitySpec> {
         QualitySpec::new(quality, self.confidence, self.success_rate)
     }
 
     /// The suite members selected by `--bench`.
-    pub fn suite(&self) -> Vec<Arc<dyn Benchmark>> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] for an unknown benchmark name.
+    pub fn suite(&self) -> std::result::Result<Vec<Arc<dyn Benchmark>>, ArgError> {
         self.benchmarks
             .iter()
             .map(|n| {
-                let b: Arc<dyn Benchmark> = mithra_axbench::suite::by_name(n)
-                    .unwrap_or_else(|| {
-                        eprintln!("unknown benchmark `{n}`");
-                        std::process::exit(2);
+                mithra_axbench::suite::by_name(n)
+                    .map(|b| {
+                        let b: Arc<dyn Benchmark> = b.into();
+                        b
                     })
-                    .into();
-                b
+                    .ok_or_else(|| ArgError::new(format!("unknown benchmark `{n}`")))
             })
             .collect()
     }
-}
 
-/// Profiles `count` datasets in parallel across available cores.
-pub fn collect_profiles_parallel(
-    function: &AcceleratedFunction,
-    seed_base: u64,
-    count: usize,
-    scale: DatasetScale,
-) -> Vec<DatasetProfile> {
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(count.max(1));
-    let mut slots: Vec<Option<DatasetProfile>> = (0..count).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        for (t, chunk) in slots.chunks_mut(count.div_ceil(threads)).enumerate() {
-            let start = t * count.div_ceil(threads);
-            scope.spawn(move |_| {
-                for (off, slot) in chunk.iter_mut().enumerate() {
-                    let seed = seed_base + (start + off) as u64;
-                    let ds = function.dataset(seed, scale);
-                    *slot = Some(DatasetProfile::collect(function, ds));
-                }
-            });
+    /// [`suite`](Self::suite) with the binary-boundary exit on error.
+    pub fn suite_or_exit(&self) -> Vec<Arc<dyn Benchmark>> {
+        match self.suite() {
+            Ok(suite) => suite,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
         }
-    })
-    .expect("profiling threads do not panic");
-    slots.into_iter().map(|s| s.expect("all slots filled")).collect()
+    }
+
+    /// The single [`CompileConfig`] every compile path derives from this
+    /// experiment configuration — the one place `--npu-*`, scale, seeds
+    /// and the cache are translated, so the runner can no longer drift
+    /// from `pipeline::compile`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates out-of-range spec parameters.
+    pub fn compile_config(&self, quality: f64) -> Result<CompileConfig> {
+        Ok(CompileConfig {
+            scale: self.scale,
+            compile_datasets: self.compile_datasets,
+            seed_base: 0,
+            spec: self.spec(quality)?,
+            npu: self.npu.clone(),
+            npu_train_datasets: self.npu_train_datasets.min(self.compile_datasets.max(1)),
+            cache: self.cache_dir.clone().map(CacheConfig::at),
+            ..CompileConfig::default()
+        })
+    }
 }
 
 /// A benchmark compiled at one quality level, with its validation
@@ -205,25 +304,32 @@ pub struct BenchmarkBase {
 }
 
 /// Trains the NPU and profiles both dataset populations — everything that
-/// does not depend on the quality level.
+/// does not depend on the quality level — through the first two
+/// [`CompileSession`] stages. Stage instrumentation goes to stderr.
+///
+/// # Errors
+///
+/// Propagates NPU training failures.
 pub fn prepare_base(
     benchmark: Arc<dyn Benchmark>,
     config: &ExperimentConfig,
 ) -> Result<BenchmarkBase> {
     let name = benchmark.name();
-    let train_sets: Vec<_> = (0..10.min(config.compile_datasets.max(1) as u64))
-        .map(|i| benchmark.dataset(i, config.scale))
-        .collect();
-    let function =
-        AcceleratedFunction::train(Arc::clone(&benchmark), &train_sets, &NpuTrainConfig::default())?;
-    let profiles =
-        collect_profiles_parallel(&function, 0, config.compile_datasets, config.scale);
-    let validation = collect_profiles_parallel(
+    let quality = config.quality_levels.first().copied().unwrap_or(0.05);
+    let compile_cfg = config.compile_config(quality)?;
+    let session = CompileSession::new(benchmark, compile_cfg.clone())
+        .train_npu()?
+        .profile()?;
+    let (function, profiles, mut report) = session.into_parts();
+    let (validation, validation_report) = profile_validation(
         &function,
+        &compile_cfg,
         VALIDATION_SEED_BASE,
         config.validation_datasets,
-        config.scale,
     );
+    report.stages.push(validation_report);
+    eprint!("{report}");
+    eprintln!("{}", CompileCost::from_session(&report));
     Ok(BenchmarkBase {
         name,
         function,
@@ -233,7 +339,8 @@ pub fn prepare_base(
 }
 
 /// Certifies one quality level against a prepared base and trains the
-/// classifiers — the quality-dependent remainder of the compile flow.
+/// classifiers — the quality-dependent remainder of the compile flow,
+/// resumed mid-[`CompileSession`].
 ///
 /// # Errors
 ///
@@ -243,15 +350,17 @@ pub fn certify_at(
     config: &ExperimentConfig,
     quality: f64,
 ) -> Result<PreparedBenchmark> {
-    let compile_cfg = CompileConfig {
-        scale: config.scale,
-        compile_datasets: config.compile_datasets,
-        seed_base: 0,
-        spec: config.spec(quality)?,
-        ..CompileConfig::default()
-    };
-    let compiled =
-        compile_with_profiles(base.function.clone(), base.profiles.clone(), &compile_cfg)?;
+    let compile_cfg = config.compile_config(quality)?;
+    let session = CompileSession::resume_with_profiles(
+        base.function.clone(),
+        base.profiles.clone(),
+        compile_cfg,
+    )
+    .certify()?
+    .train_classifiers()?;
+    let (compiled, report) = session.finish();
+    eprint!("{report}");
+    eprintln!("{}", CompileCost::from_session(&report));
     Ok(PreparedBenchmark {
         name: base.name,
         compiled,
@@ -259,7 +368,7 @@ pub fn certify_at(
     })
 }
 
-/// Runs the compile flow for one benchmark at one quality level and
+/// Runs the full compile flow for one benchmark at one quality level and
 /// profiles its validation set.
 ///
 /// # Errors
@@ -272,37 +381,22 @@ pub fn prepare(
     quality: f64,
 ) -> Result<PreparedBenchmark> {
     let name = benchmark.name();
-    let compile_cfg = CompileConfig {
-        scale: config.scale,
-        compile_datasets: config.compile_datasets,
-        seed_base: 0,
-        spec: config.spec(quality)?,
-        npu: NpuTrainConfig::default(),
-        npu_train_datasets: 10.min(config.compile_datasets.max(1)),
-        ..CompileConfig::default()
-    };
-
-    // Train the NPU, profile compile datasets in parallel, then hand the
-    // profiles to the (sequential) certification and training stages.
-    let train_sets: Vec<_> = (0..compile_cfg.npu_train_datasets as u64)
-        .map(|i| benchmark.dataset(i, config.scale))
-        .collect();
-    let function =
-        AcceleratedFunction::train(Arc::clone(&benchmark), &train_sets, &compile_cfg.npu)?;
-    let profiles = collect_profiles_parallel(
-        &function,
-        compile_cfg.seed_base,
-        compile_cfg.compile_datasets,
-        config.scale,
-    );
-    let compiled = compile_with_profiles(function, profiles, &compile_cfg)?;
-
-    let validation = collect_profiles_parallel(
+    let compile_cfg = config.compile_config(quality)?;
+    let session = CompileSession::new(benchmark, compile_cfg.clone())
+        .train_npu()?
+        .profile()?
+        .certify()?
+        .train_classifiers()?;
+    let (compiled, mut report) = session.finish();
+    let (validation, validation_report) = profile_validation(
         &compiled.function,
+        &compile_cfg,
         VALIDATION_SEED_BASE,
         config.validation_datasets,
-        config.scale,
     );
+    report.stages.push(validation_report);
+    eprint!("{report}");
+    eprintln!("{}", CompileCost::from_session(&report));
     Ok(PreparedBenchmark {
         name,
         compiled,
@@ -383,13 +477,15 @@ mod tests {
             confidence: 0.9,
             success_rate: 0.5,
             benchmarks: vec!["sobel".into()],
+            cache_dir: None,
+            ..ExperimentConfig::default()
         }
     }
 
     #[test]
     fn prepare_and_evaluate_sobel() {
         let cfg = smoke_config();
-        let bench = cfg.suite().remove(0);
+        let bench = cfg.suite().unwrap().remove(0);
         let prepared = prepare(bench, &cfg, 0.10).unwrap();
         assert_eq!(prepared.validation.len(), 8);
 
@@ -410,29 +506,6 @@ mod tests {
     }
 
     #[test]
-    fn parallel_profiling_matches_sequential() {
-        let cfg = smoke_config();
-        let bench = cfg.suite().remove(0);
-        let train_sets: Vec<_> = (0..2).map(|i| bench.dataset(i, cfg.scale)).collect();
-        let f = AcceleratedFunction::train(
-            bench,
-            &train_sets,
-            &NpuTrainConfig {
-                epochs: Some(20),
-                max_samples: 1000,
-                seed: 5,
-            },
-        )
-        .unwrap();
-        let par = collect_profiles_parallel(&f, 40, 6, cfg.scale);
-        for (i, p) in par.iter().enumerate() {
-            let ds = f.dataset(40 + i as u64, cfg.scale);
-            let seq = DatasetProfile::collect(&f, ds);
-            assert_eq!(p.errors(), seq.errors(), "profile {i} differs");
-        }
-    }
-
-    #[test]
     fn design_labels() {
         assert_eq!(DesignKind::Oracle.label(), "oracle");
         assert_eq!(DesignKind::Random(0.5).label(), "random");
@@ -441,14 +514,29 @@ mod tests {
     #[test]
     fn arg_list_parsing() {
         let args: Vec<String> = [
-            "--scale", "smoke", "--datasets", "33", "--validation", "7",
-            "--quality", "2.5,5", "--confidence", "0.9", "--success-rate", "0.8",
-            "--bench", "sobel,fft",
+            "--scale",
+            "smoke",
+            "--datasets",
+            "33",
+            "--validation",
+            "7",
+            "--quality",
+            "2.5,5",
+            "--confidence",
+            "0.9",
+            "--success-rate",
+            "0.8",
+            "--bench",
+            "sobel,fft",
+            "--npu-epochs",
+            "12",
+            "--npu-train-datasets",
+            "4",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect();
-        let cfg = ExperimentConfig::from_arg_list(&args);
+        let cfg = ExperimentConfig::from_arg_list(&args).unwrap();
         assert_eq!(cfg.scale, DatasetScale::Smoke);
         assert_eq!(cfg.compile_datasets, 33);
         assert_eq!(cfg.validation_datasets, 7);
@@ -456,16 +544,98 @@ mod tests {
         assert_eq!(cfg.confidence, 0.9);
         assert_eq!(cfg.success_rate, 0.8);
         assert_eq!(cfg.benchmarks, vec!["sobel".to_string(), "fft".to_string()]);
-        assert_eq!(cfg.suite().len(), 2);
+        assert_eq!(cfg.npu.epochs, Some(12));
+        assert_eq!(cfg.npu_train_datasets, 4);
+        assert_eq!(cfg.suite().unwrap().len(), 2);
     }
 
     #[test]
     fn empty_arg_list_gives_paper_defaults() {
-        let cfg = ExperimentConfig::from_arg_list(&[]);
+        let cfg = ExperimentConfig::from_arg_list(&[]).unwrap();
         assert_eq!(cfg.compile_datasets, 250);
         assert_eq!(cfg.validation_datasets, 250);
         assert_eq!(cfg.confidence, 0.95);
         assert_eq!(cfg.success_rate, 0.90);
         assert_eq!(cfg.benchmarks.len(), 6);
+        assert_eq!(cfg.npu, NpuTrainConfig::default());
+        assert_eq!(cfg.cache_dir, Some(PathBuf::from(DEFAULT_CACHE_DIR)));
+    }
+
+    #[test]
+    fn cache_flags_parse() {
+        let args: Vec<String> = ["--no-cache"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(
+            ExperimentConfig::from_arg_list(&args).unwrap().cache_dir,
+            None
+        );
+        let args: Vec<String> = ["--cache-dir", "/tmp/mycache"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(
+            ExperimentConfig::from_arg_list(&args).unwrap().cache_dir,
+            Some(PathBuf::from("/tmp/mycache"))
+        );
+    }
+
+    #[test]
+    fn malformed_values_are_errors() {
+        let cases: &[&[&str]] = &[
+            &["--datasets", "many"],
+            &["--validation", "-3"],
+            &["--scale", "tiny"],
+            &["--quality", "2.5,oops"],
+            &["--confidence", "high"],
+            &["--success-rate", ""],
+            &["--npu-epochs", "1.5"],
+            &["--npu-train-datasets", "x"],
+        ];
+        for case in cases {
+            let args: Vec<String> = case.iter().map(|s| s.to_string()).collect();
+            let err =
+                ExperimentConfig::from_arg_list(&args).expect_err(&format!("{case:?} should fail"));
+            assert!(
+                err.message().contains(case[0]) || err.message().contains(case[1]),
+                "error `{err}` should mention the flag or value"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_value_and_unknown_flag_are_errors() {
+        let args: Vec<String> = vec!["--datasets".into()];
+        let err = ExperimentConfig::from_arg_list(&args).unwrap_err();
+        assert!(err.message().contains("missing value"));
+        assert!(format!("{err}").contains("usage:"));
+
+        let args: Vec<String> = vec!["--frobnicate".into()];
+        let err = ExperimentConfig::from_arg_list(&args).unwrap_err();
+        assert!(err.message().contains("unknown argument"));
+    }
+
+    #[test]
+    fn unknown_benchmark_is_an_error() {
+        let cfg = ExperimentConfig {
+            benchmarks: vec!["sobel".into(), "nonesuch".into()],
+            ..ExperimentConfig::default()
+        };
+        let err = cfg.suite().unwrap_err();
+        assert!(err.message().contains("nonesuch"));
+    }
+
+    #[test]
+    fn compile_config_honors_npu_settings() {
+        let mut cfg = smoke_config();
+        cfg.npu = NpuTrainConfig {
+            epochs: Some(7),
+            max_samples: 123,
+            seed: 99,
+        };
+        cfg.npu_train_datasets = 100; // clamped to compile_datasets
+        let cc = cfg.compile_config(0.10).unwrap();
+        assert_eq!(cc.npu, cfg.npu);
+        assert_eq!(cc.npu_train_datasets, 15);
+        assert_eq!(cc.scale, DatasetScale::Smoke);
+        assert!(cc.cache.is_none());
     }
 }

@@ -1,0 +1,64 @@
+//! Cross-crate regression test for the config-drift bug: the runner's
+//! `prepare_base` + `certify_at` path and the one-call `pipeline::compile`
+//! must agree on the compiled threshold (and classifier inputs) for the
+//! same experiment configuration — including a **non-default** NPU
+//! configuration, which the pre-session runner silently replaced with
+//! `NpuTrainConfig::default()`.
+
+use mithra_axbench::dataset::DatasetScale;
+use mithra_bench::runner::{certify_at, prepare_base, ExperimentConfig};
+use mithra_core::function::NpuTrainConfig;
+use mithra_core::pipeline;
+
+fn drifty_config() -> ExperimentConfig {
+    ExperimentConfig {
+        scale: DatasetScale::Smoke,
+        compile_datasets: 15,
+        validation_datasets: 4,
+        quality_levels: vec![0.10],
+        confidence: 0.9,
+        success_rate: 0.5,
+        benchmarks: vec!["sobel".into()],
+        // Deliberately non-default: the old runner hardcoded the default
+        // train config and `10.min(compile_datasets)` train sets, so any
+        // drift here changes the trained NPU and hence the threshold.
+        npu: NpuTrainConfig {
+            epochs: Some(25),
+            max_samples: 1500,
+            seed: 11,
+        },
+        npu_train_datasets: 3,
+        cache_dir: None,
+    }
+}
+
+#[test]
+fn runner_path_matches_pipeline_compile() {
+    let cfg = drifty_config();
+    let quality = cfg.quality_levels[0];
+
+    let bench = cfg.suite().unwrap().remove(0);
+    let base = prepare_base(bench, &cfg).unwrap();
+    let prepared = certify_at(&base, &cfg, quality).unwrap();
+
+    let bench = cfg.suite().unwrap().remove(0);
+    let compiled = pipeline::compile(bench, &cfg.compile_config(quality).unwrap()).unwrap();
+
+    assert_eq!(
+        prepared.compiled.threshold.threshold, compiled.threshold.threshold,
+        "runner and pipeline must certify the identical threshold"
+    );
+    assert_eq!(
+        prepared.compiled.threshold.successes,
+        compiled.threshold.successes
+    );
+    assert_eq!(
+        prepared.compiled.threshold.trials,
+        compiled.threshold.trials
+    );
+    assert_eq!(
+        prepared.compiled.training_data.len(),
+        compiled.training_data.len()
+    );
+    assert_eq!(prepared.compiled.profiles.len(), compiled.profiles.len());
+}

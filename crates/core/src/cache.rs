@@ -1,0 +1,440 @@
+//! On-disk artifact cache for the compile pipeline.
+//!
+//! Every quality-independent stage of the compile flow (NPU training,
+//! dataset profiling) and the quality-dependent remainder (threshold
+//! certification, classifier training) produces a serializable artifact.
+//! The ten figure/table binaries previously recomputed the same base for
+//! every figure; with the cache, a stage whose configuration fingerprint
+//! matches a stored artifact is skipped entirely and the artifact is
+//! deserialized instead.
+//!
+//! Layout: `<dir>/<benchmark>/<stage>-<fingerprint>.json` (or `.bin` for
+//! dataset profiles), where the fingerprint is an FNV-1a 64-bit hash of a
+//! canonical description of everything that influences the artifact
+//! (benchmark name, dataset scale and seeds, stage configuration, and the
+//! fingerprints of upstream stages). Files are written atomically (temp
+//! file + rename) and any read failure — missing, truncated, garbage, or
+//! schema-mismatched — falls back to recomputation: the cache can never
+//! poison a run, only skip work.
+//!
+//! Small artifacts (trained NPU, threshold, classifiers) go through serde
+//! as JSON. Dataset profiles are hundreds of megabytes of flat `f32`/`f64`
+//! vectors, for which JSON costs more to parse than the profiling it
+//! replaces; [`encode_profiles`]/[`decode_profiles`] store them in a raw
+//! little-endian format instead, making a profile cache hit a bulk read.
+
+use crate::function::AcceleratedFunction;
+use crate::neural::NeuralClassifier;
+use crate::profile::DatasetProfile;
+use crate::table::TableClassifier;
+use mithra_axbench::benchmark::Benchmark;
+use mithra_axbench::dataset::{Dataset, OutputBuffer};
+use mithra_npu::mlp::Mlp;
+use mithra_npu::train::Normalizer;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Bumped whenever a cached artifact's schema or semantics change, so
+/// stale caches from older builds miss instead of mis-deserializing.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// Where (and whether) compile-stage artifacts are cached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Root directory of the cache.
+    pub dir: PathBuf,
+}
+
+impl CacheConfig {
+    /// A cache rooted at `dir`.
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+}
+
+/// FNV-1a 64-bit hash of a canonical key string.
+pub fn fingerprint(key: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in key.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The stored form of a trained accelerator: the network and both
+/// normalizers. The benchmark binding is re-established on load via
+/// [`AcceleratedFunction::from_parts`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainedNpuArtifact {
+    /// The trained network weights and topology.
+    pub mlp: Mlp,
+    /// Input normalizer fitted during training.
+    pub input_norm: Normalizer,
+    /// Output normalizer fitted during training.
+    pub output_norm: Normalizer,
+}
+
+impl TrainedNpuArtifact {
+    /// Captures the stored parts of a trained function.
+    pub fn of(function: &AcceleratedFunction) -> Self {
+        Self {
+            mlp: function.npu().clone(),
+            input_norm: function.input_normalizer().clone(),
+            output_norm: function.output_normalizer().clone(),
+        }
+    }
+
+    /// Rebinds the stored parts to their benchmark.
+    pub fn into_function(self, benchmark: Arc<dyn Benchmark>) -> AcceleratedFunction {
+        AcceleratedFunction::from_parts(benchmark, self.mlp, self.input_norm, self.output_norm)
+    }
+}
+
+/// The stored form of the classifier-training stage: both trained
+/// classifiers. The labeled training tuples are deliberately not stored —
+/// they are regenerated deterministically from the profiles, which is
+/// cheaper than deserializing them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassifierArtifact {
+    /// The trained MISR multi-table classifier.
+    pub table: TableClassifier,
+    /// The trained neural classifier.
+    pub neural: NeuralClassifier,
+}
+
+/// A benchmark-scoped handle on the on-disk artifact store.
+#[derive(Debug, Clone)]
+pub struct ArtifactCache {
+    dir: PathBuf,
+}
+
+impl ArtifactCache {
+    /// Opens the cache for one benchmark under `config.dir`. No I/O
+    /// happens until the first load or store.
+    pub fn open(config: &CacheConfig, benchmark: &str) -> Self {
+        Self {
+            dir: config.dir.join(benchmark),
+        }
+    }
+
+    /// The file a `(stage, fingerprint)` pair maps to.
+    pub fn path(&self, stage: &str, fingerprint: u64) -> PathBuf {
+        self.dir.join(format!("{stage}-{fingerprint:016x}.json"))
+    }
+
+    /// Loads a stage artifact, or `None` when it is absent or unreadable
+    /// (corrupt files are treated as misses, never errors).
+    pub fn load<T: serde::Deserialize>(&self, stage: &str, fingerprint: u64) -> Option<T> {
+        let bytes = std::fs::read(self.path(stage, fingerprint)).ok()?;
+        serde_json::from_slice(&bytes).ok()
+    }
+
+    /// Stores a stage artifact, best-effort: an unwritable cache degrades
+    /// to recomputation on the next run rather than failing the compile.
+    /// Returns whether the artifact landed on disk.
+    pub fn store<T: serde::Serialize>(&self, stage: &str, fingerprint: u64, value: &T) -> bool {
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return false;
+        }
+        let target = self.path(stage, fingerprint);
+        let tmp = target.with_extension("json.tmp");
+        let Ok(bytes) = serde_json::to_vec(value) else {
+            return false;
+        };
+        if std::fs::write(&tmp, bytes).is_err() {
+            return false;
+        }
+        // Atomic publish: readers only ever see whole files.
+        std::fs::rename(&tmp, &target).is_ok()
+    }
+
+    /// The benchmark-scoped cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file a binary `(stage, fingerprint)` pair maps to.
+    pub fn bin_path(&self, stage: &str, fingerprint: u64) -> PathBuf {
+        self.dir.join(format!("{stage}-{fingerprint:016x}.bin"))
+    }
+
+    /// Loads a profile artifact from the flat binary format, or `None`
+    /// when it is absent or unreadable.
+    pub fn load_profiles(&self, stage: &str, fingerprint: u64) -> Option<Vec<DatasetProfile>> {
+        let bytes = std::fs::read(self.bin_path(stage, fingerprint)).ok()?;
+        decode_profiles(&bytes)
+    }
+
+    /// Stores a profile artifact in the flat binary format, best-effort.
+    /// Returns whether the artifact landed on disk.
+    pub fn store_profiles(
+        &self,
+        stage: &str,
+        fingerprint: u64,
+        profiles: &[DatasetProfile],
+    ) -> bool {
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return false;
+        }
+        let target = self.bin_path(stage, fingerprint);
+        let tmp = target.with_extension("bin.tmp");
+        if std::fs::write(&tmp, encode_profiles(profiles)).is_err() {
+            return false;
+        }
+        std::fs::rename(&tmp, &target).is_ok()
+    }
+}
+
+/// Magic prefix of the binary profile format; the trailing byte is its
+/// version.
+const PROFILE_MAGIC: &[u8; 8] = b"MITHRAP1";
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f32s(out: &mut Vec<u8>, values: &[f32]) {
+    out.reserve(values.len() * 4);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn push_f64s(out: &mut Vec<u8>, values: &[f64]) {
+    out.reserve(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Serializes profiles into the flat little-endian binary format.
+pub fn encode_profiles(profiles: &[DatasetProfile]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(PROFILE_MAGIC);
+    push_u64(&mut out, profiles.len() as u64);
+    for p in profiles {
+        push_u64(&mut out, p.dataset().seed());
+        push_u64(&mut out, p.dataset().input_dim() as u64);
+        push_u64(&mut out, p.dataset().as_flat().len() as u64);
+        push_f32s(&mut out, p.dataset().as_flat());
+        push_u64(&mut out, p.precise_outputs().dim() as u64);
+        push_u64(&mut out, p.precise_outputs().as_flat().len() as u64);
+        push_f32s(&mut out, p.precise_outputs().as_flat());
+        push_u64(&mut out, p.approx_outputs().dim() as u64);
+        push_u64(&mut out, p.approx_outputs().as_flat().len() as u64);
+        push_f32s(&mut out, p.approx_outputs().as_flat());
+        push_u64(&mut out, p.errors().len() as u64);
+        push_f32s(&mut out, p.errors());
+        push_u64(&mut out, p.final_precise().len() as u64);
+        push_f64s(&mut out, p.final_precise());
+    }
+    out
+}
+
+struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    /// A length prefix that must still fit in the remaining bytes, so a
+    /// corrupted count cannot trigger a huge allocation.
+    fn len(&mut self, elem_size: usize) -> Option<usize> {
+        let n = usize::try_from(self.u64()?).ok()?;
+        let bytes = n.checked_mul(elem_size)?;
+        (self.pos.checked_add(bytes)? <= self.bytes.len()).then_some(n)
+    }
+
+    fn f32s(&mut self, n: usize) -> Option<Vec<f32>> {
+        let raw = self.take(n.checked_mul(4)?)?;
+        Some(
+            raw.chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
+                .collect(),
+        )
+    }
+
+    fn f64s(&mut self, n: usize) -> Option<Vec<f64>> {
+        let raw = self.take(n.checked_mul(8)?)?;
+        Some(
+            raw.chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+                .collect(),
+        )
+    }
+}
+
+/// Deserializes profiles from the flat binary format; `None` for any
+/// truncated, garbage, or internally inconsistent input.
+pub fn decode_profiles(bytes: &[u8]) -> Option<Vec<DatasetProfile>> {
+    let mut r = ByteReader { bytes, pos: 0 };
+    if r.take(PROFILE_MAGIC.len())? != PROFILE_MAGIC {
+        return None;
+    }
+    let count = usize::try_from(r.u64()?).ok()?;
+    let mut profiles = Vec::new();
+    for _ in 0..count {
+        let seed = r.u64()?;
+        let input_dim = usize::try_from(r.u64()?).ok()?;
+        let inputs = {
+            let n = r.len(4)?;
+            r.f32s(n)?
+        };
+        if input_dim == 0 || inputs.len() % input_dim != 0 {
+            return None;
+        }
+        let dataset = Dataset::from_flat(seed, input_dim, inputs);
+        let n = dataset.invocation_count();
+
+        let buffer = |r: &mut ByteReader<'_>| -> Option<OutputBuffer> {
+            let dim = usize::try_from(r.u64()?).ok()?;
+            let len = r.len(4)?;
+            let data = r.f32s(len)?;
+            if dim == 0 || data.len() % dim != 0 || data.len() / dim != n {
+                return None;
+            }
+            Some(OutputBuffer::from_flat(dim, data))
+        };
+        let precise = buffer(&mut r)?;
+        let approx = buffer(&mut r)?;
+
+        let err_len = r.len(4)?;
+        if err_len != n {
+            return None;
+        }
+        let max_err = r.f32s(err_len)?;
+        let final_len = r.len(8)?;
+        let final_precise = r.f64s(final_len)?;
+        profiles.push(DatasetProfile::from_parts(
+            dataset,
+            precise,
+            approx,
+            max_err,
+            final_precise,
+        ));
+    }
+    (r.pos == bytes.len()).then_some(profiles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_cache(tag: &str) -> (CacheConfig, ArtifactCache) {
+        let dir =
+            std::env::temp_dir().join(format!("mithra-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = CacheConfig::at(&dir);
+        let cache = ArtifactCache::open(&config, "sobel");
+        (config, cache)
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_input_sensitive() {
+        assert_eq!(fingerprint("abc"), fingerprint("abc"));
+        assert_ne!(fingerprint("abc"), fingerprint("abd"));
+        // FNV-1a 64 reference value for the empty string.
+        assert_eq!(fingerprint(""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn missing_artifact_is_a_miss() {
+        let (_config, cache) = tmp_cache("miss");
+        assert!(cache.load::<Vec<f32>>("npu", 1).is_none());
+    }
+
+    #[test]
+    fn round_trip_returns_stored_value() {
+        let (config, cache) = tmp_cache("roundtrip");
+        let value: Vec<f64> = vec![1.5, -2.25, 0.0];
+        assert!(cache.store("profiles", 42, &value));
+        assert_eq!(cache.load::<Vec<f64>>("profiles", 42), Some(value));
+        let _ = std::fs::remove_dir_all(&config.dir);
+    }
+
+    fn tiny_profile(seed: u64) -> DatasetProfile {
+        let dataset = Dataset::from_flat(seed, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let precise = OutputBuffer::from_flat(1, vec![0.5, 0.25]);
+        let approx = OutputBuffer::from_flat(1, vec![0.55, 0.20]);
+        DatasetProfile::from_parts(dataset, precise, approx, vec![0.1, 0.2], vec![9.0, 8.0])
+    }
+
+    #[test]
+    fn profile_binary_round_trip() {
+        let profiles = vec![tiny_profile(1), tiny_profile(2)];
+        let bytes = encode_profiles(&profiles);
+        assert_eq!(decode_profiles(&bytes).as_ref(), Some(&profiles));
+
+        let (config, cache) = tmp_cache("profiles-bin");
+        assert!(cache.store_profiles("profiling", 9, &profiles));
+        assert_eq!(cache.load_profiles("profiling", 9), Some(profiles));
+        let _ = std::fs::remove_dir_all(&config.dir);
+    }
+
+    #[test]
+    fn corrupt_profile_binaries_are_misses() {
+        let profiles = vec![tiny_profile(3)];
+        let bytes = encode_profiles(&profiles);
+
+        // Truncation anywhere must fail cleanly, never panic.
+        for cut in 0..bytes.len() {
+            assert_eq!(decode_profiles(&bytes[..cut]), None, "cut at {cut}");
+        }
+        // Trailing garbage, wrong magic, and non-format bytes all miss.
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert_eq!(decode_profiles(&longer), None);
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert_eq!(decode_profiles(&wrong_magic), None);
+        assert_eq!(decode_profiles(b"not a profile artifact"), None);
+
+        // An absurd length prefix must not allocate; it just misses.
+        let mut huge = bytes.clone();
+        let count_at = PROFILE_MAGIC.len();
+        huge[count_at..count_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(decode_profiles(&huge), None);
+
+        // On-disk corruption goes through the same path.
+        let (config, cache) = tmp_cache("profiles-corrupt");
+        assert!(cache.store_profiles("profiling", 4, &profiles));
+        let path = cache.bin_path("profiling", 4);
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 3]).unwrap();
+        assert_eq!(cache.load_profiles("profiling", 4), None);
+        let _ = std::fs::remove_dir_all(&config.dir);
+    }
+
+    #[test]
+    fn truncated_and_garbage_files_fall_back_to_miss() {
+        let (config, cache) = tmp_cache("corrupt");
+        let value: Vec<f64> = vec![3.0; 8];
+        assert!(cache.store("threshold", 7, &value));
+        let path = cache.path("threshold", 7);
+
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(cache.load::<Vec<f64>>("threshold", 7).is_none());
+
+        std::fs::write(&path, b"not json at all {{{").unwrap();
+        assert!(cache.load::<Vec<f64>>("threshold", 7).is_none());
+
+        // Valid JSON of the wrong shape is also just a miss.
+        std::fs::write(&path, b"{\"wrong\": true}").unwrap();
+        assert!(cache.load::<Vec<f64>>("threshold", 7).is_none());
+        let _ = std::fs::remove_dir_all(&config.dir);
+    }
+}

@@ -40,8 +40,14 @@ pub enum MithraError {
 impl fmt::Display for MithraError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MithraError::InvalidConfig { parameter, constraint } => {
-                write!(f, "invalid configuration `{parameter}`: expected {constraint}")
+            MithraError::InvalidConfig {
+                parameter,
+                constraint,
+            } => {
+                write!(
+                    f,
+                    "invalid configuration `{parameter}`: expected {constraint}"
+                )
             }
             MithraError::Uncertifiable {
                 quality_target,
@@ -52,8 +58,15 @@ impl fmt::Display for MithraError {
                 "cannot certify quality target {quality_target} at success rate {required_rate} \
                  (best certified rate {best_rate})"
             ),
-            MithraError::InsufficientData { stage, available, needed } => {
-                write!(f, "{stage} needs {needed} items but only {available} are available")
+            MithraError::InsufficientData {
+                stage,
+                available,
+                needed,
+            } => {
+                write!(
+                    f,
+                    "{stage} needs {needed} items but only {available} are available"
+                )
             }
             MithraError::Npu(e) => write!(f, "accelerator error: {e}"),
             MithraError::Stats(e) => write!(f, "statistics error: {e}"),

@@ -90,7 +90,9 @@ impl AcceleratedFunction {
             .map(|(i, o)| (input_norm.forward(i), output_norm.forward(o)))
             .collect();
 
-        let epochs = config.epochs.unwrap_or_else(|| benchmark.npu_training_epochs());
+        let epochs = config
+            .epochs
+            .unwrap_or_else(|| benchmark.npu_training_epochs());
         let npu = Trainer::new(benchmark.npu_topology())
             .epochs(epochs)
             .learning_rate(0.3)

@@ -23,7 +23,10 @@
 //!   comparison designs.
 //!
 //! The end-to-end compile flow — train the NPU, profile, find the
-//! threshold, train both classifiers — is assembled in [`pipeline`].
+//! threshold, train both classifiers — is a staged [`session`] pipeline
+//! ([`session::CompileSession`]) with parallel profiling, per-stage
+//! instrumentation and an optional on-disk artifact [`cache`]; the
+//! one-call wrappers live in [`pipeline`].
 //!
 //! # Example
 //!
@@ -45,6 +48,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod binary;
+pub mod cache;
 pub mod classifier;
 pub mod context;
 pub mod function;
@@ -57,6 +61,7 @@ pub mod pipeline;
 pub mod profile;
 pub mod random;
 pub mod regression;
+pub mod session;
 pub mod table;
 pub mod threshold;
 pub mod training;
@@ -71,13 +76,15 @@ pub type Result<T> = std::result::Result<T, MithraError>;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
+    pub use crate::cache::{ArtifactCache, CacheConfig};
     pub use crate::classifier::{Classifier, ClassifierOverhead, Decision};
     pub use crate::function::AcceleratedFunction;
     pub use crate::neural::NeuralClassifier;
     pub use crate::oracle::OracleClassifier;
     pub use crate::pipeline::{compile, CompileConfig, Compiled};
-    pub use crate::profile::DatasetProfile;
+    pub use crate::profile::{collect_profiles_parallel, DatasetProfile};
     pub use crate::random::RandomFilter;
+    pub use crate::session::{CompileSession, SessionReport, Stage, StageReport};
     pub use crate::table::{TableClassifier, TableDesign};
     pub use crate::threshold::{QualitySpec, ThresholdOutcome};
     pub use crate::MithraError;

@@ -41,22 +41,86 @@ impl MisrConfig {
         // with typical register widths so states diffuse differently per
         // configuration.
         [
-            MisrConfig { taps: 0x9D7, rotate: 1, input_rotate: 0 },
-            MisrConfig { taps: 0xB8F, rotate: 3, input_rotate: 5 },
-            MisrConfig { taps: 0xC35, rotate: 5, input_rotate: 2 },
-            MisrConfig { taps: 0xA6B, rotate: 7, input_rotate: 7 },
-            MisrConfig { taps: 0xE19, rotate: 2, input_rotate: 3 },
-            MisrConfig { taps: 0x8E5, rotate: 9, input_rotate: 1 },
-            MisrConfig { taps: 0xF43, rotate: 4, input_rotate: 6 },
-            MisrConfig { taps: 0x9A9, rotate: 11, input_rotate: 4 },
-            MisrConfig { taps: 0xD07, rotate: 6, input_rotate: 9 },
-            MisrConfig { taps: 0xBD1, rotate: 8, input_rotate: 11 },
-            MisrConfig { taps: 0xA93, rotate: 10, input_rotate: 8 },
-            MisrConfig { taps: 0xEC7, rotate: 1, input_rotate: 13 },
-            MisrConfig { taps: 0x87B, rotate: 3, input_rotate: 10 },
-            MisrConfig { taps: 0xCA5, rotate: 5, input_rotate: 12 },
-            MisrConfig { taps: 0xF11, rotate: 7, input_rotate: 14 },
-            MisrConfig { taps: 0x94D, rotate: 9, input_rotate: 15 },
+            MisrConfig {
+                taps: 0x9D7,
+                rotate: 1,
+                input_rotate: 0,
+            },
+            MisrConfig {
+                taps: 0xB8F,
+                rotate: 3,
+                input_rotate: 5,
+            },
+            MisrConfig {
+                taps: 0xC35,
+                rotate: 5,
+                input_rotate: 2,
+            },
+            MisrConfig {
+                taps: 0xA6B,
+                rotate: 7,
+                input_rotate: 7,
+            },
+            MisrConfig {
+                taps: 0xE19,
+                rotate: 2,
+                input_rotate: 3,
+            },
+            MisrConfig {
+                taps: 0x8E5,
+                rotate: 9,
+                input_rotate: 1,
+            },
+            MisrConfig {
+                taps: 0xF43,
+                rotate: 4,
+                input_rotate: 6,
+            },
+            MisrConfig {
+                taps: 0x9A9,
+                rotate: 11,
+                input_rotate: 4,
+            },
+            MisrConfig {
+                taps: 0xD07,
+                rotate: 6,
+                input_rotate: 9,
+            },
+            MisrConfig {
+                taps: 0xBD1,
+                rotate: 8,
+                input_rotate: 11,
+            },
+            MisrConfig {
+                taps: 0xA93,
+                rotate: 10,
+                input_rotate: 8,
+            },
+            MisrConfig {
+                taps: 0xEC7,
+                rotate: 1,
+                input_rotate: 13,
+            },
+            MisrConfig {
+                taps: 0x87B,
+                rotate: 3,
+                input_rotate: 10,
+            },
+            MisrConfig {
+                taps: 0xCA5,
+                rotate: 5,
+                input_rotate: 12,
+            },
+            MisrConfig {
+                taps: 0xF11,
+                rotate: 7,
+                input_rotate: 14,
+            },
+            MisrConfig {
+                taps: 0x94D,
+                rotate: 9,
+                input_rotate: 15,
+            },
         ]
     }
 }
@@ -259,7 +323,11 @@ mod tests {
         let pool = MisrConfig::pool();
         let hashes: Vec<usize> = pool.iter().map(|&c| Misr::hash(c, 12, &input)).collect();
         let distinct: std::collections::HashSet<usize> = hashes.iter().copied().collect();
-        assert!(distinct.len() >= 12, "only {} distinct hashes", distinct.len());
+        assert!(
+            distinct.len() >= 12,
+            "only {} distinct hashes",
+            distinct.len()
+        );
     }
 
     #[test]

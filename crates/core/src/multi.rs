@@ -47,7 +47,10 @@ impl Region {
         let sum: f64 = self
             .profiles
             .iter()
-            .map(|p| p.replay_with_threshold(&self.function, th).invocation_rate())
+            .map(|p| {
+                p.replay_with_threshold(&self.function, th)
+                    .invocation_rate()
+            })
             .sum();
         sum / self.profiles.len().max(1) as f64
     }
@@ -163,8 +166,7 @@ impl TupleOptimizer {
         }
 
         // All-precise baseline must certify.
-        let mut qualities: Vec<Vec<f64>> =
-            regions.iter().map(|r| r.quality_at(-1.0)).collect();
+        let mut qualities: Vec<Vec<f64>> = regions.iter().map(|r| r.quality_at(-1.0)).collect();
         let joint = Self::joint_quality(regions, &qualities);
         let (_, bound0) = self.certify(&joint)?;
         if bound0 < self.spec.success_rate {
@@ -289,7 +291,12 @@ mod tests {
 
     #[test]
     fn tighter_joint_targets_tighten_all_thresholds() {
-        let make = || vec![region_for("sobel", 1.0, 15), region_for("inversek2j", 1.0, 15)];
+        let make = || {
+            vec![
+                region_for("sobel", 1.0, 15),
+                region_for("inversek2j", 1.0, 15),
+            ]
+        };
         let loose = TupleOptimizer::new(QualitySpec::new(0.25, 0.9, 0.5).unwrap())
             .optimize(&make())
             .unwrap();
@@ -303,7 +310,10 @@ mod tests {
 
     #[test]
     fn misaligned_profiles_rejected() {
-        let mut regions = vec![region_for("sobel", 1.0, 10), region_for("inversek2j", 1.0, 10)];
+        let mut regions = vec![
+            region_for("sobel", 1.0, 10),
+            region_for("inversek2j", 1.0, 10),
+        ];
         regions[1].profiles.pop();
         let spec = QualitySpec::new(0.10, 0.9, 0.5).unwrap();
         assert!(matches!(

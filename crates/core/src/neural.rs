@@ -46,11 +46,12 @@ impl Default for NeuralTrainConfig {
 }
 
 /// The trained neural classifier.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct NeuralClassifier {
     mlp: Mlp,
     input_norm: Normalizer,
     validation_accuracy: f64,
+    #[serde(skip)]
     scratch_out: Vec<f32>,
 }
 
@@ -83,11 +84,8 @@ impl NeuralClassifier {
         let inputs: Vec<Vec<f32>> = examples.iter().map(|e| e.input.clone()).collect();
         let input_norm = Normalizer::fit(&inputs, 0.0, 1.0);
 
-        let (train_set, val_set) = split_examples(
-            examples.to_vec(),
-            config.validation_fraction,
-            config.seed,
-        );
+        let (train_set, val_set) =
+            split_examples(examples.to_vec(), config.validation_fraction, config.seed);
         let to_pairs = |set: &[TrainingExample]| -> Vec<(Vec<f32>, Vec<f32>)> {
             set.iter()
                 .map(|e| {
@@ -107,8 +105,7 @@ impl NeuralClassifier {
         let mut train_pairs = to_pairs(&train_set);
         let reject_count = train_set.iter().filter(|e| e.reject).count();
         if reject_count > 0 && reject_count * 4 < train_set.len() {
-            let replicas =
-                ((train_set.len() - reject_count) / reject_count.max(1)).min(5);
+            let replicas = ((train_set.len() - reject_count) / reject_count.max(1)).min(5);
             let rejects: Vec<(Vec<f32>, Vec<f32>)> = train_set
                 .iter()
                 .zip(&train_pairs)
@@ -119,7 +116,11 @@ impl NeuralClassifier {
                 train_pairs.extend(rejects.iter().cloned());
             }
         }
-        let val_pairs = to_pairs(if val_set.is_empty() { &train_set } else { &val_set });
+        let val_pairs = to_pairs(if val_set.is_empty() {
+            &train_set
+        } else {
+            &val_set
+        });
 
         let mut best: Option<(usize, f64, Mlp)> = None;
         for &hidden in &config.hidden_candidates {
@@ -274,7 +275,11 @@ mod tests {
         let mut c = NeuralClassifier::train(2, &ex, &quick_config()).unwrap();
         assert_eq!(c.decide(&[0.95, 0.05]), Decision::Precise);
         assert_eq!(c.decide(&[0.1, 0.9]), Decision::Approximate);
-        assert!(c.validation_accuracy() > 0.85, "{}", c.validation_accuracy());
+        assert!(
+            c.validation_accuracy() > 0.85,
+            "{}",
+            c.validation_accuracy()
+        );
     }
 
     #[test]

@@ -110,7 +110,7 @@ impl OnlineNeuralClassifier {
         }
         // Fold the window into the baseline (bounded) and clear it.
         let keep = self.refresh_period * 4;
-        self.baseline.extend(self.buffer.drain(..));
+        self.baseline.append(&mut self.buffer);
         if self.baseline.len() > keep.max(1000) {
             let excess = self.baseline.len() - keep.max(1000);
             self.baseline.drain(..excess);
@@ -170,8 +170,7 @@ mod tests {
     #[test]
     fn starts_with_offline_behaviour() {
         let ex = boundary_examples(0.7, 200);
-        let mut online =
-            OnlineNeuralClassifier::train(2, &ex, &quick_config(), 50).unwrap();
+        let mut online = OnlineNeuralClassifier::train(2, &ex, &quick_config(), 50).unwrap();
         assert_eq!(online.refresh_count(), 0);
         assert_eq!(online.classify(0, &[0.95, 0.05]), Decision::Precise);
         assert_eq!(online.classify(1, &[0.1, 0.9]), Decision::Approximate);
@@ -180,8 +179,7 @@ mod tests {
     #[test]
     fn refresh_fires_after_period() {
         let ex = boundary_examples(0.7, 200);
-        let mut online =
-            OnlineNeuralClassifier::train(2, &ex, &quick_config(), 30).unwrap();
+        let mut online = OnlineNeuralClassifier::train(2, &ex, &quick_config(), 30).unwrap();
         for i in 0..30 {
             let x = i as f32 / 29.0;
             online.observe(i, &[x, 1.0 - x], x > 0.7);
@@ -196,8 +194,7 @@ mod tests {
         // regime where errors start at 0.4. After enough refreshes the
         // classifier should reject at 0.55 (clearly accept-side before).
         let ex = boundary_examples(0.7, 300);
-        let mut online =
-            OnlineNeuralClassifier::train(2, &ex, &quick_config(), 150).unwrap();
+        let mut online = OnlineNeuralClassifier::train(2, &ex, &quick_config(), 150).unwrap();
         assert_eq!(online.classify(0, &[0.55, 0.45]), Decision::Approximate);
 
         let mut i = 0;

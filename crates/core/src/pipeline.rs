@@ -15,18 +15,21 @@
 //! The output, [`Compiled`], carries everything the runtime (and the
 //! system simulator in `mithra-sim`) needs.
 
+use crate::cache::CacheConfig;
 use crate::function::{AcceleratedFunction, NpuTrainConfig};
 use crate::misr::InputQuantizer;
 use crate::neural::{NeuralClassifier, NeuralTrainConfig};
 use crate::oracle::OracleClassifier;
 use crate::profile::DatasetProfile;
+use crate::session::{CompileSession, SessionReport};
 use crate::table::{TableClassifier, TableDesign};
-use crate::threshold::{QualitySpec, ThresholdOptimizer, ThresholdOutcome};
-use crate::training::{generate_training_data, TrainingExample};
-use crate::Result;
+use crate::threshold::{QualitySpec, ThresholdOutcome};
+use crate::training::TrainingExample;
 use mithra_axbench::benchmark::Benchmark;
-use mithra_axbench::dataset::{Dataset, DatasetScale};
+use mithra_axbench::dataset::DatasetScale;
 use std::sync::Arc;
+
+use crate::Result;
 
 /// Configuration of the whole compile flow.
 #[derive(Debug, Clone)]
@@ -51,6 +54,8 @@ pub struct CompileConfig {
     /// How many compilation datasets feed NPU training (profiling still
     /// uses all of them).
     pub npu_train_datasets: usize,
+    /// Optional on-disk artifact cache; `None` recomputes every stage.
+    pub cache: Option<CacheConfig>,
 }
 
 impl Default for CompileConfig {
@@ -65,6 +70,7 @@ impl Default for CompileConfig {
             neural: NeuralTrainConfig::default(),
             classifier_train_samples: 30_000,
             npu_train_datasets: 10,
+            cache: None,
         }
     }
 }
@@ -126,28 +132,29 @@ impl Compiled {
 /// ([`crate::MithraError::Uncertifiable`] when the spec cannot be met), or
 /// classifier training.
 pub fn compile(benchmark: Arc<dyn Benchmark>, config: &CompileConfig) -> Result<Compiled> {
-    // 1. Train the NPU.
-    let train_sets: Vec<Dataset> = (0..config.npu_train_datasets as u64)
-        .map(|i| benchmark.dataset(config.seed_base + i, config.scale))
-        .collect();
-    let function = AcceleratedFunction::train(Arc::clone(&benchmark), &train_sets, &config.npu)?;
-
-    // 2. Profile all compilation datasets.
-    let profiles: Vec<DatasetProfile> = (0..config.compile_datasets as u64)
-        .map(|i| {
-            DatasetProfile::collect(
-                &function,
-                benchmark.dataset(config.seed_base + i, config.scale),
-            )
-        })
-        .collect();
-
-    compile_with_profiles(function, profiles, config)
+    Ok(compile_with_report(benchmark, config)?.0)
 }
 
-/// The compile flow from step 3 onward, for callers that already hold a
-/// trained function and its profiles (the Pareto sweep retrains the table
-/// at many design points without re-profiling).
+/// [`compile`], additionally returning the per-stage instrumentation.
+///
+/// # Errors
+///
+/// Same as [`compile`].
+pub fn compile_with_report(
+    benchmark: Arc<dyn Benchmark>,
+    config: &CompileConfig,
+) -> Result<(Compiled, SessionReport)> {
+    let session = CompileSession::new(benchmark, config.clone())
+        .train_npu()?
+        .profile()?
+        .certify()?
+        .train_classifiers()?;
+    Ok(session.finish())
+}
+
+/// The compile flow from certification onward, for callers that already
+/// hold a trained function and its profiles (the Pareto sweep retrains
+/// the table at many design points without re-profiling).
 ///
 /// # Errors
 ///
@@ -157,32 +164,10 @@ pub fn compile_with_profiles(
     profiles: Vec<DatasetProfile>,
     config: &CompileConfig,
 ) -> Result<Compiled> {
-    // 3. Statistical threshold optimization.
-    let threshold = ThresholdOptimizer::new(config.spec).optimize(&function, &profiles)?;
-
-    // 4. Label training data and train the classifiers.
-    let training_data = generate_training_data(
-        &profiles,
-        threshold.threshold,
-        config.classifier_train_samples,
-        config.seed_base ^ 0x7261_696E,
-    );
-    let quantizer = quantizer_from_profiles(&profiles);
-    let table = TableClassifier::train(config.table_design, quantizer, &training_data)?;
-    let neural = NeuralClassifier::train(
-        function.benchmark().input_dim(),
-        &training_data,
-        &config.neural,
-    )?;
-
-    Ok(Compiled {
-        function,
-        threshold,
-        table,
-        neural,
-        profiles,
-        training_data,
-    })
+    let session = CompileSession::resume_with_profiles(function, profiles, config.clone())
+        .certify()?
+        .train_classifiers()?;
+    Ok(session.finish().0)
 }
 
 /// Fits the table classifier's input quantizer from profiled inputs.
@@ -220,7 +205,9 @@ mod tests {
         let mut ok = 0;
         let n = 10u64;
         for s in 0..n {
-            let ds = compiled.function.dataset(1_000_000 + s, DatasetScale::Smoke);
+            let ds = compiled
+                .function
+                .dataset(1_000_000 + s, DatasetScale::Smoke);
             let profile = DatasetProfile::collect(&compiled.function, ds);
             let replay =
                 profile.replay_with_threshold(&compiled.function, compiled.threshold.threshold);
@@ -270,12 +257,9 @@ mod tests {
             tables: 2,
             entries_per_table: 1024,
         };
-        let recompiled = compile_with_profiles(
-            compiled.function.clone(),
-            compiled.profiles.clone(),
-            &cfg,
-        )
-        .unwrap();
+        let recompiled =
+            compile_with_profiles(compiled.function.clone(), compiled.profiles.clone(), &cfg)
+                .unwrap();
         assert_eq!(recompiled.table.design().tables, 2);
         // Threshold depends only on function+profiles+spec: unchanged.
         assert_eq!(recompiled.threshold.threshold, compiled.threshold.threshold);

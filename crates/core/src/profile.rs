@@ -17,7 +17,11 @@ use mithra_axbench::dataset::{Dataset, OutputBuffer};
 
 /// Cached profile of one dataset: inputs, both output streams, and the
 /// per-invocation accelerator error.
-#[derive(Debug, Clone)]
+///
+/// Profiles dominate a compile session's memory and cache footprint, so
+/// the artifact cache stores them in the flat binary format of
+/// [`crate::cache::encode_profiles`] rather than through serde.
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetProfile {
     dataset: Dataset,
     precise: OutputBuffer,
@@ -75,6 +79,33 @@ impl DatasetProfile {
         }
     }
 
+    /// Reassembles a profile from its stored parts (the artifact cache's
+    /// deserialization path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the part lengths disagree on the invocation count — a
+    /// corrupt artifact must be rejected by the decoder before this.
+    pub fn from_parts(
+        dataset: Dataset,
+        precise: OutputBuffer,
+        approx: OutputBuffer,
+        max_err: Vec<f32>,
+        final_precise: Vec<f64>,
+    ) -> Self {
+        let n = dataset.invocation_count();
+        assert_eq!(precise.len(), n, "precise output count mismatch");
+        assert_eq!(approx.len(), n, "approx output count mismatch");
+        assert_eq!(max_err.len(), n, "error count mismatch");
+        Self {
+            dataset,
+            precise,
+            approx,
+            max_err,
+            final_precise,
+        }
+    }
+
     /// The profiled dataset.
     pub fn dataset(&self) -> &Dataset {
         &self.dataset
@@ -103,6 +134,16 @@ impl DatasetProfile {
     /// The cached accelerator output of invocation `i`.
     pub fn approx_output(&self, i: usize) -> &[f32] {
         self.approx.get(i)
+    }
+
+    /// The whole precise output stream.
+    pub fn precise_outputs(&self) -> &OutputBuffer {
+        &self.precise
+    }
+
+    /// The whole accelerator output stream.
+    pub fn approx_outputs(&self) -> &OutputBuffer {
+        &self.approx
     }
 
     /// The final application output of the all-precise run.
@@ -210,6 +251,42 @@ impl DatasetProfile {
     }
 }
 
+/// Profiles `count` seeded datasets in parallel across available cores.
+///
+/// Dataset `i` uses seed `seed_base + i`, exactly as the sequential loop
+/// would. Each profile is computed independently from its own dataset, so
+/// the result is bit-identical to calling [`DatasetProfile::collect`]
+/// sequentially — parallelism changes wall time only, never the numbers.
+pub fn collect_profiles_parallel(
+    function: &AcceleratedFunction,
+    seed_base: u64,
+    count: usize,
+    scale: mithra_axbench::dataset::DatasetScale,
+) -> Vec<DatasetProfile> {
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(count.max(1));
+    let mut slots: Vec<Option<DatasetProfile>> = (0..count).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (t, chunk) in slots.chunks_mut(count.div_ceil(threads)).enumerate() {
+            let start = t * count.div_ceil(threads);
+            scope.spawn(move |_| {
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    let seed = seed_base + (start + off) as u64;
+                    let ds = function.dataset(seed, scale);
+                    *slot = Some(DatasetProfile::collect(function, ds));
+                }
+            });
+        }
+    })
+    .expect("profiling threads do not panic");
+    slots
+        .into_iter()
+        .map(|s| s.expect("all slots filled"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,6 +349,20 @@ mod tests {
         let replay = p.replay_with_threshold(&f, th);
         let expected_invoked = rejects.iter().filter(|&&r| !r).count();
         assert_eq!(replay.invoked, expected_invoked);
+    }
+
+    #[test]
+    fn parallel_profiling_is_bit_identical_to_sequential() {
+        let (f, _) = profile_for("sobel");
+        let par = collect_profiles_parallel(&f, 40, 6, DatasetScale::Smoke);
+        assert_eq!(par.len(), 6);
+        for (i, p) in par.iter().enumerate() {
+            let ds = f.dataset(40 + i as u64, DatasetScale::Smoke);
+            let seq = DatasetProfile::collect(&f, ds);
+            assert_eq!(p.dataset(), seq.dataset(), "dataset {i} differs");
+            assert_eq!(p.errors(), seq.errors(), "errors {i} differ");
+            assert_eq!(p.final_precise(), seq.final_precise(), "finals {i} differ");
+        }
     }
 
     #[test]

@@ -85,7 +85,9 @@ mod tests {
     fn seeded_reproducibility() {
         let run = |seed| {
             let mut f = RandomFilter::new(0.5, seed);
-            (0..50).map(|i| f.classify(i, &[]).is_precise()).collect::<Vec<_>>()
+            (0..50)
+                .map(|i| f.classify(i, &[]).is_precise())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));

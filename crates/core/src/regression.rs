@@ -168,7 +168,9 @@ mod tests {
 
     fn profiles_for(name: &str, n: u64) -> (AcceleratedFunction, Vec<DatasetProfile>) {
         let bench: Arc<dyn Benchmark> = suite::by_name(name).unwrap().into();
-        let train: Vec<_> = (0..2).map(|s| bench.dataset(s, DatasetScale::Smoke)).collect();
+        let train: Vec<_> = (0..2)
+            .map(|s| bench.dataset(s, DatasetScale::Smoke))
+            .collect();
         let f = AcceleratedFunction::train(
             bench,
             &train,
@@ -200,10 +202,12 @@ mod tests {
         }
         pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         let decile = pairs.len() / 10;
-        let low: f32 =
-            pairs[..decile].iter().map(|p| p.1).sum::<f32>() / decile as f32;
-        let high: f32 =
-            pairs[pairs.len() - decile..].iter().map(|p| p.1).sum::<f32>() / decile as f32;
+        let low: f32 = pairs[..decile].iter().map(|p| p.1).sum::<f32>() / decile as f32;
+        let high: f32 = pairs[pairs.len() - decile..]
+            .iter()
+            .map(|p| p.1)
+            .sum::<f32>()
+            / decile as f32;
         assert!(
             high > low,
             "regressor failed to order errors: low {low} vs high {high}"

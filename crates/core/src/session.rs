@@ -1,0 +1,807 @@
+//! The staged compile pipeline (paper Figure 2, left half) as a typestate
+//! session.
+//!
+//! A [`CompileSession`] advances through typed stage artifacts:
+//!
+//! ```text
+//! Pending ──train_npu()──▶ TrainedFunction ──profile()──▶ Profiles
+//!     ──certify()──▶ CertifiedThreshold ──train_classifiers()──▶
+//!     Classifiers ──finish()──▶ (Compiled, SessionReport)
+//! ```
+//!
+//! Each transition consumes the session and returns it in the next state,
+//! so stage ordering is enforced at compile time — there is no way to
+//! certify a threshold before profiling, or to train classifiers against
+//! a stale threshold. Every transition:
+//!
+//! * consults the optional on-disk [`ArtifactCache`] first (keyed by a
+//!   config+benchmark+seed fingerprint that also covers all upstream
+//!   stages), skipping the work entirely on a hit;
+//! * records a [`StageReport`] — wall time, invocation count and cache
+//!   outcome — so harnesses can show exactly where compile time went.
+//!
+//! Sweeps that reuse a quality-independent base (retrained thresholds at
+//! many quality levels, table-design grids) enter mid-pipeline with
+//! [`CompileSession::resume_with_profiles`]; `mithra_core::pipeline`'s
+//! `compile`/`compile_with_profiles` and `mithra-bench`'s
+//! `prepare_base`/`certify_at` are all thin wrappers over this type.
+
+use crate::cache::{
+    fingerprint, ArtifactCache, ClassifierArtifact, TrainedNpuArtifact, CACHE_FORMAT_VERSION,
+};
+use crate::function::AcceleratedFunction;
+use crate::neural::NeuralClassifier;
+use crate::pipeline::{quantizer_from_profiles, CompileConfig, Compiled};
+use crate::profile::{collect_profiles_parallel, DatasetProfile};
+use crate::table::TableClassifier;
+use crate::threshold::{ThresholdOptimizer, ThresholdOutcome};
+use crate::training::{generate_training_data, TrainingExample};
+use crate::Result;
+use mithra_axbench::benchmark::Benchmark;
+use mithra_axbench::dataset::Dataset;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One stage of the compile pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Stage {
+    /// Offline NPU training on the leading compilation datasets.
+    NpuTraining,
+    /// Profiling every compilation dataset (both execution paths).
+    Profiling,
+    /// Profiling unseen validation datasets (harness stage).
+    ValidationProfiling,
+    /// Statistical threshold optimization (Clopper–Pearson).
+    Certification,
+    /// Labeling tuples and training the table + neural classifiers.
+    ClassifierTraining,
+}
+
+impl Stage {
+    /// Stable lowercase label, also used as the cache file-name prefix.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::NpuTraining => "npu-training",
+            Stage::Profiling => "profiling",
+            Stage::ValidationProfiling => "validation-profiling",
+            Stage::Certification => "certification",
+            Stage::ClassifierTraining => "classifier-training",
+        }
+    }
+}
+
+/// How a stage interacted with the artifact cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// No cache configured for this session.
+    Disabled,
+    /// A cache was consulted but held no usable artifact; the stage ran
+    /// and (best-effort) stored its result.
+    Miss,
+    /// The artifact was loaded from disk; the stage's work was skipped.
+    Hit,
+}
+
+impl CacheOutcome {
+    /// Stable lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheOutcome::Disabled => "cache off",
+            CacheOutcome::Miss => "cache miss",
+            CacheOutcome::Hit => "cache hit",
+        }
+    }
+}
+
+/// Instrumentation record of one executed stage transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageReport {
+    /// Which stage ran.
+    pub stage: Stage,
+    /// Wall time of the transition, including cache I/O.
+    pub wall: Duration,
+    /// Function invocations the stage performed (0 on a cache hit —
+    /// this is what "the second run skipped the work" looks like).
+    pub invocations: u64,
+    /// Cache interaction.
+    pub cache: CacheOutcome,
+}
+
+impl StageReport {
+    /// Whether the stage's work was skipped via the cache.
+    pub fn is_cache_hit(&self) -> bool {
+        self.cache == CacheOutcome::Hit
+    }
+}
+
+/// The full per-stage instrumentation of one compile session.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SessionReport {
+    /// The benchmark compiled.
+    pub benchmark: String,
+    /// One entry per executed stage, in execution order.
+    pub stages: Vec<StageReport>,
+}
+
+impl SessionReport {
+    /// The report of `stage`, if that stage ran.
+    pub fn stage(&self, stage: Stage) -> Option<&StageReport> {
+        self.stages.iter().find(|r| r.stage == stage)
+    }
+
+    /// Total wall time across all recorded stages.
+    pub fn total_wall(&self) -> Duration {
+        self.stages.iter().map(|r| r.wall).sum()
+    }
+
+    /// Total invocations across all recorded stages.
+    pub fn total_invocations(&self) -> u64 {
+        self.stages.iter().map(|r| r.invocations).sum()
+    }
+}
+
+impl fmt::Display for SessionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "compile session [{}]: {:.2?} total",
+            self.benchmark,
+            self.total_wall()
+        )?;
+        for r in &self.stages {
+            writeln!(
+                f,
+                "  {:<22} {:>10.2?}  {:>10} invocations  [{}]",
+                r.stage.label(),
+                r.wall,
+                r.invocations,
+                r.cache.label()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Initial state: nothing computed yet.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pending;
+
+/// State after NPU training: the benchmark bound to its accelerator.
+#[derive(Debug)]
+pub struct TrainedFunction {
+    function: AcceleratedFunction,
+}
+
+/// State after profiling: function plus all compilation-dataset profiles.
+#[derive(Debug)]
+pub struct Profiles {
+    function: AcceleratedFunction,
+    profiles: Vec<DatasetProfile>,
+}
+
+/// State after certification: the statistically certified threshold.
+#[derive(Debug)]
+pub struct CertifiedThreshold {
+    function: AcceleratedFunction,
+    profiles: Vec<DatasetProfile>,
+    threshold: ThresholdOutcome,
+}
+
+/// Final state: both classifiers trained; ready to [`finish`].
+///
+/// [`finish`]: CompileSession::finish
+#[derive(Debug)]
+pub struct Classifiers {
+    function: AcceleratedFunction,
+    profiles: Vec<DatasetProfile>,
+    threshold: ThresholdOutcome,
+    table: TableClassifier,
+    neural: NeuralClassifier,
+    training_data: Vec<TrainingExample>,
+}
+
+/// A compile-pipeline run in progress, parameterized by its stage.
+#[derive(Debug)]
+pub struct CompileSession<S> {
+    benchmark: Arc<dyn Benchmark>,
+    config: CompileConfig,
+    cache: Option<ArtifactCache>,
+    stages: Vec<StageReport>,
+    state: S,
+}
+
+impl<S> CompileSession<S> {
+    /// The configuration driving this session.
+    pub fn config(&self) -> &CompileConfig {
+        &self.config
+    }
+
+    /// Stage reports recorded so far, in execution order.
+    pub fn stage_reports(&self) -> &[StageReport] {
+        &self.stages
+    }
+
+    fn advance<T>(self, report: StageReport, next: impl FnOnce(S) -> T) -> CompileSession<T> {
+        let mut stages = self.stages;
+        stages.push(report);
+        CompileSession {
+            benchmark: self.benchmark,
+            config: self.config,
+            cache: self.cache,
+            stages,
+            state: next(self.state),
+        }
+    }
+
+    fn load_cached<T: serde::Deserialize>(&self, stage: Stage, key: u64) -> Option<T> {
+        self.cache.as_ref().and_then(|c| c.load(stage.label(), key))
+    }
+
+    fn store_cached<T: serde::Serialize>(&self, stage: Stage, key: u64, value: &T) {
+        if let Some(cache) = &self.cache {
+            let _ = cache.store(stage.label(), key, value);
+        }
+    }
+
+    fn miss_outcome(&self) -> CacheOutcome {
+        if self.cache.is_some() {
+            CacheOutcome::Miss
+        } else {
+            CacheOutcome::Disabled
+        }
+    }
+
+    fn report(&self) -> SessionReport {
+        SessionReport {
+            benchmark: self.benchmark.name().to_string(),
+            stages: self.stages.clone(),
+        }
+    }
+}
+
+// Cache keys. Each stage's canonical key string embeds its upstream
+// stage's key, so an artifact can only hit when every configuration
+// choice that influenced it (transitively) matches.
+
+fn npu_key(benchmark: &str, config: &CompileConfig) -> String {
+    format!(
+        "v{CACHE_FORMAT_VERSION}/{benchmark}/scale={:?}/seed_base={}/train_datasets={}/npu={:?}",
+        config.scale, config.seed_base, config.npu_train_datasets, config.npu
+    )
+}
+
+fn profiles_key(benchmark: &str, config: &CompileConfig) -> String {
+    format!(
+        "{}/compile_datasets={}",
+        npu_key(benchmark, config),
+        config.compile_datasets
+    )
+}
+
+fn threshold_key(benchmark: &str, config: &CompileConfig) -> String {
+    format!("{}/spec={:?}", profiles_key(benchmark, config), config.spec)
+}
+
+fn classifier_key(benchmark: &str, config: &CompileConfig) -> String {
+    format!(
+        "{}/table={:?}/neural={:?}/train_samples={}",
+        threshold_key(benchmark, config),
+        config.table_design,
+        config.neural,
+        config.classifier_train_samples
+    )
+}
+
+impl CompileSession<Pending> {
+    /// Opens a session for one benchmark. No work happens until the first
+    /// stage transition.
+    pub fn new(benchmark: Arc<dyn Benchmark>, config: CompileConfig) -> Self {
+        let cache = config
+            .cache
+            .as_ref()
+            .map(|c| ArtifactCache::open(c, benchmark.name()));
+        Self {
+            benchmark,
+            config,
+            cache,
+            stages: Vec::new(),
+            state: Pending,
+        }
+    }
+
+    /// Stage 1: trains the NPU on the leading `npu_train_datasets`
+    /// compilation datasets (or loads the trained network from the cache).
+    ///
+    /// # Errors
+    ///
+    /// Propagates NPU training failures.
+    pub fn train_npu(self) -> Result<CompileSession<TrainedFunction>> {
+        let started = Instant::now();
+        let key = fingerprint(&npu_key(self.benchmark.name(), &self.config));
+        let (function, invocations, cache) = match self
+            .load_cached::<TrainedNpuArtifact>(Stage::NpuTraining, key)
+        {
+            Some(artifact) => (
+                artifact.into_function(Arc::clone(&self.benchmark)),
+                0,
+                CacheOutcome::Hit,
+            ),
+            None => {
+                let train_sets: Vec<Dataset> = (0..self.config.npu_train_datasets as u64)
+                    .map(|i| {
+                        self.benchmark
+                            .dataset(self.config.seed_base + i, self.config.scale)
+                    })
+                    .collect();
+                let invocations: u64 = train_sets.iter().map(|d| d.invocation_count() as u64).sum();
+                let function = AcceleratedFunction::train(
+                    Arc::clone(&self.benchmark),
+                    &train_sets,
+                    &self.config.npu,
+                )?;
+                self.store_cached(Stage::NpuTraining, key, &TrainedNpuArtifact::of(&function));
+                (function, invocations, self.miss_outcome())
+            }
+        };
+        let report = StageReport {
+            stage: Stage::NpuTraining,
+            wall: started.elapsed(),
+            invocations,
+            cache,
+        };
+        Ok(self.advance(report, |_| TrainedFunction { function }))
+    }
+}
+
+impl CompileSession<TrainedFunction> {
+    /// The trained accelerated function.
+    pub fn function(&self) -> &AcceleratedFunction {
+        &self.state.function
+    }
+
+    /// Dismantles the session after training only, for harnesses that
+    /// need the function but not the compile profiles.
+    pub fn into_parts(self) -> (AcceleratedFunction, SessionReport) {
+        let report = self.report();
+        (self.state.function, report)
+    }
+
+    /// Stage 2: profiles all `compile_datasets` compilation datasets in
+    /// parallel (or loads the profiles from the cache). Profiles are
+    /// bit-identical to the sequential path — see
+    /// [`collect_profiles_parallel`].
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; `Result` keeps the stage
+    /// signature uniform and future-proof.
+    pub fn profile(self) -> Result<CompileSession<Profiles>> {
+        let started = Instant::now();
+        let key = fingerprint(&profiles_key(self.benchmark.name(), &self.config));
+        let cached = self
+            .cache
+            .as_ref()
+            .and_then(|c| c.load_profiles(Stage::Profiling.label(), key));
+        let (profiles, invocations, cache) = match cached {
+            Some(profiles) => (profiles, 0, CacheOutcome::Hit),
+            None => {
+                let profiles = collect_profiles_parallel(
+                    &self.state.function,
+                    self.config.seed_base,
+                    self.config.compile_datasets,
+                    self.config.scale,
+                );
+                let invocations: u64 = profiles.iter().map(|p| p.invocation_count() as u64).sum();
+                if let Some(c) = &self.cache {
+                    let _ = c.store_profiles(Stage::Profiling.label(), key, &profiles);
+                }
+                (profiles, invocations, self.miss_outcome())
+            }
+        };
+        let report = StageReport {
+            stage: Stage::Profiling,
+            wall: started.elapsed(),
+            invocations,
+            cache,
+        };
+        Ok(self.advance(report, |s| Profiles {
+            function: s.function,
+            profiles,
+        }))
+    }
+}
+
+impl CompileSession<Profiles> {
+    /// Re-enters the pipeline at the `Profiles` stage with a function and
+    /// profiles computed earlier — the base-reuse path sweeps use to
+    /// re-certify many quality levels without re-profiling.
+    pub fn resume_with_profiles(
+        function: AcceleratedFunction,
+        profiles: Vec<DatasetProfile>,
+        config: CompileConfig,
+    ) -> Self {
+        let benchmark = Arc::clone(function.benchmark());
+        let cache = config
+            .cache
+            .as_ref()
+            .map(|c| ArtifactCache::open(c, benchmark.name()));
+        Self {
+            benchmark,
+            config,
+            cache,
+            stages: Vec::new(),
+            state: Profiles { function, profiles },
+        }
+    }
+
+    /// The trained accelerated function.
+    pub fn function(&self) -> &AcceleratedFunction {
+        &self.state.function
+    }
+
+    /// The compilation-dataset profiles.
+    pub fn profiles(&self) -> &[DatasetProfile] {
+        &self.state.profiles
+    }
+
+    /// Dismantles the session after profiling, for harnesses that build
+    /// a reusable quality-independent base.
+    pub fn into_parts(self) -> (AcceleratedFunction, Vec<DatasetProfile>, SessionReport) {
+        let report = self.report();
+        (self.state.function, self.state.profiles, report)
+    }
+
+    /// Stage 3: statistical threshold optimization against the profiles
+    /// (or loads the certified outcome from the cache).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::MithraError::Uncertifiable`] when the quality
+    /// spec cannot be met on the compilation datasets.
+    pub fn certify(self) -> Result<CompileSession<CertifiedThreshold>> {
+        let started = Instant::now();
+        let key = fingerprint(&threshold_key(self.benchmark.name(), &self.config));
+        let (threshold, invocations, cache) =
+            match self.load_cached::<ThresholdOutcome>(Stage::Certification, key) {
+                Some(threshold) => (threshold, 0, CacheOutcome::Hit),
+                None => {
+                    let threshold = ThresholdOptimizer::new(self.config.spec)
+                        .optimize(&self.state.function, &self.state.profiles)?;
+                    self.store_cached(Stage::Certification, key, &threshold);
+                    (threshold, threshold.trials, self.miss_outcome())
+                }
+            };
+        let report = StageReport {
+            stage: Stage::Certification,
+            wall: started.elapsed(),
+            invocations,
+            cache,
+        };
+        Ok(self.advance(report, |s| CertifiedThreshold {
+            function: s.function,
+            profiles: s.profiles,
+            threshold,
+        }))
+    }
+}
+
+impl CompileSession<CertifiedThreshold> {
+    /// The certified threshold and its statistics.
+    pub fn threshold(&self) -> &ThresholdOutcome {
+        &self.state.threshold
+    }
+
+    /// Stage 4: labels training tuples at the certified threshold and
+    /// trains the table and neural classifiers (or loads both from the
+    /// cache).
+    ///
+    /// The labeled tuples themselves are **not** stored: they are a
+    /// deterministic (and cheap, invocation-free) function of the profiles
+    /// already in memory, while serializing 30k of them costs more than
+    /// relabeling. A hit therefore relabels and deserializes only the two
+    /// trained classifiers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates classifier-training failures.
+    pub fn train_classifiers(self) -> Result<CompileSession<Classifiers>> {
+        let started = Instant::now();
+        let key = fingerprint(&classifier_key(self.benchmark.name(), &self.config));
+        let training_data = generate_training_data(
+            &self.state.profiles,
+            self.state.threshold.threshold,
+            self.config.classifier_train_samples,
+            self.config.seed_base ^ 0x7261_696E,
+        );
+        let (artifact, invocations, cache) = match self
+            .load_cached::<ClassifierArtifact>(Stage::ClassifierTraining, key)
+        {
+            Some(artifact) => (artifact, 0, CacheOutcome::Hit),
+            None => {
+                let quantizer = quantizer_from_profiles(&self.state.profiles);
+                let table =
+                    TableClassifier::train(self.config.table_design, quantizer, &training_data)?;
+                let neural = NeuralClassifier::train(
+                    self.state.function.benchmark().input_dim(),
+                    &training_data,
+                    &self.config.neural,
+                )?;
+                let artifact = ClassifierArtifact { table, neural };
+                self.store_cached(Stage::ClassifierTraining, key, &artifact);
+                let invocations = training_data.len() as u64;
+                (artifact, invocations, self.miss_outcome())
+            }
+        };
+        let report = StageReport {
+            stage: Stage::ClassifierTraining,
+            wall: started.elapsed(),
+            invocations,
+            cache,
+        };
+        Ok(self.advance(report, |s| Classifiers {
+            function: s.function,
+            profiles: s.profiles,
+            threshold: s.threshold,
+            table: artifact.table,
+            neural: artifact.neural,
+            training_data,
+        }))
+    }
+}
+
+impl CompileSession<Classifiers> {
+    /// Finalizes the session into the compile-flow output and its
+    /// per-stage instrumentation.
+    pub fn finish(self) -> (Compiled, SessionReport) {
+        let report = self.report();
+        let compiled = Compiled {
+            function: self.state.function,
+            threshold: self.state.threshold,
+            table: self.state.table,
+            neural: self.state.neural,
+            profiles: self.state.profiles,
+            training_data: self.state.training_data,
+        };
+        (compiled, report)
+    }
+}
+
+/// Profiles `count` datasets seeded from `seed_base` in parallel, with
+/// the same caching and instrumentation as the in-session stages. This
+/// is the harness path for **validation** datasets, which sit outside
+/// the compile pipeline proper (they must stay unseen by it) but share
+/// its trained function, cache and reporting.
+pub fn profile_validation(
+    function: &AcceleratedFunction,
+    config: &CompileConfig,
+    seed_base: u64,
+    count: usize,
+) -> (Vec<DatasetProfile>, StageReport) {
+    let started = Instant::now();
+    let name = function.benchmark().name();
+    let cache = config.cache.as_ref().map(|c| ArtifactCache::open(c, name));
+    let key = fingerprint(&format!(
+        "{}/validation_seed_base={seed_base}/validation_datasets={count}",
+        npu_key(name, config)
+    ));
+    let stage = Stage::ValidationProfiling;
+    let cached = cache
+        .as_ref()
+        .and_then(|c| c.load_profiles(stage.label(), key));
+    let (profiles, invocations, outcome) = match cached {
+        Some(profiles) => (profiles, 0, CacheOutcome::Hit),
+        None => {
+            let profiles = collect_profiles_parallel(function, seed_base, count, config.scale);
+            let invocations: u64 = profiles.iter().map(|p| p.invocation_count() as u64).sum();
+            let outcome = if let Some(c) = &cache {
+                let _ = c.store_profiles(stage.label(), key, &profiles);
+                CacheOutcome::Miss
+            } else {
+                CacheOutcome::Disabled
+            };
+            (profiles, invocations, outcome)
+        }
+    };
+    let report = StageReport {
+        stage,
+        wall: started.elapsed(),
+        invocations,
+        cache: outcome,
+    };
+    (profiles, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use mithra_axbench::suite;
+
+    fn session_config(cache: Option<CacheConfig>) -> CompileConfig {
+        CompileConfig {
+            cache,
+            ..CompileConfig::smoke()
+        }
+    }
+
+    fn sobel() -> Arc<dyn Benchmark> {
+        suite::by_name("sobel").unwrap().into()
+    }
+
+    fn tmp_cache(tag: &str) -> CacheConfig {
+        let dir =
+            std::env::temp_dir().join(format!("mithra-session-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        CacheConfig::at(dir)
+    }
+
+    #[test]
+    fn staged_session_matches_monolithic_compile() {
+        let config = session_config(None);
+        let session = CompileSession::new(sobel(), config.clone())
+            .train_npu()
+            .unwrap()
+            .profile()
+            .unwrap()
+            .certify()
+            .unwrap()
+            .train_classifiers()
+            .unwrap();
+        let (compiled, report) = session.finish();
+
+        let direct = crate::pipeline::compile(sobel(), &config).unwrap();
+        assert_eq!(compiled.threshold, direct.threshold);
+        assert_eq!(compiled.training_data, direct.training_data);
+        assert_eq!(
+            compiled.function.npu().to_parameters(),
+            direct.function.npu().to_parameters()
+        );
+
+        assert_eq!(report.stages.len(), 4);
+        assert!(report
+            .stages
+            .iter()
+            .all(|r| r.cache == CacheOutcome::Disabled));
+        assert!(report.stage(Stage::Profiling).unwrap().invocations > 0);
+        assert_eq!(report.benchmark, "sobel");
+    }
+
+    #[test]
+    fn warm_cache_skips_training_and_profiling() {
+        let cache = tmp_cache("warm");
+        let config = session_config(Some(cache.clone()));
+
+        let (cold, cold_report) = CompileSession::new(sobel(), config.clone())
+            .train_npu()
+            .unwrap()
+            .profile()
+            .unwrap()
+            .certify()
+            .unwrap()
+            .train_classifiers()
+            .unwrap()
+            .finish();
+        assert!(cold_report
+            .stages
+            .iter()
+            .all(|r| r.cache == CacheOutcome::Miss));
+
+        let (warm, warm_report) = CompileSession::new(sobel(), config.clone())
+            .train_npu()
+            .unwrap()
+            .profile()
+            .unwrap()
+            .certify()
+            .unwrap()
+            .train_classifiers()
+            .unwrap()
+            .finish();
+        assert!(
+            warm_report.stages.iter().all(|r| r.is_cache_hit()),
+            "second run should hit every stage: {warm_report}"
+        );
+        assert_eq!(warm_report.total_invocations(), 0);
+
+        // The warm artifacts are equal to the cold ones.
+        assert_eq!(warm.threshold, cold.threshold);
+        assert_eq!(warm.training_data, cold.training_data);
+        assert_eq!(warm.profiles.len(), cold.profiles.len());
+        for (w, c) in warm.profiles.iter().zip(&cold.profiles) {
+            assert_eq!(w.errors(), c.errors());
+            assert_eq!(w.final_precise(), c.final_precise());
+        }
+        assert_eq!(
+            warm.function.npu().to_parameters(),
+            cold.function.npu().to_parameters()
+        );
+        let _ = std::fs::remove_dir_all(&cache.dir);
+    }
+
+    #[test]
+    fn config_changes_invalidate_dependent_stages_only() {
+        let cache = tmp_cache("keys");
+        let config = session_config(Some(cache.clone()));
+        let _ = CompileSession::new(sobel(), config.clone())
+            .train_npu()
+            .unwrap()
+            .profile()
+            .unwrap()
+            .certify()
+            .unwrap();
+
+        // A different spec re-certifies but reuses training + profiling.
+        let mut respec = config.clone();
+        respec.spec = crate::threshold::QualitySpec::new(0.2, 0.9, 0.5).unwrap();
+        let session = CompileSession::new(sobel(), respec)
+            .train_npu()
+            .unwrap()
+            .profile()
+            .unwrap()
+            .certify()
+            .unwrap();
+        let reports = session.stage_reports();
+        assert!(reports[0].is_cache_hit(), "npu should hit");
+        assert!(reports[1].is_cache_hit(), "profiling should hit");
+        assert_eq!(
+            reports[2].cache,
+            CacheOutcome::Miss,
+            "new spec must re-certify"
+        );
+        let _ = std::fs::remove_dir_all(&cache.dir);
+    }
+
+    #[test]
+    fn resume_with_profiles_matches_full_session() {
+        let config = session_config(None);
+        let (function, profiles, _) = CompileSession::new(sobel(), config.clone())
+            .train_npu()
+            .unwrap()
+            .profile()
+            .unwrap()
+            .into_parts();
+        let resumed = CompileSession::resume_with_profiles(function, profiles, config.clone())
+            .certify()
+            .unwrap();
+        let direct = crate::pipeline::compile(sobel(), &config).unwrap();
+        assert_eq!(*resumed.threshold(), direct.threshold);
+        // Only the stages actually run are reported.
+        assert_eq!(resumed.stage_reports().len(), 1);
+        assert_eq!(resumed.stage_reports()[0].stage, Stage::Certification);
+    }
+
+    #[test]
+    fn validation_profiles_cache_and_reload() {
+        let cache = tmp_cache("validation");
+        let config = session_config(Some(cache.clone()));
+        let (function, _) = CompileSession::new(sobel(), config.clone())
+            .train_npu()
+            .unwrap()
+            .into_parts();
+
+        let (cold, cold_report) = profile_validation(&function, &config, 1_000_000, 4);
+        assert_eq!(cold_report.cache, CacheOutcome::Miss);
+        assert!(cold_report.invocations > 0);
+
+        let (warm, warm_report) = profile_validation(&function, &config, 1_000_000, 4);
+        assert!(warm_report.is_cache_hit());
+        assert_eq!(warm_report.invocations, 0);
+        assert_eq!(warm.len(), cold.len());
+        for (w, c) in warm.iter().zip(&cold) {
+            assert_eq!(w.errors(), c.errors());
+        }
+        let _ = std::fs::remove_dir_all(&cache.dir);
+    }
+
+    #[test]
+    fn report_display_lists_every_stage() {
+        let config = session_config(None);
+        let session = CompileSession::new(sobel(), config).train_npu().unwrap();
+        let (_, report) = session.into_parts();
+        let text = format!("{report}");
+        assert!(text.contains("compile session [sobel]"));
+        assert!(text.contains("npu-training"));
+        assert!(text.contains("cache off"));
+    }
+}

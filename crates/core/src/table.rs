@@ -228,15 +228,13 @@ impl TableClassifier {
                 .min_by(|a, b| (a.1, a.0).cmp(&(b.1, b.0)))
                 .map(|&(_, _, l, v)| (l, v))
         };
-        let (levels, vote) = pick(0.25)
-            .or_else(|| pick(0.5))
-            .unwrap_or_else(|| {
-                let &(_, _, l, v) = scored
-                    .iter()
-                    .min_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)))
-                    .expect("the candidate grid is non-empty");
-                (l, v)
-            });
+        let (levels, vote) = pick(0.25).or_else(|| pick(0.5)).unwrap_or_else(|| {
+            let &(_, _, l, v) = scored
+                .iter()
+                .min_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)))
+                .expect("the candidate grid is non-empty");
+            (l, v)
+        });
         // Retrain the winning policy on the full example set.
         Self::train_with_policy(design, quantizer.with_levels(levels), vote, examples)
     }
@@ -346,13 +344,12 @@ impl TableClassifier {
                 }
                 let mut false_decisions = 0usize;
                 for (i, ex) in examples.iter().enumerate() {
-                    let reject =
-                        ensemble_says_reject[i] || candidate_tables[c].get(per_cfg[i]);
+                    let reject = ensemble_says_reject[i] || candidate_tables[c].get(per_cfg[i]);
                     if reject != ex.reject {
                         false_decisions += 1;
                     }
                 }
-                if best.map_or(true, |(_, f)| false_decisions < f) {
+                if best.is_none_or(|(_, f)| false_decisions < f) {
                     best = Some((c, false_decisions));
                 }
             }
@@ -366,7 +363,10 @@ impl TableClassifier {
         Ok(Self {
             design,
             configs: chosen.iter().map(|&c| pool[c]).collect(),
-            tables: chosen.iter().map(|&c| candidate_tables[c].clone()).collect(),
+            tables: chosen
+                .iter()
+                .map(|&c| candidate_tables[c].clone())
+                .collect(),
             quantizer,
             vote_threshold,
             scratch: Vec::new(),
@@ -522,8 +522,7 @@ mod tests {
     #[test]
     fn greedy_assignment_uses_distinct_configs() {
         let ex = examples_1d(&[0.8, 0.85, 0.9], &[0.1, 0.2, 0.3, 0.4]);
-        let c =
-            TableClassifier::train(TableDesign::paper_default(), quantizer_1d(), &ex).unwrap();
+        let c = TableClassifier::train(TableDesign::paper_default(), quantizer_1d(), &ex).unwrap();
         let set: std::collections::HashSet<_> = c.configs().iter().collect();
         assert_eq!(set.len(), 8, "configs must be distinct pool entries");
     }
@@ -531,8 +530,7 @@ mod tests {
     #[test]
     fn fresh_tables_compress_16x() {
         let ex = examples_1d(&[], &[0.5]);
-        let c =
-            TableClassifier::train(TableDesign::paper_default(), quantizer_1d(), &ex).unwrap();
+        let c = TableClassifier::train(TableDesign::paper_default(), quantizer_1d(), &ex).unwrap();
         let stats = c.compress().stats();
         assert!(stats.ratio() >= 16.0, "ratio {}", stats.ratio());
         assert_eq!(stats.uncompressed_bytes, 4096); // 8 tables x 0.5 KB
@@ -541,8 +539,7 @@ mod tests {
     #[test]
     fn fill_ratio_tracks_rejects() {
         let ex = examples_1d(&[0.7, 0.8, 0.9], &[]);
-        let c =
-            TableClassifier::train(TableDesign::paper_default(), quantizer_1d(), &ex).unwrap();
+        let c = TableClassifier::train(TableDesign::paper_default(), quantizer_1d(), &ex).unwrap();
         assert!(c.fill_ratio() > 0.0);
         assert!(c.fill_ratio() < 0.01);
     }
@@ -569,19 +566,28 @@ mod tests {
         let q = quantizer_1d();
         let ex = examples_1d(&[0.9], &[0.1]);
         assert!(TableClassifier::train(
-            TableDesign { tables: 0, entries_per_table: 4096 },
+            TableDesign {
+                tables: 0,
+                entries_per_table: 4096
+            },
             q.clone(),
             &ex
         )
         .is_err());
         assert!(TableClassifier::train(
-            TableDesign { tables: 17, entries_per_table: 4096 },
+            TableDesign {
+                tables: 17,
+                entries_per_table: 4096
+            },
             q.clone(),
             &ex
         )
         .is_err());
         assert!(TableClassifier::train(
-            TableDesign { tables: 4, entries_per_table: 1000 },
+            TableDesign {
+                tables: 4,
+                entries_per_table: 1000
+            },
             q.clone(),
             &ex
         )
@@ -607,8 +613,7 @@ mod tests {
     #[test]
     fn overhead_shape() {
         let ex = examples_1d(&[0.9], &[0.1]);
-        let c =
-            TableClassifier::train(TableDesign::paper_default(), quantizer_1d(), &ex).unwrap();
+        let c = TableClassifier::train(TableDesign::paper_default(), quantizer_1d(), &ex).unwrap();
         let o = c.overhead();
         assert_eq!(o.table_bit_reads, 8);
         assert_eq!(o.misr_shifts, 8); // 8 tables x 1 input dim

@@ -73,7 +73,7 @@ impl QualitySpec {
 }
 
 /// The optimizer's result: the certified threshold and its statistics.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ThresholdOutcome {
     /// The certified accelerator-error threshold (normalized output space).
     pub threshold: f32,
@@ -340,7 +340,9 @@ mod tests {
         // optimizer must find a positive threshold.
         let (f, profiles) = setup("sobel", 30);
         let spec = QualitySpec::new(0.30, 0.9, 0.5).unwrap();
-        let outcome = ThresholdOptimizer::new(spec).optimize(&f, &profiles).unwrap();
+        let outcome = ThresholdOptimizer::new(spec)
+            .optimize(&f, &profiles)
+            .unwrap();
         assert!(outcome.threshold > 0.0);
         assert!(outcome.certified_rate >= 0.5);
         assert!(outcome.mean_invocation_rate > 0.0);
@@ -365,7 +367,9 @@ mod tests {
         // 5 datasets cannot certify 99% at 95% confidence.
         let (f, profiles) = setup("sobel", 5);
         let spec = QualitySpec::new(0.05, 0.95, 0.99).unwrap();
-        let err = ThresholdOptimizer::new(spec).optimize(&f, &profiles).unwrap_err();
+        let err = ThresholdOptimizer::new(spec)
+            .optimize(&f, &profiles)
+            .unwrap_err();
         assert!(matches!(err, MithraError::Uncertifiable { .. }));
     }
 
@@ -401,7 +405,9 @@ mod tests {
     fn certified_rate_is_conservative() {
         let (f, profiles) = setup("inversek2j", 25);
         let spec = QualitySpec::new(0.25, 0.9, 0.5).unwrap();
-        let outcome = ThresholdOptimizer::new(spec).optimize(&f, &profiles).unwrap();
+        let outcome = ThresholdOptimizer::new(spec)
+            .optimize(&f, &profiles)
+            .unwrap();
         // The certified (lower-bound) rate never exceeds the empirical one.
         let empirical = outcome.successes as f64 / outcome.trials as f64;
         assert!(outcome.certified_rate <= empirical + 1e-12);

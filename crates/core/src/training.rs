@@ -87,8 +87,9 @@ mod tests {
 
     #[test]
     fn split_is_deterministic_and_partitions() {
-        let examples: Vec<TrainingExample> =
-            (0..100).map(|i| fake_example(i as f32, i % 3 == 0)).collect();
+        let examples: Vec<TrainingExample> = (0..100)
+            .map(|i| fake_example(i as f32, i % 3 == 0))
+            .collect();
         let (a1, v1) = split_examples(examples.clone(), 0.2, 9);
         let (a2, v2) = split_examples(examples.clone(), 0.2, 9);
         assert_eq!(a1, a2);

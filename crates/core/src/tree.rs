@@ -280,8 +280,14 @@ mod tests {
     #[test]
     fn tie_breaks_toward_reject() {
         let ex = vec![
-            TrainingExample { input: vec![0.0], reject: true },
-            TrainingExample { input: vec![0.0], reject: false },
+            TrainingExample {
+                input: vec![0.0],
+                reject: true,
+            },
+            TrainingExample {
+                input: vec![0.0],
+                reject: false,
+            },
         ];
         let tree = TreeClassifier::train(&ex, &TreeTrainConfig::default()).unwrap();
         assert_eq!(tree.decide(&[0.0]), Decision::Precise);

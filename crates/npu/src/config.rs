@@ -72,7 +72,7 @@ pub fn decode(words: &[u32]) -> Result<Mlp> {
         return Err(err("config stream missing magic word"));
     }
     let n_layers = words[1] as usize;
-    if n_layers < 2 || n_layers > 16 || words.len() < 2 + n_layers + 1 {
+    if !(2..=16).contains(&n_layers) || words.len() < 2 + n_layers + 1 {
         return Err(err("config stream has an impossible layer count"));
     }
     let shape: Vec<usize> = words[2..2 + n_layers].iter().map(|&w| w as usize).collect();

@@ -39,12 +39,18 @@ impl fmt::Display for NpuError {
                 write!(f, "invalid network topology: {reason}")
             }
             NpuError::DimensionMismatch { expected, actual } => {
-                write!(f, "dimension mismatch: expected {expected} elements, got {actual}")
+                write!(
+                    f,
+                    "dimension mismatch: expected {expected} elements, got {actual}"
+                )
             }
             NpuError::InvalidTrainingSet { reason } => {
                 write!(f, "invalid training set: {reason}")
             }
-            NpuError::Fifo { operation, capacity } => {
+            NpuError::Fifo {
+                operation,
+                capacity,
+            } => {
                 write!(f, "fifo {operation} failed (capacity {capacity})")
             }
         }
@@ -65,7 +71,13 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = NpuError::DimensionMismatch { expected: 6, actual: 2 };
-        assert_eq!(e.to_string(), "dimension mismatch: expected 6 elements, got 2");
+        let e = NpuError::DimensionMismatch {
+            expected: 6,
+            actual: 2,
+        };
+        assert_eq!(
+            e.to_string(),
+            "dimension mismatch: expected 6 elements, got 2"
+        );
     }
 }

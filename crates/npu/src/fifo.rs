@@ -166,7 +166,10 @@ mod tests {
         assert!(q.is_full());
         assert!(matches!(
             q.enqueue(3),
-            Err(NpuError::Fifo { operation: "enqueue", .. })
+            Err(NpuError::Fifo {
+                operation: "enqueue",
+                ..
+            })
         ));
     }
 

@@ -42,7 +42,9 @@ impl QFormat {
     /// Quantizes an `f32` to this format (round-to-nearest, saturating).
     pub fn quantize(&self, v: f32) -> i32 {
         let scaled = f64::from(v) * (1i64 << self.frac_bits) as f64;
-        scaled.round().clamp(f64::from(i32::MIN), f64::from(i32::MAX)) as i32
+        scaled
+            .round()
+            .clamp(f64::from(i32::MIN), f64::from(i32::MAX)) as i32
     }
 
     /// Converts a fixed-point value back to `f32`.
@@ -184,9 +186,9 @@ impl FixedMlp {
                 }
                 let acc = self.format.saturate(acc);
                 let v = match layer.activation {
-                    Activation::Sigmoid => {
-                        self.format.quantize(self.lut.eval(self.format.dequantize(acc)))
-                    }
+                    Activation::Sigmoid => self
+                        .format
+                        .quantize(self.lut.eval(self.format.dequantize(acc))),
                     Activation::Linear => acc,
                 };
                 next.push(v);
@@ -205,7 +207,7 @@ mod tests {
     #[test]
     fn qformat_round_trip() {
         let q = QFormat::new(16).unwrap();
-        for &v in &[0.0f32, 1.0, -1.0, 3.14159, -127.5] {
+        for &v in &[0.0f32, 1.0, -1.0, std::f32::consts::PI, -127.5] {
             let back = q.dequantize(q.quantize(v));
             assert!((back - v).abs() < 1e-4, "{v} -> {back}");
         }
@@ -248,8 +250,7 @@ mod tests {
         let t = Topology::new(&[2, 3, 1]).unwrap();
         let weights = [0.5, -0.25, 0.75, 0.1, -0.6, 0.33, 1.0, -1.0, 0.5];
         let biases = [0.05, -0.1, 0.2, 0.0];
-        let mlp =
-            Mlp::from_parameters(t, &weights, &biases, Activation::Linear).unwrap();
+        let mlp = Mlp::from_parameters(t, &weights, &biases, Activation::Linear).unwrap();
         let fixed = FixedMlp::quantize(&mlp, QFormat::new(16).unwrap());
         for &input in &[[0.3f32, 0.7f32], [1.0, -1.0], [0.0, 0.0]] {
             let f = mlp.run(&input).unwrap()[0];

@@ -265,7 +265,10 @@ mod tests {
         let mlp = xor_network();
         assert!(matches!(
             mlp.run(&[1.0]),
-            Err(NpuError::DimensionMismatch { expected: 2, actual: 1 })
+            Err(NpuError::DimensionMismatch {
+                expected: 2,
+                actual: 1
+            })
         ));
         let t = Topology::new(&[2, 2, 1]).unwrap();
         assert!(Mlp::from_parameters(t.clone(), &[0.0; 3], &[0.0; 3], Activation::Linear).is_err());

@@ -41,17 +41,14 @@ pub struct ExecutionTrace {
 impl ExecutionTrace {
     /// Total invocation cycles.
     pub fn total_cycles(&self) -> u64 {
-        self.input_cycles
-            + self.layers.iter().map(|l| l.cycles).sum::<u64>()
-            + self.output_cycles
+        self.input_cycles + self.layers.iter().map(|l| l.cycles).sum::<u64>() + self.output_cycles
     }
 
     /// PE-array utilization over the compute phase: busy PE-cycles over
     /// available PE-cycles.
     pub fn utilization(&self, pe_count: usize) -> f64 {
         let busy: u64 = self.layers.iter().map(|l| l.busy_pe_cycles).sum();
-        let available: u64 =
-            self.layers.iter().map(|l| l.cycles).sum::<u64>() * pe_count as u64;
+        let available: u64 = self.layers.iter().map(|l| l.cycles).sum::<u64>() * pe_count as u64;
         if available == 0 {
             0.0
         } else {
@@ -134,11 +131,11 @@ impl CycleSimulator {
                     let n = wave_start + o;
                     *acc = mlp.layers()[layer_idx].biases[n];
                 }
-                for step in 0..fan_in {
+                for (step, &x) in current.iter().enumerate().take(fan_in) {
                     for (o, acc) in accumulators.iter_mut().enumerate() {
                         let n = wave_start + o;
                         let w = mlp.layers()[layer_idx].weights[n * fan_in + step];
-                        *acc += w * current[step];
+                        *acc += w * x;
                         busy += 1;
                     }
                     cycles += self.pe.mac_cycles;
@@ -211,8 +208,9 @@ mod tests {
         let sim = CycleSimulator::new();
         for shape in PAPER_TOPOLOGIES {
             let mlp = mlp_for(shape);
-            let input: Vec<f32> =
-                (0..mlp.topology().inputs()).map(|i| i as f32 * 0.07 - 0.5).collect();
+            let input: Vec<f32> = (0..mlp.topology().inputs())
+                .map(|i| i as f32 * 0.07 - 0.5)
+                .collect();
             let (stepped, _) = sim.execute(&mlp, &input).unwrap();
             let functional = mlp.run(&input).unwrap();
             assert_eq!(stepped, functional, "{shape}");

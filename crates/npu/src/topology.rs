@@ -39,7 +39,7 @@ impl Topology {
                 reason: "at least an input and an output layer are required",
             });
         }
-        if layers.iter().any(|&w| w == 0) {
+        if layers.contains(&0) {
             return Err(NpuError::InvalidTopology {
                 reason: "layers must have at least one neuron",
             });

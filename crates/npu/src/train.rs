@@ -322,8 +322,8 @@ impl Trainer {
                     let prev_act = &acts[l];
                     let mut prev_delta = vec![0.0f32; fan_in];
                     for (n, &d) in delta.iter().enumerate() {
-                        for i in 0..fan_in {
-                            prev_delta[i] += d * layer.weights[n * fan_in + i];
+                        for (i, pd) in prev_delta.iter_mut().enumerate() {
+                            *pd += d * layer.weights[n * fan_in + i];
                         }
                     }
                     let prev_layer_act = mlp.layers()[l - 1].activation;

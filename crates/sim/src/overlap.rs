@@ -121,7 +121,14 @@ mod tests {
     #[test]
     fn default_fifo_covers_every_paper_topology() {
         let model = OverlapModel::npu_default();
-        for shape in ["6->8->8->1", "1->4->4->2", "2->8->2", "18->32->8->2", "64->16->64", "9->8->1"] {
+        for shape in [
+            "6->8->8->1",
+            "1->4->4->2",
+            "2->8->2",
+            "18->32->8->2",
+            "64->16->64",
+            "9->8->1",
+        ] {
             let t: Topology = shape.parse().unwrap();
             assert!(model.analyze(&t).fifo_sufficient, "{shape}");
         }

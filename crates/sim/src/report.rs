@@ -1,8 +1,11 @@
-//! Aggregation of per-dataset runs into the paper's reported statistics.
+//! Aggregation of per-dataset runs into the paper's reported statistics,
+//! plus the compile-cost accounting harnesses report alongside them.
 
 use crate::system::RunResult;
+use mithra_core::session::SessionReport;
 use mithra_stats::descriptive::{geomean, mean};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Aggregated metrics over many datasets of one benchmark.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -45,10 +48,8 @@ impl BenchmarkSummary {
             invocation_rate: mean(&collect(RunResult::invocation_rate)).expect("non-empty"),
             quality_loss: mean(&collect(|r| r.quality_loss)).expect("non-empty"),
             edp_improvement: mean(&collect(RunResult::edp_improvement)).expect("non-empty"),
-            false_positive_rate: mean(&collect(RunResult::false_positive_rate))
-                .expect("non-empty"),
-            false_negative_rate: mean(&collect(RunResult::false_negative_rate))
-                .expect("non-empty"),
+            false_positive_rate: mean(&collect(RunResult::false_positive_rate)).expect("non-empty"),
+            false_negative_rate: mean(&collect(RunResult::false_negative_rate)).expect("non-empty"),
             success_fraction: successes as f64 / runs.len() as f64,
         }
     }
@@ -79,9 +80,8 @@ impl SuiteSummary {
     /// Panics if `benchmarks` is empty.
     pub fn from_benchmarks(benchmarks: &[BenchmarkSummary]) -> Self {
         assert!(!benchmarks.is_empty(), "cannot summarize zero benchmarks");
-        let collect = |f: fn(&BenchmarkSummary) -> f64| -> Vec<f64> {
-            benchmarks.iter().map(f).collect()
-        };
+        let collect =
+            |f: fn(&BenchmarkSummary) -> f64| -> Vec<f64> { benchmarks.iter().map(f).collect() };
         Self {
             speedup: geomean(&collect(|b| b.speedup)).expect("positive speedups"),
             energy_reduction: geomean(&collect(|b| b.energy_reduction))
@@ -95,9 +95,57 @@ impl SuiteSummary {
     }
 }
 
+/// Compile-time cost of producing one benchmark's artifacts, folded from
+/// the staged pipeline's per-stage instrumentation. This is what harnesses
+/// print next to runtime results so a reader can tell recomputed artifacts
+/// from cache hits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompileCost {
+    /// The benchmark compiled.
+    pub benchmark: String,
+    /// Total wall-clock seconds across all stages.
+    pub wall_seconds: f64,
+    /// Total function invocations performed (0 when everything hit the
+    /// cache).
+    pub invocations: u64,
+    /// Stages answered from the artifact cache.
+    pub cached_stages: usize,
+    /// Stages recorded in the session.
+    pub total_stages: usize,
+}
+
+impl CompileCost {
+    /// Folds a compile session's stage reports into one cost record.
+    pub fn from_session(report: &SessionReport) -> Self {
+        Self {
+            benchmark: report.benchmark.clone(),
+            wall_seconds: report.total_wall().as_secs_f64(),
+            invocations: report.total_invocations(),
+            cached_stages: report.stages.iter().filter(|s| s.is_cache_hit()).count(),
+            total_stages: report.stages.len(),
+        }
+    }
+}
+
+impl fmt::Display for CompileCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "compile cost [{}]: {:.2}s, {} invocations, {}/{} stages cached",
+            self.benchmark,
+            self.wall_seconds,
+            self.invocations,
+            self.cached_stages,
+            self.total_stages
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mithra_core::session::{CacheOutcome, Stage, StageReport};
+    use std::time::Duration;
 
     fn run(speedup_factor: f64, quality: f64) -> RunResult {
         RunResult {
@@ -135,5 +183,35 @@ mod tests {
     #[should_panic(expected = "zero runs")]
     fn empty_runs_panic() {
         let _ = BenchmarkSummary::from_runs(&[], 0.05);
+    }
+
+    #[test]
+    fn compile_cost_folds_stage_reports() {
+        let session = SessionReport {
+            benchmark: "sobel".into(),
+            stages: vec![
+                StageReport {
+                    stage: Stage::NpuTraining,
+                    wall: Duration::from_millis(1500),
+                    invocations: 0,
+                    cache: CacheOutcome::Hit,
+                },
+                StageReport {
+                    stage: Stage::Profiling,
+                    wall: Duration::from_millis(500),
+                    invocations: 4096,
+                    cache: CacheOutcome::Miss,
+                },
+            ],
+        };
+        let cost = CompileCost::from_session(&session);
+        assert_eq!(cost.benchmark, "sobel");
+        assert!((cost.wall_seconds - 2.0).abs() < 1e-9);
+        assert_eq!(cost.invocations, 4096);
+        assert_eq!(cost.cached_stages, 1);
+        assert_eq!(cost.total_stages, 2);
+        let line = cost.to_string();
+        assert!(line.contains("sobel"), "{line}");
+        assert!(line.contains("1/2 stages cached"), "{line}");
     }
 }

@@ -13,7 +13,7 @@ use mithra_core::profile::DatasetProfile;
 use mithra_npu::cost::NpuCostModel;
 
 /// Simulation options.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SimOptions {
     /// ISA cost configuration.
     pub isa: IsaCosts,
@@ -22,16 +22,6 @@ pub struct SimOptions {
     /// Online-update sampling period for the table design (0 disables;
     /// the paper samples "at sporadic intervals").
     pub online_update_period: usize,
-}
-
-impl Default for SimOptions {
-    fn default() -> Self {
-        Self {
-            isa: IsaCosts::paper_default(),
-            energy: EnergyModel::paper_default(),
-            online_update_period: 0,
-        }
-    }
 }
 
 /// The result of simulating one dataset under one classifier.
@@ -142,8 +132,9 @@ pub fn simulate(
 
         // Classifier decision cost (both paths pay it).
         let mut inv_cycles = overhead.decision_cycles as f64;
-        let mut inv_energy =
-            options.energy.classifier_decision_nj(&overhead, &npu_cost_model);
+        let mut inv_energy = options
+            .energy
+            .classifier_decision_nj(&overhead, &npu_cost_model);
         if let Some(c) = &classifier_npu_cost {
             // The classifier network runs on the NPU before the decision:
             // its latency is on the critical path.
@@ -172,7 +163,9 @@ pub fn simulate(
                 if !oracle_rejects[i] {
                     false_positives += 1;
                 }
-                let redirect = options.isa.rejected_invocation_core_cycles(bench.input_dim());
+                let redirect = options
+                    .isa
+                    .rejected_invocation_core_cycles(bench.input_dim());
                 inv_cycles += (workload.kernel_cycles + redirect) as f64;
                 inv_energy += (workload.kernel_cycles + redirect) as f64
                     * options.energy.core_active_nj_per_cycle;
@@ -247,7 +240,11 @@ mod tests {
         let mut oracle = compiled.oracle_for(&profile);
         let run = simulate(&compiled, &profile, &mut oracle, &SimOptions::default());
         assert!(run.speedup() > 1.0, "speedup {}", run.speedup());
-        assert!(run.energy_reduction() > 1.0, "energy {}", run.energy_reduction());
+        assert!(
+            run.energy_reduction() > 1.0,
+            "energy {}",
+            run.energy_reduction()
+        );
         assert!(run.edp_improvement() > run.speedup());
     }
 

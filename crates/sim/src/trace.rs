@@ -158,11 +158,11 @@ impl InvocationTrace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mithra_core::oracle::OracleClassifier;
-    use mithra_core::pipeline::{compile, CompileConfig};
     use mithra_axbench::benchmark::Benchmark;
     use mithra_axbench::dataset::DatasetScale;
     use mithra_axbench::suite;
+    use mithra_core::oracle::OracleClassifier;
+    use mithra_core::pipeline::{compile, CompileConfig};
     use std::sync::Arc;
 
     fn setup() -> (mithra_core::pipeline::Compiled, DatasetProfile) {
@@ -177,8 +177,7 @@ mod tests {
     fn oracle_trace_has_no_false_decisions() {
         let (compiled, profile) = setup();
         let mut oracle = OracleClassifier::for_profile(&profile, compiled.threshold.threshold);
-        let trace =
-            InvocationTrace::record(&profile, &mut oracle, compiled.threshold.threshold);
+        let trace = InvocationTrace::record(&profile, &mut oracle, compiled.threshold.threshold);
         assert!(trace.false_decision_indices().is_empty());
         assert_eq!(trace.len(), profile.invocation_count());
     }
@@ -187,11 +186,8 @@ mod tests {
     fn working_classifier_separates_error_populations() {
         let (compiled, profile) = setup();
         let mut oracle = OracleClassifier::for_profile(&profile, compiled.threshold.threshold);
-        let trace =
-            InvocationTrace::record(&profile, &mut oracle, compiled.threshold.threshold);
-        if trace.events().iter().any(|e| e.rejected)
-            && trace.events().iter().any(|e| !e.rejected)
-        {
+        let trace = InvocationTrace::record(&profile, &mut oracle, compiled.threshold.threshold);
+        if trace.events().iter().any(|e| e.rejected) && trace.events().iter().any(|e| !e.rejected) {
             assert!(trace.mean_rejected_error() > trace.mean_accepted_error());
         }
     }
@@ -217,5 +213,4 @@ mod tests {
         let back: InvocationTrace = serde_json::from_str(&json).unwrap();
         assert_eq!(back, trace);
     }
-
 }

@@ -118,8 +118,7 @@ impl Beta {
             }
 
             // Newton step using the analytic PDF.
-            let ln_pdf = (self.a - 1.0) * x.ln()
-                + (self.b - 1.0) * (1.0 - x).ln()
+            let ln_pdf = (self.a - 1.0) * x.ln() + (self.b - 1.0) * (1.0 - x).ln()
                 - crate::special::ln_beta(self.a, self.b)?;
             let pdf = ln_pdf.exp();
             let mut next = if pdf > 1e-300 { x - f / pdf } else { f64::NAN };

@@ -310,10 +310,7 @@ mod tests {
     #[test]
     fn required_successes_unreachable_target() {
         // With 5 trials even 5/5 cannot certify 99% at 95% confidence.
-        assert_eq!(
-            required_successes(5, 0.99, conf(0.95)).unwrap(),
-            None
-        );
+        assert_eq!(required_successes(5, 0.99, conf(0.95)).unwrap(), None);
     }
 
     #[test]

@@ -46,10 +46,9 @@ impl fmt::Display for StatsError {
                 f,
                 "invalid argument `{parameter}` = {value}: expected {constraint}"
             ),
-            StatsError::SuccessesExceedTrials { successes, trials } => write!(
-                f,
-                "successes ({successes}) exceed trials ({trials})"
-            ),
+            StatsError::SuccessesExceedTrials { successes, trials } => {
+                write!(f, "successes ({successes}) exceed trials ({trials})")
+            }
             StatsError::NoConvergence { kernel, iterations } => write!(
                 f,
                 "{kernel} failed to converge after {iterations} iterations"

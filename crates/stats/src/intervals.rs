@@ -25,7 +25,7 @@ pub fn normal_quantile(p: f64) -> Result<f64> {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -142,7 +142,10 @@ mod tests {
             let exact = lower_bound(k, n, conf).unwrap();
             let wald = wald_lower_bound(k, n, 0.95).unwrap();
             let wilson = wilson_lower_bound(k, n, 0.95).unwrap();
-            assert!(exact <= wald + 1e-9, "exact {exact} > wald {wald} at {k}/{n}");
+            assert!(
+                exact <= wald + 1e-9,
+                "exact {exact} > wald {wald} at {k}/{n}"
+            );
             assert!(
                 exact <= wilson + 1e-9,
                 "exact {exact} > wilson {wilson} at {k}/{n}"
@@ -163,9 +166,7 @@ mod tests {
                 .map(|k| dist.pmf(k).unwrap())
                 .sum()
         };
-        let exact_cov = coverage(&|k| {
-            lower_bound(k, n, Confidence::new(conf).unwrap()).unwrap()
-        });
+        let exact_cov = coverage(&|k| lower_bound(k, n, Confidence::new(conf).unwrap()).unwrap());
         let wald_cov = coverage(&|k| wald_lower_bound(k, n, conf).unwrap());
         assert!(exact_cov >= conf - 1e-9, "exact coverage {exact_cov}");
         assert!(

@@ -41,9 +41,9 @@
 pub mod beta;
 pub mod binomial;
 pub mod clopper_pearson;
-pub mod intervals;
 pub mod descriptive;
 pub mod fdist;
+pub mod intervals;
 pub mod special;
 
 mod error;

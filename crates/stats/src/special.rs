@@ -10,14 +10,14 @@ use crate::{Result, StatsError};
 /// Coefficients for the Lanczos approximation (g = 7, n = 9).
 const LANCZOS_G: f64 = 7.0;
 const LANCZOS_COEF: [f64; 9] = [
-    0.999_999_999_999_809_93,
+    0.999_999_999_999_809_9,
     676.520_368_121_885_1,
     -1_259.139_216_722_402_8,
-    771.323_428_777_653_13,
+    771.323_428_777_653_1,
     -176.615_029_162_140_6,
     12.507_343_278_686_905,
     -0.138_571_095_265_720_12,
-    9.984_369_578_019_571_6e-6,
+    9.984_369_578_019_572e-6,
     1.505_632_735_149_311_6e-7,
 ];
 
@@ -289,9 +289,7 @@ mod tests {
         let (n, k, p) = (12u32, 4u32, 0.35f64);
         let mut direct = 0.0;
         for i in 0..=k {
-            let comb = (0..i).fold(1.0f64, |acc, j| {
-                acc * f64::from(n - j) / f64::from(j + 1)
-            });
+            let comb = (0..i).fold(1.0f64, |acc, j| acc * f64::from(n - j) / f64::from(j + 1));
             direct += comb * p.powi(i as i32) * (1.0 - p).powi((n - i) as i32);
         }
         let via_beta = betainc(1.0 - p, f64::from(n - k), f64::from(k + 1)).unwrap();

@@ -28,7 +28,10 @@ fn main() -> Result<(), MithraError> {
     let function = first.function.clone();
     let profiles = first.profiles.clone();
 
-    println!("\n{:<10} {:>10} {:>10} {:>10} {:>10}", "target", "threshold", "invoked", "speedup", "quality");
+    println!(
+        "\n{:<10} {:>10} {:>10} {:>10} {:>10}",
+        "target", "threshold", "invoked", "speedup", "quality"
+    );
     for target in [0.02, 0.05, 0.10, 0.20] {
         let mut config = base_config.clone();
         config.spec = QualitySpec::new(target, 0.90, 0.70)?;

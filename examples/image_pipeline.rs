@@ -17,7 +17,9 @@ use mithra_sim::system::simulate;
 use std::sync::Arc;
 
 fn main() -> Result<(), MithraError> {
-    let bench: Arc<_> = suite::by_name("sobel").expect("sobel is in the suite").into();
+    let bench: Arc<_> = suite::by_name("sobel")
+        .expect("sobel is in the suite")
+        .into();
     let mut config = CompileConfig::smoke();
     config.spec = QualitySpec::new(0.05, 0.90, 0.70)?;
 
@@ -25,7 +27,10 @@ fn main() -> Result<(), MithraError> {
     let compiled = compile(bench, &config)?;
 
     println!("\nprocessing 8 unseen images:");
-    println!("{:<8} {:>14} {:>14} {:>12} {:>12}", "image", "full-approx", "controlled", "invoked", "speedup");
+    println!(
+        "{:<8} {:>14} {:>14} {:>12} {:>12}",
+        "image", "full-approx", "controlled", "invoked", "speedup"
+    );
 
     let mut controlled_ok = 0;
     for i in 0..8u64 {
@@ -90,8 +95,7 @@ fn main() -> Result<(), MithraError> {
             .map(|&v| v as f32)
             .collect();
         let img = mithra::axbench::image::GrayImage::from_pixels(side, side, pixels);
-        mithra::axbench::pgm::write_file(&img, out_dir.join(name))
-            .expect("write PGM artifact");
+        mithra::axbench::pgm::write_file(&img, out_dir.join(name)).expect("write PGM artifact");
     }
     println!("edge maps written to target/image_pipeline/*.pgm");
     Ok(())

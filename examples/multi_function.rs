@@ -43,8 +43,8 @@ fn region(name: &str, weight: f64, datasets: u64) -> Result<Region, MithraError>
 fn main() -> Result<(), MithraError> {
     println!("training both accelerated regions of the robotics pipeline...");
     let regions = vec![
-        region("sobel", 1.0, 25)?,       // perception
-        region("inversek2j", 2.0, 25)?,  // planning (weighted heavier)
+        region("sobel", 1.0, 25)?,      // perception
+        region("inversek2j", 2.0, 25)?, // planning (weighted heavier)
     ];
 
     let spec = QualitySpec::new(0.08, 0.90, 0.60)?;
@@ -57,7 +57,10 @@ fn main() -> Result<(), MithraError> {
     let outcome = TupleOptimizer::new(spec).optimize(&regions)?;
 
     println!("\nper-region thresholds (greedy, benefit-descending order):");
-    for (i, name) in ["sobel (perception)", "inversek2j (planning)"].iter().enumerate() {
+    for (i, name) in ["sobel (perception)", "inversek2j (planning)"]
+        .iter()
+        .enumerate()
+    {
         println!(
             "  {name:<24} threshold {:.4}  invocation rate {:.0}%",
             outcome.thresholds[i],

@@ -13,7 +13,9 @@ fn main() -> Result<(), MithraError> {
     // at 90% confidence for 70% of unseen datasets. (Smoke scale keeps
     // this example fast; the paper's configuration is 5% / 95% / 90% over
     // 250 full-size datasets — see the experiment binaries.)
-    let bench: Arc<_> = suite::by_name("sobel").expect("sobel is in the suite").into();
+    let bench: Arc<_> = suite::by_name("sobel")
+        .expect("sobel is in the suite")
+        .into();
     let mut config = CompileConfig::smoke();
     config.spec = QualitySpec::new(0.10, 0.90, 0.70)?;
 
@@ -44,11 +46,19 @@ fn main() -> Result<(), MithraError> {
     let profile = DatasetProfile::collect(&compiled.function, dataset);
 
     for (label, mut classifier) in [
-        ("oracle", Box::new(compiled.oracle_for(&profile)) as Box<dyn Classifier>),
+        (
+            "oracle",
+            Box::new(compiled.oracle_for(&profile)) as Box<dyn Classifier>,
+        ),
         ("table", Box::new(compiled.table.clone())),
         ("neural", Box::new(compiled.neural.clone())),
     ] {
-        let run = simulate(&compiled, &profile, classifier.as_mut(), &SimOptions::default());
+        let run = simulate(
+            &compiled,
+            &profile,
+            classifier.as_mut(),
+            &SimOptions::default(),
+        );
         println!(
             "  {label:<6} -> speedup {:.2}x, energy {:.2}x, invoked {:.0}%, quality loss {:.2}%",
             run.speedup(),

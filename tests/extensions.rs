@@ -37,9 +37,7 @@ fn tuple_optimizer_certifies_a_two_region_application() {
             )
             .unwrap();
             let profiles = (0..15)
-                .map(|s| {
-                    DatasetProfile::collect(&function, function.dataset(600 + s, scale))
-                })
+                .map(|s| DatasetProfile::collect(&function, function.dataset(600 + s, scale)))
                 .collect();
             Region {
                 function,
@@ -138,6 +136,10 @@ fn all_designs_share_the_classifier_interface() {
     ];
     for mut c in classifiers {
         let run = simulate(&compiled, &profile, c.as_mut(), &SimOptions::default());
-        assert!(run.accelerated_cycles > 0.0, "{} charged no cycles", c.name());
+        assert!(
+            run.accelerated_cycles > 0.0,
+            "{} charged no cycles",
+            c.name()
+        );
     }
 }

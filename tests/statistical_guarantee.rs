@@ -40,7 +40,9 @@ fn certified_rate_holds_on_unseen_datasets() {
 
 #[test]
 fn certification_is_monotone_in_threshold() {
-    let bench: Arc<_> = mithra::axbench::suite::by_name("inversek2j").unwrap().into();
+    let bench: Arc<_> = mithra::axbench::suite::by_name("inversek2j")
+        .unwrap()
+        .into();
     let config = CompileConfig::smoke();
     let compiled = compile(bench, &config).unwrap();
     let optimizer = ThresholdOptimizer::new(config.spec);

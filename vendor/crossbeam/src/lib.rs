@@ -1,0 +1,96 @@
+//! Offline-vendored subset of the `crossbeam` 0.8 API.
+//!
+//! The sandbox this repository builds in has no access to crates.io, so
+//! the workspace vendors the *small* slices of its external dependencies
+//! it actually uses (see `README.md`, "Offline builds"). This crate
+//! provides `crossbeam::thread::scope` with the crossbeam closure shape
+//! (`|scope| ... scope.spawn(|_| ...)`), implemented on top of
+//! `std::thread::scope`.
+//!
+//! Behavioural differences from upstream are limited to panic plumbing:
+//! upstream joins panicked children and returns `Err`; this shim lets
+//! `std::thread::scope` resume the unwind after joining. Code that treats
+//! `scope(..)` returning `Ok` as "no child panicked" behaves identically.
+
+/// Scoped threads (the `crossbeam::thread` module surface).
+pub mod thread {
+    /// A scope handle; spawn borrows non-`'static` data.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread, joinable before the scope ends.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result.
+        ///
+        /// # Errors
+        ///
+        /// Returns the payload if the thread panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope itself
+        /// (crossbeam's signature), allowing nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning threads that borrow from the caller.
+    /// All unjoined threads are joined before the call returns.
+    ///
+    /// # Errors
+    ///
+    /// The `Err` variant is reserved for child panics (upstream
+    /// behaviour); this shim propagates child panics as unwinds instead,
+    /// so an `Ok` is returned whenever the call returns at all.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_fill_borrowed_slots() {
+        let mut slots = vec![0u64; 16];
+        super::thread::scope(|scope| {
+            for (i, chunk) in slots.chunks_mut(4).enumerate() {
+                scope.spawn(move |_| {
+                    for (j, s) in chunk.iter_mut().enumerate() {
+                        *s = (i * 4 + j) as u64 + 1;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert!(slots.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
+    }
+
+    #[test]
+    fn join_returns_thread_value() {
+        let out = super::thread::scope(|scope| {
+            let h = scope.spawn(|_| 7u32);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 7);
+    }
+}

@@ -1,0 +1,418 @@
+//! Offline-vendored subset of the `proptest` API (see the workspace
+//! `README.md`, "Offline builds").
+//!
+//! Provides the `proptest!`, `prop_assert!` and `prop_assert_eq!`
+//! macros, the [`Strategy`] trait with `prop_map`, numeric-range and
+//! `any::<T>()` strategies, `prop::collection::vec`,
+//! `prop::array::uniform32` and tuple strategies — the surface this
+//! workspace's property tests use.
+//!
+//! Unlike upstream there is no shrinking: a failing case panics with the
+//! generated inputs' debug output unavailable, but the run is fully
+//! deterministic (the RNG is seeded from the test name), so failures
+//! reproduce exactly. Case count defaults to 32 and can be raised with
+//! the `PROPTEST_CASES` environment variable, as upstream.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod prelude;
+
+/// The deterministic RNG driving test-case generation.
+pub type TestRng = StdRng;
+
+/// A failed property within a test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// The result of one generated test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+fn fnv1a(text: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Drives one property: runs `case` for the configured number of
+/// generated inputs and panics on the first failure. Used by the
+/// `proptest!` expansion; not part of the upstream API.
+pub fn run_cases(name: &str, mut case: impl FnMut(&mut TestRng) -> TestCaseResult) {
+    let cases: u64 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+    let mut rng = TestRng::seed_from_u64(fnv1a(name));
+    for i in 0..cases {
+        if let Err(err) = case(&mut rng) {
+            panic!("property `{name}` failed at case {i}: {err}");
+        }
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `map`.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            strategy: self,
+            map,
+        }
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+pub struct Map<S, F> {
+    strategy: S,
+    map: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.strategy.generate(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),+) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+    )+};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Produces arbitrary values of a type, for [`any`].
+pub trait Arbitrary {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_uint {
+    ($($ty:ty),+) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen_range(<$ty>::MIN..=<$ty>::MAX)
+            }
+        }
+    )+};
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen_bool(0.5)
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy for any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// An inclusive length range for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        Self {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        Self {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        Self { lo: len, hi: len }
+    }
+}
+
+/// Strategy namespace mirroring upstream's `prop` module paths.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, TestRng};
+        use rand::Rng;
+
+        /// The strategy returned by [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let len = rng.gen_range(self.size.lo..=self.size.hi);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Generates vectors of `element` values with lengths in `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+
+    /// Fixed-size array strategies.
+    pub mod array {
+        use super::super::{Strategy, TestRng};
+
+        /// The strategy returned by [`uniform32`].
+        pub struct UniformArray32<S> {
+            element: S,
+        }
+
+        impl<S: Strategy> Strategy for UniformArray32<S> {
+            type Value = [S::Value; 32];
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                std::array::from_fn(|_| self.element.generate(rng))
+            }
+        }
+
+        /// Generates `[T; 32]` arrays of `element` values.
+        pub fn uniform32<S: Strategy>(element: S) -> UniformArray32<S> {
+            UniformArray32 { element }
+        }
+    }
+}
+
+/// Defines property tests. Each `fn` becomes a `#[test]` that runs its
+/// body over generated inputs; see the crate docs for the differences
+/// from upstream (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pname:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |rng| {
+                    $(let $pname = $crate::Strategy::generate(&($strat), rng);)+
+                    (move || -> $crate::TestCaseResult {
+                        { $body };
+                        Ok(())
+                    })()
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// aborting the process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?} == {:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?} != {:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u32, bool)> {
+        (0u32..100, any::<bool>()).prop_map(|(n, b)| (n * 2, b))
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..10, y in 0.5f64..=2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.5..=2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in prop::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5, "len {}", v.len());
+        }
+
+        #[test]
+        fn arrays_are_fixed_size(a in prop::array::uniform32(any::<u8>())) {
+            prop_assert_eq!(a.len(), 32);
+        }
+
+        #[test]
+        fn mapped_tuples_flow_through(p in arb_pair()) {
+            prop_assert_eq!(p.0 % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failing_property_panics() {
+        crate::run_cases("always_fails", |_rng| {
+            Err(crate::TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let mut first = Vec::new();
+        crate::run_cases("det", |rng| {
+            first.push(Strategy::generate(&(0u64..1000), rng));
+            Ok(())
+        });
+        let mut second = Vec::new();
+        crate::run_cases("det", |rng| {
+            second.push(Strategy::generate(&(0u64..1000), rng));
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,274 @@
+//! Range sampling, following `rand` 0.8's `sample_single` algorithms:
+//! Lemire widening-multiply rejection for integers (with small types
+//! promoted to 32-bit generation, as upstream does) and the `[1, 2)`
+//! mantissa-fill construction for floats. Matching these exactly keeps
+//! seeded sequences identical to ones produced with the real crate.
+//!
+//! The trait structure also matches upstream — a blanket
+//! [`SampleRange`] impl over a per-type [`SampleUniform`] — because the
+//! blanket impl is what lets unsuffixed literals like
+//! `rng.gen_range(0.85..1.15)` infer `f32` from the call site.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::RngCore;
+
+/// A type with a uniform-sampling implementation over its ranges.
+pub trait SampleUniform: Sized {
+    /// Samples uniformly from `[low, high)`. Callers guarantee
+    /// `low < high`.
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+
+    /// Samples uniformly from `[low, high]`. Callers guarantee
+    /// `low <= high`.
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// A range that [`crate::Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_single(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "cannot sample empty range");
+        T::sample_single_inclusive(low, high, rng)
+    }
+}
+
+/// Widening multiply returning `(high, low)` halves of the product.
+trait WideningMul: Sized {
+    fn wmul(self, other: Self) -> (Self, Self);
+}
+
+impl WideningMul for u32 {
+    fn wmul(self, other: Self) -> (Self, Self) {
+        let product = (self as u64) * (other as u64);
+        ((product >> 32) as u32, product as u32)
+    }
+}
+
+impl WideningMul for u64 {
+    fn wmul(self, other: Self) -> (Self, Self) {
+        let product = (self as u128) * (other as u128);
+        ((product >> 64) as u64, product as u64)
+    }
+}
+
+/// Lemire rejection sampling of a value in `[0, range)` with upstream's
+/// bitmask zone (for 32-bit-and-wider generation widths).
+macro_rules! lemire_loop {
+    ($rng:ident, $range:ident, $gen:ident, $width:ty) => {{
+        let zone: $width = ($range << $range.leading_zeros()).wrapping_sub(1);
+        loop {
+            let v: $width = $rng.$gen() as $width;
+            let (hi, lo) = v.wmul($range);
+            if lo <= zone {
+                break hi;
+            }
+        }
+    }};
+}
+
+macro_rules! uniform_int_impl {
+    // $ty: sampled type; $unsigned: its unsigned twin; $u_large: the
+    // width actually generated; $gen: RngCore method for $u_large.
+    ($ty:ty, $unsigned:ty, $u_large:ty, $gen:ident) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let range = high.wrapping_sub(low) as $unsigned as $u_large;
+                let offset = lemire_loop!(rng, range, $gen, $u_large);
+                low.wrapping_add(offset as $ty)
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                // Computed with wrapping arithmetic, as upstream: the
+                // full type domain wraps to zero and falls back to a
+                // plain full-width draw.
+                let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                if range == 0 {
+                    return rng.$gen() as $ty;
+                }
+                let offset = lemire_loop!(rng, range, $gen, $u_large);
+                low.wrapping_add(offset as $ty)
+            }
+        }
+    };
+}
+
+uniform_int_impl! { u32, u32, u32, next_u32 }
+uniform_int_impl! { i32, u32, u32, next_u32 }
+uniform_int_impl! { u64, u64, u64, next_u64 }
+uniform_int_impl! { i64, u64, u64, next_u64 }
+uniform_int_impl! { usize, usize, u64, next_u64 }
+uniform_int_impl! { isize, usize, u64, next_u64 }
+
+/// Rejection sampling for sub-32-bit types with upstream's exact zone:
+/// `u32::MAX - (u32::MAX - range + 1) % range`, still generating u32s.
+fn sample_small<R: RngCore + ?Sized>(rng: &mut R, range: u32) -> u32 {
+    debug_assert!(range != 0);
+    let ints_to_reject = (u32::MAX - range + 1) % range;
+    let zone = u32::MAX - ints_to_reject;
+    loop {
+        let v = rng.next_u32();
+        let (hi, lo) = v.wmul(range);
+        if lo <= zone {
+            return hi;
+        }
+    }
+}
+
+macro_rules! uniform_small_int_impl {
+    ($ty:ty, $unsigned:ty) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let range = high.wrapping_sub(low) as $unsigned as u32;
+                low.wrapping_add(sample_small(rng, range) as $ty)
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                // The wrap to zero happens at the narrow width, as
+                // upstream: the full domain falls back to a plain draw.
+                let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as u32;
+                if range == 0 {
+                    return rng.next_u32() as $ty;
+                }
+                low.wrapping_add(sample_small(rng, range) as $ty)
+            }
+        }
+    };
+}
+
+uniform_small_int_impl! { u8, u8 }
+uniform_small_int_impl! { i8, u8 }
+uniform_small_int_impl! { u16, u16 }
+uniform_small_int_impl! { i16, u16 }
+
+macro_rules! uniform_float_impl {
+    ($ty:ty, $uty:ty, $bits_to_discard:expr, $exponent_one:expr, $gen:ident) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let scale = high - low;
+                assert!(
+                    scale.is_finite(),
+                    "cannot sample range with non-finite span"
+                );
+                loop {
+                    // A uniform value in [1, 2): fixed exponent, random
+                    // mantissa — then shifted down to [0, 1).
+                    let mantissa = (rng.$gen() as $uty) >> $bits_to_discard;
+                    let value1_2 = <$ty>::from_bits($exponent_one | mantissa);
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    // Rounding can land exactly on `high`; retry then,
+                    // as upstream does.
+                    if res < high {
+                        return res;
+                    }
+                }
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                let scale = high - low;
+                assert!(
+                    scale.is_finite(),
+                    "cannot sample range with non-finite span"
+                );
+                let mantissa = (rng.$gen() as $uty) >> $bits_to_discard;
+                let value1_2 = <$ty>::from_bits($exponent_one | mantissa);
+                let value0_1 = value1_2 - 1.0;
+                let res = value0_1 * scale + low;
+                if res > high {
+                    high
+                } else {
+                    res
+                }
+            }
+        }
+    };
+}
+
+uniform_float_impl! { f32, u32, 32 - 23, 0x3F80_0000u32, next_u32 }
+uniform_float_impl! { f64, u64, 64 - 52, 0x3FF0_0000_0000_0000u64, next_u64 }
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_int_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.gen_range(5i32..5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_float_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.gen_range(1.0f32..1.0);
+    }
+
+    #[test]
+    fn inclusive_full_domain_does_not_hang() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.gen_range(0u8..=u8::MAX);
+        let _ = rng.gen_range(0u64..=u64::MAX);
+    }
+
+    #[test]
+    fn negative_int_ranges() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(-10i32..-5);
+            assert!((-10..-5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn small_int_types_sample() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(2u16..=256);
+            assert!((2..=256).contains(&v));
+            let b = rng.gen_range(0u8..4);
+            assert!(b < 4);
+        }
+    }
+
+    #[test]
+    fn unsuffixed_float_literals_infer_from_target() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let x: f32 = rng.gen_range(0.85..1.15);
+        assert!((0.85..1.15).contains(&x));
+        let base = 1.5f32;
+        let y = base + rng.gen_range(-0.45..0.45);
+        assert!((1.05..1.95).contains(&y));
+    }
+}

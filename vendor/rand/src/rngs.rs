@@ -1,0 +1,162 @@
+//! Concrete generators. Only [`StdRng`] is provided: the ChaCha12
+//! stream cipher used by `rand` 0.8's `StdRng`, reimplemented here so
+//! seeded sequences match upstream bit-for-bit.
+
+use crate::{RngCore, SeedableRng};
+
+/// The standard deterministic generator: ChaCha with 12 rounds,
+/// matching `rand` 0.8's `StdRng` output stream (stream id 0).
+#[derive(Clone)]
+pub struct StdRng {
+    /// ChaCha input block: 4 constant words, 8 key words, a 64-bit
+    /// block counter in words 12–13 and a zero nonce in words 14–15.
+    state: [u32; 16],
+    /// Current output block (the keystream), consumed word by word.
+    buffer: [u32; 16],
+    /// Next unread index into `buffer`; 16 means "exhausted".
+    index: usize,
+}
+
+impl std::fmt::Debug for StdRng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("StdRng { .. }")
+    }
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+const DOUBLE_ROUNDS: usize = 6; // 12 ChaCha rounds
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl StdRng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..DOUBLE_ROUNDS {
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self
+            .buffer
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(*s);
+        }
+        // 64-bit little-endian block counter across words 12 and 13.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.index = 0;
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        for (word, bytes) in state[4..12].iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes(bytes.try_into().expect("4-byte chunk"));
+        }
+        // Words 12..16 (counter and nonce) start at zero.
+        Self {
+            state,
+            buffer: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let value = self.buffer[self.index];
+        self.index += 1;
+        value
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // Upstream composes 64-bit output from two 32-bit words, low first.
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let word = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_boundary_counter_advances() {
+        let mut rng = StdRng::from_seed([0u8; 32]);
+        let first_block: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second_block: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(
+            first_block, second_block,
+            "counter must change the keystream"
+        );
+    }
+
+    #[test]
+    fn seed_bytes_all_matter() {
+        let base = StdRng::from_seed([0u8; 32]);
+        for i in 0..32 {
+            let mut seed = [0u8; 32];
+            seed[i] = 1;
+            let mut changed = StdRng::from_seed(seed);
+            let mut base = base.clone();
+            assert_ne!(base.next_u64(), changed.next_u64(), "seed byte {i} ignored");
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_reference_vector() {
+        // First word of rand_core 0.6's PCG32 expansion of state 0:
+        // state = 0*MUL + INC, then the xsh-rr output permutation.
+        const INC: u64 = 11634580027462260723;
+        let state = INC;
+        let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+        let rot = (state >> 59) as u32;
+        let expected_word = xorshifted.rotate_right(rot);
+
+        struct Capture([u8; 32]);
+        impl SeedableRng for Capture {
+            type Seed = [u8; 32];
+            fn from_seed(seed: [u8; 32]) -> Self {
+                Capture(seed)
+            }
+        }
+        let captured = Capture::seed_from_u64(0).0;
+        let first = u32::from_le_bytes(captured[..4].try_into().unwrap());
+        assert_eq!(first, expected_word);
+    }
+}

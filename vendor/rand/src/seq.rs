@@ -1,0 +1,73 @@
+//! Slice helpers. Only [`SliceRandom::shuffle`] is provided, following
+//! `rand` 0.8's Fisher–Yates implementation, including its `gen_index`
+//! width reduction (indices below `u32::MAX` sample through the 32-bit
+//! path), so shuffles of seeded data match upstream exactly.
+
+use crate::{Rng, RngCore};
+
+/// Randomised operations on slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+/// Upstream's index sampler: small bounds go through u32 generation.
+fn gen_index<R: RngCore + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+    if ubound <= u32::MAX as usize {
+        rng.gen_range(0..ubound as u32) as usize
+    } else {
+        rng.gen_range(0..ubound)
+    }
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, gen_index(rng, i + 1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut data: Vec<u32> = (0..100).collect();
+        data.shuffle(&mut rng);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_is_deterministic() {
+        let mut a: Vec<u8> = (0..50).collect();
+        let mut b = a.clone();
+        a.shuffle(&mut StdRng::seed_from_u64(99));
+        b.shuffle(&mut StdRng::seed_from_u64(99));
+        assert_eq!(a, b);
+        let mut c = a.clone();
+        c.shuffle(&mut StdRng::seed_from_u64(100));
+        assert_ne!(a, c, "different seeds should permute differently");
+    }
+
+    #[test]
+    fn trivial_slices_are_stable() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut empty: [u8; 0] = [];
+        empty.shuffle(&mut rng);
+        let mut one = [7u8];
+        one.shuffle(&mut rng);
+        assert_eq!(one, [7]);
+    }
+}

@@ -1,0 +1,364 @@
+//! Offline-vendored stand-in for the `serde` facade.
+//!
+//! The real serde is a zero-copy visitor framework; every use in this
+//! workspace, however, flows through `serde_json` strings. This vendored
+//! replacement therefore models serialization as conversion to and from
+//! an owned [`Value`] tree, which `serde_json` (also vendored) renders
+//! as JSON. The public surface the workspace relies on is preserved:
+//! `use serde::{Serialize, Deserialize}` plus
+//! `#[derive(Serialize, Deserialize)]` (behind the `derive` feature) and
+//! the `#[serde(skip)]` field attribute.
+//!
+//! Integers are kept exact: `u64` values (dataset seeds) never round-trip
+//! through `f64`. Non-finite floats serialize as `null` and deserialize
+//! back as NaN, mirroring `serde_json`'s lossy treatment.
+
+// Lets derive-generated `::serde::` paths resolve inside this crate's
+// own tests.
+extern crate self as serde;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned tree of serialized data — the data model of this vendored
+/// serde. JSON maps onto it directly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`; also the encoding of non-finite floats.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (negative numbers).
+    Int(i64),
+    /// An unsigned integer; kept separate so `u64` stays exact.
+    UInt(u64),
+    /// A finite floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// Key–value pairs in insertion order (struct fields, enum tags).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`] tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Conversion from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the tree does not match `Self`'s shape.
+    fn deserialize(value: &Value) -> Result<Self, DeError>;
+}
+
+/// A deserialization failure: shape or type mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with a caller-supplied message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    fn expected(what: &str, got: &Value) -> Self {
+        Self {
+            message: format!("expected {what}, found {}", got.kind()),
+        }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+static NULL_VALUE: Value = Value::Null;
+
+/// Looks up a struct field in an object value (derive support).
+///
+/// # Errors
+///
+/// Errors when `value` is not an object or lacks the field.
+pub fn get_field<'v>(value: &'v Value, name: &str) -> Result<&'v Value, DeError> {
+    match value {
+        Value::Object(entries) => entries
+            .iter()
+            .find(|(key, _)| key == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| DeError::custom(format!("missing field `{name}`"))),
+        other => Err(DeError::expected("object", other)),
+    }
+}
+
+/// Splits an externally tagged enum value into `(variant, payload)`:
+/// a bare string is a unit variant (payload `null`); a single-entry
+/// object is a data-carrying variant (derive support).
+///
+/// # Errors
+///
+/// Errors on any other shape.
+pub fn as_variant(value: &Value) -> Result<(&str, &Value), DeError> {
+    match value {
+        Value::Str(tag) => Ok((tag, &NULL_VALUE)),
+        Value::Object(entries) if entries.len() == 1 => Ok((entries[0].0.as_str(), &entries[0].1)),
+        other => Err(DeError::expected("enum variant", other)),
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($ty:ty),+) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+
+        impl Deserialize for $ty {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                let wide = match value {
+                    Value::UInt(u) => *u,
+                    Value::Int(i) if *i >= 0 => *i as u64,
+                    other => return Err(DeError::expected("unsigned integer", other)),
+                };
+                <$ty>::try_from(wide).map_err(|_| {
+                    DeError::custom(format!(
+                        "{wide} out of range for {}",
+                        stringify!($ty)
+                    ))
+                })
+            }
+        }
+    )+};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($ty:ty),+) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::UInt(v as u64)
+                } else {
+                    Value::Int(v)
+                }
+            }
+        }
+
+        impl Deserialize for $ty {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                let wide: i64 = match value {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) => i64::try_from(*u).map_err(|_| {
+                        DeError::custom(format!("{u} out of range for i64"))
+                    })?,
+                    other => return Err(DeError::expected("integer", other)),
+                };
+                <$ty>::try_from(wide).map_err(|_| {
+                    DeError::custom(format!(
+                        "{wide} out of range for {}",
+                        stringify!($ty)
+                    ))
+                })
+            }
+        }
+    )+};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        if self.is_finite() {
+            Value::Float(*self)
+        } else {
+            // JSON has no non-finite literals; serde_json emits null.
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Float(x) => Ok(*x),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            Value::Null => Ok(f64::NAN),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        // Every f32 is exactly representable as f64, so this widening
+        // round-trips bit-for-bit.
+        f64::from(*self).serialize()
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        f64::deserialize(value).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        T::deserialize(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(inner) => inner.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_round_trips_exactly() {
+        let big: u64 = u64::MAX - 1;
+        assert_eq!(u64::deserialize(&big.serialize()), Ok(big));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null_then_nan() {
+        assert_eq!(f32::INFINITY.serialize(), Value::Null);
+        assert!(f32::deserialize(&Value::Null).unwrap().is_nan());
+    }
+
+    #[test]
+    fn f32_round_trips_bit_exactly() {
+        for x in [0.1f32, f32::MIN_POSITIVE, 1e30, -0.0] {
+            let back = f32::deserialize(&x.serialize()).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn field_lookup_reports_missing() {
+        let obj = Value::Object(vec![("a".into(), Value::Bool(true))]);
+        assert!(get_field(&obj, "a").is_ok());
+        assert!(get_field(&obj, "b").is_err());
+        assert!(get_field(&Value::Null, "a").is_err());
+    }
+
+    #[test]
+    fn variant_shapes() {
+        let unit = Value::Str("Leaf".into());
+        assert_eq!(as_variant(&unit).unwrap().0, "Leaf");
+        let tagged = Value::Object(vec![("Split".into(), Value::Object(vec![]))]);
+        assert_eq!(as_variant(&tagged).unwrap().0, "Split");
+        assert!(as_variant(&Value::Array(vec![])).is_err());
+    }
+}

@@ -1,0 +1,365 @@
+//! Offline-vendored `#[derive(Serialize, Deserialize)]` for the vendored
+//! Value-tree `serde` (see the workspace `README.md`, "Offline builds").
+//!
+//! The macros hand-parse the item's token stream (no `syn`/`quote` in an
+//! offline sandbox) and emit impl blocks as source text. Supported input
+//! shapes — the ones this workspace uses:
+//!
+//! * structs with named fields, including `#[serde(skip)]` fields
+//!   (skipped on write, `Default::default()` on read);
+//! * enums with unit variants (serialized as the variant-name string);
+//! * enums with struct variants (externally tagged:
+//!   `{"Variant": {fields…}}`).
+//!
+//! Tuple structs, tuple variants and generic items are rejected with a
+//! `compile_error!`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, field list for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});")
+        .parse()
+        .expect("error tokens")
+}
+
+/// Consumes one `#[...]` attribute (the leading `#` already consumed) and
+/// reports whether it was `#[serde(skip)]`.
+fn attr_is_serde_skip(iter: &mut impl Iterator<Item = TokenTree>) -> Result<bool, String> {
+    match iter.next() {
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Bracket => {
+            let mut inner = group.stream().into_iter();
+            let is_serde = matches!(
+                inner.next(),
+                Some(TokenTree::Ident(ident)) if ident.to_string() == "serde"
+            );
+            if !is_serde {
+                return Ok(false);
+            }
+            match inner.next() {
+                Some(TokenTree::Group(args)) => {
+                    let body = args.stream().to_string();
+                    if body.trim() == "skip" {
+                        Ok(true)
+                    } else {
+                        Err(format!(
+                            "unsupported serde attribute `{body}` (vendored derive)"
+                        ))
+                    }
+                }
+                _ => Ok(false),
+            }
+        }
+        _ => Err("malformed attribute".to_string()),
+    }
+}
+
+/// Parses named fields out of a brace-group stream; used for both struct
+/// bodies and struct-variant bodies.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        let mut skip = false;
+        // Field attributes.
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            skip |= attr_is_serde_skip(&mut iter)?;
+        }
+        // Visibility.
+        if matches!(iter.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            iter.next();
+            if matches!(
+                iter.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                iter.next();
+            }
+        }
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        // Skip the type up to a top-level comma. Commas inside (), [],
+        // {} are invisible here (groups are single trees); only commas
+        // inside generic angle brackets need depth tracking.
+        let mut angle_depth = 0i32;
+        while let Some(tree) = iter.peek() {
+            if let TokenTree::Punct(p) = tree {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        iter.next();
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            iter.next();
+        }
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            attr_is_serde_skip(&mut iter)?;
+        }
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            Some(other) => return Err(format!("expected variant name, found `{other}`")),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                iter.next();
+                Some(parse_named_fields(inner)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "tuple variant `{name}` unsupported by the vendored serde derive"
+                ));
+            }
+            _ => None,
+        };
+        // Discriminant (`= expr`) and/or the trailing comma.
+        while let Some(tree) = iter.peek() {
+            if matches!(tree, TokenTree::Punct(p) if p.as_char() == ',') {
+                iter.next();
+                break;
+            }
+            iter.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    // Outer attributes and visibility precede the keyword.
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                attr_is_serde_skip(&mut iter)?;
+            }
+            Some(TokenTree::Ident(ident)) => {
+                let word = ident.to_string();
+                match word.as_str() {
+                    "pub" => {
+                        if matches!(
+                            iter.peek(),
+                            Some(TokenTree::Group(g))
+                                if g.delimiter() == Delimiter::Parenthesis
+                        ) {
+                            iter.next();
+                        }
+                    }
+                    "struct" | "enum" => break word,
+                    other => return Err(format!("unexpected `{other}` before item keyword")),
+                }
+            }
+            other => return Err(format!("unexpected token {other:?} before item keyword")),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "generic item `{name}` unsupported by the vendored serde derive"
+        ));
+    }
+    let body_group = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Err(format!(
+                "tuple struct `{name}` unsupported by the vendored serde derive"
+            ));
+        }
+        other => return Err(format!("expected item body, found {other:?}")),
+    };
+    let body = if kind == "struct" {
+        Body::Struct(parse_named_fields(body_group)?)
+    } else {
+        Body::Enum(parse_variants(body_group)?)
+    };
+    Ok(Item { name, body })
+}
+
+/// `fields.push(("name", <serialize expr>))` lines for a field list;
+/// `accessor` is how a field named `f` is reached (`&self.f` or `f`).
+fn serialize_fields(fields: &[Field], accessor: impl Fn(&str) -> String) -> String {
+    let mut out = String::new();
+    for field in fields.iter().filter(|f| !f.skip) {
+        out.push_str(&format!(
+            "fields.push((String::from(\"{n}\"), ::serde::Serialize::serialize({a})));\n",
+            n = field.name,
+            a = accessor(&field.name),
+        ));
+    }
+    out
+}
+
+/// `name: <deserialize expr>,` lines building a struct literal from the
+/// object value bound to `source`.
+fn deserialize_fields(fields: &[Field], source: &str) -> String {
+    let mut out = String::new();
+    for field in fields {
+        if field.skip {
+            out.push_str(&format!(
+                "{}: ::core::default::Default::default(),\n",
+                field.name
+            ));
+        } else {
+            out.push_str(&format!(
+                "{n}: ::serde::Deserialize::deserialize(::serde::get_field({s}, \"{n}\")?)?,\n",
+                n = field.name,
+                s = source,
+            ));
+        }
+    }
+    out
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => format!(
+            "let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+             {pushes}\
+             ::serde::Value::Object(fields)",
+            pushes = serialize_fields(fields, |f| format!("&self.{f}")),
+        ),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for variant in variants {
+                let v = &variant.name;
+                match &variant.fields {
+                    None => arms.push_str(&format!(
+                        "Self::{v} => ::serde::Value::Str(String::from(\"{v}\")),\n"
+                    )),
+                    Some(fields) => {
+                        let bindings: Vec<&str> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| f.name.as_str())
+                            .collect();
+                        arms.push_str(&format!(
+                            "Self::{v} {{ {binds} .. }} => {{\n\
+                             let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                             {pushes}\
+                             ::serde::Value::Object(vec![(String::from(\"{v}\"), \
+                             ::serde::Value::Object(fields))])\n\
+                             }}\n",
+                            binds = bindings.iter().map(|b| format!("{b},")).collect::<String>(),
+                            pushes = serialize_fields(fields, |f| f.to_string()),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => format!(
+            "Ok(Self {{\n{fields}}})",
+            fields = deserialize_fields(fields, "value"),
+        ),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for variant in variants {
+                let v = &variant.name;
+                match &variant.fields {
+                    None => arms.push_str(&format!("\"{v}\" => Ok(Self::{v}),\n")),
+                    Some(fields) => arms.push_str(&format!(
+                        "\"{v}\" => Ok(Self::{v} {{\n{fields}}}),\n",
+                        fields = deserialize_fields(fields, "_payload"),
+                    )),
+                }
+            }
+            format!(
+                "let (_tag, _payload) = ::serde::as_variant(value)?;\n\
+                 match _tag {{\n\
+                 {arms}\
+                 other => Err(::serde::DeError::custom(format!(\n\
+                 \"unknown variant `{{other}}` for `{name}`\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(\n\
+         value: &::serde::Value,\n\
+         ) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n}}\n\
+         }}\n"
+    )
+}
+
+/// Derives the vendored `serde::Serialize` (Value-tree conversion).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate_serialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("vendored serde derive: {e}"))),
+        Err(message) => compile_error(&message),
+    }
+}
+
+/// Derives the vendored `serde::Deserialize` (Value-tree conversion).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate_deserialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("vendored serde derive: {e}"))),
+        Err(message) => compile_error(&message),
+    }
+}

@@ -1,0 +1,451 @@
+//! Offline-vendored subset of the `serde_json` API, backed by the
+//! vendored Value-tree `serde` (see the workspace `README.md`, "Offline
+//! builds"). Provides [`to_string`], [`to_vec`], [`from_str`] and
+//! [`from_slice`].
+//!
+//! Numbers round-trip exactly: unsigned integers parse as `u64` without
+//! an `f64` detour (dataset seeds near `u64::MAX` stay exact), and
+//! floats are written with Rust's shortest round-trip formatting.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// A serialization or parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(err: DeError) -> Self {
+        Self::new(err.to_string())
+    }
+}
+
+/// Serializes a value to a JSON string.
+///
+/// # Errors
+///
+/// Infallible for tree-shaped data; the `Result` mirrors upstream's
+/// signature.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.serialize(), &mut out);
+    Ok(out)
+}
+
+/// Serializes a value to JSON bytes.
+///
+/// # Errors
+///
+/// See [`to_string`].
+pub fn to_vec<T: Serialize>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes a value from a JSON string.
+///
+/// # Errors
+///
+/// Errors on malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at byte {}",
+            parser.pos
+        )));
+    }
+    T::deserialize(&value).map_err(Error::from)
+}
+
+/// Deserializes a value from JSON bytes.
+///
+/// # Errors
+///
+/// Errors on invalid UTF-8, malformed JSON, or a shape mismatch.
+pub fn from_slice<T: Deserialize>(input: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(input).map_err(|e| Error::new(e.to_string()))?;
+    from_str(text)
+}
+
+fn write_value(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                // `{:?}` is Rust's shortest representation that parses
+                // back to the same bits — same guarantee upstream gets
+                // from ryu.
+                out.push_str(&format!("{x:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(key, out);
+                out.push(':');
+                write_value(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn consume_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'n') if self.consume_literal("null") => Ok(Value::Null),
+            Some(b't') if self.consume_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.consume_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::new(format!("bad array at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            entries.push((key, self.parse_value()?));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error::new(format!("bad object at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        let text =
+            std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| Error::new(e.to_string()))?;
+        let mut chars = text.char_indices();
+        while let Some((offset, c)) = chars.next() {
+            match c {
+                '"' => {
+                    self.pos += offset + 1;
+                    return Ok(out);
+                }
+                '\\' => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'b')) => out.push('\u{8}'),
+                    Some((_, 'f')) => out.push('\u{c}'),
+                    Some((_, 'u')) => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let (_, h) = chars
+                                .next()
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            code = code * 16
+                                + h.to_digit(16).ok_or_else(|| Error::new("bad \\u escape"))?;
+                        }
+                        // Surrogate pairs are not produced by our writer;
+                        // lone surrogates decode to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => {
+                        return Err(Error::new(format!("bad escape {other:?}")));
+                    }
+                },
+                c => out.push(c),
+            }
+        }
+        Err(Error::new("unterminated string"))
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if is_float {
+            return text
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| Error::new(format!("bad number `{text}`: {e}")));
+        }
+        // Integers: parse exactly, preferring the unsigned form so u64
+        // values survive; fall back to f64 only on 64-bit overflow.
+        if text.starts_with('-') {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        } else if let Ok(u) = text.parse::<u64>() {
+            return Ok(Value::UInt(u));
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|e| Error::new(format!("bad number `{text}`: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let v: u64 = u64::MAX - 3;
+        let json = to_string(&v).unwrap();
+        assert_eq!(from_str::<u64>(&json).unwrap(), v);
+        assert_eq!(from_str::<i32>("-17").unwrap(), -17);
+        assert_eq!(from_str::<bool>(" true ").unwrap(), true);
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for x in [0.1f64, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, -0.0] {
+            let json = to_string(&x).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{json}");
+        }
+        let nan_json = to_string(&f64::NAN).unwrap();
+        assert_eq!(nan_json, "null");
+        assert!(from_str::<f64>(&nan_json).unwrap().is_nan());
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = "a \"quote\"\n\ttab \\ slash \u{1} unicode \u{1F600}".to_string();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn nested_vectors_round_trip() {
+        let v: Vec<Vec<f32>> = vec![vec![1.5, -2.25], vec![], vec![0.0]];
+        let json = to_string(&v).unwrap();
+        assert_eq!(from_str::<Vec<Vec<f32>>>(&json).unwrap(), v);
+    }
+
+    #[test]
+    fn malformed_inputs_error_without_panic() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "1 2"] {
+            assert!(from_str::<bool>(bad).is_err(), "{bad:?} should fail");
+        }
+        assert!(from_slice::<bool>(&[0xff, 0xfe]).is_err());
+    }
+
+    #[test]
+    fn derived_struct_round_trips() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct Demo {
+            name: String,
+            weights: Vec<f32>,
+            count: usize,
+            #[serde(skip)]
+            scratch: Vec<u8>,
+        }
+
+        let demo = Demo {
+            name: "sobel".into(),
+            weights: vec![0.25, -1.5],
+            count: 3,
+            scratch: vec![9, 9],
+        };
+        let json = to_string(&demo).unwrap();
+        assert!(!json.contains("scratch"), "skip field serialized: {json}");
+        let back: Demo = from_str(&json).unwrap();
+        assert_eq!(back.name, demo.name);
+        assert_eq!(back.weights, demo.weights);
+        assert_eq!(back.count, demo.count);
+        assert!(back.scratch.is_empty(), "skip field must default");
+    }
+
+    #[test]
+    fn derived_enums_round_trip() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        enum Unit {
+            A,
+            B,
+        }
+
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        enum Tree {
+            Leaf {
+                reject: bool,
+            },
+            Split {
+                dim: usize,
+                below: Box<Tree>,
+                above: Box<Tree>,
+            },
+        }
+
+        let json = to_string(&Unit::B).unwrap();
+        assert_eq!(json, "\"B\"");
+        assert_eq!(from_str::<Unit>(&json).unwrap(), Unit::B);
+        assert!(from_str::<Unit>("\"C\"").is_err());
+
+        let tree = Tree::Split {
+            dim: 1,
+            below: Box::new(Tree::Leaf { reject: true }),
+            above: Box::new(Tree::Leaf { reject: false }),
+        };
+        let json = to_string(&tree).unwrap();
+        assert_eq!(from_str::<Tree>(&json).unwrap(), tree);
+    }
+}
