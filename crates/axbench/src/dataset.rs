@@ -6,6 +6,8 @@
 //! invocations, so inputs are stored flat (`count × input_dim` in one
 //! allocation) rather than as nested vectors.
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::fmt;
 
 /// How large a generated dataset should be.
@@ -20,6 +22,53 @@ pub enum DatasetScale {
     /// The experiment size (e.g. 2048 invocations, a 64×64 image).
     #[default]
     Full,
+}
+
+/// An input-distribution drift applied to a dataset — the "deployment
+/// inputs stopped looking like the compilation inputs" fault mode.
+///
+/// All three knobs are expressed relative to each input dimension's
+/// observed spread, so one spec means the same *severity* on every
+/// benchmark regardless of its native units:
+///
+/// * `scale` multiplies each element's distance from the per-dimension
+///   midpoint (1.0 = unchanged);
+/// * `offset` shifts every element by that fraction of the per-dimension
+///   range;
+/// * `noise_std` adds zero-mean Gaussian noise with that fraction of the
+///   per-dimension range as its standard deviation, drawn from `seed`.
+///
+/// Applying a spec is deterministic: the same `(dataset, spec)` pair
+/// always produces the same drifted dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftSpec {
+    /// Multiplicative stretch about the per-dimension midpoint.
+    pub scale: f32,
+    /// Additive shift in units of the per-dimension range.
+    pub offset: f32,
+    /// Gaussian noise standard deviation in units of the per-dimension
+    /// range.
+    pub noise_std: f32,
+    /// Seed for the noise stream.
+    pub seed: u64,
+}
+
+impl DriftSpec {
+    /// The identity drift: applying it reproduces the dataset bit-exactly
+    /// (no noise is drawn when `noise_std` is zero).
+    pub fn none() -> Self {
+        Self {
+            scale: 1.0,
+            offset: 0.0,
+            noise_std: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Whether this spec changes anything at all.
+    pub fn is_identity(&self) -> bool {
+        self.scale == 1.0 && self.offset == 0.0 && self.noise_std == 0.0
+    }
 }
 
 /// A single application input: the ordered accelerator input vectors its
@@ -87,6 +136,71 @@ impl Dataset {
     pub fn as_flat(&self) -> &[f32] {
         &self.inputs
     }
+
+    /// Returns a copy of this dataset with [`DriftSpec`] applied.
+    ///
+    /// The drifted dataset keeps the same `seed()` — it is still the same
+    /// application input as far as context regeneration (an FFT's signal,
+    /// a JPEG's image) is concerned; only the accelerator-visible vectors
+    /// have drifted. An identity spec returns a bit-exact copy.
+    pub fn drifted(&self, spec: &DriftSpec) -> Self {
+        if spec.is_identity() || self.inputs.is_empty() {
+            return self.clone();
+        }
+
+        // Per-dimension midpoint and range over the dataset.
+        let dim = self.input_dim;
+        let mut mins = vec![f32::INFINITY; dim];
+        let mut maxs = vec![f32::NEG_INFINITY; dim];
+        for v in self.iter() {
+            for (d, &x) in v.iter().enumerate() {
+                mins[d] = mins[d].min(x);
+                maxs[d] = maxs[d].max(x);
+            }
+        }
+        let mids: Vec<f32> = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(lo, hi)| (lo + hi) / 2.0)
+            .collect();
+        // A constant dimension has zero observed range; use unit range so
+        // offset/noise severities still mean something there.
+        let ranges: Vec<f32> = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(lo, hi)| if hi > lo { hi - lo } else { 1.0 })
+            .collect();
+
+        let mut rng =
+            StdRng::seed_from_u64(spec.seed ^ self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let inputs: Vec<f32> = self
+            .inputs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                let d = i % dim;
+                let noise = if spec.noise_std > 0.0 {
+                    gaussian(&mut rng) * spec.noise_std * ranges[d]
+                } else {
+                    0.0
+                };
+                mids[d] + (x - mids[d]) * spec.scale + spec.offset * ranges[d] + noise
+            })
+            .collect();
+        Self {
+            seed: self.seed,
+            input_dim: dim,
+            inputs,
+        }
+    }
+}
+
+/// One standard-normal draw via Box–Muller from two uniforms.
+fn gaussian(rng: &mut StdRng) -> f32 {
+    // u1 in (0, 1] so ln(u1) is finite.
+    let u1: f64 = 1.0 - rng.gen_range(0.0..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32
 }
 
 impl<'a> IntoIterator for &'a Dataset {
@@ -236,5 +350,70 @@ mod tests {
     #[test]
     fn default_scale_is_full() {
         assert_eq!(DatasetScale::default(), DatasetScale::Full);
+    }
+
+    fn drift_fixture() -> Dataset {
+        // Dim 0 spans [0, 10], dim 1 spans [−1, 1].
+        Dataset::from_flat(5, 2, vec![0.0, -1.0, 10.0, 1.0, 5.0, 0.0])
+    }
+
+    #[test]
+    fn identity_drift_is_bit_exact() {
+        let ds = drift_fixture();
+        let out = ds.drifted(&DriftSpec::none());
+        assert_eq!(out, ds);
+        assert!(DriftSpec::none().is_identity());
+    }
+
+    #[test]
+    fn offset_drift_shifts_by_per_dim_range() {
+        let ds = drift_fixture();
+        let spec = DriftSpec {
+            scale: 1.0,
+            offset: 0.1,
+            noise_std: 0.0,
+            seed: 0,
+        };
+        let out = ds.drifted(&spec);
+        // Dim 0 range is 10 → +1.0; dim 1 range is 2 → +0.2.
+        assert!((out.input(0)[0] - 1.0).abs() < 1e-6);
+        assert!((out.input(0)[1] - (-0.8)).abs() < 1e-6);
+        assert_eq!(out.seed(), ds.seed(), "drift keeps the application seed");
+    }
+
+    #[test]
+    fn scale_drift_stretches_about_midpoint() {
+        let ds = drift_fixture();
+        let spec = DriftSpec {
+            scale: 2.0,
+            offset: 0.0,
+            noise_std: 0.0,
+            seed: 0,
+        };
+        let out = ds.drifted(&spec);
+        // Dim 0 midpoint is 5: 0 → −5, 10 → 15, 5 → 5.
+        assert!((out.input(0)[0] - (-5.0)).abs() < 1e-6);
+        assert!((out.input(1)[0] - 15.0).abs() < 1e-6);
+        assert!((out.input(2)[0] - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noise_drift_is_deterministic_and_seed_sensitive() {
+        let ds = drift_fixture();
+        let spec = DriftSpec {
+            scale: 1.0,
+            offset: 0.0,
+            noise_std: 0.05,
+            seed: 11,
+        };
+        let a = ds.drifted(&spec);
+        let b = ds.drifted(&spec);
+        assert_eq!(a, b, "same (dataset, spec) must drift identically");
+        assert_ne!(a, ds, "noise must change something");
+        let other = ds.drifted(&DriftSpec { seed: 12, ..spec });
+        assert_ne!(a, other, "different noise seeds must diverge");
+        for (x, y) in a.as_flat().iter().zip(ds.as_flat()) {
+            assert!(x.is_finite(), "noise produced non-finite {x} from {y}");
+        }
     }
 }

@@ -47,7 +47,7 @@ pub mod suite;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use crate::benchmark::{Benchmark, WorkloadProfile};
-    pub use crate::dataset::{Dataset, DatasetScale, OutputBuffer};
-    pub use crate::quality::QualityMetric;
+    pub use crate::dataset::{Dataset, DatasetScale, DriftSpec, OutputBuffer};
+    pub use crate::quality::{QualityError, QualityMetric};
     pub use crate::suite;
 }

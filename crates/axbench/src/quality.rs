@@ -6,7 +6,38 @@
 //! (jmeint) and image diff (jpeg, sobel).
 
 use serde::{Deserialize, Serialize};
+use std::error::Error;
 use std::fmt;
+
+/// A quality comparison that cannot be scored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QualityError {
+    /// The precise and approximate outputs have different lengths.
+    LengthMismatch {
+        /// Elements in the precise output.
+        precise: usize,
+        /// Elements in the approximate output.
+        approx: usize,
+    },
+    /// Both outputs are empty — there is nothing to score.
+    Empty,
+}
+
+impl fmt::Display for QualityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QualityError::LengthMismatch { precise, approx } => write!(
+                f,
+                "quality comparison requires equal-length outputs \
+                 (precise {precise}, approx {approx})"
+            ),
+            QualityError::Empty => f.write_str("cannot score empty outputs"),
+        }
+    }
+}
+
+impl Error for QualityError {}
 
 /// The quality metric a benchmark reports (paper Table I column
 /// "Application Error Metric").
@@ -41,10 +72,16 @@ impl QualityMetric {
     /// Quality loss in `[0, 1]` between the precise and approximate final
     /// application outputs.
     ///
+    /// A NaN element on either side scores the maximal elementwise error
+    /// (1.0 — or a miss for [`QualityMetric::MissRate`]): a corrupted
+    /// accelerator that emits NaN must look *worse* than any finite wrong
+    /// answer, never silently drop out of the average.
+    ///
     /// # Panics
     ///
     /// Panics if the two slices have different lengths or are empty — the
-    /// harness always compares like with like.
+    /// harness always compares like with like. Fault-tolerant callers use
+    /// [`QualityMetric::try_quality_loss`].
     pub fn quality_loss(&self, precise: &[f64], approx: &[f64]) -> f64 {
         assert_eq!(
             precise.len(),
@@ -52,54 +89,60 @@ impl QualityMetric {
             "quality comparison requires equal-length outputs"
         );
         assert!(!precise.is_empty(), "cannot score empty outputs");
-        match self {
-            QualityMetric::AvgRelativeError => {
-                let sum: f64 = precise
-                    .iter()
-                    .zip(approx)
-                    .map(|(&p, &a)| relative_error(p, a))
-                    .sum();
-                sum / precise.len() as f64
-            }
-            QualityMetric::MissRate => {
-                let misses = precise
-                    .iter()
-                    .zip(approx)
-                    .filter(|(&p, &a)| (p >= 0.5) != (a >= 0.5))
-                    .count();
-                misses as f64 / precise.len() as f64
-            }
-            QualityMetric::ImageDiff => {
-                let sum: f64 = precise
-                    .iter()
-                    .zip(approx)
-                    .map(|(&p, &a)| ((a - p).abs() / 255.0).min(1.0))
-                    .sum();
-                sum / precise.len() as f64
-            }
+        let sum: f64 = precise
+            .iter()
+            .zip(approx)
+            .map(|(&p, &a)| self.element_error(p, a))
+            .sum();
+        sum / precise.len() as f64
+    }
+
+    /// Fallible form of [`QualityMetric::quality_loss`] for runtime
+    /// decision paths that must not panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QualityError`] on mismatched lengths or empty outputs.
+    pub fn try_quality_loss(&self, precise: &[f64], approx: &[f64]) -> Result<f64, QualityError> {
+        if precise.len() != approx.len() {
+            return Err(QualityError::LengthMismatch {
+                precise: precise.len(),
+                approx: approx.len(),
+            });
         }
+        if precise.is_empty() {
+            return Err(QualityError::Empty);
+        }
+        Ok(self.quality_loss(precise, approx))
     }
 
     /// Per-element error contributions — the sample Figure 1 plots as a
     /// CDF ("only a small fraction of these elements see large errors").
     pub fn element_errors(&self, precise: &[f64], approx: &[f64]) -> Vec<f64> {
         assert_eq!(precise.len(), approx.len());
+        precise
+            .iter()
+            .zip(approx)
+            .map(|(&p, &a)| self.element_error(p, a))
+            .collect()
+    }
+
+    /// One element's error contribution in `[0, 1]`. NaN anywhere scores
+    /// the maximum.
+    fn element_error(&self, precise: f64, approx: f64) -> f64 {
+        if precise.is_nan() || approx.is_nan() {
+            return 1.0;
+        }
         match self {
-            QualityMetric::AvgRelativeError => precise
-                .iter()
-                .zip(approx)
-                .map(|(&p, &a)| relative_error(p, a))
-                .collect(),
-            QualityMetric::MissRate => precise
-                .iter()
-                .zip(approx)
-                .map(|(&p, &a)| if (p >= 0.5) != (a >= 0.5) { 1.0 } else { 0.0 })
-                .collect(),
-            QualityMetric::ImageDiff => precise
-                .iter()
-                .zip(approx)
-                .map(|(&p, &a)| ((a - p).abs() / 255.0).min(1.0))
-                .collect(),
+            QualityMetric::AvgRelativeError => relative_error(precise, approx),
+            QualityMetric::MissRate => {
+                if (precise >= 0.5) != (approx >= 0.5) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            QualityMetric::ImageDiff => ((approx - precise).abs() / 255.0).min(1.0),
         }
     }
 }
@@ -174,6 +217,68 @@ mod tests {
     #[should_panic(expected = "equal-length")]
     fn mismatched_lengths_panic() {
         let _ = QualityMetric::MissRate.quality_loss(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn nan_scores_maximal_error_on_every_metric() {
+        for m in [
+            QualityMetric::AvgRelativeError,
+            QualityMetric::MissRate,
+            QualityMetric::ImageDiff,
+        ] {
+            // NaN in the approximate output.
+            assert_eq!(m.quality_loss(&[1.0], &[f64::NAN]), 1.0, "{m} approx NaN");
+            // NaN in the precise reference.
+            assert_eq!(m.quality_loss(&[f64::NAN], &[1.0]), 1.0, "{m} precise NaN");
+            // NaN on both sides is still a full miss, not a match.
+            assert_eq!(
+                m.quality_loss(&[f64::NAN], &[f64::NAN]),
+                1.0,
+                "{m} both NaN"
+            );
+        }
+    }
+
+    #[test]
+    fn nan_element_dilutes_but_never_vanishes() {
+        // One NaN among three clean elements contributes exactly 1/3.
+        let p = [1.0, 1.0, 1.0];
+        let a = [1.0, f64::NAN, 1.0];
+        let loss = QualityMetric::AvgRelativeError.quality_loss(&p, &a);
+        assert!((loss - 1.0 / 3.0).abs() < 1e-12, "got {loss}");
+        let errs = QualityMetric::AvgRelativeError.element_errors(&p, &a);
+        assert_eq!(errs, vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn infinite_elements_cap_at_one() {
+        let loss = QualityMetric::ImageDiff.quality_loss(&[0.0], &[f64::INFINITY]);
+        assert_eq!(loss, 1.0);
+    }
+
+    #[test]
+    fn try_quality_loss_reports_errors_instead_of_panicking() {
+        let m = QualityMetric::AvgRelativeError;
+        assert_eq!(
+            m.try_quality_loss(&[1.0], &[1.0, 2.0]),
+            Err(QualityError::LengthMismatch {
+                precise: 1,
+                approx: 2
+            })
+        );
+        assert_eq!(m.try_quality_loss(&[], &[]), Err(QualityError::Empty));
+        let ok = m.try_quality_loss(&[1.0, 1.0], &[1.1, 1.0]).unwrap();
+        assert_eq!(ok, m.quality_loss(&[1.0, 1.0], &[1.1, 1.0]));
+    }
+
+    #[test]
+    fn quality_error_display() {
+        let e = QualityError::LengthMismatch {
+            precise: 3,
+            approx: 5,
+        };
+        assert!(e.to_string().contains("equal-length"));
+        assert!(QualityError::Empty.to_string().contains("empty"));
     }
 
     #[test]

@@ -38,7 +38,8 @@ pub const DEFAULT_CACHE_DIR: &str = "target/mithra-cache";
 const USAGE: &str = "usage: --scale smoke|full --datasets N --validation N \
                      --quality 2.5,5,7.5,10 --confidence 0.95 --success-rate 0.90 \
                      --bench name,name --npu-epochs N --npu-train-datasets N \
-                     --cache-dir PATH --no-cache";
+                     --cache-dir PATH --no-cache --fault-rates 0.0005,0.002,0.008 \
+                     --fault-seed N --watchdog-period N";
 
 /// A command-line parsing or configuration error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,6 +92,14 @@ pub struct ExperimentConfig {
     pub npu_train_datasets: usize,
     /// Artifact-cache root; `None` disables caching.
     pub cache_dir: Option<PathBuf>,
+    /// Per-bit/per-invocation fault rates the robustness sweep injects
+    /// (raw probabilities, not percentages).
+    pub fault_rates: Vec<f64>,
+    /// Master seed for deterministic fault plans.
+    pub fault_seed: u64,
+    /// Sampling period of the runtime quality watchdog (every N-th
+    /// approximate decision is shadow-checked).
+    pub watchdog_period: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -109,6 +118,9 @@ impl Default for ExperimentConfig {
             npu: NpuTrainConfig::default(),
             npu_train_datasets: 10,
             cache_dir: Some(PathBuf::from(DEFAULT_CACHE_DIR)),
+            fault_rates: vec![0.0005, 0.002, 0.008],
+            fault_seed: 0xFA17,
+            watchdog_period: 16,
         }
     }
 }
@@ -206,6 +218,21 @@ impl ExperimentConfig {
                 "--no-cache" => {
                     cfg.cache_dir = None;
                     i += 1;
+                }
+                "--fault-rates" => {
+                    cfg.fault_rates = take()?
+                        .split(',')
+                        .map(|s| parse::<f64>(flag, s.trim()))
+                        .collect::<std::result::Result<_, _>>()?;
+                    i += 2;
+                }
+                "--fault-seed" => {
+                    cfg.fault_seed = parse(flag, &take()?)?;
+                    i += 2;
+                }
+                "--watchdog-period" => {
+                    cfg.watchdog_period = parse(flag, &take()?)?;
+                    i += 2;
                 }
                 other => {
                     return Err(ArgError::new(format!("unknown argument `{other}`")));
@@ -532,6 +559,12 @@ mod tests {
             "12",
             "--npu-train-datasets",
             "4",
+            "--fault-rates",
+            "0.001,0.01",
+            "--fault-seed",
+            "42",
+            "--watchdog-period",
+            "8",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -546,6 +579,9 @@ mod tests {
         assert_eq!(cfg.benchmarks, vec!["sobel".to_string(), "fft".to_string()]);
         assert_eq!(cfg.npu.epochs, Some(12));
         assert_eq!(cfg.npu_train_datasets, 4);
+        assert_eq!(cfg.fault_rates, vec![0.001, 0.01]);
+        assert_eq!(cfg.fault_seed, 42);
+        assert_eq!(cfg.watchdog_period, 8);
         assert_eq!(cfg.suite().unwrap().len(), 2);
     }
 
@@ -559,6 +595,8 @@ mod tests {
         assert_eq!(cfg.benchmarks.len(), 6);
         assert_eq!(cfg.npu, NpuTrainConfig::default());
         assert_eq!(cfg.cache_dir, Some(PathBuf::from(DEFAULT_CACHE_DIR)));
+        assert_eq!(cfg.fault_rates, vec![0.0005, 0.002, 0.008]);
+        assert_eq!(cfg.watchdog_period, 16);
     }
 
     #[test]

@@ -29,6 +29,7 @@ fn drifty_config() -> ExperimentConfig {
         },
         npu_train_datasets: 3,
         cache_dir: None,
+        ..ExperimentConfig::default()
     }
 }
 

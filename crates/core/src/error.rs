@@ -35,6 +35,8 @@ pub enum MithraError {
     Npu(mithra_npu::NpuError),
     /// An error bubbled up from the statistics substrate.
     Stats(mithra_stats::StatsError),
+    /// A quality comparison could not be scored.
+    Quality(mithra_axbench::quality::QualityError),
 }
 
 impl fmt::Display for MithraError {
@@ -70,6 +72,7 @@ impl fmt::Display for MithraError {
             }
             MithraError::Npu(e) => write!(f, "accelerator error: {e}"),
             MithraError::Stats(e) => write!(f, "statistics error: {e}"),
+            MithraError::Quality(e) => write!(f, "quality error: {e}"),
         }
     }
 }
@@ -79,6 +82,7 @@ impl Error for MithraError {
         match self {
             MithraError::Npu(e) => Some(e),
             MithraError::Stats(e) => Some(e),
+            MithraError::Quality(e) => Some(e),
             _ => None,
         }
     }
@@ -95,6 +99,13 @@ impl From<mithra_npu::NpuError> for MithraError {
 impl From<mithra_stats::StatsError> for MithraError {
     fn from(e: mithra_stats::StatsError) -> Self {
         MithraError::Stats(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<mithra_axbench::quality::QualityError> for MithraError {
+    fn from(e: mithra_axbench::quality::QualityError) -> Self {
+        MithraError::Quality(e)
     }
 }
 

@@ -155,14 +155,25 @@ impl AcceleratedFunction {
     /// Runs the accelerator for one invocation, producing raw-space
     /// outputs in `out`.
     pub fn approx_into(&self, input: &[f32], out: &mut Vec<f32>) {
+        self.try_approx_into(input, out)
+            .expect("topology input width matches benchmark input_dim");
+    }
+
+    /// Fallible form of [`AcceleratedFunction::approx_into`] for runtime
+    /// paths that must not panic (e.g. the simulator's decision loop).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`mithra_npu::NpuError::DimensionMismatch`] if `input` does
+    /// not match the network's input layer.
+    pub fn try_approx_into(&self, input: &[f32], out: &mut Vec<f32>) -> Result<()> {
         let normalized_in = self.input_norm.forward(input);
         let mut raw = Vec::with_capacity(self.benchmark.output_dim());
-        self.npu
-            .run_into(&normalized_in, &mut raw)
-            .expect("topology input width matches benchmark input_dim");
+        self.npu.run_into(&normalized_in, &mut raw)?;
         let denorm = self.output_norm.inverse(&raw);
         out.clear();
         out.extend_from_slice(&denorm);
+        Ok(())
     }
 
     /// Runs the precise function for one invocation.
@@ -173,12 +184,23 @@ impl AcceleratedFunction {
     /// The accelerator error of an invocation in normalized output space:
     /// the maximum over elements of `|precise − approx| / range`, the
     /// quantity Equation (1) compares against the threshold.
+    ///
+    /// A NaN element (a corrupted accelerator can emit one) scores
+    /// infinite error so the invocation fails *every* threshold —
+    /// `f32::max` would otherwise silently skip it.
     pub fn max_normalized_error(&self, precise: &[f32], approx: &[f32]) -> f32 {
         let p = self.output_norm.forward(precise);
         let a = self.output_norm.forward(approx);
         p.iter()
             .zip(&a)
-            .map(|(x, y)| (x - y).abs())
+            .map(|(x, y)| {
+                let d = (x - y).abs();
+                if d.is_nan() {
+                    f32::INFINITY
+                } else {
+                    d
+                }
+            })
             .fold(0.0f32, f32::max)
     }
 }
@@ -233,6 +255,20 @@ mod tests {
         let large = f.max_normalized_error(&[100.0], &[200.0]);
         assert!(large > small);
         assert!(small > 0.0);
+    }
+
+    #[test]
+    fn nan_output_fails_every_threshold() {
+        let f = trained_sobel();
+        let e = f.max_normalized_error(&[100.0], &[f32::NAN]);
+        assert_eq!(e, f32::INFINITY);
+    }
+
+    #[test]
+    fn try_approx_rejects_bad_width() {
+        let f = trained_sobel();
+        let mut out = Vec::new();
+        assert!(f.try_approx_into(&[1.0], &mut out).is_err());
     }
 
     #[test]

@@ -66,6 +66,7 @@ pub mod table;
 pub mod threshold;
 pub mod training;
 pub mod tree;
+pub mod watchdog;
 
 mod error;
 
@@ -87,5 +88,6 @@ pub mod prelude {
     pub use crate::session::{CompileSession, SessionReport, Stage, StageReport};
     pub use crate::table::{TableClassifier, TableDesign};
     pub use crate::threshold::{QualitySpec, ThresholdOutcome};
+    pub use crate::watchdog::{GuardState, QualityWatchdog, WatchdogConfig};
     pub use crate::MithraError;
 }

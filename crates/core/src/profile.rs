@@ -13,7 +13,21 @@
 
 use crate::classifier::{Classifier, Decision};
 use crate::function::AcceleratedFunction;
+use crate::Result;
 use mithra_axbench::dataset::{Dataset, OutputBuffer};
+
+/// Where one invocation's output came from when a run is scored after the
+/// fact — the generalization of [`Decision`] the fault model needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// The precise function produced this output.
+    Precise,
+    /// The accelerator produced this output.
+    Approx,
+    /// A FIFO drop left the core reading a *stale* accelerator output:
+    /// the consumer dequeued what invocation `0..i` had left behind.
+    ApproxFrom(usize),
+}
 
 /// Cached profile of one dataset: inputs, both output streams, and the
 /// per-invocation accelerator error.
@@ -195,6 +209,58 @@ impl DatasetProfile {
         }
     }
 
+    /// Replays the dataset with a per-invocation [`Route`], scoring final
+    /// quality without panicking — the fault model's scoring path, where a
+    /// FIFO drop can route a *stale* accelerator output
+    /// ([`Route::ApproxFrom`]) into the output stream.
+    ///
+    /// With routes of only [`Route::Precise`]/[`Route::Approx`] this is
+    /// numerically identical to [`DatasetProfile::replay_with`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `routes` does not cover every invocation or if
+    /// the final outputs cannot be scored.
+    pub fn try_replay_routed(
+        &self,
+        function: &AcceleratedFunction,
+        routes: &[Route],
+    ) -> Result<ReplayOutcome> {
+        let n = self.invocation_count();
+        if routes.len() != n {
+            return Err(crate::MithraError::InsufficientData {
+                stage: "routed replay",
+                available: routes.len(),
+                needed: n,
+            });
+        }
+        let bench = function.benchmark();
+        let mut mixed = OutputBuffer::with_capacity(bench.output_dim(), n);
+        let mut invoked = 0usize;
+        for (i, route) in routes.iter().enumerate() {
+            match route {
+                Route::Precise => mixed.push(self.precise.get(i)),
+                Route::Approx => {
+                    invoked += 1;
+                    mixed.push(self.approx.get(i));
+                }
+                Route::ApproxFrom(j) => {
+                    invoked += 1;
+                    mixed.push(self.approx.get((*j).min(n - 1)));
+                }
+            }
+        }
+        let final_mixed = bench.run_application(&self.dataset, &mixed);
+        let quality_loss = bench
+            .quality_metric()
+            .try_quality_loss(&self.final_precise, &final_mixed)?;
+        Ok(ReplayOutcome {
+            quality_loss,
+            invoked,
+            total: n,
+        })
+    }
+
     /// Replays the dataset driving a [`Classifier`], optionally applying
     /// online updates every `online_update_period` invocations (0 = no
     /// updates) using the measured error at `threshold` — the paper's
@@ -363,6 +429,45 @@ mod tests {
             assert_eq!(p.errors(), seq.errors(), "errors {i} differ");
             assert_eq!(p.final_precise(), seq.final_precise(), "finals {i} differ");
         }
+    }
+
+    #[test]
+    fn routed_replay_matches_replay_with_on_clean_routes() {
+        let (f, p) = profile_for("sobel");
+        let th = 0.08;
+        let routes: Vec<Route> = p
+            .oracle_rejects(th)
+            .iter()
+            .map(|&r| if r { Route::Precise } else { Route::Approx })
+            .collect();
+        let routed = p.try_replay_routed(&f, &routes).unwrap();
+        let direct = p.replay_with_threshold(&f, th);
+        assert_eq!(routed.quality_loss, direct.quality_loss);
+        assert_eq!(routed.invoked, direct.invoked);
+    }
+
+    #[test]
+    fn stale_route_degrades_quality() {
+        let (f, p) = profile_for("sobel");
+        // All approx, but every invocation reads invocation 0's output.
+        let stale: Vec<Route> = (0..p.invocation_count())
+            .map(|_| Route::ApproxFrom(0))
+            .collect();
+        let fresh: Vec<Route> = (0..p.invocation_count()).map(|_| Route::Approx).collect();
+        let s = p.try_replay_routed(&f, &stale).unwrap();
+        let fr = p.try_replay_routed(&f, &fresh).unwrap();
+        assert!(
+            s.quality_loss > fr.quality_loss,
+            "stale {} vs fresh {}",
+            s.quality_loss,
+            fr.quality_loss
+        );
+    }
+
+    #[test]
+    fn routed_replay_rejects_short_routes() {
+        let (f, p) = profile_for("sobel");
+        assert!(p.try_replay_routed(&f, &[Route::Precise]).is_err());
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::misr::{InputQuantizer, Misr, MisrConfig};
 use crate::training::TrainingExample;
 use crate::{MithraError, Result};
 use mithra_bdi::CompressedTable;
+use mithra_npu::fault::FaultSite;
 use serde::{Deserialize, Serialize};
 
 /// Geometry of a table design point: `aT × bKB` in the paper's notation.
@@ -113,6 +114,13 @@ impl BitTable {
 
     fn ones(&self) -> usize {
         self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Inverts one entry — an SRAM upset in the table array. A flipped `1`
+    /// loses a learned reject (aliasing toward the accelerator); a flipped
+    /// `0` falsely rejects a bucket.
+    fn flip(&mut self, idx: usize) {
+        self.bits[idx / 64] ^= 1 << (idx % 64);
     }
 
     /// Byte representation for compression (entry `i` is bit `i%8` of
@@ -411,6 +419,22 @@ impl TableClassifier {
         CompressedTable::new(&bytes)
     }
 
+    /// Reconfigures one table's MISR — the "control-register corruption"
+    /// fault: the table still reads, but its hash no longer matches the
+    /// one it was trained under, so learned rejects alias away and stale
+    /// buckets fire. `table` is taken modulo the ensemble size;
+    /// `taps_mask` is XORed into the feedback taps and `rotate_delta`
+    /// added to both rotations (the input rotation too — for short input
+    /// vectors the register never wraps, so taps and register rotation
+    /// alone would leave the hash unchanged).
+    pub fn corrupt_misr(&mut self, table: usize, taps_mask: u32, rotate_delta: u32) {
+        let idx = table % self.configs.len();
+        let cfg = &mut self.configs[idx];
+        cfg.taps ^= taps_mask;
+        cfg.rotate = cfg.rotate.wrapping_add(rotate_delta);
+        cfg.input_rotate = cfg.input_rotate.wrapping_add(rotate_delta);
+    }
+
     /// The decision for a raw input vector without mutating online state —
     /// used by trainers evaluating candidate designs.
     pub fn decide(&mut self, input: &[f32]) -> Decision {
@@ -426,6 +450,21 @@ impl TableClassifier {
         }
         self.scratch = qbuf;
         Decision::from_reject(reject)
+    }
+}
+
+impl FaultSite for TableClassifier {
+    /// Bits are the table entries, enumerated table-major: bit
+    /// `t * entries_per_table + e` is entry `e` of table `t`.
+    fn fault_bits(&self) -> u64 {
+        (self.design.tables * self.design.entries_per_table) as u64
+    }
+
+    fn flip_bit(&mut self, index: u64) {
+        let entries = self.design.entries_per_table as u64;
+        let table = (index / entries) as usize;
+        let entry = (index % entries) as usize;
+        self.tables[table].flip(entry);
     }
 }
 
@@ -608,6 +647,64 @@ mod tests {
         assert_eq!(d.to_string(), "8T x 0.5KB");
         assert!((d.total_kb() - 4.0).abs() < 1e-12);
         assert_eq!(d.index_width(), 12);
+    }
+
+    #[test]
+    fn fault_bits_cover_all_entries_and_flips_invert() {
+        let ex = examples_1d(&[0.9], &[0.1]);
+        let mut c =
+            TableClassifier::train(TableDesign::paper_default(), quantizer_1d(), &ex).unwrap();
+        assert_eq!(c.fault_bits(), 8 * 4096);
+        let before = c.clone();
+        // Flip an entry in the last table; decisions over a trained reject
+        // may or may not change, but state must, and a second flip must
+        // restore it bit-exactly.
+        let bit = c.fault_bits() - 7;
+        c.flip_bit(bit);
+        assert_ne!(c, before);
+        c.flip_bit(bit);
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn flipped_zero_entry_falsely_rejects() {
+        let ex = examples_1d(&[], &[0.1, 0.5, 0.9]);
+        let mut c = TableClassifier::train(
+            TableDesign {
+                tables: 1,
+                entries_per_table: 256,
+            },
+            quantizer_1d(),
+            &ex,
+        )
+        .unwrap();
+        assert_eq!(c.decide(&[0.5]), Decision::Approximate);
+        // Corrupt the exact bucket 0.5 hashes to.
+        let qbuf = c.quantizer().quantize(&[0.5]);
+        let idx = Misr::hash(c.configs()[0], c.design().index_width(), &qbuf);
+        c.flip_bit(idx as u64);
+        assert_eq!(c.decide(&[0.5]), Decision::Precise);
+    }
+
+    #[test]
+    fn corrupted_misr_aliases_learned_rejects() {
+        let ex = examples_1d(&[0.9], &[0.1]);
+        let mut c = TableClassifier::train(
+            TableDesign {
+                tables: 1,
+                entries_per_table: 4096,
+            },
+            quantizer_1d(),
+            &ex,
+        )
+        .unwrap();
+        assert_eq!(c.decide(&[0.9]), Decision::Precise);
+        let original = c.configs()[0];
+        c.corrupt_misr(0, 0x155, 3);
+        assert_ne!(c.configs()[0], original, "reconfiguration must stick");
+        // The trained reject now hashes elsewhere; with a sparse table the
+        // aliased bucket is almost surely clear.
+        assert_eq!(c.decide(&[0.9]), Decision::Approximate);
     }
 
     #[test]

@@ -1,0 +1,481 @@
+//! The runtime quality watchdog: sequential drift detection with graceful
+//! precise-fallback degradation.
+//!
+//! MITHRA's compile-time certificate (paper §III) holds for inputs drawn
+//! from the profiled distribution and for the hardware the classifiers
+//! were trained against. A deployed system can leave that envelope: SRAM
+//! upsets corrupt NPU weights or classifier tables, and the input
+//! distribution itself can drift. The watchdog is the runtime guardband:
+//! it *sporadically samples* accelerator-admitted invocations (the same
+//! sampling hardware the paper's online-update path uses), shadow-executes
+//! the precise function, and runs a one-sided sequential test on the
+//! observed threshold-violation rate using the same Clopper–Pearson
+//! machinery as the compile-time certificate:
+//!
+//! * the **breach** test asks whether, at confidence β, the true violation
+//!   rate of admitted invocations *exceeds* the calibrated limit (the
+//!   exact lower confidence bound clears the limit);
+//! * the **recovery** test asks whether the *observed* rate over a full
+//!   recovery window is within the limit. Recovery is deliberately a
+//!   point estimate, not an exact bound — with a 5% limit the exact upper
+//!   bound on a perfectly clean window would need ~60 samples to clear it,
+//!   stranding the system in fallback. The [`GuardState::Probing`] stage
+//!   is the statistical backstop: a wrong re-enable only exposes a
+//!   throttled trickle, and the breach test fires again.
+//!
+//! Degradation is graceful rather than binary. On a breach the watchdog
+//! first **throttles** accelerator admission (1 in `throttle_factor`
+//! invocations may still use the NPU — quality exposure drops immediately
+//! while evidence accumulates); if the breach persists it falls back to
+//! **all-precise** execution; after a recovery window it **probes** with a
+//! trickle of accelerator invocations and re-enables full admission only
+//! when the violation rate tests clean again. A transient fault costs a
+//! bounded quality excursion; a permanent fault costs speedup, never the
+//! certified quality target.
+//!
+//! Everything is deterministic: the same sample stream produces the same
+//! transitions, which the robustness property tests rely on.
+
+use crate::classifier::{Classifier, Decision};
+use crate::profile::DatasetProfile;
+use crate::Result;
+use mithra_stats::clopper_pearson::{lower_bound, Confidence};
+
+/// The watchdog's degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GuardState {
+    /// Full accelerator admission; the sequential test watches for a
+    /// breach.
+    Monitoring,
+    /// Breach detected: 1 in `throttle_factor` admissions still reach the
+    /// accelerator while evidence accumulates.
+    Throttled,
+    /// Persistent breach: every invocation runs precise. Sampling
+    /// continues on shadow accelerator outputs so recovery is detectable.
+    Fallback,
+    /// Recovery window passed: a trickle of accelerator invocations probes
+    /// whether full admission is safe again.
+    Probing,
+}
+
+impl std::fmt::Display for GuardState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            GuardState::Monitoring => "monitoring",
+            GuardState::Throttled => "throttled",
+            GuardState::Fallback => "fallback",
+            GuardState::Probing => "probing",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Tuning for the sequential test and the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatchdogConfig {
+    /// Calibrated ceiling on the violation rate of admitted invocations.
+    /// The compile-time certificate tolerates a small false-negative rate;
+    /// the limit sits above the clean-run rate with a guardband (see
+    /// [`calibrate`]).
+    pub max_violation_rate: f64,
+    /// Confidence of both one-sided tests.
+    pub confidence: Confidence,
+    /// Samples required before the sequential test may fire. Small enough
+    /// to react within one dataset, large enough that a single unlucky
+    /// sample cannot trip it.
+    pub min_samples: u64,
+    /// In [`GuardState::Throttled`] and [`GuardState::Probing`], one in
+    /// this many accelerator admissions goes through.
+    pub throttle_factor: u64,
+    /// Shadow samples to accumulate in [`GuardState::Fallback`] before
+    /// testing for recovery.
+    pub recovery_samples: u64,
+    /// Samples to accumulate in [`GuardState::Probing`] before deciding
+    /// between re-enabling and falling back again.
+    pub probe_samples: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self {
+            max_violation_rate: 0.05,
+            confidence: Confidence::new(0.95).expect("0.95 is a valid confidence"),
+            min_samples: 12,
+            throttle_factor: 4,
+            recovery_samples: 24,
+            probe_samples: 12,
+        }
+    }
+}
+
+/// Summary of a watchdog's run, for reports and figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogReport {
+    /// Final state.
+    pub state: GuardState,
+    /// Total shadow samples observed.
+    pub samples: u64,
+    /// Total sampled violations.
+    pub violations: u64,
+    /// Times the ladder stepped down (into Throttled or Fallback).
+    pub breaches: u64,
+    /// Times full admission was restored (back to Monitoring).
+    pub recoveries: u64,
+}
+
+/// The runtime quality watchdog. Feed it with [`QualityWatchdog::admit`]
+/// on every decision and [`QualityWatchdog::record`] on every shadow
+/// sample.
+#[derive(Debug, Clone)]
+pub struct QualityWatchdog {
+    config: WatchdogConfig,
+    state: GuardState,
+    // Current evidence window.
+    samples: u64,
+    violations: u64,
+    // Deterministic trickle counter for throttled/probing admission.
+    admissions_seen: u64,
+    // Lifetime accounting.
+    total_samples: u64,
+    total_violations: u64,
+    breaches: u64,
+    recoveries: u64,
+}
+
+impl QualityWatchdog {
+    /// A watchdog in [`GuardState::Monitoring`] with the given tuning.
+    pub fn new(config: WatchdogConfig) -> Self {
+        Self {
+            config,
+            state: GuardState::Monitoring,
+            samples: 0,
+            violations: 0,
+            admissions_seen: 0,
+            total_samples: 0,
+            total_violations: 0,
+            breaches: 0,
+            recoveries: 0,
+        }
+    }
+
+    /// Current rung of the degradation ladder.
+    pub fn state(&self) -> GuardState {
+        self.state
+    }
+
+    /// The tuning this watchdog runs with.
+    pub fn config(&self) -> &WatchdogConfig {
+        &self.config
+    }
+
+    /// Gates one classifier decision through the current state. Call this
+    /// on *every* invocation; it is a counter bump and a match — no
+    /// statistics.
+    pub fn admit(&mut self, decision: Decision) -> Decision {
+        if decision == Decision::Precise {
+            return Decision::Precise;
+        }
+        match self.state {
+            GuardState::Monitoring => Decision::Approximate,
+            GuardState::Fallback => Decision::Precise,
+            GuardState::Throttled | GuardState::Probing => {
+                self.admissions_seen += 1;
+                if self.admissions_seen.is_multiple_of(self.config.throttle_factor) {
+                    Decision::Approximate
+                } else {
+                    Decision::Precise
+                }
+            }
+        }
+    }
+
+    /// Feeds one shadow sample: did a sampled accelerator-bound invocation
+    /// violate the certified threshold? Returns the new state when this
+    /// sample causes a transition.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::MithraError::Stats`] from the exact bounds
+    /// (cannot occur for the count invariants this type maintains).
+    pub fn record(&mut self, violation: bool) -> Result<Option<GuardState>> {
+        self.samples += 1;
+        self.total_samples += 1;
+        if violation {
+            self.violations += 1;
+            self.total_violations += 1;
+        }
+        let limit = self.config.max_violation_rate;
+        let conf = self.config.confidence;
+        let next = match self.state {
+            GuardState::Monitoring => {
+                if self.samples >= self.config.min_samples && self.breached(conf, limit)? {
+                    Some(GuardState::Throttled)
+                } else {
+                    // Forget stale evidence so late-onset drift is not
+                    // diluted by a long clean prefix.
+                    if self.samples >= 4 * self.config.min_samples {
+                        self.reset_window();
+                    }
+                    None
+                }
+            }
+            GuardState::Throttled => {
+                if self.samples >= self.config.min_samples {
+                    if self.breached(conf, limit)? {
+                        Some(GuardState::Fallback)
+                    } else if self.recovered(limit) {
+                        Some(GuardState::Monitoring)
+                    } else if self.samples >= 4 * self.config.min_samples {
+                        self.reset_window();
+                        None
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                }
+            }
+            GuardState::Fallback => {
+                if self.samples >= self.config.recovery_samples {
+                    if self.recovered(limit) {
+                        Some(GuardState::Probing)
+                    } else {
+                        // Still dirty: restart the recovery window.
+                        self.reset_window();
+                        None
+                    }
+                } else {
+                    None
+                }
+            }
+            GuardState::Probing => {
+                if self.samples >= self.config.probe_samples {
+                    if self.recovered(limit) {
+                        Some(GuardState::Monitoring)
+                    } else {
+                        Some(GuardState::Fallback)
+                    }
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(state) = next {
+            match state {
+                GuardState::Throttled | GuardState::Fallback => self.breaches += 1,
+                GuardState::Monitoring => self.recoveries += 1,
+                GuardState::Probing => {}
+            }
+            self.state = state;
+            self.reset_window();
+        }
+        Ok(next)
+    }
+
+    /// Lifetime summary.
+    pub fn report(&self) -> WatchdogReport {
+        WatchdogReport {
+            state: self.state,
+            samples: self.total_samples,
+            violations: self.total_violations,
+            breaches: self.breaches,
+            recoveries: self.recoveries,
+        }
+    }
+
+    fn breached(&self, conf: Confidence, limit: f64) -> Result<bool> {
+        Ok(lower_bound(self.violations, self.samples, conf)? > limit)
+    }
+
+    fn recovered(&self, limit: f64) -> bool {
+        self.violations as f64 <= limit * self.samples as f64
+    }
+
+    fn reset_window(&mut self) {
+        self.samples = 0;
+        self.violations = 0;
+    }
+}
+
+/// Calibrates a watchdog limit from the *clean* certified behaviour: runs
+/// the classifier over the given profiles, measures the violation rate of
+/// admitted invocations at the certified `threshold`, and sets the limit
+/// a guardband above it — three times the clean rate or the clean rate
+/// plus three points, whichever is larger, floored at 2%. Clean runs then
+/// sit far below the limit (the no-false-alarm property), while the fault
+/// modes this crate models push the rate past it quickly.
+///
+/// # Errors
+///
+/// Propagates statistics errors from the confidence machinery (none occur
+/// for valid inputs).
+pub fn calibrate(
+    classifier: &mut dyn Classifier,
+    profiles: &[DatasetProfile],
+    threshold: f32,
+    confidence: Confidence,
+) -> Result<WatchdogConfig> {
+    let mut admitted = 0u64;
+    let mut violations = 0u64;
+    for profile in profiles {
+        for (i, input) in profile.dataset().iter().enumerate() {
+            if classifier.classify(i, input) == Decision::Approximate {
+                admitted += 1;
+                if profile.max_error(i) > threshold {
+                    violations += 1;
+                }
+            }
+        }
+    }
+    let clean_rate = if admitted == 0 {
+        0.0
+    } else {
+        violations as f64 / admitted as f64
+    };
+    let limit = (clean_rate * 3.0).max(clean_rate + 0.03).max(0.02);
+    Ok(WatchdogConfig {
+        max_violation_rate: limit.min(1.0),
+        confidence,
+        ..WatchdogConfig::default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dog() -> QualityWatchdog {
+        QualityWatchdog::new(WatchdogConfig::default())
+    }
+
+    #[test]
+    fn clean_stream_never_leaves_monitoring() {
+        let mut w = dog();
+        for _ in 0..10_000 {
+            assert_eq!(w.record(false).unwrap(), None);
+        }
+        assert_eq!(w.state(), GuardState::Monitoring);
+        let r = w.report();
+        assert_eq!(r.breaches, 0);
+        assert_eq!(r.samples, 10_000);
+    }
+
+    #[test]
+    fn rare_violations_within_limit_never_fire() {
+        // 2% observed violations against a 5% limit: the lower bound
+        // never clears the limit.
+        let mut w = dog();
+        for i in 0..5_000u64 {
+            assert_eq!(w.record(i % 50 == 0).unwrap(), None, "sample {i}");
+        }
+        assert_eq!(w.state(), GuardState::Monitoring);
+    }
+
+    #[test]
+    fn saturated_violations_walk_the_ladder_down() {
+        let mut w = dog();
+        let mut states = Vec::new();
+        for _ in 0..200 {
+            if let Some(s) = w.record(true).unwrap() {
+                states.push(s);
+            }
+        }
+        assert_eq!(states, vec![GuardState::Throttled, GuardState::Fallback]);
+        assert_eq!(w.state(), GuardState::Fallback);
+        assert_eq!(w.report().breaches, 2);
+    }
+
+    #[test]
+    fn fallback_recovers_through_probing() {
+        let mut w = dog();
+        // Breach hard.
+        for _ in 0..50 {
+            w.record(true).unwrap();
+        }
+        assert_eq!(w.state(), GuardState::Fallback);
+        // Fault clears: clean shadow samples walk the ladder back up,
+        // through Probing, never skipping it.
+        let mut states = Vec::new();
+        for _ in 0..200 {
+            if let Some(s) = w.record(false).unwrap() {
+                states.push(s);
+            }
+            if w.state() == GuardState::Monitoring {
+                break;
+            }
+        }
+        assert_eq!(states, vec![GuardState::Probing, GuardState::Monitoring]);
+        assert_eq!(w.report().recoveries, 1);
+    }
+
+    #[test]
+    fn probing_relapses_on_dirty_samples() {
+        let mut w = dog();
+        for _ in 0..50 {
+            w.record(true).unwrap();
+        }
+        assert_eq!(w.state(), GuardState::Fallback);
+        // Recover exactly into probing...
+        let mut fed = 0;
+        while w.state() == GuardState::Fallback {
+            w.record(false).unwrap();
+            fed += 1;
+            assert!(fed < 500, "never reached probing");
+        }
+        assert_eq!(w.state(), GuardState::Probing);
+        // ...but the probe trickle still violates.
+        for _ in 0..20 {
+            w.record(true).unwrap();
+        }
+        assert_eq!(w.state(), GuardState::Fallback);
+    }
+
+    #[test]
+    fn admission_gating_per_state() {
+        let mut w = dog();
+        assert_eq!(w.admit(Decision::Approximate), Decision::Approximate);
+        assert_eq!(w.admit(Decision::Precise), Decision::Precise);
+
+        w.state = GuardState::Fallback;
+        assert_eq!(w.admit(Decision::Approximate), Decision::Precise);
+
+        w.state = GuardState::Throttled;
+        let admitted = (0..16)
+            .filter(|_| w.admit(Decision::Approximate) == Decision::Approximate)
+            .count();
+        assert_eq!(admitted, 4, "1 in 4 admissions under default throttle");
+    }
+
+    #[test]
+    fn min_samples_gate_prevents_single_sample_trips() {
+        let mut w = dog();
+        for i in 0..11 {
+            assert_eq!(w.record(true).unwrap(), None, "sample {i} fired early");
+        }
+        assert_eq!(w.state(), GuardState::Monitoring);
+    }
+
+    #[test]
+    fn transitions_are_deterministic() {
+        let stream: Vec<bool> = (0..400).map(|i| (i / 40) % 2 == 0 && i % 2 == 0).collect();
+        let run = |mut w: QualityWatchdog| -> Vec<GuardState> {
+            let mut out = Vec::new();
+            for &v in &stream {
+                if let Some(s) = w.record(v).unwrap() {
+                    out.push(s);
+                }
+            }
+            out
+        };
+        assert_eq!(run(dog()), run(dog()));
+    }
+
+    #[test]
+    fn calibration_sits_above_clean_rate_with_floor() {
+        // No profiles at all: the limit still has its floor.
+        let mut oracle = crate::random::RandomFilter::new(1.0, 7);
+        let cfg = calibrate(&mut oracle, &[], 0.1, Confidence::new(0.95).unwrap()).unwrap();
+        assert!(cfg.max_violation_rate >= 0.02);
+        assert!(cfg.max_violation_rate <= 1.0);
+    }
+}

@@ -23,12 +23,17 @@ pub enum NpuError {
         reason: &'static str,
     },
     /// A FIFO operation failed (enqueue to a full queue, dequeue from an
-    /// empty one).
+    /// empty one). Recoverable: the hardware stalls the issuing
+    /// instruction until the queue drains, so simulators translate this
+    /// into stall cycles rather than aborting.
     Fifo {
         /// Which operation failed.
         operation: &'static str,
         /// Queue capacity at the time.
         capacity: usize,
+        /// Elements queued when the operation failed (`capacity` for a
+        /// refused enqueue, 0 for a refused dequeue).
+        occupancy: usize,
     },
 }
 
@@ -50,8 +55,12 @@ impl fmt::Display for NpuError {
             NpuError::Fifo {
                 operation,
                 capacity,
+                occupancy,
             } => {
-                write!(f, "fifo {operation} failed (capacity {capacity})")
+                write!(
+                    f,
+                    "fifo {operation} stalled (occupancy {occupancy}/{capacity})"
+                )
             }
         }
     }

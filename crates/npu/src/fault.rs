@@ -1,0 +1,66 @@
+//! Fault-injection hooks: the contract corruptible hardware state exposes.
+//!
+//! Soft errors in the accelerator substrate — an SRAM upset in a weight
+//! buffer, a flipped sigmoid-LUT entry, a corrupted classifier-table bit —
+//! are all single-bit events in some addressable store. [`FaultSite`] gives
+//! every such store a uniform surface: a bit count and a bit-flip
+//! operation. A fault plan (in `mithra-sim`) draws bit indices from a
+//! seeded RNG and applies them to *copies* of the compiled artifacts, so
+//! production paths carry no per-invocation injection checks and pay
+//! nothing when no plan is armed.
+//!
+//! Flipping is an involution: flipping the same bit twice restores the
+//! site bit-exactly, which the disarmed-bit-identity tests rely on.
+
+/// Addressable hardware state that supports single-bit corruption.
+///
+/// Implementors enumerate their state bits in a fixed, documented order so
+/// that a given `(seed, index)` pair always lands on the same physical bit.
+pub trait FaultSite {
+    /// Total number of state bits exposed to injection.
+    fn fault_bits(&self) -> u64;
+
+    /// Flips the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `index >= fault_bits()` — fault plans always draw
+    /// indices in range.
+    fn flip_bit(&mut self, index: u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Word(u32);
+
+    impl FaultSite for Word {
+        fn fault_bits(&self) -> u64 {
+            32
+        }
+        fn flip_bit(&mut self, index: u64) {
+            self.0 ^= 1 << index;
+        }
+    }
+
+    #[test]
+    fn flipping_twice_is_identity() {
+        let mut w = Word(0xDEAD_BEEF);
+        for bit in [0u64, 7, 31] {
+            w.flip_bit(bit);
+            assert_ne!(w.0, 0xDEAD_BEEF);
+            w.flip_bit(bit);
+            assert_eq!(w.0, 0xDEAD_BEEF);
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut w = Word(0);
+        let site: &mut dyn FaultSite = &mut w;
+        site.flip_bit(3);
+        assert_eq!(site.fault_bits(), 32);
+        assert_eq!(w.0, 8);
+    }
+}

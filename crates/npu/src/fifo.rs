@@ -63,14 +63,17 @@ impl<T> Fifo<T> {
     ///
     /// # Errors
     ///
-    /// Returns [`NpuError::Fifo`] if the queue is full — the hardware would
-    /// stall the enqueue instruction; simulation surfaces it as an error so
-    /// callers decide how to model the stall.
+    /// Returns [`NpuError::Fifo`] if the queue is full. Overflow is
+    /// *recoverable*: the hardware stalls the enqueue instruction until
+    /// the accelerator drains a slot, so callers model the error as stall
+    /// cycles (see `IsaCosts::fifo_stall` in `mithra-sim`) and retry — the
+    /// element is not consumed by a failed enqueue.
     pub fn enqueue(&mut self, value: T) -> Result<()> {
         if self.is_full() {
             return Err(NpuError::Fifo {
                 operation: "enqueue",
                 capacity: self.capacity,
+                occupancy: self.items.len(),
             });
         }
         self.items.push_back(value);
@@ -81,11 +84,14 @@ impl<T> Fifo<T> {
     ///
     /// # Errors
     ///
-    /// Returns [`NpuError::Fifo`] if the queue is empty.
+    /// Returns [`NpuError::Fifo`] if the queue is empty. Underflow is
+    /// *recoverable*: the dequeue instruction stalls until the accelerator
+    /// produces an element, so callers charge stall cycles and retry.
     pub fn dequeue(&mut self) -> Result<T> {
         self.items.pop_front().ok_or(NpuError::Fifo {
             operation: "dequeue",
             capacity: self.capacity,
+            occupancy: 0,
         })
     }
 
@@ -168,7 +174,8 @@ mod tests {
             q.enqueue(3),
             Err(NpuError::Fifo {
                 operation: "enqueue",
-                ..
+                capacity: 2,
+                occupancy: 2,
             })
         ));
     }
@@ -176,7 +183,38 @@ mod tests {
     #[test]
     fn empty_queue_rejects_dequeue() {
         let mut q: Fifo<u8> = Fifo::new(2);
+        assert!(matches!(
+            q.dequeue(),
+            Err(NpuError::Fifo {
+                operation: "dequeue",
+                capacity: 2,
+                occupancy: 0,
+            })
+        ));
+    }
+
+    #[test]
+    fn overflow_is_recoverable_after_drain() {
+        // The stall model: a refused enqueue loses nothing; once the
+        // accelerator drains a slot the retry succeeds and order holds.
+        let mut q = Fifo::new(2);
+        q.enqueue(10).unwrap();
+        q.enqueue(20).unwrap();
+        assert!(q.enqueue(30).is_err());
+        assert_eq!(q.len(), 2, "failed enqueue must not consume a slot");
+        assert_eq!(q.dequeue().unwrap(), 10);
+        q.enqueue(30).unwrap();
+        assert_eq!(q.dequeue().unwrap(), 20);
+        assert_eq!(q.dequeue().unwrap(), 30);
+    }
+
+    #[test]
+    fn underflow_is_recoverable_after_produce() {
+        let mut q: Fifo<u8> = Fifo::new(2);
         assert!(q.dequeue().is_err());
+        assert!(q.is_empty(), "failed dequeue must not corrupt state");
+        q.enqueue(7).unwrap();
+        assert_eq!(q.dequeue().unwrap(), 7);
     }
 
     #[test]

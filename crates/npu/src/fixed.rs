@@ -7,6 +7,7 @@
 //! sources of the accelerator's approximation error, so profiling through
 //! [`FixedMlp`] exposes error behaviour the f32 path would hide.
 
+use crate::fault::FaultSite;
 use crate::mlp::{Activation, Mlp};
 use crate::{NpuError, Result};
 
@@ -104,6 +105,23 @@ impl SigmoidLut {
     }
 }
 
+impl FaultSite for SigmoidLut {
+    /// Entry `i` occupies bits `32·i .. 32·(i+1)` of its IEEE-754
+    /// representation.
+    fn fault_bits(&self) -> u64 {
+        self.table.len() as u64 * 32
+    }
+
+    /// A flip in the exponent or sign bits can turn an entry into a huge
+    /// value, an infinity or a NaN — exactly the corrupted outputs the
+    /// quality metrics' NaN policy has to absorb.
+    fn flip_bit(&mut self, index: u64) {
+        let entry = (index / 32) as usize;
+        let bit = (index % 32) as u32;
+        self.table[entry] = f32::from_bits(self.table[entry].to_bits() ^ (1 << bit));
+    }
+}
+
 /// A quantized MLP evaluated entirely in fixed point.
 ///
 /// # Example
@@ -197,6 +215,41 @@ impl FixedMlp {
         }
         Ok(current.iter().map(|&v| self.format.dequantize(v)).collect())
     }
+
+    /// The sigmoid LUT, for fault plans corrupting its entries.
+    pub fn lut_mut(&mut self) -> &mut SigmoidLut {
+        &mut self.lut
+    }
+}
+
+impl FaultSite for FixedMlp {
+    /// Layer by layer, each layer's weight words then its bias words, 32
+    /// bits per fixed-point word — the order the configuration FIFO
+    /// streams them into the weight buffers.
+    fn fault_bits(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| (l.weights.len() + l.biases.len()) as u64 * 32)
+            .sum()
+    }
+
+    fn flip_bit(&mut self, index: u64) {
+        let mut word = (index / 32) as usize;
+        let bit = (index % 32) as u32;
+        for layer in &mut self.layers {
+            if word < layer.weights.len() {
+                layer.weights[word] ^= 1 << bit;
+                return;
+            }
+            word -= layer.weights.len();
+            if word < layer.biases.len() {
+                layer.biases[word] ^= 1 << bit;
+                return;
+            }
+            word -= layer.biases.len();
+        }
+        panic!("fault bit index out of range");
+    }
 }
 
 #[cfg(test)]
@@ -277,5 +330,73 @@ mod tests {
         let mlp = Mlp::from_parameters(t, &[1.0, 1.0], &[0.0], Activation::Linear).unwrap();
         let fixed = FixedMlp::quantize(&mlp, QFormat::new(12).unwrap());
         assert!(fixed.run(&[1.0]).is_err());
+    }
+
+    fn small_fixed() -> FixedMlp {
+        let t = Topology::new(&[2, 3, 1]).unwrap();
+        let weights = [0.5, -0.25, 0.75, 0.1, -0.6, 0.33, 1.0, -1.0, 0.5];
+        let biases = [0.05, -0.1, 0.2, 0.0];
+        let mlp = Mlp::from_parameters(t, &weights, &biases, Activation::Linear).unwrap();
+        FixedMlp::quantize(&mlp, QFormat::new(16).unwrap())
+    }
+
+    #[test]
+    fn fault_bits_count_all_parameter_words() {
+        let fixed = small_fixed();
+        // 9 weights + 4 biases, 32 bits each.
+        assert_eq!(fixed.fault_bits(), 13 * 32);
+    }
+
+    #[test]
+    fn weight_flip_changes_output_and_is_reversible() {
+        let mut fixed = small_fixed();
+        let clean = fixed.run(&[0.3, 0.7]).unwrap();
+        // Bit 20 of the first weight word: an integer-part bit in Q16.
+        fixed.flip_bit(20);
+        let faulted = fixed.run(&[0.3, 0.7]).unwrap();
+        assert_ne!(clean, faulted, "a high weight bit must move the output");
+        fixed.flip_bit(20);
+        let restored = fixed.run(&[0.3, 0.7]).unwrap();
+        assert_eq!(clean, restored, "double flip must restore bit-exactly");
+    }
+
+    #[test]
+    fn bias_region_is_addressable() {
+        let mut fixed = small_fixed();
+        // Last word is the output bias; flip its sign-adjacent high bit.
+        let last_word_bit = fixed.fault_bits() - 32 + 24;
+        let clean = fixed.run(&[0.3, 0.7]).unwrap();
+        fixed.flip_bit(last_word_bit);
+        assert_ne!(clean, fixed.run(&[0.3, 0.7]).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_fault_bit_panics() {
+        let mut fixed = small_fixed();
+        let beyond = fixed.fault_bits();
+        fixed.flip_bit(beyond);
+    }
+
+    #[test]
+    fn lut_flip_can_produce_nan() {
+        let mut lut = SigmoidLut::hardware_default();
+        // Set every exponent bit of entry 0: 0x7F80.0000 over a small
+        // mantissa yields NaN or infinity.
+        for bit in 23..31 {
+            if lut.eval(-100.0).to_bits() >> bit & 1 == 0 {
+                lut.flip_bit(bit);
+            }
+        }
+        assert!(!lut.eval(-100.0).is_finite());
+    }
+
+    #[test]
+    fn lut_flip_is_reversible() {
+        let mut lut = SigmoidLut::hardware_default();
+        let clean = lut.eval(0.37);
+        lut.flip_bit(128 * 32 + 30); // exponent bit of a mid-table entry
+        lut.flip_bit(128 * 32 + 30);
+        assert_eq!(lut.eval(0.37).to_bits(), clean.to_bits());
     }
 }

@@ -51,6 +51,7 @@
 
 pub mod config;
 pub mod cost;
+pub mod fault;
 pub mod fifo;
 pub mod fixed;
 pub mod mlp;

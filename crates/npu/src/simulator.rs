@@ -99,7 +99,7 @@ impl CycleSimulator {
         // Input streaming: one element per stream cycle through the FIFO.
         let mut in_fifo = Fifo::new(input.len().max(1));
         for &v in input {
-            in_fifo.enqueue(v).expect("sized to fit");
+            in_fifo.enqueue(v)?;
         }
         let mut current: Vec<f32> = Vec::with_capacity(input.len());
         let mut input_cycles = 0u64;
@@ -158,7 +158,7 @@ impl CycleSimulator {
         let mut out_fifo = Fifo::new(current.len().max(1));
         let mut output_cycles = 0u64;
         for &v in &current {
-            out_fifo.enqueue(v).expect("sized to fit");
+            out_fifo.enqueue(v)?;
             output_cycles += self.pe.output_stream_cycles;
         }
         let mut outputs = Vec::with_capacity(current.len());

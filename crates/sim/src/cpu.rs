@@ -20,18 +20,24 @@ pub struct IsaCosts {
     /// configuration when the program is loaded (BDI decompression is
     /// vector add/compare work).
     pub table_decompress_per_line: u64,
+    /// Core stall cycles when an accelerator FIFO refuses an operation
+    /// (input queue full / output queue empty) and the core must wait for
+    /// the queue to drain — the recoverable cost of
+    /// [`mithra_npu::NpuError::Fifo`] under fault injection.
+    pub fifo_stall: u64,
 }
 
 impl IsaCosts {
     /// The evaluation defaults: single-cycle queue operations, a 2-cycle
     /// branch (dispatch + possible redirect), 2-cycle-per-line
-    /// decompression.
+    /// decompression, a 64-cycle FIFO stall penalty.
     pub fn paper_default() -> Self {
         Self {
             enqueue_per_element: 1,
             dequeue_per_element: 1,
             branch: 2,
             table_decompress_per_line: 2,
+            fifo_stall: 64,
         }
     }
 

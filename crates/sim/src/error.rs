@@ -1,0 +1,76 @@
+//! Simulation-layer errors.
+//!
+//! Runtime decision paths reachable from [`crate::system::run`] return
+//! these instead of panicking: a corrupted accelerator or classifier must
+//! degrade a simulated run's quality, never abort the process hosting it.
+
+use mithra_core::MithraError;
+use mithra_npu::NpuError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the simulation layer.
+#[derive(Debug)]
+pub enum SimError {
+    /// A [`crate::fault::FaultPlan`] with no armed fault source was asked
+    /// to arm — the caller should run the clean path instead.
+    Disarmed,
+    /// A summary was requested over zero runs.
+    EmptyRuns,
+    /// A core-layer failure (classifier, profile replay, statistics).
+    Core(MithraError),
+    /// An NPU-layer failure (datapath dimension mismatch, FIFO refusal).
+    Npu(NpuError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Disarmed => {
+                write!(f, "fault plan is disarmed; run the clean path instead")
+            }
+            SimError::EmptyRuns => write!(f, "cannot summarize zero runs"),
+            SimError::Core(e) => write!(f, "core error: {e}"),
+            SimError::Npu(e) => write!(f, "npu error: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Core(e) => Some(e),
+            SimError::Npu(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MithraError> for SimError {
+    fn from(e: MithraError) -> Self {
+        SimError::Core(e)
+    }
+}
+
+impl From<NpuError> for SimError {
+    fn from(e: NpuError) -> Self {
+        SimError::Npu(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(SimError::Disarmed.to_string().contains("disarmed"));
+        assert!(SimError::EmptyRuns.to_string().contains("zero runs"));
+        let wrapped = SimError::from(NpuError::DimensionMismatch {
+            expected: 2,
+            actual: 3,
+        });
+        assert!(wrapped.to_string().contains("npu error"));
+        assert!(wrapped.source().is_some());
+    }
+}

@@ -10,6 +10,13 @@
 //! energy-delay product — are ratios over the all-precise baseline, so the
 //! classifier-vs-oracle comparisons the paper plots are preserved.
 //!
+//! The [`fault`] module adds a seeded, deterministic fault-injection layer
+//! (bit flips in the accelerator's weights and sigmoid LUT, corrupted
+//! classifier tables and MISR configurations, FIFO stalls/drops, input
+//! drift); [`system::run`] threads the resulting fault streams and an
+//! optional quality watchdog through the simulation loop, charging the
+//! cycle and energy cost of every guard action.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -34,8 +41,13 @@
 
 pub mod cpu;
 pub mod energy;
+pub mod fault;
 pub mod overlap;
 pub mod report;
 pub mod software;
 pub mod system;
 pub mod trace;
+
+mod error;
+
+pub use error::SimError;

@@ -1,6 +1,7 @@
 //! Aggregation of per-dataset runs into the paper's reported statistics,
 //! plus the compile-cost accounting harnesses report alongside them.
 
+use crate::error::SimError;
 use crate::system::RunResult;
 use mithra_core::session::SessionReport;
 use mithra_stats::descriptive::{geomean, mean};
@@ -36,13 +37,25 @@ impl BenchmarkSummary {
     /// Panics if `runs` is empty — a harness always simulates at least
     /// one dataset.
     pub fn from_runs(runs: &[RunResult], quality_target: f64) -> Self {
-        assert!(!runs.is_empty(), "cannot summarize zero runs");
+        Self::try_from_runs(runs, quality_target).expect("cannot summarize zero runs")
+    }
+
+    /// Fallible form of [`BenchmarkSummary::from_runs`] for sweep
+    /// harnesses whose run lists are data-dependent.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::EmptyRuns`] if `runs` is empty.
+    pub fn try_from_runs(runs: &[RunResult], quality_target: f64) -> Result<Self, SimError> {
+        if runs.is_empty() {
+            return Err(SimError::EmptyRuns);
+        }
         let collect = |f: fn(&RunResult) -> f64| -> Vec<f64> { runs.iter().map(f).collect() };
         let successes = runs
             .iter()
             .filter(|r| r.quality_loss <= quality_target)
             .count();
-        Self {
+        Ok(Self {
             speedup: mean(&collect(RunResult::speedup)).expect("non-empty"),
             energy_reduction: mean(&collect(RunResult::energy_reduction)).expect("non-empty"),
             invocation_rate: mean(&collect(RunResult::invocation_rate)).expect("non-empty"),
@@ -51,7 +64,7 @@ impl BenchmarkSummary {
             false_positive_rate: mean(&collect(RunResult::false_positive_rate)).expect("non-empty"),
             false_negative_rate: mean(&collect(RunResult::false_negative_rate)).expect("non-empty"),
             success_fraction: successes as f64 / runs.len() as f64,
-        }
+        })
     }
 }
 
@@ -183,6 +196,16 @@ mod tests {
     #[should_panic(expected = "zero runs")]
     fn empty_runs_panic() {
         let _ = BenchmarkSummary::from_runs(&[], 0.05);
+    }
+
+    #[test]
+    fn try_from_runs_surfaces_empty_as_error() {
+        assert!(matches!(
+            BenchmarkSummary::try_from_runs(&[], 0.05),
+            Err(SimError::EmptyRuns)
+        ));
+        let ok = BenchmarkSummary::try_from_runs(&[run(2.0, 0.03)], 0.05).unwrap();
+        assert_eq!(ok, BenchmarkSummary::from_runs(&[run(2.0, 0.03)], 0.05));
     }
 
     #[test]

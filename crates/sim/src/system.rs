@@ -4,12 +4,23 @@
 //! classifier for a decision, charges the corresponding cycles and energy,
 //! and finally scores the mixed output's quality. The baseline is the
 //! benchmark running entirely on the precise core.
+//!
+//! [`run`] is the full-featured entry point: it additionally threads a
+//! per-invocation FIFO fault stream and an optional quality watchdog
+//! ([`mithra_core::watchdog`]) through the loop, charging the cycle and
+//! energy cost of every guard action (shadow quality samples, throttled
+//! admission, precise fallback). [`simulate`] is the hook-free wrapper the
+//! clean experiments use; with [`RunHooks::none`] the two are numerically
+//! identical.
 
 use crate::cpu::IsaCosts;
 use crate::energy::EnergyModel;
+use crate::error::SimError;
+use crate::fault::FifoEvent;
 use mithra_core::classifier::{Classifier, Decision};
 use mithra_core::pipeline::Compiled;
-use mithra_core::profile::DatasetProfile;
+use mithra_core::profile::{DatasetProfile, Route};
+use mithra_core::watchdog::QualityWatchdog;
 use mithra_npu::cost::NpuCostModel;
 
 /// Simulation options.
@@ -22,6 +33,34 @@ pub struct SimOptions {
     /// Online-update sampling period for the table design (0 disables;
     /// the paper samples "at sporadic intervals").
     pub online_update_period: usize,
+}
+
+/// Runtime extensions threaded through [`run`]: injected FIFO events and
+/// an optional quality watchdog with its sampling period.
+///
+/// The hook-free value ([`RunHooks::none`]) makes [`run`] numerically
+/// identical to [`simulate`] — the production path pays nothing.
+#[derive(Debug)]
+pub struct RunHooks<'a> {
+    /// Per-invocation FIFO events (empty = no FIFO faults; shorter
+    /// streams imply [`FifoEvent::None`] beyond their end).
+    pub fifo_events: &'a [FifoEvent],
+    /// Quality watchdog gating accelerator admission.
+    pub watchdog: Option<&'a mut QualityWatchdog>,
+    /// Sample every `watchdog_period`-th approximate decision for the
+    /// watchdog's violation estimate (0 disables sampling).
+    pub watchdog_period: usize,
+}
+
+impl RunHooks<'_> {
+    /// No hooks: the clean production configuration.
+    pub fn none() -> Self {
+        RunHooks {
+            fifo_events: &[],
+            watchdog: None,
+            watchdog_period: 0,
+        }
+    }
 }
 
 /// The result of simulating one dataset under one classifier.
@@ -86,12 +125,43 @@ impl RunResult {
 
 /// Simulates one dataset under `classifier`, with the compiled artifacts
 /// providing the accelerator, threshold and timing profile.
+///
+/// The hook-free production path: equivalent to [`run`] with
+/// [`RunHooks::none`].
 pub fn simulate(
     compiled: &Compiled,
     profile: &DatasetProfile,
     classifier: &mut dyn Classifier,
     options: &SimOptions,
 ) -> RunResult {
+    run(compiled, profile, classifier, options, RunHooks::none())
+        .expect("hook-free simulation cannot fail")
+}
+
+/// Simulates one dataset under `classifier` with runtime hooks: injected
+/// FIFO faults and an optional quality watchdog.
+///
+/// Per invocation the loop (1) asks the classifier for its raw decision,
+/// (2) lets the watchdog gate admission (throttling or full precise
+/// fallback), (3) charges the executed path's cycles and energy including
+/// FIFO stalls, and (4) sporadically samples the true accelerator error
+/// for the watchdog, charging the shadow execution that producing that
+/// sample costs. Quality is scored from the per-invocation [`Route`]s, so
+/// a dropped FIFO output degrades quality via the stale value the
+/// consumer actually read.
+///
+/// # Errors
+///
+/// Propagates watchdog statistics failures and routed-replay scoring
+/// failures as [`SimError`]. With [`RunHooks::none`] the call cannot
+/// fail on profiles a clean [`simulate`] accepts.
+pub fn run(
+    compiled: &Compiled,
+    profile: &DatasetProfile,
+    classifier: &mut dyn Classifier,
+    options: &SimOptions,
+    mut hooks: RunHooks<'_>,
+) -> Result<RunResult, SimError> {
     let function = &compiled.function;
     let bench = function.benchmark();
     let workload = bench.profile();
@@ -122,13 +192,21 @@ pub fn simulate(
         cycles += (table_lines * options.isa.table_decompress_per_line) as f64;
     }
 
-    let mut decisions: Vec<Decision> = Vec::with_capacity(n);
+    let mut routes: Vec<Route> = Vec::with_capacity(n);
     let mut invoked = 0usize;
     let (mut false_positives, mut false_negatives) = (0usize, 0usize);
+    // The last invocation whose accelerator output actually reached the
+    // output FIFO — what a Drop leaves for the consumer to read.
+    let mut last_good = 0usize;
 
     for (i, input) in profile.dataset().iter().enumerate() {
-        let decision = classifier.classify(i, input);
-        decisions.push(decision);
+        let raw = classifier.classify(i, input);
+        // The watchdog gates admission: in degraded states some (or all)
+        // approximate decisions are overridden to the precise path.
+        let decision = match hooks.watchdog.as_deref_mut() {
+            Some(w) => w.admit(raw),
+            None => raw,
+        };
 
         // Classifier decision cost (both paths pay it).
         let mut inv_cycles = overhead.decision_cycles as f64;
@@ -158,6 +236,28 @@ pub fn simulate(
                     + core_busy * options.energy.core_active_nj_per_cycle
                     + (accel_cost.cycles as f64 - core_busy).max(0.0)
                         * options.energy.core_idle_nj_per_cycle;
+
+                let event = hooks.fifo_events.get(i).copied().unwrap_or(FifoEvent::None);
+                match event {
+                    FifoEvent::None => {
+                        last_good = i;
+                        routes.push(Route::Approx);
+                    }
+                    FifoEvent::Stall => {
+                        // The core waits for the queue to drain, then the
+                        // invocation completes normally.
+                        inv_cycles += options.isa.fifo_stall as f64;
+                        inv_energy +=
+                            options.isa.fifo_stall as f64 * options.energy.core_idle_nj_per_cycle;
+                        last_good = i;
+                        routes.push(Route::Approx);
+                    }
+                    FifoEvent::Drop => {
+                        // The result never reached the output FIFO; the
+                        // consumer dequeues the stale last-good output.
+                        routes.push(Route::ApproxFrom(last_good));
+                    }
+                }
             }
             Decision::Precise => {
                 if !oracle_rejects[i] {
@@ -169,8 +269,37 @@ pub fn simulate(
                 inv_cycles += (workload.kernel_cycles + redirect) as f64;
                 inv_energy += (workload.kernel_cycles + redirect) as f64
                     * options.energy.core_active_nj_per_cycle;
+                routes.push(Route::Precise);
             }
         }
+
+        // Sporadic watchdog quality sampling: compare accelerator and
+        // precise outputs for this invocation and charge the shadow
+        // execution that produces the missing half of the pair.
+        if hooks.watchdog.is_some()
+            && hooks.watchdog_period > 0
+            && raw == Decision::Approximate
+            && i % hooks.watchdog_period == 0
+        {
+            if decision == Decision::Approximate {
+                // The accelerator ran; shadow-run the precise kernel.
+                inv_cycles += workload.kernel_cycles as f64;
+                inv_energy +=
+                    workload.kernel_cycles as f64 * options.energy.core_active_nj_per_cycle;
+            } else {
+                // The precise path ran; shadow-run the accelerator.
+                inv_cycles += options
+                    .isa
+                    .accelerated_invocation_core_cycles(bench.input_dim(), bench.output_dim())
+                    as f64;
+                inv_energy += options.energy.npu_invocation_nj(&accel_cost);
+            }
+            let violation = profile.max_error(i) > threshold;
+            if let Some(w) = hooks.watchdog.as_deref_mut() {
+                w.record(violation)?;
+            }
+        }
+
         cycles += inv_cycles;
         energy += inv_energy;
 
@@ -179,10 +308,11 @@ pub fn simulate(
         }
     }
 
-    // Quality of the mixed output stream.
-    let replay = profile.replay_with(function, |i, _| decisions[i]);
+    // Quality of the mixed output stream. With clean routes this is
+    // numerically identical to `DatasetProfile::replay_with`.
+    let replay = profile.try_replay_routed(function, &routes)?;
 
-    RunResult {
+    Ok(RunResult {
         baseline_cycles,
         accelerated_cycles: cycles,
         baseline_energy_nj: baseline_energy,
@@ -192,17 +322,19 @@ pub fn simulate(
         total: n,
         false_positives,
         false_negatives,
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
     use mithra_axbench::benchmark::Benchmark;
     use mithra_axbench::dataset::DatasetScale;
     use mithra_axbench::suite;
     use mithra_core::pipeline::{compile, CompileConfig};
     use mithra_core::random::RandomFilter;
+    use mithra_core::watchdog::{GuardState, WatchdogConfig};
     use std::sync::Arc;
 
     fn compiled_for(name: &str) -> Compiled {
@@ -285,5 +417,163 @@ mod tests {
         let partial = simulate(&compiled, &profile, &mut half, &opts);
         assert!(full.speedup() > partial.speedup());
         assert!(full.energy_reduction() > partial.energy_reduction());
+    }
+
+    #[test]
+    fn hook_free_run_matches_simulate_exactly() {
+        let compiled = compiled_for("sobel");
+        let profile = fresh_profile(&compiled, 777);
+        let opts = SimOptions::default();
+        let mut a = compiled.table.clone();
+        let mut b = compiled.table.clone();
+        let plain = simulate(&compiled, &profile, &mut a, &opts);
+        let hooked = run(&compiled, &profile, &mut b, &opts, RunHooks::none()).unwrap();
+        assert_eq!(plain, hooked);
+    }
+
+    #[test]
+    fn fifo_stalls_cost_cycles_without_hurting_quality() {
+        let compiled = compiled_for("sobel");
+        let profile = fresh_profile(&compiled, 31);
+        let opts = SimOptions::default();
+        let n = profile.invocation_count();
+        let stalls = vec![FifoEvent::Stall; n];
+        let mut a = compiled.oracle_for(&profile);
+        let mut b = compiled.oracle_for(&profile);
+        let clean = simulate(&compiled, &profile, &mut a, &opts);
+        let stalled = run(
+            &compiled,
+            &profile,
+            &mut b,
+            &opts,
+            RunHooks {
+                fifo_events: &stalls,
+                watchdog: None,
+                watchdog_period: 0,
+            },
+        )
+        .unwrap();
+        assert!(stalled.accelerated_cycles > clean.accelerated_cycles);
+        assert_eq!(stalled.quality_loss, clean.quality_loss);
+        assert_eq!(stalled.invoked, clean.invoked);
+    }
+
+    #[test]
+    fn fifo_drops_degrade_quality() {
+        let compiled = compiled_for("sobel");
+        let profile = fresh_profile(&compiled, 32);
+        let opts = SimOptions::default();
+        let n = profile.invocation_count();
+        // Drop 3 of every 4 outputs: most reads are stale.
+        let events: Vec<FifoEvent> = (0..n)
+            .map(|i| {
+                if i % 4 == 0 {
+                    FifoEvent::None
+                } else {
+                    FifoEvent::Drop
+                }
+            })
+            .collect();
+        let mut a = RandomFilter::new(1.0, 3);
+        let mut b = RandomFilter::new(1.0, 3);
+        let clean = simulate(&compiled, &profile, &mut a, &opts);
+        let dropped = run(
+            &compiled,
+            &profile,
+            &mut b,
+            &opts,
+            RunHooks {
+                fifo_events: &events,
+                watchdog: None,
+                watchdog_period: 0,
+            },
+        )
+        .unwrap();
+        assert!(
+            dropped.quality_loss > clean.quality_loss,
+            "dropped {} vs clean {}",
+            dropped.quality_loss,
+            clean.quality_loss
+        );
+    }
+
+    #[test]
+    fn watchdog_fallback_restores_quality_under_heavy_faults() {
+        let compiled = compiled_for("inversek2j");
+        let ds = compiled.function.dataset(64, DatasetScale::Smoke);
+        let armed = FaultPlan {
+            npu_weight_bit_rate: 0.02,
+            ..FaultPlan::disarmed()
+        }
+        .arm(&compiled, &ds)
+        .unwrap();
+        let opts = SimOptions::default();
+
+        let mut unguarded_cls = armed.classifier.clone();
+        let unguarded = run(
+            &compiled,
+            &armed.profile,
+            &mut unguarded_cls,
+            &opts,
+            RunHooks::none(),
+        )
+        .unwrap();
+
+        let mut watchdog = QualityWatchdog::new(WatchdogConfig::default());
+        let mut guarded_cls = armed.classifier.clone();
+        let guarded = run(
+            &compiled,
+            &armed.profile,
+            &mut guarded_cls,
+            &opts,
+            RunHooks {
+                fifo_events: &[],
+                watchdog: Some(&mut watchdog),
+                watchdog_period: 2,
+            },
+        )
+        .unwrap();
+
+        let report = watchdog.report();
+        assert!(
+            report.breaches > 0,
+            "watchdog never fired under heavy faults: {report:?}"
+        );
+        assert!(
+            guarded.quality_loss < unguarded.quality_loss,
+            "guarded {} vs unguarded {}",
+            guarded.quality_loss,
+            unguarded.quality_loss
+        );
+        assert!(guarded.invoked < unguarded.invoked);
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_on_clean_runs() {
+        let compiled = compiled_for("sobel");
+        let profile = fresh_profile(&compiled, 65);
+        let mut watchdog = QualityWatchdog::new(WatchdogConfig::default());
+        let mut cls = compiled.oracle_for(&profile);
+        let guarded = run(
+            &compiled,
+            &profile,
+            &mut cls,
+            &SimOptions::default(),
+            RunHooks {
+                fifo_events: &[],
+                watchdog: Some(&mut watchdog),
+                watchdog_period: 4,
+            },
+        )
+        .unwrap();
+        let report = watchdog.report();
+        assert_eq!(report.breaches, 0, "{report:?}");
+        assert_eq!(report.state, GuardState::Monitoring);
+        // Sampling costs cycles but admission is never gated.
+        let mut plain_cls = compiled.oracle_for(&profile);
+        let plain = simulate(&compiled, &profile, &mut plain_cls, &SimOptions::default());
+        assert_eq!(guarded.invoked, plain.invoked);
+        assert_eq!(guarded.quality_loss, plain.quality_loss);
+        assert!(guarded.accelerated_cycles > plain.accelerated_cycles);
     }
 }

@@ -1,0 +1,152 @@
+//! Property tests for the fault-injection layer and the runtime
+//! guardband:
+//!
+//! * with no plan armed, the hooked simulation path is bit-identical to
+//!   the production [`simulate`] path (the pinned `results/*.txt` tables
+//!   stay byte-comparable);
+//! * the watchdog never fires on clean certified runs, across seeds — the
+//!   no-false-alarm property;
+//! * armed plans are deterministic and refuse to arm when empty.
+
+use mithra_axbench::benchmark::Benchmark;
+use mithra_axbench::dataset::DatasetScale;
+use mithra_axbench::suite;
+use mithra_core::pipeline::{compile, CompileConfig, Compiled};
+use mithra_core::profile::DatasetProfile;
+use mithra_core::watchdog::{GuardState, QualityWatchdog, WatchdogConfig};
+use mithra_sim::fault::FaultPlan;
+use mithra_sim::system::{run, simulate, RunHooks, SimOptions};
+use mithra_sim::SimError;
+use std::sync::{Arc, OnceLock};
+
+fn compiled_sobel() -> &'static Compiled {
+    static COMPILED: OnceLock<Compiled> = OnceLock::new();
+    COMPILED.get_or_init(|| {
+        let bench: Arc<dyn Benchmark> = suite::by_name("sobel").unwrap().into();
+        compile(bench, &CompileConfig::smoke()).unwrap()
+    })
+}
+
+#[test]
+fn hook_free_run_is_bit_identical_to_simulate_across_seeds() {
+    let compiled = compiled_sobel();
+    let opts = SimOptions::default();
+    for seed in [3u64, 17, 40, 123, 999] {
+        let ds = compiled.function.dataset(seed, DatasetScale::Smoke);
+        let profile = DatasetProfile::collect(&compiled.function, ds);
+        let mut a = compiled.table.clone();
+        let mut b = compiled.table.clone();
+        let plain = simulate(compiled, &profile, &mut a, &opts);
+        let hooked = run(compiled, &profile, &mut b, &opts, RunHooks::none()).unwrap();
+        assert_eq!(plain, hooked, "seed {seed} diverged");
+    }
+}
+
+#[test]
+fn watchdog_never_fires_on_clean_certified_runs_across_seeds() {
+    let compiled = compiled_sobel();
+    let opts = SimOptions::default();
+    for seed in [5u64, 21, 77, 310, 4242] {
+        let ds = compiled.function.dataset(seed, DatasetScale::Smoke);
+        let profile = DatasetProfile::collect(&compiled.function, ds);
+        // The oracle admits exactly the invocations whose error is within
+        // the certified threshold, so every sampled violation is false.
+        let mut oracle = compiled.oracle_for(&profile);
+        let mut watchdog = QualityWatchdog::new(WatchdogConfig::default());
+        let guarded = run(
+            compiled,
+            &profile,
+            &mut oracle,
+            &opts,
+            RunHooks {
+                fifo_events: &[],
+                watchdog: Some(&mut watchdog),
+                watchdog_period: 2,
+            },
+        )
+        .unwrap();
+        let report = watchdog.report();
+        assert_eq!(report.breaches, 0, "seed {seed}: {report:?}");
+        assert_eq!(report.state, GuardState::Monitoring, "seed {seed}");
+        assert_eq!(report.violations, 0, "seed {seed}");
+        // Admission was never gated: same delegation as the clean run.
+        let mut plain_oracle = compiled.oracle_for(&profile);
+        let plain = simulate(compiled, &profile, &mut plain_oracle, &opts);
+        assert_eq!(guarded.invoked, plain.invoked, "seed {seed}");
+        assert_eq!(guarded.quality_loss, plain.quality_loss, "seed {seed}");
+    }
+}
+
+#[test]
+fn disarmed_plans_refuse_to_arm_and_armed_plans_are_deterministic() {
+    let compiled = compiled_sobel();
+    let ds = compiled.function.dataset(60, DatasetScale::Smoke);
+    assert!(matches!(
+        FaultPlan::disarmed().arm(compiled, &ds),
+        Err(SimError::Disarmed)
+    ));
+    assert!(matches!(
+        FaultPlan::uniform(9, 0.0).arm(compiled, &ds),
+        Err(SimError::Disarmed)
+    ));
+    for seed in [1u64, 2, 3] {
+        let plan = FaultPlan::uniform(seed, 0.003);
+        let a = plan.arm(compiled, &ds).unwrap();
+        let b = plan.arm(compiled, &ds).unwrap();
+        assert_eq!(a.profile.errors(), b.profile.errors(), "seed {seed}");
+        assert_eq!(a.fifo_events, b.fifo_events, "seed {seed}");
+    }
+}
+
+#[test]
+fn guardband_restores_quality_under_heavy_faults() {
+    // inversek2j's table keeps admitting under weight faults (sobel's
+    // rejects nearly everything, starving the watchdog of samples), so
+    // it exercises the full breach → fallback → restore ladder.
+    let bench: Arc<dyn Benchmark> = suite::by_name("inversek2j").unwrap().into();
+    let compiled = &compile(bench, &CompileConfig::smoke()).unwrap();
+    let opts = SimOptions::default();
+    let ds = compiled.function.dataset(71, DatasetScale::Smoke);
+    let armed = FaultPlan {
+        npu_weight_bit_rate: 0.02,
+        lut_bit_rate: 0.002,
+        ..FaultPlan::disarmed()
+    }
+    .arm(compiled, &ds)
+    .unwrap();
+
+    let mut off_cls = armed.classifier.clone();
+    let off = run(
+        compiled,
+        &armed.profile,
+        &mut off_cls,
+        &opts,
+        RunHooks::none(),
+    )
+    .unwrap();
+
+    let mut watchdog = QualityWatchdog::new(WatchdogConfig::default());
+    let mut on_cls = armed.classifier.clone();
+    let on = run(
+        compiled,
+        &armed.profile,
+        &mut on_cls,
+        &opts,
+        RunHooks {
+            fifo_events: &armed.fifo_events,
+            watchdog: Some(&mut watchdog),
+            watchdog_period: 1,
+        },
+    )
+    .unwrap();
+
+    let report = watchdog.report();
+    assert!(report.breaches > 0, "{report:?}");
+    assert!(
+        on.quality_loss < off.quality_loss,
+        "guarded {} vs unguarded {}",
+        on.quality_loss,
+        off.quality_loss
+    );
+    assert!(on.invoked < off.invoked);
+}

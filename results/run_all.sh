@@ -15,4 +15,8 @@ run fig10_success_sweep
 run fig11_pareto
 run ablation_designs
 run textA_sw_overhead
+# Fault-robustness sweep: q5 keeps the certified thresholds tight enough
+# that faulted outputs register as violations (q10's lax thresholds mask
+# them); 30/8 datasets keep the three-rate sweep tractable.
+run figx_fault_robustness --scale full --datasets 30 --validation 8 --quality 5 --cache-dir target/mithra-cache
 echo ALL_DONE >> $R/progress.txt
