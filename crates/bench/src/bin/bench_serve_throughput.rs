@@ -1,0 +1,468 @@
+//! Serving-throughput benchmark: drives `mithra-serve` with an open-loop
+//! seeded arrival schedule and sweeps worker count × batch size, per
+//! benchmark and for the mixed suite, writing `BENCH_serve.json`.
+//!
+//! The arrival schedule is generated up front from `--arrival-seed` (a
+//! Fisher–Yates shuffle of every invocation, across endpoints in the
+//! suite sweep), so the offered load is identical for every grid point;
+//! only the pool geometry changes. Each grid point is timed over
+//! `--reps` fresh engine runs (after one untimed warmup) from first
+//! submission to drained shutdown. Simulated cycles per invocation come
+//! from the engine's `RunResult` — the same numbers sequential `simulate`
+//! produces — so the sweep shows wall-clock throughput scaling at
+//! constant simulated cost.
+//!
+//! Serve-specific flags (all optional) are consumed before the shared
+//! experiment flags: `--serve-workers 1,2,4`, `--serve-batches 1,8`,
+//! `--arrival-seed N`, `--reps N`, `--out PATH`. The shared `--threads`,
+//! `--bench`, `--scale`, `--cache-dir`/`--no-cache`, `--quality`, and
+//! `--watchdog-period` flags are honored like every other figure binary.
+
+use mithra_bench::runner::DEFAULT_CACHE_DIR;
+use mithra_bench::{default_threads, ExperimentConfig};
+use mithra_core::pipeline::{compile, Compiled};
+use mithra_core::profile::DatasetProfile;
+use mithra_serve::{EndpointSpec, Request, ServeConfig, ServeEngine};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Seed base for the datasets the engine serves — disjoint from both the
+/// compilation seeds (0..) and the validation seeds (1_000_000..), so
+/// serving always faces unseen data.
+const SERVE_SEED_BASE: u64 = 2_000_000;
+
+/// Requests offered per [`ServeEngine::submit_batch`] call — large enough
+/// to amortize producer-side synchronization, small against the queue.
+const SUBMIT_CHUNK: usize = 64;
+
+/// One timed grid point.
+#[derive(Debug, Serialize)]
+struct RunRecord {
+    workers: usize,
+    batch: usize,
+    reps: usize,
+    wall_ms: f64,
+    invocations_per_sec: f64,
+    cycles_per_invocation: f64,
+    speedup_vs_baseline: f64,
+    served: u64,
+    approx: u64,
+    fallback: u64,
+    rejected_queue_full: u64,
+    config_bursts: u64,
+    watchdog_samples: u64,
+    watchdog_breaches: u64,
+}
+
+/// One endpoint of a sweep (a single benchmark, or one member of the
+/// suite mix).
+#[derive(Debug, Serialize)]
+struct EndpointInfo {
+    name: String,
+    invocations: usize,
+}
+
+/// A full worker × batch sweep over one offered load.
+#[derive(Debug, Serialize)]
+struct Sweep {
+    name: String,
+    endpoints: Vec<EndpointInfo>,
+    total_invocations: usize,
+    runs: Vec<RunRecord>,
+}
+
+/// The whole `BENCH_serve.json` document.
+#[derive(Debug, Serialize)]
+struct Report {
+    scale: String,
+    quality: f64,
+    watchdog_period: usize,
+    arrival_seed: u64,
+    /// Available parallelism of the measuring host — worker-dimension
+    /// scaling is bounded by this; on a single-core host only the batch
+    /// dimension can show wall-clock speedup.
+    host_threads: usize,
+    worker_counts: Vec<usize>,
+    batch_sizes: Vec<usize>,
+    benchmarks: Vec<Sweep>,
+    suite: Option<Sweep>,
+}
+
+/// Serve-specific options, extracted ahead of the shared parser.
+struct ServeArgs {
+    /// `None` = derive the sweep from the shared `--threads` value.
+    workers: Option<Vec<usize>>,
+    batches: Vec<usize>,
+    arrival_seed: u64,
+    reps: usize,
+    out: PathBuf,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        Self {
+            workers: None,
+            batches: vec![1, 8],
+            arrival_seed: 0xA221,
+            reps: 3,
+            out: PathBuf::from("BENCH_serve.json"),
+        }
+    }
+}
+
+impl ServeArgs {
+    /// The worker-count sweep, anchored at the 1-worker baseline and
+    /// topping out at the shared `--threads` value by default (always at
+    /// least two counts, so the scaling dimension is populated even on a
+    /// single-core host).
+    fn worker_counts(&self, threads: usize) -> Vec<usize> {
+        let mut workers = self.workers.clone().unwrap_or_else(|| vec![1, 2, threads]);
+        if !workers.contains(&1) {
+            workers.insert(0, 1);
+        }
+        workers.retain(|&w| w > 0);
+        workers.sort_unstable();
+        workers.dedup();
+        workers
+    }
+}
+
+fn parse_list(flag: &str, value: &str) -> Vec<usize> {
+    value
+        .split(',')
+        .map(|s| {
+            s.trim().parse().unwrap_or_else(|_| {
+                eprintln!("malformed value `{value}` for {flag}");
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
+/// Pulls the serve-specific flags out of `args`, leaving the shared
+/// experiment flags for [`ExperimentConfig::from_arg_list`].
+fn extract_serve_args(args: &mut Vec<String>) -> ServeArgs {
+    let mut serve = ServeArgs::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        let mut take_value = || -> String {
+            if i + 1 >= args.len() {
+                eprintln!("missing value for {flag}");
+                std::process::exit(2);
+            }
+            let value = args.remove(i + 1);
+            args.remove(i);
+            value
+        };
+        match flag.as_str() {
+            "--serve-workers" => serve.workers = Some(parse_list(&flag, &take_value())),
+            "--serve-batches" => serve.batches = parse_list(&flag, &take_value()),
+            "--arrival-seed" => {
+                serve.arrival_seed = parse_list(&flag, &take_value())[0] as u64;
+            }
+            "--reps" => serve.reps = parse_list(&flag, &take_value())[0].max(1),
+            "--out" => serve.out = PathBuf::from(take_value()),
+            _ => i += 1,
+        }
+    }
+    // The 1-worker/batch-1 baseline anchors every speedup number.
+    if !serve.batches.contains(&1) {
+        serve.batches.insert(0, 1);
+    }
+    serve.batches.sort_unstable();
+    serve.batches.dedup();
+    serve
+}
+
+/// One endpoint's compiled artifact plus the dataset profile it serves.
+struct Prepared {
+    name: String,
+    compiled: Arc<Compiled>,
+    profile: DatasetProfile,
+}
+
+impl Prepared {
+    fn spec(&self) -> EndpointSpec {
+        EndpointSpec {
+            name: self.name.clone(),
+            compiled: Arc::clone(&self.compiled),
+            profile: self.profile.clone(),
+        }
+    }
+}
+
+/// Times one grid point: `reps` fresh engines (plus one untimed warmup),
+/// each fed the identical arrival schedule, elapsed summed from first
+/// submission to drained shutdown. Returns the record and the final
+/// engine report for cost/metric fields.
+fn run_point(
+    prepared: &[Prepared],
+    schedule: &[Request],
+    workers: usize,
+    batch: usize,
+    watchdog_period: usize,
+    reps: usize,
+) -> RunRecord {
+    let config = ServeConfig {
+        workers,
+        batch,
+        queue_depth: 1024,
+        watchdog_period,
+        ..ServeConfig::default()
+    };
+    let mut total = std::time::Duration::ZERO;
+    let mut last = None;
+    for rep in 0..=reps {
+        let specs = prepared.iter().map(Prepared::spec).collect();
+        let engine = ServeEngine::start(specs, &config).expect("engine must start");
+        // The timed window is the serving phase only: first submission to
+        // drained shutdown. Slot folding and quality scoring run after
+        // the clock stops — they are reporting, not serving.
+        let t0 = Instant::now();
+        let mut offset = 0;
+        while offset < schedule.len() {
+            let end = (offset + SUBMIT_CHUNK).min(schedule.len());
+            match engine.submit_batch(&schedule[offset..end]) {
+                Ok(0) => std::thread::yield_now(),
+                Ok(accepted) => offset += accepted,
+                Err(reason) => panic!("schedule entries are valid: {reason}"),
+            }
+        }
+        let drained = engine.join().expect("workers must drain cleanly");
+        let elapsed = t0.elapsed();
+        if rep > 0 {
+            // Rep 0 is the warmup: first-touch page faults and thread
+            // spin-up land there, not in the measurement.
+            total += elapsed;
+        }
+        last = Some(drained.report().expect("quality scoring succeeds"));
+    }
+    let report = last.expect("at least one rep ran");
+
+    let n = schedule.len();
+    let wall_s = total.as_secs_f64();
+    let mut cycles = 0.0;
+    let mut served = 0;
+    let mut approx = 0;
+    let mut fallback = 0;
+    let mut rejected_queue_full = 0;
+    let mut config_bursts = 0;
+    let mut watchdog_samples = 0;
+    let mut watchdog_breaches = 0;
+    for endpoint in &report.endpoints {
+        let result = endpoint
+            .result
+            .expect("the schedule covers every invocation");
+        cycles += result.accelerated_cycles;
+        served += endpoint.counters.served;
+        approx += endpoint.counters.approx;
+        fallback += endpoint.counters.fallback;
+        rejected_queue_full += endpoint.counters.rejected_queue_full;
+        config_bursts += endpoint.counters.config_bursts;
+        watchdog_samples += endpoint.counters.watchdog.samples;
+        watchdog_breaches += endpoint.counters.watchdog.breaches;
+    }
+    assert_eq!(served as usize, n, "full coverage per engine run");
+    RunRecord {
+        workers,
+        batch,
+        reps,
+        wall_ms: wall_s * 1e3,
+        invocations_per_sec: (n * reps) as f64 / wall_s,
+        cycles_per_invocation: cycles / n as f64,
+        speedup_vs_baseline: 0.0, // filled once the baseline is known
+        served,
+        approx,
+        fallback,
+        rejected_queue_full,
+        config_bursts,
+        watchdog_samples,
+        watchdog_breaches,
+    }
+}
+
+fn sweep(
+    name: &str,
+    prepared: &[Prepared],
+    schedule: &[Request],
+    worker_counts: &[usize],
+    serve: &ServeArgs,
+    watchdog_period: usize,
+) -> Sweep {
+    let mut runs = Vec::new();
+    for &workers in worker_counts {
+        for &batch in &serve.batches {
+            runs.push(run_point(
+                prepared,
+                schedule,
+                workers,
+                batch,
+                watchdog_period,
+                serve.reps,
+            ));
+        }
+    }
+    let baseline = runs
+        .iter()
+        .find(|r| r.workers == 1 && r.batch == 1)
+        .expect("the 1-worker/batch-1 baseline is always in the grid")
+        .invocations_per_sec;
+    for run in &mut runs {
+        run.speedup_vs_baseline = run.invocations_per_sec / baseline;
+    }
+    Sweep {
+        name: name.to_string(),
+        endpoints: prepared
+            .iter()
+            .map(|p| EndpointInfo {
+                name: p.name.clone(),
+                invocations: p.profile.invocation_count(),
+            })
+            .collect(),
+        total_invocations: schedule.len(),
+        runs,
+    }
+}
+
+fn print_sweep(sweep: &Sweep) {
+    println!(
+        "## {} ({} invocations offered)",
+        sweep.name, sweep.total_invocations
+    );
+    println!("workers  batch  inv/s        cycles/inv     speedup");
+    for run in &sweep.runs {
+        println!(
+            "{:<7}  {:<5}  {:<11.0}  {:<13.1}  {:.2}x",
+            run.workers,
+            run.batch,
+            run.invocations_per_sec,
+            run.cycles_per_invocation,
+            run.speedup_vs_baseline
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let serve = extract_serve_args(&mut args);
+    let cfg = match ExperimentConfig::from_arg_list(&args) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!(
+                "serve flags: --serve-workers 1,2,4 --serve-batches 1,8 \
+                 --arrival-seed N --reps N --out PATH"
+            );
+            std::process::exit(2);
+        }
+    };
+    let quality = cfg.quality_levels.first().copied().unwrap_or(0.05);
+    let worker_counts = serve.worker_counts(cfg.threads.unwrap_or_else(default_threads));
+    eprintln!(
+        "serving sweep: workers {:?} × batches {:?}, {} reps, cache {}",
+        worker_counts,
+        serve.batches,
+        serve.reps,
+        cfg.cache_dir
+            .as_ref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| format!("off (default {DEFAULT_CACHE_DIR})"))
+    );
+
+    let prepared: Vec<Prepared> = cfg
+        .suite_or_exit()
+        .into_iter()
+        .enumerate()
+        .map(|(i, bench)| {
+            let name = bench.name().to_string();
+            let compile_cfg = cfg
+                .compile_config(quality)
+                .unwrap_or_else(|e| panic!("bad quality spec: {e}"));
+            let compiled = compile(bench, &compile_cfg)
+                .unwrap_or_else(|e| panic!("compiling {name} failed: {e}"));
+            let dataset = compiled
+                .function
+                .dataset(SERVE_SEED_BASE + i as u64, cfg.scale);
+            let profile = DatasetProfile::collect(&compiled.function, dataset);
+            Prepared {
+                name,
+                compiled: Arc::new(compiled),
+                profile,
+            }
+        })
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(serve.arrival_seed);
+    let mut benchmarks = Vec::new();
+    for p in &prepared {
+        let mut schedule: Vec<Request> = (0..p.profile.invocation_count())
+            .map(|inv| Request {
+                endpoint: 0,
+                invocation: inv,
+            })
+            .collect();
+        schedule.shuffle(&mut rng);
+        let one = std::slice::from_ref(p);
+        let result = sweep(
+            &p.name,
+            one,
+            &schedule,
+            &worker_counts,
+            &serve,
+            cfg.watchdog_period,
+        );
+        print_sweep(&result);
+        benchmarks.push(result);
+    }
+
+    // The mixed-suite sweep: every endpoint behind one engine, arrivals
+    // interleaved by the same seeded shuffle.
+    let suite = (prepared.len() > 1).then(|| {
+        let mut schedule: Vec<Request> = prepared
+            .iter()
+            .enumerate()
+            .flat_map(|(ep, p)| {
+                (0..p.profile.invocation_count()).map(move |inv| Request {
+                    endpoint: ep,
+                    invocation: inv,
+                })
+            })
+            .collect();
+        schedule.shuffle(&mut rng);
+        let result = sweep(
+            "suite",
+            &prepared,
+            &schedule,
+            &worker_counts,
+            &serve,
+            cfg.watchdog_period,
+        );
+        print_sweep(&result);
+        result
+    });
+
+    let report = Report {
+        scale: format!("{:?}", cfg.scale).to_lowercase(),
+        quality,
+        watchdog_period: cfg.watchdog_period,
+        arrival_seed: serve.arrival_seed,
+        host_threads: default_threads(),
+        worker_counts: worker_counts.clone(),
+        batch_sizes: serve.batches.clone(),
+        benchmarks,
+        suite,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&serve.out, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", serve.out.display());
+        std::process::exit(1);
+    });
+    eprintln!("wrote {}", serve.out.display());
+}

@@ -71,11 +71,7 @@ fn sweep_rate(
             profile,
             &mut off_cls,
             &options,
-            RunHooks {
-                fifo_events,
-                watchdog: None,
-                watchdog_period: 0,
-            },
+            RunHooks::with_fifo_events(fifo_events),
         )?);
 
         let mut watchdog = QualityWatchdog::new(*wconfig);
@@ -85,11 +81,7 @@ fn sweep_rate(
             profile,
             &mut on_cls,
             &options,
-            RunHooks {
-                fifo_events,
-                watchdog: Some(&mut watchdog),
-                watchdog_period: period,
-            },
+            RunHooks::with_fifo_events(fifo_events).with_watchdog(&mut watchdog, period),
         )?);
         breaches += watchdog.report().breaches;
     }

@@ -32,7 +32,7 @@ pub mod runner;
 pub mod table_text;
 
 pub use runner::{
-    certify_at, collect_profiles_parallel, evaluate, prepare, prepare_base, ArgError,
-    BenchmarkBase, DesignKind, EvalResult, ExperimentConfig, PreparedBenchmark,
+    certify_at, collect_profiles_parallel, default_threads, evaluate, prepare, prepare_base,
+    ArgError, BenchmarkBase, DesignKind, EvalResult, ExperimentConfig, PreparedBenchmark,
 };
 pub use table_text::TextTable;

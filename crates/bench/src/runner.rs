@@ -25,7 +25,7 @@ use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-pub use mithra_core::profile::collect_profiles_parallel;
+pub use mithra_core::profile::{collect_profiles_parallel, default_threads};
 
 /// Seed offset separating validation datasets from compilation datasets —
 /// the paper's "250 different unseen datasets".
@@ -39,7 +39,7 @@ const USAGE: &str = "usage: --scale smoke|full --datasets N --validation N \
                      --quality 2.5,5,7.5,10 --confidence 0.95 --success-rate 0.90 \
                      --bench name,name --npu-epochs N --npu-train-datasets N \
                      --cache-dir PATH --no-cache --fault-rates 0.0005,0.002,0.008 \
-                     --fault-seed N --watchdog-period N";
+                     --fault-seed N --watchdog-period N --threads N";
 
 /// A command-line parsing or configuration error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -100,6 +100,10 @@ pub struct ExperimentConfig {
     /// Sampling period of the runtime quality watchdog (every N-th
     /// approximate decision is shadow-checked).
     pub watchdog_period: usize,
+    /// Worker threads, shared by parallel profiling and the serving
+    /// worker pool (`None` = available parallelism). Wall time only —
+    /// results are thread-count independent.
+    pub threads: Option<usize>,
 }
 
 impl Default for ExperimentConfig {
@@ -121,6 +125,7 @@ impl Default for ExperimentConfig {
             fault_rates: vec![0.0005, 0.002, 0.008],
             fault_seed: 0xFA17,
             watchdog_period: 16,
+            threads: None,
         }
     }
 }
@@ -234,6 +239,11 @@ impl ExperimentConfig {
                     cfg.watchdog_period = parse(flag, &take()?)?;
                     i += 2;
                 }
+                "--threads" => {
+                    let t: usize = parse(flag, &take()?)?;
+                    cfg.threads = (t > 0).then_some(t);
+                    i += 2;
+                }
                 other => {
                     return Err(ArgError::new(format!("unknown argument `{other}`")));
                 }
@@ -298,6 +308,7 @@ impl ExperimentConfig {
             npu: self.npu.clone(),
             npu_train_datasets: self.npu_train_datasets.min(self.compile_datasets.max(1)),
             cache: self.cache_dir.clone().map(CacheConfig::at),
+            threads: self.threads,
             ..CompileConfig::default()
         })
     }
@@ -565,6 +576,8 @@ mod tests {
             "42",
             "--watchdog-period",
             "8",
+            "--threads",
+            "3",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -582,7 +595,19 @@ mod tests {
         assert_eq!(cfg.fault_rates, vec![0.001, 0.01]);
         assert_eq!(cfg.fault_seed, 42);
         assert_eq!(cfg.watchdog_period, 8);
+        assert_eq!(cfg.threads, Some(3));
         assert_eq!(cfg.suite().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        let args: Vec<String> = ["--threads", "0"].iter().map(|s| s.to_string()).collect();
+        let cfg = ExperimentConfig::from_arg_list(&args).unwrap();
+        assert_eq!(cfg.threads, None);
+        assert_eq!(cfg.compile_config(0.05).unwrap().threads, None);
+        let args: Vec<String> = ["--threads", "2"].iter().map(|s| s.to_string()).collect();
+        let cfg = ExperimentConfig::from_arg_list(&args).unwrap();
+        assert_eq!(cfg.compile_config(0.05).unwrap().threads, Some(2));
     }
 
     #[test]

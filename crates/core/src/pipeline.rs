@@ -56,6 +56,10 @@ pub struct CompileConfig {
     pub npu_train_datasets: usize,
     /// Optional on-disk artifact cache; `None` recomputes every stage.
     pub cache: Option<CacheConfig>,
+    /// Worker threads for parallel profiling (`None` = available
+    /// parallelism). Affects wall time only, never results, so the
+    /// artifact cache ignores it.
+    pub threads: Option<usize>,
 }
 
 impl Default for CompileConfig {
@@ -71,6 +75,7 @@ impl Default for CompileConfig {
             classifier_train_samples: 30_000,
             npu_train_datasets: 10,
             cache: None,
+            threads: None,
         }
     }
 }

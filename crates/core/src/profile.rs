@@ -317,8 +317,20 @@ impl DatasetProfile {
     }
 }
 
-/// Profiles `count` seeded datasets in parallel across available cores.
+/// The default worker-thread count: the machine's available parallelism
+/// (4 when it cannot be queried). One `--threads` flag governs both
+/// parallel profiling here and the serving worker pool in `mithra-serve`,
+/// and this is the value both default to.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
+/// Profiles `count` seeded datasets in parallel across worker threads.
 ///
+/// `threads` overrides the worker count (`None` or `Some(0)` = available
+/// parallelism via [`default_threads`]; always clamped to `count`).
 /// Dataset `i` uses seed `seed_base + i`, exactly as the sequential loop
 /// would. Each profile is computed independently from its own dataset, so
 /// the result is bit-identical to calling [`DatasetProfile::collect`]
@@ -328,10 +340,11 @@ pub fn collect_profiles_parallel(
     seed_base: u64,
     count: usize,
     scale: mithra_axbench::dataset::DatasetScale,
+    threads: Option<usize>,
 ) -> Vec<DatasetProfile> {
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
+    let threads = threads
+        .filter(|&t| t > 0)
+        .unwrap_or_else(default_threads)
         .min(count.max(1));
     let mut slots: Vec<Option<DatasetProfile>> = (0..count).map(|_| None).collect();
     crossbeam::thread::scope(|scope| {
@@ -420,7 +433,7 @@ mod tests {
     #[test]
     fn parallel_profiling_is_bit_identical_to_sequential() {
         let (f, _) = profile_for("sobel");
-        let par = collect_profiles_parallel(&f, 40, 6, DatasetScale::Smoke);
+        let par = collect_profiles_parallel(&f, 40, 6, DatasetScale::Smoke, None);
         assert_eq!(par.len(), 6);
         for (i, p) in par.iter().enumerate() {
             let ds = f.dataset(40 + i as u64, DatasetScale::Smoke);
@@ -428,6 +441,13 @@ mod tests {
             assert_eq!(p.dataset(), seq.dataset(), "dataset {i} differs");
             assert_eq!(p.errors(), seq.errors(), "errors {i} differ");
             assert_eq!(p.final_precise(), seq.final_precise(), "finals {i} differ");
+        }
+        // An explicit thread count changes scheduling only, never results.
+        for threads in [Some(1), Some(2), Some(0)] {
+            let alt = collect_profiles_parallel(&f, 40, 6, DatasetScale::Smoke, threads);
+            for (i, (a, b)) in par.iter().zip(&alt).enumerate() {
+                assert_eq!(a.errors(), b.errors(), "threads {threads:?} profile {i}");
+            }
         }
     }
 

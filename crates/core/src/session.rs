@@ -392,6 +392,7 @@ impl CompileSession<TrainedFunction> {
                     self.config.seed_base,
                     self.config.compile_datasets,
                     self.config.scale,
+                    self.config.threads,
                 );
                 let invocations: u64 = profiles.iter().map(|p| p.invocation_count() as u64).sum();
                 if let Some(c) = &self.cache {
@@ -593,7 +594,8 @@ pub fn profile_validation(
     let (profiles, invocations, outcome) = match cached {
         Some(profiles) => (profiles, 0, CacheOutcome::Hit),
         None => {
-            let profiles = collect_profiles_parallel(function, seed_base, count, config.scale);
+            let profiles =
+                collect_profiles_parallel(function, seed_base, count, config.scale, config.threads);
             let invocations: u64 = profiles.iter().map(|p| p.invocation_count() as u64).sum();
             let outcome = if let Some(c) = &cache {
                 let _ = c.store_profiles(stage.label(), key, &profiles);

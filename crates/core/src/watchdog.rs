@@ -158,6 +158,17 @@ impl QualityWatchdog {
         }
     }
 
+    /// A fresh watchdog with this one's tuning but none of its evidence:
+    /// still in [`GuardState::Monitoring`] with empty windows and counters.
+    /// This is how a sharded serving worker derives its own guard from an
+    /// endpoint's calibrated prototype — [`calibrate`] runs once per
+    /// endpoint, then every worker forks the prototype, so each shard
+    /// guards its own traffic without sharing mutable state (a `clone`
+    /// would smuggle one shard's evidence into another's test).
+    pub fn fork(&self) -> Self {
+        Self::new(self.config)
+    }
+
     /// Current rung of the degradation ladder.
     pub fn state(&self) -> GuardState {
         self.state
@@ -180,7 +191,10 @@ impl QualityWatchdog {
             GuardState::Fallback => Decision::Precise,
             GuardState::Throttled | GuardState::Probing => {
                 self.admissions_seen += 1;
-                if self.admissions_seen.is_multiple_of(self.config.throttle_factor) {
+                if self
+                    .admissions_seen
+                    .is_multiple_of(self.config.throttle_factor)
+                {
                     Decision::Approximate
                 } else {
                     Decision::Precise
@@ -468,6 +482,23 @@ mod tests {
             out
         };
         assert_eq!(run(dog()), run(dog()));
+    }
+
+    #[test]
+    fn fork_keeps_tuning_but_drops_evidence() {
+        let mut w = QualityWatchdog::new(WatchdogConfig {
+            max_violation_rate: 0.11,
+            ..WatchdogConfig::default()
+        });
+        for _ in 0..50 {
+            w.record(true).unwrap();
+        }
+        assert_ne!(w.state(), GuardState::Monitoring);
+        let f = w.fork();
+        assert_eq!(f.config().max_violation_rate, 0.11);
+        assert_eq!(f.state(), GuardState::Monitoring);
+        assert_eq!(f.report().samples, 0);
+        assert_eq!(f.report().breaches, 0);
     }
 
     #[test]

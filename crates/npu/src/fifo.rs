@@ -100,6 +100,33 @@ impl<T> Fifo<T> {
         self.items.clear();
     }
 
+    /// Number of free slots (how many elements a burst enqueue accepts).
+    pub fn free(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Burst-enqueues from a slice, stopping at capacity. Returns the
+    /// number of elements accepted — the caller resumes the slice from
+    /// that offset after the accelerator drains (batch refill pattern:
+    /// one bounds check per burst instead of per element).
+    pub fn enqueue_slice(&mut self, values: &[T]) -> usize
+    where
+        T: Copy,
+    {
+        let take = values.len().min(self.free());
+        self.items.extend(&values[..take]);
+        take
+    }
+
+    /// Burst-dequeues up to `max` elements into `out` (appended in queue
+    /// order). Returns the number drained; draining an empty queue is not
+    /// an error — it returns 0, the "nothing produced yet" poll result.
+    pub fn drain_into(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let take = max.min(self.items.len());
+        out.extend(self.items.drain(..take));
+        take
+    }
+
     /// Iterates over queued elements oldest-first without consuming them
     /// (how a snooping classifier observes the input stream).
     pub fn iter(&self) -> std::collections::vec_deque::Iter<'_, T> {
@@ -145,6 +172,27 @@ impl QueueInterface {
 impl Default for QueueInterface {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl QueueInterface {
+    /// Streams a full configuration image (weights, topology descriptors)
+    /// through the bounded config queue in bursts, as the core does once
+    /// per context switch: fill the 32-deep queue, let the accelerator
+    /// drain it, repeat. Returns the number of bursts — the unit a batched
+    /// serving worker amortizes across a batch by configuring once per
+    /// consecutive same-endpoint run instead of once per invocation.
+    pub fn stream_config(&mut self, words: &[u32]) -> usize {
+        let mut bursts = 0usize;
+        let mut offset = 0usize;
+        while offset < words.len() {
+            offset += self.config.enqueue_slice(&words[offset..]);
+            // The accelerator consumes the whole burst before the core
+            // enqueues the next one.
+            self.config.clear();
+            bursts += 1;
+        }
+        bursts
     }
 }
 
@@ -244,5 +292,44 @@ mod tests {
         let qi = QueueInterface::default();
         assert_eq!(qi.input.capacity(), 128);
         assert_eq!(qi.config.capacity(), 32);
+    }
+
+    #[test]
+    fn enqueue_slice_fills_to_capacity_and_reports_offset() {
+        let mut q = Fifo::new(4);
+        q.enqueue(0).unwrap();
+        let data = [1, 2, 3, 4, 5];
+        assert_eq!(q.enqueue_slice(&data), 3, "only 3 slots were free");
+        assert!(q.is_full());
+        assert_eq!(q.dequeue().unwrap(), 0);
+        // Resume from the reported offset: nothing lost, nothing repeated.
+        assert_eq!(q.enqueue_slice(&data[3..]), 1);
+        for want in 1..=4 {
+            assert_eq!(q.dequeue().unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn drain_into_preserves_order_and_tolerates_empty() {
+        let mut q = Fifo::new(8);
+        q.extend(0..5);
+        let mut out = Vec::new();
+        assert_eq!(q.drain_into(&mut out, 3), 3);
+        assert_eq!(out, vec![0, 1, 2]);
+        assert_eq!(q.drain_into(&mut out, 10), 2);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.drain_into(&mut out, 10), 0, "empty drain is a no-op");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn stream_config_bursts_cover_the_whole_image() {
+        let mut qi = QueueInterface::new();
+        let words: Vec<u32> = (0..100).collect();
+        // 100 words through a 32-deep queue: ceil(100/32) = 4 bursts.
+        assert_eq!(qi.stream_config(&words), 4);
+        assert!(qi.config.is_empty());
+        assert_eq!(qi.stream_config(&[]), 0);
+        assert_eq!(qi.stream_config(&words[..32]), 1);
     }
 }

@@ -1,0 +1,204 @@
+//! Endpoints: one compiled benchmark, served as an addressable unit.
+//!
+//! An [`EndpointSpec`] binds a compiled artifact to the dataset profile it
+//! serves; the engine lowers it into an [`EndpointState`] carrying the
+//! precomputed [`InvocationModel`], the oracle ground truth, the NPU
+//! configuration image, the calibrated watchdog prototype each worker
+//! forks, and the slot table collecting per-invocation results. Slots are
+//! keyed by invocation index, so however requests interleave across
+//! workers, the finished endpoint folds its charges in index order — the
+//! ordering that makes the aggregate bit-identical to sequential
+//! simulation.
+
+use crate::error::ServeError;
+use crate::metrics::EndpointCounters;
+use mithra_core::classifier::Classifier;
+use mithra_core::pipeline::Compiled;
+use mithra_core::profile::{DatasetProfile, Route};
+use mithra_core::watchdog::{self, QualityWatchdog};
+use mithra_sim::fault::FifoEvent;
+use mithra_sim::system::{InvocationModel, RunResult, SimOptions};
+use mithra_stats::clopper_pearson::Confidence;
+use std::sync::{Arc, Mutex};
+
+/// A compiled benchmark plus the dataset it serves — the unit the engine
+/// exposes as an endpoint.
+#[derive(Debug)]
+pub struct EndpointSpec {
+    /// Display/metrics name (conventionally the benchmark name).
+    pub name: String,
+    /// The compiled artifact (accelerator, threshold, classifiers).
+    pub compiled: Arc<Compiled>,
+    /// The profiled dataset whose invocations this endpoint serves.
+    pub profile: DatasetProfile,
+}
+
+/// One served invocation: the worker's decision and its charge, parked in
+/// the slot table until the endpoint is finished.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ServedInvocation {
+    /// Did the invocation run on the accelerator?
+    pub approx: bool,
+    /// Simulated core-visible cycles charged.
+    pub cycles: f64,
+    /// Simulated energy charged (nJ).
+    pub energy: f64,
+}
+
+/// The per-invocation result slots of one endpoint.
+#[derive(Debug)]
+pub(crate) struct SlotTable {
+    pub slots: Vec<Option<ServedInvocation>>,
+    pub filled: usize,
+}
+
+/// The engine-internal state of one endpoint, shared across workers.
+#[derive(Debug)]
+pub(crate) struct EndpointState {
+    pub name: String,
+    pub compiled: Arc<Compiled>,
+    pub profile: DatasetProfile,
+    pub model: InvocationModel,
+    /// Oracle ground truth at the certified threshold, for false-decision
+    /// accounting.
+    pub oracle_rejects: Vec<bool>,
+    /// The NPU configuration image (weights and biases as raw bit words)
+    /// streamed through the config FIFO once per same-endpoint sub-batch.
+    pub config_words: Vec<u32>,
+    /// Calibrated watchdog prototype; each worker forks its own copy.
+    pub watchdog_proto: Option<QualityWatchdog>,
+    pub slots: Mutex<SlotTable>,
+    pub counters: Mutex<EndpointCounters>,
+}
+
+impl EndpointState {
+    /// Lowers a spec: precomputes the invocation model and ground truth,
+    /// encodes the config image, and calibrates the watchdog prototype
+    /// once (workers fork it instead of re-running calibration).
+    pub fn build(
+        spec: EndpointSpec,
+        options: &SimOptions,
+        watchdog_enabled: bool,
+    ) -> Result<Self, ServeError> {
+        let EndpointSpec {
+            name,
+            compiled,
+            profile,
+        } = spec;
+        let model = InvocationModel::new(&compiled, &compiled.table.overhead(), options);
+        let oracle_rejects = profile.oracle_rejects(model.threshold());
+        let (weights, biases) = compiled.function.npu().to_parameters();
+        let config_words: Vec<u32> = weights
+            .iter()
+            .chain(biases.iter())
+            .map(|w| w.to_bits())
+            .collect();
+        let watchdog_proto = if watchdog_enabled {
+            let confidence = Confidence::new(0.95).expect("0.95 is a valid confidence");
+            let mut calibration_cls = compiled.table.clone();
+            let config = watchdog::calibrate(
+                &mut calibration_cls,
+                &compiled.profiles,
+                model.threshold(),
+                confidence,
+            )
+            .map_err(ServeError::Core)?;
+            Some(QualityWatchdog::new(config))
+        } else {
+            None
+        };
+        let n = profile.invocation_count();
+        Ok(Self {
+            name,
+            compiled,
+            profile,
+            model,
+            oracle_rejects,
+            config_words,
+            watchdog_proto,
+            slots: Mutex::new(SlotTable {
+                slots: vec![None; n],
+                filled: 0,
+            }),
+            counters: Mutex::new(EndpointCounters::default()),
+        })
+    }
+
+    /// Folds the filled slot table into a [`RunResult`], in invocation
+    /// order — the same initial charges and the same accumulation order as
+    /// `mithra_sim::system::run`, which is what pins batched serving to
+    /// the sequential simulator bit-for-bit (watchdog off). Returns `None`
+    /// while any invocation is still unserved.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quality-scoring failures from the routed replay.
+    pub fn finish(&self) -> Result<Option<RunResult>, ServeError> {
+        let table = self.slots.lock().expect("slot lock poisoned");
+        let n = table.slots.len();
+        if table.filled < n {
+            return Ok(None);
+        }
+        let baseline = self.model.baseline(n);
+        let startup = self.model.startup(n);
+        let mut cycles = startup.cycles;
+        let mut energy = startup.energy;
+        let mut routes: Vec<Route> = Vec::with_capacity(n);
+        let mut invoked = 0usize;
+        let (mut false_positives, mut false_negatives) = (0usize, 0usize);
+        for (i, slot) in table.slots.iter().enumerate() {
+            let s = slot.expect("filled table has no holes");
+            cycles += s.cycles;
+            energy += s.energy;
+            if s.approx {
+                invoked += 1;
+                if self.oracle_rejects[i] {
+                    false_negatives += 1;
+                }
+                routes.push(Route::Approx);
+            } else {
+                if !self.oracle_rejects[i] {
+                    false_positives += 1;
+                }
+                routes.push(Route::Precise);
+            }
+        }
+        drop(table);
+        let replay = self
+            .profile
+            .try_replay_routed(&self.compiled.function, &routes)
+            .map_err(ServeError::Core)?;
+        Ok(Some(RunResult {
+            baseline_cycles: baseline.cycles,
+            accelerated_cycles: cycles,
+            baseline_energy_nj: baseline.energy,
+            accelerated_energy_nj: energy,
+            quality_loss: replay.quality_loss,
+            invoked,
+            total: n,
+            false_positives,
+            false_negatives,
+        }))
+    }
+
+    /// Records a sub-batch of served invocations under one slot-table
+    /// lock, pushing `true` per entry into `fresh` — or `false` (charging
+    /// nothing) for a slot that was already filled, a duplicate request.
+    pub fn fill_slots(&self, entries: &[(usize, ServedInvocation)], fresh: &mut Vec<bool>) {
+        fresh.clear();
+        let mut table = self.slots.lock().expect("slot lock poisoned");
+        for &(invocation, served) in entries {
+            let slot = &mut table.slots[invocation];
+            if slot.is_some() {
+                fresh.push(false);
+            } else {
+                *slot = Some(served);
+                table.filled += 1;
+                fresh.push(true);
+            }
+        }
+    }
+}
+
+/// Re-exported for workers: the clean FIFO event serving always charges.
+pub(crate) const CLEAN_EVENT: FifoEvent = FifoEvent::None;

@@ -1,0 +1,533 @@
+//! The sharded serving engine.
+//!
+//! `N` worker threads, each owning its **own** NPU context per endpoint —
+//! FIFOs, the fixed-point accelerator, a classifier clone, and a forked
+//! [`QualityWatchdog`] — drain a shared bounded request queue in batches.
+//! Within a batch, consecutive requests for the same endpoint form a
+//! sub-batch: the worker streams the endpoint's NPU configuration image
+//! through the config FIFO **once** for the whole sub-batch (the
+//! amortization batching buys), then classifies and executes each
+//! invocation individually — the accept/reject decision stays strictly
+//! per-invocation, exactly as MITHRA requires.
+//!
+//! Cost accounting goes through the same [`InvocationModel`] constants the
+//! sequential simulator uses, and per-invocation results land in
+//! index-keyed slots, so a finished endpoint's [`RunResult`] is
+//! **bit-identical** to `sim::system::simulate` regardless of worker
+//! count, batch size, or arrival order (watchdog off; with the watchdog
+//! on, admission becomes shard-local state and the engine trades that
+//! identity for per-shard guarding).
+//!
+//! [`InvocationModel`]: mithra_sim::system::InvocationModel
+
+use crate::endpoint::{EndpointSpec, EndpointState, ServedInvocation, CLEAN_EVENT};
+use crate::error::{RejectReason, ServeError};
+use crate::metrics::{EndpointCounters, EndpointMetrics, MetricsSnapshot};
+use crate::queue::{BoundedQueue, PushError};
+use mithra_core::classifier::{Classifier, Decision};
+use mithra_core::profile::default_threads;
+use mithra_core::table::TableClassifier;
+use mithra_core::watchdog::QualityWatchdog;
+use mithra_npu::fifo::QueueInterface;
+use mithra_sim::system::{RunResult, SimOptions};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Worker-pool and batching configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Worker threads (0 = available parallelism, the shared `--threads`
+    /// default).
+    pub workers: usize,
+    /// Requests a worker drains per queue visit (clamped to ≥ 1). Batch 1
+    /// degenerates to per-request queue visits and per-request config
+    /// streaming — the unamortized baseline.
+    pub batch: usize,
+    /// Request-queue capacity; a full queue rejects with
+    /// [`RejectReason::QueueFull`].
+    pub queue_depth: usize,
+    /// Shadow-sampling period of the per-worker quality watchdogs
+    /// (0 disables the watchdog entirely — the canonical off spelling).
+    pub watchdog_period: usize,
+    /// Cost-model options shared with the sequential simulator.
+    pub options: SimOptions,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            batch: 8,
+            queue_depth: 1024,
+            watchdog_period: 0,
+            options: SimOptions::default(),
+        }
+    }
+}
+
+/// One invocation request: which endpoint, which invocation of its
+/// dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Index of the endpoint (registration order).
+    pub endpoint: usize,
+    /// Invocation index within the endpoint's dataset.
+    pub invocation: usize,
+}
+
+struct Shared {
+    endpoints: Vec<EndpointState>,
+    queue: BoundedQueue<Request>,
+    batch: usize,
+    watchdog_period: usize,
+}
+
+/// A worker's private NPU context for one endpoint: its own FIFOs,
+/// classifier clone, scratch output buffer, and forked watchdog.
+struct WorkerCtx {
+    classifier: TableClassifier,
+    queues: QueueInterface,
+    watchdog: Option<QualityWatchdog>,
+    out: Vec<f32>,
+    /// Scratch for [`EndpointState::fill_slots`] freshness flags.
+    fresh: Vec<bool>,
+}
+
+impl WorkerCtx {
+    fn new(state: &EndpointState) -> Self {
+        Self {
+            classifier: state.compiled.table.clone(),
+            queues: QueueInterface::new(),
+            watchdog: state.watchdog_proto.as_ref().map(QualityWatchdog::fork),
+            out: Vec::new(),
+            fresh: Vec::new(),
+        }
+    }
+}
+
+/// The batched, sharded serving engine over a set of endpoints.
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("endpoints", &self.shared.endpoints.len())
+            .field("workers", &self.workers.len())
+            .field("batch", &self.shared.batch)
+            .field("queue_depth", &self.shared.queue.capacity())
+            .finish()
+    }
+}
+
+impl ServeEngine {
+    /// Builds the endpoints and starts the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoEndpoints`] for an empty spec list;
+    /// [`ServeError::UnsupportedOptions`] when
+    /// `options.online_update_period != 0` (online table updates mutate
+    /// classifier state, which would make decisions depend on request
+    /// interleaving); [`ServeError::Core`] when watchdog calibration
+    /// fails.
+    pub fn start(specs: Vec<EndpointSpec>, config: &ServeConfig) -> Result<Self, ServeError> {
+        if config.options.online_update_period != 0 {
+            return Err(ServeError::UnsupportedOptions(
+                "online_update_period must be 0: online table updates make \
+                 decisions depend on request interleaving",
+            ));
+        }
+        if specs.is_empty() {
+            return Err(ServeError::NoEndpoints);
+        }
+        let endpoints = specs
+            .into_iter()
+            .map(|spec| EndpointState::build(spec, &config.options, config.watchdog_period > 0))
+            .collect::<Result<Vec<_>, _>>()?;
+        let shared = Arc::new(Shared {
+            endpoints,
+            queue: BoundedQueue::new(config.queue_depth),
+            batch: config.batch.max(1),
+            watchdog_period: config.watchdog_period,
+        });
+        let worker_count = if config.workers == 0 {
+            default_threads()
+        } else {
+            config.workers
+        };
+        let workers = (0..worker_count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a serving worker cannot fail")
+            })
+            .collect();
+        Ok(Self { shared, workers })
+    }
+
+    /// Number of registered endpoints.
+    pub fn endpoint_count(&self) -> usize {
+        self.shared.endpoints.len()
+    }
+
+    /// Submits one invocation request without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Rejects with a [`RejectReason`] instead of queueing unboundedly:
+    /// unknown endpoint, out-of-range invocation, full queue
+    /// (backpressure), or a closed engine. Queue-full and invalid
+    /// rejections are counted in the endpoint's metrics.
+    pub fn submit(&self, endpoint: usize, invocation: usize) -> Result<(), RejectReason> {
+        let state = self
+            .shared
+            .endpoints
+            .get(endpoint)
+            .ok_or(RejectReason::UnknownEndpoint)?;
+        if invocation >= state.profile.invocation_count() {
+            state
+                .counters
+                .lock()
+                .expect("metrics lock poisoned")
+                .rejected_invalid += 1;
+            return Err(RejectReason::InvalidInvocation);
+        }
+        match self.shared.queue.try_push(Request {
+            endpoint,
+            invocation,
+        }) {
+            Ok(()) => Ok(()),
+            Err(PushError::Full) => {
+                state
+                    .counters
+                    .lock()
+                    .expect("metrics lock poisoned")
+                    .rejected_queue_full += 1;
+                Err(RejectReason::QueueFull)
+            }
+            Err(PushError::Closed) => Err(RejectReason::Closed),
+        }
+    }
+
+    /// Validates a slice of requests and enqueues as many as capacity
+    /// allows in one queue operation, returning the accepted count (from
+    /// the front of the slice — re-offer the rest). Unaccepted requests
+    /// are counted as queue-full rejections against their endpoints, the
+    /// same backpressure accounting as per-request [`submit`](Self::submit).
+    ///
+    /// # Errors
+    ///
+    /// The first invalid request (unknown endpoint or out-of-range
+    /// invocation) rejects the whole slice before anything is enqueued; a
+    /// closed engine rejects with [`RejectReason::Closed`].
+    pub fn submit_batch(&self, requests: &[Request]) -> Result<usize, RejectReason> {
+        for request in requests {
+            let state = self
+                .shared
+                .endpoints
+                .get(request.endpoint)
+                .ok_or(RejectReason::UnknownEndpoint)?;
+            if request.invocation >= state.profile.invocation_count() {
+                state
+                    .counters
+                    .lock()
+                    .expect("metrics lock poisoned")
+                    .rejected_invalid += 1;
+                return Err(RejectReason::InvalidInvocation);
+            }
+        }
+        match self.shared.queue.try_push_batch(requests) {
+            Ok(accepted) => {
+                for request in &requests[accepted..] {
+                    self.shared.endpoints[request.endpoint]
+                        .counters
+                        .lock()
+                        .expect("metrics lock poisoned")
+                        .rejected_queue_full += 1;
+                }
+                Ok(accepted)
+            }
+            Err(PushError::Closed) => Err(RejectReason::Closed),
+            Err(PushError::Full) => unreachable!("batch push reports full as Ok(0)"),
+        }
+    }
+
+    /// [`submit`](Self::submit), retrying (with a scheduler yield) while
+    /// the queue is full — the closed-loop submission tests and the
+    /// throughput benchmark's drain phase use.
+    ///
+    /// # Errors
+    ///
+    /// Terminal rejections (unknown endpoint, invalid invocation, closed
+    /// engine) propagate; only [`RejectReason::QueueFull`] is retried.
+    pub fn submit_or_wait(&self, endpoint: usize, invocation: usize) -> Result<(), RejectReason> {
+        loop {
+            match self.submit(endpoint, invocation) {
+                Err(RejectReason::QueueFull) => std::thread::yield_now(),
+                other => return other,
+            }
+        }
+    }
+
+    /// Closes the queue, drains the backlog, and joins every worker —
+    /// the end of the serving phase. Slot folding and quality scoring
+    /// happen later, in [`DrainedEngine::report`], so throughput
+    /// measurements can stop the clock here.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::WorkerPanicked`] when a worker died.
+    pub fn join(self) -> Result<DrainedEngine, ServeError> {
+        self.shared.queue.close();
+        for worker in self.workers {
+            worker.join().map_err(|_| ServeError::WorkerPanicked)?;
+        }
+        Ok(DrainedEngine {
+            shared: self.shared,
+        })
+    }
+
+    /// [`join`](Self::join) followed by [`DrainedEngine::report`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::WorkerPanicked`] when a worker died;
+    /// [`ServeError::Core`] when quality scoring fails.
+    pub fn finish(self) -> Result<ServeReport, ServeError> {
+        self.join()?.report()
+    }
+}
+
+/// An engine whose workers have drained and exited; all that remains is
+/// folding slots into per-endpoint reports.
+pub struct DrainedEngine {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for DrainedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DrainedEngine")
+            .field("endpoints", &self.shared.endpoints.len())
+            .finish()
+    }
+}
+
+impl DrainedEngine {
+    /// Folds each endpoint's slots and frozen counters into the final
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Core`] when quality scoring fails.
+    pub fn report(&self) -> Result<ServeReport, ServeError> {
+        let mut endpoints = Vec::with_capacity(self.shared.endpoints.len());
+        for state in &self.shared.endpoints {
+            let result = state.finish()?;
+            let counters = state
+                .counters
+                .lock()
+                .expect("metrics lock poisoned")
+                .clone();
+            endpoints.push(EndpointReport {
+                name: state.name.clone(),
+                invocations: state.profile.invocation_count(),
+                result,
+                counters,
+            });
+        }
+        Ok(ServeReport { endpoints })
+    }
+}
+
+/// One endpoint's outcome after the engine finished.
+#[derive(Debug, Clone)]
+pub struct EndpointReport {
+    /// The endpoint name.
+    pub name: String,
+    /// Invocations in the endpoint's dataset.
+    pub invocations: usize,
+    /// The aggregate simulation result — `Some` only when every
+    /// invocation was served (full coverage), in which case it is
+    /// bit-identical to sequential `simulate` (watchdog off).
+    pub result: Option<RunResult>,
+    /// The endpoint's frozen metrics.
+    pub counters: EndpointCounters,
+}
+
+/// The engine's final report across all endpoints.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Per-endpoint reports, in registration order.
+    pub endpoints: Vec<EndpointReport>,
+}
+
+impl ServeReport {
+    /// The serializable metrics snapshot (the scrape/export payload).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            endpoints: self
+                .endpoints
+                .iter()
+                .map(|e| EndpointMetrics {
+                    name: e.name.clone(),
+                    invocations: e.invocations as u64,
+                    counters: e.counters.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut ctxs: Vec<Option<WorkerCtx>> = (0..shared.endpoints.len()).map(|_| None).collect();
+    let mut batch: Vec<Request> = Vec::with_capacity(shared.batch);
+    loop {
+        batch.clear();
+        if shared.queue.pop_batch(shared.batch, &mut batch) == 0 {
+            break;
+        }
+        // Consecutive same-endpoint requests form a sub-batch sharing one
+        // config-FIFO refill.
+        let mut i = 0;
+        while i < batch.len() {
+            let ep = batch[i].endpoint;
+            let mut j = i + 1;
+            while j < batch.len() && batch[j].endpoint == ep {
+                j += 1;
+            }
+            let state = &shared.endpoints[ep];
+            let ctx = ctxs[ep].get_or_insert_with(|| WorkerCtx::new(state));
+            serve_sub_batch(state, ctx, &batch[i..j], shared.watchdog_period);
+            i = j;
+        }
+    }
+    // Fold each shard watchdog's lifetime report into its endpoint.
+    for (ep, ctx) in ctxs.into_iter().enumerate() {
+        let Some(dog) = ctx.and_then(|c| c.watchdog) else {
+            continue;
+        };
+        let report = dog.report();
+        let mut counters = shared.endpoints[ep]
+            .counters
+            .lock()
+            .expect("metrics lock poisoned");
+        counters.watchdog.samples += report.samples;
+        counters.watchdog.violations += report.violations;
+        counters.watchdog.breaches += report.breaches;
+        counters.watchdog.recoveries += report.recoveries;
+    }
+}
+
+fn serve_sub_batch(
+    state: &EndpointState,
+    ctx: &mut WorkerCtx,
+    requests: &[Request],
+    watchdog_period: usize,
+) {
+    let mut delta = EndpointCounters::default();
+    let mut pending: Vec<(usize, ServedInvocation)> = Vec::with_capacity(requests.len());
+    // One configuration stream per sub-batch — the per-invocation setup
+    // cost batching amortizes.
+    delta.config_bursts += ctx.queues.stream_config(&state.config_words) as u64;
+    for request in requests {
+        let inv = request.invocation;
+        let input = state.profile.dataset().input(inv);
+        let raw = ctx.classifier.classify(inv, input);
+        let decision = match ctx.watchdog.as_mut() {
+            Some(w) => w.admit(raw),
+            None => raw,
+        };
+        let shadow = ctx.watchdog.is_some()
+            && watchdog_period > 0
+            && raw == Decision::Approximate
+            && inv % watchdog_period == 0;
+        if shadow {
+            let violation = state.profile.max_error(inv) > state.model.threshold();
+            if let Some(w) = ctx.watchdog.as_mut() {
+                // Count invariants hold, so the statistics cannot fail;
+                // transition totals are folded from the report at
+                // shutdown.
+                let _ = w.record(violation);
+            }
+        }
+        let approx = decision == Decision::Approximate;
+        if approx {
+            // The real accelerator work: stream operands through the
+            // input FIFO, run the fixed-point network, drain results.
+            ctx.queues.input.enqueue_slice(input);
+            ctx.queues.input.clear();
+            state.compiled.function.approx_into(input, &mut ctx.out);
+            ctx.queues.output.enqueue_slice(&ctx.out);
+            ctx.queues.output.clear();
+        }
+        let charge = state.model.charge(decision, CLEAN_EVENT, shadow);
+        pending.push((
+            inv,
+            ServedInvocation {
+                approx,
+                cycles: charge.cycles,
+                energy: charge.energy,
+            },
+        ));
+    }
+    // One slot-table lock for the whole sub-batch; duplicates surface as
+    // `false` entries and are counted, never double-charged.
+    state.fill_slots(&pending, &mut ctx.fresh);
+    for (&(_, served), &fresh) in pending.iter().zip(ctx.fresh.iter()) {
+        if fresh {
+            delta.served += 1;
+            if served.approx {
+                delta.approx += 1;
+            } else {
+                delta.fallback += 1;
+            }
+            delta.latency.record(served.cycles);
+        } else {
+            delta.duplicates += 1;
+        }
+    }
+    state
+        .counters
+        .lock()
+        .expect("metrics lock poisoned")
+        .absorb(&delta);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_endpoint_list_is_rejected() {
+        let err = ServeEngine::start(vec![], &ServeConfig::default()).unwrap_err();
+        assert!(matches!(err, ServeError::NoEndpoints));
+    }
+
+    #[test]
+    fn online_updates_are_unsupported() {
+        let config = ServeConfig {
+            options: SimOptions {
+                online_update_period: 8,
+                ..SimOptions::default()
+            },
+            ..ServeConfig::default()
+        };
+        // Option validation fires before endpoint construction, so no
+        // compiled artifact is needed to observe it.
+        let err = ServeEngine::start(vec![], &config).unwrap_err();
+        assert!(matches!(err, ServeError::UnsupportedOptions(_)));
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = ServeConfig::default();
+        assert_eq!(cfg.workers, 0, "0 = available parallelism");
+        assert!(cfg.batch >= 1);
+        assert_eq!(cfg.watchdog_period, 0, "watchdog off by default");
+    }
+}

@@ -1,0 +1,46 @@
+//! `mithra-serve`: a batched, sharded invocation-serving runtime over
+//! compiled MITHRA artifacts.
+//!
+//! MITHRA's decision — NPU or precise core, per invocation — is a
+//! *runtime* mechanism, and this crate deploys it as one: each compiled
+//! benchmark becomes an **endpoint**, requests flow through a bounded
+//! MPMC queue with explicit admission control, and a pool of sharded
+//! workers drains them in batches:
+//!
+//! ```text
+//!  clients ──▶ submit() ──▶ [bounded queue] ──▶ worker 0 ─┐
+//!              │ reject:                  ╲──▶ worker 1 ─┤──▶ slot
+//!              │ full / invalid            ╲─▶ worker N ─┘    table
+//!              ▼                               (own FIFOs,      │
+//!           metrics ◀──── counters, latency,    classifier,     ▼
+//!           registry      watchdog stats        watchdog)   RunResult
+//! ```
+//!
+//! Each worker owns a private NPU context per endpoint (FIFOs, the
+//! fixed-point accelerator, a classifier clone, a forked
+//! [`QualityWatchdog`]) and amortizes configuration-FIFO streaming across
+//! each same-endpoint sub-batch while keeping the accept/reject decision
+//! strictly per-invocation. Cost accounting reuses the sequential
+//! simulator's [`InvocationModel`] constants and folds per-invocation
+//! charges in index order, so a fully-served endpoint's [`RunResult`] is
+//! bit-identical to `mithra_sim::system::simulate` for any worker count,
+//! batch size, and arrival order (watchdog off) — sharding buys wall-clock
+//! throughput, never different numbers.
+//!
+//! [`QualityWatchdog`]: mithra_core::watchdog::QualityWatchdog
+//! [`InvocationModel`]: mithra_sim::system::InvocationModel
+//! [`RunResult`]: mithra_sim::system::RunResult
+
+#![warn(missing_docs)]
+
+pub mod endpoint;
+pub mod engine;
+pub mod error;
+pub mod metrics;
+pub mod queue;
+
+pub use endpoint::EndpointSpec;
+pub use engine::{DrainedEngine, EndpointReport, Request, ServeConfig, ServeEngine, ServeReport};
+pub use error::{RejectReason, ServeError};
+pub use metrics::{EndpointCounters, LatencyHistogram, MetricsSnapshot};
+pub use queue::{BoundedQueue, PushError};

@@ -1,0 +1,208 @@
+//! The serving metrics registry.
+//!
+//! Each endpoint accumulates counters (served, approximated, precise,
+//! rejected), a fixed-bucket latency histogram in simulated cycles, and
+//! the watchdog's lifetime transition counts. Workers batch their updates
+//! — one registry lock per sub-batch, not per invocation — and the whole
+//! registry exports as a serializable [`MetricsSnapshot`] (the payload a
+//! scrape endpoint or the throughput benchmark serializes to JSON).
+
+use serde::Serialize;
+
+/// Upper bounds (inclusive) of the latency histogram buckets, in cycles.
+/// Powers of two from 64 to 2^21, spanning sub-microsecond NPU invocations
+/// through multi-kilocycle precise kernels with shadow samples; a final
+/// implicit overflow bucket catches everything beyond.
+pub const LATENCY_BUCKET_BOUNDS: [u64; 16] = [
+    64,
+    128,
+    256,
+    512,
+    1024,
+    2048,
+    4096,
+    8192,
+    16384,
+    32768,
+    65536,
+    131072,
+    262144,
+    524288,
+    1 << 20,
+    1 << 21,
+];
+
+/// A fixed-bucket histogram of per-invocation latency in simulated cycles.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct LatencyHistogram {
+    /// `counts[i]` holds invocations with latency ≤ `LATENCY_BUCKET_BOUNDS[i]`
+    /// (and above the previous bound); the last slot is the overflow
+    /// bucket.
+    pub counts: Vec<u64>,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            counts: vec![0; LATENCY_BUCKET_BOUNDS.len() + 1],
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one invocation's latency.
+    pub fn record(&mut self, cycles: f64) {
+        let idx = LATENCY_BUCKET_BOUNDS
+            .iter()
+            .position(|&bound| cycles <= bound as f64)
+            .unwrap_or(LATENCY_BUCKET_BOUNDS.len());
+        self.counts[idx] += 1;
+    }
+
+    /// Total recorded invocations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+/// Watchdog activity aggregated across an endpoint's worker shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct WatchdogStats {
+    /// Shadow quality samples taken.
+    pub samples: u64,
+    /// Sampled threshold violations.
+    pub violations: u64,
+    /// Ladder step-downs (into Throttled or Fallback).
+    pub breaches: u64,
+    /// Full-admission restorations (back to Monitoring).
+    pub recoveries: u64,
+}
+
+/// One endpoint's counters — the mutable registry entry workers update.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct EndpointCounters {
+    /// Requests completed by a worker (admitted through the queue).
+    pub served: u64,
+    /// Served requests the classifier sent to the accelerator.
+    pub approx: u64,
+    /// Served requests that ran the precise function (classifier reject
+    /// or watchdog fallback).
+    pub fallback: u64,
+    /// Requests refused at admission because the queue was full.
+    pub rejected_queue_full: u64,
+    /// Requests refused at admission for an out-of-range invocation.
+    pub rejected_invalid: u64,
+    /// Requests that named an already-served invocation; detected at the
+    /// slot table, never double-charged.
+    pub duplicates: u64,
+    /// Config-FIFO refill bursts (amortized across each batch).
+    pub config_bursts: u64,
+    /// Per-invocation latency distribution in cycles.
+    pub latency: LatencyHistogram,
+    /// Aggregated watchdog activity across this endpoint's shards.
+    pub watchdog: WatchdogStats,
+}
+
+impl EndpointCounters {
+    /// Folds a worker's sub-batch delta into the registry entry — the
+    /// single locked update a worker makes per sub-batch.
+    pub fn absorb(&mut self, delta: &EndpointCounters) {
+        self.served += delta.served;
+        self.approx += delta.approx;
+        self.fallback += delta.fallback;
+        self.rejected_queue_full += delta.rejected_queue_full;
+        self.rejected_invalid += delta.rejected_invalid;
+        self.duplicates += delta.duplicates;
+        self.config_bursts += delta.config_bursts;
+        self.latency.merge(&delta.latency);
+        self.watchdog.samples += delta.watchdog.samples;
+        self.watchdog.violations += delta.watchdog.violations;
+        self.watchdog.breaches += delta.watchdog.breaches;
+        self.watchdog.recoveries += delta.watchdog.recoveries;
+    }
+}
+
+/// One endpoint's metrics, frozen for export.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EndpointMetrics {
+    /// The endpoint (benchmark) name.
+    pub name: String,
+    /// Invocations the endpoint was asked to cover.
+    pub invocations: u64,
+    /// The frozen counters.
+    pub counters: EndpointCounters,
+}
+
+/// The whole registry, frozen for export; serializes to the JSON shape
+/// `BENCH_serve.json` embeds.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricsSnapshot {
+    /// Per-endpoint metrics, in endpoint registration order.
+    pub endpoints: Vec<EndpointMetrics>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_bound() {
+        let mut h = LatencyHistogram::default();
+        h.record(1.0); // ≤ 64 → bucket 0
+        h.record(64.0); // ≤ 64 → bucket 0
+        h.record(65.0); // ≤ 128 → bucket 1
+        h.record(1e12); // overflow bucket
+        assert_eq!(h.counts[0], 2);
+        assert_eq!(h.counts[1], 1);
+        assert_eq!(*h.counts.last().unwrap(), 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn absorb_accumulates_everything() {
+        let mut a = EndpointCounters::default();
+        let mut d = EndpointCounters {
+            served: 3,
+            approx: 2,
+            fallback: 1,
+            rejected_queue_full: 4,
+            duplicates: 1,
+            config_bursts: 2,
+            ..EndpointCounters::default()
+        };
+        d.latency.record(100.0);
+        d.watchdog.samples = 5;
+        a.absorb(&d);
+        a.absorb(&d);
+        assert_eq!(a.served, 6);
+        assert_eq!(a.approx, 4);
+        assert_eq!(a.fallback, 2);
+        assert_eq!(a.rejected_queue_full, 8);
+        assert_eq!(a.duplicates, 2);
+        assert_eq!(a.config_bursts, 4);
+        assert_eq!(a.latency.total(), 2);
+        assert_eq!(a.watchdog.samples, 10);
+    }
+
+    #[test]
+    fn snapshot_serializes() {
+        let snap = MetricsSnapshot {
+            endpoints: vec![EndpointMetrics {
+                name: "sobel".into(),
+                invocations: 10,
+                counters: EndpointCounters::default(),
+            }],
+        };
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("\"sobel\""));
+        assert!(json.contains("\"latency\""));
+        assert!(json.contains("\"watchdog\""));
+    }
+}

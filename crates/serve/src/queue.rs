@@ -1,0 +1,227 @@
+//! The bounded MPMC request queue feeding the worker pool.
+//!
+//! Admission control is explicit: [`BoundedQueue::try_push`] never blocks
+//! and never grows the queue past its capacity — a full queue rejects the
+//! request with a reason, pushing backpressure to the caller instead of
+//! hiding it in unbounded memory. Consumers block in
+//! [`BoundedQueue::pop_batch`], draining up to a whole batch per wakeup so
+//! a worker pays one lock acquisition per batch rather than per request.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; the caller should shed or retry later.
+    Full,
+    /// The queue was closed; no further requests are accepted.
+    Closed,
+}
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushError::Full => write!(f, "queue full"),
+            PushError::Closed => write!(f, "queue closed"),
+        }
+    }
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue with batch draining.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Maximum number of queued items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues one item without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity (the item is returned to the caller
+    /// conceptually — it was never enqueued), [`PushError::Closed`] after
+    /// [`close`](Self::close).
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues as many items from the front of `items` as capacity
+    /// allows, without blocking, and returns how many were accepted —
+    /// possibly 0 when the queue is full. One lock acquisition and one
+    /// wakeup for the whole slice, so open-loop load generators do not
+    /// pay per-item synchronization.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Closed`] after [`close`](Self::close) — nothing is
+    /// enqueued.
+    pub fn try_push_batch(&self, items: &[T]) -> Result<usize, PushError>
+    where
+        T: Copy,
+    {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        let free = self.capacity - inner.items.len();
+        let take = free.min(items.len());
+        inner.items.extend(&items[..take]);
+        drop(inner);
+        match take {
+            0 => {}
+            1 => self.not_empty.notify_one(),
+            _ => self.not_empty.notify_all(),
+        }
+        Ok(take)
+    }
+
+    /// Blocks until at least one item is available (or the queue is closed
+    /// and drained), then moves up to `max` items into `out` in FIFO
+    /// order. Returns the number of items taken; 0 means closed-and-empty
+    /// — the consumer's shutdown signal.
+    pub fn pop_batch(&self, max: usize, out: &mut Vec<T>) -> usize {
+        let max = max.max(1);
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        loop {
+            if !inner.items.is_empty() {
+                let take = max.min(inner.items.len());
+                out.extend(inner.items.drain(..take));
+                return take;
+            }
+            if inner.closed {
+                return 0;
+            }
+            inner = self.not_empty.wait(inner).expect("queue lock poisoned");
+        }
+    }
+
+    /// Closes the queue: pending items still drain, new pushes fail, and
+    /// blocked consumers wake up once the backlog is gone.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo_order() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(3, &mut out), 3);
+        assert_eq!(out, vec![0, 1, 2]);
+        assert_eq!(q.pop_batch(10, &mut out), 2);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.len(), 2, "a rejected push must not enqueue");
+    }
+
+    #[test]
+    fn closed_queue_drains_then_signals_shutdown() {
+        let q = BoundedQueue::new(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8), Err(PushError::Closed));
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(4, &mut out), 1, "backlog still drains");
+        assert_eq!(q.pop_batch(4, &mut out), 0, "then shutdown");
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut out = Vec::new();
+                q.pop_batch(4, &mut out)
+            })
+        };
+        // Give the consumer time to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), 0);
+    }
+
+    #[test]
+    fn batch_push_accepts_up_to_capacity() {
+        let q = BoundedQueue::new(4);
+        q.try_push(0).unwrap();
+        assert_eq!(q.try_push_batch(&[1, 2, 3, 4, 5]).unwrap(), 3);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.try_push_batch(&[9]).unwrap(), 0, "full accepts none");
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(8, &mut out), 4);
+        assert_eq!(out, vec![0, 1, 2, 3], "accepted prefix, FIFO order");
+        q.close();
+        assert_eq!(q.try_push_batch(&[1]), Err(PushError::Closed));
+    }
+
+    #[test]
+    fn zero_capacity_and_zero_max_are_clamped() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(1).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(0, &mut out), 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Saturation stress: many producers hammering a small bounded queue
+//! must never deadlock, lose an item, or deliver one twice — and the
+//! engine built on top must keep exactly-once serving (and bit-identical
+//! results) even when admission control is rejecting constantly.
+
+use mithra_axbench::benchmark::Benchmark;
+use mithra_axbench::dataset::DatasetScale;
+use mithra_axbench::suite;
+use mithra_core::pipeline::{compile, CompileConfig};
+use mithra_core::profile::DatasetProfile;
+use mithra_serve::{BoundedQueue, EndpointSpec, RejectReason, ServeConfig, ServeEngine};
+use mithra_sim::system::{simulate, SimOptions};
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+#[test]
+fn bounded_queue_saturated_by_many_producers_loses_and_duplicates_nothing() {
+    const PRODUCERS: u64 = 8;
+    const PER_PRODUCER: u64 = 2000;
+    const CONSUMERS: usize = 4;
+
+    let queue = BoundedQueue::new(8);
+    let received: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        let queue = &queue;
+        let received = &received;
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                scope.spawn(move || {
+                    // Each token encodes (producer, sequence) so loss and
+                    // duplication are both detectable.
+                    for seq in 0..PER_PRODUCER {
+                        let token = (p << 32) | seq;
+                        while queue.try_push(token).is_err() {
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..CONSUMERS {
+            scope.spawn(move || {
+                let mut local = Vec::new();
+                let mut batch = Vec::new();
+                loop {
+                    batch.clear();
+                    if queue.pop_batch(5, &mut batch) == 0 {
+                        break;
+                    }
+                    local.extend_from_slice(&batch);
+                }
+                received.lock().unwrap().extend_from_slice(&local);
+            });
+        }
+        for producer in producers {
+            producer.join().expect("producer must not panic");
+        }
+        // Only once every producer has drained its offer list may the
+        // queue close; consumers then finish the backlog and exit.
+        queue.close();
+    });
+
+    let seen = received.into_inner().unwrap();
+    let expected = (PRODUCERS * PER_PRODUCER) as usize;
+    assert_eq!(seen.len(), expected, "no item may be lost or duplicated");
+    let unique: HashSet<u64> = seen.iter().copied().collect();
+    assert_eq!(unique.len(), expected, "every token exactly once");
+    assert!(queue.is_empty());
+}
+
+#[test]
+fn engine_under_saturation_serves_exactly_once_and_stays_bit_identical() {
+    let bench: Arc<dyn Benchmark> = suite::by_name("sobel").unwrap().into();
+    let compiled = Arc::new(compile(bench, &CompileConfig::smoke()).unwrap());
+    let dataset = compiled.function.dataset(5150, DatasetScale::Smoke);
+    let profile = DatasetProfile::collect(&compiled.function, dataset);
+    let n = profile.invocation_count();
+    let mut classifier = compiled.table.clone();
+    let expected = simulate(&compiled, &profile, &mut classifier, &SimOptions::default());
+
+    let engine = ServeEngine::start(
+        vec![EndpointSpec {
+            name: "sobel".into(),
+            compiled: Arc::clone(&compiled),
+            profile: profile.clone(),
+        }],
+        &ServeConfig {
+            workers: 4,
+            batch: 4,
+            // Far smaller than the offered load: admission control must
+            // reject (never queue unboundedly) and producers retry.
+            queue_depth: 16,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+
+    const PRODUCERS: usize = 8;
+    let chunk = n.div_ceil(PRODUCERS);
+    std::thread::scope(|scope| {
+        for p in 0..PRODUCERS {
+            let engine = &engine;
+            scope.spawn(move || {
+                let lo = p * chunk;
+                let hi = ((p + 1) * chunk).min(n);
+                for inv in lo..hi {
+                    engine.submit_or_wait(0, inv).unwrap();
+                }
+                // Every producer re-offers its first invocation: the
+                // engine must serve it once and count the replay as a
+                // duplicate, never double-charge it.
+                if lo < hi {
+                    engine.submit_or_wait(0, lo).unwrap();
+                }
+            });
+        }
+    });
+
+    // Admission control also rejects malformed requests outright.
+    assert_eq!(
+        engine.submit(0, n),
+        Err(RejectReason::InvalidInvocation),
+        "out-of-range invocation must be refused"
+    );
+    assert_eq!(
+        engine.submit(7, 0),
+        Err(RejectReason::UnknownEndpoint),
+        "unregistered endpoint must be refused"
+    );
+
+    let report = engine.finish().unwrap();
+    let endpoint = &report.endpoints[0];
+    assert_eq!(endpoint.counters.served, n as u64, "exactly-once serving");
+    let resubmitted = (0..PRODUCERS).filter(|p| p * chunk < n).count() as u64;
+    assert_eq!(
+        endpoint.counters.duplicates, resubmitted,
+        "replayed submissions are served once and counted as duplicates"
+    );
+    assert_eq!(endpoint.counters.rejected_invalid, 1);
+    assert_eq!(
+        endpoint.result.unwrap(),
+        expected,
+        "saturation and duplicates must not perturb the result"
+    );
+    assert_eq!(
+        endpoint.counters.latency.total(),
+        n as u64,
+        "one latency observation per served invocation"
+    );
+}

@@ -1,0 +1,223 @@
+//! Serve-vs-simulate determinism: for every benchmark in the suite, a
+//! batched, sharded serving run must produce a [`RunResult`] that is
+//! **bit-identical** (f64 equality, no tolerance) to the sequential
+//! simulator, across seeds, batch sizes, and worker counts — sharding
+//! buys wall-clock throughput, never different numbers.
+
+use mithra_axbench::benchmark::Benchmark;
+use mithra_axbench::dataset::DatasetScale;
+use mithra_axbench::suite;
+use mithra_core::pipeline::{compile, CompileConfig, Compiled};
+use mithra_core::profile::DatasetProfile;
+use mithra_serve::{EndpointSpec, ServeConfig, ServeEngine};
+use mithra_sim::system::{simulate, RunResult, SimOptions};
+use std::sync::{Arc, OnceLock};
+
+const SUITE: [&str; 6] = [
+    "blackscholes",
+    "fft",
+    "inversek2j",
+    "jmeint",
+    "jpeg",
+    "sobel",
+];
+
+fn compiled_for(name: &str) -> Arc<Compiled> {
+    static CACHE: [OnceLock<Arc<Compiled>>; SUITE.len()] = [const { OnceLock::new() }; SUITE.len()];
+    let idx = SUITE.iter().position(|&n| n == name).expect("suite member");
+    Arc::clone(CACHE[idx].get_or_init(|| {
+        let bench: Arc<dyn Benchmark> = suite::by_name(name).unwrap().into();
+        Arc::new(compile(bench, &CompileConfig::smoke()).unwrap())
+    }))
+}
+
+fn profile_for(compiled: &Compiled, seed: u64) -> DatasetProfile {
+    let ds = compiled.function.dataset(seed, DatasetScale::Smoke);
+    DatasetProfile::collect(&compiled.function, ds)
+}
+
+fn sequential(compiled: &Compiled, profile: &DatasetProfile) -> RunResult {
+    let mut classifier = compiled.table.clone();
+    simulate(compiled, profile, &mut classifier, &SimOptions::default())
+}
+
+fn serve_once(
+    compiled: &Arc<Compiled>,
+    profile: &DatasetProfile,
+    workers: usize,
+    batch: usize,
+) -> RunResult {
+    let engine = ServeEngine::start(
+        vec![EndpointSpec {
+            name: "endpoint".into(),
+            compiled: Arc::clone(compiled),
+            profile: profile.clone(),
+        }],
+        &ServeConfig {
+            workers,
+            batch,
+            // Smaller than the dataset: submission exercises the
+            // backpressure path too.
+            queue_depth: 64,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    for i in 0..profile.invocation_count() {
+        engine.submit_or_wait(0, i).unwrap();
+    }
+    let report = engine.finish().unwrap();
+    let endpoint = &report.endpoints[0];
+    assert_eq!(
+        endpoint.counters.served,
+        profile.invocation_count() as u64,
+        "every submitted invocation must be served exactly once"
+    );
+    endpoint.result.expect("full coverage yields a result")
+}
+
+fn assert_parity(name: &str) {
+    let compiled = compiled_for(name);
+    for seed in [11u64, 222, 3333] {
+        let profile = profile_for(&compiled, seed);
+        let expected = sequential(&compiled, &profile);
+        for (workers, batch) in [(1, 1), (3, 1), (3, 8)] {
+            let got = serve_once(&compiled, &profile, workers, batch);
+            assert_eq!(
+                got, expected,
+                "{name}: seed {seed}, {workers} workers, batch {batch} \
+                 diverged from sequential simulate"
+            );
+        }
+    }
+}
+
+#[test]
+fn serving_blackscholes_is_bit_identical_to_simulate() {
+    assert_parity("blackscholes");
+}
+
+#[test]
+fn serving_fft_is_bit_identical_to_simulate() {
+    assert_parity("fft");
+}
+
+#[test]
+fn serving_inversek2j_is_bit_identical_to_simulate() {
+    assert_parity("inversek2j");
+}
+
+#[test]
+fn serving_jmeint_is_bit_identical_to_simulate() {
+    assert_parity("jmeint");
+}
+
+#[test]
+fn serving_sobel_is_bit_identical_to_simulate() {
+    assert_parity("sobel");
+}
+
+#[test]
+fn serving_jpeg_is_bit_identical_to_simulate() {
+    assert_parity("jpeg");
+}
+
+#[test]
+fn multi_endpoint_interleaving_preserves_every_endpoint_identity() {
+    // Two endpoints served through one engine with deliberately
+    // interleaved submission order: sub-batch grouping and per-endpoint
+    // contexts must keep each endpoint bit-identical to its own
+    // sequential run.
+    let sobel = compiled_for("sobel");
+    let invk = compiled_for("inversek2j");
+    let sobel_profile = profile_for(&sobel, 77);
+    let invk_profile = profile_for(&invk, 78);
+    let expected_sobel = sequential(&sobel, &sobel_profile);
+    let expected_invk = sequential(&invk, &invk_profile);
+
+    let engine = ServeEngine::start(
+        vec![
+            EndpointSpec {
+                name: "sobel".into(),
+                compiled: Arc::clone(&sobel),
+                profile: sobel_profile.clone(),
+            },
+            EndpointSpec {
+                name: "inversek2j".into(),
+                compiled: Arc::clone(&invk),
+                profile: invk_profile.clone(),
+            },
+        ],
+        &ServeConfig {
+            workers: 4,
+            batch: 6,
+            queue_depth: 128,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let n0 = sobel_profile.invocation_count();
+    let n1 = invk_profile.invocation_count();
+    for i in 0..n0.max(n1) {
+        if i < n0 {
+            engine.submit_or_wait(0, i).unwrap();
+        }
+        if i < n1 {
+            engine.submit_or_wait(1, i).unwrap();
+        }
+    }
+    let report = engine.finish().unwrap();
+    assert_eq!(report.endpoints[0].result.unwrap(), expected_sobel);
+    assert_eq!(report.endpoints[1].result.unwrap(), expected_invk);
+    let snapshot = report.snapshot();
+    assert_eq!(snapshot.endpoints.len(), 2);
+    assert!(
+        snapshot.endpoints[0].counters.config_bursts > 0,
+        "config streaming must be accounted"
+    );
+}
+
+#[test]
+fn watchdog_enabled_serving_covers_and_guards() {
+    // With the watchdog on, admission becomes shard-local state, so no
+    // bit-identity is claimed — but coverage, accounting, and the
+    // no-false-alarm property on clean data must hold, and shadow
+    // sampling must cost cycles.
+    let compiled = compiled_for("inversek2j");
+    let profile = profile_for(&compiled, 99);
+    let expected = sequential(&compiled, &profile);
+    let engine = ServeEngine::start(
+        vec![EndpointSpec {
+            name: "inversek2j".into(),
+            compiled: Arc::clone(&compiled),
+            profile: profile.clone(),
+        }],
+        &ServeConfig {
+            workers: 2,
+            batch: 4,
+            watchdog_period: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    for i in 0..profile.invocation_count() {
+        engine.submit_or_wait(0, i).unwrap();
+    }
+    let report = engine.finish().unwrap();
+    let endpoint = &report.endpoints[0];
+    let result = endpoint.result.expect("full coverage");
+    assert_eq!(result.total, profile.invocation_count());
+    assert!(
+        endpoint.counters.watchdog.samples > 0,
+        "shadow sampling must run"
+    );
+    assert_eq!(
+        endpoint.counters.watchdog.breaches, 0,
+        "clean certified data must not trip the guard"
+    );
+    assert!(
+        result.accelerated_cycles > expected.accelerated_cycles,
+        "shadow samples must cost cycles over the unguarded run"
+    );
+    assert_eq!(result.invoked, expected.invoked, "admission never gated");
+}

@@ -5,6 +5,14 @@
 //! and finally scores the mixed output's quality. The baseline is the
 //! benchmark running entirely on the precise core.
 //!
+//! The per-invocation cost arithmetic lives in [`InvocationModel`]: every
+//! charge an invocation can incur (classifier decision, accelerated or
+//! precise execution, FIFO stall, shadow quality sample) is a constant of
+//! the compiled artifact, so the model precomputes them once and both the
+//! sequential loop here and the batched serving runtime (`mithra-serve`)
+//! draw from the *same* constants — which is what makes sharded serving
+//! provably output-identical to [`simulate`].
+//!
 //! [`run`] is the full-featured entry point: it additionally threads a
 //! per-invocation FIFO fault stream and an optional quality watchdog
 //! ([`mithra_core::watchdog`]) through the loop, charging the cycle and
@@ -17,11 +25,13 @@ use crate::cpu::IsaCosts;
 use crate::energy::EnergyModel;
 use crate::error::SimError;
 use crate::fault::FifoEvent;
-use mithra_core::classifier::{Classifier, Decision};
+use mithra_axbench::benchmark::WorkloadProfile;
+use mithra_core::classifier::{Classifier, ClassifierOverhead, Decision};
 use mithra_core::pipeline::Compiled;
 use mithra_core::profile::{DatasetProfile, Route};
 use mithra_core::watchdog::QualityWatchdog;
 use mithra_npu::cost::NpuCostModel;
+use std::num::NonZeroUsize;
 
 /// Simulation options.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -35,8 +45,222 @@ pub struct SimOptions {
     pub online_update_period: usize,
 }
 
+/// A cycle + energy charge, the unit of cost accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Charge {
+    /// Core-visible wall cycles.
+    pub cycles: f64,
+    /// Energy in nanojoules.
+    pub energy: f64,
+}
+
+impl Charge {
+    /// Accumulates another charge into this one.
+    pub fn add(&mut self, other: Charge) {
+        self.cycles += other.cycles;
+        self.energy += other.energy;
+    }
+}
+
+/// Precomputed per-invocation cost constants for one (compiled artifact,
+/// classifier design, options) combination.
+///
+/// Every component cost the runtime loop charges — the classifier
+/// decision, the accelerated path, the precise path, a FIFO stall, the
+/// two shadow-sample flavours — is invariant across invocations, so this
+/// type computes each one exactly once, replicating the expression
+/// structure of the original sequential loop so that accumulated totals
+/// stay **bit-identical**. `mithra-serve`'s sharded workers charge
+/// invocations through the same model, which is what pins batched serving
+/// to [`simulate`]'s output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvocationModel {
+    threshold: f32,
+    workload: WorkloadProfile,
+    core_active_nj_per_cycle: f64,
+    startup_cycles: f64,
+    decision: Charge,
+    approx: Charge,
+    precise: Charge,
+    stall: Charge,
+    shadow_precise: Charge,
+    shadow_approx: Charge,
+}
+
+impl InvocationModel {
+    /// Builds the model for a compiled benchmark under one classifier
+    /// design (identified by its cost footprint) and one set of options.
+    pub fn new(compiled: &Compiled, overhead: &ClassifierOverhead, options: &SimOptions) -> Self {
+        let bench = compiled.function.benchmark();
+        let workload = bench.profile();
+        let npu_cost_model = NpuCostModel::new();
+        let accel_cost = npu_cost_model.invocation(&bench.npu_topology());
+        let classifier_npu_cost = overhead
+            .npu_topology
+            .as_ref()
+            .map(|t| npu_cost_model.invocation(t));
+
+        // Classifier decision (both paths pay it). The classifier network,
+        // if any, runs on the NPU before the decision: its latency is on
+        // the critical path.
+        let mut decision_cycles = overhead.decision_cycles as f64;
+        if let Some(c) = &classifier_npu_cost {
+            decision_cycles += c.cycles as f64;
+        }
+        let decision = Charge {
+            cycles: decision_cycles,
+            energy: options
+                .energy
+                .classifier_decision_nj(overhead, &npu_cost_model),
+        };
+
+        // Accelerated path: the accelerator latency dominates; core
+        // streaming overlaps with PE compute except for the dequeue tail.
+        let core_busy = options
+            .isa
+            .accelerated_invocation_core_cycles(bench.input_dim(), bench.output_dim())
+            as f64;
+        let approx = Charge {
+            cycles: accel_cost.cycles as f64 + options.isa.branch as f64,
+            energy: options.energy.npu_invocation_nj(&accel_cost)
+                + core_busy * options.energy.core_active_nj_per_cycle
+                + (accel_cost.cycles as f64 - core_busy).max(0.0)
+                    * options.energy.core_idle_nj_per_cycle,
+        };
+
+        // Precise path: the kernel plus the redirect the classifier's
+        // reject decision costs.
+        let redirect = options
+            .isa
+            .rejected_invocation_core_cycles(bench.input_dim());
+        let precise = Charge {
+            cycles: (workload.kernel_cycles + redirect) as f64,
+            energy: (workload.kernel_cycles + redirect) as f64
+                * options.energy.core_active_nj_per_cycle,
+        };
+
+        // A FIFO stall: the core idles until the queue drains.
+        let stall = Charge {
+            cycles: options.isa.fifo_stall as f64,
+            energy: options.isa.fifo_stall as f64 * options.energy.core_idle_nj_per_cycle,
+        };
+
+        // Shadow quality samples: the accelerator ran, shadow-run the
+        // precise kernel — or the precise path ran, shadow-run the
+        // accelerator.
+        let shadow_precise = Charge {
+            cycles: workload.kernel_cycles as f64,
+            energy: workload.kernel_cycles as f64 * options.energy.core_active_nj_per_cycle,
+        };
+        let shadow_approx = Charge {
+            cycles: options
+                .isa
+                .accelerated_invocation_core_cycles(bench.input_dim(), bench.output_dim())
+                as f64,
+            energy: options.energy.npu_invocation_nj(&accel_cost),
+        };
+
+        // One-time table decompression at program load.
+        let startup_cycles = if overhead.table_bit_reads > 0 {
+            let table_lines = (overhead.table_bit_reads * 512).div_ceil(512); // ~1 line per table
+            (table_lines * options.isa.table_decompress_per_line) as f64
+        } else {
+            0.0
+        };
+
+        Self {
+            threshold: compiled.threshold.threshold,
+            workload,
+            core_active_nj_per_cycle: options.energy.core_active_nj_per_cycle,
+            startup_cycles,
+            decision,
+            approx,
+            precise,
+            stall,
+            shadow_precise,
+            shadow_approx,
+        }
+    }
+
+    /// The certified threshold the model was built against.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// The all-precise baseline for `n` invocations.
+    pub fn baseline(&self, n: usize) -> Charge {
+        let cycles = self.workload.baseline_cycles(n as u64);
+        Charge {
+            cycles,
+            energy: cycles * self.core_active_nj_per_cycle,
+        }
+    }
+
+    /// The invocation-independent starting charge of an accelerated run:
+    /// the non-kernel application portion plus one-time classifier-table
+    /// decompression at program load.
+    pub fn startup(&self, n: usize) -> Charge {
+        let non_kernel = self.workload.non_kernel_cycles(n as u64);
+        let mut cycles = non_kernel;
+        cycles += self.startup_cycles;
+        Charge {
+            cycles,
+            energy: non_kernel * self.core_active_nj_per_cycle,
+        }
+    }
+
+    /// The full charge of one invocation: classifier decision, the
+    /// executed path, an optional FIFO stall, and an optional shadow
+    /// quality sample (whose flavour depends on which path ran).
+    pub fn charge(&self, decision: Decision, event: FifoEvent, shadow: bool) -> Charge {
+        let mut c = self.decision;
+        match decision {
+            Decision::Approximate => {
+                c.add(self.approx);
+                if event == FifoEvent::Stall {
+                    c.add(self.stall);
+                }
+            }
+            Decision::Precise => c.add(self.precise),
+        }
+        if shadow {
+            match decision {
+                Decision::Approximate => c.add(self.shadow_precise),
+                Decision::Precise => c.add(self.shadow_approx),
+            }
+        }
+        c
+    }
+}
+
+/// A quality watchdog armed with its sampling period — the single,
+/// canonical "watchdog enabled" representation.
+///
+/// A period of zero used to be a second spelling of "disabled" that still
+/// let the watchdog gate admission; [`WatchdogHook::new`] normalizes it to
+/// `None`, so a disabled watchdog is exactly the absence of this value and
+/// no half-armed state exists.
+#[derive(Debug)]
+pub struct WatchdogHook<'a> {
+    dog: &'a mut QualityWatchdog,
+    period: NonZeroUsize,
+}
+
+impl<'a> WatchdogHook<'a> {
+    /// Arms `dog` to sample every `period`-th approximate decision.
+    /// Returns `None` for `period == 0` — the canonical disabled form.
+    pub fn new(dog: &'a mut QualityWatchdog, period: usize) -> Option<Self> {
+        NonZeroUsize::new(period).map(|period| Self { dog, period })
+    }
+
+    /// The sampling period (always ≥ 1).
+    pub fn period(&self) -> usize {
+        self.period.get()
+    }
+}
+
 /// Runtime extensions threaded through [`run`]: injected FIFO events and
-/// an optional quality watchdog with its sampling period.
+/// an optional quality watchdog.
 ///
 /// The hook-free value ([`RunHooks::none`]) makes [`run`] numerically
 /// identical to [`simulate`] — the production path pays nothing.
@@ -45,21 +269,34 @@ pub struct RunHooks<'a> {
     /// Per-invocation FIFO events (empty = no FIFO faults; shorter
     /// streams imply [`FifoEvent::None`] beyond their end).
     pub fifo_events: &'a [FifoEvent],
-    /// Quality watchdog gating accelerator admission.
-    pub watchdog: Option<&'a mut QualityWatchdog>,
-    /// Sample every `watchdog_period`-th approximate decision for the
-    /// watchdog's violation estimate (0 disables sampling).
-    pub watchdog_period: usize,
+    /// Quality watchdog gating accelerator admission, armed with its
+    /// sampling period. `None` is the only disabled state.
+    pub watchdog: Option<WatchdogHook<'a>>,
 }
 
-impl RunHooks<'_> {
+impl<'a> RunHooks<'a> {
     /// No hooks: the clean production configuration.
     pub fn none() -> Self {
         RunHooks {
             fifo_events: &[],
             watchdog: None,
-            watchdog_period: 0,
         }
+    }
+
+    /// Hooks carrying only a FIFO event stream.
+    pub fn with_fifo_events(fifo_events: &'a [FifoEvent]) -> Self {
+        RunHooks {
+            fifo_events,
+            watchdog: None,
+        }
+    }
+
+    /// Arms the watchdog to sample every `period`-th approximate decision.
+    /// `period == 0` normalizes to no watchdog at all (see
+    /// [`WatchdogHook::new`]).
+    pub fn with_watchdog(mut self, dog: &'a mut QualityWatchdog, period: usize) -> Self {
+        self.watchdog = WatchdogHook::new(dog, period);
+        self
     }
 }
 
@@ -160,37 +397,30 @@ pub fn run(
     profile: &DatasetProfile,
     classifier: &mut dyn Classifier,
     options: &SimOptions,
-    mut hooks: RunHooks<'_>,
+    hooks: RunHooks<'_>,
 ) -> Result<RunResult, SimError> {
     let function = &compiled.function;
-    let bench = function.benchmark();
-    let workload = bench.profile();
-    let npu_cost_model = NpuCostModel::new();
-    let accel_cost = npu_cost_model.invocation(&bench.npu_topology());
-    let overhead = classifier.overhead();
-    let classifier_npu_cost = overhead
-        .npu_topology
-        .as_ref()
-        .map(|t| npu_cost_model.invocation(t));
-    let threshold = compiled.threshold.threshold;
+    let model = InvocationModel::new(compiled, &classifier.overhead(), options);
+    let threshold = model.threshold();
 
     let n = profile.invocation_count();
     let oracle_rejects = profile.oracle_rejects(threshold);
 
     // Baseline: the whole application on the precise core.
-    let baseline_cycles = workload.baseline_cycles(n as u64);
-    let baseline_energy = baseline_cycles * options.energy.core_active_nj_per_cycle;
+    let baseline = model.baseline(n);
 
-    // Non-kernel portion runs identically in both systems.
-    let non_kernel_cycles = workload.non_kernel_cycles(n as u64);
-    let mut cycles = non_kernel_cycles;
-    let mut energy = non_kernel_cycles * options.energy.core_active_nj_per_cycle;
+    // Non-kernel portion plus one-time table decompression at load.
+    let startup = model.startup(n);
+    let mut cycles = startup.cycles;
+    let mut energy = startup.energy;
 
-    // One-time table decompression at program load.
-    if overhead.table_bit_reads > 0 {
-        let table_lines = (overhead.table_bit_reads * 512).div_ceil(512); // ~1 line per table
-        cycles += (table_lines * options.isa.table_decompress_per_line) as f64;
-    }
+    let (mut watchdog, watchdog_period) = match hooks.watchdog {
+        Some(hook) => {
+            let period = hook.period();
+            (Some(hook.dog), period)
+        }
+        None => (None, 0),
+    };
 
     let mut routes: Vec<Route> = Vec::with_capacity(n);
     let mut invoked = 0usize;
@@ -203,52 +433,21 @@ pub fn run(
         let raw = classifier.classify(i, input);
         // The watchdog gates admission: in degraded states some (or all)
         // approximate decisions are overridden to the precise path.
-        let decision = match hooks.watchdog.as_deref_mut() {
+        let decision = match watchdog.as_deref_mut() {
             Some(w) => w.admit(raw),
             None => raw,
         };
 
-        // Classifier decision cost (both paths pay it).
-        let mut inv_cycles = overhead.decision_cycles as f64;
-        let mut inv_energy = options
-            .energy
-            .classifier_decision_nj(&overhead, &npu_cost_model);
-        if let Some(c) = &classifier_npu_cost {
-            // The classifier network runs on the NPU before the decision:
-            // its latency is on the critical path.
-            inv_cycles += c.cycles as f64;
-        }
-
+        let mut event = FifoEvent::None;
         match decision {
             Decision::Approximate => {
                 invoked += 1;
                 if oracle_rejects[i] {
                     false_negatives += 1;
                 }
-                let core_busy = options
-                    .isa
-                    .accelerated_invocation_core_cycles(bench.input_dim(), bench.output_dim())
-                    as f64;
-                // The accelerator latency dominates; core streaming
-                // overlaps with PE compute except for the dequeue tail.
-                inv_cycles += accel_cost.cycles as f64 + options.isa.branch as f64;
-                inv_energy += options.energy.npu_invocation_nj(&accel_cost)
-                    + core_busy * options.energy.core_active_nj_per_cycle
-                    + (accel_cost.cycles as f64 - core_busy).max(0.0)
-                        * options.energy.core_idle_nj_per_cycle;
-
-                let event = hooks.fifo_events.get(i).copied().unwrap_or(FifoEvent::None);
+                event = hooks.fifo_events.get(i).copied().unwrap_or(FifoEvent::None);
                 match event {
-                    FifoEvent::None => {
-                        last_good = i;
-                        routes.push(Route::Approx);
-                    }
-                    FifoEvent::Stall => {
-                        // The core waits for the queue to drain, then the
-                        // invocation completes normally.
-                        inv_cycles += options.isa.fifo_stall as f64;
-                        inv_energy +=
-                            options.isa.fifo_stall as f64 * options.energy.core_idle_nj_per_cycle;
+                    FifoEvent::None | FifoEvent::Stall => {
                         last_good = i;
                         routes.push(Route::Approx);
                     }
@@ -263,12 +462,6 @@ pub fn run(
                 if !oracle_rejects[i] {
                     false_positives += 1;
                 }
-                let redirect = options
-                    .isa
-                    .rejected_invocation_core_cycles(bench.input_dim());
-                inv_cycles += (workload.kernel_cycles + redirect) as f64;
-                inv_energy += (workload.kernel_cycles + redirect) as f64
-                    * options.energy.core_active_nj_per_cycle;
                 routes.push(Route::Precise);
             }
         }
@@ -276,32 +469,20 @@ pub fn run(
         // Sporadic watchdog quality sampling: compare accelerator and
         // precise outputs for this invocation and charge the shadow
         // execution that produces the missing half of the pair.
-        if hooks.watchdog.is_some()
-            && hooks.watchdog_period > 0
+        let shadow = watchdog.is_some()
+            && watchdog_period > 0
             && raw == Decision::Approximate
-            && i % hooks.watchdog_period == 0
-        {
-            if decision == Decision::Approximate {
-                // The accelerator ran; shadow-run the precise kernel.
-                inv_cycles += workload.kernel_cycles as f64;
-                inv_energy +=
-                    workload.kernel_cycles as f64 * options.energy.core_active_nj_per_cycle;
-            } else {
-                // The precise path ran; shadow-run the accelerator.
-                inv_cycles += options
-                    .isa
-                    .accelerated_invocation_core_cycles(bench.input_dim(), bench.output_dim())
-                    as f64;
-                inv_energy += options.energy.npu_invocation_nj(&accel_cost);
-            }
+            && i % watchdog_period == 0;
+        if shadow {
             let violation = profile.max_error(i) > threshold;
-            if let Some(w) = hooks.watchdog.as_deref_mut() {
+            if let Some(w) = watchdog.as_deref_mut() {
                 w.record(violation)?;
             }
         }
 
-        cycles += inv_cycles;
-        energy += inv_energy;
+        let inv = model.charge(decision, event, shadow);
+        cycles += inv.cycles;
+        energy += inv.energy;
 
         if options.online_update_period > 0 && i % options.online_update_period == 0 {
             classifier.observe(i, input, profile.max_error(i) > threshold);
@@ -313,9 +494,9 @@ pub fn run(
     let replay = profile.try_replay_routed(function, &routes)?;
 
     Ok(RunResult {
-        baseline_cycles,
+        baseline_cycles: baseline.cycles,
         accelerated_cycles: cycles,
-        baseline_energy_nj: baseline_energy,
+        baseline_energy_nj: baseline.energy,
         accelerated_energy_nj: energy,
         quality_loss: replay.quality_loss,
         invoked,
@@ -432,6 +613,57 @@ mod tests {
     }
 
     #[test]
+    fn zero_period_watchdog_is_canonically_disabled() {
+        // The two historical spellings of "watchdog off" — no watchdog at
+        // all, and a watchdog with sampling period 0 — must be the same
+        // configuration: identical results AND an untouched watchdog (the
+        // old representation still let a period-0 watchdog gate admission).
+        let compiled = compiled_for("sobel");
+        let profile = fresh_profile(&compiled, 4242);
+        let opts = SimOptions::default();
+
+        let mut a = compiled.table.clone();
+        let plain = simulate(&compiled, &profile, &mut a, &opts);
+
+        let mut dog = QualityWatchdog::new(WatchdogConfig::default());
+        // Pre-degrade the watchdog: with the old semantics this state
+        // would gate admission even at period 0.
+        for _ in 0..50 {
+            dog.record(true).unwrap();
+        }
+        let state_before = dog.state();
+        let samples_before = dog.report().samples;
+
+        let mut b = compiled.table.clone();
+        let hooks = RunHooks::none().with_watchdog(&mut dog, 0);
+        assert!(hooks.watchdog.is_none(), "period 0 must normalize to None");
+        let spelled = run(&compiled, &profile, &mut b, &opts, hooks).unwrap();
+
+        assert_eq!(plain, spelled);
+        assert_eq!(dog.state(), state_before, "disabled watchdog was driven");
+        assert_eq!(dog.report().samples, samples_before);
+    }
+
+    #[test]
+    fn invocation_model_charges_match_run_components() {
+        let compiled = compiled_for("sobel");
+        let model = InvocationModel::new(
+            &compiled,
+            &compiled.table.clone().overhead(),
+            &SimOptions::default(),
+        );
+        let approx = model.charge(Decision::Approximate, FifoEvent::None, false);
+        let precise = model.charge(Decision::Precise, FifoEvent::None, false);
+        let stalled = model.charge(Decision::Approximate, FifoEvent::Stall, false);
+        let shadowed = model.charge(Decision::Approximate, FifoEvent::None, true);
+        assert!(precise.cycles > approx.cycles, "kernel dwarfs the NPU");
+        assert!(stalled.cycles > approx.cycles);
+        assert!(shadowed.cycles > approx.cycles);
+        assert!(model.baseline(100).cycles > 0.0);
+        assert!(model.startup(100).cycles > 0.0);
+    }
+
+    #[test]
     fn fifo_stalls_cost_cycles_without_hurting_quality() {
         let compiled = compiled_for("sobel");
         let profile = fresh_profile(&compiled, 31);
@@ -446,11 +678,7 @@ mod tests {
             &profile,
             &mut b,
             &opts,
-            RunHooks {
-                fifo_events: &stalls,
-                watchdog: None,
-                watchdog_period: 0,
-            },
+            RunHooks::with_fifo_events(&stalls),
         )
         .unwrap();
         assert!(stalled.accelerated_cycles > clean.accelerated_cycles);
@@ -482,11 +710,7 @@ mod tests {
             &profile,
             &mut b,
             &opts,
-            RunHooks {
-                fifo_events: &events,
-                watchdog: None,
-                watchdog_period: 0,
-            },
+            RunHooks::with_fifo_events(&events),
         )
         .unwrap();
         assert!(
@@ -526,11 +750,7 @@ mod tests {
             &armed.profile,
             &mut guarded_cls,
             &opts,
-            RunHooks {
-                fifo_events: &[],
-                watchdog: Some(&mut watchdog),
-                watchdog_period: 2,
-            },
+            RunHooks::none().with_watchdog(&mut watchdog, 2),
         )
         .unwrap();
 
@@ -559,11 +779,7 @@ mod tests {
             &profile,
             &mut cls,
             &SimOptions::default(),
-            RunHooks {
-                fifo_events: &[],
-                watchdog: Some(&mut watchdog),
-                watchdog_period: 4,
-            },
+            RunHooks::none().with_watchdog(&mut watchdog, 4),
         )
         .unwrap();
         let report = watchdog.report();

@@ -58,11 +58,7 @@ fn watchdog_never_fires_on_clean_certified_runs_across_seeds() {
             &profile,
             &mut oracle,
             &opts,
-            RunHooks {
-                fifo_events: &[],
-                watchdog: Some(&mut watchdog),
-                watchdog_period: 2,
-            },
+            RunHooks::none().with_watchdog(&mut watchdog, 2),
         )
         .unwrap();
         let report = watchdog.report();
@@ -132,11 +128,7 @@ fn guardband_restores_quality_under_heavy_faults() {
         &armed.profile,
         &mut on_cls,
         &opts,
-        RunHooks {
-            fifo_events: &armed.fifo_events,
-            watchdog: Some(&mut watchdog),
-            watchdog_period: 1,
-        },
+        RunHooks::with_fifo_events(&armed.fifo_events).with_watchdog(&mut watchdog, 1),
     )
     .unwrap();
 

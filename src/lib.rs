@@ -50,6 +50,7 @@ pub use mithra_axbench as axbench;
 pub use mithra_bdi as bdi;
 pub use mithra_core as core;
 pub use mithra_npu as npu;
+pub use mithra_serve as serve;
 pub use mithra_sim as sim;
 pub use mithra_stats as stats;
 
@@ -58,6 +59,7 @@ pub mod prelude {
     pub use mithra_axbench::prelude::*;
     pub use mithra_core::prelude::*;
     pub use mithra_npu::prelude::*;
+    pub use mithra_serve::{EndpointSpec, ServeConfig, ServeEngine};
     pub use mithra_sim::report::{BenchmarkSummary, SuiteSummary};
     pub use mithra_sim::system::{simulate, RunResult, SimOptions};
     pub use mithra_stats::clopper_pearson::{lower_bound, Confidence};
