@@ -1,0 +1,413 @@
+//! Cold-compile performance benchmark: sweeps benchmark × thread count
+//! over the staged [`CompileSession`] pipeline and writes
+//! `BENCH_compile.json` with per-stage wall times.
+//!
+//! Two presets mirror the repo's two compile-cost anchors:
+//!
+//! * `table1` — NPU training plus validation-set profiling, the flow
+//!   `table1_benchmarks` times (the quality-independent half of the
+//!   pipeline);
+//! * `fig09` — the full five-stage flow (`train_npu → profile → certify
+//!   → train_classifiers` plus validation profiling), the per-benchmark
+//!   compile cost `fig09_random_filtering` reports.
+//!
+//! Every timed rep is **cold**: the artifact cache is forcibly disabled
+//! regardless of `--cache-dir`, so the numbers measure the kernels, not
+//! the cache. Each (preset, benchmark) gets one untimed warmup pass
+//! (first-touch page faults, lazy dataset generation) before the thread
+//! sweep; each grid point then averages `--reps` timed passes. Thread
+//! counts above `host_threads` are still measured — results are
+//! bit-identical at every thread count, only wall time moves — but only
+//! counts up to `host_threads` can show wall-clock speedup.
+//!
+//! Bench-specific flags (all optional) are consumed before the shared
+//! experiment flags: `--compile-threads 1,2,4`, `--presets table1,fig09`,
+//! `--reps N`, `--out PATH`. The shared `--scale`, `--datasets`,
+//! `--validation`, `--quality`, `--bench`, and `--npu-*` flags are
+//! honored like every other figure binary.
+
+use mithra_bench::runner::VALIDATION_SEED_BASE;
+use mithra_bench::{default_threads, ExperimentConfig};
+use mithra_core::session::{profile_validation, CompileSession, SessionReport};
+use mithra_core::Result;
+use serde::Serialize;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Mean per-stage timing over the timed reps of one grid point.
+#[derive(Debug, Serialize)]
+struct StageTime {
+    stage: String,
+    wall_ms: f64,
+    invocations: u64,
+}
+
+/// One (benchmark, threads) grid point.
+#[derive(Debug, Serialize)]
+struct RunRecord {
+    threads: usize,
+    total_wall_ms: f64,
+    total_invocations: u64,
+    speedup_vs_single_thread: f64,
+    stages: Vec<StageTime>,
+}
+
+/// The thread sweep of one benchmark under one preset.
+#[derive(Debug, Serialize)]
+struct BenchmarkSweep {
+    name: String,
+    runs: Vec<RunRecord>,
+}
+
+/// All benchmarks under one preset.
+#[derive(Debug, Serialize)]
+struct PresetReport {
+    name: String,
+    description: String,
+    compile_datasets: usize,
+    validation_datasets: usize,
+    benchmarks: Vec<BenchmarkSweep>,
+}
+
+/// Cold walls of the two presets measured at the seed commit on the same
+/// host, before the kernel overhaul — the fixed reference point the
+/// measured grid is compared against (see EXPERIMENTS.md).
+#[derive(Debug, Serialize)]
+struct SeedBaseline {
+    commit: String,
+    host_threads: usize,
+    table1_cold_wall_s: f64,
+    fig09_cold_wall_s: f64,
+    note: String,
+}
+
+/// The whole `BENCH_compile.json` document.
+#[derive(Debug, Serialize)]
+struct Report {
+    scale: String,
+    quality: f64,
+    reps: usize,
+    /// Available parallelism of the measuring host — recorded honestly;
+    /// thread counts beyond it cannot show wall-clock speedup.
+    host_threads: usize,
+    thread_counts: Vec<usize>,
+    presets: Vec<PresetReport>,
+    seed_baseline: SeedBaseline,
+}
+
+/// Which slice of the pipeline a preset times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Preset {
+    Table1,
+    Fig09,
+}
+
+impl Preset {
+    fn name(self) -> &'static str {
+        match self {
+            Preset::Table1 => "table1",
+            Preset::Fig09 => "fig09",
+        }
+    }
+
+    fn description(self) -> &'static str {
+        match self {
+            Preset::Table1 => "npu-training + validation-profiling (table1_benchmarks flow)",
+            Preset::Fig09 => {
+                "full compile: npu-training, profiling, certification, \
+                 classifier-training + validation-profiling (fig09 prepare flow)"
+            }
+        }
+    }
+}
+
+/// Bench-specific options, extracted ahead of the shared parser.
+struct BenchArgs {
+    /// `None` = derive from `host_threads` (always includes the
+    /// 1-thread sequential baseline).
+    threads: Option<Vec<usize>>,
+    presets: Vec<Preset>,
+    reps: usize,
+    out: PathBuf,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        Self {
+            threads: None,
+            presets: vec![Preset::Table1, Preset::Fig09],
+            reps: 1,
+            out: PathBuf::from("BENCH_compile.json"),
+        }
+    }
+}
+
+impl BenchArgs {
+    /// The thread-count sweep, anchored at the sequential baseline and
+    /// topping out past `host_threads` by default so the parallel axes
+    /// are exercised even on a single-core host.
+    fn thread_counts(&self, host_threads: usize) -> Vec<usize> {
+        let mut counts = self
+            .threads
+            .clone()
+            .unwrap_or_else(|| vec![1, 2, host_threads]);
+        if !counts.contains(&1) {
+            counts.insert(0, 1);
+        }
+        counts.retain(|&t| t > 0);
+        counts.sort_unstable();
+        counts.dedup();
+        counts
+    }
+}
+
+fn parse_list(flag: &str, value: &str) -> Vec<usize> {
+    value
+        .split(',')
+        .map(|s| {
+            s.trim().parse().unwrap_or_else(|_| {
+                eprintln!("malformed value `{value}` for {flag}");
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
+fn parse_presets(value: &str) -> Vec<Preset> {
+    value
+        .split(',')
+        .map(|s| match s.trim() {
+            "table1" => Preset::Table1,
+            "fig09" => Preset::Fig09,
+            other => {
+                eprintln!("unknown preset `{other}` (table1|fig09)");
+                std::process::exit(2);
+            }
+        })
+        .collect()
+}
+
+/// Pulls the bench-specific flags out of `args`, leaving the shared
+/// experiment flags for [`ExperimentConfig::from_arg_list`].
+fn extract_bench_args(args: &mut Vec<String>) -> BenchArgs {
+    let mut bench = BenchArgs::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        let mut take_value = || -> String {
+            if i + 1 >= args.len() {
+                eprintln!("missing value for {flag}");
+                std::process::exit(2);
+            }
+            let value = args.remove(i + 1);
+            args.remove(i);
+            value
+        };
+        match flag.as_str() {
+            "--compile-threads" => bench.threads = Some(parse_list(&flag, &take_value())),
+            "--presets" => bench.presets = parse_presets(&take_value()),
+            "--reps" => bench.reps = parse_list(&flag, &take_value())[0].max(1),
+            "--out" => bench.out = PathBuf::from(take_value()),
+            _ => i += 1,
+        }
+    }
+    bench
+}
+
+/// One cold pass of `preset` at `threads`; returns the per-stage
+/// instrumentation (validation profiling appended as a fifth stage).
+fn run_pass(
+    bench: &Arc<dyn mithra_axbench::benchmark::Benchmark>,
+    cfg: &ExperimentConfig,
+    quality: f64,
+    preset: Preset,
+    threads: usize,
+) -> Result<SessionReport> {
+    let mut compile_cfg = cfg.compile_config(quality)?;
+    // Every pass is cold by construction: timing the cache would measure
+    // disk I/O, not the compile kernels.
+    compile_cfg.cache = None;
+    compile_cfg.threads = Some(threads);
+    match preset {
+        Preset::Table1 => {
+            let session =
+                CompileSession::new(Arc::clone(bench), compile_cfg.clone()).train_npu()?;
+            let (function, mut report) = session.into_parts();
+            let (_, validation_report) = profile_validation(
+                &function,
+                &compile_cfg,
+                VALIDATION_SEED_BASE,
+                cfg.validation_datasets,
+            );
+            report.stages.push(validation_report);
+            Ok(report)
+        }
+        Preset::Fig09 => {
+            let session = CompileSession::new(Arc::clone(bench), compile_cfg.clone())
+                .train_npu()?
+                .profile()?
+                .certify()?
+                .train_classifiers()?;
+            let (compiled, mut report) = session.finish();
+            let (_, validation_report) = profile_validation(
+                &compiled.function,
+                &compile_cfg,
+                VALIDATION_SEED_BASE,
+                cfg.validation_datasets,
+            );
+            report.stages.push(validation_report);
+            Ok(report)
+        }
+    }
+}
+
+/// Averages `reps` cold passes into one grid-point record. The stage
+/// list is identical across reps (the pipeline is deterministic), so
+/// stages are folded positionally.
+fn run_point(
+    bench: &Arc<dyn mithra_axbench::benchmark::Benchmark>,
+    cfg: &ExperimentConfig,
+    quality: f64,
+    preset: Preset,
+    threads: usize,
+    reps: usize,
+) -> Result<RunRecord> {
+    let mut stages: Vec<StageTime> = Vec::new();
+    for rep in 0..reps {
+        let report = run_pass(bench, cfg, quality, preset, threads)?;
+        if rep == 0 {
+            stages = report
+                .stages
+                .iter()
+                .map(|s| StageTime {
+                    stage: s.stage.label().to_string(),
+                    wall_ms: s.wall.as_secs_f64() * 1e3,
+                    invocations: s.invocations,
+                })
+                .collect();
+        } else {
+            for (acc, s) in stages.iter_mut().zip(&report.stages) {
+                acc.wall_ms += s.wall.as_secs_f64() * 1e3;
+            }
+        }
+    }
+    for stage in &mut stages {
+        stage.wall_ms /= reps as f64;
+    }
+    Ok(RunRecord {
+        threads,
+        total_wall_ms: stages.iter().map(|s| s.wall_ms).sum(),
+        total_invocations: stages.iter().map(|s| s.invocations).sum(),
+        speedup_vs_single_thread: 0.0, // filled once the baseline is known
+        stages,
+    })
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let bench_args = extract_bench_args(&mut args);
+    let cfg = match ExperimentConfig::from_arg_list(&args) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!(
+                "bench flags: --compile-threads 1,2,4 --presets table1,fig09 \
+                 --reps N --out PATH"
+            );
+            std::process::exit(2);
+        }
+    };
+    let quality = cfg.quality_levels.first().copied().unwrap_or(0.05);
+    let host_threads = default_threads();
+    let thread_counts = bench_args.thread_counts(host_threads);
+    eprintln!(
+        "compile sweep: presets {:?} × threads {:?}, {} timed rep(s), host_threads {}",
+        bench_args
+            .presets
+            .iter()
+            .map(|p| p.name())
+            .collect::<Vec<_>>(),
+        thread_counts,
+        bench_args.reps,
+        host_threads
+    );
+
+    let suite = cfg.suite_or_exit();
+    let mut presets = Vec::new();
+    for &preset in &bench_args.presets {
+        let mut benchmarks = Vec::new();
+        for bench in &suite {
+            let name = bench.name().to_string();
+            // Untimed warmup: first-touch page faults and allocator
+            // arena growth land here, not in the measurement.
+            let warm_start = std::time::Instant::now();
+            run_pass(bench, &cfg, quality, preset, thread_counts[0])
+                .unwrap_or_else(|e| panic!("{}/{name} warmup failed: {e}", preset.name()));
+            eprintln!(
+                "{} [{name}] warmup: {:.2}s",
+                preset.name(),
+                warm_start.elapsed().as_secs_f64()
+            );
+            let mut runs: Vec<RunRecord> = thread_counts
+                .iter()
+                .map(|&threads| {
+                    run_point(bench, &cfg, quality, preset, threads, bench_args.reps)
+                        .unwrap_or_else(|e| panic!("{}/{name} failed: {e}", preset.name()))
+                })
+                .collect();
+            let baseline = runs
+                .iter()
+                .find(|r| r.threads == 1)
+                .expect("the 1-thread baseline is always in the grid")
+                .total_wall_ms;
+            for run in &mut runs {
+                run.speedup_vs_single_thread = baseline / run.total_wall_ms;
+            }
+            for run in &runs {
+                eprintln!(
+                    "{} [{name}] threads={}: {:.2}s total ({:.2}x vs 1 thread)",
+                    preset.name(),
+                    run.threads,
+                    run.total_wall_ms / 1e3,
+                    run.speedup_vs_single_thread
+                );
+            }
+            benchmarks.push(BenchmarkSweep { name, runs });
+        }
+        presets.push(PresetReport {
+            name: preset.name().to_string(),
+            description: preset.description().to_string(),
+            compile_datasets: cfg.compile_datasets,
+            validation_datasets: cfg.validation_datasets,
+            benchmarks,
+        });
+    }
+
+    let report = Report {
+        scale: format!("{:?}", cfg.scale).to_lowercase(),
+        quality,
+        reps: bench_args.reps,
+        host_threads,
+        thread_counts,
+        presets,
+        seed_baseline: SeedBaseline {
+            commit: "65a455a".to_string(),
+            host_threads: 1,
+            table1_cold_wall_s: 15.7,
+            fig09_cold_wall_s: 92.5,
+            note: "cold end-to-end walls of the table1_benchmarks and \
+                   fig09_random_filtering binaries (cache off, full scale, \
+                   defaults) at the pre-overhaul seed commit on the same \
+                   single-core host; they slightly over-cover the matching \
+                   preset's summed total_wall_ms (the binaries also simulate \
+                   and print)"
+                .to_string(),
+        },
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&bench_args.out, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", bench_args.out.display());
+        std::process::exit(1);
+    });
+    eprintln!("wrote {}", bench_args.out.display());
+}

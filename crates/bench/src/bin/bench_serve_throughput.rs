@@ -226,11 +226,17 @@ fn run_point(
         // the clock stops — they are reporting, not serving.
         let t0 = Instant::now();
         let mut offset = 0;
+        let mut backoff = mithra_serve::Backoff::new();
         while offset < schedule.len() {
             let end = (offset + SUBMIT_CHUNK).min(schedule.len());
             match engine.submit_batch(&schedule[offset..end]) {
-                Ok(0) => std::thread::yield_now(),
-                Ok(accepted) => offset += accepted,
+                // Queue full: back off (spin, then yield, then bounded
+                // parks) instead of burning a core the workers need.
+                Ok(0) => backoff.wait(),
+                Ok(accepted) => {
+                    offset += accepted;
+                    backoff.reset();
+                }
                 Err(reason) => panic!("schedule entries are valid: {reason}"),
             }
         }

@@ -13,7 +13,7 @@
 use crate::Result;
 use mithra_axbench::benchmark::Benchmark;
 use mithra_axbench::dataset::{Dataset, DatasetScale};
-use mithra_npu::mlp::{Activation, Mlp};
+use mithra_npu::mlp::{Activation, ForwardScratch, Mlp};
 use mithra_npu::train::{Normalizer, Trainer};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -38,6 +38,30 @@ impl Default for NpuTrainConfig {
             max_samples: 20_000,
             seed: 0x4E50_5545,
         }
+    }
+}
+
+/// Reusable buffers for the accelerator's invocation hot path.
+///
+/// Profiling replays hundreds of thousands of invocations; allocating the
+/// normalized-input staging buffer, the network's per-layer activations
+/// and the two normalized-output buffers on every call dominates the
+/// arithmetic. One `InvokeScratch` per thread removes every per-call
+/// allocation. The scratch carries no results between calls — reusing one
+/// is bit-identical to the allocating [`AcceleratedFunction::approx_into`]
+/// path.
+#[derive(Debug, Clone, Default)]
+pub struct InvokeScratch {
+    normalized_in: Vec<f32>,
+    fwd: ForwardScratch,
+    precise_norm: Vec<f32>,
+    approx_norm: Vec<f32>,
+}
+
+impl InvokeScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -167,12 +191,37 @@ impl AcceleratedFunction {
     /// Returns [`mithra_npu::NpuError::DimensionMismatch`] if `input` does
     /// not match the network's input layer.
     pub fn try_approx_into(&self, input: &[f32], out: &mut Vec<f32>) -> Result<()> {
-        let normalized_in = self.input_norm.forward(input);
-        let mut raw = Vec::with_capacity(self.benchmark.output_dim());
-        self.npu.run_into(&normalized_in, &mut raw)?;
-        let denorm = self.output_norm.inverse(&raw);
-        out.clear();
-        out.extend_from_slice(&denorm);
+        let mut scratch = InvokeScratch::new();
+        self.try_approx_with(input, out, &mut scratch)
+    }
+
+    /// Zero-allocation form of [`AcceleratedFunction::approx_into`]:
+    /// normalize, run and denormalize entirely through caller-owned
+    /// scratch buffers. Hot loops (profiling, benchmarking) should hold
+    /// one scratch per thread and call this.
+    pub fn approx_with(&self, input: &[f32], out: &mut Vec<f32>, scratch: &mut InvokeScratch) {
+        self.try_approx_with(input, out, scratch)
+            .expect("topology input width matches benchmark input_dim");
+    }
+
+    /// Fallible form of [`AcceleratedFunction::approx_with`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`mithra_npu::NpuError::DimensionMismatch`] if `input` does
+    /// not match the network's input layer.
+    pub fn try_approx_with(
+        &self,
+        input: &[f32],
+        out: &mut Vec<f32>,
+        scratch: &mut InvokeScratch,
+    ) -> Result<()> {
+        self.input_norm
+            .forward_into(input, &mut scratch.normalized_in);
+        let raw = self
+            .npu
+            .forward_into(&scratch.normalized_in, &mut scratch.fwd)?;
+        self.output_norm.inverse_into(raw, out);
         Ok(())
     }
 
@@ -189,10 +238,28 @@ impl AcceleratedFunction {
     /// infinite error so the invocation fails *every* threshold —
     /// `f32::max` would otherwise silently skip it.
     pub fn max_normalized_error(&self, precise: &[f32], approx: &[f32]) -> f32 {
-        let p = self.output_norm.forward(precise);
-        let a = self.output_norm.forward(approx);
-        p.iter()
-            .zip(&a)
+        let mut scratch = InvokeScratch::new();
+        self.max_normalized_error_with(precise, approx, &mut scratch)
+    }
+
+    /// Zero-allocation form of
+    /// [`AcceleratedFunction::max_normalized_error`], normalizing both
+    /// vectors through scratch buffers. Bit-identical to the allocating
+    /// form.
+    pub fn max_normalized_error_with(
+        &self,
+        precise: &[f32],
+        approx: &[f32],
+        scratch: &mut InvokeScratch,
+    ) -> f32 {
+        self.output_norm
+            .forward_into(precise, &mut scratch.precise_norm);
+        self.output_norm
+            .forward_into(approx, &mut scratch.approx_norm);
+        scratch
+            .precise_norm
+            .iter()
+            .zip(&scratch.approx_norm)
             .map(|(x, y)| {
                 let d = (x - y).abs();
                 if d.is_nan() {

@@ -57,6 +57,7 @@ pub mod multi;
 pub mod neural;
 pub mod online;
 pub mod oracle;
+pub mod parallel;
 pub mod pipeline;
 pub mod profile;
 pub mod random;

@@ -195,6 +195,65 @@ impl Misr {
     }
 }
 
+/// A training set's inputs quantized once into a dense row-major byte
+/// grid, ready for batch MISR hashing.
+///
+/// Hashing every example under every pool configuration dominates table
+/// training, but quantization depends only on the granularity — never on
+/// the MISR configuration. The grid therefore quantizes each input
+/// exactly once and hashes rows under each configuration with a single
+/// reused register ([`Misr::reset`] between rows is bit-identical to
+/// constructing a fresh register per row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantizedGrid {
+    data: Vec<u8>,
+    dims: usize,
+}
+
+impl QuantizedGrid {
+    /// Quantizes every input vector through `quantizer` into one grid.
+    pub fn from_inputs<'a>(
+        quantizer: &InputQuantizer,
+        inputs: impl IntoIterator<Item = &'a [f32]>,
+    ) -> Self {
+        let dims = quantizer.dims();
+        let mut data = Vec::new();
+        let mut row = Vec::with_capacity(dims);
+        for input in inputs {
+            quantizer.quantize_into(input, &mut row);
+            debug_assert_eq!(row.len(), dims, "input dimension mismatch");
+            data.extend_from_slice(&row);
+        }
+        Self { data, dims }
+    }
+
+    /// Number of quantized rows.
+    pub fn rows(&self) -> usize {
+        self.data.len().checked_div(self.dims).unwrap_or(0)
+    }
+
+    /// One quantized row.
+    pub fn row(&self, i: usize) -> &[u8] {
+        &self.data[i * self.dims..(i + 1) * self.dims]
+    }
+
+    /// Hashes every row under one configuration, reusing a single
+    /// register across rows. Bit-identical to calling [`Misr::hash`] per
+    /// row.
+    pub fn hash_all(&self, config: MisrConfig, width: u32) -> Vec<usize> {
+        let mut misr = Misr::new(config, width);
+        let mut out = Vec::with_capacity(self.rows());
+        for row in self.data.chunks_exact(self.dims.max(1)) {
+            misr.reset();
+            for &e in row {
+                misr.shift_in(e);
+            }
+            out.push(misr.index());
+        }
+        out
+    }
+}
+
 /// Default quantization levels per input element.
 ///
 /// Granularity trades generalization against discrimination: too fine and
@@ -416,6 +475,32 @@ mod tests {
         let q = InputQuantizer::new(vec![2.0], vec![2.0]);
         assert_eq!(q.quantize(&[2.0]), vec![0]);
         assert_eq!(q.quantize(&[100.0]), vec![0]);
+    }
+
+    #[test]
+    fn grid_hash_all_matches_per_row_hash() {
+        let q = InputQuantizer::new(vec![0.0, -2.0], vec![1.0, 2.0]).with_levels(32);
+        let inputs: Vec<Vec<f32>> = (0..40)
+            .map(|i| vec![i as f32 / 40.0, (i as f32 / 10.0) - 2.0])
+            .collect();
+        let grid = QuantizedGrid::from_inputs(&q, inputs.iter().map(Vec::as_slice));
+        assert_eq!(grid.rows(), 40);
+        for cfg in MisrConfig::pool() {
+            let batch = grid.hash_all(cfg, 12);
+            for (i, input) in inputs.iter().enumerate() {
+                let expected = Misr::hash(cfg, 12, &q.quantize(input));
+                assert_eq!(batch[i], expected, "cfg {cfg:?} row {i}");
+                assert_eq!(grid.row(i), q.quantize(input).as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_grid_hashes_to_nothing() {
+        let q = InputQuantizer::new(vec![0.0], vec![1.0]);
+        let grid = QuantizedGrid::from_inputs(&q, std::iter::empty());
+        assert_eq!(grid.rows(), 0);
+        assert!(grid.hash_all(MisrConfig::pool()[0], 12).is_empty());
     }
 
     #[test]

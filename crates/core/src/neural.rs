@@ -9,9 +9,10 @@
 //! filtering accuracy than the table design on high-dimensional inputs.
 
 use crate::classifier::{Classifier, ClassifierOverhead, Decision};
+use crate::parallel::par_map_indexed;
 use crate::training::{split_examples, TrainingExample};
 use crate::{MithraError, Result};
-use mithra_npu::mlp::{Activation, Mlp};
+use mithra_npu::mlp::{Activation, ForwardScratch, Mlp};
 use mithra_npu::topology::Topology;
 use mithra_npu::train::{Normalizer, Trainer};
 
@@ -45,6 +46,15 @@ impl Default for NeuralTrainConfig {
     }
 }
 
+/// Reusable decision buffers: the normalized-input staging vector and the
+/// network's per-layer activations. Carried per classifier instance so the
+/// per-invocation decision path allocates nothing.
+#[derive(Debug, Clone, Default)]
+struct DecideScratch {
+    normalized: Vec<f32>,
+    fwd: ForwardScratch,
+}
+
 /// The trained neural classifier.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct NeuralClassifier {
@@ -52,7 +62,7 @@ pub struct NeuralClassifier {
     input_norm: Normalizer,
     validation_accuracy: f64,
     #[serde(skip)]
-    scratch_out: Vec<f32>,
+    scratch: DecideScratch,
 }
 
 impl NeuralClassifier {
@@ -66,6 +76,27 @@ impl NeuralClassifier {
         input_dim: usize,
         examples: &[TrainingExample],
         config: &NeuralTrainConfig,
+    ) -> Result<Self> {
+        Self::train_with_threads(input_dim, examples, config, Some(1))
+    }
+
+    /// [`NeuralClassifier::train`] with the hidden-width candidates trained
+    /// across up to `threads` workers (`None`/`Some(0)` = available
+    /// parallelism).
+    ///
+    /// Each candidate trains independently with its own seeded RNG, and
+    /// the winner is selected by folding candidate results in the original
+    /// candidate order — so the trained classifier is bit-identical at any
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NeuralClassifier::train`].
+    pub fn train_with_threads(
+        input_dim: usize,
+        examples: &[TrainingExample],
+        config: &NeuralTrainConfig,
+        threads: Option<usize>,
     ) -> Result<Self> {
         if examples.len() < 10 {
             return Err(MithraError::InsufficientData {
@@ -122,17 +153,27 @@ impl NeuralClassifier {
             &val_set
         });
 
+        // Every hidden-width candidate trains from its own seeded RNG on
+        // the same (shared, read-only) pair sets, so candidates are
+        // independent and can run concurrently. Selection stays a
+        // sequential fold in candidate order below.
+        let candidates: Vec<Result<(usize, f64, Mlp)>> =
+            par_map_indexed(config.hidden_candidates.len(), threads, |i| {
+                let hidden = config.hidden_candidates[i];
+                let topology = Topology::new(&[input_dim, hidden, 2])?;
+                let mlp = Trainer::new(topology)
+                    .epochs(config.epochs)
+                    .learning_rate(0.5)
+                    .batch_size(32)
+                    .output_activation(Activation::Sigmoid)
+                    .seed(config.seed ^ hidden as u64)
+                    .train(&train_pairs)?;
+                let accuracy = classification_accuracy(&mlp, &val_pairs);
+                Ok((hidden, accuracy, mlp))
+            });
         let mut best: Option<(usize, f64, Mlp)> = None;
-        for &hidden in &config.hidden_candidates {
-            let topology = Topology::new(&[input_dim, hidden, 2])?;
-            let mlp = Trainer::new(topology)
-                .epochs(config.epochs)
-                .learning_rate(0.5)
-                .batch_size(32)
-                .output_activation(Activation::Sigmoid)
-                .seed(config.seed ^ hidden as u64)
-                .train(&train_pairs)?;
-            let accuracy = classification_accuracy(&mlp, &val_pairs);
+        for candidate in candidates {
+            let (hidden, accuracy, mlp) = candidate?;
             let better = match &best {
                 None => true,
                 Some((best_hidden, best_acc, _)) => {
@@ -151,7 +192,7 @@ impl NeuralClassifier {
             mlp,
             input_norm,
             validation_accuracy,
-            scratch_out: Vec::new(),
+            scratch: DecideScratch::default(),
         })
     }
 
@@ -162,7 +203,7 @@ impl NeuralClassifier {
             mlp,
             input_norm,
             validation_accuracy: f64::NAN,
-            scratch_out: Vec::new(),
+            scratch: DecideScratch::default(),
         }
     }
 
@@ -195,16 +236,15 @@ impl NeuralClassifier {
 
     /// The decision for one input vector.
     pub fn decide(&mut self, input: &[f32]) -> Decision {
-        let normalized = self.input_norm.forward(input);
-        let mut out = std::mem::take(&mut self.scratch_out);
-        self.mlp
-            .run_into(&normalized, &mut out)
+        self.input_norm
+            .forward_into(input, &mut self.scratch.normalized);
+        let out = self
+            .mlp
+            .forward_into(&self.scratch.normalized, &mut self.scratch.fwd)
             .expect("input width fixed at training time");
         // Output neuron 0 votes approximate, neuron 1 votes precise; the
         // larger value wins (paper §IV-B).
-        let decision = Decision::from_reject(out[1] > out[0]);
-        self.scratch_out = out;
-        decision
+        Decision::from_reject(out[1] > out[0])
     }
 }
 
@@ -212,11 +252,11 @@ fn classification_accuracy(mlp: &Mlp, pairs: &[(Vec<f32>, Vec<f32>)]) -> f64 {
     if pairs.is_empty() {
         return 0.0;
     }
-    let mut out = Vec::new();
+    let mut scratch = ForwardScratch::new();
     let correct = pairs
         .iter()
         .filter(|(x, target)| {
-            mlp.run_into(x, &mut out).expect("widths match");
+            let out = mlp.forward_into(x, &mut scratch).expect("widths match");
             (out[1] > out[0]) == (target[1] > target[0])
         })
         .count();

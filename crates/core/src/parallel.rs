@@ -1,0 +1,75 @@
+//! Deterministic fork–join helper for the compile path's independent axes.
+//!
+//! [`par_map_indexed`] runs one closure per item index across a bounded
+//! set of worker threads and returns results **in item order** — the same
+//! contract [`crate::profile::collect_profiles_parallel`] pioneered.
+//! Because every item is computed independently (its own scratch buffers,
+//! its own derived seed) and the merge is an in-order collection,
+//! parallelism changes wall time only, never results. Any floating-point
+//! reduction *across* items must stay in the sequential caller, folded
+//! over the returned vector in index order.
+
+use crate::profile::default_threads;
+
+/// Applies `f` to every index in `0..count` across up to `threads`
+/// workers, returning the results in index order.
+///
+/// `threads = None` or `Some(0)` uses [`default_threads`]; the worker
+/// count is always clamped to `count`. With one worker the items run on
+/// the calling thread in index order, exactly like a `for` loop — so a
+/// `--threads 1` run is the sequential baseline by construction.
+pub fn par_map_indexed<R, F>(count: usize, threads: Option<usize>, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads
+        .filter(|&t| t > 0)
+        .unwrap_or_else(default_threads)
+        .min(count.max(1));
+    if threads <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let mut slots: Vec<Option<R>> = (0..count).map(|_| None).collect();
+    let chunk = count.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (t, slice) in slots.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (off, slot) in slice.iter_mut().enumerate() {
+                    *slot = Some(f(t * chunk + off));
+                }
+            });
+        }
+    })
+    .expect("parallel workers do not panic");
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index maps to exactly one chunk slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_index_order() {
+        for threads in [None, Some(1), Some(2), Some(3), Some(8)] {
+            let out = par_map_indexed(23, threads, |i| i * i);
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<usize> = par_map_indexed(0, Some(4), |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = par_map_indexed(2, Some(16), |i| i + 1);
+        assert_eq!(out, vec![1, 2]);
+    }
+}

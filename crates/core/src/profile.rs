@@ -12,7 +12,7 @@
 //! semantic change.
 
 use crate::classifier::{Classifier, Decision};
-use crate::function::AcceleratedFunction;
+use crate::function::{AcceleratedFunction, InvokeScratch};
 use crate::Result;
 use mithra_axbench::dataset::{Dataset, OutputBuffer};
 
@@ -76,10 +76,14 @@ impl DatasetProfile {
         let mut approx = OutputBuffer::with_capacity(bench.output_dim(), n);
         let mut max_err = Vec::with_capacity(n);
         let (mut p, mut a) = (Vec::new(), Vec::new());
+        // One scratch across the whole dataset: the profiling loop is the
+        // compile path's hottest, and per-invocation allocation would
+        // dominate the network arithmetic.
+        let mut scratch = InvokeScratch::new();
         for input in dataset.iter() {
             function.precise_into(input, &mut p);
-            function.approx_into(input, &mut a);
-            max_err.push(function.max_normalized_error(&p, &a));
+            function.approx_with(input, &mut a, &mut scratch);
+            max_err.push(function.max_normalized_error_with(&p, &a, &mut scratch));
             precise.push(&p);
             approx.push(&a);
         }
@@ -342,28 +346,10 @@ pub fn collect_profiles_parallel(
     scale: mithra_axbench::dataset::DatasetScale,
     threads: Option<usize>,
 ) -> Vec<DatasetProfile> {
-    let threads = threads
-        .filter(|&t| t > 0)
-        .unwrap_or_else(default_threads)
-        .min(count.max(1));
-    let mut slots: Vec<Option<DatasetProfile>> = (0..count).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        for (t, chunk) in slots.chunks_mut(count.div_ceil(threads)).enumerate() {
-            let start = t * count.div_ceil(threads);
-            scope.spawn(move |_| {
-                for (off, slot) in chunk.iter_mut().enumerate() {
-                    let seed = seed_base + (start + off) as u64;
-                    let ds = function.dataset(seed, scale);
-                    *slot = Some(DatasetProfile::collect(function, ds));
-                }
-            });
-        }
+    crate::parallel::par_map_indexed(count, threads, |i| {
+        let ds = function.dataset(seed_base + i as u64, scale);
+        DatasetProfile::collect(function, ds)
     })
-    .expect("profiling threads do not panic");
-    slots
-        .into_iter()
-        .map(|s| s.expect("all slots filled"))
-        .collect()
 }
 
 #[cfg(test)]

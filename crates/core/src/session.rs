@@ -469,6 +469,7 @@ impl CompileSession<Profiles> {
                 Some(threshold) => (threshold, 0, CacheOutcome::Hit),
                 None => {
                     let threshold = ThresholdOptimizer::new(self.config.spec)
+                        .with_threads(self.config.threads)
                         .optimize(&self.state.function, &self.state.profiles)?;
                     self.store_cached(Stage::Certification, key, &threshold);
                     (threshold, threshold.trials, self.miss_outcome())
@@ -516,25 +517,32 @@ impl CompileSession<CertifiedThreshold> {
             self.config.classifier_train_samples,
             self.config.seed_base ^ 0x7261_696E,
         );
-        let (artifact, invocations, cache) = match self
-            .load_cached::<ClassifierArtifact>(Stage::ClassifierTraining, key)
-        {
-            Some(artifact) => (artifact, 0, CacheOutcome::Hit),
-            None => {
-                let quantizer = quantizer_from_profiles(&self.state.profiles);
-                let table =
-                    TableClassifier::train(self.config.table_design, quantizer, &training_data)?;
-                let neural = NeuralClassifier::train(
-                    self.state.function.benchmark().input_dim(),
-                    &training_data,
-                    &self.config.neural,
-                )?;
-                let artifact = ClassifierArtifact { table, neural };
-                self.store_cached(Stage::ClassifierTraining, key, &artifact);
-                let invocations = training_data.len() as u64;
-                (artifact, invocations, self.miss_outcome())
-            }
-        };
+        let (artifact, invocations, cache) =
+            match self.load_cached::<ClassifierArtifact>(Stage::ClassifierTraining, key) {
+                Some(artifact) => (artifact, 0, CacheOutcome::Hit),
+                None => {
+                    let quantizer = quantizer_from_profiles(&self.state.profiles);
+                    // `threads` is deliberately not part of any cache key:
+                    // the parallel trainers are bit-identical at every thread
+                    // count, so artifacts stay interchangeable across runs.
+                    let table = TableClassifier::train_with_threads(
+                        self.config.table_design,
+                        quantizer,
+                        &training_data,
+                        self.config.threads,
+                    )?;
+                    let neural = NeuralClassifier::train_with_threads(
+                        self.state.function.benchmark().input_dim(),
+                        &training_data,
+                        &self.config.neural,
+                        self.config.threads,
+                    )?;
+                    let artifact = ClassifierArtifact { table, neural };
+                    self.store_cached(Stage::ClassifierTraining, key, &artifact);
+                    let invocations = training_data.len() as u64;
+                    (artifact, invocations, self.miss_outcome())
+                }
+            };
         let report = StageReport {
             stage: Stage::ClassifierTraining,
             wall: started.elapsed(),

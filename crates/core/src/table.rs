@@ -11,7 +11,8 @@
 //! tables ship in the binary compressed with Base-Delta-Immediate.
 
 use crate::classifier::{Classifier, ClassifierOverhead, Decision};
-use crate::misr::{InputQuantizer, Misr, MisrConfig};
+use crate::misr::{InputQuantizer, Misr, MisrConfig, QuantizedGrid};
+use crate::parallel::par_map_indexed;
 use crate::training::TrainingExample;
 use crate::{MithraError, Result};
 use mithra_bdi::CompressedTable;
@@ -181,14 +182,37 @@ impl TableClassifier {
         quantizer: InputQuantizer,
         examples: &[TrainingExample],
     ) -> Result<Self> {
+        Self::train_with_threads(design, quantizer, examples, Some(1))
+    }
+
+    /// [`TableClassifier::train`] with the `(levels, vote)` candidate grid
+    /// scored across up to `threads` workers (`None`/`Some(0)` = available
+    /// parallelism).
+    ///
+    /// Every candidate is built from pre-computed hashes shared read-only
+    /// across workers, and the winner is selected by folding scores in the
+    /// original candidate order — so the trained classifier is
+    /// bit-identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TableClassifier::train`].
+    pub fn train_with_threads(
+        design: TableDesign,
+        quantizer: InputQuantizer,
+        examples: &[TrainingExample],
+        threads: Option<usize>,
+    ) -> Result<Self> {
         const CANDIDATE_LEVELS: [u16; 5] = [2, 4, 8, 16, 32];
         const CANDIDATE_VOTES: [f64; 3] = [0.0, 0.15, 0.35];
         if examples.len() < 8 {
             // Too little data to hold anything out; train directly.
             return Self::train_with_policy(design, quantizer, 0.0, examples);
         }
+        design.validate()?;
         let holdout = examples.len() / 4;
-        let (fit, eval) = examples.split_at(examples.len() - holdout);
+        let fit_len = examples.len() - holdout;
+        let (_, eval) = examples.split_at(fit_len);
 
         // Quality is a constraint, not a linear tradeoff: a candidate is
         // feasible when its held-out false-negative rate stays within a
@@ -199,29 +223,48 @@ impl TableClassifier {
         // which is exactly the paper's jmeint behaviour ("it
         // conservatively falls back to the original precise code").
         let eval_rejects = eval.iter().filter(|e| e.reject).count();
+        let rejects: Vec<bool> = examples.iter().map(|e| e.reject).collect();
 
-        // Score every candidate once.
-        let mut scored: Vec<(usize, usize, u16, f64)> = Vec::new(); // (fn, fp, levels, vote)
-        for &levels in &CANDIDATE_LEVELS {
-            for &vote in &CANDIDATE_VOTES {
-                let mut candidate = Self::train_with_policy(
-                    design,
-                    quantizer.clone().with_levels(levels),
-                    vote,
-                    fit,
-                )?;
+        let width = design.index_width();
+        let pool = MisrConfig::pool();
+
+        // Hashes depend only on the granularity, never on the vote
+        // threshold, so one quantizer, one quantized grid and one set of
+        // 16 pool-configuration hash rows serve every vote candidate at
+        // that granularity — and the final full-set retrain. The grid
+        // covers the *full* example set; candidates train on the fit
+        // prefix and score on the eval suffix of the same rows.
+        let grids: Vec<(InputQuantizer, Vec<Vec<usize>>)> =
+            par_map_indexed(CANDIDATE_LEVELS.len(), threads, |li| {
+                let q = quantizer.clone().with_levels(CANDIDATE_LEVELS[li]);
+                let grid = QuantizedGrid::from_inputs(&q, examples.iter().map(|e| &e.input[..]));
+                let hashes = pool.iter().map(|&cfg| grid.hash_all(cfg, width)).collect();
+                (q, hashes)
+            });
+
+        // Score every candidate once, each on its own worker; the scored
+        // vector keeps levels-major candidate order regardless of which
+        // worker finished first.
+        let scored: Vec<(usize, usize, u16, f64)> = par_map_indexed(
+            CANDIDATE_LEVELS.len() * CANDIDATE_VOTES.len(),
+            threads,
+            |k| {
+                let (li, vi) = (k / CANDIDATE_VOTES.len(), k % CANDIDATE_VOTES.len());
+                let vote = CANDIDATE_VOTES[vi];
+                let hashes = &grids[li].1;
+                let ensemble = Ensemble::build(design, vote, &rejects[..fit_len], hashes);
                 let (mut fp, mut fn_) = (0usize, 0usize);
-                for ex in eval {
-                    let rejected = candidate.decide(&ex.input).is_precise();
+                for (j, ex) in eval.iter().enumerate() {
+                    let rejected = ensemble.rejects_row(hashes, fit_len + j);
                     match (rejected, ex.reject) {
                         (true, false) => fp += 1,
                         (false, true) => fn_ += 1,
                         _ => {}
                     }
                 }
-                scored.push((fn_, fp, levels, vote));
-            }
-        }
+                (fn_, fp, CANDIDATE_LEVELS[li], vote)
+            },
+        );
         // Tiered selection: prefer candidates whose missed-reject rate
         // stays within an increasingly lax fraction of the reject
         // population; within a tier, fewest false positives wins. If no
@@ -243,8 +286,15 @@ impl TableClassifier {
                 .expect("the candidate grid is non-empty");
             (l, v)
         });
-        // Retrain the winning policy on the full example set.
-        Self::train_with_policy(design, quantizer.with_levels(levels), vote, examples)
+        // Retrain the winning policy on the full example set, reusing the
+        // winner's cached quantizer and full-set hash rows.
+        let li = CANDIDATE_LEVELS
+            .iter()
+            .position(|&l| l == levels)
+            .expect("the winner came from the candidate grid");
+        let (winner_quantizer, hashes) = &grids[li];
+        let ensemble = Ensemble::build(design, vote, &rejects, hashes);
+        Ok(ensemble.into_classifier(design, winner_quantizer.clone(), vote, &pool))
     }
 
     /// Trains the ensemble with the paper's conservative rule at a fixed
@@ -304,81 +354,14 @@ impl TableClassifier {
         }
 
         let width = design.index_width();
-        // Pre-hash every example under every pool configuration once.
+        // Quantize every example once, then batch-hash the grid under
+        // every pool configuration.
         let pool = MisrConfig::pool();
-        let mut hashes: Vec<Vec<usize>> = Vec::with_capacity(pool.len());
-        let mut qbuf = Vec::new();
-        for &cfg in &pool {
-            let mut per_cfg = Vec::with_capacity(examples.len());
-            for ex in examples {
-                quantizer.quantize_into(&ex.input, &mut qbuf);
-                per_cfg.push(Misr::hash(cfg, width, &qbuf));
-            }
-            hashes.push(per_cfg);
-        }
-
-        // Build each pool configuration's trained table once: a bucket's
-        // bit is set when its reject share passes the vote threshold
-        // (threshold 0 = the paper's "any reject" rule).
-        let candidate_tables: Vec<BitTable> = hashes
-            .iter()
-            .map(|per_cfg| {
-                let mut rejects = vec![0u32; design.entries_per_table];
-                let mut totals = vec![0u32; design.entries_per_table];
-                for (ex, &h) in examples.iter().zip(per_cfg) {
-                    totals[h] += 1;
-                    if ex.reject {
-                        rejects[h] += 1;
-                    }
-                }
-                let mut t = BitTable::new(design.entries_per_table);
-                for (idx, (&r, &n)) in rejects.iter().zip(&totals).enumerate() {
-                    if r > 0 && f64::from(r) >= vote_threshold * f64::from(n) {
-                        t.set(idx);
-                    }
-                }
-                t
-            })
-            .collect();
-
-        // Greedy selection: minimize ensemble false decisions.
-        let mut chosen: Vec<usize> = Vec::with_capacity(design.tables);
-        let mut ensemble_says_reject = vec![false; examples.len()];
-        for _slot in 0..design.tables {
-            let mut best: Option<(usize, usize)> = None; // (cfg index, false count)
-            for (c, per_cfg) in hashes.iter().enumerate() {
-                if chosen.contains(&c) {
-                    continue;
-                }
-                let mut false_decisions = 0usize;
-                for (i, ex) in examples.iter().enumerate() {
-                    let reject = ensemble_says_reject[i] || candidate_tables[c].get(per_cfg[i]);
-                    if reject != ex.reject {
-                        false_decisions += 1;
-                    }
-                }
-                if best.is_none_or(|(_, f)| false_decisions < f) {
-                    best = Some((c, false_decisions));
-                }
-            }
-            let (c, _) = best.expect("pool is larger than any valid design");
-            for (i, r) in ensemble_says_reject.iter_mut().enumerate() {
-                *r = *r || candidate_tables[c].get(hashes[c][i]);
-            }
-            chosen.push(c);
-        }
-
-        Ok(Self {
-            design,
-            configs: chosen.iter().map(|&c| pool[c]).collect(),
-            tables: chosen
-                .iter()
-                .map(|&c| candidate_tables[c].clone())
-                .collect(),
-            quantizer,
-            vote_threshold,
-            scratch: Vec::new(),
-        })
+        let grid = QuantizedGrid::from_inputs(&quantizer, examples.iter().map(|e| &e.input[..]));
+        let hashes: Vec<Vec<usize>> = pool.iter().map(|&cfg| grid.hash_all(cfg, width)).collect();
+        let rejects: Vec<bool> = examples.iter().map(|e| e.reject).collect();
+        let ensemble = Ensemble::build(design, vote_threshold, &rejects, &hashes);
+        Ok(ensemble.into_classifier(design, quantizer, vote_threshold, &pool))
     }
 
     /// The geometry of this classifier.
@@ -450,6 +433,116 @@ impl TableClassifier {
         }
         self.scratch = qbuf;
         Decision::from_reject(reject)
+    }
+}
+
+/// One greedy ensemble build — the chosen pool indices (in table order)
+/// and their trained tables, before binding to a quantizer. Built purely
+/// from pre-computed hash rows so candidate sweeps never re-quantize or
+/// re-hash.
+#[derive(Debug)]
+struct Ensemble {
+    chosen: Vec<usize>,
+    tables: Vec<BitTable>,
+}
+
+impl Ensemble {
+    /// Builds each pool configuration's trained table and greedily selects
+    /// the ensemble, exactly as the paper's compiler does (§IV-A2).
+    ///
+    /// `rejects` may cover only a *prefix* of the hash rows: candidates
+    /// train on the fit prefix of full-set rows and are later scored
+    /// against the eval suffix via [`Ensemble::rejects_row`].
+    fn build(
+        design: TableDesign,
+        vote_threshold: f64,
+        rejects: &[bool],
+        hashes: &[Vec<usize>],
+    ) -> Self {
+        let n = rejects.len();
+        // Build each pool configuration's trained table once: a bucket's
+        // bit is set when its reject share passes the vote threshold
+        // (threshold 0 = the paper's "any reject" rule).
+        let candidate_tables: Vec<BitTable> = hashes
+            .iter()
+            .map(|per_cfg| {
+                let mut reject_counts = vec![0u32; design.entries_per_table];
+                let mut totals = vec![0u32; design.entries_per_table];
+                for (i, &h) in per_cfg[..n].iter().enumerate() {
+                    totals[h] += 1;
+                    if rejects[i] {
+                        reject_counts[h] += 1;
+                    }
+                }
+                let mut t = BitTable::new(design.entries_per_table);
+                for (idx, (&r, &tot)) in reject_counts.iter().zip(&totals).enumerate() {
+                    if r > 0 && f64::from(r) >= vote_threshold * f64::from(tot) {
+                        t.set(idx);
+                    }
+                }
+                t
+            })
+            .collect();
+
+        // Greedy selection: minimize ensemble false decisions.
+        let mut chosen: Vec<usize> = Vec::with_capacity(design.tables);
+        let mut ensemble_says_reject = vec![false; n];
+        for _slot in 0..design.tables {
+            let mut best: Option<(usize, usize)> = None; // (cfg index, false count)
+            for (c, per_cfg) in hashes.iter().enumerate() {
+                if chosen.contains(&c) {
+                    continue;
+                }
+                let mut false_decisions = 0usize;
+                for (i, &r) in rejects.iter().enumerate() {
+                    let reject = ensemble_says_reject[i] || candidate_tables[c].get(per_cfg[i]);
+                    if reject != r {
+                        false_decisions += 1;
+                    }
+                }
+                if best.is_none_or(|(_, f)| false_decisions < f) {
+                    best = Some((c, false_decisions));
+                }
+            }
+            let (c, _) = best.expect("pool is larger than any valid design");
+            for (i, r) in ensemble_says_reject.iter_mut().enumerate() {
+                *r = *r || candidate_tables[c].get(hashes[c][i]);
+            }
+            chosen.push(c);
+        }
+
+        let tables = chosen
+            .iter()
+            .map(|&c| candidate_tables[c].clone())
+            .collect();
+        Self { chosen, tables }
+    }
+
+    /// Whether the ensemble rejects hash row `i` — the OR of the chosen
+    /// tables' bits, identical to [`TableClassifier::decide`] on the input
+    /// that produced the row.
+    fn rejects_row(&self, hashes: &[Vec<usize>], i: usize) -> bool {
+        self.chosen
+            .iter()
+            .zip(&self.tables)
+            .any(|(&c, t)| t.get(hashes[c][i]))
+    }
+
+    fn into_classifier(
+        self,
+        design: TableDesign,
+        quantizer: InputQuantizer,
+        vote_threshold: f64,
+        pool: &[MisrConfig; 16],
+    ) -> TableClassifier {
+        TableClassifier {
+            design,
+            configs: self.chosen.iter().map(|&c| pool[c]).collect(),
+            tables: self.tables,
+            quantizer,
+            vote_threshold,
+            scratch: Vec::new(),
+        }
     }
 }
 

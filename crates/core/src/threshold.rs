@@ -14,6 +14,7 @@
 //! provides the paper's literal Algorithm 1 for comparison.
 
 use crate::function::AcceleratedFunction;
+use crate::parallel::par_map_indexed;
 use crate::profile::DatasetProfile;
 use crate::{MithraError, Result};
 use mithra_stats::clopper_pearson::{lower_bound, Confidence};
@@ -93,6 +94,9 @@ pub struct ThresholdOptimizer {
     spec: QualitySpec,
     /// Bisection probes; 24 localizes the threshold to ~1e-7 of its range.
     iterations: u32,
+    /// Worker threads for per-profile replay during certification
+    /// (`Some(1)` = sequential, `None`/`Some(0)` = available parallelism).
+    threads: Option<usize>,
 }
 
 impl ThresholdOptimizer {
@@ -101,7 +105,20 @@ impl ThresholdOptimizer {
         Self {
             spec,
             iterations: 24,
+            threads: Some(1),
         }
+    }
+
+    /// Replays each profile's certification probe on up to `threads`
+    /// workers (`None`/`Some(0)` = available parallelism).
+    ///
+    /// Each profile replays independently; the success count and the
+    /// invocation-rate sum are folded sequentially in profile order from
+    /// the per-profile results, so every outcome is bit-identical at any
+    /// thread count.
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// The specification being optimized for.
@@ -117,10 +134,14 @@ impl ThresholdOptimizer {
         profiles: &[DatasetProfile],
         threshold: f32,
     ) -> Result<(u64, f64, f64)> {
+        // Replays are independent per profile; the floating-point
+        // invocation-rate sum below folds their results in profile order.
+        let replays = par_map_indexed(profiles.len(), self.threads, |i| {
+            profiles[i].replay_with_threshold(function, threshold)
+        });
         let mut successes = 0u64;
         let mut invocation_rates = 0.0f64;
-        for p in profiles {
-            let replay = p.replay_with_threshold(function, threshold);
+        for replay in replays {
             if replay.quality_loss <= self.spec.max_quality_loss {
                 successes += 1;
             }

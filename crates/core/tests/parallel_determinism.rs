@@ -1,0 +1,114 @@
+//! Thread-count invariance of the parallel compile-path sweeps.
+//!
+//! The compile pipeline parallelizes three independent axes — the neural
+//! hidden-topology sweep, the table `(levels, vote)` candidate grid, and
+//! per-profile certification replay. Each worker runs an independent
+//! candidate with its own scratch state and results are folded in the
+//! original candidate order, so every artifact must be **bit-identical**
+//! at any thread count. These tests pin that: threads 1 through 4 (and
+//! "available parallelism") must produce byte-equal classifiers and
+//! thresholds. A failure here means a reduction order leaked across the
+//! thread boundary — which would silently break artifact-cache
+//! interchangeability and reproducible results.
+
+use mithra_axbench::benchmark::Benchmark;
+use mithra_axbench::suite;
+use mithra_core::neural::NeuralClassifier;
+use mithra_core::pipeline::{compile, quantizer_from_profiles, CompileConfig};
+use mithra_core::table::TableClassifier;
+use mithra_core::threshold::ThresholdOptimizer;
+use std::sync::Arc;
+
+/// Thread counts to sweep: sequential baseline, several bounded pools,
+/// and the host default.
+const THREADS: [Option<usize>; 5] = [Some(1), Some(2), Some(3), Some(4), None];
+
+#[test]
+fn parallel_sweeps_are_bit_identical_across_thread_counts() {
+    let bench: Arc<dyn Benchmark> = suite::by_name("sobel").unwrap().into();
+    let config = CompileConfig::smoke();
+    let compiled = compile(bench, &config).unwrap();
+
+    // Neural hidden-topology sweep: each candidate trains on its own
+    // worker; the winner is selected by an in-order fold.
+    let baseline_neural = NeuralClassifier::train_with_threads(
+        compiled.function.benchmark().input_dim(),
+        &compiled.training_data,
+        &config.neural,
+        Some(1),
+    )
+    .unwrap();
+    let baseline_json = serde_json::to_string(&baseline_neural).unwrap();
+    for threads in THREADS {
+        let candidate = NeuralClassifier::train_with_threads(
+            compiled.function.benchmark().input_dim(),
+            &compiled.training_data,
+            &config.neural,
+            threads,
+        )
+        .unwrap();
+        assert_eq!(
+            serde_json::to_string(&candidate).unwrap(),
+            baseline_json,
+            "neural classifier diverged at threads={threads:?}"
+        );
+    }
+
+    // Table (levels, vote) candidate grid: per-levels quantized grids are
+    // shared read-only; scores fold in levels-major candidate order.
+    let quantizer = quantizer_from_profiles(&compiled.profiles);
+    let baseline_table = TableClassifier::train_with_threads(
+        config.table_design,
+        quantizer.clone(),
+        &compiled.training_data,
+        Some(1),
+    )
+    .unwrap();
+    for threads in THREADS {
+        let candidate = TableClassifier::train_with_threads(
+            config.table_design,
+            quantizer.clone(),
+            &compiled.training_data,
+            threads,
+        )
+        .unwrap();
+        assert_eq!(
+            candidate, baseline_table,
+            "table classifier diverged at threads={threads:?}"
+        );
+    }
+
+    // Certification replay: per-profile replays run on workers; success
+    // counts and the invocation-rate sum fold in profile order.
+    let baseline_outcome = ThresholdOptimizer::new(config.spec)
+        .with_threads(Some(1))
+        .optimize(&compiled.function, &compiled.profiles)
+        .unwrap();
+    for threads in THREADS {
+        let outcome = ThresholdOptimizer::new(config.spec)
+            .with_threads(threads)
+            .optimize(&compiled.function, &compiled.profiles)
+            .unwrap();
+        assert_eq!(
+            outcome, baseline_outcome,
+            "certified threshold diverged at threads={threads:?}"
+        );
+        let (successes, bound, rate) = ThresholdOptimizer::new(config.spec)
+            .with_threads(threads)
+            .certify(
+                &compiled.function,
+                &compiled.profiles,
+                baseline_outcome.threshold,
+            )
+            .unwrap();
+        let (s0, b0, r0) = ThresholdOptimizer::new(config.spec)
+            .with_threads(Some(1))
+            .certify(
+                &compiled.function,
+                &compiled.profiles,
+                baseline_outcome.threshold,
+            )
+            .unwrap();
+        assert_eq!((successes, bound, rate), (s0, b0, r0));
+    }
+}

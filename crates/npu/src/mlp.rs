@@ -50,14 +50,70 @@ pub(crate) struct Layer {
 impl Layer {
     fn forward_into(&self, input: &[f32], out: &mut Vec<f32>) {
         out.clear();
-        for n in 0..self.biases.len() {
-            let row = &self.weights[n * self.fan_in..(n + 1) * self.fan_in];
-            let mut acc = self.biases[n];
-            for (w, x) in row.iter().zip(input) {
+        // Four neurons share one pass over the input. Their accumulator
+        // chains are independent and each keeps the exact per-neuron
+        // operation order (bias, then `+= w * x` in ascending input
+        // order), so the interleaving buys instruction-level parallelism
+        // — a single chain is latency-bound on the FP adder — without
+        // changing a single bit of the result.
+        let mut rows = self.weights.chunks_exact(4 * self.fan_in);
+        let mut biases = self.biases.chunks_exact(4);
+        for (quad, b) in rows.by_ref().zip(biases.by_ref()) {
+            let (r0, rest) = quad.split_at(self.fan_in);
+            let (r1, rest) = rest.split_at(self.fan_in);
+            let (r2, r3) = rest.split_at(self.fan_in);
+            let (mut a0, mut a1, mut a2, mut a3) = (b[0], b[1], b[2], b[3]);
+            for ((((&x, &w0), &w1), &w2), &w3) in input.iter().zip(r0).zip(r1).zip(r2).zip(r3) {
+                a0 += w0 * x;
+                a1 += w1 * x;
+                a2 += w2 * x;
+                a3 += w3 * x;
+            }
+            out.push(self.activation.apply(a0));
+            out.push(self.activation.apply(a1));
+            out.push(self.activation.apply(a2));
+            out.push(self.activation.apply(a3));
+        }
+        for (row, &b) in rows
+            .remainder()
+            .chunks_exact(self.fan_in)
+            .zip(biases.remainder())
+        {
+            let mut acc = b;
+            for (&w, &x) in row.iter().zip(input) {
                 acc += w * x;
             }
             out.push(self.activation.apply(acc));
         }
+    }
+}
+
+/// Reusable per-layer activation buffers for allocation-free forward
+/// passes ([`Mlp::forward_into`]).
+///
+/// One scratch adapts to any network — buffers are resized to each
+/// topology on use — but buffers only stop reallocating once they have
+/// seen the widest layer, so keep one scratch per thread and reuse it.
+/// After a forward pass the scratch retains every layer's activations
+/// (slot 0 is a copy of the input), which is exactly the trace
+/// backpropagation consumes.
+#[derive(Debug, Clone, Default)]
+pub struct ForwardScratch {
+    /// `activations[0]` is the input copy; `activations[l + 1]` is the
+    /// output of layer `l`.
+    activations: Vec<Vec<f32>>,
+}
+
+impl ForwardScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The activations at network level `l` after a forward pass
+    /// (0 = the input copy, layer count = the output).
+    pub(crate) fn activation(&self, l: usize) -> &[f32] {
+        &self.activations[l]
     }
 }
 
@@ -201,17 +257,45 @@ impl Mlp {
         Ok(())
     }
 
-    /// Runs a forward pass and additionally returns every layer's
-    /// activations (used by the trainer's backward pass).
-    pub(crate) fn forward_trace(&self, input: &[f32]) -> Vec<Vec<f32>> {
-        let mut activations = Vec::with_capacity(self.layers.len() + 1);
-        activations.push(input.to_vec());
-        for layer in &self.layers {
-            let mut out = Vec::new();
-            layer.forward_into(activations.last().expect("seeded above"), &mut out);
-            activations.push(out);
+    /// Runs one forward pass through caller-owned scratch buffers — the
+    /// hot-path entry point, performing no allocation once the scratch has
+    /// warmed up. Returns the output activations borrowed from the
+    /// scratch; intermediate activations stay readable there afterwards
+    /// (the trainer's backward pass reads them as its trace).
+    ///
+    /// The per-neuron arithmetic is identical to [`run_into`] — same
+    /// dot-product order — so the two entry points are bit-equal.
+    ///
+    /// [`run_into`]: Self::run_into
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NpuError::DimensionMismatch`] if `input` does not match
+    /// the input layer width.
+    pub fn forward_into<'s>(
+        &self,
+        input: &[f32],
+        scratch: &'s mut ForwardScratch,
+    ) -> Result<&'s [f32]> {
+        if input.len() != self.topology.inputs() {
+            return Err(NpuError::DimensionMismatch {
+                expected: self.topology.inputs(),
+                actual: input.len(),
+            });
         }
-        activations
+        scratch
+            .activations
+            .resize_with(self.layers.len() + 1, Vec::new);
+        scratch.activations[0].clear();
+        scratch.activations[0].extend_from_slice(input);
+        for (l, layer) in self.layers.iter().enumerate() {
+            let (prev, next) = scratch.activations.split_at_mut(l + 1);
+            layer.forward_into(&prev[l], &mut next[0]);
+        }
+        Ok(scratch
+            .activations
+            .last()
+            .expect("seeded with the input above"))
     }
 
     pub(crate) fn layers_mut(&mut self) -> &mut [Layer] {
@@ -291,11 +375,35 @@ mod tests {
     }
 
     #[test]
-    fn forward_trace_layer_count() {
+    fn forward_into_matches_run_and_keeps_trace() {
         let mlp = xor_network();
-        let trace = mlp.forward_trace(&[1.0, 1.0]);
-        assert_eq!(trace.len(), 3); // input + hidden + output
-        assert_eq!(trace[0], vec![1.0, 1.0]);
-        assert_eq!(trace[2].len(), 1);
+        let mut scratch = ForwardScratch::new();
+        let out = mlp
+            .forward_into(&[1.0, 0.0], &mut scratch)
+            .unwrap()
+            .to_vec();
+        assert_eq!(out, mlp.run(&[1.0, 0.0]).unwrap());
+        // The scratch retains the full trace: input + hidden + output.
+        assert_eq!(scratch.activation(0), &[1.0, 0.0]);
+        assert_eq!(scratch.activation(2).len(), 1);
+        // Reuse across inputs must not leak previous activations.
+        let again = mlp
+            .forward_into(&[0.0, 0.0], &mut scratch)
+            .unwrap()
+            .to_vec();
+        assert_eq!(again, mlp.run(&[0.0, 0.0]).unwrap());
+    }
+
+    #[test]
+    fn forward_into_rejects_bad_width() {
+        let mlp = xor_network();
+        let mut scratch = ForwardScratch::new();
+        assert!(matches!(
+            mlp.forward_into(&[1.0], &mut scratch),
+            Err(NpuError::DimensionMismatch {
+                expected: 2,
+                actual: 1
+            })
+        ));
     }
 }

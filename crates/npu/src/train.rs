@@ -7,7 +7,7 @@
 //! momentum on mean-squared error, plus the input/output normalization the
 //! NPU compiler applies so sigmoid layers see well-scaled values.
 
-use crate::mlp::{Activation, Mlp};
+use crate::mlp::{Activation, ForwardScratch, Mlp};
 use crate::topology::Topology;
 use crate::{NpuError, Result};
 use rand::rngs::StdRng;
@@ -77,33 +77,100 @@ impl Normalizer {
 
     /// Maps raw values into the target interval.
     pub fn forward(&self, raw: &[f32]) -> Vec<f32> {
-        raw.iter()
-            .enumerate()
-            .map(|(d, &v)| {
-                let span = self.maxs[d] - self.mins[d];
-                if span <= f32::EPSILON {
-                    0.5 * (self.lo + self.hi)
-                } else {
-                    self.lo + (v - self.mins[d]) / span * (self.hi - self.lo)
-                }
-            })
-            .collect()
+        let mut out = Vec::with_capacity(raw.len());
+        self.forward_into(raw, &mut out);
+        out
+    }
+
+    /// [`forward`](Self::forward) into a caller-provided buffer — the
+    /// allocation-free form profiling and serving hot paths use.
+    pub fn forward_into(&self, raw: &[f32], out: &mut Vec<f32>) {
+        out.clear();
+        out.extend(raw.iter().enumerate().map(|(d, &v)| {
+            let span = self.maxs[d] - self.mins[d];
+            if span <= f32::EPSILON {
+                0.5 * (self.lo + self.hi)
+            } else {
+                self.lo + (v - self.mins[d]) / span * (self.hi - self.lo)
+            }
+        }));
     }
 
     /// Maps normalized values back to raw scale.
     pub fn inverse(&self, normalized: &[f32]) -> Vec<f32> {
-        normalized
-            .iter()
-            .enumerate()
-            .map(|(d, &v)| {
-                let span = self.maxs[d] - self.mins[d];
-                if span <= f32::EPSILON {
-                    self.mins[d]
-                } else {
-                    self.mins[d] + (v - self.lo) / (self.hi - self.lo) * span
-                }
-            })
-            .collect()
+        let mut out = Vec::with_capacity(normalized.len());
+        self.inverse_into(normalized, &mut out);
+        out
+    }
+
+    /// [`inverse`](Self::inverse) into a caller-provided buffer — the
+    /// allocation-free form profiling and serving hot paths use.
+    pub fn inverse_into(&self, normalized: &[f32], out: &mut Vec<f32>) {
+        out.clear();
+        out.extend(normalized.iter().enumerate().map(|(d, &v)| {
+            let span = self.maxs[d] - self.mins[d];
+            if span <= f32::EPSILON {
+                self.mins[d]
+            } else {
+                self.mins[d] + (v - self.lo) / (self.hi - self.lo) * span
+            }
+        }));
+    }
+}
+
+/// Preallocated training buffers: forward activations, per-layer error
+/// terms, gradient accumulators, and the transposed weight copies the
+/// backward pass streams.
+///
+/// One instance is created per [`Trainer::train`] call and reused across
+/// every example, batch and epoch, so the inner SGD loop performs no
+/// allocation at all.
+struct TrainScratch {
+    fwd: ForwardScratch,
+    /// `delta[l]` holds layer `l`'s error terms during backpropagation.
+    delta: Vec<Vec<f32>>,
+    w_grad: Vec<Vec<f32>>,
+    b_grad: Vec<Vec<f32>>,
+    /// Transposed (input-major) weight copies:
+    /// `wt[l][i * fan_out + n] == weights[n * fan_in + i]`, kept in sync
+    /// with the network after every update so propagating deltas to layer
+    /// `l - 1` reads one contiguous column per input instead of striding
+    /// across rows. Layer 0 never propagates further; its slot stays
+    /// empty.
+    wt: Vec<Vec<f32>>,
+}
+
+impl TrainScratch {
+    fn for_network(mlp: &Mlp) -> Self {
+        let layers = mlp.layers();
+        Self {
+            fwd: ForwardScratch::new(),
+            delta: layers
+                .iter()
+                .map(|l| Vec::with_capacity(l.biases.len()))
+                .collect(),
+            w_grad: layers.iter().map(|l| vec![0.0; l.weights.len()]).collect(),
+            b_grad: layers.iter().map(|l| vec![0.0; l.biases.len()]).collect(),
+            wt: layers
+                .iter()
+                .enumerate()
+                .map(|(l, layer)| {
+                    if l == 0 {
+                        Vec::new()
+                    } else {
+                        let fan_in = layer.fan_in;
+                        let fan_out = layer.biases.len();
+                        let mut wt = vec![0.0; layer.weights.len()];
+                        for n in 0..fan_out {
+                            for i in 0..fan_in {
+                                wt[i * fan_out + n] = layer.weights[n * fan_in + i];
+                            }
+                        }
+                        wt
+                    }
+                })
+                .collect(),
+        }
     }
 }
 
@@ -231,12 +298,20 @@ impl Trainer {
             .map(|l| vec![0.0; l.biases.len()])
             .collect();
 
+        let mut scratch = TrainScratch::for_network(&mlp);
         let mut order: Vec<usize> = (0..samples.len()).collect();
         for _epoch in 0..self.epochs {
             order.shuffle(&mut rng);
             let mut epoch_sse = 0.0f64;
             for batch in order.chunks(self.batch_size) {
-                epoch_sse += self.sgd_step(&mut mlp, samples, batch, &mut w_vel, &mut b_vel);
+                epoch_sse += self.sgd_step(
+                    &mut mlp,
+                    samples,
+                    batch,
+                    &mut w_vel,
+                    &mut b_vel,
+                    &mut scratch,
+                );
             }
             let mse = epoch_sse / (samples.len() * self.topology.outputs()) as f64;
             if let Some(target) = self.target_mse {
@@ -269,6 +344,13 @@ impl Trainer {
     }
 
     /// One minibatch step; returns the batch's summed squared error.
+    ///
+    /// All buffers come from `scratch` and the backward pass reads the
+    /// transposed weight copies, but every floating-point accumulation
+    /// happens in the same order as the textbook row-major formulation —
+    /// per element, contributions still arrive in ascending neuron order —
+    /// so training stays byte-deterministic across the layout change
+    /// (pinned by `tests/kernel_parity.rs`).
     fn sgd_step(
         &self,
         mlp: &mut Mlp,
@@ -276,82 +358,128 @@ impl Trainer {
         batch: &[usize],
         w_vel: &mut [Vec<f32>],
         b_vel: &mut [Vec<f32>],
+        scratch: &mut TrainScratch,
     ) -> f64 {
         let n_layers = mlp.layers().len();
-        let mut w_grad: Vec<Vec<f32>> = mlp
-            .layers()
-            .iter()
-            .map(|l| vec![0.0; l.weights.len()])
-            .collect();
-        let mut b_grad: Vec<Vec<f32>> = mlp
-            .layers()
-            .iter()
-            .map(|l| vec![0.0; l.biases.len()])
-            .collect();
+        for g in scratch.w_grad.iter_mut() {
+            g.fill(0.0);
+        }
+        for g in scratch.b_grad.iter_mut() {
+            g.fill(0.0);
+        }
         let mut sse = 0.0f64;
 
         for &idx in batch {
             let (x, target) = &samples[idx];
-            let acts = mlp.forward_trace(x);
-            let output = &acts[n_layers];
+            mlp.forward_into(x, &mut scratch.fwd)
+                .expect("samples validated against the topology");
 
             // Output delta: dE/dz for MSE loss.
-            let mut delta: Vec<f32> = output
-                .iter()
-                .zip(target)
-                .map(|(&o, &t)| {
-                    let err = o - t;
-                    sse += f64::from(err) * f64::from(err);
-                    err * mlp.layers()[n_layers - 1]
-                        .activation
-                        .derivative_from_output(o)
-                })
-                .collect();
+            let out_activation = mlp.layers()[n_layers - 1].activation;
+            let output = scratch.fwd.activation(n_layers);
+            let out_delta = &mut scratch.delta[n_layers - 1];
+            out_delta.clear();
+            for (&o, &t) in output.iter().zip(target) {
+                let err = o - t;
+                sse += f64::from(err) * f64::from(err);
+                out_delta.push(err * out_activation.derivative_from_output(o));
+            }
 
             for l in (0..n_layers).rev() {
-                let input = &acts[l];
+                let input = scratch.fwd.activation(l);
                 let fan_in = mlp.layers()[l].fan_in;
-                for (n, &d) in delta.iter().enumerate() {
-                    b_grad[l][n] += d;
-                    for (i, &xi) in input.iter().enumerate() {
-                        w_grad[l][n * fan_in + i] += d * xi;
+                {
+                    let delta = &scratch.delta[l];
+                    let w_grad = &mut scratch.w_grad[l];
+                    let b_grad = &mut scratch.b_grad[l];
+                    for (n, &d) in delta.iter().enumerate() {
+                        b_grad[n] += d;
+                        // Row-sliced accumulation: each gradient element
+                        // receives exactly one `+= d * xi` per example in
+                        // the same order as the indexed loop it replaced.
+                        let row = &mut w_grad[n * fan_in..(n + 1) * fan_in];
+                        for (g, &xi) in row.iter_mut().zip(input) {
+                            *g += d * xi;
+                        }
                     }
                 }
                 if l > 0 {
-                    let layer = &mlp.layers()[l];
-                    let prev_act = &acts[l];
-                    let mut prev_delta = vec![0.0f32; fan_in];
-                    for (n, &d) in delta.iter().enumerate() {
-                        for (i, pd) in prev_delta.iter_mut().enumerate() {
-                            *pd += d * layer.weights[n * fan_in + i];
+                    let fan_out = mlp.layers()[l].biases.len();
+                    let prev_activation = mlp.layers()[l - 1].activation;
+                    let wt = &scratch.wt[l];
+                    let (lower, upper) = scratch.delta.split_at_mut(l);
+                    let delta = &upper[0];
+                    let prev_delta = &mut lower[l - 1];
+                    prev_delta.clear();
+                    // Four lower-layer neurons share one pass over the
+                    // deltas. Each accumulator chain keeps its exact
+                    // ascending-n operation order, so — as in the forward
+                    // pass — the interleave changes only instruction-level
+                    // parallelism, never results.
+                    let mut columns = wt.chunks_exact(4 * fan_out);
+                    let mut i = 0;
+                    for quad in columns.by_ref() {
+                        let (c0, rest) = quad.split_at(fan_out);
+                        let (c1, rest) = rest.split_at(fan_out);
+                        let (c2, c3) = rest.split_at(fan_out);
+                        let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                        for ((((&d, &w0), &w1), &w2), &w3) in
+                            delta.iter().zip(c0).zip(c1).zip(c2).zip(c3)
+                        {
+                            a0 += d * w0;
+                            a1 += d * w1;
+                            a2 += d * w2;
+                            a3 += d * w3;
                         }
+                        for (acc, &act) in [a0, a1, a2, a3].iter().zip(&input[i..i + 4]) {
+                            prev_delta.push(acc * prev_activation.derivative_from_output(act));
+                        }
+                        i += 4;
                     }
-                    let prev_layer_act = mlp.layers()[l - 1].activation;
-                    for (i, pd) in prev_delta.iter_mut().enumerate() {
-                        *pd *= prev_layer_act.derivative_from_output(prev_act[i]);
+                    for (column, &act) in columns.remainder().chunks_exact(fan_out).zip(&input[i..])
+                    {
+                        let mut acc = 0.0f32;
+                        for (&d, &w) in delta.iter().zip(column) {
+                            acc += d * w;
+                        }
+                        prev_delta.push(acc * prev_activation.derivative_from_output(act));
                     }
-                    delta = prev_delta;
                 }
             }
         }
 
         let scale = self.learning_rate / batch.len() as f32;
         for l in 0..n_layers {
-            for (w, (g, v)) in mlp.layers_mut()[l]
-                .weights
-                .iter_mut()
-                .zip(w_grad[l].iter().zip(w_vel[l].iter_mut()))
-            {
-                *v = self.momentum * *v - scale * g;
-                *w += *v;
-            }
-            for (b, (g, v)) in mlp.layers_mut()[l]
-                .biases
-                .iter_mut()
-                .zip(b_grad[l].iter().zip(b_vel[l].iter_mut()))
-            {
-                *v = self.momentum * *v - scale * g;
-                *b += *v;
+            let layer = &mut mlp.layers_mut()[l];
+            let fan_in = layer.fan_in;
+            let fan_out = layer.biases.len();
+            let wt = &mut scratch.wt[l];
+            for n in 0..fan_out {
+                // Row-sliced update, same per-parameter arithmetic as the
+                // indexed loop it replaced. The transposed mirror is kept
+                // in sync for the next example's backward pass; layer 0
+                // never back-propagates, so its mirror stays empty.
+                let start = n * fan_in;
+                let wrow = &mut layer.weights[start..start + fan_in];
+                let vrow = &mut w_vel[l][start..start + fan_in];
+                let grow = &scratch.w_grad[l][start..start + fan_in];
+                if wt.is_empty() {
+                    for ((w, v), &g) in wrow.iter_mut().zip(vrow.iter_mut()).zip(grow) {
+                        *v = self.momentum * *v - scale * g;
+                        *w += *v;
+                    }
+                } else {
+                    for (i, ((w, v), &g)) in
+                        wrow.iter_mut().zip(vrow.iter_mut()).zip(grow).enumerate()
+                    {
+                        *v = self.momentum * *v - scale * g;
+                        *w += *v;
+                        wt[i * fan_out + n] = *w;
+                    }
+                }
+                let v = &mut b_vel[l][n];
+                *v = self.momentum * *v - scale * scratch.b_grad[l][n];
+                layer.biases[n] += *v;
             }
         }
         sse

@@ -257,18 +257,23 @@ impl ServeEngine {
         }
     }
 
-    /// [`submit`](Self::submit), retrying (with a scheduler yield) while
-    /// the queue is full — the closed-loop submission tests and the
-    /// throughput benchmark's drain phase use.
+    /// [`submit`](Self::submit), retrying with bounded exponential
+    /// backoff while the queue is full — the closed-loop submission tests
+    /// and the throughput benchmark's drain phase use.
+    ///
+    /// A bare yield loop would burn a core competing with the workers
+    /// that must drain the queue; [`crate::backoff::Backoff`] escalates
+    /// spin → yield → short bounded parks instead.
     ///
     /// # Errors
     ///
     /// Terminal rejections (unknown endpoint, invalid invocation, closed
     /// engine) propagate; only [`RejectReason::QueueFull`] is retried.
     pub fn submit_or_wait(&self, endpoint: usize, invocation: usize) -> Result<(), RejectReason> {
+        let mut backoff = crate::backoff::Backoff::new();
         loop {
             match self.submit(endpoint, invocation) {
-                Err(RejectReason::QueueFull) => std::thread::yield_now(),
+                Err(RejectReason::QueueFull) => backoff.wait(),
                 other => return other,
             }
         }

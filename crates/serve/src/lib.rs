@@ -33,12 +33,14 @@
 
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod endpoint;
 pub mod engine;
 pub mod error;
 pub mod metrics;
 pub mod queue;
 
+pub use backoff::Backoff;
 pub use endpoint::EndpointSpec;
 pub use engine::{DrainedEngine, EndpointReport, Request, ServeConfig, ServeEngine, ServeReport};
 pub use error::{RejectReason, ServeError};

@@ -69,6 +69,58 @@ fn bounded_queue_saturated_by_many_producers_loses_and_duplicates_nothing() {
 }
 
 #[test]
+fn submit_or_wait_completes_through_a_constantly_full_queue() {
+    // A two-slot queue behind a single single-batch worker is full for
+    // essentially the whole run, so every submission takes the
+    // queue-full retry path (spin → yield → bounded park). The test is
+    // the completion itself: with an unbounded or broken backoff the
+    // producers would stall forever or starve the worker.
+    let bench: Arc<dyn Benchmark> = suite::by_name("sobel").unwrap().into();
+    let compiled = Arc::new(compile(bench, &CompileConfig::smoke()).unwrap());
+    let dataset = compiled.function.dataset(5151, DatasetScale::Smoke);
+    let profile = DatasetProfile::collect(&compiled.function, dataset);
+    let n = profile.invocation_count();
+
+    let engine = ServeEngine::start(
+        vec![EndpointSpec {
+            name: "sobel".into(),
+            compiled: Arc::clone(&compiled),
+            profile,
+        }],
+        &ServeConfig {
+            workers: 1,
+            batch: 1,
+            queue_depth: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+
+    const PRODUCERS: usize = 4;
+    let chunk = n.div_ceil(PRODUCERS);
+    std::thread::scope(|scope| {
+        for p in 0..PRODUCERS {
+            let engine = &engine;
+            scope.spawn(move || {
+                for inv in (p * chunk)..((p + 1) * chunk).min(n) {
+                    engine
+                        .submit_or_wait(0, inv)
+                        .expect("backed-off submission must eventually land");
+                }
+            });
+        }
+    });
+
+    let report = engine.finish().unwrap();
+    let endpoint = &report.endpoints[0];
+    assert_eq!(endpoint.counters.served, n as u64, "exactly-once serving");
+    assert!(
+        endpoint.counters.rejected_queue_full > 0,
+        "the tiny queue must actually have refused submissions"
+    );
+}
+
+#[test]
 fn engine_under_saturation_serves_exactly_once_and_stays_bit_identical() {
     let bench: Arc<dyn Benchmark> = suite::by_name("sobel").unwrap().into();
     let compiled = Arc::new(compile(bench, &CompileConfig::smoke()).unwrap());

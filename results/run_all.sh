@@ -3,7 +3,14 @@
 set -x
 cd /root/repo
 R=results
-run() { name=$1; shift; start=$(date +%s); cargo run --release -q -p mithra-bench --bin $name -- "$@" > $R/$name.txt 2> $R/$name.log || echo "FAILED: $name" >> $R/failures.txt; echo "done: $name in $(( $(date +%s) - start ))s" >> $R/progress.txt; }
+run() {
+  name=$1; shift; start=$(date +%s)
+  cargo run --release -q -p mithra-bench --bin $name -- "$@" > $R/$name.txt 2> $R/$name.log || echo "FAILED: $name" >> $R/failures.txt
+  echo "done: $name in $(( $(date +%s) - start ))s" >> $R/progress.txt
+  # Per-stage wall times: each compile session prints a StageReport block
+  # to stderr; mirror it into progress.txt so a long run is inspectable.
+  grep -E '^(compile session \[|  (npu-training|profiling|certification|classifier-training|validation-profiling) )' $R/$name.log >> $R/progress.txt 2>/dev/null || true
+}
 run table1_benchmarks
 run fig01_error_cdf
 run fig06_main_results
