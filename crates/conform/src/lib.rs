@@ -1,0 +1,101 @@
+//! Statistical conformance harness: does the certified guarantee hold?
+//!
+//! The paper's central claim (§III, Equation 3) is distributional: with
+//! confidence β, at least a fraction S of **unseen** datasets will meet the
+//! final-quality target. Replaying the seed figures never tests that claim
+//! — it only shows the numbers the compiler printed once. This crate
+//! re-proves the claim empirically, every time it runs:
+//!
+//! 1. take a [`Compiled`] artifact (typically out of the
+//!    `core::session` artifact cache);
+//! 2. draw `M` fresh datasets from a seed space disjoint from every seed
+//!    the compiler, profiler, or serving load generator has ever seen
+//!    ([`CONFORM_SEED_BASE`]);
+//! 3. run each through the system simulator under the deployed table
+//!    classifier and score final application quality;
+//! 4. compare the observed success fraction against the certified
+//!    `(success-rate, confidence)` pair with an exact one-sided binomial
+//!    test ([`mithra_stats::binomial::one_sided_p_value`]), yielding a
+//!    [`Verdict`] with a p-value.
+//!
+//! Because the harness is itself statistics code — exactly the kind of
+//! code whose bugs produce plausible-looking output — it ships with a
+//! [mutation self-check](selfcheck): planted defects (a perturbed quality
+//! target, a swapped Clopper–Pearson bound direction, an off-by-one
+//! violation count) must each be *detected* by the harness's independent
+//! audits, or the harness refuses to vouch for itself.
+//!
+//! Trials fan out through [`mithra_core::parallel::par_map_indexed`] and
+//! fold in candidate (seed) order, so every report is bit-identical at any
+//! `--threads` setting.
+//!
+//! [`Compiled`]: mithra_core::pipeline::Compiled
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod report;
+pub mod selfcheck;
+pub mod validator;
+
+pub use report::{GuaranteeReport, TrialRecord, Verdict};
+pub use selfcheck::{Mutation, SelfCheckOutcome, SelfCheckReport};
+pub use validator::{validate, validate_profiles, ValidatorConfig};
+
+use std::fmt;
+
+/// Seed base for conformance trials. Disjoint from every other seed space
+/// in the repository: compilation datasets start at 0, the figure
+/// harness's validation datasets at 1,000,000, the serving load generator
+/// at 2,000,000, and the extension integration tests at 7,000,000.
+/// Dataset `i` of a conformance run uses `CONFORM_SEED_BASE + i`.
+pub const CONFORM_SEED_BASE: u64 = 3_000_000;
+
+/// Errors from the conformance harness.
+#[derive(Debug)]
+pub enum ConformError {
+    /// A configuration value was invalid.
+    InvalidConfig {
+        /// Which parameter was rejected.
+        parameter: &'static str,
+        /// The constraint it violates.
+        constraint: &'static str,
+    },
+    /// An error bubbled up from the statistics substrate.
+    Stats(mithra_stats::StatsError),
+    /// An error bubbled up from the system simulator.
+    Sim(mithra_sim::SimError),
+}
+
+impl fmt::Display for ConformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConformError::InvalidConfig {
+                parameter,
+                constraint,
+            } => write!(
+                f,
+                "invalid conformance config: {parameter} must be {constraint}"
+            ),
+            ConformError::Stats(e) => write!(f, "statistics error: {e}"),
+            ConformError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConformError {}
+
+impl From<mithra_stats::StatsError> for ConformError {
+    fn from(e: mithra_stats::StatsError) -> Self {
+        ConformError::Stats(e)
+    }
+}
+
+impl From<mithra_sim::SimError> for ConformError {
+    fn from(e: mithra_sim::SimError) -> Self {
+        ConformError::Sim(e)
+    }
+}
+
+/// Convenience result alias for the conformance harness.
+pub type Result<T> = std::result::Result<T, ConformError>;

@@ -1,0 +1,102 @@
+//! Conformance verdicts and the per-benchmark guarantee report.
+
+use serde::Serialize;
+use std::fmt;
+
+/// The outcome of testing a certified guarantee against unseen datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Verdict {
+    /// The observed success fraction meets or exceeds the certified rate:
+    /// the sample itself satisfies the guarantee.
+    Holds,
+    /// The observed fraction falls short of the certified rate, but not by
+    /// more than sampling noise explains (the exact binomial test does not
+    /// reject at the harness's significance level). Expected for a
+    /// fraction α of correct certificates.
+    Marginal,
+    /// The exact binomial test rejects the certified rate: the shortfall
+    /// is too large to attribute to sampling noise.
+    Violated,
+}
+
+impl Verdict {
+    /// Fixed-width display label (the figure tables align on it).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Holds => "Holds",
+            Verdict::Marginal => "Marginal",
+            Verdict::Violated => "Violated",
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One Monte-Carlo trial: one unseen dataset scored end to end.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TrialRecord {
+    /// The dataset seed (conform seed base + trial index).
+    pub dataset_seed: u64,
+    /// Final application quality loss of the simulated run.
+    pub quality_loss: f64,
+    /// Fraction of invocations delegated to the accelerator.
+    pub invocation_rate: f64,
+    /// Whether the run met the certified quality target.
+    pub met_target: bool,
+}
+
+/// The validator's full result for one benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GuaranteeReport {
+    /// The benchmark name.
+    pub benchmark: String,
+    /// The quality-loss target `q` the certificate promises.
+    pub quality_target: f64,
+    /// The success rate `S` the certificate promises.
+    pub target_rate: f64,
+    /// The confidence `β` of the certificate.
+    pub confidence: f64,
+    /// The compile-time Clopper–Pearson lower bound the certificate
+    /// actually achieved (≥ `target_rate` for a valid certificate).
+    pub certified_rate: f64,
+    /// Number of unseen Monte-Carlo trials `M`.
+    pub trials: u64,
+    /// Trials whose final quality loss stayed within the target.
+    pub successes: u64,
+    /// `successes / trials`.
+    pub observed_rate: f64,
+    /// Clopper–Pearson lower bound recomputed on the unseen sample alone.
+    pub unseen_lower_bound: f64,
+    /// Exact one-sided binomial p-value of the observed count under the
+    /// hypothesis that the true success rate equals `target_rate`; small
+    /// values refute the certificate.
+    pub p_value: f64,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Mean accelerator invocation rate across the trials.
+    pub mean_invocation_rate: f64,
+    /// Per-trial records, in seed order.
+    pub trial_records: Vec<TrialRecord>,
+}
+
+impl GuaranteeReport {
+    /// One-line summary used by the figure binary's table and the smoke
+    /// jobs' log scraping.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{}: {}/{} unseen datasets met q={:.1}% (observed {:.1}%, certified floor {:.0}%, p={:.4}) -> {}",
+            self.benchmark,
+            self.successes,
+            self.trials,
+            self.quality_target * 100.0,
+            self.observed_rate * 100.0,
+            self.target_rate * 100.0,
+            self.p_value,
+            self.verdict,
+        )
+    }
+}

@@ -1,0 +1,376 @@
+//! Mutation self-check: a test of the test.
+//!
+//! The conformance verdict is produced by statistics code, and statistics
+//! code fails in a uniquely dangerous way — it keeps printing plausible
+//! numbers. This module plants known defects into the verdict computation
+//! ([`Mutation`]) and requires that an independent audit pass
+//! ([`audit`]) *detects* every one of them. The audits recompute each
+//! reported figure from the raw per-trial quality losses and the original
+//! specification, so a defect anywhere in the judging path must disagree
+//! with at least one recomputation.
+//!
+//! Every planted defect is detected deterministically — detection never
+//! depends on where the Monte-Carlo losses happened to land — so the
+//! self-check is itself a stable regression test.
+
+use crate::report::Verdict;
+use crate::{ConformError, Result};
+use mithra_core::threshold::QualitySpec;
+use mithra_stats::binomial::one_sided_p_value;
+use mithra_stats::clopper_pearson::{lower_bound, upper_bound};
+use serde::Serialize;
+
+/// A defect deliberately planted into the verdict computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Mutation {
+    /// Judge successes against `q + ε` instead of the certified `q` —
+    /// a loosened target silently inflates the success count.
+    TargetPlusEpsilon,
+    /// Judge successes against `q − ε` — a tightened target silently
+    /// deflates it.
+    TargetMinusEpsilon,
+    /// Report the Clopper–Pearson *upper* bound where the guarantee
+    /// requires the lower bound — the classic flipped-tail mistake.
+    SwappedBoundDirection,
+    /// Miscount violations by one (undercount by one; overcount when
+    /// there are none to drop), shifting the success count the verdict
+    /// and p-value are derived from.
+    ViolationCountOffByOne,
+}
+
+impl Mutation {
+    /// Every mutation, in reporting order.
+    pub const ALL: [Mutation; 4] = [
+        Mutation::TargetPlusEpsilon,
+        Mutation::TargetMinusEpsilon,
+        Mutation::SwappedBoundDirection,
+        Mutation::ViolationCountOffByOne,
+    ];
+
+    /// Stable display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mutation::TargetPlusEpsilon => "target+eps",
+            Mutation::TargetMinusEpsilon => "target-eps",
+            Mutation::SwappedBoundDirection => "swapped-bound",
+            Mutation::ViolationCountOffByOne => "violations-off-by-one",
+        }
+    }
+}
+
+/// The distilled verdict computation: everything the report derives from
+/// the raw losses, in one auditable bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Judgement {
+    /// The quality target successes were counted against.
+    pub quality_target: f64,
+    /// Trials within the target.
+    pub successes: u64,
+    /// Trials beyond the target.
+    pub violations: u64,
+    /// Total trials.
+    pub trials: u64,
+    /// The Clopper–Pearson bound reported for the unseen sample.
+    pub unseen_bound: f64,
+    /// The exact one-sided binomial p-value against the certified rate.
+    pub p_value: f64,
+}
+
+/// Computes a [`Judgement`] from raw per-trial losses, optionally with a
+/// planted [`Mutation`].
+///
+/// The clean path (`mutation = None`) is the one the validator publishes;
+/// the mutated paths exist only so [`audit`] can prove it would notice.
+///
+/// # Errors
+///
+/// Returns [`ConformError::InvalidConfig`] for an empty loss vector and
+/// propagates statistics errors.
+pub fn judge(
+    losses: &[f64],
+    spec: &QualitySpec,
+    mutation: Option<Mutation>,
+    epsilon: f64,
+) -> Result<Judgement> {
+    if losses.is_empty() {
+        return Err(ConformError::InvalidConfig {
+            parameter: "losses",
+            constraint: "non-empty",
+        });
+    }
+    let trials = losses.len() as u64;
+    let quality_target = match mutation {
+        Some(Mutation::TargetPlusEpsilon) => spec.max_quality_loss + epsilon,
+        Some(Mutation::TargetMinusEpsilon) => spec.max_quality_loss - epsilon,
+        _ => spec.max_quality_loss,
+    };
+    let mut successes = losses.iter().filter(|&&l| l <= quality_target).count() as u64;
+    let mut violations = trials - successes;
+    if mutation == Some(Mutation::ViolationCountOffByOne) {
+        violations = if violations == 0 { 1 } else { violations - 1 };
+        successes = trials - violations;
+    }
+    let unseen_bound = if mutation == Some(Mutation::SwappedBoundDirection) {
+        upper_bound(successes, trials, spec.confidence)?
+    } else {
+        lower_bound(successes, trials, spec.confidence)?
+    };
+    let p_value = one_sided_p_value(successes, trials, spec.success_rate)?;
+    Ok(Judgement {
+        quality_target,
+        successes,
+        violations,
+        trials,
+        unseen_bound,
+        p_value,
+    })
+}
+
+/// The verdict a judgement implies at significance `test_alpha`.
+pub fn verdict_for(judgement: &Judgement, spec: &QualitySpec, test_alpha: f64) -> Verdict {
+    let observed = judgement.successes as f64 / judgement.trials as f64;
+    if observed >= spec.success_rate {
+        Verdict::Holds
+    } else if judgement.p_value >= test_alpha {
+        Verdict::Marginal
+    } else {
+        Verdict::Violated
+    }
+}
+
+/// One independent audit finding: which check tripped, and why.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct AuditFinding {
+    /// The audit that tripped.
+    pub check: String,
+    /// Human-readable mismatch description.
+    pub detail: String,
+}
+
+/// Recomputes every figure in `judgement` independently from the raw
+/// losses and the original spec, returning one finding per disagreement.
+///
+/// An empty result means the judgement is internally consistent with its
+/// inputs. Each audit is bit-exact — the recomputation follows the same
+/// deterministic arithmetic — so findings never depend on tolerance
+/// tuning.
+///
+/// # Errors
+///
+/// Propagates statistics errors from the recomputations.
+pub fn audit(
+    judgement: &Judgement,
+    losses: &[f64],
+    spec: &QualitySpec,
+) -> Result<Vec<AuditFinding>> {
+    let mut findings = Vec::new();
+    // 1. The target the successes were judged against must echo the
+    //    certified target bit-for-bit.
+    if judgement.quality_target.to_bits() != spec.max_quality_loss.to_bits() {
+        findings.push(AuditFinding {
+            check: "target-echo".into(),
+            detail: format!(
+                "judged against q={} but the certificate says q={}",
+                judgement.quality_target, spec.max_quality_loss
+            ),
+        });
+    }
+    // 2. Recount successes directly from the losses at the certified
+    //    target.
+    let recount = losses
+        .iter()
+        .filter(|&&l| l <= spec.max_quality_loss)
+        .count() as u64;
+    if recount != judgement.successes {
+        findings.push(AuditFinding {
+            check: "success-recount".into(),
+            detail: format!(
+                "recounted {recount} successes, judgement claims {}",
+                judgement.successes
+            ),
+        });
+    }
+    // 3. Successes and violations must partition the trials.
+    if judgement.successes + judgement.violations != judgement.trials {
+        findings.push(AuditFinding {
+            check: "count-conservation".into(),
+            detail: format!(
+                "{} + {} != {}",
+                judgement.successes, judgement.violations, judgement.trials
+            ),
+        });
+    }
+    // 4. The reported bound must equal the one-sided *lower* bound at the
+    //    judgement's own counts — a swapped tail disagrees for every
+    //    0 <= k <= n.
+    let expect_bound = lower_bound(judgement.successes, judgement.trials, spec.confidence)?;
+    if judgement.unseen_bound.to_bits() != expect_bound.to_bits() {
+        findings.push(AuditFinding {
+            check: "bound-recompute".into(),
+            detail: format!(
+                "reported bound {} but the lower bound at {}/{} is {expect_bound}",
+                judgement.unseen_bound, judgement.successes, judgement.trials
+            ),
+        });
+    }
+    // 5. The p-value must equal the exact one-sided binomial test at the
+    //    judgement's own counts.
+    let expect_p = one_sided_p_value(judgement.successes, judgement.trials, spec.success_rate)?;
+    if judgement.p_value.to_bits() != expect_p.to_bits() {
+        findings.push(AuditFinding {
+            check: "p-value-recompute".into(),
+            detail: format!(
+                "reported p={} but the exact test gives p={expect_p}",
+                judgement.p_value
+            ),
+        });
+    }
+    Ok(findings)
+}
+
+/// One mutation's self-check outcome.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SelfCheckOutcome {
+    /// The planted defect.
+    pub mutation: Mutation,
+    /// Whether the audits caught it (`true` is the only acceptable
+    /// answer).
+    pub detected: bool,
+    /// Labels of the audits that tripped.
+    pub tripped: Vec<String>,
+    /// The verdict the defective pipeline would have published — what the
+    /// audit saved us from.
+    pub mutated_verdict: Verdict,
+}
+
+/// The full self-check: the clean pipeline must audit clean, and every
+/// planted mutation must be detected.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SelfCheckReport {
+    /// The ε used for the target perturbations.
+    pub epsilon: f64,
+    /// Audit findings against the unmutated judgement (must be empty).
+    pub clean_findings: Vec<AuditFinding>,
+    /// Per-mutation outcomes, in [`Mutation::ALL`] order.
+    pub outcomes: Vec<SelfCheckOutcome>,
+}
+
+impl SelfCheckReport {
+    /// True when the clean pipeline audited clean *and* every mutation
+    /// was detected — the only state in which the harness vouches for its
+    /// own verdicts.
+    pub fn all_detected(&self) -> bool {
+        self.clean_findings.is_empty() && self.outcomes.iter().all(|o| o.detected)
+    }
+}
+
+/// Runs the complete mutation self-check over raw per-trial losses.
+///
+/// # Errors
+///
+/// Returns [`ConformError::InvalidConfig`] for a non-positive `epsilon`
+/// or empty losses, and propagates statistics errors.
+pub fn self_check(
+    losses: &[f64],
+    spec: &QualitySpec,
+    epsilon: f64,
+    test_alpha: f64,
+) -> Result<SelfCheckReport> {
+    if !epsilon.is_finite() || epsilon <= 0.0 {
+        return Err(ConformError::InvalidConfig {
+            parameter: "epsilon",
+            constraint: "finite and > 0",
+        });
+    }
+    let clean_findings = audit(&judge(losses, spec, None, epsilon)?, losses, spec)?;
+    let mut outcomes = Vec::with_capacity(Mutation::ALL.len());
+    for mutation in Mutation::ALL {
+        let judgement = judge(losses, spec, Some(mutation), epsilon)?;
+        let findings = audit(&judgement, losses, spec)?;
+        outcomes.push(SelfCheckOutcome {
+            mutation,
+            detected: !findings.is_empty(),
+            tripped: findings.iter().map(|f| f.check.clone()).collect(),
+            mutated_verdict: verdict_for(&judgement, spec, test_alpha),
+        });
+    }
+    Ok(SelfCheckReport {
+        epsilon,
+        clean_findings,
+        outcomes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> QualitySpec {
+        QualitySpec::paper_default(0.05).unwrap()
+    }
+
+    fn losses(successes: usize, violations: usize) -> Vec<f64> {
+        let mut v = vec![0.01; successes];
+        v.extend(std::iter::repeat_n(0.20, violations));
+        v
+    }
+
+    #[test]
+    fn clean_judgement_audits_clean() {
+        let l = losses(95, 5);
+        let j = judge(&l, &spec(), None, 0.005).unwrap();
+        assert_eq!(j.successes, 95);
+        assert_eq!(j.violations, 5);
+        assert!(audit(&j, &l, &spec()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn every_mutation_detected_on_typical_losses() {
+        let report = self_check(&losses(95, 5), &spec(), 0.005, 0.05).unwrap();
+        assert!(report.all_detected(), "{report:?}");
+    }
+
+    #[test]
+    fn every_mutation_detected_with_zero_violations() {
+        // The off-by-one mutation must not vanish when there is no
+        // violation to drop.
+        let report = self_check(&losses(50, 0), &spec(), 0.005, 0.05).unwrap();
+        assert!(report.all_detected(), "{report:?}");
+    }
+
+    #[test]
+    fn every_mutation_detected_with_all_violations() {
+        let report = self_check(&losses(0, 50), &spec(), 0.005, 0.05).unwrap();
+        assert!(report.all_detected(), "{report:?}");
+    }
+
+    #[test]
+    fn target_mutations_even_without_straddling_losses() {
+        // No loss falls between q and q±ε, so the success count does not
+        // change — the bit-exact target echo must still catch it.
+        let l = vec![0.001; 30];
+        let report = self_check(&l, &spec(), 1e-9, 0.05).unwrap();
+        assert!(report.all_detected(), "{report:?}");
+    }
+
+    #[test]
+    fn verdicts_follow_the_binomial_test() {
+        let s = spec();
+        // 100/100 at a 90% certificate: holds.
+        let j = judge(&losses(100, 0), &s, None, 0.005).unwrap();
+        assert_eq!(verdict_for(&j, &s, 0.05), Verdict::Holds);
+        // 88/100: short of 90% but consistent with it.
+        let j = judge(&losses(88, 12), &s, None, 0.005).unwrap();
+        assert_eq!(verdict_for(&j, &s, 0.05), Verdict::Marginal);
+        // 70/100: refuted.
+        let j = judge(&losses(70, 30), &s, None, 0.005).unwrap();
+        assert_eq!(verdict_for(&j, &s, 0.05), Verdict::Violated);
+    }
+
+    #[test]
+    fn self_check_rejects_bad_epsilon() {
+        assert!(self_check(&losses(10, 0), &spec(), 0.0, 0.05).is_err());
+        assert!(self_check(&losses(10, 0), &spec(), f64::NAN, 0.05).is_err());
+        assert!(judge(&[], &spec(), None, 0.005).is_err());
+    }
+}

@@ -1,0 +1,224 @@
+//! The Monte-Carlo guarantee validator.
+//!
+//! Draws `M` unseen datasets from the conformance seed space, runs each
+//! through the full system simulator under the deployed table classifier,
+//! and tests the observed success fraction against the certified
+//! `(success-rate, confidence)` pair.
+
+use crate::report::{GuaranteeReport, TrialRecord};
+use crate::selfcheck::{judge, verdict_for};
+use crate::{ConformError, Result, CONFORM_SEED_BASE};
+use mithra_axbench::dataset::DatasetScale;
+use mithra_core::parallel::par_map_indexed;
+use mithra_core::pipeline::Compiled;
+use mithra_core::profile::DatasetProfile;
+use mithra_core::threshold::QualitySpec;
+use mithra_sim::system::{run, RunHooks, RunResult, SimOptions};
+
+/// Configuration for one conformance run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValidatorConfig {
+    /// Number of unseen Monte-Carlo trials `M`.
+    pub trials: usize,
+    /// First dataset seed; trial `i` uses `seed_base + i`. Defaults to
+    /// [`CONFORM_SEED_BASE`], which no other subsystem draws from.
+    pub seed_base: u64,
+    /// Dataset scale for the generated trials.
+    pub scale: DatasetScale,
+    /// Worker threads for the trial fan-out (`None` = all cores). The
+    /// report is bit-identical at every setting.
+    pub threads: Option<usize>,
+    /// Confidence of the harness's own binomial test: a certificate is
+    /// declared [`Verdict::Violated`](crate::report::Verdict::Violated)
+    /// only when the exact test rejects at significance
+    /// `1 - test_confidence`.
+    pub test_confidence: f64,
+}
+
+impl Default for ValidatorConfig {
+    fn default() -> Self {
+        ValidatorConfig {
+            trials: 100,
+            seed_base: CONFORM_SEED_BASE,
+            scale: DatasetScale::Full,
+            threads: None,
+            test_confidence: 0.95,
+        }
+    }
+}
+
+impl ValidatorConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConformError::InvalidConfig`] when `trials` is zero or
+    /// `test_confidence` is outside `(0, 1)`.
+    pub fn check(&self) -> Result<()> {
+        if self.trials == 0 {
+            return Err(ConformError::InvalidConfig {
+                parameter: "trials",
+                constraint: "at least 1",
+            });
+        }
+        if !self.test_confidence.is_finite()
+            || self.test_confidence <= 0.0
+            || self.test_confidence >= 1.0
+        {
+            return Err(ConformError::InvalidConfig {
+                parameter: "test_confidence",
+                constraint: "strictly between 0 and 1",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Validates a certified guarantee on `config.trials` unseen datasets
+/// generated on the fly from the conformance seed space.
+///
+/// Each trial profiles a fresh dataset, simulates it under the deployed
+/// table classifier, and scores final application quality. The fan-out
+/// runs under [`par_map_indexed`] and the fold walks trial indices in
+/// order, so the report is bit-identical at any thread count.
+///
+/// # Errors
+///
+/// Returns [`ConformError::InvalidConfig`] for a bad configuration and
+/// propagates simulator and statistics errors.
+pub fn validate(
+    compiled: &Compiled,
+    spec: &QualitySpec,
+    config: &ValidatorConfig,
+) -> Result<GuaranteeReport> {
+    config.check()?;
+    let trial_results = par_map_indexed(config.trials, config.threads, |i| {
+        let seed = config.seed_base + i as u64;
+        let dataset = compiled.function.dataset(seed, config.scale);
+        let profile = DatasetProfile::collect(&compiled.function, dataset);
+        run_trial(compiled, &profile)
+    });
+    score(compiled, spec, config, trial_results)
+}
+
+/// Validates a certified guarantee on pre-collected unseen profiles —
+/// the artifact-cache-backed path
+/// ([`mithra_core::session::profile_validation`] with the conformance
+/// seed base produces and caches exactly these).
+///
+/// `config.trials` and `config.seed_base` are ignored; the profiles
+/// define both. Scoring and determinism are identical to [`validate`].
+///
+/// # Errors
+///
+/// Returns [`ConformError::InvalidConfig`] for an empty profile slice or
+/// a bad `test_confidence`, and propagates simulator and statistics
+/// errors.
+pub fn validate_profiles(
+    compiled: &Compiled,
+    spec: &QualitySpec,
+    profiles: &[DatasetProfile],
+    config: &ValidatorConfig,
+) -> Result<GuaranteeReport> {
+    ValidatorConfig {
+        trials: profiles.len(),
+        ..*config
+    }
+    .check()?;
+    let trial_results = par_map_indexed(profiles.len(), config.threads, |i| {
+        run_trial(compiled, &profiles[i])
+    });
+    score(compiled, spec, config, trial_results)
+}
+
+/// One trial: simulate a profile under a fresh clone of the deployed
+/// table classifier (per-trial clones keep online updates from leaking
+/// state across datasets — and across threads).
+fn run_trial(
+    compiled: &Compiled,
+    profile: &DatasetProfile,
+) -> std::result::Result<(u64, RunResult), mithra_sim::SimError> {
+    let mut classifier = compiled.table.clone();
+    let result = run(
+        compiled,
+        profile,
+        &mut classifier,
+        &SimOptions::default(),
+        RunHooks::none(),
+    )?;
+    Ok((profile.dataset().seed(), result))
+}
+
+/// Folds per-trial results (in trial-index order) into the report.
+fn score(
+    compiled: &Compiled,
+    spec: &QualitySpec,
+    config: &ValidatorConfig,
+    trial_results: Vec<std::result::Result<(u64, RunResult), mithra_sim::SimError>>,
+) -> Result<GuaranteeReport> {
+    let mut trial_records = Vec::with_capacity(trial_results.len());
+    let mut losses = Vec::with_capacity(trial_results.len());
+    let mut invocation_rate_sum = 0.0;
+    for trial in trial_results {
+        let (dataset_seed, result) = trial?;
+        losses.push(result.quality_loss);
+        invocation_rate_sum += result.invocation_rate();
+        trial_records.push(TrialRecord {
+            dataset_seed,
+            quality_loss: result.quality_loss,
+            invocation_rate: result.invocation_rate(),
+            met_target: result.quality_loss <= spec.max_quality_loss,
+        });
+    }
+    // The published numbers come from the same judge() the mutation
+    // self-check exercises: there is exactly one verdict code path.
+    let judgement = judge(&losses, spec, None, f64::EPSILON)?;
+    let verdict = verdict_for(&judgement, spec, 1.0 - config.test_confidence);
+    debug_assert_eq!(
+        judgement.successes,
+        trial_records.iter().filter(|t| t.met_target).count() as u64
+    );
+    Ok(GuaranteeReport {
+        benchmark: compiled.function.benchmark().name().to_string(),
+        quality_target: spec.max_quality_loss,
+        target_rate: spec.success_rate,
+        confidence: spec.confidence.level(),
+        certified_rate: compiled.threshold.certified_rate,
+        trials: judgement.trials,
+        successes: judgement.successes,
+        observed_rate: judgement.successes as f64 / judgement.trials as f64,
+        unseen_lower_bound: judgement.unseen_bound,
+        p_value: judgement.p_value,
+        verdict,
+        mean_invocation_rate: invocation_rate_sum / trial_records.len() as f64,
+        trial_records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        assert!(ValidatorConfig::default().check().is_ok());
+        assert!(ValidatorConfig {
+            trials: 0,
+            ..ValidatorConfig::default()
+        }
+        .check()
+        .is_err());
+        assert!(ValidatorConfig {
+            test_confidence: 1.0,
+            ..ValidatorConfig::default()
+        }
+        .check()
+        .is_err());
+        assert!(ValidatorConfig {
+            test_confidence: f64::NAN,
+            ..ValidatorConfig::default()
+        }
+        .check()
+        .is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! Integration pins for the conformance harness:
+//!
+//! * the report is **bit-identical** at `--threads 1/2/4` (serialized
+//!   comparison, so every f64 is compared by its exact bytes);
+//! * every planted mutation is detected on real Monte-Carlo losses from
+//!   an actual compiled artifact, not just synthetic vectors;
+//! * the conformance seed space is disjoint from the seeds the compiler
+//!   consumed.
+
+use mithra_axbench::benchmark::Benchmark;
+use mithra_axbench::dataset::DatasetScale;
+use mithra_axbench::suite;
+use mithra_conform::{
+    selfcheck::self_check, validate, Mutation, ValidatorConfig, Verdict, CONFORM_SEED_BASE,
+};
+use mithra_core::pipeline::{compile, CompileConfig, Compiled};
+use mithra_core::threshold::QualitySpec;
+use std::sync::Arc;
+
+const TRIALS: usize = 24;
+
+fn compiled_smoke(name: &str) -> Compiled {
+    let bench: Arc<dyn Benchmark> = suite::by_name(name).unwrap().into();
+    compile(bench, &CompileConfig::smoke()).unwrap()
+}
+
+fn smoke_validator(threads: usize) -> ValidatorConfig {
+    ValidatorConfig {
+        trials: TRIALS,
+        scale: DatasetScale::Smoke,
+        threads: Some(threads),
+        ..ValidatorConfig::default()
+    }
+}
+
+#[test]
+fn report_is_bit_identical_across_thread_counts() {
+    let compiled = compiled_smoke("inversek2j");
+    let spec = QualitySpec::paper_default(0.10).unwrap();
+    let reports: Vec<String> = [1, 2, 4]
+        .iter()
+        .map(|&threads| {
+            let report = validate(&compiled, &spec, &smoke_validator(threads)).unwrap();
+            serde_json::to_string(&report).unwrap()
+        })
+        .collect();
+    assert_eq!(reports[0], reports[1], "threads=1 vs threads=2");
+    assert_eq!(reports[0], reports[2], "threads=1 vs threads=4");
+}
+
+#[test]
+fn report_structure_is_coherent() {
+    let compiled = compiled_smoke("inversek2j");
+    let spec = QualitySpec::paper_default(0.10).unwrap();
+    let report = validate(&compiled, &spec, &smoke_validator(2)).unwrap();
+
+    assert_eq!(report.benchmark, "inversek2j");
+    assert_eq!(report.trials, TRIALS as u64);
+    assert_eq!(report.trial_records.len(), TRIALS);
+    // Trials walk the conformance seed space in order.
+    for (i, t) in report.trial_records.iter().enumerate() {
+        assert_eq!(t.dataset_seed, CONFORM_SEED_BASE + i as u64);
+        assert_eq!(t.met_target, t.quality_loss <= report.quality_target);
+    }
+    let successes = report.trial_records.iter().filter(|t| t.met_target).count() as u64;
+    assert_eq!(report.successes, successes);
+    assert_eq!(
+        report.observed_rate,
+        successes as f64 / TRIALS as f64,
+        "observed rate must be derived from the recorded trials"
+    );
+    assert!(report.p_value > 0.0 && report.p_value <= 1.0);
+    assert!(report.unseen_lower_bound >= 0.0 && report.unseen_lower_bound <= 1.0);
+    // The verdict rule, restated independently.
+    let expected = if report.observed_rate >= report.target_rate {
+        Verdict::Holds
+    } else if report.p_value >= 0.05 {
+        Verdict::Marginal
+    } else {
+        Verdict::Violated
+    };
+    assert_eq!(report.verdict, expected);
+    assert!(report.summary_line().starts_with("inversek2j: "));
+}
+
+#[test]
+fn every_mutation_detected_on_real_losses() {
+    let compiled = compiled_smoke("sobel");
+    let spec = QualitySpec::paper_default(0.10).unwrap();
+    let report = validate(&compiled, &spec, &smoke_validator(2)).unwrap();
+    let losses: Vec<f64> = report
+        .trial_records
+        .iter()
+        .map(|t| t.quality_loss)
+        .collect();
+
+    let check = self_check(&losses, &spec, 0.005, 0.05).unwrap();
+    assert!(
+        check.clean_findings.is_empty(),
+        "the unmutated pipeline must audit clean: {:?}",
+        check.clean_findings
+    );
+    assert_eq!(check.outcomes.len(), Mutation::ALL.len());
+    for outcome in &check.outcomes {
+        assert!(
+            outcome.detected,
+            "planted mutation {:?} escaped the audits",
+            outcome.mutation
+        );
+    }
+    assert!(check.all_detected());
+}
+
+#[test]
+fn conform_seed_space_is_disjoint_from_compile_and_validation_seeds() {
+    // Compile seeds start at 0, figure-harness validation at 1,000,000,
+    // serving load generation at 2,000,000. The conformance base sits
+    // strictly above all of them, and a full-size run stays inside its
+    // own window.
+    assert_eq!(CONFORM_SEED_BASE, 3_000_000);
+    let largest_conform_seed = CONFORM_SEED_BASE + 999;
+    assert!(
+        largest_conform_seed < 7_000_000,
+        "extension tests start at 7,000,000"
+    );
+}

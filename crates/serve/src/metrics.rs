@@ -111,6 +111,40 @@ pub struct EndpointCounters {
 }
 
 impl EndpointCounters {
+    /// Audits the counter set's internal invariants, returning one message
+    /// per violation (empty means consistent).
+    ///
+    /// The invariants are structural, not statistical: the latency
+    /// histogram records exactly the served invocations, so its bucket sum
+    /// must equal `served`; and every served request ran exactly one of
+    /// the two paths, so `approx + fallback` must equal `served`. Both
+    /// survive [`absorb`](Self::absorb), which is how the conformance
+    /// harness and the serve tests catch a shard whose delta was dropped
+    /// or double-counted.
+    pub fn consistency_errors(&self) -> Vec<String> {
+        let mut errors = Vec::new();
+        let latency_total = self.latency.total();
+        if latency_total != self.served {
+            errors.push(format!(
+                "latency histogram sums to {latency_total} but served = {}",
+                self.served
+            ));
+        }
+        if self.approx + self.fallback != self.served {
+            errors.push(format!(
+                "approx {} + fallback {} != served {}",
+                self.approx, self.fallback, self.served
+            ));
+        }
+        if self.watchdog.violations > self.watchdog.samples {
+            errors.push(format!(
+                "watchdog violations {} exceed samples {}",
+                self.watchdog.violations, self.watchdog.samples
+            ));
+        }
+        errors
+    }
+
     /// Folds a worker's sub-batch delta into the registry entry — the
     /// single locked update a worker makes per sub-batch.
     pub fn absorb(&mut self, delta: &EndpointCounters) {
@@ -146,6 +180,24 @@ pub struct EndpointMetrics {
 pub struct MetricsSnapshot {
     /// Per-endpoint metrics, in endpoint registration order.
     pub endpoints: Vec<EndpointMetrics>,
+}
+
+impl MetricsSnapshot {
+    /// Audits every endpoint's counters (see
+    /// [`EndpointCounters::consistency_errors`]); messages are prefixed
+    /// with the endpoint name. Empty means the whole snapshot is
+    /// internally consistent.
+    pub fn consistency_errors(&self) -> Vec<String> {
+        self.endpoints
+            .iter()
+            .flat_map(|e| {
+                e.counters
+                    .consistency_errors()
+                    .into_iter()
+                    .map(move |msg| format!("{}: {msg}", e.name))
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,196 @@
+//! Metrics-registry consistency: the latency histogram of every endpoint
+//! snapshot must sum to exactly that endpoint's served counter, the
+//! served/approx/fallback accounting must balance, and the registry merge
+//! ([`EndpointCounters::absorb`]) must be associative — the shard fold
+//! order a scheduler happens to pick can never change the exported
+//! numbers.
+
+use mithra_axbench::benchmark::Benchmark;
+use mithra_axbench::dataset::DatasetScale;
+use mithra_axbench::suite;
+use mithra_core::pipeline::{compile, CompileConfig};
+use mithra_core::profile::DatasetProfile;
+use mithra_serve::metrics::{
+    EndpointCounters, LatencyHistogram, WatchdogStats, LATENCY_BUCKET_BOUNDS,
+};
+use mithra_serve::{EndpointSpec, ServeConfig, ServeEngine};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A served engine snapshot holds the structural invariants end-to-end:
+/// per endpoint, histogram bucket sum == served and approx + fallback ==
+/// served, across multi-worker sharded execution.
+#[test]
+fn snapshot_histogram_sum_equals_served_counter() {
+    let bench: Arc<dyn Benchmark> = suite::by_name("sobel").unwrap().into();
+    let compiled = Arc::new(compile(bench, &CompileConfig::smoke()).unwrap());
+    let profile = DatasetProfile::collect(
+        &compiled.function,
+        compiled.function.dataset(42, DatasetScale::Smoke),
+    );
+    let invocations = profile.invocation_count();
+    let engine = ServeEngine::start(
+        vec![
+            EndpointSpec {
+                name: "sobel-a".into(),
+                compiled: Arc::clone(&compiled),
+                profile: profile.clone(),
+            },
+            EndpointSpec {
+                name: "sobel-b".into(),
+                compiled: Arc::clone(&compiled),
+                profile: profile.clone(),
+            },
+        ],
+        &ServeConfig {
+            workers: 4,
+            batch: 8,
+            queue_depth: 64,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    // Interleave the two endpoints so sub-batches mix at the workers.
+    for i in 0..invocations {
+        engine.submit_or_wait(0, i).unwrap();
+        engine.submit_or_wait(1, i).unwrap();
+    }
+    let report = engine.finish().unwrap();
+    let snapshot = report.snapshot();
+
+    assert_eq!(snapshot.endpoints.len(), 2);
+    for endpoint in &snapshot.endpoints {
+        let c = &endpoint.counters;
+        assert_eq!(c.served, invocations as u64, "{}", endpoint.name);
+        assert_eq!(
+            c.latency.total(),
+            c.served,
+            "{}: histogram must sum to the served counter",
+            endpoint.name
+        );
+        assert_eq!(
+            c.approx + c.fallback,
+            c.served,
+            "{}: every served request ran exactly one path",
+            endpoint.name
+        );
+    }
+    let errors = snapshot.consistency_errors();
+    assert!(errors.is_empty(), "snapshot inconsistent: {errors:?}");
+}
+
+#[test]
+fn consistency_errors_flag_planted_defects() {
+    let mut c = EndpointCounters {
+        served: 3,
+        approx: 2,
+        fallback: 1,
+        ..EndpointCounters::default()
+    };
+    for _ in 0..3 {
+        c.latency.record(100.0);
+    }
+    assert!(c.consistency_errors().is_empty());
+
+    // Drop a histogram sample: the sum no longer matches served.
+    c.latency.counts[1] -= 1;
+    assert_eq!(c.consistency_errors().len(), 1);
+    c.latency.counts[1] += 1;
+
+    // Double-count an approximation: path accounting no longer balances.
+    c.approx += 1;
+    assert_eq!(c.consistency_errors().len(), 1);
+    c.approx -= 1;
+
+    // More sampled violations than samples is impossible.
+    c.watchdog.violations = 5;
+    assert_eq!(c.consistency_errors().len(), 1);
+}
+
+/// Materializes arbitrary counters from flat generated values: 11 scalar
+/// counters followed by one histogram count per bucket.
+fn counters_from(fields: &[u64]) -> EndpointCounters {
+    let (scalars, hist) = fields.split_at(11);
+    EndpointCounters {
+        served: scalars[0],
+        approx: scalars[1],
+        fallback: scalars[2],
+        rejected_queue_full: scalars[3],
+        rejected_invalid: scalars[4],
+        duplicates: scalars[5],
+        config_bursts: scalars[6],
+        latency: LatencyHistogram {
+            counts: hist.to_vec(),
+        },
+        watchdog: WatchdogStats {
+            samples: scalars[7],
+            violations: scalars[8],
+            breaches: scalars[9],
+            recoveries: scalars[10],
+        },
+    }
+}
+
+const COUNTER_FIELDS: usize = 11 + LATENCY_BUCKET_BOUNDS.len() + 1;
+
+proptest! {
+    #[test]
+    fn absorb_is_associative(
+        fa in prop::collection::vec(0u64..10_000, COUNTER_FIELDS),
+        fb in prop::collection::vec(0u64..10_000, COUNTER_FIELDS),
+        fc in prop::collection::vec(0u64..10_000, COUNTER_FIELDS),
+    ) {
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c): shard deltas can fold in any
+        // grouping the scheduler produces.
+        let (a, b, c) = (counters_from(&fa), counters_from(&fb), counters_from(&fc));
+        let mut left = a.clone();
+        left.absorb(&b);
+        left.absorb(&c);
+
+        let mut bc = b.clone();
+        bc.absorb(&c);
+        let mut right = a.clone();
+        right.absorb(&bc);
+
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn absorb_is_commutative_from_empty(
+        fa in prop::collection::vec(0u64..10_000, COUNTER_FIELDS),
+        fb in prop::collection::vec(0u64..10_000, COUNTER_FIELDS),
+    ) {
+        let (a, b) = (counters_from(&fa), counters_from(&fb));
+        let mut ab = EndpointCounters::default();
+        ab.absorb(&a);
+        ab.absorb(&b);
+        let mut ba = EndpointCounters::default();
+        ba.absorb(&b);
+        ba.absorb(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn absorb_preserves_consistency(
+        fa in prop::collection::vec(0u64..1000, COUNTER_FIELDS),
+        fb in prop::collection::vec(0u64..1000, COUNTER_FIELDS),
+    ) {
+        // Merging two individually consistent deltas cannot create an
+        // inconsistency: every invariant is a linear relation.
+        let mut a = counters_from(&fa);
+        let mut b = counters_from(&fb);
+        for c in [&mut a, &mut b] {
+            // Repair the generated counters into a consistent state.
+            c.served = c.approx + c.fallback;
+            c.latency = LatencyHistogram::default();
+            for _ in 0..c.served {
+                c.latency.record(128.0);
+            }
+            c.watchdog.violations = c.watchdog.violations.min(c.watchdog.samples);
+        }
+        prop_assert!(a.consistency_errors().is_empty());
+        let mut merged = a.clone();
+        merged.absorb(&b);
+        prop_assert!(merged.consistency_errors().is_empty(), "{:?}", merged.consistency_errors());
+    }
+}

@@ -77,7 +77,9 @@ impl Beta {
 
     /// Quantile function (inverse CDF) at probability `p ∈ [0, 1]`.
     ///
-    /// Uses bisection to bracket the root, then Newton steps (the PDF is the
+    /// `p = 0` and `p = 1` return the exact support endpoints, and shapes
+    /// with `a = 1` or `b = 1` use the exact closed form. Otherwise uses
+    /// bisection to bracket the root, then Newton steps (the PDF is the
     /// analytic derivative of the CDF) with fallback to bisection whenever a
     /// Newton step leaves the bracket. Converges to ~1e-12 in `x`.
     ///
@@ -99,6 +101,17 @@ impl Beta {
         }
         if p == 1.0 {
             return Ok(1.0);
+        }
+        // Closed forms when one shape is 1: Beta(a, 1) has CDF x^a and
+        // Beta(1, b) has CDF 1 − (1−x)^b. These are exactly the shapes the
+        // Clopper–Pearson bounds use at k = n and k = 0, where `a` (the
+        // trial count) can be large enough to make the general iteration
+        // ill-conditioned — the closed form is exact at any scale.
+        if self.b == 1.0 {
+            return Ok(p.powf(1.0 / self.a));
+        }
+        if self.a == 1.0 {
+            return Ok(1.0 - (1.0 - p).powf(1.0 / self.b));
         }
 
         const MAX_ITER: u32 = 200;

@@ -117,6 +117,44 @@ impl Binomial {
     }
 }
 
+/// Exact one-sided binomial test of `H0: p >= hypothesized_rate` against
+/// `H1: p < hypothesized_rate`, given `successes` out of `trials`.
+///
+/// Returns the p-value `P[X <= successes]` for `X ~ Binomial(trials,
+/// hypothesized_rate)` — the worst case over the composite null, attained
+/// at its boundary. A small value is strong evidence that the true success
+/// probability falls short of the hypothesized rate. This is the test the
+/// conformance harness applies to a certified `(success-rate, confidence)`
+/// pair: the certificate claims the rate, the unseen-dataset sample either
+/// refutes it or fails to.
+///
+/// Exact via the incomplete-beta identity, no summation loss for large
+/// `trials`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidArgument`] if `trials == 0`,
+/// `successes > trials`, or `hypothesized_rate` is outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// # use mithra_stats::binomial::one_sided_p_value;
+/// // 80 of 100 unseen datasets met the target; the certificate claimed
+/// // 90%. How surprising is an 80/100 sample if 90% were the truth?
+/// let p = one_sided_p_value(80, 100, 0.90)?;
+/// assert!(p < 0.01); // very: the claim is refuted
+/// // 88 of 100 is entirely consistent with a 90% rate.
+/// assert!(one_sided_p_value(88, 100, 0.90)? > 0.2);
+/// # Ok::<(), mithra_stats::StatsError>(())
+/// ```
+pub fn one_sided_p_value(successes: u64, trials: u64, hypothesized_rate: f64) -> Result<f64> {
+    if successes > trials {
+        return Err(StatsError::SuccessesExceedTrials { successes, trials });
+    }
+    Binomial::new(trials, hypothesized_rate)?.cdf(successes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +207,44 @@ mod tests {
         let lower = lower_bound(k, n, conf).unwrap();
         let at_bound = Binomial::new(n, lower).unwrap().sf(k).unwrap();
         assert!((at_bound - 0.05).abs() < 1e-6, "P[X>=k] = {at_bound}");
+    }
+
+    #[test]
+    fn one_sided_p_value_matches_cdf_summation() {
+        let (k, n, rate) = (7u64, 20u64, 0.6);
+        let b = Binomial::new(n, rate).unwrap();
+        let direct: f64 = (0..=k).map(|i| b.pmf(i).unwrap()).sum();
+        let p = one_sided_p_value(k, n, rate).unwrap();
+        assert!((p - direct).abs() < 1e-12, "{p} vs {direct}");
+    }
+
+    #[test]
+    fn one_sided_p_value_monotone_in_successes() {
+        // More observed successes can only make "p >= rate" less
+        // surprising.
+        let mut prev = 0.0;
+        for k in 0..=50 {
+            let p = one_sided_p_value(k, 50, 0.9).unwrap();
+            assert!(p >= prev, "p-value decreased at k={k}");
+            prev = p;
+        }
+        assert!((prev - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_sided_p_value_degenerate_rates() {
+        // rate = 0: any sample is consistent (p-value 1).
+        assert_eq!(one_sided_p_value(0, 10, 0.0).unwrap(), 1.0);
+        // rate = 1: any miss at all is an exact refutation.
+        assert_eq!(one_sided_p_value(9, 10, 1.0).unwrap(), 0.0);
+        assert_eq!(one_sided_p_value(10, 10, 1.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn one_sided_p_value_validation() {
+        assert!(one_sided_p_value(5, 0, 0.5).is_err());
+        assert!(one_sided_p_value(11, 10, 0.5).is_err());
+        assert!(one_sided_p_value(5, 10, 1.5).is_err());
     }
 
     #[test]

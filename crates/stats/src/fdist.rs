@@ -82,23 +82,29 @@ impl FDistribution {
         Beta::new(self.d1 / 2.0, self.d2 / 2.0)?.cdf(y)
     }
 
-    /// Quantile function (the F-critical value) at probability `p ∈ [0, 1)`.
+    /// Quantile function (the F-critical value) at probability `p ∈ [0, 1]`.
+    ///
+    /// The endpoints are exact: `p = 0` yields 0 and `p = 1` yields
+    /// `f64::INFINITY` — the F distribution has unbounded support, so the
+    /// upper endpoint of its support is the only faithful answer (never a
+    /// NaN, never an error for an in-range `p`).
     ///
     /// # Errors
     ///
-    /// Returns [`StatsError::InvalidArgument`] for `p` outside `[0, 1)`
-    /// (the F distribution has unbounded support, so `p = 1` has no finite
-    /// quantile).
+    /// Returns [`StatsError::InvalidArgument`] for `p` outside `[0, 1]`.
     pub fn quantile(&self, p: f64) -> Result<f64> {
-        if !(0.0..1.0).contains(&p) {
+        if !(0.0..=1.0).contains(&p) || !p.is_finite() {
             return Err(StatsError::InvalidArgument {
                 parameter: "p",
-                constraint: "0 <= p < 1",
+                constraint: "0 <= p <= 1",
                 value: p,
             });
         }
         if p == 0.0 {
             return Ok(0.0);
+        }
+        if p == 1.0 {
+            return Ok(f64::INFINITY);
         }
         let y = Beta::new(self.d1 / 2.0, self.d2 / 2.0)?.quantile(p)?;
         // Invert y = d1 x / (d1 x + d2).
@@ -146,6 +152,7 @@ mod tests {
         assert!(FDistribution::new(1.0, -1.0).is_err());
         let f = FDistribution::new(2.0, 2.0).unwrap();
         assert!(f.cdf(-1.0).is_err());
-        assert!(f.quantile(1.0).is_err());
+        assert!(f.quantile(1.5).is_err());
+        assert!(f.quantile(-0.1).is_err());
     }
 }

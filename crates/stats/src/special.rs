@@ -142,9 +142,14 @@ pub fn betainc(x: f64, a: f64, b: f64) -> Result<f64> {
 
 /// Continued-fraction evaluation for the incomplete beta (Lentz's method).
 fn beta_cf(x: f64, a: f64, b: f64) -> Result<f64> {
-    const MAX_ITER: u32 = 300;
     const EPS: f64 = 1e-15;
     const TINY: f64 = 1e-300;
+    // The fraction settles in a few dozen terms for small shapes but needs
+    // on the order of sqrt(max(a, b)) terms when x sits near the symmetry
+    // switch point a/(a+b) with large shapes (e.g. a confidence bound over
+    // hundreds of thousands of trials), so the budget scales with the
+    // shapes instead of failing there.
+    let max_iter: u32 = 300 + (4.0 * a.max(b).sqrt()) as u32;
 
     let qab = a + b;
     let qap = a + 1.0;
@@ -157,7 +162,7 @@ fn beta_cf(x: f64, a: f64, b: f64) -> Result<f64> {
     d = 1.0 / d;
     let mut h = d;
 
-    for m in 1..=MAX_ITER {
+    for m in 1..=max_iter {
         let m = f64::from(m);
         let m2 = 2.0 * m;
 
@@ -194,7 +199,7 @@ fn beta_cf(x: f64, a: f64, b: f64) -> Result<f64> {
     }
     Err(StatsError::NoConvergence {
         kernel: "betainc continued fraction",
-        iterations: MAX_ITER,
+        iterations: max_iter,
     })
 }
 

@@ -6,6 +6,21 @@ use mithra_stats::descriptive::{geomean, mean, EmpiricalCdf};
 use mithra_stats::special::betainc;
 use proptest::prelude::*;
 
+/// `P[X <= k]` for `X ~ Binomial(n, p)` by direct summation with exact
+/// binomial coefficients — an independent oracle for coverage checks
+/// (exact in f64 for the `n <= 30` range it is used on).
+fn binomial_cdf_bruteforce(k: u64, n: u64, p: f64) -> f64 {
+    let mut acc = 0.0f64;
+    let mut choose = 1.0f64; // C(n, 0)
+    for i in 0..=k {
+        if i > 0 {
+            choose = choose * (n - i + 1) as f64 / i as f64;
+        }
+        acc += choose * p.powi(i as i32) * (1.0 - p).powi((n - i) as i32);
+    }
+    acc
+}
+
 proptest! {
     #[test]
     fn betainc_in_unit_interval(x in 0.0f64..=1.0, a in 0.01f64..50.0, b in 0.01f64..50.0) {
@@ -68,6 +83,53 @@ proptest! {
         let loose = lower_bound(k, n, Confidence::new(c1).unwrap()).unwrap();
         let tight = lower_bound(k, n, Confidence::new(c2).unwrap()).unwrap();
         prop_assert!(tight <= loose + 1e-12);
+    }
+
+    #[test]
+    fn upper_bound_monotone_in_successes(k in 0u64..150, extra in 1u64..150, c in 0.55f64..0.99) {
+        // One more observed success can never lower the upper bound.
+        let n = k + extra; // k + 1 <= n
+        let conf = Confidence::new(c).unwrap();
+        let at_k = upper_bound(k, n, conf).unwrap();
+        let at_k1 = upper_bound(k + 1, n, conf).unwrap();
+        prop_assert!(at_k1 >= at_k - 1e-12, "U({},{n})={at_k1} < U({k},{n})={at_k}", k + 1);
+    }
+
+    #[test]
+    fn upper_bound_nonincreasing_in_n_at_fixed_ratio(k in 1u64..40, extra in 1u64..40, m in 2u64..8, c in 0.55f64..0.99) {
+        // More evidence at the same observed rate tightens the interval:
+        // scaling (k, n) -> (mk, mn) cannot raise the upper bound.
+        let n = k + extra;
+        let conf = Confidence::new(c).unwrap();
+        let small = upper_bound(k, n, conf).unwrap();
+        let large = upper_bound(m * k, m * n, conf).unwrap();
+        prop_assert!(large <= small + 1e-12, "U({},{})={large} > U({k},{n})={small}", m * k, m * n);
+    }
+
+    #[test]
+    fn small_n_coverage_matches_bruteforce_enumeration(n in 1u64..=30, k_raw in 0u64..=30, c in 0.55f64..0.99) {
+        // The defining coverage property of the one-sided exact bounds,
+        // checked against an independent brute-force binomial-CDF
+        // enumeration: at the upper bound U(k, n), P[X <= k] = alpha
+        // (for k < n), and at the lower bound L(k, n), P[X >= k] = alpha
+        // (for k > 0). The degenerate counts give the exact endpoints.
+        let k = k_raw % (n + 1);
+        let conf = Confidence::new(c).unwrap();
+        let alpha = conf.alpha();
+        let hi = upper_bound(k, n, conf).unwrap();
+        if k == n {
+            prop_assert_eq!(hi, 1.0);
+        } else {
+            let tail = binomial_cdf_bruteforce(k, n, hi);
+            prop_assert!((tail - alpha).abs() < 1e-8, "P[X<=k]={tail} at U({k},{n})={hi}, alpha={alpha}");
+        }
+        let lo = lower_bound(k, n, conf).unwrap();
+        if k == 0 {
+            prop_assert_eq!(lo, 0.0);
+        } else {
+            let tail = 1.0 - binomial_cdf_bruteforce(k - 1, n, lo);
+            prop_assert!((tail - alpha).abs() < 1e-8, "P[X>=k]={tail} at L({k},{n})={lo}, alpha={alpha}");
+        }
     }
 
     #[test]

@@ -1,0 +1,34 @@
+#!/bin/bash
+# Golden pin: re-runs a cheap subset of run_all.sh (inversek2j + sobel at
+# the full experiment scale) and byte-compares the per-benchmark output
+# lines against the committed results/*.txt. The content of a benchmark's
+# rows is independent of which other suite members ran; only the table
+# column padding depends on the widest name in the run, so space runs are
+# collapsed on both sides and the compare is byte-exact after that — any
+# change that perturbs a published digit or label fails here.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+R=results
+OUT=$(mktemp -d)
+trap 'rm -rf "$OUT"' EXIT
+BENCHES="inversek2j,sobel"
+
+pin() {
+  name=$1
+  cargo run --locked --release -q -p mithra-bench --bin "$name" -- \
+    --bench "$BENCHES" > "$OUT/$name.txt" 2> "$OUT/$name.log"
+  for b in ${BENCHES//,/ }; do
+    grep "^$b" "$R/$name.txt" | tr -s ' ' > "$OUT/$name.$b.expected"
+    grep "^$b" "$OUT/$name.txt" | tr -s ' ' > "$OUT/$name.$b.actual"
+    if ! cmp -s "$OUT/$name.$b.expected" "$OUT/$name.$b.actual"; then
+      echo "GOLDEN PIN FAILED: $name/$b diverged from committed $R/$name.txt" >&2
+      diff -u "$OUT/$name.$b.expected" "$OUT/$name.$b.actual" >&2 || true
+      exit 1
+    fi
+    echo "pinned: $name/$b ($(wc -l < "$OUT/$name.$b.actual") lines byte-identical)"
+  done
+}
+
+pin table1_benchmarks
+pin fig01_error_cdf
+echo "golden pin OK"

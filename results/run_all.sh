@@ -26,4 +26,10 @@ run textA_sw_overhead
 # that faulted outputs register as violations (q10's lax thresholds mask
 # them); 30/8 datasets keep the three-rate sweep tractable.
 run figx_fault_robustness --scale full --datasets 30 --validation 8 --quality 5 --cache-dir target/mithra-cache
+# Conformance validation: does the certified guarantee actually hold on
+# unseen datasets? q5 is the paper's headline spec; 100 Monte-Carlo
+# trials give the exact binomial test enough power to flag a broken
+# certificate, and the mutation self-check must detect every planted
+# defect for the verdicts to count.
+run figy_guarantee_validation --scale full --quality 5 --cache-dir target/mithra-cache --out BENCH_conform.json
 echo ALL_DONE >> $R/progress.txt

@@ -11,6 +11,8 @@
 //! * [`axbench`] — the six-benchmark suite (Table I);
 //! * [`sim`] — the system-level timing/energy simulator;
 //! * [`stats`] — Clopper–Pearson exact intervals and friends;
+//! * [`conform`] — the Monte-Carlo conformance harness that re-proves
+//!   the certified guarantee on unseen datasets;
 //! * [`bdi`] — Base-Delta-Immediate compression.
 //!
 //! # Quickstart
@@ -48,6 +50,7 @@
 
 pub use mithra_axbench as axbench;
 pub use mithra_bdi as bdi;
+pub use mithra_conform as conform;
 pub use mithra_core as core;
 pub use mithra_npu as npu;
 pub use mithra_serve as serve;
