@@ -57,6 +57,11 @@ struct RunRecord {
     config_bursts: u64,
     watchdog_samples: u64,
     watchdog_breaches: u64,
+    /// Per-invocation latency percentiles in simulated cycles, from the
+    /// latency histograms of every endpoint merged (bucket upper bounds).
+    p50_cycles: u64,
+    p99_cycles: u64,
+    p999_cycles: u64,
 }
 
 /// One endpoint of a sweep (a single benchmark, or one member of the
@@ -193,6 +198,7 @@ impl Prepared {
             name: self.name.clone(),
             compiled: Arc::clone(&self.compiled),
             profile: self.profile.clone(),
+            routed: None,
         }
     }
 }
@@ -261,6 +267,7 @@ fn run_point(
     let mut config_bursts = 0;
     let mut watchdog_samples = 0;
     let mut watchdog_breaches = 0;
+    let mut merged = mithra_serve::EndpointCounters::default();
     for endpoint in &report.endpoints {
         let result = endpoint
             .result
@@ -273,6 +280,7 @@ fn run_point(
         config_bursts += endpoint.counters.config_bursts;
         watchdog_samples += endpoint.counters.watchdog.samples;
         watchdog_breaches += endpoint.counters.watchdog.breaches;
+        merged.absorb(&endpoint.counters);
     }
     assert_eq!(served as usize, n, "full coverage per engine run");
     RunRecord {
@@ -290,6 +298,9 @@ fn run_point(
         config_bursts,
         watchdog_samples,
         watchdog_breaches,
+        p50_cycles: merged.latency.percentile(0.50),
+        p99_cycles: merged.latency.percentile(0.99),
+        p999_cycles: merged.latency.percentile(0.999),
     }
 }
 

@@ -22,8 +22,15 @@
 //! code whose bugs produce plausible-looking output — it ships with a
 //! [mutation self-check](selfcheck): planted defects (a perturbed quality
 //! target, a swapped Clopper–Pearson bound direction, an off-by-one
-//! violation count) must each be *detected* by the harness's independent
-//! audits, or the harness refuses to vouch for itself.
+//! violation count, a violation blamed on the wrong pool member) must
+//! each be *detected* by the harness's independent audits, or the harness
+//! refuses to vouch for itself.
+//!
+//! Routed mixtures go through the same machinery: [`validate_routed`]
+//! draws the same unseen seeds, simulates each under the deployed router
+//! cascade, and charges every violation against the pool member that
+//! served with the worst error — the certificate is over the *mixture*,
+//! and the audit re-attributes blame per member.
 //!
 //! Trials fan out through [`mithra_core::parallel::par_map_indexed`] and
 //! fold in candidate (seed) order, so every report is bit-identical at any
@@ -40,7 +47,7 @@ pub mod validator;
 
 pub use report::{GuaranteeReport, TrialRecord, Verdict};
 pub use selfcheck::{Mutation, SelfCheckOutcome, SelfCheckReport};
-pub use validator::{validate, validate_profiles, ValidatorConfig};
+pub use validator::{validate, validate_profiles, validate_routed, ValidatorConfig};
 
 use std::fmt;
 

@@ -47,6 +47,10 @@ pub struct TrialRecord {
     pub invocation_rate: f64,
     /// Whether the run met the certified quality target.
     pub met_target: bool,
+    /// The pool member a violation of this trial is charged against —
+    /// the serving member with the worst error (0 on the binary path's
+    /// one-member mixture).
+    pub worst_route: usize,
 }
 
 /// The validator's full result for one benchmark.
@@ -79,6 +83,9 @@ pub struct GuaranteeReport {
     pub verdict: Verdict,
     /// Mean accelerator invocation rate across the trials.
     pub mean_invocation_rate: f64,
+    /// Violations attributed per pool member (one slot on the binary
+    /// path); sums to `trials - successes`.
+    pub route_violations: Vec<u64>,
     /// Per-trial records, in seed order.
     pub trial_records: Vec<TrialRecord>,
 }

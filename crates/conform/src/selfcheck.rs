@@ -36,15 +36,20 @@ pub enum Mutation {
     /// there are none to drop), shifting the success count the verdict
     /// and p-value are derived from.
     ViolationCountOffByOne,
+    /// Attribute one violation to the wrong pool member (or invent one
+    /// when there is nothing to misattribute) — the totals stay right,
+    /// but the routed mixture's per-member blame is silently wrong.
+    RouteMisattribution,
 }
 
 impl Mutation {
     /// Every mutation, in reporting order.
-    pub const ALL: [Mutation; 4] = [
+    pub const ALL: [Mutation; 5] = [
         Mutation::TargetPlusEpsilon,
         Mutation::TargetMinusEpsilon,
         Mutation::SwappedBoundDirection,
         Mutation::ViolationCountOffByOne,
+        Mutation::RouteMisattribution,
     ];
 
     /// Stable display label.
@@ -54,13 +59,14 @@ impl Mutation {
             Mutation::TargetMinusEpsilon => "target-eps",
             Mutation::SwappedBoundDirection => "swapped-bound",
             Mutation::ViolationCountOffByOne => "violations-off-by-one",
+            Mutation::RouteMisattribution => "route-misattribution",
         }
     }
 }
 
 /// The distilled verdict computation: everything the report derives from
 /// the raw losses, in one auditable bundle.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Judgement {
     /// The quality target successes were counted against.
     pub quality_target: f64,
@@ -70,6 +76,10 @@ pub struct Judgement {
     pub violations: u64,
     /// Total trials.
     pub trials: u64,
+    /// Violations attributed per pool member (the member whose error was
+    /// worst in the violating trial). A binary run is the one-member
+    /// mixture: a single slot holding every violation.
+    pub route_violations: Vec<u64>,
     /// The Clopper–Pearson bound reported for the unseen sample.
     pub unseen_bound: f64,
     /// The exact one-sided binomial p-value against the certified rate.
@@ -77,7 +87,8 @@ pub struct Judgement {
 }
 
 /// Computes a [`Judgement`] from raw per-trial losses, optionally with a
-/// planted [`Mutation`].
+/// planted [`Mutation`] — binary accept/reject is judged as the
+/// one-member mixture (see [`judge_routed`]).
 ///
 /// The clean path (`mutation = None`) is the one the validator publishes;
 /// the mutated paths exist only so [`audit`] can prove it would notice.
@@ -92,10 +103,51 @@ pub fn judge(
     mutation: Option<Mutation>,
     epsilon: f64,
 ) -> Result<Judgement> {
+    judge_routed(losses, &vec![0; losses.len()], 1, spec, mutation, epsilon)
+}
+
+/// Computes a [`Judgement`] over a routed mixture: `worst_routes[i]`
+/// names the pool member trial `i`'s violation is charged against (the
+/// member that served with the worst error), and the per-member tallies
+/// land in [`Judgement::route_violations`]. There is exactly one judging
+/// code path — [`judge`] is this function at `n_routes = 1`.
+///
+/// # Errors
+///
+/// Returns [`ConformError::InvalidConfig`] for empty losses, a
+/// `worst_routes` slice that does not pair 1:1 with `losses`, a zero
+/// `n_routes`, or an out-of-range route index; propagates statistics
+/// errors.
+pub fn judge_routed(
+    losses: &[f64],
+    worst_routes: &[usize],
+    n_routes: usize,
+    spec: &QualitySpec,
+    mutation: Option<Mutation>,
+    epsilon: f64,
+) -> Result<Judgement> {
     if losses.is_empty() {
         return Err(ConformError::InvalidConfig {
             parameter: "losses",
             constraint: "non-empty",
+        });
+    }
+    if worst_routes.len() != losses.len() {
+        return Err(ConformError::InvalidConfig {
+            parameter: "worst_routes",
+            constraint: "paired 1:1 with losses",
+        });
+    }
+    if n_routes == 0 {
+        return Err(ConformError::InvalidConfig {
+            parameter: "n_routes",
+            constraint: "at least 1",
+        });
+    }
+    if worst_routes.iter().any(|&r| r >= n_routes) {
+        return Err(ConformError::InvalidConfig {
+            parameter: "worst_routes",
+            constraint: "every index below n_routes",
         });
     }
     let trials = losses.len() as u64;
@@ -106,9 +158,32 @@ pub fn judge(
     };
     let mut successes = losses.iter().filter(|&&l| l <= quality_target).count() as u64;
     let mut violations = trials - successes;
+    let mut route_violations = vec![0u64; n_routes];
+    for (&loss, &route) in losses.iter().zip(worst_routes) {
+        if loss > quality_target {
+            route_violations[route] += 1;
+        }
+    }
     if mutation == Some(Mutation::ViolationCountOffByOne) {
         violations = if violations == 0 { 1 } else { violations - 1 };
         successes = trials - violations;
+    }
+    if mutation == Some(Mutation::RouteMisattribution) {
+        match route_violations.iter().position(|&v| v > 0) {
+            Some(r) => {
+                // Shift one violation to a different member — invent a
+                // phantom member when the pool has only one.
+                route_violations[r] -= 1;
+                if route_violations.len() == 1 {
+                    route_violations.push(1);
+                } else {
+                    let next = (r + 1) % route_violations.len();
+                    route_violations[next] += 1;
+                }
+            }
+            // Nothing to shift: invent a violation out of thin air.
+            None => route_violations[0] += 1,
+        }
     }
     let unseen_bound = if mutation == Some(Mutation::SwappedBoundDirection) {
         upper_bound(successes, trials, spec.confidence)?
@@ -121,6 +196,7 @@ pub fn judge(
         successes,
         violations,
         trials,
+        route_violations,
         unseen_bound,
         p_value,
     })
@@ -148,7 +224,23 @@ pub struct AuditFinding {
 }
 
 /// Recomputes every figure in `judgement` independently from the raw
-/// losses and the original spec, returning one finding per disagreement.
+/// losses and the original spec, returning one finding per disagreement —
+/// the binary entry point, treating the sample as a one-member mixture.
+///
+/// # Errors
+///
+/// Propagates statistics errors from the recomputations.
+pub fn audit(
+    judgement: &Judgement,
+    losses: &[f64],
+    spec: &QualitySpec,
+) -> Result<Vec<AuditFinding>> {
+    audit_routed(judgement, losses, &vec![0; losses.len()], spec)
+}
+
+/// Recomputes every figure in `judgement` independently from the raw
+/// losses, their per-trial violation attributions, and the original
+/// spec, returning one finding per disagreement.
 ///
 /// An empty result means the judgement is internally consistent with its
 /// inputs. Each audit is bit-exact — the recomputation follows the same
@@ -158,9 +250,10 @@ pub struct AuditFinding {
 /// # Errors
 ///
 /// Propagates statistics errors from the recomputations.
-pub fn audit(
+pub fn audit_routed(
     judgement: &Judgement,
     losses: &[f64],
+    worst_routes: &[usize],
     spec: &QualitySpec,
 ) -> Result<Vec<AuditFinding>> {
     let mut findings = Vec::new();
@@ -225,6 +318,44 @@ pub fn audit(
             ),
         });
     }
+    // 6. Re-attribute every violation from the raw (loss, worst-route)
+    //    pairs at the certified target: the per-member tallies must match
+    //    slot for slot (a claimed member beyond the recount's range is a
+    //    phantom and must tally zero)...
+    let route_count = judgement
+        .route_violations
+        .len()
+        .max(worst_routes.iter().copied().max().map_or(0, |m| m + 1));
+    let mut route_recount = vec![0u64; route_count];
+    for (&loss, &route) in losses.iter().zip(worst_routes) {
+        if loss > spec.max_quality_loss {
+            route_recount[route] += 1;
+        }
+    }
+    let mut claimed = judgement.route_violations.clone();
+    claimed.resize(route_count, 0);
+    if claimed != route_recount {
+        findings.push(AuditFinding {
+            check: "route-attribution".into(),
+            detail: format!(
+                "re-attributed per-member violations {route_recount:?}, \
+                 judgement claims {:?}",
+                judgement.route_violations
+            ),
+        });
+    }
+    // 7. ...and the per-member tallies must conserve the violation total.
+    let route_sum: u64 = judgement.route_violations.iter().sum();
+    if route_sum != judgement.violations {
+        findings.push(AuditFinding {
+            check: "route-conservation".into(),
+            detail: format!(
+                "per-member violations sum to {route_sum}, judgement \
+                 claims {} in total",
+                judgement.violations
+            ),
+        });
+    }
     Ok(findings)
 }
 
@@ -264,7 +395,9 @@ impl SelfCheckReport {
     }
 }
 
-/// Runs the complete mutation self-check over raw per-trial losses.
+/// Runs the complete mutation self-check over raw per-trial losses — the
+/// binary entry point (a one-member mixture, every violation charged to
+/// member 0).
 ///
 /// # Errors
 ///
@@ -276,17 +409,44 @@ pub fn self_check(
     epsilon: f64,
     test_alpha: f64,
 ) -> Result<SelfCheckReport> {
+    self_check_routed(losses, &vec![0; losses.len()], 1, spec, epsilon, test_alpha)
+}
+
+/// Runs the complete mutation self-check over a routed mixture's raw
+/// per-trial losses and violation attributions.
+///
+/// # Errors
+///
+/// Returns [`ConformError::InvalidConfig`] for a non-positive `epsilon`,
+/// empty losses, or a `worst_routes`/`n_routes` mismatch, and propagates
+/// statistics errors.
+pub fn self_check_routed(
+    losses: &[f64],
+    worst_routes: &[usize],
+    n_routes: usize,
+    spec: &QualitySpec,
+    epsilon: f64,
+    test_alpha: f64,
+) -> Result<SelfCheckReport> {
     if !epsilon.is_finite() || epsilon <= 0.0 {
         return Err(ConformError::InvalidConfig {
             parameter: "epsilon",
             constraint: "finite and > 0",
         });
     }
-    let clean_findings = audit(&judge(losses, spec, None, epsilon)?, losses, spec)?;
+    let clean = judge_routed(losses, worst_routes, n_routes, spec, None, epsilon)?;
+    let clean_findings = audit_routed(&clean, losses, worst_routes, spec)?;
     let mut outcomes = Vec::with_capacity(Mutation::ALL.len());
     for mutation in Mutation::ALL {
-        let judgement = judge(losses, spec, Some(mutation), epsilon)?;
-        let findings = audit(&judgement, losses, spec)?;
+        let judgement = judge_routed(
+            losses,
+            worst_routes,
+            n_routes,
+            spec,
+            Some(mutation),
+            epsilon,
+        )?;
+        let findings = audit_routed(&judgement, losses, worst_routes, spec)?;
         outcomes.push(SelfCheckOutcome {
             mutation,
             detected: !findings.is_empty(),
@@ -372,5 +532,64 @@ mod tests {
         assert!(self_check(&losses(10, 0), &spec(), 0.0, 0.05).is_err());
         assert!(self_check(&losses(10, 0), &spec(), f64::NAN, 0.05).is_err());
         assert!(judge(&[], &spec(), None, 0.005).is_err());
+    }
+
+    #[test]
+    fn binary_judge_is_the_one_member_mixture() {
+        let l = losses(95, 5);
+        let j = judge(&l, &spec(), None, 0.005).unwrap();
+        assert_eq!(j.route_violations, vec![5]);
+        let routed = judge_routed(&l, &vec![0; l.len()], 1, &spec(), None, 0.005).unwrap();
+        assert_eq!(j, routed);
+    }
+
+    #[test]
+    fn routed_judge_attributes_violations_per_member() {
+        // 95 successes then 5 violations, charged to members 2,1,2,0,2.
+        let l = losses(95, 5);
+        let mut routes = vec![0; 95];
+        routes.extend_from_slice(&[2, 1, 2, 0, 2]);
+        let j = judge_routed(&l, &routes, 3, &spec(), None, 0.005).unwrap();
+        assert_eq!(j.violations, 5);
+        assert_eq!(j.route_violations, vec![1, 1, 3]);
+        assert!(audit_routed(&j, &l, &routes, &spec()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn routed_judge_validates_inputs() {
+        let l = losses(4, 0);
+        assert!(judge_routed(&l, &[0, 0, 0], 1, &spec(), None, 0.005).is_err());
+        assert!(judge_routed(&l, &[0; 4], 0, &spec(), None, 0.005).is_err());
+        assert!(judge_routed(&l, &[0, 0, 0, 7], 3, &spec(), None, 0.005).is_err());
+    }
+
+    #[test]
+    fn every_mutation_detected_on_routed_mixtures() {
+        let l = losses(90, 10);
+        let mut routes = vec![0; 90];
+        routes.extend((0..10).map(|i| i % 3));
+        let report = self_check_routed(&l, &routes, 3, &spec(), 0.005, 0.05).unwrap();
+        assert_eq!(report.outcomes.len(), Mutation::ALL.len());
+        assert!(report.all_detected(), "{report:?}");
+    }
+
+    #[test]
+    fn route_misattribution_is_detected_even_in_a_pool_of_one() {
+        // The phantom-member path: shifting a violation off the only
+        // member must still disagree with the re-attribution.
+        for (s, v) in [(95usize, 5usize), (50, 0)] {
+            let report = self_check(&losses(s, v), &spec(), 0.005, 0.05).unwrap();
+            let outcome = report
+                .outcomes
+                .iter()
+                .find(|o| o.mutation == Mutation::RouteMisattribution)
+                .unwrap();
+            assert!(outcome.detected, "{s}/{v}: {report:?}");
+            assert!(
+                outcome.tripped.iter().any(|c| c.starts_with("route-")),
+                "misattribution must trip a route audit, got {:?}",
+                outcome.tripped
+            );
+        }
     }
 }

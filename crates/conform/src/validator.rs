@@ -6,14 +6,15 @@
 //! `(success-rate, confidence)` pair.
 
 use crate::report::{GuaranteeReport, TrialRecord};
-use crate::selfcheck::{judge, verdict_for};
+use crate::selfcheck::{judge_routed, verdict_for};
 use crate::{ConformError, Result, CONFORM_SEED_BASE};
 use mithra_axbench::dataset::DatasetScale;
 use mithra_core::parallel::par_map_indexed;
 use mithra_core::pipeline::Compiled;
 use mithra_core::profile::DatasetProfile;
+use mithra_core::route::RoutedCompiled;
 use mithra_core::threshold::QualitySpec;
-use mithra_sim::system::{run, RunHooks, RunResult, SimOptions};
+use mithra_sim::system::{run, run_routed, RunHooks, RunResult, SimOptions};
 
 /// Configuration for one conformance run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -98,7 +99,60 @@ pub fn validate(
         let profile = DatasetProfile::collect(&compiled.function, dataset);
         run_trial(compiled, &profile)
     });
-    score(compiled, spec, config, trial_results)
+    score(
+        compiled.function.benchmark().name().to_string(),
+        compiled.threshold.certified_rate,
+        1,
+        spec,
+        config,
+        trial_results,
+    )
+}
+
+/// Validates a certified **routed-mixture** guarantee on unseen datasets:
+/// each trial profiles the fresh dataset under *every* pool member, runs
+/// it through the routed simulator under a fresh clone of the deployed
+/// router cascade, and scores final application quality of the mixed
+/// output stream. Violations are charged against the serving member with
+/// the worst error, so the report's `route_violations` says *which*
+/// approximator broke a trial, not just that one broke.
+///
+/// Verdict and statistics flow through the same
+/// [`judge_routed`] path the mutation self-check exercises; a pool of
+/// one reproduces [`validate`] bit for bit.
+///
+/// # Errors
+///
+/// Returns [`ConformError::InvalidConfig`] for a bad configuration and
+/// propagates simulator and statistics errors.
+pub fn validate_routed(
+    routed: &RoutedCompiled,
+    spec: &QualitySpec,
+    config: &ValidatorConfig,
+) -> Result<GuaranteeReport> {
+    config.check()?;
+    let trial_results = par_map_indexed(config.trials, config.threads, |i| {
+        let seed = config.seed_base + i as u64;
+        let dataset = routed.pool.accurate().dataset(seed, config.scale);
+        let member_profiles: Vec<DatasetProfile> = routed
+            .pool
+            .members()
+            .iter()
+            .map(|m| DatasetProfile::collect(m, dataset.clone()))
+            .collect();
+        let refs: Vec<&DatasetProfile> = member_profiles.iter().collect();
+        let mut router = routed.router.clone();
+        run_routed(routed, &refs, &mut router, &SimOptions::default())
+            .map(|r| (seed, r.run, r.worst_member))
+    });
+    score(
+        routed.pool.benchmark().name().to_string(),
+        routed.threshold.certified_rate,
+        routed.pool.len(),
+        spec,
+        config,
+        trial_results,
+    )
 }
 
 /// Validates a certified guarantee on pre-collected unseen profiles —
@@ -128,16 +182,24 @@ pub fn validate_profiles(
     let trial_results = par_map_indexed(profiles.len(), config.threads, |i| {
         run_trial(compiled, &profiles[i])
     });
-    score(compiled, spec, config, trial_results)
+    score(
+        compiled.function.benchmark().name().to_string(),
+        compiled.threshold.certified_rate,
+        1,
+        spec,
+        config,
+        trial_results,
+    )
 }
 
 /// One trial: simulate a profile under a fresh clone of the deployed
 /// table classifier (per-trial clones keep online updates from leaking
-/// state across datasets — and across threads).
+/// state across datasets — and across threads). Binary trials are the
+/// one-member mixture, so the violation attribution is always member 0.
 fn run_trial(
     compiled: &Compiled,
     profile: &DatasetProfile,
-) -> std::result::Result<(u64, RunResult), mithra_sim::SimError> {
+) -> std::result::Result<(u64, RunResult, usize), mithra_sim::SimError> {
     let mut classifier = compiled.table.clone();
     let result = run(
         compiled,
@@ -146,44 +208,50 @@ fn run_trial(
         &SimOptions::default(),
         RunHooks::none(),
     )?;
-    Ok((profile.dataset().seed(), result))
+    Ok((profile.dataset().seed(), result, 0))
 }
 
 /// Folds per-trial results (in trial-index order) into the report.
 fn score(
-    compiled: &Compiled,
+    benchmark: String,
+    certified_rate: f64,
+    n_routes: usize,
     spec: &QualitySpec,
     config: &ValidatorConfig,
-    trial_results: Vec<std::result::Result<(u64, RunResult), mithra_sim::SimError>>,
+    trial_results: Vec<std::result::Result<(u64, RunResult, usize), mithra_sim::SimError>>,
 ) -> Result<GuaranteeReport> {
     let mut trial_records = Vec::with_capacity(trial_results.len());
     let mut losses = Vec::with_capacity(trial_results.len());
+    let mut worst_routes = Vec::with_capacity(trial_results.len());
     let mut invocation_rate_sum = 0.0;
     for trial in trial_results {
-        let (dataset_seed, result) = trial?;
+        let (dataset_seed, result, worst_route) = trial?;
         losses.push(result.quality_loss);
+        worst_routes.push(worst_route);
         invocation_rate_sum += result.invocation_rate();
         trial_records.push(TrialRecord {
             dataset_seed,
             quality_loss: result.quality_loss,
             invocation_rate: result.invocation_rate(),
             met_target: result.quality_loss <= spec.max_quality_loss,
+            worst_route,
         });
     }
-    // The published numbers come from the same judge() the mutation
-    // self-check exercises: there is exactly one verdict code path.
-    let judgement = judge(&losses, spec, None, f64::EPSILON)?;
+    // The published numbers come from the same judge_routed() the
+    // mutation self-check exercises: there is exactly one verdict code
+    // path, binary included (a one-member mixture).
+    let judgement = judge_routed(&losses, &worst_routes, n_routes, spec, None, f64::EPSILON)?;
     let verdict = verdict_for(&judgement, spec, 1.0 - config.test_confidence);
     debug_assert_eq!(
         judgement.successes,
         trial_records.iter().filter(|t| t.met_target).count() as u64
     );
     Ok(GuaranteeReport {
-        benchmark: compiled.function.benchmark().name().to_string(),
+        benchmark,
         quality_target: spec.max_quality_loss,
         target_rate: spec.success_rate,
         confidence: spec.confidence.level(),
-        certified_rate: compiled.threshold.certified_rate,
+        certified_rate,
         trials: judgement.trials,
         successes: judgement.successes,
         observed_rate: judgement.successes as f64 / judgement.trials as f64,
@@ -191,6 +259,7 @@ fn score(
         p_value: judgement.p_value,
         verdict,
         mean_invocation_rate: invocation_rate_sum / trial_records.len() as f64,
+        route_violations: judgement.route_violations,
         trial_records,
     })
 }

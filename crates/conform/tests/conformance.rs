@@ -11,9 +11,11 @@ use mithra_axbench::benchmark::Benchmark;
 use mithra_axbench::dataset::DatasetScale;
 use mithra_axbench::suite;
 use mithra_conform::{
-    selfcheck::self_check, validate, Mutation, ValidatorConfig, Verdict, CONFORM_SEED_BASE,
+    selfcheck::{self_check, self_check_routed},
+    validate, validate_routed, Mutation, ValidatorConfig, Verdict, CONFORM_SEED_BASE,
 };
-use mithra_core::pipeline::{compile, CompileConfig, Compiled};
+use mithra_core::pipeline::{compile, compile_routed, CompileConfig, Compiled};
+use mithra_core::route::{PoolSpec, RoutedCompiled};
 use mithra_core::threshold::QualitySpec;
 use std::sync::Arc;
 
@@ -22,6 +24,12 @@ const TRIALS: usize = 24;
 fn compiled_smoke(name: &str) -> Compiled {
     let bench: Arc<dyn Benchmark> = suite::by_name(name).unwrap().into();
     compile(bench, &CompileConfig::smoke()).unwrap()
+}
+
+fn routed_smoke(name: &str, pool_size: usize) -> RoutedCompiled {
+    let bench: Arc<dyn Benchmark> = suite::by_name(name).unwrap().into();
+    let spec = PoolSpec::sized(&bench.npu_topology(), pool_size);
+    compile_routed(bench, &CompileConfig::smoke(), &spec).unwrap()
 }
 
 fn smoke_validator(threads: usize) -> ValidatorConfig {
@@ -109,6 +117,77 @@ fn every_mutation_detected_on_real_losses() {
         );
     }
     assert!(check.all_detected());
+}
+
+#[test]
+fn routed_report_is_bit_identical_across_thread_counts() {
+    let routed = routed_smoke("inversek2j", 3);
+    let spec = QualitySpec::paper_default(0.10).unwrap();
+    let reports: Vec<String> = [1, 2, 4]
+        .iter()
+        .map(|&threads| {
+            let report = validate_routed(&routed, &spec, &smoke_validator(threads)).unwrap();
+            serde_json::to_string(&report).unwrap()
+        })
+        .collect();
+    assert_eq!(reports[0], reports[1], "threads=1 vs threads=2");
+    assert_eq!(reports[0], reports[2], "threads=1 vs threads=4");
+}
+
+#[test]
+fn routed_pool_of_one_report_matches_binary_report() {
+    // A pool-of-one routed conformance run must publish the same numbers
+    // as the binary validator, bit for bit, except for the explicit
+    // mixture bookkeeping (which is trivially one slot).
+    let compiled = compiled_smoke("inversek2j");
+    let routed = routed_smoke("inversek2j", 1);
+    let spec = QualitySpec::paper_default(0.10).unwrap();
+    let binary = validate(&compiled, &spec, &smoke_validator(2)).unwrap();
+    let mixed = validate_routed(&routed, &spec, &smoke_validator(2)).unwrap();
+    assert_eq!(
+        serde_json::to_string(&binary).unwrap(),
+        serde_json::to_string(&mixed).unwrap()
+    );
+}
+
+#[test]
+fn routed_report_attributes_violations_and_audits_clean() {
+    let routed = routed_smoke("sobel", 3);
+    let spec = QualitySpec::paper_default(0.10).unwrap();
+    let report = validate_routed(&routed, &spec, &smoke_validator(2)).unwrap();
+
+    assert_eq!(report.route_violations.len(), routed.pool.len());
+    assert_eq!(
+        report.route_violations.iter().sum::<u64>(),
+        report.trials - report.successes,
+        "per-member blame must conserve the violation total"
+    );
+    for t in &report.trial_records {
+        assert!(t.worst_route < routed.pool.len());
+    }
+
+    // The routed mutation self-check on the real Monte-Carlo losses:
+    // clean audit, every planted defect detected — including the new
+    // route misattribution.
+    let losses: Vec<f64> = report
+        .trial_records
+        .iter()
+        .map(|t| t.quality_loss)
+        .collect();
+    let routes: Vec<usize> = report.trial_records.iter().map(|t| t.worst_route).collect();
+    let check = self_check_routed(&losses, &routes, routed.pool.len(), &spec, 0.005, 0.05).unwrap();
+    assert!(
+        check.clean_findings.is_empty(),
+        "the unmutated routed pipeline must audit clean: {:?}",
+        check.clean_findings
+    );
+    assert_eq!(check.outcomes.len(), Mutation::ALL.len());
+    assert_eq!(
+        Mutation::ALL.len(),
+        5,
+        "route misattribution joins the roster"
+    );
+    assert!(check.all_detected(), "{check:?}");
 }
 
 #[test]

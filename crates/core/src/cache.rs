@@ -37,7 +37,9 @@ use std::sync::Arc;
 
 /// Bumped whenever a cached artifact's schema or semantics change, so
 /// stale caches from older builds miss instead of mis-deserializing.
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+/// Version 2: multi-approximator routing — key strings gained pool/router
+/// stages, so every pre-routing (v1) artifact recomputes cleanly.
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
 /// Where (and whether) compile-stage artifacts are cached.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,6 +91,44 @@ impl TrainedNpuArtifact {
     /// Rebinds the stored parts to their benchmark.
     pub fn into_function(self, benchmark: Arc<dyn Benchmark>) -> AcceleratedFunction {
         AcceleratedFunction::from_parts(benchmark, self.mlp, self.input_norm, self.output_norm)
+    }
+}
+
+/// The stored form of a trained approximator pool: every member's
+/// network and normalizers, cheapest first. Member topologies are not
+/// stored — they are re-supplied by the [`crate::route::PoolSpec`] whose
+/// fingerprint keyed the artifact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PoolArtifact {
+    /// One stored accelerator per pool member, cheapest first.
+    pub members: Vec<TrainedNpuArtifact>,
+}
+
+impl PoolArtifact {
+    /// Captures the stored parts of every pool member.
+    pub fn of(pool: &crate::route::ApproximatorPool) -> Self {
+        Self {
+            members: pool.members().iter().map(TrainedNpuArtifact::of).collect(),
+        }
+    }
+
+    /// Rebinds the stored members to their benchmark and topologies.
+    pub fn into_pool(
+        self,
+        benchmark: &Arc<dyn Benchmark>,
+        topologies: Vec<mithra_npu::topology::Topology>,
+    ) -> Option<crate::route::ApproximatorPool> {
+        if self.members.is_empty() || self.members.len() != topologies.len() {
+            return None;
+        }
+        let members = self
+            .members
+            .into_iter()
+            .map(|m| m.into_function(Arc::clone(benchmark)))
+            .collect();
+        Some(crate::route::ApproximatorPool::from_members(
+            members, topologies,
+        ))
     }
 }
 

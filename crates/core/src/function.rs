@@ -89,6 +89,25 @@ impl AcceleratedFunction {
         datasets: &[Dataset],
         config: &NpuTrainConfig,
     ) -> Result<Self> {
+        let topology = benchmark.npu_topology();
+        Self::train_with_topology(benchmark, datasets, config, &topology)
+    }
+
+    /// [`AcceleratedFunction::train`] on an explicit network topology —
+    /// how an approximator pool trains its cheap/medium members. With
+    /// `topology == benchmark.npu_topology()` this is the same code path
+    /// as `train`, bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates NPU training failures (e.g. no samples, or a topology
+    /// whose input/output widths do not match the benchmark).
+    pub fn train_with_topology(
+        benchmark: Arc<dyn Benchmark>,
+        datasets: &[Dataset],
+        config: &NpuTrainConfig,
+        topology: &mithra_npu::topology::Topology,
+    ) -> Result<Self> {
         // Collect raw (input, precise output) pairs, subsampled.
         let mut pairs: Vec<(Vec<f32>, Vec<f32>)> = Vec::new();
         let mut out = Vec::with_capacity(benchmark.output_dim());
@@ -117,7 +136,7 @@ impl AcceleratedFunction {
         let epochs = config
             .epochs
             .unwrap_or_else(|| benchmark.npu_training_epochs());
-        let npu = Trainer::new(benchmark.npu_topology())
+        let npu = Trainer::new(topology.clone())
             .epochs(epochs)
             .learning_rate(0.3)
             .batch_size(32)

@@ -62,6 +62,7 @@ pub mod pipeline;
 pub mod profile;
 pub mod random;
 pub mod regression;
+pub mod route;
 pub mod session;
 pub mod table;
 pub mod threshold;
@@ -86,9 +87,12 @@ pub mod prelude {
     pub use crate::pipeline::{compile, CompileConfig, Compiled};
     pub use crate::profile::{collect_profiles_parallel, DatasetProfile};
     pub use crate::random::RandomFilter;
+    pub use crate::route::{
+        ApproximatorPool, PoolSpec, RouteChoice, RouteClassifier, RoutedCompiled,
+    };
     pub use crate::session::{CompileSession, SessionReport, Stage, StageReport};
     pub use crate::table::{TableClassifier, TableDesign};
-    pub use crate::threshold::{QualitySpec, ThresholdOutcome};
+    pub use crate::threshold::{QualitySpec, RoutedThresholdOutcome, ThresholdOutcome};
     pub use crate::watchdog::{GuardState, QualityWatchdog, WatchdogConfig};
     pub use crate::MithraError;
 }

@@ -157,6 +157,46 @@ pub fn compile_with_report(
     Ok(session.finish())
 }
 
+/// Runs the **routed** compile flow for one benchmark: the shared NPU
+/// training and profiling stages, then the routing branch — pool
+/// training, routed-mixture certification, router training. A
+/// [`PoolSpec::single`] over the benchmark's default topology produces a
+/// pool-of-one whose threshold and router are bit-identical to
+/// [`compile`]'s.
+///
+/// [`PoolSpec::single`]: crate::route::PoolSpec::single
+///
+/// # Errors
+///
+/// Same as [`compile`], plus [`crate::MithraError::Uncertifiable`] when
+/// the routed mixture cannot be certified.
+pub fn compile_routed(
+    benchmark: Arc<dyn Benchmark>,
+    config: &CompileConfig,
+    spec: &crate::route::PoolSpec,
+) -> Result<crate::route::RoutedCompiled> {
+    Ok(compile_routed_with_report(benchmark, config, spec)?.0)
+}
+
+/// [`compile_routed`], additionally returning per-stage instrumentation.
+///
+/// # Errors
+///
+/// Same as [`compile_routed`].
+pub fn compile_routed_with_report(
+    benchmark: Arc<dyn Benchmark>,
+    config: &CompileConfig,
+    spec: &crate::route::PoolSpec,
+) -> Result<(crate::route::RoutedCompiled, SessionReport)> {
+    let session = CompileSession::new(benchmark, config.clone())
+        .train_npu()?
+        .profile()?
+        .train_pool(spec)?
+        .certify_routed()?
+        .train_router()?;
+    Ok(session.finish_routed())
+}
+
 /// The compile flow from certification onward, for callers that already
 /// hold a trained function and its profiles (the Pareto sweep retrains
 /// the table at many design points without re-profiling).

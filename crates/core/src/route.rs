@@ -1,0 +1,620 @@
+//! Multi-approximator routing: an ordered pool of NPU topologies plus the
+//! machinery to route each invocation to the *cheapest* member that still
+//! meets the certified local-error threshold.
+//!
+//! The binary pipeline asks one question per invocation — "is the (single)
+//! accelerator's error acceptable?" — and answers it with one bit. This
+//! module generalizes the question to an ordered [`ApproximatorPool`] of
+//! cheap → accurate topologies: invocation `i` is served by the first
+//! member whose profiled error is within the threshold, and falls back to
+//! the precise function when no member qualifies ([`RouteChoice`]). The
+//! Clopper–Pearson certificate is then taken over the *routed mixture*
+//! (`core::threshold::optimize_routed`), with dataset-level violations
+//! attributed to whichever member served the worst invocation.
+//!
+//! A pool of size 1 whose only member is the benchmark's default topology
+//! reduces to the binary pipeline **bit for bit**: the same trained
+//! network, the same per-dataset replays, the same bisection probes, and a
+//! router whose single stage is the binary table classifier (same training
+//! seed, same quantizer). That identity is what keeps every committed
+//! result of the single-approximator experiments byte-stable.
+
+use crate::classifier::{Classifier, ClassifierOverhead, Decision};
+use crate::function::{AcceleratedFunction, NpuTrainConfig};
+use crate::parallel::par_map_indexed;
+use crate::pipeline::quantizer_from_profiles;
+use crate::profile::DatasetProfile;
+use crate::table::{TableClassifier, TableDesign};
+use crate::threshold::RoutedThresholdOutcome;
+use crate::training::generate_training_data;
+use crate::{MithraError, Result};
+use mithra_axbench::benchmark::Benchmark;
+use mithra_axbench::dataset::{Dataset, DatasetScale, OutputBuffer};
+use mithra_npu::topology::Topology;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Where one invocation is served in a multi-approximator system: a pool
+/// member (by index, cheapest first) or the precise function.
+///
+/// This is the K-ary generalization of [`Decision`]; encoding a choice
+/// takes ⌈log₂(K+1)⌉ bits (see [`route_bits`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteChoice {
+    /// Pool member `m` (0 = cheapest) serves the invocation.
+    Member(usize),
+    /// The precise function serves the invocation.
+    Precise,
+}
+
+impl RouteChoice {
+    /// Whether the invocation runs on the precise core.
+    pub fn is_precise(&self) -> bool {
+        matches!(self, RouteChoice::Precise)
+    }
+
+    /// The pool member index, if an approximator serves the invocation.
+    pub fn member(&self) -> Option<usize> {
+        match self {
+            RouteChoice::Member(m) => Some(*m),
+            RouteChoice::Precise => None,
+        }
+    }
+}
+
+/// Bits required to encode a route over a pool of `pool_size` members plus
+/// the precise fallback: ⌈log₂(K+1)⌉. A binary pipeline (K = 1) needs the
+/// familiar single bit.
+pub fn route_bits(pool_size: usize) -> u32 {
+    usize::BITS - pool_size.leading_zeros()
+}
+
+/// An ordered pool specification: NPU topologies, cheapest first. The last
+/// member is conventionally the benchmark's default ("accurate") topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolSpec {
+    /// Member topologies, cheapest first.
+    pub topologies: Vec<Topology>,
+}
+
+impl PoolSpec {
+    /// A pool of exactly one member — the configuration that must stay
+    /// bit-identical to the binary pipeline.
+    pub fn single(topology: Topology) -> Self {
+        Self {
+            topologies: vec![topology],
+        }
+    }
+
+    /// The default tiered pool derived from an accurate topology: hidden
+    /// widths quartered (cheap) and halved (medium), then the accurate
+    /// topology itself. Duplicate topologies (tiny networks where the
+    /// tiers collapse) are dropped, keeping cheapest-first order.
+    pub fn tiered(accurate: &Topology) -> Self {
+        Self::sized(accurate, 3)
+    }
+
+    /// A tiered pool of up to `pool_size` members ending in `accurate`:
+    /// 1 = just the accurate topology, 2 = cheap + accurate, 3 or more =
+    /// cheap + medium + accurate (deduplicated).
+    pub fn sized(accurate: &Topology, pool_size: usize) -> Self {
+        let mut topologies = Vec::new();
+        if pool_size >= 3 {
+            topologies.push(scale_hidden(accurate, 4));
+            topologies.push(scale_hidden(accurate, 2));
+        } else if pool_size == 2 {
+            topologies.push(scale_hidden(accurate, 4));
+        }
+        topologies.push(accurate.clone());
+        topologies.dedup();
+        Self { topologies }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.topologies.len()
+    }
+
+    /// Whether the spec has no members (never produced by the
+    /// constructors, but checkable for hand-built specs).
+    pub fn is_empty(&self) -> bool {
+        self.topologies.is_empty()
+    }
+}
+
+/// Divides every hidden-layer width by `divisor` (floor, clamped to 2),
+/// keeping the input and output widths the benchmark fixes.
+fn scale_hidden(topology: &Topology, divisor: usize) -> Topology {
+    let layers = topology.layers();
+    let scaled: Vec<usize> = layers
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            if i == 0 || i == layers.len() - 1 {
+                w
+            } else {
+                (w / divisor).max(2)
+            }
+        })
+        .collect();
+    Topology::new(&scaled).expect("scaling hidden widths preserves validity")
+}
+
+/// One dataset replayed through the routed mixture: the quality loss of
+/// the mixed output stream plus per-member accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedReplay {
+    /// Final-output quality loss versus the all-precise run.
+    pub quality_loss: f64,
+    /// Invocations served by any pool member.
+    pub invoked: usize,
+    /// Total invocations.
+    pub total: usize,
+    /// Invocations served per pool member.
+    pub member_invocations: Vec<usize>,
+    /// The member that served the invocation with the largest profiled
+    /// error — the member a dataset-level violation is attributed to
+    /// (0 when nothing was approximated).
+    pub worst_member: usize,
+}
+
+impl RoutedReplay {
+    /// Fraction of invocations served by any pool member.
+    pub fn invocation_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.invoked as f64 / self.total as f64
+        }
+    }
+}
+
+/// An ordered pool of trained approximators, cheapest first.
+#[derive(Debug, Clone)]
+pub struct ApproximatorPool {
+    members: Vec<AcceleratedFunction>,
+    topologies: Vec<Topology>,
+}
+
+impl ApproximatorPool {
+    /// Trains every member of `spec` on the same profile datasets the
+    /// binary NPU trains on. A member whose topology equals `primary`'s
+    /// benchmark topology reuses the already-trained `primary` network
+    /// instead of retraining — which is both faster and what makes the
+    /// pool-of-one configuration bit-identical to the binary pipeline.
+    ///
+    /// Members train under [`par_map_indexed`], so the pool is
+    /// bit-identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MithraError::InvalidConfig`] for an empty spec and
+    /// propagates NPU training failures.
+    pub fn train(
+        benchmark: &Arc<dyn Benchmark>,
+        datasets: &[Dataset],
+        config: &NpuTrainConfig,
+        spec: &PoolSpec,
+        threads: Option<usize>,
+        primary: Option<&AcceleratedFunction>,
+    ) -> Result<Self> {
+        if spec.is_empty() {
+            return Err(MithraError::InvalidConfig {
+                parameter: "pool",
+                constraint: "at least one member topology",
+            });
+        }
+        let default_topology = benchmark.npu_topology();
+        let results = par_map_indexed(spec.len(), threads, |m| {
+            let topology = &spec.topologies[m];
+            if let Some(primary) = primary {
+                if *topology == default_topology {
+                    return Ok(primary.clone());
+                }
+            }
+            AcceleratedFunction::train_with_topology(
+                Arc::clone(benchmark),
+                datasets,
+                config,
+                topology,
+            )
+        });
+        let members = results.into_iter().collect::<Result<Vec<_>>>()?;
+        Ok(Self {
+            members,
+            topologies: spec.topologies.clone(),
+        })
+    }
+
+    /// Rebuilds a pool from already-trained members (the artifact-cache
+    /// load path).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty member list or a member/topology count mismatch.
+    pub fn from_members(members: Vec<AcceleratedFunction>, topologies: Vec<Topology>) -> Self {
+        assert!(!members.is_empty(), "a pool needs at least one member");
+        assert_eq!(members.len(), topologies.len(), "member/topology mismatch");
+        Self {
+            members,
+            topologies,
+        }
+    }
+
+    /// The trained members, cheapest first.
+    pub fn members(&self) -> &[AcceleratedFunction] {
+        &self.members
+    }
+
+    /// Member `m`'s trained function.
+    pub fn member(&self, m: usize) -> &AcceleratedFunction {
+        &self.members[m]
+    }
+
+    /// Member topologies, cheapest first.
+    pub fn topologies(&self) -> &[Topology] {
+        &self.topologies
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the pool is empty (never true for a constructed pool).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The most accurate member (by construction, the last).
+    pub fn accurate(&self) -> &AcceleratedFunction {
+        self.members.last().expect("pools are non-empty")
+    }
+
+    /// The benchmark all members accelerate.
+    pub fn benchmark(&self) -> &Arc<dyn Benchmark> {
+        self.members[0].benchmark()
+    }
+
+    /// Profiles `count` seeded datasets through **every** member:
+    /// `result[m][i]` is member `m`'s profile of dataset `seed_base + i`.
+    /// Each member profiles the same seeded datasets the binary profiler
+    /// would, so member profiles of the default topology are bit-identical
+    /// to the binary pipeline's.
+    pub fn profile_members(
+        &self,
+        seed_base: u64,
+        count: usize,
+        scale: DatasetScale,
+        threads: Option<usize>,
+    ) -> Vec<Vec<DatasetProfile>> {
+        self.members
+            .iter()
+            .map(|member| {
+                crate::profile::collect_profiles_parallel(member, seed_base, count, scale, threads)
+            })
+            .collect()
+    }
+
+    /// Replays one dataset under the **oracle router at `threshold`**:
+    /// invocation `i` is served by the first (cheapest) member whose
+    /// profiled error is within the threshold, falling back to precise.
+    /// `members[m]` must be member `m`'s profile of the same dataset.
+    ///
+    /// With a pool of one this reproduces
+    /// [`DatasetProfile::replay_with_threshold`] bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MithraError::InsufficientData`] when the profile slice
+    /// does not cover every member or the members disagree on the
+    /// invocation count, and propagates quality-scoring failures.
+    pub fn replay_routed_threshold(
+        &self,
+        members: &[&DatasetProfile],
+        threshold: f32,
+    ) -> Result<RoutedReplay> {
+        let n = self.check_member_profiles(members)?;
+        let choices: Vec<RouteChoice> = (0..n)
+            .map(|i| oracle_route(members, i, threshold))
+            .collect();
+        self.replay_routed_choices(members, &choices)
+    }
+
+    /// Replays one dataset under explicit per-invocation [`RouteChoice`]s
+    /// (the deployed router's decisions), mixing each invocation's output
+    /// from the chosen member's cached accelerator output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MithraError::InsufficientData`] for mismatched profile or
+    /// choice lengths and propagates quality-scoring failures.
+    pub fn replay_routed_choices(
+        &self,
+        members: &[&DatasetProfile],
+        choices: &[RouteChoice],
+    ) -> Result<RoutedReplay> {
+        let n = self.check_member_profiles(members)?;
+        if choices.len() != n {
+            return Err(MithraError::InsufficientData {
+                stage: "routed mixture replay",
+                available: choices.len(),
+                needed: n,
+            });
+        }
+        let bench = self.benchmark();
+        let base = members[0];
+        let mut mixed = OutputBuffer::with_capacity(bench.output_dim(), n);
+        let mut invoked = 0usize;
+        let mut member_invocations = vec![0usize; self.len()];
+        let mut worst_member = 0usize;
+        let mut worst_err = f32::NEG_INFINITY;
+        for (i, choice) in choices.iter().enumerate() {
+            match choice {
+                RouteChoice::Member(m) => {
+                    invoked += 1;
+                    member_invocations[*m] += 1;
+                    let err = members[*m].max_error(i);
+                    if err > worst_err {
+                        worst_err = err;
+                        worst_member = *m;
+                    }
+                    mixed.push(members[*m].approx_output(i));
+                }
+                RouteChoice::Precise => mixed.push(base.precise_output(i)),
+            }
+        }
+        let final_mixed = bench.run_application(base.dataset(), &mixed);
+        let quality_loss = bench
+            .quality_metric()
+            .try_quality_loss(base.final_precise(), &final_mixed)?;
+        Ok(RoutedReplay {
+            quality_loss,
+            invoked,
+            total: n,
+            member_invocations,
+            worst_member,
+        })
+    }
+
+    /// Validates a per-member profile slice for one dataset, returning the
+    /// common invocation count.
+    fn check_member_profiles(&self, members: &[&DatasetProfile]) -> Result<usize> {
+        if members.len() != self.len() {
+            return Err(MithraError::InsufficientData {
+                stage: "routed mixture replay",
+                available: members.len(),
+                needed: self.len(),
+            });
+        }
+        let n = members[0].invocation_count();
+        for p in members {
+            if p.invocation_count() != n {
+                return Err(MithraError::InsufficientData {
+                    stage: "routed mixture replay",
+                    available: p.invocation_count(),
+                    needed: n,
+                });
+            }
+        }
+        Ok(n)
+    }
+}
+
+/// The oracle route of invocation `i` at `threshold`: the first (cheapest)
+/// member whose profiled error is within the threshold, else precise.
+pub fn oracle_route(members: &[&DatasetProfile], i: usize, threshold: f32) -> RouteChoice {
+    for (m, profile) in members.iter().enumerate() {
+        if profile.max_error(i) <= threshold {
+            return RouteChoice::Member(m);
+        }
+    }
+    RouteChoice::Precise
+}
+
+/// The deployed K-ary router: one table-classifier stage per pool member,
+/// consulted cheapest-first. Stage `m` answers "is member `m`'s error
+/// acceptable for this input?"; the first accepting stage wins, and an
+/// invocation every stage rejects runs precise. The output is therefore a
+/// ⌈log₂(K+1)⌉-bit route rather than the binary design's single bit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RouteClassifier {
+    stages: Vec<TableClassifier>,
+}
+
+impl RouteClassifier {
+    /// Trains one stage per pool member on that member's profiled errors
+    /// against the shared routed threshold. Stage `m` trains with seed
+    /// `seed ^ m` and the quantizer fitted to member `m`'s profiles, so
+    /// stage 0 of a pool-of-one router is bit-identical to the binary
+    /// pipeline's table classifier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-training failures.
+    pub fn train(
+        member_profiles: &[Vec<DatasetProfile>],
+        threshold: f32,
+        design: &TableDesign,
+        max_samples: usize,
+        seed: u64,
+        threads: Option<usize>,
+    ) -> Result<Self> {
+        let mut stages = Vec::with_capacity(member_profiles.len());
+        for (m, profiles) in member_profiles.iter().enumerate() {
+            let examples =
+                generate_training_data(profiles, threshold, max_samples, seed ^ m as u64);
+            let quantizer = quantizer_from_profiles(profiles);
+            stages.push(TableClassifier::train_with_threads(
+                *design, quantizer, &examples, threads,
+            )?);
+        }
+        Ok(Self { stages })
+    }
+
+    /// Rebuilds a router from trained stages (the artifact-cache load
+    /// path).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty stage list.
+    pub fn from_stages(stages: Vec<TableClassifier>) -> Self {
+        assert!(!stages.is_empty(), "a router needs at least one stage");
+        Self { stages }
+    }
+
+    /// The per-member stages, cheapest first.
+    pub fn stages(&self) -> &[TableClassifier] {
+        &self.stages
+    }
+
+    /// Number of stages (= pool members).
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the router has no stages (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Bits of route output: ⌈log₂(K+1)⌉ for K stages.
+    pub fn route_bits(&self) -> u32 {
+        route_bits(self.len())
+    }
+
+    /// Routes one invocation: the first stage accepting its member wins.
+    pub fn classify_route(&mut self, index: usize, input: &[f32]) -> RouteChoice {
+        for (m, stage) in self.stages.iter_mut().enumerate() {
+            if stage.classify(index, input) == Decision::Approximate {
+                return RouteChoice::Member(m);
+            }
+        }
+        RouteChoice::Precise
+    }
+
+    /// The classifier overhead actually incurred on `route`: the summed
+    /// footprint of every stage consulted before the decision settled
+    /// (stages `0..=m` for member `m`; all stages for a precise
+    /// fallback). Costing is per-route — a cheap route consults fewer
+    /// stages than the precise fallback.
+    pub fn overhead_for(&self, route: RouteChoice) -> ClassifierOverhead {
+        let consulted = match route {
+            RouteChoice::Member(m) => m + 1,
+            RouteChoice::Precise => self.len(),
+        };
+        sum_overheads(self.stages[..consulted].iter().map(|s| s.overhead()))
+    }
+
+    /// The worst-case overhead (every stage consulted) — what sizes the
+    /// one-time table decompression at program load.
+    pub fn max_overhead(&self) -> ClassifierOverhead {
+        self.overhead_for(RouteChoice::Precise)
+    }
+}
+
+/// Sums classifier overheads across consulted stages. The NPU-topology
+/// footprint, when a stage carries one, is taken per stage (never cloned
+/// from the primary function); table stages carry none.
+fn sum_overheads(overheads: impl Iterator<Item = ClassifierOverhead>) -> ClassifierOverhead {
+    let mut total = ClassifierOverhead::default();
+    for o in overheads {
+        total.decision_cycles += o.decision_cycles;
+        total.misr_shifts += o.misr_shifts;
+        total.table_bit_reads += o.table_bit_reads;
+        if o.npu_topology.is_some() {
+            total.npu_topology = o.npu_topology;
+        }
+    }
+    total
+}
+
+/// The routed compile product: the trained pool, its per-member compile
+/// profiles, the mixture-certified threshold, and the deployed router.
+#[derive(Debug, Clone)]
+pub struct RoutedCompiled {
+    /// The trained approximator pool, cheapest first.
+    pub pool: ApproximatorPool,
+    /// `member_profiles[m][i]` = member `m`'s profile of compile dataset
+    /// `i`.
+    pub member_profiles: Vec<Vec<DatasetProfile>>,
+    /// The threshold certified over the routed mixture.
+    pub threshold: RoutedThresholdOutcome,
+    /// The deployed K-ary router.
+    pub router: RouteClassifier,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo(layers: &[usize]) -> Topology {
+        Topology::new(layers).unwrap()
+    }
+
+    #[test]
+    fn route_bits_is_ceil_log2() {
+        assert_eq!(route_bits(1), 1); // {member 0, precise}
+        assert_eq!(route_bits(2), 2);
+        assert_eq!(route_bits(3), 2);
+        assert_eq!(route_bits(4), 3);
+        assert_eq!(route_bits(7), 3);
+        assert_eq!(route_bits(8), 4);
+    }
+
+    #[test]
+    fn tiered_spec_orders_cheapest_first() {
+        let accurate = topo(&[2, 8, 16, 1]);
+        let spec = PoolSpec::tiered(&accurate);
+        assert_eq!(spec.len(), 3);
+        assert_eq!(spec.topologies[0].layers(), &[2, 2, 4, 1]);
+        assert_eq!(spec.topologies[1].layers(), &[2, 4, 8, 1]);
+        assert_eq!(spec.topologies[2].layers(), &[2, 8, 16, 1]);
+        let mut macs = spec
+            .topologies
+            .iter()
+            .map(Topology::macs_per_invocation)
+            .collect::<Vec<_>>();
+        let sorted = {
+            macs.sort_unstable();
+            macs
+        };
+        assert_eq!(
+            sorted,
+            spec.topologies
+                .iter()
+                .map(Topology::macs_per_invocation)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn tiny_topologies_deduplicate() {
+        let accurate = topo(&[2, 2, 1]);
+        let spec = PoolSpec::tiered(&accurate);
+        assert_eq!(spec.len(), 1, "all tiers collapse to the same topology");
+        assert_eq!(spec.topologies[0].layers(), &[2, 2, 1]);
+    }
+
+    #[test]
+    fn sized_spec_sizes() {
+        let accurate = topo(&[2, 8, 1]);
+        assert_eq!(PoolSpec::sized(&accurate, 1).len(), 1);
+        assert_eq!(PoolSpec::sized(&accurate, 2).len(), 2);
+        assert_eq!(PoolSpec::sized(&accurate, 3).len(), 3);
+        // Every sized pool ends in the accurate topology.
+        for k in 1..=3 {
+            let spec = PoolSpec::sized(&accurate, k);
+            assert_eq!(spec.topologies.last().unwrap(), &accurate);
+        }
+    }
+
+    #[test]
+    fn input_and_output_widths_are_preserved() {
+        let accurate = topo(&[9, 32, 16, 2]);
+        for t in &PoolSpec::tiered(&accurate).topologies {
+            assert_eq!(t.inputs(), 9);
+            assert_eq!(t.layers().last(), Some(&2));
+        }
+    }
+}

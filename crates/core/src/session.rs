@@ -27,14 +27,16 @@
 //! `prepare_base`/`certify_at` are all thin wrappers over this type.
 
 use crate::cache::{
-    fingerprint, ArtifactCache, ClassifierArtifact, TrainedNpuArtifact, CACHE_FORMAT_VERSION,
+    fingerprint, ArtifactCache, ClassifierArtifact, PoolArtifact, TrainedNpuArtifact,
+    CACHE_FORMAT_VERSION,
 };
 use crate::function::AcceleratedFunction;
 use crate::neural::NeuralClassifier;
 use crate::pipeline::{quantizer_from_profiles, CompileConfig, Compiled};
 use crate::profile::{collect_profiles_parallel, DatasetProfile};
+use crate::route::{ApproximatorPool, PoolSpec, RouteClassifier, RoutedCompiled};
 use crate::table::TableClassifier;
-use crate::threshold::{ThresholdOptimizer, ThresholdOutcome};
+use crate::threshold::{RoutedThresholdOutcome, ThresholdOptimizer, ThresholdOutcome};
 use crate::training::{generate_training_data, TrainingExample};
 use crate::Result;
 use mithra_axbench::benchmark::Benchmark;
@@ -57,6 +59,13 @@ pub enum Stage {
     Certification,
     /// Labeling tuples and training the table + neural classifiers.
     ClassifierTraining,
+    /// Training every member of an approximator pool and profiling the
+    /// compilation datasets through each (routing branch).
+    PoolTraining,
+    /// Statistical threshold optimization over the routed mixture.
+    RoutedCertification,
+    /// Training the K-ary route classifier, one stage per pool member.
+    RouterTraining,
 }
 
 impl Stage {
@@ -68,6 +77,9 @@ impl Stage {
             Stage::ValidationProfiling => "validation-profiling",
             Stage::Certification => "certification",
             Stage::ClassifierTraining => "classifier-training",
+            Stage::PoolTraining => "pool-training",
+            Stage::RoutedCertification => "routed-certification",
+            Stage::RouterTraining => "router-training",
         }
     }
 }
@@ -202,6 +214,38 @@ pub struct Classifiers {
     training_data: Vec<TrainingExample>,
 }
 
+/// State after pool training (routing branch): every member of the
+/// approximator pool trained, with the compilation datasets profiled
+/// through each member.
+#[derive(Debug)]
+pub struct PooledProfiles {
+    spec: PoolSpec,
+    pool: ApproximatorPool,
+    member_profiles: Vec<Vec<DatasetProfile>>,
+}
+
+/// State after routed certification: the threshold certified over the
+/// routed mixture.
+#[derive(Debug)]
+pub struct RoutedCertified {
+    spec: PoolSpec,
+    pool: ApproximatorPool,
+    member_profiles: Vec<Vec<DatasetProfile>>,
+    threshold: RoutedThresholdOutcome,
+}
+
+/// Final state of the routing branch: the K-ary router trained; ready to
+/// [`finish_routed`].
+///
+/// [`finish_routed`]: CompileSession::finish_routed
+#[derive(Debug)]
+pub struct RoutedClassifiers {
+    pool: ApproximatorPool,
+    member_profiles: Vec<Vec<DatasetProfile>>,
+    threshold: RoutedThresholdOutcome,
+    router: RouteClassifier,
+}
+
 /// A compile-pipeline run in progress, parameterized by its stage.
 #[derive(Debug)]
 pub struct CompileSession<S> {
@@ -290,6 +334,56 @@ fn classifier_key(benchmark: &str, config: &CompileConfig) -> String {
         threshold_key(benchmark, config),
         config.table_design,
         config.neural,
+        config.classifier_train_samples
+    )
+}
+
+fn pool_key(benchmark: &str, config: &CompileConfig, spec: &PoolSpec) -> String {
+    format!("{}/pool={:?}", npu_key(benchmark, config), spec.topologies)
+}
+
+/// Compile profiles of pool member `m`. A member running the benchmark's
+/// default topology trains to the same network as the binary pipeline's
+/// (same datasets, same `NpuTrainConfig`, same trainer path), so it keys
+/// to the plain profiling artifact and shares its cache entry.
+fn pool_member_profiles_key(
+    benchmark: &Arc<dyn Benchmark>,
+    config: &CompileConfig,
+    topology: &mithra_npu::topology::Topology,
+) -> String {
+    if *topology == benchmark.npu_topology() {
+        profiles_key(benchmark.name(), config)
+    } else {
+        format!(
+            "{}/pool_member_topology={:?}/compile_datasets={}",
+            npu_key(benchmark.name(), config),
+            topology,
+            config.compile_datasets
+        )
+    }
+}
+
+fn routed_threshold_key(benchmark: &str, config: &CompileConfig, spec: &PoolSpec) -> String {
+    // Multi-member pools certify with the deployed router in the loop, so
+    // the certificate depends on the router's design and training inputs
+    // too; a pool of one keeps the binary oracle probe, whose key fields
+    // below are simply redundant. The `certifier` tag retires artifacts
+    // certified under the older oracle-only probe.
+    format!(
+        "{}/compile_datasets={}/spec={:?}/table={:?}/train_samples={}/certifier=deployed",
+        pool_key(benchmark, config, spec),
+        config.compile_datasets,
+        config.spec,
+        config.table_design,
+        config.classifier_train_samples
+    )
+}
+
+fn router_key(benchmark: &str, config: &CompileConfig, spec: &PoolSpec) -> String {
+    format!(
+        "{}/table={:?}/train_samples={}",
+        routed_threshold_key(benchmark, config, spec),
+        config.table_design,
         config.classifier_train_samples
     )
 }
@@ -487,6 +581,277 @@ impl CompileSession<Profiles> {
             threshold,
         }))
     }
+
+    /// Routing branch, stage 3′: trains every member of the approximator
+    /// pool `spec` and profiles the compilation datasets through each (or
+    /// loads both from the cache).
+    ///
+    /// The member matching the benchmark's default topology reuses this
+    /// session's already-trained function and already-collected profiles
+    /// verbatim — zero extra work, and the reason a pool of one is
+    /// bit-identical to the binary pipeline. Cheaper members train with
+    /// the same `NpuTrainConfig` (same seed, samples and epochs) on their
+    /// own topology and are profiled with the same parallel collector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates NPU training failures.
+    pub fn train_pool(self, spec: &PoolSpec) -> Result<CompileSession<PooledProfiles>> {
+        let started = Instant::now();
+        let name = self.benchmark.name().to_string();
+        let default_topology = self.benchmark.npu_topology();
+
+        // The pool itself: cache the non-default members' networks.
+        let key = fingerprint(&pool_key(&name, &self.config, spec));
+        let cached_pool = self
+            .load_cached::<PoolArtifact>(Stage::PoolTraining, key)
+            .and_then(|a| a.into_pool(&self.benchmark, spec.topologies.clone()));
+        let mut invocations = 0u64;
+        let (pool, mut all_hit) = match cached_pool {
+            Some(pool) => (pool, self.cache.is_some()),
+            None => {
+                let train_sets: Vec<Dataset> = (0..self.config.npu_train_datasets as u64)
+                    .map(|i| {
+                        self.benchmark
+                            .dataset(self.config.seed_base + i, self.config.scale)
+                    })
+                    .collect();
+                for t in &spec.topologies {
+                    if *t != default_topology {
+                        invocations += train_sets
+                            .iter()
+                            .map(|d| d.invocation_count() as u64)
+                            .sum::<u64>();
+                    }
+                }
+                let pool = ApproximatorPool::train(
+                    &self.benchmark,
+                    &train_sets,
+                    &self.config.npu,
+                    spec,
+                    self.config.threads,
+                    Some(&self.state.function),
+                )?;
+                self.store_cached(Stage::PoolTraining, key, &PoolArtifact::of(&pool));
+                (pool, false)
+            }
+        };
+
+        // Per-member compile profiles. The default-topology member reuses
+        // this session's profiles in memory; others go through the cache.
+        let mut member_profiles = Vec::with_capacity(pool.len());
+        for (m, topology) in pool.topologies().iter().enumerate() {
+            if *topology == default_topology {
+                member_profiles.push(self.state.profiles.clone());
+                continue;
+            }
+            let key = fingerprint(&pool_member_profiles_key(
+                &self.benchmark,
+                &self.config,
+                topology,
+            ));
+            let cached = self
+                .cache
+                .as_ref()
+                .and_then(|c| c.load_profiles(Stage::Profiling.label(), key));
+            match cached {
+                Some(profiles) => member_profiles.push(profiles),
+                None => {
+                    all_hit = false;
+                    let profiles = collect_profiles_parallel(
+                        pool.member(m),
+                        self.config.seed_base,
+                        self.config.compile_datasets,
+                        self.config.scale,
+                        self.config.threads,
+                    );
+                    invocations += profiles
+                        .iter()
+                        .map(|p| p.invocation_count() as u64)
+                        .sum::<u64>();
+                    if let Some(c) = &self.cache {
+                        let _ = c.store_profiles(Stage::Profiling.label(), key, &profiles);
+                    }
+                    member_profiles.push(profiles);
+                }
+            }
+        }
+
+        let cache = if all_hit {
+            CacheOutcome::Hit
+        } else {
+            self.miss_outcome()
+        };
+        let report = StageReport {
+            stage: Stage::PoolTraining,
+            wall: started.elapsed(),
+            invocations,
+            cache,
+        };
+        let spec = spec.clone();
+        Ok(self.advance(report, |_| PooledProfiles {
+            spec,
+            pool,
+            member_profiles,
+        }))
+    }
+}
+
+impl CompileSession<PooledProfiles> {
+    /// The trained approximator pool.
+    pub fn pool(&self) -> &ApproximatorPool {
+        &self.state.pool
+    }
+
+    /// Per-member compile profiles: `member_profiles()[m][i]` is member
+    /// `m`'s profile of compilation dataset `i`.
+    pub fn member_profiles(&self) -> &[Vec<DatasetProfile>] {
+        &self.state.member_profiles
+    }
+
+    /// Routing branch, stage 4′: certifies the threshold over the routed
+    /// mixture (or loads the certified outcome from the cache). Same
+    /// Algorithm-1 bisection as the binary [`certify`]; violations are
+    /// attributed to the member that served each violating dataset's
+    /// worst invocation.
+    ///
+    /// A pool of one replays every probe through the oracle router —
+    /// bit-identical to the binary pipeline, whose classifier fidelity
+    /// the binary experiments validate separately. A larger pool
+    /// certifies with the **deployed router in the loop**: each probe
+    /// trains the table cascade at the candidate threshold and certifies
+    /// the cascade's own routing decisions, because per-stage
+    /// false-accepts compound across a cascade and an oracle-only
+    /// certificate would not survive deployment.
+    ///
+    /// [`certify`]: CompileSession::certify
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::MithraError::Uncertifiable`] when the quality
+    /// spec cannot be met by the routed mixture.
+    pub fn certify_routed(self) -> Result<CompileSession<RoutedCertified>> {
+        let started = Instant::now();
+        let key = fingerprint(&routed_threshold_key(
+            self.benchmark.name(),
+            &self.config,
+            &self.state.spec,
+        ));
+        let (threshold, invocations, cache) =
+            match self.load_cached::<RoutedThresholdOutcome>(Stage::RoutedCertification, key) {
+                Some(threshold) => (threshold, 0, CacheOutcome::Hit),
+                None => {
+                    let optimizer =
+                        ThresholdOptimizer::new(self.config.spec).with_threads(self.config.threads);
+                    let threshold = if self.state.pool.len() <= 1 {
+                        optimizer.optimize_routed(&self.state.pool, &self.state.member_profiles)?
+                    } else {
+                        let config = &self.config;
+                        let profiles = &self.state.member_profiles;
+                        optimizer.optimize_routed_deployed(&self.state.pool, profiles, |t| {
+                            RouteClassifier::train(
+                                profiles,
+                                t,
+                                &config.table_design,
+                                config.classifier_train_samples,
+                                config.seed_base ^ 0x7261_696E,
+                                config.threads,
+                            )
+                        })?
+                    };
+                    self.store_cached(Stage::RoutedCertification, key, &threshold);
+                    let trials = threshold.trials;
+                    (threshold, trials, self.miss_outcome())
+                }
+            };
+        let report = StageReport {
+            stage: Stage::RoutedCertification,
+            wall: started.elapsed(),
+            invocations,
+            cache,
+        };
+        Ok(self.advance(report, |s| RoutedCertified {
+            spec: s.spec,
+            pool: s.pool,
+            member_profiles: s.member_profiles,
+            threshold,
+        }))
+    }
+}
+
+impl CompileSession<RoutedCertified> {
+    /// The threshold certified over the routed mixture.
+    pub fn routed_threshold(&self) -> &RoutedThresholdOutcome {
+        &self.state.threshold
+    }
+
+    /// Routing branch, stage 5′: trains the K-ary route classifier — one
+    /// table stage per pool member, labeled against that member's
+    /// profiled errors at the shared certified threshold (or loads the
+    /// router from the cache). Stage 0 of a pool-of-one router trains
+    /// with the binary pipeline's seed and quantizer, so it is the binary
+    /// table classifier bit for bit. For a larger pool, training is
+    /// deterministic in the threshold, so this reproduces exactly the
+    /// router whose decisions the deployed certification probe certified.
+    ///
+    /// # Errors
+    ///
+    /// Propagates classifier-training failures.
+    pub fn train_router(self) -> Result<CompileSession<RoutedClassifiers>> {
+        let started = Instant::now();
+        let key = fingerprint(&router_key(
+            self.benchmark.name(),
+            &self.config,
+            &self.state.spec,
+        ));
+        let (router, invocations, cache) =
+            match self.load_cached::<RouteClassifier>(Stage::RouterTraining, key) {
+                Some(router) => (router, 0, CacheOutcome::Hit),
+                None => {
+                    // `threads` is deliberately not part of the cache key: the
+                    // parallel table trainer is bit-identical at every thread
+                    // count, so artifacts stay interchangeable across runs.
+                    let router = RouteClassifier::train(
+                        &self.state.member_profiles,
+                        self.state.threshold.threshold,
+                        &self.config.table_design,
+                        self.config.classifier_train_samples,
+                        self.config.seed_base ^ 0x7261_696E,
+                        self.config.threads,
+                    )?;
+                    self.store_cached(Stage::RouterTraining, key, &router);
+                    let invocations = (self.config.classifier_train_samples * router.len()) as u64;
+                    (router, invocations, self.miss_outcome())
+                }
+            };
+        let report = StageReport {
+            stage: Stage::RouterTraining,
+            wall: started.elapsed(),
+            invocations,
+            cache,
+        };
+        Ok(self.advance(report, |s| RoutedClassifiers {
+            pool: s.pool,
+            member_profiles: s.member_profiles,
+            threshold: s.threshold,
+            router,
+        }))
+    }
+}
+
+impl CompileSession<RoutedClassifiers> {
+    /// Finalizes the routing branch into the routed compile product and
+    /// its per-stage instrumentation.
+    pub fn finish_routed(self) -> (RoutedCompiled, SessionReport) {
+        let report = self.report();
+        let routed = RoutedCompiled {
+            pool: self.state.pool,
+            member_profiles: self.state.member_profiles,
+            threshold: self.state.threshold,
+            router: self.state.router,
+        };
+        (routed, report)
+    }
 }
 
 impl CompileSession<CertifiedThreshold> {
@@ -621,6 +986,80 @@ pub fn profile_validation(
         cache: outcome,
     };
     (profiles, report)
+}
+
+/// Profiles `count` validation datasets seeded from `seed_base` through
+/// **every pool member**, with the same caching and instrumentation as
+/// [`profile_validation`]: `result[m][i]` is member `m`'s profile of
+/// dataset `seed_base + i`. The member running the benchmark's default
+/// topology shares the binary pipeline's validation-profile cache entry.
+pub fn profile_pool_validation(
+    pool: &ApproximatorPool,
+    config: &CompileConfig,
+    seed_base: u64,
+    count: usize,
+) -> (Vec<Vec<DatasetProfile>>, StageReport) {
+    let started = Instant::now();
+    let benchmark = pool.benchmark();
+    let name = benchmark.name();
+    let cache = config.cache.as_ref().map(|c| ArtifactCache::open(c, name));
+    let stage = Stage::ValidationProfiling;
+    let default_topology = benchmark.npu_topology();
+    let mut member_profiles = Vec::with_capacity(pool.len());
+    let mut invocations = 0u64;
+    let mut all_hit = true;
+    for (m, topology) in pool.topologies().iter().enumerate() {
+        let key = if *topology == default_topology {
+            fingerprint(&format!(
+                "{}/validation_seed_base={seed_base}/validation_datasets={count}",
+                npu_key(name, config)
+            ))
+        } else {
+            fingerprint(&format!(
+                "{}/pool_member_topology={:?}/validation_seed_base={seed_base}/validation_datasets={count}",
+                npu_key(name, config),
+                topology
+            ))
+        };
+        let cached = cache
+            .as_ref()
+            .and_then(|c| c.load_profiles(stage.label(), key));
+        match cached {
+            Some(profiles) => member_profiles.push(profiles),
+            None => {
+                all_hit = false;
+                let profiles = collect_profiles_parallel(
+                    pool.member(m),
+                    seed_base,
+                    count,
+                    config.scale,
+                    config.threads,
+                );
+                invocations += profiles
+                    .iter()
+                    .map(|p| p.invocation_count() as u64)
+                    .sum::<u64>();
+                if let Some(c) = &cache {
+                    let _ = c.store_profiles(stage.label(), key, &profiles);
+                }
+                member_profiles.push(profiles);
+            }
+        }
+    }
+    let outcome = if all_hit && cache.is_some() {
+        CacheOutcome::Hit
+    } else if cache.is_some() {
+        CacheOutcome::Miss
+    } else {
+        CacheOutcome::Disabled
+    };
+    let report = StageReport {
+        stage,
+        wall: started.elapsed(),
+        invocations,
+        cache: outcome,
+    };
+    (member_profiles, report)
 }
 
 #[cfg(test)]
@@ -800,6 +1239,174 @@ mod tests {
         assert_eq!(warm.len(), cold.len());
         for (w, c) in warm.iter().zip(&cold) {
             assert_eq!(w.errors(), c.errors());
+        }
+        let _ = std::fs::remove_dir_all(&cache.dir);
+    }
+
+    #[test]
+    fn routed_pool_of_one_session_matches_binary() {
+        let config = session_config(None);
+        let binary = CompileSession::new(sobel(), config.clone())
+            .train_npu()
+            .unwrap()
+            .profile()
+            .unwrap()
+            .certify()
+            .unwrap()
+            .train_classifiers()
+            .unwrap();
+        let (compiled, _) = binary.finish();
+
+        let spec = PoolSpec::single(compiled.function.benchmark().npu_topology());
+        let (routed, report) = CompileSession::new(sobel(), config)
+            .train_npu()
+            .unwrap()
+            .profile()
+            .unwrap()
+            .train_pool(&spec)
+            .unwrap()
+            .certify_routed()
+            .unwrap()
+            .train_router()
+            .unwrap()
+            .finish_routed();
+
+        // Shared threshold statistics are bit-identical.
+        assert_eq!(
+            routed.threshold.threshold.to_bits(),
+            compiled.threshold.threshold.to_bits()
+        );
+        assert_eq!(routed.threshold.successes, compiled.threshold.successes);
+        assert_eq!(
+            routed.threshold.certified_rate.to_bits(),
+            compiled.threshold.certified_rate.to_bits()
+        );
+        assert_eq!(
+            routed.threshold.mean_invocation_rate.to_bits(),
+            compiled.threshold.mean_invocation_rate.to_bits()
+        );
+        // The single router stage is the binary table classifier.
+        assert_eq!(
+            serde_json::to_string(&routed.router.stages()[0]).unwrap(),
+            serde_json::to_string(&compiled.table).unwrap()
+        );
+        // The single member is the binary network.
+        assert_eq!(
+            routed.pool.member(0).npu().to_parameters(),
+            compiled.function.npu().to_parameters()
+        );
+        assert!(report.stage(Stage::PoolTraining).is_some());
+        // Pool-of-one reuses the binary function and profiles: no extra
+        // invocations in pool training.
+        assert_eq!(report.stage(Stage::PoolTraining).unwrap().invocations, 0);
+    }
+
+    #[test]
+    fn warm_cache_skips_routed_stages() {
+        let cache = tmp_cache("routed-warm");
+        let config = session_config(Some(cache.clone()));
+        let spec = PoolSpec::sized(&sobel().npu_topology(), 2);
+
+        let run = |config: CompileConfig| {
+            CompileSession::new(sobel(), config)
+                .train_npu()
+                .unwrap()
+                .profile()
+                .unwrap()
+                .train_pool(&spec)
+                .unwrap()
+                .certify_routed()
+                .unwrap()
+                .train_router()
+                .unwrap()
+                .finish_routed()
+        };
+        let (cold, cold_report) = run(config.clone());
+        assert!(cold_report
+            .stages
+            .iter()
+            .all(|r| r.cache == CacheOutcome::Miss));
+
+        let (warm, warm_report) = run(config);
+        assert!(
+            warm_report.stages.iter().all(|r| r.is_cache_hit()),
+            "second routed run should hit every stage: {warm_report}"
+        );
+        assert_eq!(warm_report.total_invocations(), 0);
+        assert_eq!(warm.threshold, cold.threshold);
+        assert_eq!(
+            serde_json::to_string(&warm.router).unwrap(),
+            serde_json::to_string(&cold.router).unwrap()
+        );
+        for (w, c) in warm.pool.members().iter().zip(cold.pool.members()) {
+            assert_eq!(w.npu().to_parameters(), c.npu().to_parameters());
+        }
+        let _ = std::fs::remove_dir_all(&cache.dir);
+    }
+
+    #[test]
+    fn old_format_version_artifacts_never_hit() {
+        // Satellite: a cache written by a pre-routing build (format v1)
+        // must recompute, never poison a routed compile. Plant a valid
+        // artifact under the v1-prefixed key and check the session misses.
+        let cache = tmp_cache("old-version");
+        let config = session_config(Some(cache.clone()));
+        let bench = sobel();
+
+        let session = CompileSession::new(Arc::clone(&bench), config.clone())
+            .train_npu()
+            .unwrap();
+        let artifact = TrainedNpuArtifact::of(session.function());
+
+        let v2_key = npu_key(bench.name(), &config);
+        assert!(v2_key.starts_with("v2/"), "key is {v2_key}");
+        let v1_key = v2_key.replacen("v2/", "v1/", 1);
+        let store = ArtifactCache::open(&cache, bench.name());
+        // Wipe the v2 entry the session just wrote; keep only the v1 one.
+        let _ = std::fs::remove_dir_all(store.dir());
+        assert!(store.store(Stage::NpuTraining.label(), fingerprint(&v1_key), &artifact));
+
+        let session = CompileSession::new(bench, config).train_npu().unwrap();
+        assert_eq!(
+            session.stage_reports()[0].cache,
+            CacheOutcome::Miss,
+            "v1 artifact must not satisfy a v2 lookup"
+        );
+        let _ = std::fs::remove_dir_all(&cache.dir);
+    }
+
+    #[test]
+    fn pool_validation_profiles_cache_and_reload() {
+        let cache = tmp_cache("pool-validation");
+        let config = session_config(Some(cache.clone()));
+        let spec = PoolSpec::sized(&sobel().npu_topology(), 2);
+        let session = CompileSession::new(sobel(), config.clone())
+            .train_npu()
+            .unwrap()
+            .profile()
+            .unwrap()
+            .train_pool(&spec)
+            .unwrap();
+        let pool = session.pool().clone();
+
+        let (cold, cold_report) = profile_pool_validation(&pool, &config, 1_000_000, 3);
+        assert_eq!(cold_report.cache, CacheOutcome::Miss);
+        assert_eq!(cold.len(), pool.len());
+
+        let (warm, warm_report) = profile_pool_validation(&pool, &config, 1_000_000, 3);
+        assert!(warm_report.is_cache_hit());
+        assert_eq!(warm_report.invocations, 0);
+        for (w, c) in warm.iter().zip(&cold) {
+            for (wp, cp) in w.iter().zip(c) {
+                assert_eq!(wp.errors(), cp.errors());
+            }
+        }
+
+        // The accurate member's validation profiles share the binary key.
+        let (binary, binary_report) = profile_validation(pool.accurate(), &config, 1_000_000, 3);
+        assert!(binary_report.is_cache_hit());
+        for (bp, cp) in binary.iter().zip(cold.last().unwrap()) {
+            assert_eq!(bp.errors(), cp.errors());
         }
         let _ = std::fs::remove_dir_all(&cache.dir);
     }

@@ -16,6 +16,7 @@
 use crate::function::AcceleratedFunction;
 use crate::parallel::par_map_indexed;
 use crate::profile::DatasetProfile;
+use crate::route::{ApproximatorPool, RouteChoice, RouteClassifier};
 use crate::{MithraError, Result};
 use mithra_stats::clopper_pearson::{lower_bound, Confidence};
 
@@ -86,6 +87,35 @@ pub struct ThresholdOutcome {
     pub certified_rate: f64,
     /// Mean accelerator invocation rate over the datasets at this threshold.
     pub mean_invocation_rate: f64,
+}
+
+/// The optimizer's result over a **routed mixture**: the shared threshold
+/// certified against the mixed output stream of an ordered approximator
+/// pool, plus per-member accounting. Violations are attributed to
+/// whichever member served the worst (largest profiled error) invocation
+/// of the violating dataset, so `successes + Σ member_violations = trials`.
+///
+/// For a pool of one, every shared field (`threshold`, `successes`,
+/// `trials`, `certified_rate`, `mean_invocation_rate`) is bit-identical to
+/// the binary [`ThresholdOutcome`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RoutedThresholdOutcome {
+    /// The certified accelerator-error threshold shared by all members.
+    pub threshold: f32,
+    /// Datasets meeting the quality target under the routed mixture.
+    pub successes: u64,
+    /// Total datasets evaluated.
+    pub trials: u64,
+    /// The Clopper–Pearson lower bound on the unseen-dataset success rate
+    /// of the routed mixture.
+    pub certified_rate: f64,
+    /// Mean fraction of invocations served by *any* pool member.
+    pub mean_invocation_rate: f64,
+    /// Mean fraction of invocations served by each member (cheapest
+    /// first); sums to `mean_invocation_rate`.
+    pub member_invocation_rates: Vec<f64>,
+    /// Violating datasets attributed to each member (cheapest first).
+    pub member_violations: Vec<u64>,
 }
 
 /// Searches for the optimal threshold over a set of dataset profiles.
@@ -234,6 +264,282 @@ impl ThresholdOptimizer {
         })
     }
 
+    /// Certification probe over a **routed mixture** at one candidate
+    /// threshold: each dataset is replayed through the oracle router (the
+    /// cheapest member whose profiled error is within the threshold; see
+    /// [`ApproximatorPool::replay_routed_threshold`]) and the
+    /// Clopper–Pearson bound is taken over the mixed quality outcomes.
+    /// Violations are attributed to the member that served each violating
+    /// dataset's worst invocation.
+    ///
+    /// Replays fold sequentially in dataset order from per-dataset
+    /// results, so the probe is bit-identical at any thread count — and
+    /// bit-identical to [`certify`](Self::certify) for a pool of one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MithraError::InsufficientData`] for a profile table that
+    /// does not cover every member, and propagates replay failures.
+    pub fn certify_routed(
+        &self,
+        pool: &ApproximatorPool,
+        member_profiles: &[Vec<DatasetProfile>],
+        threshold: f32,
+    ) -> Result<RoutedThresholdOutcome> {
+        let trials = check_member_profile_table(pool, member_profiles)?;
+        let replays = par_map_indexed(trials, self.threads, |i| {
+            let members: Vec<&DatasetProfile> = member_profiles.iter().map(|mp| &mp[i]).collect();
+            pool.replay_routed_threshold(&members, threshold)
+        });
+        let mut successes = 0u64;
+        let mut invocation_rates = 0.0f64;
+        let mut member_rates = vec![0.0f64; pool.len()];
+        let mut member_violations = vec![0u64; pool.len()];
+        for replay in replays {
+            let replay = replay?;
+            if replay.quality_loss <= self.spec.max_quality_loss {
+                successes += 1;
+            } else {
+                member_violations[replay.worst_member] += 1;
+            }
+            invocation_rates += replay.invocation_rate();
+            if replay.total > 0 {
+                for (m, &count) in replay.member_invocations.iter().enumerate() {
+                    member_rates[m] += count as f64 / replay.total as f64;
+                }
+            }
+        }
+        let bound = lower_bound(successes, trials as u64, self.spec.confidence)?;
+        for rate in &mut member_rates {
+            *rate /= trials as f64;
+        }
+        Ok(RoutedThresholdOutcome {
+            threshold,
+            successes,
+            trials: trials as u64,
+            certified_rate: bound,
+            mean_invocation_rate: invocation_rates / trials as f64,
+            member_invocation_rates: member_rates,
+            member_violations,
+        })
+    }
+
+    /// Certification probe over the routed mixture with the **deployed
+    /// router in the loop**: each dataset is replayed under a fresh copy
+    /// of `router` making the per-invocation decisions — exactly how
+    /// `mithra-sim` serves a dataset — and the Clopper–Pearson bound is
+    /// taken over the resulting quality outcomes.
+    ///
+    /// The oracle probe ([`certify_routed`](Self::certify_routed))
+    /// overstates a cascade: every stage the router consults adds its own
+    /// false-accept mass, so an invocation whose true error exceeds the
+    /// threshold can still be served approximately. Certifying the
+    /// deployed decisions charges that misrouting against the certificate
+    /// instead of discovering it on unseen data.
+    ///
+    /// Replays fold sequentially in dataset order from per-dataset
+    /// results, so the probe is bit-identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MithraError::InsufficientData`] for a profile table that
+    /// does not cover every member, and propagates replay failures.
+    pub fn certify_routed_deployed(
+        &self,
+        pool: &ApproximatorPool,
+        member_profiles: &[Vec<DatasetProfile>],
+        router: &RouteClassifier,
+        threshold: f32,
+    ) -> Result<RoutedThresholdOutcome> {
+        let trials = check_member_profile_table(pool, member_profiles)?;
+        let replays = par_map_indexed(trials, self.threads, |i| {
+            let members: Vec<&DatasetProfile> = member_profiles.iter().map(|mp| &mp[i]).collect();
+            let mut stages = router.clone();
+            let choices: Vec<RouteChoice> = members[0]
+                .dataset()
+                .iter()
+                .enumerate()
+                .map(|(j, input)| stages.classify_route(j, input))
+                .collect();
+            pool.replay_routed_choices(&members, &choices)
+        });
+        let mut successes = 0u64;
+        let mut invocation_rates = 0.0f64;
+        let mut member_rates = vec![0.0f64; pool.len()];
+        let mut member_violations = vec![0u64; pool.len()];
+        for replay in replays {
+            let replay = replay?;
+            if replay.quality_loss <= self.spec.max_quality_loss {
+                successes += 1;
+            } else {
+                member_violations[replay.worst_member] += 1;
+            }
+            invocation_rates += replay.invocation_rate();
+            if replay.total > 0 {
+                for (m, &count) in replay.member_invocations.iter().enumerate() {
+                    member_rates[m] += count as f64 / replay.total as f64;
+                }
+            }
+        }
+        let bound = lower_bound(successes, trials as u64, self.spec.confidence)?;
+        for rate in &mut member_rates {
+            *rate /= trials as f64;
+        }
+        Ok(RoutedThresholdOutcome {
+            threshold,
+            successes,
+            trials: trials as u64,
+            certified_rate: bound,
+            mean_invocation_rate: invocation_rates / trials as f64,
+            member_invocation_rates: member_rates,
+            member_violations,
+        })
+    }
+
+    /// Finds the loosest threshold whose **deployed** routed mixture
+    /// certifies: the same bisection as
+    /// [`optimize_routed`](Self::optimize_routed), but every probe trains
+    /// a router at the candidate threshold (via `train_router`) and
+    /// certifies the router's own routing decisions
+    /// ([`certify_routed_deployed`](Self::certify_routed_deployed)).
+    ///
+    /// Unlike the oracle probe, the deployed probe is not monotone in the
+    /// threshold — each candidate retrains the cascade — so, like the
+    /// paper's delta-stepping, the bisection converges to *a* boundary of
+    /// the certification region rather than a guaranteed-loosest point.
+    /// The returned outcome always certifies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MithraError::InsufficientData`] with no profiles,
+    /// [`MithraError::Uncertifiable`] if even threshold 0 (where every
+    /// training label is "reject", so the cascade trains to all-precise)
+    /// cannot be certified, and propagates router-training failures.
+    pub fn optimize_routed_deployed<F>(
+        &self,
+        pool: &ApproximatorPool,
+        member_profiles: &[Vec<DatasetProfile>],
+        mut train_router: F,
+    ) -> Result<RoutedThresholdOutcome>
+    where
+        F: FnMut(f32) -> Result<RouteClassifier>,
+    {
+        let trials = check_member_profile_table(pool, member_profiles)?;
+        if trials == 0 {
+            return Err(MithraError::InsufficientData {
+                stage: "threshold optimization",
+                available: 0,
+                needed: 1,
+            });
+        }
+
+        let max_err = member_profiles
+            .iter()
+            .flat_map(|mp| mp.iter())
+            .flat_map(|p| p.errors().iter().copied())
+            .fold(0.0f32, f32::max)
+            .max(1e-6);
+
+        let origin_router = train_router(0.0)?;
+        let origin = self.certify_routed_deployed(pool, member_profiles, &origin_router, 0.0)?;
+        if origin.certified_rate < self.spec.success_rate {
+            return Err(MithraError::Uncertifiable {
+                quality_target: self.spec.max_quality_loss,
+                required_rate: self.spec.success_rate,
+                best_rate: origin.certified_rate,
+            });
+        }
+
+        let loose_router = train_router(max_err)?;
+        let loosest =
+            self.certify_routed_deployed(pool, member_profiles, &loose_router, max_err)?;
+        if loosest.certified_rate >= self.spec.success_rate {
+            return Ok(loosest);
+        }
+
+        let (mut lo, mut hi) = (0.0f32, max_err);
+        let mut best = origin;
+        for _ in 0..self.iterations {
+            let mid = 0.5 * (lo + hi);
+            let router = train_router(mid)?;
+            let probe = self.certify_routed_deployed(pool, member_profiles, &router, mid)?;
+            if probe.certified_rate >= self.spec.success_rate {
+                best = probe;
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Finds the loosest certifiable threshold of a routed mixture by the
+    /// same bisection as [`optimize`](Self::optimize): identical probe
+    /// points (the search range spans every member's observed errors),
+    /// identical certification test, identical fold order. For a pool of
+    /// one the result's shared fields are bit-identical to the binary
+    /// optimizer's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MithraError::InsufficientData`] with no profiles, and
+    /// [`MithraError::Uncertifiable`] if even threshold 0 (all-precise)
+    /// cannot be certified.
+    pub fn optimize_routed(
+        &self,
+        pool: &ApproximatorPool,
+        member_profiles: &[Vec<DatasetProfile>],
+    ) -> Result<RoutedThresholdOutcome> {
+        let trials = check_member_profile_table(pool, member_profiles)?;
+        if trials == 0 {
+            return Err(MithraError::InsufficientData {
+                stage: "threshold optimization",
+                available: 0,
+                needed: 1,
+            });
+        }
+
+        // Upper end of the search range: the largest error observed by
+        // any member. (For a pool of one this is the binary range.)
+        let max_err = member_profiles
+            .iter()
+            .flat_map(|mp| mp.iter())
+            .flat_map(|p| p.errors().iter().copied())
+            .fold(0.0f32, f32::max)
+            .max(1e-6);
+
+        // Threshold 0 filters every erroneous invocation: quality loss 0.
+        let origin = self.certify_routed(pool, member_profiles, 0.0)?;
+        if origin.certified_rate < self.spec.success_rate {
+            return Err(MithraError::Uncertifiable {
+                quality_target: self.spec.max_quality_loss,
+                required_rate: self.spec.success_rate,
+                best_rate: origin.certified_rate,
+            });
+        }
+
+        // If even the loosest threshold certifies, take it.
+        let loosest = self.certify_routed(pool, member_profiles, max_err)?;
+        if loosest.certified_rate >= self.spec.success_rate {
+            return Ok(loosest);
+        }
+
+        // Bisection: lo certifies, hi does not.
+        let (mut lo, mut hi) = (0.0f32, max_err);
+        let mut best = origin;
+        for _ in 0..self.iterations {
+            let mid = 0.5 * (lo + hi);
+            let probe = self.certify_routed(pool, member_profiles, mid)?;
+            if probe.certified_rate >= self.spec.success_rate {
+                best = probe;
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(best)
+    }
+
     /// The paper's literal Algorithm 1: delta-stepping from an initial
     /// threshold, loosening while certification holds and tightening while
     /// it fails, terminating at the boundary crossing.
@@ -313,6 +619,32 @@ impl ThresholdOptimizer {
             }
         }
     }
+}
+
+/// Validates a per-member profile table (`member_profiles[m][i]` = member
+/// `m`'s profile of dataset `i`), returning the dataset count.
+fn check_member_profile_table(
+    pool: &ApproximatorPool,
+    member_profiles: &[Vec<DatasetProfile>],
+) -> Result<usize> {
+    if member_profiles.len() != pool.len() {
+        return Err(MithraError::InsufficientData {
+            stage: "routed threshold optimization",
+            available: member_profiles.len(),
+            needed: pool.len(),
+        });
+    }
+    let trials = member_profiles[0].len();
+    for mp in member_profiles {
+        if mp.len() != trials {
+            return Err(MithraError::InsufficientData {
+                stage: "routed threshold optimization",
+                available: mp.len(),
+                needed: trials,
+            });
+        }
+    }
+    Ok(trials)
 }
 
 #[cfg(test)]
@@ -420,6 +752,83 @@ mod tests {
             bisect.threshold,
             stepped.threshold
         );
+    }
+
+    #[test]
+    fn routed_pool_of_one_matches_binary_bit_for_bit() {
+        let (f, profiles) = setup("sobel", 25);
+        let spec = QualitySpec::new(0.30, 0.9, 0.5).unwrap();
+        let opt = ThresholdOptimizer::new(spec);
+        let binary = opt.optimize(&f, &profiles).unwrap();
+        let pool =
+            ApproximatorPool::from_members(vec![f.clone()], vec![f.benchmark().npu_topology()]);
+        let routed = opt
+            .optimize_routed(&pool, std::slice::from_ref(&profiles))
+            .unwrap();
+        assert_eq!(binary.threshold.to_bits(), routed.threshold.to_bits());
+        assert_eq!(binary.successes, routed.successes);
+        assert_eq!(binary.trials, routed.trials);
+        assert_eq!(
+            binary.certified_rate.to_bits(),
+            routed.certified_rate.to_bits()
+        );
+        assert_eq!(
+            binary.mean_invocation_rate.to_bits(),
+            routed.mean_invocation_rate.to_bits()
+        );
+        assert_eq!(
+            routed.member_invocation_rates[0].to_bits(),
+            routed.mean_invocation_rate.to_bits()
+        );
+        assert_eq!(
+            routed.successes + routed.member_violations.iter().sum::<u64>(),
+            routed.trials
+        );
+    }
+
+    #[test]
+    fn routed_pool_accounting_is_conserved() {
+        let (f, profiles) = setup("sobel", 20);
+        let bench = f.benchmark();
+        let spec = QualitySpec::new(0.20, 0.9, 0.5).unwrap();
+        let cheap = crate::route::PoolSpec::tiered(&bench.npu_topology());
+        let train: Vec<mithra_axbench::dataset::Dataset> = (0..2)
+            .map(|s| bench.dataset(s, DatasetScale::Smoke))
+            .collect();
+        let pool = ApproximatorPool::train(
+            bench,
+            &train,
+            &NpuTrainConfig {
+                epochs: Some(25),
+                max_samples: 1500,
+                seed: 7,
+            },
+            &cheap,
+            Some(1),
+            Some(&f),
+        )
+        .unwrap();
+        let member_profiles: Vec<Vec<DatasetProfile>> = pool
+            .members()
+            .iter()
+            .map(|m| {
+                (100..120)
+                    .map(|s| DatasetProfile::collect(m, m.dataset(s, DatasetScale::Smoke)))
+                    .collect()
+            })
+            .collect();
+        let _ = profiles;
+        let routed = ThresholdOptimizer::new(spec)
+            .optimize_routed(&pool, &member_profiles)
+            .unwrap();
+        assert_eq!(routed.member_invocation_rates.len(), pool.len());
+        assert_eq!(routed.member_violations.len(), pool.len());
+        assert_eq!(
+            routed.successes + routed.member_violations.iter().sum::<u64>(),
+            routed.trials
+        );
+        let member_sum: f64 = routed.member_invocation_rates.iter().sum();
+        assert!((member_sum - routed.mean_invocation_rate).abs() < 1e-9);
     }
 
     #[test]

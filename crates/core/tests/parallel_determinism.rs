@@ -14,7 +14,8 @@
 use mithra_axbench::benchmark::Benchmark;
 use mithra_axbench::suite;
 use mithra_core::neural::NeuralClassifier;
-use mithra_core::pipeline::{compile, quantizer_from_profiles, CompileConfig};
+use mithra_core::pipeline::{compile, compile_routed, quantizer_from_profiles, CompileConfig};
+use mithra_core::route::PoolSpec;
 use mithra_core::table::TableClassifier;
 use mithra_core::threshold::ThresholdOptimizer;
 use std::sync::Arc;
@@ -110,5 +111,72 @@ fn parallel_sweeps_are_bit_identical_across_thread_counts() {
             )
             .unwrap();
         assert_eq!((successes, bound, rate), (s0, b0, r0));
+    }
+}
+
+#[test]
+fn routed_artifacts_are_bit_identical_across_thread_counts() {
+    // The routed branch adds three parallel stages on top of the binary
+    // ones — pool training, routed-mixture certification, router
+    // training. The whole routed compile must still be bit-identical at
+    // any thread count: same certified mixture threshold, same router
+    // bytes, same member weights.
+    let bench: Arc<dyn Benchmark> = suite::by_name("sobel").unwrap().into();
+    let spec = PoolSpec::sized(&bench.npu_topology(), 3);
+    let routed_at = |threads: Option<usize>| {
+        let config = CompileConfig {
+            threads,
+            ..CompileConfig::smoke()
+        };
+        compile_routed(Arc::clone(&bench), &config, &spec).unwrap()
+    };
+    let baseline = routed_at(Some(1));
+    let baseline_router = serde_json::to_string(&baseline.router).unwrap();
+    for threads in THREADS {
+        let candidate = routed_at(threads);
+        assert_eq!(
+            candidate.threshold, baseline.threshold,
+            "routed threshold diverged at threads={threads:?}"
+        );
+        assert_eq!(
+            serde_json::to_string(&candidate.router).unwrap(),
+            baseline_router,
+            "router diverged at threads={threads:?}"
+        );
+        for (m, (c, b)) in candidate
+            .pool
+            .members()
+            .iter()
+            .zip(baseline.pool.members())
+            .enumerate()
+        {
+            assert_eq!(
+                c.npu().to_parameters(),
+                b.npu().to_parameters(),
+                "pool member {m} diverged at threads={threads:?}"
+            );
+        }
+
+        // The deployed routed optimizer itself — the certification a
+        // multi-member compile runs — re-run over the baseline's member
+        // profiles at this thread count.
+        let config = CompileConfig::smoke();
+        let outcome = ThresholdOptimizer::new(config.spec)
+            .with_threads(threads)
+            .optimize_routed_deployed(&baseline.pool, &baseline.member_profiles, |t| {
+                mithra_core::route::RouteClassifier::train(
+                    &baseline.member_profiles,
+                    t,
+                    &config.table_design,
+                    config.classifier_train_samples,
+                    config.seed_base ^ 0x7261_696E,
+                    threads,
+                )
+            })
+            .unwrap();
+        assert_eq!(
+            outcome, baseline.threshold,
+            "optimize_routed_deployed diverged at threads={threads:?}"
+        );
     }
 }

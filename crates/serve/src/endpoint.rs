@@ -15,9 +15,11 @@ use crate::metrics::EndpointCounters;
 use mithra_core::classifier::Classifier;
 use mithra_core::pipeline::Compiled;
 use mithra_core::profile::{DatasetProfile, Route};
+use mithra_core::route::{oracle_route, RouteChoice, RoutedCompiled};
 use mithra_core::watchdog::{self, QualityWatchdog};
+use mithra_core::MithraError;
 use mithra_sim::fault::FifoEvent;
-use mithra_sim::system::{InvocationModel, RunResult, SimOptions};
+use mithra_sim::system::{InvocationModel, RoutedInvocationModel, RunResult, SimOptions};
 use mithra_stats::clopper_pearson::Confidence;
 use std::sync::{Arc, Mutex};
 
@@ -31,6 +33,22 @@ pub struct EndpointSpec {
     pub compiled: Arc<Compiled>,
     /// The profiled dataset whose invocations this endpoint serves.
     pub profile: DatasetProfile,
+    /// Optional multi-approximator routing attachment. `None` serves the
+    /// binary accept/reject path exactly as before; `Some` routes each
+    /// invocation over the pool instead (see [`RoutedServeSpec`]).
+    pub routed: Option<RoutedServeSpec>,
+}
+
+/// The routing attachment of an endpoint: the routed compile product and
+/// the pool's view of the served dataset.
+#[derive(Debug)]
+pub struct RoutedServeSpec {
+    /// The routed compile product (pool, certified mixture threshold,
+    /// router cascade).
+    pub routed: Arc<RoutedCompiled>,
+    /// Pool member `m`'s profile of the **same** dataset the endpoint's
+    /// `profile` covers, cheapest member first.
+    pub member_profiles: Vec<DatasetProfile>,
 }
 
 /// One served invocation: the worker's decision and its charge, parked in
@@ -39,6 +57,9 @@ pub struct EndpointSpec {
 pub(crate) struct ServedInvocation {
     /// Did the invocation run on the accelerator?
     pub approx: bool,
+    /// Which pool member served it (meaningful only when `approx` on a
+    /// routed endpoint; always 0 on the binary path).
+    pub member: usize,
     /// Simulated core-visible cycles charged.
     pub cycles: f64,
     /// Simulated energy charged (nJ).
@@ -67,8 +88,79 @@ pub(crate) struct EndpointState {
     pub config_words: Vec<u32>,
     /// Calibrated watchdog prototype; each worker forks its own copy.
     pub watchdog_proto: Option<QualityWatchdog>,
+    /// Routed sub-state; `None` keeps the binary serving path untouched.
+    pub routed: Option<RoutedEndpointState>,
     pub slots: Mutex<SlotTable>,
     pub counters: Mutex<EndpointCounters>,
+}
+
+/// Lowered routing attachment: per-route cost models, per-member NPU
+/// configuration images, and the oracle route of every invocation.
+#[derive(Debug)]
+pub(crate) struct RoutedEndpointState {
+    pub routed: Arc<RoutedCompiled>,
+    pub member_profiles: Vec<DatasetProfile>,
+    pub model: RoutedInvocationModel,
+    /// Per-member configuration images, streamed on route switches.
+    pub member_config_words: Vec<Vec<u32>>,
+    /// Ground-truth route of every invocation at the certified routed
+    /// threshold, for false-decision accounting.
+    pub oracle_routes: Vec<RouteChoice>,
+}
+
+impl RoutedEndpointState {
+    fn build(
+        spec: RoutedServeSpec,
+        served_invocations: usize,
+        options: &SimOptions,
+    ) -> Result<Self, ServeError> {
+        let RoutedServeSpec {
+            routed,
+            member_profiles,
+        } = spec;
+        if member_profiles.len() != routed.pool.len() {
+            return Err(ServeError::Core(MithraError::InsufficientData {
+                stage: "routed endpoint build",
+                available: member_profiles.len(),
+                needed: routed.pool.len(),
+            }));
+        }
+        for p in &member_profiles {
+            if p.invocation_count() != served_invocations {
+                return Err(ServeError::Core(MithraError::InsufficientData {
+                    stage: "routed endpoint build",
+                    available: p.invocation_count(),
+                    needed: served_invocations,
+                }));
+            }
+        }
+        let model = RoutedInvocationModel::new(&routed, options);
+        let threshold = model.threshold();
+        let refs: Vec<&DatasetProfile> = member_profiles.iter().collect();
+        let oracle_routes = (0..served_invocations)
+            .map(|i| oracle_route(&refs, i, threshold))
+            .collect();
+        let member_config_words = routed
+            .pool
+            .members()
+            .iter()
+            .map(|member| {
+                let (weights, biases) = member.npu().to_parameters();
+                weights
+                    .iter()
+                    .chain(biases.iter())
+                    .map(|w| w.to_bits())
+                    .collect()
+            })
+            .collect();
+        Ok(Self {
+            routed,
+            member_profiles,
+            model,
+            member_config_words,
+            oracle_routes,
+        })
+    }
 }
 
 impl EndpointState {
@@ -84,6 +176,7 @@ impl EndpointState {
             name,
             compiled,
             profile,
+            routed,
         } = spec;
         let model = InvocationModel::new(&compiled, &compiled.table.overhead(), options);
         let oracle_rejects = profile.oracle_rejects(model.threshold());
@@ -108,6 +201,9 @@ impl EndpointState {
             None
         };
         let n = profile.invocation_count();
+        let routed = routed
+            .map(|r| RoutedEndpointState::build(r, n, options))
+            .transpose()?;
         Ok(Self {
             name,
             compiled,
@@ -116,6 +212,7 @@ impl EndpointState {
             oracle_rejects,
             config_words,
             watchdog_proto,
+            routed,
             slots: Mutex::new(SlotTable {
                 slots: vec![None; n],
                 filled: 0,
@@ -138,6 +235,9 @@ impl EndpointState {
         let n = table.slots.len();
         if table.filled < n {
             return Ok(None);
+        }
+        if let Some(routed) = &self.routed {
+            return Self::finish_routed(routed, &table).map(Some);
         }
         let baseline = self.model.baseline(n);
         let startup = self.model.startup(n);
@@ -179,6 +279,62 @@ impl EndpointState {
             false_positives,
             false_negatives,
         }))
+    }
+
+    /// The routed counterpart of the binary fold: identical index-order
+    /// accumulation, but slots resolve to [`RouteChoice`]s, false
+    /// decisions are judged against the routing oracle, and quality comes
+    /// from the pool's mixed replay — the same fold
+    /// `mithra_sim::system::run_routed` performs, which is what keeps a
+    /// fully-covered routed endpoint bit-identical to the sequential
+    /// routed simulator.
+    fn finish_routed(
+        routed: &RoutedEndpointState,
+        table: &SlotTable,
+    ) -> Result<RunResult, ServeError> {
+        let n = table.slots.len();
+        let baseline = routed.model.baseline(n);
+        let startup = routed.model.startup(n);
+        let mut cycles = startup.cycles;
+        let mut energy = startup.energy;
+        let threshold = routed.model.threshold();
+        let mut choices: Vec<RouteChoice> = Vec::with_capacity(n);
+        let mut invoked = 0usize;
+        let (mut false_positives, mut false_negatives) = (0usize, 0usize);
+        for (i, slot) in table.slots.iter().enumerate() {
+            let s = slot.expect("filled table has no holes");
+            cycles += s.cycles;
+            energy += s.energy;
+            if s.approx {
+                invoked += 1;
+                if routed.member_profiles[s.member].max_error(i) > threshold {
+                    false_negatives += 1;
+                }
+                choices.push(RouteChoice::Member(s.member));
+            } else {
+                if !routed.oracle_routes[i].is_precise() {
+                    false_positives += 1;
+                }
+                choices.push(RouteChoice::Precise);
+            }
+        }
+        let refs: Vec<&DatasetProfile> = routed.member_profiles.iter().collect();
+        let replay = routed
+            .routed
+            .pool
+            .replay_routed_choices(&refs, &choices)
+            .map_err(ServeError::Core)?;
+        Ok(RunResult {
+            baseline_cycles: baseline.cycles,
+            accelerated_cycles: cycles,
+            baseline_energy_nj: baseline.energy,
+            accelerated_energy_nj: energy,
+            quality_loss: replay.quality_loss,
+            invoked,
+            total: n,
+            false_positives,
+            false_negatives,
+        })
     }
 
     /// Records a sub-batch of served invocations under one slot-table

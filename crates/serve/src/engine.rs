@@ -26,6 +26,7 @@ use crate::metrics::{EndpointCounters, EndpointMetrics, MetricsSnapshot};
 use crate::queue::{BoundedQueue, PushError};
 use mithra_core::classifier::{Classifier, Decision};
 use mithra_core::profile::default_threads;
+use mithra_core::route::{RouteChoice, RouteClassifier};
 use mithra_core::table::TableClassifier;
 use mithra_core::watchdog::QualityWatchdog;
 use mithra_npu::fifo::QueueInterface;
@@ -86,6 +87,8 @@ struct Shared {
 /// classifier clone, scratch output buffer, and forked watchdog.
 struct WorkerCtx {
     classifier: TableClassifier,
+    /// The router cascade clone for routed endpoints (`None` binary).
+    router: Option<RouteClassifier>,
     queues: QueueInterface,
     watchdog: Option<QualityWatchdog>,
     out: Vec<f32>,
@@ -97,6 +100,7 @@ impl WorkerCtx {
     fn new(state: &EndpointState) -> Self {
         Self {
             classifier: state.compiled.table.clone(),
+            router: state.routed.as_ref().map(|r| r.routed.router.clone()),
             queues: QueueInterface::new(),
             watchdog: state.watchdog_proto.as_ref().map(QualityWatchdog::fork),
             out: Vec::new(),
@@ -131,8 +135,10 @@ impl ServeEngine {
     /// [`ServeError::UnsupportedOptions`] when
     /// `options.online_update_period != 0` (online table updates mutate
     /// classifier state, which would make decisions depend on request
-    /// interleaving); [`ServeError::Core`] when watchdog calibration
-    /// fails.
+    /// interleaving) or when `watchdog_period > 0` alongside a routed
+    /// endpoint (binary admission cannot attribute to routes);
+    /// [`ServeError::Core`] when watchdog calibration fails or a routed
+    /// attachment's member profiles mismatch the served dataset.
     pub fn start(specs: Vec<EndpointSpec>, config: &ServeConfig) -> Result<Self, ServeError> {
         if config.options.online_update_period != 0 {
             return Err(ServeError::UnsupportedOptions(
@@ -142,6 +148,14 @@ impl ServeEngine {
         }
         if specs.is_empty() {
             return Err(ServeError::NoEndpoints);
+        }
+        if config.watchdog_period > 0 && specs.iter().any(|s| s.routed.is_some()) {
+            return Err(ServeError::UnsupportedOptions(
+                "watchdog_period must be 0 with routed endpoints: the \
+                 watchdog's binary admission ladder has no per-route \
+                 attribution, so guarding would silently degrade the \
+                 routed mixture's accounting",
+            ));
         }
         let endpoints = specs
             .into_iter()
@@ -378,10 +392,12 @@ impl ServeReport {
             endpoints: self
                 .endpoints
                 .iter()
-                .map(|e| EndpointMetrics {
-                    name: e.name.clone(),
-                    invocations: e.invocations as u64,
-                    counters: e.counters.clone(),
+                .map(|e| {
+                    EndpointMetrics::freeze(
+                        e.name.clone(),
+                        e.invocations as u64,
+                        e.counters.clone(),
+                    )
                 })
                 .collect(),
         }
@@ -407,7 +423,11 @@ fn worker_loop(shared: &Shared) {
             }
             let state = &shared.endpoints[ep];
             let ctx = ctxs[ep].get_or_insert_with(|| WorkerCtx::new(state));
-            serve_sub_batch(state, ctx, &batch[i..j], shared.watchdog_period);
+            if state.routed.is_some() {
+                serve_sub_batch_routed(state, ctx, &batch[i..j]);
+            } else {
+                serve_sub_batch(state, ctx, &batch[i..j], shared.watchdog_period);
+            }
             i = j;
         }
     }
@@ -475,6 +495,7 @@ fn serve_sub_batch(
             inv,
             ServedInvocation {
                 approx,
+                member: 0,
                 cycles: charge.cycles,
                 energy: charge.energy,
             },
@@ -488,6 +509,85 @@ fn serve_sub_batch(
             delta.served += 1;
             if served.approx {
                 delta.approx += 1;
+            } else {
+                delta.fallback += 1;
+            }
+            delta.latency.record(served.cycles);
+        } else {
+            delta.duplicates += 1;
+        }
+    }
+    state
+        .counters
+        .lock()
+        .expect("metrics lock poisoned")
+        .absorb(&delta);
+}
+
+/// The routed analogue of [`serve_sub_batch`]: the router cascade picks a
+/// pool member (or precise fallback) per invocation, and the worker
+/// streams a member's configuration image only when the served route
+/// *switches* members within the sub-batch — consecutive same-member runs
+/// share one config burst, the routed generalization of the binary
+/// path's one-burst-per-sub-batch amortization. Precise fallbacks touch
+/// no FIFO and leave the configured member in place.
+fn serve_sub_batch_routed(state: &EndpointState, ctx: &mut WorkerCtx, requests: &[Request]) {
+    let routed = state
+        .routed
+        .as_ref()
+        .expect("routed sub-batch needs routed state");
+    let router = ctx
+        .router
+        .as_mut()
+        .expect("routed sub-batch needs a router clone");
+    let mut delta = EndpointCounters {
+        route_served: vec![0; routed.routed.pool.len()],
+        ..Default::default()
+    };
+    let mut pending: Vec<(usize, ServedInvocation)> = Vec::with_capacity(requests.len());
+    // Which member's configuration currently sits in the (simulated)
+    // config FIFO; fresh per sub-batch, like the binary path's burst.
+    let mut configured: Option<usize> = None;
+    for request in requests {
+        let inv = request.invocation;
+        let input = state.profile.dataset().input(inv);
+        let route = router.classify_route(inv, input);
+        if let RouteChoice::Member(m) = route {
+            if configured != Some(m) {
+                delta.config_bursts +=
+                    ctx.queues.stream_config(&routed.member_config_words[m]) as u64;
+                configured = Some(m);
+            }
+            // The member's accelerator work: operands through the input
+            // FIFO, the member's fixed-point network, results drained.
+            ctx.queues.input.enqueue_slice(input);
+            ctx.queues.input.clear();
+            routed
+                .routed
+                .pool
+                .member(m)
+                .approx_into(input, &mut ctx.out);
+            ctx.queues.output.enqueue_slice(&ctx.out);
+            ctx.queues.output.clear();
+        }
+        let charge = routed.model.charge_route(route, CLEAN_EVENT, false);
+        pending.push((
+            inv,
+            ServedInvocation {
+                approx: !route.is_precise(),
+                member: route.member().unwrap_or(0),
+                cycles: charge.cycles,
+                energy: charge.energy,
+            },
+        ));
+    }
+    state.fill_slots(&pending, &mut ctx.fresh);
+    for (&(_, served), &fresh) in pending.iter().zip(ctx.fresh.iter()) {
+        if fresh {
+            delta.served += 1;
+            if served.approx {
+                delta.approx += 1;
+                delta.route_served[served.member] += 1;
             } else {
                 delta.fallback += 1;
             }

@@ -27,6 +27,12 @@
 //! batch size, and arrival order (watchdog off) — sharding buys wall-clock
 //! throughput, never different numbers.
 //!
+//! An endpoint may instead attach a [`RoutedServeSpec`]: the router
+//! cascade then picks a pool member (or the precise fallback) per
+//! invocation, workers stream a member's NPU configuration only on route
+//! switches within a sub-batch, and the fully-served fold is
+//! bit-identical to `mithra_sim::system::run_routed`.
+//!
 //! [`QualityWatchdog`]: mithra_core::watchdog::QualityWatchdog
 //! [`InvocationModel`]: mithra_sim::system::InvocationModel
 //! [`RunResult`]: mithra_sim::system::RunResult
@@ -41,7 +47,7 @@ pub mod metrics;
 pub mod queue;
 
 pub use backoff::Backoff;
-pub use endpoint::EndpointSpec;
+pub use endpoint::{EndpointSpec, RoutedServeSpec};
 pub use engine::{DrainedEngine, EndpointReport, Request, ServeConfig, ServeEngine, ServeReport};
 pub use error::{RejectReason, ServeError};
 pub use metrics::{EndpointCounters, LatencyHistogram, MetricsSnapshot};

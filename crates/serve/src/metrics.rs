@@ -70,6 +70,29 @@ impl LatencyHistogram {
             *a += b;
         }
     }
+
+    /// The latency quantile `q` (e.g. `0.99`), conservatively reported as
+    /// the **upper bound** of the bucket holding the rank-`⌈q·total⌉`
+    /// invocation — a fixed-bucket histogram cannot resolve finer, and
+    /// rounding up keeps the figure a true "no more than" bound. An empty
+    /// histogram reports 0; a quantile landing in the overflow bucket
+    /// saturates to `u64::MAX` (the histogram only knows "beyond the last
+    /// bound").
+    pub fn percentile(&self, q: f64) -> u64 {
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return LATENCY_BUCKET_BOUNDS.get(i).copied().unwrap_or(u64::MAX);
+            }
+        }
+        unreachable!("rank is clamped to the histogram total")
+    }
 }
 
 /// Watchdog activity aggregated across an endpoint's worker shards.
@@ -104,6 +127,11 @@ pub struct EndpointCounters {
     pub duplicates: u64,
     /// Config-FIFO refill bursts (amortized across each batch).
     pub config_bursts: u64,
+    /// Served requests per pool member, cheapest first — populated only
+    /// on routed endpoints (empty on the binary path). When non-empty its
+    /// sum must equal `approx`: every accelerated request was served by
+    /// exactly one member.
+    pub route_served: Vec<u64>,
     /// Per-invocation latency distribution in cycles.
     pub latency: LatencyHistogram,
     /// Aggregated watchdog activity across this endpoint's shards.
@@ -142,6 +170,15 @@ impl EndpointCounters {
                 self.watchdog.violations, self.watchdog.samples
             ));
         }
+        if !self.route_served.is_empty() {
+            let routed_sum: u64 = self.route_served.iter().sum();
+            if routed_sum != self.approx {
+                errors.push(format!(
+                    "route_served sums to {routed_sum} but approx = {}",
+                    self.approx
+                ));
+            }
+        }
         errors
     }
 
@@ -155,6 +192,12 @@ impl EndpointCounters {
         self.rejected_invalid += delta.rejected_invalid;
         self.duplicates += delta.duplicates;
         self.config_bursts += delta.config_bursts;
+        if self.route_served.len() < delta.route_served.len() {
+            self.route_served.resize(delta.route_served.len(), 0);
+        }
+        for (a, b) in self.route_served.iter_mut().zip(&delta.route_served) {
+            *a += b;
+        }
         self.latency.merge(&delta.latency);
         self.watchdog.samples += delta.watchdog.samples;
         self.watchdog.violations += delta.watchdog.violations;
@@ -170,8 +213,30 @@ pub struct EndpointMetrics {
     pub name: String,
     /// Invocations the endpoint was asked to cover.
     pub invocations: u64,
+    /// Median per-invocation latency, as the histogram bucket bound
+    /// (see [`LatencyHistogram::percentile`]).
+    pub p50_cycles: u64,
+    /// 99th-percentile per-invocation latency bucket bound.
+    pub p99_cycles: u64,
+    /// 99.9th-percentile per-invocation latency bucket bound.
+    pub p999_cycles: u64,
     /// The frozen counters.
     pub counters: EndpointCounters,
+}
+
+impl EndpointMetrics {
+    /// Freezes one endpoint's counters for export, deriving the latency
+    /// percentiles from the histogram at freeze time.
+    pub fn freeze(name: String, invocations: u64, counters: EndpointCounters) -> Self {
+        Self {
+            name,
+            invocations,
+            p50_cycles: counters.latency.percentile(0.50),
+            p99_cycles: counters.latency.percentile(0.99),
+            p999_cycles: counters.latency.percentile(0.999),
+            counters,
+        }
+    }
 }
 
 /// The whole registry, frozen for export; serializes to the JSON shape
@@ -191,8 +256,20 @@ impl MetricsSnapshot {
         self.endpoints
             .iter()
             .flat_map(|e| {
-                e.counters
-                    .consistency_errors()
+                let mut errors = e.counters.consistency_errors();
+                for (label, frozen, q) in [
+                    ("p50_cycles", e.p50_cycles, 0.50),
+                    ("p99_cycles", e.p99_cycles, 0.99),
+                    ("p999_cycles", e.p999_cycles, 0.999),
+                ] {
+                    let recomputed = e.counters.latency.percentile(q);
+                    if frozen != recomputed {
+                        errors.push(format!(
+                            "{label} = {frozen} but the histogram says {recomputed}"
+                        ));
+                    }
+                }
+                errors
                     .into_iter()
                     .map(move |msg| format!("{}: {msg}", e.name))
             })
@@ -246,15 +323,95 @@ mod tests {
     #[test]
     fn snapshot_serializes() {
         let snap = MetricsSnapshot {
-            endpoints: vec![EndpointMetrics {
-                name: "sobel".into(),
-                invocations: 10,
-                counters: EndpointCounters::default(),
-            }],
+            endpoints: vec![EndpointMetrics::freeze(
+                "sobel".into(),
+                10,
+                EndpointCounters::default(),
+            )],
         };
         let json = serde_json::to_string(&snap).unwrap();
         assert!(json.contains("\"sobel\""));
         assert!(json.contains("\"latency\""));
         assert!(json.contains("\"watchdog\""));
+        assert!(json.contains("\"p50_cycles\""));
+        assert!(json.contains("\"p99_cycles\""));
+        assert!(json.contains("\"p999_cycles\""));
+        assert!(json.contains("\"route_served\""));
+    }
+
+    #[test]
+    fn percentile_reports_bucket_upper_bounds() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.percentile(0.5), 0, "empty histogram reports 0");
+        // 99 fast invocations, 1 slow one: p50 sits in the first bucket,
+        // p99 still in the first, p999 lands on the straggler.
+        for _ in 0..99 {
+            h.record(10.0);
+        }
+        h.record(5000.0); // ≤ 8192 → bucket 7
+        assert_eq!(h.percentile(0.50), 64);
+        assert_eq!(h.percentile(0.99), 64);
+        assert_eq!(h.percentile(0.999), 8192);
+        assert_eq!(h.percentile(1.0), 8192);
+        // A single overflow sample saturates the top quantile.
+        h.record(1e12);
+        assert_eq!(h.percentile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut h = LatencyHistogram::default();
+        for cycles in [3.0, 70.0, 300.0, 1500.0, 40_000.0, 900_000.0] {
+            h.record(cycles);
+        }
+        let (p50, p99, p999) = (h.percentile(0.5), h.percentile(0.99), h.percentile(0.999));
+        assert!(p50 <= p99 && p99 <= p999, "{p50} {p99} {p999}");
+    }
+
+    #[test]
+    fn route_served_absorbs_and_audits() {
+        let mut a = EndpointCounters::default();
+        let mut d = EndpointCounters {
+            served: 3,
+            approx: 2,
+            fallback: 1,
+            route_served: vec![1, 1],
+            ..EndpointCounters::default()
+        };
+        d.latency.record(10.0);
+        d.latency.record(10.0);
+        d.latency.record(10.0);
+        assert!(
+            d.consistency_errors().is_empty(),
+            "{:?}",
+            d.consistency_errors()
+        );
+        a.absorb(&d);
+        a.absorb(&d);
+        assert_eq!(a.route_served, vec![2, 2]);
+        assert!(a.consistency_errors().is_empty());
+        // A member count that drifts from `approx` must be flagged.
+        a.route_served[0] += 1;
+        assert_eq!(a.consistency_errors().len(), 1);
+    }
+
+    #[test]
+    fn snapshot_flags_stale_percentiles() {
+        let mut counters = EndpointCounters {
+            served: 1,
+            approx: 1,
+            ..EndpointCounters::default()
+        };
+        counters.latency.record(100.0);
+        let mut frozen = EndpointMetrics::freeze("sobel".into(), 1, counters);
+        let snap = MetricsSnapshot {
+            endpoints: vec![frozen.clone()],
+        };
+        assert!(snap.consistency_errors().is_empty());
+        frozen.p99_cycles += 1;
+        let stale = MetricsSnapshot {
+            endpoints: vec![frozen],
+        };
+        assert_eq!(stale.consistency_errors().len(), 1);
     }
 }

@@ -35,11 +35,13 @@ fn snapshot_histogram_sum_equals_served_counter() {
                 name: "sobel-a".into(),
                 compiled: Arc::clone(&compiled),
                 profile: profile.clone(),
+                routed: None,
             },
             EndpointSpec {
                 name: "sobel-b".into(),
                 compiled: Arc::clone(&compiled),
                 profile: profile.clone(),
+                routed: None,
             },
         ],
         &ServeConfig {
@@ -72,6 +74,18 @@ fn snapshot_histogram_sum_equals_served_counter() {
             c.approx + c.fallback,
             c.served,
             "{}: every served request ran exactly one path",
+            endpoint.name
+        );
+        // The frozen latency percentiles must restate the histogram —
+        // monotone and recomputable from the exported counts.
+        assert_eq!(endpoint.p50_cycles, c.latency.percentile(0.50));
+        assert_eq!(endpoint.p99_cycles, c.latency.percentile(0.99));
+        assert_eq!(endpoint.p999_cycles, c.latency.percentile(0.999));
+        assert!(endpoint.p50_cycles <= endpoint.p99_cycles);
+        assert!(endpoint.p99_cycles <= endpoint.p999_cycles);
+        assert!(
+            endpoint.p50_cycles > 0,
+            "{}: a served endpoint has a nonzero median",
             endpoint.name
         );
     }
@@ -107,10 +121,11 @@ fn consistency_errors_flag_planted_defects() {
     assert_eq!(c.consistency_errors().len(), 1);
 }
 
-/// Materializes arbitrary counters from flat generated values: 11 scalar
-/// counters followed by one histogram count per bucket.
+/// Materializes arbitrary counters from flat generated values: 13 scalar
+/// counters (the last two feed a two-member `route_served`) followed by
+/// one histogram count per bucket.
 fn counters_from(fields: &[u64]) -> EndpointCounters {
-    let (scalars, hist) = fields.split_at(11);
+    let (scalars, hist) = fields.split_at(13);
     EndpointCounters {
         served: scalars[0],
         approx: scalars[1],
@@ -119,6 +134,7 @@ fn counters_from(fields: &[u64]) -> EndpointCounters {
         rejected_invalid: scalars[4],
         duplicates: scalars[5],
         config_bursts: scalars[6],
+        route_served: vec![scalars[11], scalars[12]],
         latency: LatencyHistogram {
             counts: hist.to_vec(),
         },
@@ -131,7 +147,7 @@ fn counters_from(fields: &[u64]) -> EndpointCounters {
     }
 }
 
-const COUNTER_FIELDS: usize = 11 + LATENCY_BUCKET_BOUNDS.len() + 1;
+const COUNTER_FIELDS: usize = 13 + LATENCY_BUCKET_BOUNDS.len() + 1;
 
 proptest! {
     #[test]
@@ -182,6 +198,7 @@ proptest! {
         for c in [&mut a, &mut b] {
             // Repair the generated counters into a consistent state.
             c.served = c.approx + c.fallback;
+            c.route_served = vec![c.approx / 2, c.approx - c.approx / 2];
             c.latency = LatencyHistogram::default();
             for _ in 0..c.served {
                 c.latency.record(128.0);

@@ -86,6 +86,7 @@ fn submit_or_wait_completes_through_a_constantly_full_queue() {
             name: "sobel".into(),
             compiled: Arc::clone(&compiled),
             profile,
+            routed: None,
         }],
         &ServeConfig {
             workers: 1,
@@ -135,6 +136,7 @@ fn engine_under_saturation_serves_exactly_once_and_stays_bit_identical() {
             name: "sobel".into(),
             compiled: Arc::clone(&compiled),
             profile: profile.clone(),
+            routed: None,
         }],
         &ServeConfig {
             workers: 4,

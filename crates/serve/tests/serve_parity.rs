@@ -7,10 +7,11 @@
 use mithra_axbench::benchmark::Benchmark;
 use mithra_axbench::dataset::DatasetScale;
 use mithra_axbench::suite;
-use mithra_core::pipeline::{compile, CompileConfig, Compiled};
+use mithra_core::pipeline::{compile, compile_routed, CompileConfig, Compiled};
 use mithra_core::profile::DatasetProfile;
-use mithra_serve::{EndpointSpec, ServeConfig, ServeEngine};
-use mithra_sim::system::{simulate, RunResult, SimOptions};
+use mithra_core::route::{PoolSpec, RoutedCompiled};
+use mithra_serve::{EndpointSpec, RoutedServeSpec, ServeConfig, ServeEngine, ServeError};
+use mithra_sim::system::{run_routed, simulate, RunResult, SimOptions};
 use std::sync::{Arc, OnceLock};
 
 const SUITE: [&str; 6] = [
@@ -52,6 +53,7 @@ fn serve_once(
             name: "endpoint".into(),
             compiled: Arc::clone(compiled),
             profile: profile.clone(),
+            routed: None,
         }],
         &ServeConfig {
             workers,
@@ -141,11 +143,13 @@ fn multi_endpoint_interleaving_preserves_every_endpoint_identity() {
                 name: "sobel".into(),
                 compiled: Arc::clone(&sobel),
                 profile: sobel_profile.clone(),
+                routed: None,
             },
             EndpointSpec {
                 name: "inversek2j".into(),
                 compiled: Arc::clone(&invk),
                 profile: invk_profile.clone(),
+                routed: None,
             },
         ],
         &ServeConfig {
@@ -191,6 +195,7 @@ fn watchdog_enabled_serving_covers_and_guards() {
             name: "inversek2j".into(),
             compiled: Arc::clone(&compiled),
             profile: profile.clone(),
+            routed: None,
         }],
         &ServeConfig {
             workers: 2,
@@ -220,4 +225,133 @@ fn watchdog_enabled_serving_covers_and_guards() {
         "shadow samples must cost cycles over the unguarded run"
     );
     assert_eq!(result.invoked, expected.invoked, "admission never gated");
+}
+
+fn routed_for(name: &str, pool_size: usize) -> Arc<RoutedCompiled> {
+    let bench: Arc<dyn Benchmark> = suite::by_name(name).unwrap().into();
+    let spec = PoolSpec::sized(&bench.npu_topology(), pool_size);
+    Arc::new(compile_routed(bench, &CompileConfig::smoke(), &spec).unwrap())
+}
+
+fn member_profiles_for(routed: &RoutedCompiled, seed: u64) -> Vec<DatasetProfile> {
+    let ds = routed.pool.accurate().dataset(seed, DatasetScale::Smoke);
+    routed
+        .pool
+        .members()
+        .iter()
+        .map(|m| DatasetProfile::collect(m, ds.clone()))
+        .collect()
+}
+
+fn serve_routed_once(
+    compiled: &Arc<Compiled>,
+    routed: &Arc<RoutedCompiled>,
+    member_profiles: &[DatasetProfile],
+    workers: usize,
+    batch: usize,
+) -> (RunResult, Vec<u64>) {
+    let profile = member_profiles.last().expect("non-empty pool").clone();
+    let n = profile.invocation_count();
+    let engine = ServeEngine::start(
+        vec![EndpointSpec {
+            name: "routed".into(),
+            compiled: Arc::clone(compiled),
+            profile,
+            routed: Some(RoutedServeSpec {
+                routed: Arc::clone(routed),
+                member_profiles: member_profiles.to_vec(),
+            }),
+        }],
+        &ServeConfig {
+            workers,
+            batch,
+            queue_depth: 64,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    for i in 0..n {
+        engine.submit_or_wait(0, i).unwrap();
+    }
+    let report = engine.finish().unwrap();
+    let endpoint = &report.endpoints[0];
+    let snapshot = report.snapshot();
+    assert!(
+        snapshot.consistency_errors().is_empty(),
+        "{:?}",
+        snapshot.consistency_errors()
+    );
+    (
+        endpoint.result.expect("full coverage yields a result"),
+        endpoint.counters.route_served.clone(),
+    )
+}
+
+#[test]
+fn routed_serving_is_bit_identical_to_routed_simulate() {
+    // A pool of three served through the sharded engine must reproduce
+    // the sequential routed simulator bit for bit, and the per-route
+    // counters must agree with its member accounting.
+    let compiled = compiled_for("inversek2j");
+    let routed = routed_for("inversek2j", 3);
+    for seed in [41u64, 4242] {
+        let member_profiles = member_profiles_for(&routed, seed);
+        let refs: Vec<&DatasetProfile> = member_profiles.iter().collect();
+        let mut router = routed.router.clone();
+        let expected = run_routed(&routed, &refs, &mut router, &SimOptions::default()).unwrap();
+        for (workers, batch) in [(1, 1), (3, 4)] {
+            let (got, route_served) =
+                serve_routed_once(&compiled, &routed, &member_profiles, workers, batch);
+            assert_eq!(
+                got, expected.run,
+                "seed {seed}, {workers} workers, batch {batch} diverged \
+                 from sequential run_routed"
+            );
+            let served_members: Vec<u64> = expected
+                .member_invocations
+                .iter()
+                .map(|&m| m as u64)
+                .collect();
+            assert_eq!(route_served, served_members);
+        }
+    }
+}
+
+#[test]
+fn routed_pool_of_one_serving_matches_binary_serving() {
+    // The routing attachment with a pool of one must not perturb a single
+    // bit relative to the plain binary endpoint.
+    let compiled = compiled_for("sobel");
+    let routed = routed_for("sobel", 1);
+    assert_eq!(routed.pool.len(), 1);
+    let member_profiles = member_profiles_for(&routed, 515);
+    let binary = serve_once(&compiled, &member_profiles[0], 2, 4);
+    let (routed_result, route_served) =
+        serve_routed_once(&compiled, &routed, &member_profiles, 2, 4);
+    assert_eq!(routed_result, binary);
+    assert_eq!(route_served, vec![binary.invoked as u64]);
+}
+
+#[test]
+fn watchdog_rejects_routed_endpoints() {
+    let compiled = compiled_for("sobel");
+    let routed = routed_for("sobel", 2);
+    let member_profiles = member_profiles_for(&routed, 616);
+    let err = ServeEngine::start(
+        vec![EndpointSpec {
+            name: "routed".into(),
+            compiled: Arc::clone(&compiled),
+            profile: member_profiles.last().unwrap().clone(),
+            routed: Some(RoutedServeSpec {
+                routed: Arc::clone(&routed),
+                member_profiles,
+            }),
+        }],
+        &ServeConfig {
+            watchdog_period: 4,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(err, ServeError::UnsupportedOptions(_)));
 }

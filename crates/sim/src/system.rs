@@ -29,6 +29,7 @@ use mithra_axbench::benchmark::WorkloadProfile;
 use mithra_core::classifier::{Classifier, ClassifierOverhead, Decision};
 use mithra_core::pipeline::Compiled;
 use mithra_core::profile::{DatasetProfile, Route};
+use mithra_core::route::{oracle_route, RouteChoice, RouteClassifier, RoutedCompiled};
 use mithra_core::watchdog::QualityWatchdog;
 use mithra_npu::cost::NpuCostModel;
 use std::num::NonZeroUsize;
@@ -91,10 +92,34 @@ impl InvocationModel {
     /// Builds the model for a compiled benchmark under one classifier
     /// design (identified by its cost footprint) and one set of options.
     pub fn new(compiled: &Compiled, overhead: &ClassifierOverhead, options: &SimOptions) -> Self {
-        let bench = compiled.function.benchmark();
+        let topology = compiled.function.benchmark().npu_topology();
+        Self::for_function(
+            &compiled.function,
+            &topology,
+            compiled.threshold.threshold,
+            overhead,
+            options,
+        )
+    }
+
+    /// [`InvocationModel::new`] for an explicit accelerator: the function
+    /// being accelerated, the NPU topology whose per-invocation cost the
+    /// approximate path is charged, and the threshold in force. This is
+    /// how a routed system prices each pool member — every member carries
+    /// its own topology and therefore its own FIFO/compute footprint.
+    /// With the benchmark's default topology and the compiled threshold
+    /// this is exactly [`new`](Self::new), expression for expression.
+    pub fn for_function(
+        function: &mithra_core::function::AcceleratedFunction,
+        accel_topology: &mithra_npu::topology::Topology,
+        threshold: f32,
+        overhead: &ClassifierOverhead,
+        options: &SimOptions,
+    ) -> Self {
+        let bench = function.benchmark();
         let workload = bench.profile();
         let npu_cost_model = NpuCostModel::new();
-        let accel_cost = npu_cost_model.invocation(&bench.npu_topology());
+        let accel_cost = npu_cost_model.invocation(accel_topology);
         let classifier_npu_cost = overhead
             .npu_topology
             .as_ref()
@@ -169,7 +194,7 @@ impl InvocationModel {
         };
 
         Self {
-            threshold: compiled.threshold.threshold,
+            threshold,
             workload,
             core_active_nj_per_cycle: options.energy.core_active_nj_per_cycle,
             startup_cycles,
@@ -230,6 +255,88 @@ impl InvocationModel {
             }
         }
         c
+    }
+}
+
+/// Per-route cost constants of a routed system: one [`InvocationModel`]
+/// per pool member — each priced on its **own** NPU topology and charged
+/// only the router stages consulted before its decision settled — plus a
+/// precise-fallback model charged every stage.
+///
+/// For a pool of one, member 0's model and the precise model coincide
+/// with the binary [`InvocationModel`] of the same artifacts, so every
+/// charge is bit-identical to the binary simulator's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedInvocationModel {
+    members: Vec<InvocationModel>,
+    precise: InvocationModel,
+}
+
+impl RoutedInvocationModel {
+    /// Builds the per-route models for one routed compile product.
+    pub fn new(routed: &RoutedCompiled, options: &SimOptions) -> Self {
+        let threshold = routed.threshold.threshold;
+        let members = (0..routed.pool.len())
+            .map(|m| {
+                InvocationModel::for_function(
+                    routed.pool.member(m),
+                    &routed.pool.topologies()[m],
+                    threshold,
+                    &routed.router.overhead_for(RouteChoice::Member(m)),
+                    options,
+                )
+            })
+            .collect();
+        let precise = InvocationModel::for_function(
+            routed.pool.accurate(),
+            routed
+                .pool
+                .topologies()
+                .last()
+                .expect("pools are non-empty"),
+            threshold,
+            &routed.router.overhead_for(RouteChoice::Precise),
+            options,
+        );
+        Self { members, precise }
+    }
+
+    /// The certified routed threshold the models were built against.
+    pub fn threshold(&self) -> f32 {
+        self.precise.threshold()
+    }
+
+    /// The per-member models, cheapest first.
+    pub fn member_models(&self) -> &[InvocationModel] {
+        &self.members
+    }
+
+    /// The precise-fallback model (used for baseline/startup accounting —
+    /// its overhead covers every router stage's tables).
+    pub fn precise_model(&self) -> &InvocationModel {
+        &self.precise
+    }
+
+    /// The all-precise baseline for `n` invocations.
+    pub fn baseline(&self, n: usize) -> Charge {
+        self.precise.baseline(n)
+    }
+
+    /// The invocation-independent starting charge: non-kernel application
+    /// cycles plus one-time decompression of **every** router stage's
+    /// tables.
+    pub fn startup(&self, n: usize) -> Charge {
+        self.precise.startup(n)
+    }
+
+    /// The full charge of one routed invocation: the consulted router
+    /// stages, then the chosen member's accelerated path (with its own
+    /// NPU footprint) or the precise path.
+    pub fn charge_route(&self, route: RouteChoice, event: FifoEvent, shadow: bool) -> Charge {
+        match route {
+            RouteChoice::Member(m) => self.members[m].charge(Decision::Approximate, event, shadow),
+            RouteChoice::Precise => self.precise.charge(Decision::Precise, event, shadow),
+        }
     }
 }
 
@@ -506,6 +613,116 @@ pub fn run(
     })
 }
 
+/// The result of simulating one dataset through a routed system: the
+/// familiar [`RunResult`] plus per-member accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedRunResult {
+    /// Aggregate timings, energy, quality and false-decision counts.
+    /// `invoked` counts invocations served by *any* pool member.
+    pub run: RunResult,
+    /// Invocations served per pool member, cheapest first.
+    pub member_invocations: Vec<usize>,
+    /// The serving member whose worst per-invocation error was largest —
+    /// the member a dataset-level quality violation is attributed to
+    /// (0 when nothing was approximated).
+    pub worst_member: usize,
+}
+
+/// Simulates one dataset through a routed system: per invocation the
+/// deployed [`RouteClassifier`] picks a pool member (or the precise
+/// fallback), the invocation is charged that route's cost — consulted
+/// router stages plus the member's own NPU footprint — and quality is
+/// scored from the mixed output stream of the members that actually
+/// served.
+///
+/// `member_profiles[m]` must be pool member `m`'s profile of the **same**
+/// dataset. False decisions are judged against the routing oracle: a
+/// false positive runs precise although some member's error was within
+/// the threshold; a false negative is served by a member whose error
+/// exceeded it.
+///
+/// For a pool of one this is [`run`] with [`RunHooks::none`], bit for
+/// bit: same decisions (the single router stage is the binary table),
+/// same charges, same replay. Online classifier updates are not threaded
+/// through routed runs; `options.online_update_period` is ignored.
+///
+/// # Errors
+///
+/// Propagates routed-replay scoring failures (mismatched member
+/// profiles) as [`SimError`].
+pub fn run_routed(
+    routed: &RoutedCompiled,
+    member_profiles: &[&DatasetProfile],
+    router: &mut RouteClassifier,
+    options: &SimOptions,
+) -> Result<RoutedRunResult, SimError> {
+    let model = RoutedInvocationModel::new(routed, options);
+    let threshold = model.threshold();
+
+    let base = member_profiles.first().ok_or_else(|| {
+        SimError::from(mithra_core::MithraError::InsufficientData {
+            stage: "routed simulation",
+            available: 0,
+            needed: 1,
+        })
+    })?;
+    let n = base.invocation_count();
+
+    let baseline = model.baseline(n);
+    let startup = model.startup(n);
+    let mut cycles = startup.cycles;
+    let mut energy = startup.energy;
+
+    let mut choices: Vec<RouteChoice> = Vec::with_capacity(n);
+    let mut member_invocations = vec![0usize; routed.pool.len()];
+    let mut invoked = 0usize;
+    let (mut false_positives, mut false_negatives) = (0usize, 0usize);
+
+    for (i, input) in base.dataset().iter().enumerate() {
+        let route = router.classify_route(i, input);
+        let oracle = oracle_route(member_profiles, i, threshold);
+        match route {
+            RouteChoice::Member(m) => {
+                invoked += 1;
+                member_invocations[m] += 1;
+                if member_profiles[m].max_error(i) > threshold {
+                    false_negatives += 1;
+                }
+            }
+            RouteChoice::Precise => {
+                if !oracle.is_precise() {
+                    false_positives += 1;
+                }
+            }
+        }
+        choices.push(route);
+
+        let inv = model.charge_route(route, FifoEvent::None, false);
+        cycles += inv.cycles;
+        energy += inv.energy;
+    }
+
+    let replay = routed
+        .pool
+        .replay_routed_choices(member_profiles, &choices)?;
+
+    Ok(RoutedRunResult {
+        run: RunResult {
+            baseline_cycles: baseline.cycles,
+            accelerated_cycles: cycles,
+            baseline_energy_nj: baseline.energy,
+            accelerated_energy_nj: energy,
+            quality_loss: replay.quality_loss,
+            invoked,
+            total: n,
+            false_positives,
+            false_negatives,
+        },
+        member_invocations,
+        worst_member: replay.worst_member,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -661,6 +878,90 @@ mod tests {
         assert!(shadowed.cycles > approx.cycles);
         assert!(model.baseline(100).cycles > 0.0);
         assert!(model.startup(100).cycles > 0.0);
+    }
+
+    fn routed_for(name: &str, pool_size: usize) -> mithra_core::route::RoutedCompiled {
+        let bench: Arc<dyn Benchmark> = suite::by_name(name).unwrap().into();
+        let spec = mithra_core::route::PoolSpec::sized(&bench.npu_topology(), pool_size);
+        mithra_core::pipeline::compile_routed(bench, &CompileConfig::smoke(), &spec).unwrap()
+    }
+
+    #[test]
+    fn cheap_route_is_charged_fewer_npu_cycles_than_accurate_route() {
+        // Satellite regression: per-route costing must price each pool
+        // member on its own topology, not the primary function's.
+        let routed = routed_for("sobel", 3);
+        assert!(
+            routed.pool.len() >= 2,
+            "tiers collapsed: {:?}",
+            routed.pool.topologies()
+        );
+        let model = RoutedInvocationModel::new(&routed, &SimOptions::default());
+        let cheap = model.charge_route(RouteChoice::Member(0), FifoEvent::None, false);
+        let accurate = model.charge_route(
+            RouteChoice::Member(routed.pool.len() - 1),
+            FifoEvent::None,
+            false,
+        );
+        assert!(
+            cheap.cycles < accurate.cycles,
+            "cheap {} vs accurate {} cycles",
+            cheap.cycles,
+            accurate.cycles
+        );
+        assert!(
+            cheap.energy < accurate.energy,
+            "cheap {} vs accurate {} nJ",
+            cheap.energy,
+            accurate.energy
+        );
+        // The precise fallback consults every router stage: its decision
+        // overhead is the largest.
+        let precise = model.charge_route(RouteChoice::Precise, FifoEvent::None, false);
+        assert!(precise.cycles > accurate.cycles);
+    }
+
+    #[test]
+    fn routed_pool_of_one_run_matches_binary_run_bit_for_bit() {
+        let compiled = compiled_for("sobel");
+        let bench = Arc::clone(compiled.function.benchmark());
+        let spec = mithra_core::route::PoolSpec::single(bench.npu_topology());
+        let routed =
+            mithra_core::pipeline::compile_routed(bench, &CompileConfig::smoke(), &spec).unwrap();
+
+        let profile = fresh_profile(&compiled, 777);
+        let opts = SimOptions::default();
+        let mut table = compiled.table.clone();
+        let binary = simulate(&compiled, &profile, &mut table, &opts);
+
+        let mut router = routed.router.clone();
+        let member_profiles = [&profile];
+        let mixed = run_routed(&routed, &member_profiles, &mut router, &opts).unwrap();
+
+        assert_eq!(binary, mixed.run);
+        assert_eq!(mixed.member_invocations[0], binary.invoked);
+    }
+
+    #[test]
+    fn routed_run_accounts_members_consistently() {
+        let routed = routed_for("inversek2j", 3);
+        let accurate = routed.pool.accurate();
+        let ds = accurate.dataset(909, DatasetScale::Smoke);
+        let member_profiles: Vec<DatasetProfile> = routed
+            .pool
+            .members()
+            .iter()
+            .map(|m| DatasetProfile::collect(m, ds.clone()))
+            .collect();
+        let refs: Vec<&DatasetProfile> = member_profiles.iter().collect();
+        let mut router = routed.router.clone();
+        let result = run_routed(&routed, &refs, &mut router, &SimOptions::default()).unwrap();
+        assert_eq!(
+            result.member_invocations.iter().sum::<usize>(),
+            result.run.invoked
+        );
+        assert!(result.run.invoked <= result.run.total);
+        assert!(result.run.speedup() > 0.0);
     }
 
     #[test]

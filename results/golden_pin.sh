@@ -31,4 +31,24 @@ pin() {
 
 pin table1_benchmarks
 pin fig01_error_cdf
+
+# One figz slice: the routed-frontier rows for inversek2j, re-run with
+# exactly the flags run_all.sh uses (the figz defaults differ) and
+# byte-compared the same way. --pool-check doubles as a parity assert:
+# the binary exits non-zero if the pool-of-one conformance report
+# diverges from the binary baseline's.
+name=figz_multi_approximator
+b=inversek2j
+cargo run --locked --release -q -p mithra-bench --bin "$name" -- \
+  --scale full --quality 5 --cache-dir target/mithra-cache \
+  --pool 3 --pool-check --out "$OUT/BENCH_route_pin.json" \
+  --bench "$b" > "$OUT/$name.txt" 2> "$OUT/$name.log"
+grep "^$b" "$R/$name.txt" | tr -s ' ' > "$OUT/$name.$b.expected"
+grep "^$b" "$OUT/$name.txt" | tr -s ' ' > "$OUT/$name.$b.actual"
+if ! cmp -s "$OUT/$name.$b.expected" "$OUT/$name.$b.actual"; then
+  echo "GOLDEN PIN FAILED: $name/$b diverged from committed $R/$name.txt" >&2
+  diff -u "$OUT/$name.$b.expected" "$OUT/$name.$b.actual" >&2 || true
+  exit 1
+fi
+echo "pinned: $name/$b ($(wc -l < "$OUT/$name.$b.actual") lines byte-identical)"
 echo "golden pin OK"

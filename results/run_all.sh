@@ -3,13 +3,17 @@
 set -x
 cd /root/repo
 R=results
+# Fresh run, fresh log: progress.txt and failures.txt accumulate via
+# appends below, so clear them up front.
+: > $R/progress.txt
+rm -f $R/failures.txt
 run() {
   name=$1; shift; start=$(date +%s)
   cargo run --release -q -p mithra-bench --bin $name -- "$@" > $R/$name.txt 2> $R/$name.log || echo "FAILED: $name" >> $R/failures.txt
   echo "done: $name in $(( $(date +%s) - start ))s" >> $R/progress.txt
   # Per-stage wall times: each compile session prints a StageReport block
   # to stderr; mirror it into progress.txt so a long run is inspectable.
-  grep -E '^(compile session \[|  (npu-training|profiling|certification|classifier-training|validation-profiling) )' $R/$name.log >> $R/progress.txt 2>/dev/null || true
+  grep -E '^(compile session \[|  (npu-training|profiling|certification|classifier-training|validation-profiling|pool-training|routed-certification|router-training) )' $R/$name.log >> $R/progress.txt 2>/dev/null || true
 }
 run table1_benchmarks
 run fig01_error_cdf
@@ -32,4 +36,10 @@ run figx_fault_robustness --scale full --datasets 30 --validation 8 --quality 5 
 # certificate, and the mutation self-check must detect every planted
 # defect for the verdicts to count.
 run figy_guarantee_validation --scale full --quality 5 --cache-dir target/mithra-cache --out BENCH_conform.json
+# Routed multi-approximator frontier: can a pool of cheap/medium/accurate
+# topologies beat the binary accept/reject frontier at the same certified
+# (S, beta)? --pool-check additionally compiles a pool of one per
+# benchmark and requires its conformance report to be byte-identical to
+# the binary baseline's.
+run figz_multi_approximator --scale full --quality 5 --cache-dir target/mithra-cache --pool 3 --pool-check --out BENCH_route.json
 echo ALL_DONE >> $R/progress.txt

@@ -62,8 +62,10 @@ pub mod prelude {
     pub use mithra_axbench::prelude::*;
     pub use mithra_core::prelude::*;
     pub use mithra_npu::prelude::*;
-    pub use mithra_serve::{EndpointSpec, ServeConfig, ServeEngine};
+    pub use mithra_serve::{EndpointSpec, RoutedServeSpec, ServeConfig, ServeEngine};
     pub use mithra_sim::report::{BenchmarkSummary, SuiteSummary};
-    pub use mithra_sim::system::{simulate, RunResult, SimOptions};
+    pub use mithra_sim::system::{
+        run_routed, simulate, RoutedInvocationModel, RunResult, SimOptions,
+    };
     pub use mithra_stats::clopper_pearson::{lower_bound, Confidence};
 }
