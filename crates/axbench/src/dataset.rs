@@ -40,7 +40,7 @@ pub enum DatasetScale {
 ///
 /// Applying a spec is deterministic: the same `(dataset, spec)` pair
 /// always produces the same drifted dataset.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct DriftSpec {
     /// Multiplicative stretch about the per-dimension midpoint.
     pub scale: f32,

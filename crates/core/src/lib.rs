@@ -61,6 +61,7 @@ pub mod parallel;
 pub mod pipeline;
 pub mod profile;
 pub mod random;
+pub mod recert;
 pub mod regression;
 pub mod route;
 pub mod session;
@@ -87,6 +88,7 @@ pub mod prelude {
     pub use crate::pipeline::{compile, CompileConfig, Compiled};
     pub use crate::profile::{collect_profiles_parallel, DatasetProfile};
     pub use crate::random::RandomFilter;
+    pub use crate::recert::{RecertConfig, RecertEngine, RecertOutcome, RecertPhase};
     pub use crate::route::{
         ApproximatorPool, PoolSpec, RouteChoice, RouteClassifier, RoutedCompiled,
     };

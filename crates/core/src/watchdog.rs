@@ -108,8 +108,84 @@ impl Default for WatchdogConfig {
     }
 }
 
-/// Summary of a watchdog's run, for reports and figures.
+/// One recorded rung change of the degradation ladder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardTransition {
+    /// Lifetime shadow-sample count at which the transition fired.
+    pub at_sample: u64,
+    /// State left.
+    pub from: GuardState,
+    /// State entered.
+    pub to: GuardState,
+}
+
+/// Shadow samples spent in each [`GuardState`] — the watchdog's clock is
+/// its sample stream, so these are a deterministic time-in-state measure
+/// (proportional to wall invocations at a fixed sampling period).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StateResidence {
+    /// Samples observed while in [`GuardState::Monitoring`].
+    pub monitoring: u64,
+    /// Samples observed while in [`GuardState::Throttled`].
+    pub throttled: u64,
+    /// Samples observed while in [`GuardState::Fallback`].
+    pub fallback: u64,
+    /// Samples observed while in [`GuardState::Probing`].
+    pub probing: u64,
+}
+
+impl StateResidence {
+    /// Samples spent in `state`.
+    pub fn in_state(&self, state: GuardState) -> u64 {
+        match state {
+            GuardState::Monitoring => self.monitoring,
+            GuardState::Throttled => self.throttled,
+            GuardState::Fallback => self.fallback,
+            GuardState::Probing => self.probing,
+        }
+    }
+
+    /// Total samples across all states.
+    pub fn total(&self) -> u64 {
+        self.monitoring + self.throttled + self.fallback + self.probing
+    }
+
+    /// Fraction of samples spent in degraded (non-Monitoring) states;
+    /// `0.0` on an empty record.
+    pub fn degraded_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (total - self.monitoring) as f64 / total as f64
+    }
+
+    /// Element-wise accumulation (folding shard residences into an
+    /// endpoint total).
+    pub fn merge(&mut self, other: &StateResidence) {
+        self.monitoring += other.monitoring;
+        self.throttled += other.throttled;
+        self.fallback += other.fallback;
+        self.probing += other.probing;
+    }
+
+    fn bump(&mut self, state: GuardState) {
+        match state {
+            GuardState::Monitoring => self.monitoring += 1,
+            GuardState::Throttled => self.throttled += 1,
+            GuardState::Fallback => self.fallback += 1,
+            GuardState::Probing => self.probing += 1,
+        }
+    }
+}
+
+/// Transition-log capacity. The ladder has four rungs; a healthy system
+/// transitions a handful of times, and a flapping one is fully described
+/// by its first few dozen transitions plus the drop counter.
+const MAX_TRANSITIONS: usize = 64;
+
+/// Summary of a watchdog's run, for reports and figures.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WatchdogReport {
     /// Final state.
     pub state: GuardState,
@@ -121,6 +197,12 @@ pub struct WatchdogReport {
     pub breaches: u64,
     /// Times full admission was restored (back to Monitoring).
     pub recoveries: u64,
+    /// Samples spent on each rung of the ladder.
+    pub time_in: StateResidence,
+    /// Rung changes in order, capped at an internal bound.
+    pub transitions: Vec<GuardTransition>,
+    /// Transitions beyond the log cap (0 unless the ladder flapped).
+    pub transitions_dropped: u64,
 }
 
 /// The runtime quality watchdog. Feed it with [`QualityWatchdog::admit`]
@@ -140,6 +222,9 @@ pub struct QualityWatchdog {
     total_violations: u64,
     breaches: u64,
     recoveries: u64,
+    residence: StateResidence,
+    transitions: Vec<GuardTransition>,
+    transitions_dropped: u64,
 }
 
 impl QualityWatchdog {
@@ -155,6 +240,9 @@ impl QualityWatchdog {
             total_violations: 0,
             breaches: 0,
             recoveries: 0,
+            residence: StateResidence::default(),
+            transitions: Vec::new(),
+            transitions_dropped: 0,
         }
     }
 
@@ -214,6 +302,7 @@ impl QualityWatchdog {
     pub fn record(&mut self, violation: bool) -> Result<Option<GuardState>> {
         self.samples += 1;
         self.total_samples += 1;
+        self.residence.bump(self.state);
         if violation {
             self.violations += 1;
             self.total_violations += 1;
@@ -280,6 +369,15 @@ impl QualityWatchdog {
                 GuardState::Monitoring => self.recoveries += 1,
                 GuardState::Probing => {}
             }
+            if self.transitions.len() < MAX_TRANSITIONS {
+                self.transitions.push(GuardTransition {
+                    at_sample: self.total_samples,
+                    from: self.state,
+                    to: state,
+                });
+            } else {
+                self.transitions_dropped += 1;
+            }
             self.state = state;
             self.reset_window();
         }
@@ -294,7 +392,53 @@ impl QualityWatchdog {
             violations: self.total_violations,
             breaches: self.breaches,
             recoveries: self.recoveries,
+            time_in: self.residence,
+            transitions: self.transitions.clone(),
+            transitions_dropped: self.transitions_dropped,
         }
+    }
+
+    /// Shadow samples spent on each rung of the ladder so far.
+    pub fn residence(&self) -> &StateResidence {
+        &self.residence
+    }
+
+    /// Forces the ladder onto `state` with a fresh evidence window,
+    /// recording the transition. This is the re-certifier's hot-swap
+    /// entry point: after certifying a new operating point it re-enables
+    /// full admission directly (the statistical justification lives in the
+    /// sequential certificate, not in this watchdog's recovery test, which
+    /// judges the *old* operating point).
+    pub fn force_state(&mut self, state: GuardState) {
+        if state == self.state {
+            return;
+        }
+        match state {
+            GuardState::Throttled | GuardState::Fallback => self.breaches += 1,
+            GuardState::Monitoring => self.recoveries += 1,
+            GuardState::Probing => {}
+        }
+        if self.transitions.len() < MAX_TRANSITIONS {
+            self.transitions.push(GuardTransition {
+                at_sample: self.total_samples,
+                from: self.state,
+                to: state,
+            });
+        } else {
+            self.transitions_dropped += 1;
+        }
+        self.state = state;
+        self.reset_window();
+    }
+
+    /// Adopts a freshly calibrated tuning, keeping the lifetime counters,
+    /// residence and transition log but dropping the current evidence
+    /// window — evidence gathered against the *old* operating point says
+    /// nothing about the pair the re-certifier just swapped in.
+    pub fn reconfigure(&mut self, config: WatchdogConfig) {
+        self.config = config;
+        self.admissions_seen = 0;
+        self.reset_window();
     }
 
     fn breached(&self, conf: Confidence, limit: f64) -> Result<bool> {
@@ -499,6 +643,85 @@ mod tests {
         assert_eq!(f.state(), GuardState::Monitoring);
         assert_eq!(f.report().samples, 0);
         assert_eq!(f.report().breaches, 0);
+    }
+
+    #[test]
+    fn residence_partitions_samples_and_log_matches_transitions() {
+        let mut w = dog();
+        // Down the ladder, then back up.
+        for _ in 0..50 {
+            w.record(true).unwrap();
+        }
+        for _ in 0..200 {
+            w.record(false).unwrap();
+            if w.state() == GuardState::Monitoring {
+                break;
+            }
+        }
+        let r = w.report();
+        assert_eq!(
+            r.time_in.total(),
+            r.samples,
+            "residence must partition samples"
+        );
+        assert!(r.time_in.monitoring > 0);
+        assert!(r.time_in.fallback > 0);
+        assert!(r.time_in.degraded_fraction() > 0.0);
+        let logged: Vec<GuardState> = r.transitions.iter().map(|t| t.to).collect();
+        assert_eq!(
+            logged,
+            vec![
+                GuardState::Throttled,
+                GuardState::Fallback,
+                GuardState::Probing,
+                GuardState::Monitoring
+            ]
+        );
+        assert_eq!(r.transitions_dropped, 0);
+        // at_sample is nondecreasing and within the lifetime count.
+        for pair in r.transitions.windows(2) {
+            assert!(pair[0].at_sample <= pair[1].at_sample);
+        }
+        assert!(r.transitions.last().unwrap().at_sample <= r.samples);
+    }
+
+    #[test]
+    fn transition_log_caps_and_counts_drops() {
+        let mut w = QualityWatchdog::new(WatchdogConfig {
+            max_violation_rate: 0.02,
+            ..WatchdogConfig::default()
+        });
+        // Flap the ladder far past the cap: alternate dirty and clean
+        // phases long enough for hundreds of transitions.
+        for phase in 0..400 {
+            let dirty = phase % 2 == 0;
+            for _ in 0..60 {
+                w.record(dirty).unwrap();
+            }
+        }
+        let r = w.report();
+        assert_eq!(r.transitions.len(), 64);
+        assert!(r.transitions_dropped > 0, "flapping must overflow the log");
+        assert!(r.breaches + r.recoveries + r.transitions_dropped >= r.transitions.len() as u64);
+    }
+
+    #[test]
+    fn force_state_records_transition_and_resets_window() {
+        let mut w = dog();
+        for _ in 0..50 {
+            w.record(true).unwrap();
+        }
+        assert_eq!(w.state(), GuardState::Fallback);
+        let recoveries_before = w.report().recoveries;
+        w.force_state(GuardState::Monitoring);
+        assert_eq!(w.state(), GuardState::Monitoring);
+        let r = w.report();
+        assert_eq!(r.recoveries, recoveries_before + 1);
+        assert_eq!(r.transitions.last().unwrap().to, GuardState::Monitoring);
+        // A forced no-op transition records nothing.
+        let n = r.transitions.len();
+        w.force_state(GuardState::Monitoring);
+        assert_eq!(w.report().transitions.len(), n);
     }
 
     #[test]

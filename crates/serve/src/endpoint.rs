@@ -16,12 +16,41 @@ use mithra_core::classifier::Classifier;
 use mithra_core::pipeline::Compiled;
 use mithra_core::profile::{DatasetProfile, Route};
 use mithra_core::route::{oracle_route, RouteChoice, RoutedCompiled};
-use mithra_core::watchdog::{self, QualityWatchdog};
+use mithra_core::table::TableClassifier;
+use mithra_core::watchdog::{self, QualityWatchdog, WatchdogConfig};
 use mithra_core::MithraError;
 use mithra_sim::fault::FifoEvent;
 use mithra_sim::system::{InvocationModel, RoutedInvocationModel, RunResult, SimOptions};
 use mithra_stats::clopper_pearson::Confidence;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// The sentinel value of the shared re-certification trigger when no
+/// request is pending.
+const TRIGGER_CLEAR: u64 = u64::MAX;
+
+/// The live operating point of an endpoint: the threshold/classifier pair
+/// (and the watchdog prototype guarding it) that requests are currently
+/// served under, versioned by a swap epoch.
+///
+/// Workers grab the current `Arc` at sub-batch start, so a hot swap never
+/// tears a batch: an in-flight sub-batch finishes on the epoch it started
+/// under, and the worker's next sub-batch picks up the new one. That is
+/// the whole synchronization story — no locks on the serving path beyond
+/// the one pointer load per sub-batch.
+#[derive(Debug)]
+pub(crate) struct OperatingPoint {
+    /// Swap generation: 0 is the compile-time certificate, each installed
+    /// swap bumps it by one.
+    pub epoch: u64,
+    /// The local error threshold shadow samples are judged against.
+    pub threshold: f32,
+    /// The classifier workers clone into their shards.
+    pub table: TableClassifier,
+    /// Watchdog prototype for this epoch; each worker forks a fresh copy,
+    /// so a swap also resets the guard ladder to `Monitoring`.
+    pub watchdog_proto: Option<QualityWatchdog>,
+}
 
 /// A compiled benchmark plus the dataset it serves — the unit the engine
 /// exposes as an endpoint.
@@ -86,8 +115,14 @@ pub(crate) struct EndpointState {
     /// The NPU configuration image (weights and biases as raw bit words)
     /// streamed through the config FIFO once per same-endpoint sub-batch.
     pub config_words: Vec<u32>,
-    /// Calibrated watchdog prototype; each worker forks its own copy.
-    pub watchdog_proto: Option<QualityWatchdog>,
+    /// The epoch-versioned operating point workers serve under; swapped
+    /// atomically by [`install`](Self::install).
+    op: Mutex<Arc<OperatingPoint>>,
+    /// The shared re-certification trigger: [`TRIGGER_CLEAR`] when clear,
+    /// otherwise the epoch whose watchdog shards requested
+    /// re-certification. One trigger per endpoint per epoch — the fix for
+    /// per-worker forked watchdogs racing to fire their own.
+    trigger: AtomicU64,
     /// Routed sub-state; `None` keeps the binary serving path untouched.
     pub routed: Option<RoutedEndpointState>,
     pub slots: Mutex<SlotTable>,
@@ -204,6 +239,12 @@ impl EndpointState {
         let routed = routed
             .map(|r| RoutedEndpointState::build(r, n, options))
             .transpose()?;
+        let op = Arc::new(OperatingPoint {
+            epoch: 0,
+            threshold: model.threshold(),
+            table: compiled.table.clone(),
+            watchdog_proto,
+        });
         Ok(Self {
             name,
             compiled,
@@ -211,7 +252,8 @@ impl EndpointState {
             model,
             oracle_rejects,
             config_words,
-            watchdog_proto,
+            op: Mutex::new(op),
+            trigger: AtomicU64::new(TRIGGER_CLEAR),
             routed,
             slots: Mutex::new(SlotTable {
                 slots: vec![None; n],
@@ -219,6 +261,60 @@ impl EndpointState {
             }),
             counters: Mutex::new(EndpointCounters::default()),
         })
+    }
+
+    /// The operating point new sub-batches serve under. Workers call this
+    /// once per sub-batch and keep the `Arc` for the batch's duration.
+    pub(crate) fn operating_point(&self) -> Arc<OperatingPoint> {
+        Arc::clone(&self.op.lock().expect("operating-point lock poisoned"))
+    }
+
+    /// Raises the shared re-certification trigger for `epoch`. Returns
+    /// `true` only for the shard that raised it first; concurrent shards
+    /// observing `Fallback` together lose the compare-exchange and return
+    /// `false`, so the trigger fires exactly once per epoch.
+    pub(crate) fn request_recert(&self, epoch: u64) -> bool {
+        self.trigger
+            .compare_exchange(TRIGGER_CLEAR, epoch, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// The epoch whose watchdogs requested re-certification, if any.
+    pub(crate) fn recert_requested(&self) -> Option<u64> {
+        match self.trigger.load(Ordering::Acquire) {
+            TRIGGER_CLEAR => None,
+            epoch => Some(epoch),
+        }
+    }
+
+    /// Atomically installs a new operating point — the hot-swap path.
+    /// Bumps the epoch, resets the shared trigger, and returns the new
+    /// epoch. `watchdog` of `None` carries the previous epoch's watchdog
+    /// configuration forward (workers still fork fresh, `Monitoring`
+    /// instances); `Some` installs the re-certified configuration.
+    pub(crate) fn install(
+        &self,
+        threshold: f32,
+        table: TableClassifier,
+        watchdog: Option<WatchdogConfig>,
+    ) -> u64 {
+        let mut op = self.op.lock().expect("operating-point lock poisoned");
+        let watchdog_proto = match watchdog {
+            Some(config) => Some(QualityWatchdog::new(config)),
+            None => op.watchdog_proto.clone(),
+        };
+        let next = Arc::new(OperatingPoint {
+            epoch: op.epoch + 1,
+            threshold,
+            table,
+            watchdog_proto,
+        });
+        *op = next;
+        // Clear after publishing the swap: a shard that raced the swap and
+        // raised the old epoch's trigger is wiped here, and any breach of
+        // the *new* pair re-raises it under the new epoch.
+        self.trigger.store(TRIGGER_CLEAR, Ordering::Release);
+        op.epoch
     }
 
     /// Folds the filled slot table into a [`RunResult`], in invocation

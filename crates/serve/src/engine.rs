@@ -20,18 +20,20 @@
 //!
 //! [`InvocationModel`]: mithra_sim::system::InvocationModel
 
-use crate::endpoint::{EndpointSpec, EndpointState, ServedInvocation, CLEAN_EVENT};
+use crate::endpoint::{EndpointSpec, EndpointState, OperatingPoint, ServedInvocation, CLEAN_EVENT};
 use crate::error::{RejectReason, ServeError};
-use crate::metrics::{EndpointCounters, EndpointMetrics, MetricsSnapshot};
+use crate::metrics::{
+    guard_state_name, EndpointCounters, EndpointMetrics, GuardLogEntry, MetricsSnapshot,
+};
 use crate::queue::{BoundedQueue, PushError};
 use mithra_core::classifier::{Classifier, Decision};
 use mithra_core::profile::default_threads;
 use mithra_core::route::{RouteChoice, RouteClassifier};
 use mithra_core::table::TableClassifier;
-use mithra_core::watchdog::QualityWatchdog;
+use mithra_core::watchdog::{GuardState, QualityWatchdog, WatchdogConfig};
 use mithra_npu::fifo::QueueInterface;
 use mithra_sim::system::{RunResult, SimOptions};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Worker-pool and batching configuration.
@@ -84,8 +86,12 @@ struct Shared {
 }
 
 /// A worker's private NPU context for one endpoint: its own FIFOs,
-/// classifier clone, scratch output buffer, and forked watchdog.
+/// classifier clone, scratch output buffer, and forked watchdog — all
+/// derived from (and pinned to) one epoch's [`OperatingPoint`].
 struct WorkerCtx {
+    /// The operating point this shard currently serves under. Refreshed
+    /// at sub-batch boundaries only, so a hot swap never tears a batch.
+    op: Arc<OperatingPoint>,
     classifier: TableClassifier,
     /// The router cascade clone for routed endpoints (`None` binary).
     router: Option<RouteClassifier>,
@@ -98,15 +104,60 @@ struct WorkerCtx {
 
 impl WorkerCtx {
     fn new(state: &EndpointState) -> Self {
+        let op = state.operating_point();
         Self {
-            classifier: state.compiled.table.clone(),
+            classifier: op.table.clone(),
             router: state.routed.as_ref().map(|r| r.routed.router.clone()),
             queues: QueueInterface::new(),
-            watchdog: state.watchdog_proto.as_ref().map(QualityWatchdog::fork),
+            watchdog: op.watchdog_proto.as_ref().map(QualityWatchdog::fork),
             out: Vec::new(),
             fresh: Vec::new(),
+            op,
         }
     }
+
+    /// Picks up a hot swap at a sub-batch boundary: when the endpoint's
+    /// epoch moved past this shard's, the old shard watchdog's lifetime
+    /// stats are folded (its epoch is over) and the classifier, watchdog,
+    /// and threshold are rebuilt from the new operating point. In-flight
+    /// work is unaffected — this runs only between sub-batches.
+    fn refresh(&mut self, state: &EndpointState) {
+        let current = state.operating_point();
+        if current.epoch == self.op.epoch {
+            return;
+        }
+        if let Some(dog) = self.watchdog.take() {
+            fold_watchdog(&dog, &state.counters);
+        }
+        self.classifier = current.table.clone();
+        self.watchdog = current.watchdog_proto.as_ref().map(QualityWatchdog::fork);
+        self.op = current;
+    }
+}
+
+/// Folds one shard watchdog's lifetime report — counts, time-in-state,
+/// and the transition log — into the endpoint's registry entry. Called
+/// when a shard retires a watchdog: at worker exit, or when an epoch swap
+/// replaces it.
+fn fold_watchdog(dog: &QualityWatchdog, counters: &Mutex<EndpointCounters>) {
+    let report = dog.report();
+    let mut c = counters.lock().expect("metrics lock poisoned");
+    c.watchdog.samples += report.samples;
+    c.watchdog.violations += report.violations;
+    c.watchdog.breaches += report.breaches;
+    c.watchdog.recoveries += report.recoveries;
+    c.watchdog.time_in_monitoring += report.time_in.monitoring;
+    c.watchdog.time_in_throttled += report.time_in.throttled;
+    c.watchdog.time_in_fallback += report.time_in.fallback;
+    c.watchdog.time_in_probing += report.time_in.probing;
+    c.record_guard_transitions(
+        report.transitions.iter().map(|t| GuardLogEntry {
+            at_sample: t.at_sample,
+            from: guard_state_name(t.from).to_string(),
+            to: guard_state_name(t.to).to_string(),
+        }),
+        report.transitions_dropped,
+    );
 }
 
 /// The batched, sharded serving engine over a set of endpoints.
@@ -187,6 +238,92 @@ impl ServeEngine {
     /// Number of registered endpoints.
     pub fn endpoint_count(&self) -> usize {
         self.shared.endpoints.len()
+    }
+
+    /// A live metrics snapshot — the scrape payload while the engine is
+    /// still serving. Shard-local watchdog statistics (samples,
+    /// time-in-state, the transition log) fold in only when a shard
+    /// retires its watchdog (worker exit or epoch swap), so a mid-flight
+    /// scrape reads them lagging the request counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            endpoints: self
+                .shared
+                .endpoints
+                .iter()
+                .map(|state| {
+                    let counters = state
+                        .counters
+                        .lock()
+                        .expect("metrics lock poisoned")
+                        .clone();
+                    EndpointMetrics::freeze(
+                        state.name.clone(),
+                        state.profile.invocation_count() as u64,
+                        counters,
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// The epoch whose watchdog shards raised the endpoint's shared
+    /// re-certification trigger, or `None` when the trigger is clear.
+    /// The trigger latches until [`swap_operating_point`]
+    /// (Self::swap_operating_point) clears it — polling is race-free.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownEndpoint`] for an unregistered endpoint id.
+    pub fn recert_requested(&self, endpoint: usize) -> Result<Option<u64>, ServeError> {
+        let state = self
+            .shared
+            .endpoints
+            .get(endpoint)
+            .ok_or(ServeError::UnknownEndpoint(endpoint))?;
+        Ok(state.recert_requested())
+    }
+
+    /// Atomically installs a re-certified operating point — the hot-swap
+    /// path of the closed re-certification loop. Bumps the endpoint's
+    /// epoch and returns it; workers finish their in-flight sub-batches
+    /// on the old epoch and route every subsequent sub-batch through the
+    /// new classifier, threshold, and a fresh `Monitoring` watchdog
+    /// (configured by `watchdog`, or inheriting the previous epoch's
+    /// configuration when `None`). The shared re-certification trigger is
+    /// cleared, so a breach of the *new* pair can raise it again.
+    ///
+    /// Serving never pauses: this is one pointer swap under the
+    /// endpoint's operating-point lock, which workers touch only between
+    /// sub-batches.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownEndpoint`] for an unregistered endpoint id;
+    /// [`ServeError::UnsupportedOptions`] for a routed endpoint (the
+    /// binary watchdog/recert ladder has no per-route attribution).
+    pub fn swap_operating_point(
+        &self,
+        endpoint: usize,
+        threshold: f32,
+        table: TableClassifier,
+        watchdog: Option<WatchdogConfig>,
+    ) -> Result<u64, ServeError> {
+        let state = self
+            .shared
+            .endpoints
+            .get(endpoint)
+            .ok_or(ServeError::UnknownEndpoint(endpoint))?;
+        if state.routed.is_some() {
+            return Err(ServeError::UnsupportedOptions(
+                "operating-point swaps target binary endpoints: routed \
+                 pools re-certify through the routed compile path, not a \
+                 single table/threshold pair",
+            ));
+        }
+        let epoch = state.install(threshold, table, watchdog);
+        state.counters.lock().expect("metrics lock poisoned").swaps += 1;
+        Ok(epoch)
     }
 
     /// Submits one invocation request without blocking.
@@ -426,6 +563,7 @@ fn worker_loop(shared: &Shared) {
             if state.routed.is_some() {
                 serve_sub_batch_routed(state, ctx, &batch[i..j]);
             } else {
+                ctx.refresh(state);
                 serve_sub_batch(state, ctx, &batch[i..j], shared.watchdog_period);
             }
             i = j;
@@ -436,15 +574,7 @@ fn worker_loop(shared: &Shared) {
         let Some(dog) = ctx.and_then(|c| c.watchdog) else {
             continue;
         };
-        let report = dog.report();
-        let mut counters = shared.endpoints[ep]
-            .counters
-            .lock()
-            .expect("metrics lock poisoned");
-        counters.watchdog.samples += report.samples;
-        counters.watchdog.violations += report.violations;
-        counters.watchdog.breaches += report.breaches;
-        counters.watchdog.recoveries += report.recoveries;
+        fold_watchdog(&dog, &shared.endpoints[ep].counters);
     }
 }
 
@@ -472,12 +602,22 @@ fn serve_sub_batch(
             && raw == Decision::Approximate
             && inv % watchdog_period == 0;
         if shadow {
-            let violation = state.profile.max_error(inv) > state.model.threshold();
+            // Judged against the *live* epoch's threshold — a hot swap
+            // re-certifies a new threshold, and the guard must watch that
+            // one, not the compile-time certificate it replaced.
+            let violation = state.profile.max_error(inv) > ctx.op.threshold;
             if let Some(w) = ctx.watchdog.as_mut() {
                 // Count invariants hold, so the statistics cannot fail;
                 // transition totals are folded from the report at
                 // shutdown.
                 let _ = w.record(violation);
+                // Entering Fallback raises the endpoint's *shared*
+                // re-certification trigger: exactly one shard wins the
+                // compare-exchange per epoch, however many forked
+                // watchdogs reach Fallback concurrently.
+                if w.state() == GuardState::Fallback && state.request_recert(ctx.op.epoch) {
+                    delta.watchdog.recert_triggers += 1;
+                }
             }
         }
         let approx = decision == Decision::Approximate;
@@ -517,6 +657,11 @@ fn serve_sub_batch(
             delta.duplicates += 1;
         }
     }
+    // The whole sub-batch ran under one operating point, so its served
+    // count is attributed to that epoch wholesale.
+    let epoch = ctx.op.epoch as usize;
+    delta.epoch_served = vec![0; epoch + 1];
+    delta.epoch_served[epoch] = delta.served;
     state
         .counters
         .lock()
@@ -596,6 +741,11 @@ fn serve_sub_batch_routed(state: &EndpointState, ctx: &mut WorkerCtx, requests: 
             delta.duplicates += 1;
         }
     }
+    // Routed endpoints never swap (the engine rejects it), so everything
+    // is attributed to the compile-time epoch.
+    let epoch = ctx.op.epoch as usize;
+    delta.epoch_served = vec![0; epoch + 1];
+    delta.epoch_served[epoch] = delta.served;
     state
         .counters
         .lock()

@@ -14,6 +14,9 @@ pub enum ServeError {
     UnsupportedOptions(&'static str),
     /// A worker thread panicked; per-endpoint results are unreliable.
     WorkerPanicked,
+    /// A control-plane call (swap, trigger query) named an unregistered
+    /// endpoint.
+    UnknownEndpoint(usize),
     /// A core-layer failure (calibration, quality scoring).
     Core(MithraError),
 }
@@ -26,6 +29,9 @@ impl fmt::Display for ServeError {
                 write!(f, "unsupported simulation options: {why}")
             }
             ServeError::WorkerPanicked => write!(f, "a serving worker panicked"),
+            ServeError::UnknownEndpoint(id) => {
+                write!(f, "endpoint {id} is not registered")
+            }
             ServeError::Core(e) => write!(f, "core error: {e}"),
         }
     }

@@ -50,5 +50,5 @@ pub use backoff::Backoff;
 pub use endpoint::{EndpointSpec, RoutedServeSpec};
 pub use engine::{DrainedEngine, EndpointReport, Request, ServeConfig, ServeEngine, ServeReport};
 pub use error::{RejectReason, ServeError};
-pub use metrics::{EndpointCounters, LatencyHistogram, MetricsSnapshot};
+pub use metrics::{EndpointCounters, GuardLogEntry, LatencyHistogram, MetricsSnapshot};
 pub use queue::{BoundedQueue, PushError};

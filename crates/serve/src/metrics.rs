@@ -7,7 +7,40 @@
 //! registry exports as a serializable [`MetricsSnapshot`] (the payload a
 //! scrape endpoint or the throughput benchmark serializes to JSON).
 
+use mithra_core::watchdog::GuardState;
 use serde::Serialize;
+
+/// Cap on the exported guard transition log per endpoint. Mirrors the
+/// core watchdog's own log cap: a healthy system transitions a handful of
+/// times, and a flapping one is fully described by its first few dozen
+/// transitions plus the drop counter.
+pub const GUARD_LOG_CAP: usize = 64;
+
+/// The export name of a [`GuardState`] rung (lowercase, stable across
+/// releases — the JSON contract of the snapshot).
+pub fn guard_state_name(state: GuardState) -> &'static str {
+    match state {
+        GuardState::Monitoring => "monitoring",
+        GuardState::Throttled => "throttled",
+        GuardState::Fallback => "fallback",
+        GuardState::Probing => "probing",
+    }
+}
+
+/// One rung change of an endpoint's guard ladder, as exported in the
+/// snapshot. `at_sample` is the *shard-local* lifetime shadow-sample
+/// count at which the transition fired; entries from different worker
+/// shards are appended in fold order, so ordering is exact within a
+/// shard and approximate across shards.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct GuardLogEntry {
+    /// Shard-local lifetime sample count at the transition.
+    pub at_sample: u64,
+    /// Rung left (see [`guard_state_name`]).
+    pub from: String,
+    /// Rung entered.
+    pub to: String,
+}
 
 /// Upper bounds (inclusive) of the latency histogram buckets, in cycles.
 /// Powers of two from 64 to 2^21, spanning sub-microsecond NPU invocations
@@ -106,6 +139,23 @@ pub struct WatchdogStats {
     pub breaches: u64,
     /// Full-admission restorations (back to Monitoring).
     pub recoveries: u64,
+    /// Shadow samples spent in `Monitoring` — the watchdog's clock is its
+    /// sample stream, so these four are the time-in-state measure.
+    pub time_in_monitoring: u64,
+    /// Shadow samples spent in `Throttled`.
+    pub time_in_throttled: u64,
+    /// Shadow samples spent in `Fallback`.
+    pub time_in_fallback: u64,
+    /// Shadow samples spent in `Probing`.
+    pub time_in_probing: u64,
+    /// Total guard-ladder transitions across shards (including any beyond
+    /// the per-shard log caps).
+    pub transitions: u64,
+    /// Times this endpoint's shared re-certification trigger was freshly
+    /// raised. Per-worker forked watchdogs share **one** trigger per
+    /// epoch, so concurrent shards entering `Fallback` together count
+    /// once, not once per shard.
+    pub recert_triggers: u64,
 }
 
 /// One endpoint's counters — the mutable registry entry workers update.
@@ -132,6 +182,18 @@ pub struct EndpointCounters {
     /// sum must equal `approx`: every accelerated request was served by
     /// exactly one member.
     pub route_served: Vec<u64>,
+    /// Served requests attributed to the operating-point epoch that
+    /// served them: `epoch_served[e]` is the number of requests completed
+    /// under swap epoch `e`. When non-empty its sum must equal `served`.
+    pub epoch_served: Vec<u64>,
+    /// Operating-point swaps installed on this endpoint (each bumps the
+    /// epoch by one, so the current epoch equals this count).
+    pub swaps: u64,
+    /// Guard-ladder transition log merged across worker shards, capped at
+    /// [`GUARD_LOG_CAP`]; overflow lands in `guard_log_dropped`.
+    pub guard_log: Vec<GuardLogEntry>,
+    /// Transitions beyond the log cap.
+    pub guard_log_dropped: u64,
     /// Per-invocation latency distribution in cycles.
     pub latency: LatencyHistogram,
     /// Aggregated watchdog activity across this endpoint's shards.
@@ -179,7 +241,56 @@ impl EndpointCounters {
                 ));
             }
         }
+        if !self.epoch_served.is_empty() {
+            let epoch_sum: u64 = self.epoch_served.iter().sum();
+            if epoch_sum != self.served {
+                errors.push(format!(
+                    "epoch_served sums to {epoch_sum} but served = {}",
+                    self.served
+                ));
+            }
+        }
+        let time_in = self.watchdog.time_in_monitoring
+            + self.watchdog.time_in_throttled
+            + self.watchdog.time_in_fallback
+            + self.watchdog.time_in_probing;
+        if time_in != self.watchdog.samples {
+            errors.push(format!(
+                "time-in-state sums to {time_in} but watchdog samples = {}",
+                self.watchdog.samples
+            ));
+        }
+        if self.watchdog.transitions != self.guard_log.len() as u64 + self.guard_log_dropped {
+            errors.push(format!(
+                "watchdog transitions = {} but guard log holds {} (+{} dropped)",
+                self.watchdog.transitions,
+                self.guard_log.len(),
+                self.guard_log_dropped
+            ));
+        }
         errors
+    }
+
+    /// Appends guard-ladder transitions (already rendered as log entries)
+    /// up to [`GUARD_LOG_CAP`], counting overflow — plus `dropped`
+    /// transitions the producing shard itself never logged — into
+    /// `guard_log_dropped`. The transition total is kept in lockstep so
+    /// the log/counter invariant audited by
+    /// [`consistency_errors`](Self::consistency_errors) holds.
+    pub fn record_guard_transitions<I>(&mut self, entries: I, dropped: u64)
+    where
+        I: IntoIterator<Item = GuardLogEntry>,
+    {
+        for entry in entries {
+            self.watchdog.transitions += 1;
+            if self.guard_log.len() < GUARD_LOG_CAP {
+                self.guard_log.push(entry);
+            } else {
+                self.guard_log_dropped += 1;
+            }
+        }
+        self.watchdog.transitions += dropped;
+        self.guard_log_dropped += dropped;
     }
 
     /// Folds a worker's sub-batch delta into the registry entry — the
@@ -198,11 +309,24 @@ impl EndpointCounters {
         for (a, b) in self.route_served.iter_mut().zip(&delta.route_served) {
             *a += b;
         }
+        if self.epoch_served.len() < delta.epoch_served.len() {
+            self.epoch_served.resize(delta.epoch_served.len(), 0);
+        }
+        for (a, b) in self.epoch_served.iter_mut().zip(&delta.epoch_served) {
+            *a += b;
+        }
+        self.swaps += delta.swaps;
+        self.record_guard_transitions(delta.guard_log.iter().cloned(), delta.guard_log_dropped);
         self.latency.merge(&delta.latency);
         self.watchdog.samples += delta.watchdog.samples;
         self.watchdog.violations += delta.watchdog.violations;
         self.watchdog.breaches += delta.watchdog.breaches;
         self.watchdog.recoveries += delta.watchdog.recoveries;
+        self.watchdog.time_in_monitoring += delta.watchdog.time_in_monitoring;
+        self.watchdog.time_in_throttled += delta.watchdog.time_in_throttled;
+        self.watchdog.time_in_fallback += delta.watchdog.time_in_fallback;
+        self.watchdog.time_in_probing += delta.watchdog.time_in_probing;
+        self.watchdog.recert_triggers += delta.watchdog.recert_triggers;
     }
 }
 

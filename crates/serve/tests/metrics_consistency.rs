@@ -135,14 +135,27 @@ fn counters_from(fields: &[u64]) -> EndpointCounters {
         duplicates: scalars[5],
         config_bursts: scalars[6],
         route_served: vec![scalars[11], scalars[12]],
+        epoch_served: vec![scalars[1] + scalars[2]],
+        swaps: scalars[6] % 4,
+        guard_log: Vec::new(),
+        guard_log_dropped: scalars[9] + scalars[10],
         latency: LatencyHistogram {
             counts: hist.to_vec(),
         },
         watchdog: WatchdogStats {
-            samples: scalars[7],
+            // Samples are the sum of the four time-in-state residences and
+            // the transition total restates the (empty) log plus its drop
+            // counter — the same linear invariants the real fold keeps.
+            samples: scalars[7] + scalars[8] + scalars[9] + scalars[10],
             violations: scalars[8],
             breaches: scalars[9],
             recoveries: scalars[10],
+            time_in_monitoring: scalars[7],
+            time_in_throttled: scalars[8],
+            time_in_fallback: scalars[9],
+            time_in_probing: scalars[10],
+            transitions: scalars[9] + scalars[10],
+            recert_triggers: scalars[9].min(1),
         },
     }
 }
@@ -199,6 +212,7 @@ proptest! {
             // Repair the generated counters into a consistent state.
             c.served = c.approx + c.fallback;
             c.route_served = vec![c.approx / 2, c.approx - c.approx / 2];
+            c.epoch_served = vec![c.served];
             c.latency = LatencyHistogram::default();
             for _ in 0..c.served {
                 c.latency.record(128.0);

@@ -29,6 +29,7 @@ use mithra_npu::fault::FaultSite;
 use mithra_npu::fixed::{FixedMlp, QFormat};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// Golden-ratio multiplier mixing the dataset seed into the plan seed.
 const SEED_MIX: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -218,6 +219,111 @@ impl FaultPlan {
     }
 }
 
+/// When — and how hard — the input distribution moves over a session's
+/// dataset sequence.
+///
+/// A schedule maps a dataset index to the [`DriftSpec`] in force for that
+/// dataset, covering the three canonical drift shapes: an abrupt **step**,
+/// a gradual **ramp**, and a **transient** excursion that later reverts.
+/// Schedules are plain data — seeded through the target spec, serialized
+/// with serde (`figw` writes them into its JSON artifacts), and evaluated
+/// with [`DriftSchedule::drift_at`], so the same schedule replayed against
+/// the same seeds reproduces the same session bit for bit.
+///
+/// The noise stream of the returned spec is re-seeded per dataset index
+/// (mixing the index into `drift.seed`): consecutive datasets under the
+/// same nominal drift see independent noise, as real drifting traffic
+/// would, while the whole sequence stays deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DriftSchedule {
+    /// The distribution never moves.
+    None,
+    /// Identity before `at`; the full `drift` from dataset `at` onward.
+    Step {
+        /// First drifted dataset index.
+        at: usize,
+        /// The drift in force from `at` onward.
+        drift: DriftSpec,
+    },
+    /// Linear interpolation from identity at dataset `from` to the full
+    /// `drift` at dataset `until`, holding steady afterwards.
+    Ramp {
+        /// Last identity dataset index.
+        from: usize,
+        /// First dataset at full drift (must be `> from`).
+        until: usize,
+        /// The drift reached at `until`.
+        drift: DriftSpec,
+    },
+    /// The full `drift` inside `[at, until)`; identity before and after —
+    /// the drift-then-revert scenario the re-certifier must survive
+    /// without wedging on the transient distribution.
+    Transient {
+        /// First drifted dataset index.
+        at: usize,
+        /// First reverted (identity) dataset index.
+        until: usize,
+        /// The drift in force inside the excursion.
+        drift: DriftSpec,
+    },
+}
+
+impl DriftSchedule {
+    /// The drift in force for dataset `index`, or `None` where the
+    /// schedule leaves the distribution untouched (including ramp points
+    /// that interpolate to the identity and specs that *are* the
+    /// identity).
+    pub fn drift_at(&self, index: usize) -> Option<DriftSpec> {
+        let reseed = |mut spec: DriftSpec| {
+            spec.seed ^= (index as u64).wrapping_mul(SEED_MIX);
+            spec
+        };
+        let spec = match *self {
+            DriftSchedule::None => return None,
+            DriftSchedule::Step { at, drift } => {
+                if index < at {
+                    return None;
+                }
+                drift
+            }
+            DriftSchedule::Ramp { from, until, drift } => {
+                if index <= from {
+                    return None;
+                }
+                let span = until.saturating_sub(from).max(1);
+                let t = ((index - from) as f32 / span as f32).min(1.0);
+                DriftSpec {
+                    scale: 1.0 + t * (drift.scale - 1.0),
+                    offset: t * drift.offset,
+                    noise_std: t * drift.noise_std,
+                    seed: drift.seed,
+                }
+            }
+            DriftSchedule::Transient { at, until, drift } => {
+                if index < at || index >= until {
+                    return None;
+                }
+                drift
+            }
+        };
+        if spec.is_identity() {
+            None
+        } else {
+            Some(reseed(spec))
+        }
+    }
+
+    /// Whether any dataset index drifts under this schedule.
+    pub fn is_active(&self) -> bool {
+        match *self {
+            DriftSchedule::None => false,
+            DriftSchedule::Step { drift, .. } => !drift.is_identity(),
+            DriftSchedule::Ramp { from, until, drift } => !drift.is_identity() && until > from,
+            DriftSchedule::Transient { at, until, drift } => !drift.is_identity() && until > at,
+        }
+    }
+}
+
 /// Flips each bit of `site` independently with probability `rate`.
 fn apply_bit_flips(site: &mut dyn FaultSite, rate: f64, rng: &mut StdRng) {
     let rate = rate.clamp(0.0, 1.0);
@@ -259,6 +365,86 @@ mod tests {
             let bench: Arc<dyn Benchmark> = suite::by_name("sobel").unwrap().into();
             compile(bench, &CompileConfig::smoke()).unwrap()
         })
+    }
+
+    #[test]
+    fn drift_schedule_shapes_cover_step_ramp_transient() {
+        let drift = DriftSpec {
+            scale: 1.4,
+            offset: 0.2,
+            noise_std: 0.1,
+            seed: 7,
+        };
+        let step = DriftSchedule::Step { at: 3, drift };
+        assert!(step.drift_at(2).is_none());
+        assert!(step.drift_at(3).is_some());
+        assert!(step.drift_at(100).is_some());
+
+        let ramp = DriftSchedule::Ramp {
+            from: 2,
+            until: 6,
+            drift,
+        };
+        assert!(ramp.drift_at(2).is_none(), "ramp starts after `from`");
+        let half = ramp.drift_at(4).unwrap();
+        assert!((half.scale - 1.2).abs() < 1e-6, "scale {}", half.scale);
+        assert!((half.offset - 0.1).abs() < 1e-6);
+        let full = ramp.drift_at(6).unwrap();
+        assert!((full.scale - drift.scale).abs() < 1e-6);
+        let held = ramp.drift_at(50).unwrap();
+        assert!((held.scale - drift.scale).abs() < 1e-6, "ramps hold");
+
+        let transient = DriftSchedule::Transient {
+            at: 3,
+            until: 6,
+            drift,
+        };
+        assert!(transient.drift_at(2).is_none());
+        assert!(transient.drift_at(3).is_some());
+        assert!(transient.drift_at(5).is_some());
+        assert!(transient.drift_at(6).is_none(), "transients revert");
+
+        assert!(DriftSchedule::None.drift_at(0).is_none());
+        assert!(!DriftSchedule::None.is_active());
+        assert!(step.is_active() && ramp.is_active() && transient.is_active());
+        let identity = DriftSchedule::Step {
+            at: 0,
+            drift: DriftSpec::none(),
+        };
+        assert!(!identity.is_active());
+        assert!(identity.drift_at(5).is_none());
+    }
+
+    #[test]
+    fn drift_schedule_reseeds_noise_per_dataset() {
+        let drift = DriftSpec {
+            scale: 1.0,
+            offset: 0.0,
+            noise_std: 0.05,
+            seed: 11,
+        };
+        let step = DriftSchedule::Step { at: 0, drift };
+        let a = step.drift_at(1).unwrap();
+        let b = step.drift_at(2).unwrap();
+        assert_ne!(a.seed, b.seed, "noise streams must differ per dataset");
+        assert_eq!(step.drift_at(1).unwrap(), a, "but stay deterministic");
+    }
+
+    #[test]
+    fn drift_schedule_serde_round_trips() {
+        let schedule = DriftSchedule::Transient {
+            at: 4,
+            until: 9,
+            drift: DriftSpec {
+                scale: 1.3,
+                offset: 0.12,
+                noise_std: 0.02,
+                seed: 99,
+            },
+        };
+        let json = serde_json::to_string(&schedule).unwrap();
+        let back: DriftSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, schedule);
     }
 
     #[test]

@@ -24,13 +24,16 @@
 use crate::cpu::IsaCosts;
 use crate::energy::EnergyModel;
 use crate::error::SimError;
-use crate::fault::FifoEvent;
+use crate::fault::{DriftSchedule, FifoEvent};
 use mithra_axbench::benchmark::WorkloadProfile;
+use mithra_axbench::dataset::DatasetScale;
 use mithra_core::classifier::{Classifier, ClassifierOverhead, Decision};
 use mithra_core::pipeline::Compiled;
 use mithra_core::profile::{DatasetProfile, Route};
+use mithra_core::recert::{RecertConfig, RecertEngine, RecertPhase, RecertReport};
 use mithra_core::route::{oracle_route, RouteChoice, RouteClassifier, RoutedCompiled};
-use mithra_core::watchdog::QualityWatchdog;
+use mithra_core::threshold::QualitySpec;
+use mithra_core::watchdog::{GuardState, QualityWatchdog, WatchdogConfig, WatchdogReport};
 use mithra_npu::cost::NpuCostModel;
 use std::num::NonZeroUsize;
 
@@ -723,6 +726,250 @@ pub fn run_routed(
     })
 }
 
+/// Configuration of a closed-loop serving session: the per-run options,
+/// the quality contract being defended, the watchdog tuning guarding it,
+/// and the re-certifier allowed to replace the operating point when the
+/// watchdog gives up on the old one.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Per-dataset simulation options.
+    pub options: SimOptions,
+    /// The quality contract `(q, beta, S)` every certified pair defends.
+    pub spec: QualitySpec,
+    /// Watchdog tuning for epoch 0 (swaps install re-calibrated tunings).
+    pub watchdog: WatchdogConfig,
+    /// Watchdog shadow-sampling period (0 disables the watchdog — and
+    /// with it the re-certifier, which has no trigger without a guard).
+    pub watchdog_period: usize,
+    /// Online re-certification tuning; [`RecertConfig::off`] makes the
+    /// session's dataset loop identical to a sequence of plain [`run`]
+    /// calls sharing one watchdog.
+    pub recert: RecertConfig,
+    /// Scale of the per-seed datasets.
+    pub scale: DatasetScale,
+}
+
+/// One hot-swap performed by the in-loop re-certifier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwapRecord {
+    /// Dataset index after which the swap took effect.
+    pub at_dataset: usize,
+    /// Epoch the swap installed (first swap installs epoch 1).
+    pub epoch: u64,
+    /// The re-certified threshold.
+    pub threshold: f32,
+    /// Sequential-test trials the certificate consumed.
+    pub certify_trials: u64,
+    /// Selection attempts the engine spent up to this swap.
+    pub attempts: u64,
+}
+
+/// One dataset's slice of a session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionDataset {
+    /// The dataset's simulation result under the epoch's artifacts.
+    pub run: RunResult,
+    /// Epoch whose artifacts served this dataset.
+    pub epoch: u64,
+    /// Whether the schedule drifted this dataset's inputs.
+    pub drifted: bool,
+    /// Watchdog rung after the dataset completed.
+    pub guard_state: GuardState,
+    /// Re-certifier phase after the dataset completed.
+    pub recert_phase: RecertPhase,
+}
+
+/// The operating point in force when a session ended — what a serving
+/// deployment would be running (and what post-session conformance
+/// validation must therefore judge).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatingPointRecord {
+    /// Epoch of the artifacts (0 = the compile-time certificate).
+    pub epoch: u64,
+    /// Live accelerator-error threshold.
+    pub threshold: f32,
+    /// Live deployed classifier.
+    pub classifier: mithra_core::table::TableClassifier,
+}
+
+/// The result of a closed-loop session over a dataset sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionResult {
+    /// Per-dataset outcomes, in serving order.
+    pub datasets: Vec<SessionDataset>,
+    /// The operating point serving when the session ended.
+    pub final_point: OperatingPointRecord,
+    /// The persistent watchdog's lifetime report (counters, residence and
+    /// the transition log span every epoch).
+    pub watchdog: WatchdogReport,
+    /// The re-certifier's lifetime report.
+    pub recert: RecertReport,
+    /// Every cycle and nanojoule the re-certifier consumed: shadow
+    /// accelerator executions that built calibration profiles while the
+    /// session served precisely, plus the classifier-table upload each
+    /// swap charges.
+    pub recert_charge: Charge,
+    /// The hot-swaps performed, in order.
+    pub swaps: Vec<SwapRecord>,
+}
+
+impl SessionResult {
+    /// Mean speedup over the session's datasets.
+    pub fn mean_speedup(&self) -> f64 {
+        if self.datasets.is_empty() {
+            return 0.0;
+        }
+        self.datasets.iter().map(|d| d.run.speedup()).sum::<f64>() / self.datasets.len() as f64
+    }
+
+    /// Datasets whose quality loss stayed within `q`.
+    pub fn quality_passes(&self, max_quality_loss: f64) -> usize {
+        self.datasets
+            .iter()
+            .filter(|d| d.run.quality_loss <= max_quality_loss)
+            .count()
+    }
+}
+
+/// Runs a closed-loop serving session: one persistent watchdog and one
+/// re-certification engine across a sequence of datasets whose inputs
+/// move under `schedule`.
+///
+/// This is the **reference loop** the sharded serving runtime
+/// (`mithra-serve`) must reproduce bit for bit. Per dataset it (1) draws
+/// the seed's dataset at the session scale and applies the schedule's
+/// drift, (2) profiles it against the *current epoch's* artifacts and
+/// simulates it under the shared watchdog via [`run`], and (3) whenever
+/// the watchdog **visited** [`GuardState::Fallback`] during the dataset,
+/// feeds the profile to the [`RecertEngine`] — charging the shadow
+/// accelerator execution every profiled invocation costs (the precise
+/// halves are free: a fallback session computes them to serve). Visited,
+/// not merely ended in: a guard flapping around its calibrated limit —
+/// Fallback, a clean-looking recovery window, Probing, a fresh breach —
+/// is a certificate that stopped describing the traffic just as surely as
+/// one parked in fallback, and large datasets can walk the whole cycle
+/// between two end-of-dataset checks. When the engine certifies a new
+/// operating point, the loop installs it — new threshold, new classifier,
+/// re-calibrated watchdog tuning — charges the classifier-table upload,
+/// and forces the watchdog back to [`GuardState::Monitoring`]; the next
+/// dataset is served by the new epoch. If the watchdog recovers *on its
+/// own* (the drift reverted and the old pair is healthy again), any
+/// in-flight collection or certification is aborted: its window described
+/// a distribution that no longer serves traffic.
+///
+/// With [`RecertConfig::off`] the loop never consults the engine and a
+/// session is numerically identical to calling [`run`] per dataset with
+/// the same shared watchdog.
+///
+/// # Errors
+///
+/// Propagates core-layer failures from profiling, simulation, selection
+/// and certification as [`SimError`].
+pub fn run_session(
+    compiled: &Compiled,
+    seeds: &[u64],
+    schedule: &DriftSchedule,
+    config: &SessionConfig,
+) -> Result<SessionResult, SimError> {
+    let mut serving =
+        compiled.with_operating_point(compiled.threshold.threshold, compiled.table.clone());
+    let mut dog = QualityWatchdog::new(config.watchdog);
+    let mut engine = RecertEngine::new(config.spec, config.recert)?;
+
+    let mut datasets = Vec::with_capacity(seeds.len());
+    let mut swaps = Vec::new();
+    let mut recert_charge = Charge::default();
+
+    for (t, &seed) in seeds.iter().enumerate() {
+        let drift = schedule.drift_at(t);
+        let ds = serving.function.dataset(seed, config.scale);
+        let ds = match &drift {
+            Some(spec) => ds.drifted(spec),
+            None => ds,
+        };
+        let profile = DatasetProfile::collect(&serving.function, ds);
+
+        let fallback_before = dog.report().time_in.fallback;
+        let mut classifier = serving.table.clone();
+        let hooks = RunHooks::none().with_watchdog(&mut dog, config.watchdog_period);
+        let result = run(&serving, &profile, &mut classifier, &config.options, hooks)?;
+        let epoch = engine.epoch();
+        // A dataset large enough to hold several watchdog windows can walk
+        // Fallback → Probing → Monitoring between two of these checks, so
+        // "is the guard degraded" must ask where the dog has *been*, not
+        // just where it stands.
+        let visited_fallback =
+            dog.state() == GuardState::Fallback || dog.report().time_in.fallback > fallback_before;
+
+        if engine.is_enabled() {
+            if visited_fallback {
+                // Building a calibration profile while serving precisely:
+                // the precise outputs are the served outputs, but every
+                // invocation's accelerator half is a shadow execution.
+                let model = InvocationModel::new(&serving, &classifier.overhead(), &config.options);
+                let with_shadow = model.charge(Decision::Precise, FifoEvent::None, true);
+                let without = model.charge(Decision::Precise, FifoEvent::None, false);
+                let shadow = Charge {
+                    cycles: with_shadow.cycles - without.cycles,
+                    energy: with_shadow.energy - without.energy,
+                };
+                for _ in 0..profile.invocation_count() {
+                    recert_charge.add(shadow);
+                }
+
+                if let Some(outcome) = engine.observe(&serving.function, profile)? {
+                    // Hot swap: new pair, re-calibrated guard, and the
+                    // one-time upload of the new classifier's tables.
+                    serving = serving.with_operating_point(outcome.threshold, outcome.classifier);
+                    let model = InvocationModel::new(
+                        &serving,
+                        &serving.table.clone().overhead(),
+                        &config.options,
+                    );
+                    recert_charge.add(model.startup(0));
+                    dog.reconfigure(outcome.watchdog);
+                    dog.force_state(GuardState::Monitoring);
+                    swaps.push(SwapRecord {
+                        at_dataset: t,
+                        epoch: outcome.epoch,
+                        threshold: outcome.threshold,
+                        certify_trials: outcome.certify_trials,
+                        attempts: outcome.attempts,
+                    });
+                }
+            }
+            // One health checkpoint per dataset: a sustained return to
+            // Monitoring aborts in-flight work (the engine owns the
+            // hysteresis — a flapping ladder near its limit produces
+            // short false recoveries that must not drop the window). A
+            // dataset that visited fallback is never healthy, whatever
+            // rung the dog happens to stand on at its end.
+            engine.note_health(dog.state() == GuardState::Monitoring && !visited_fallback);
+        }
+
+        datasets.push(SessionDataset {
+            run: result,
+            epoch,
+            drifted: drift.is_some(),
+            guard_state: dog.state(),
+            recert_phase: engine.phase(),
+        });
+    }
+
+    Ok(SessionResult {
+        datasets,
+        final_point: OperatingPointRecord {
+            epoch: engine.epoch(),
+            threshold: serving.threshold.threshold,
+            classifier: serving.table.clone(),
+        },
+        watchdog: dog.report(),
+        recert: engine.report(),
+        recert_charge,
+        swaps,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -743,6 +990,184 @@ mod tests {
     fn fresh_profile(compiled: &Compiled, seed: u64) -> DatasetProfile {
         let ds = compiled.function.dataset(seed, DatasetScale::Smoke);
         DatasetProfile::collect(&compiled.function, ds)
+    }
+
+    fn session_config(compiled: &Compiled, spec: QualitySpec) -> SessionConfig {
+        let mut recert = RecertConfig::paper_default();
+        recert.select_after = 18;
+        recert.train_samples = 1_500;
+        recert.select_iterations = 8;
+        recert.max_certify_trials = 80;
+        // The production setup: the watchdog limit is calibrated against
+        // the clean certified behaviour, so clean serving sits below it
+        // and the drift scenarios push past it.
+        let watchdog = mithra_core::watchdog::calibrate(
+            &mut compiled.table.clone(),
+            &compiled.profiles,
+            compiled.threshold.threshold,
+            spec.confidence,
+        )
+        .unwrap();
+        SessionConfig {
+            options: SimOptions::default(),
+            spec,
+            watchdog,
+            watchdog_period: 2,
+            recert,
+            scale: DatasetScale::Smoke,
+        }
+    }
+
+    #[test]
+    fn recert_off_session_is_bit_identical_to_plain_runs() {
+        // RecertConfig::off() must leave the dataset loop exactly as it
+        // was before this subsystem existed: a sequence of plain run()
+        // calls sharing one watchdog, charge for charge.
+        let compiled = compiled_for("sobel");
+        let spec = QualitySpec::paper_default(0.1).unwrap();
+        let mut config = session_config(&compiled, spec);
+        config.recert = RecertConfig::off();
+        let drift = mithra_axbench::dataset::DriftSpec {
+            scale: 1.25,
+            offset: 0.15,
+            noise_std: 0.0,
+            seed: 41,
+        };
+        let schedule = DriftSchedule::Step { at: 2, drift };
+        let seeds: Vec<u64> = (0..6).map(|i| 5_000_000 + i).collect();
+
+        let session = run_session(&compiled, &seeds, &schedule, &config).unwrap();
+
+        let mut dog = QualityWatchdog::new(config.watchdog);
+        for (t, (&seed, got)) in seeds.iter().zip(&session.datasets).enumerate() {
+            let ds = compiled.function.dataset(seed, config.scale);
+            let ds = match schedule.drift_at(t) {
+                Some(spec) => ds.drifted(&spec),
+                None => ds,
+            };
+            let profile = DatasetProfile::collect(&compiled.function, ds);
+            let mut cls = compiled.table.clone();
+            let want = run(
+                &compiled,
+                &profile,
+                &mut cls,
+                &config.options,
+                RunHooks::none().with_watchdog(&mut dog, config.watchdog_period),
+            )
+            .unwrap();
+            assert_eq!(got.run, want, "dataset {t} diverged with recert off");
+            assert_eq!(got.epoch, 0);
+        }
+        assert_eq!(session.watchdog, dog.report());
+        assert_eq!(session.recert, RecertReport::default());
+        assert_eq!(session.recert_charge, Charge::default());
+        assert!(session.swaps.is_empty());
+    }
+
+    #[test]
+    fn session_recovers_from_step_drift_by_hot_swapping() {
+        // The tentpole scenario: sustained drift degrades the certified
+        // pair, the watchdog walks down to Fallback, the re-certifier
+        // collects, certifies and swaps, and serving resumes accelerated
+        // under the new epoch.
+        let compiled = compiled_for("sobel");
+        // S = 0.7 rather than the paper's 0.9: under this drift the best
+        // retrainable candidates pass ~85-90% of datasets, and an honest
+        // always-valid test needs hundreds of trials to separate that from
+        // S = 0.8+. A lighter S lets the e-process conclude within a
+        // session-sized budget; the full-scale figw sweep keeps the paper
+        // spec and simply runs much longer sessions.
+        let spec = QualitySpec::new(0.1, 0.9, 0.7).unwrap();
+        let config = session_config(&compiled, spec);
+        let drift = mithra_axbench::dataset::DriftSpec {
+            scale: 1.25,
+            offset: 0.15,
+            noise_std: 0.0,
+            seed: 41,
+        };
+        let schedule = DriftSchedule::Step { at: 1, drift };
+        let seeds: Vec<u64> = (0..220).map(|i| 5_100_000 + i).collect();
+
+        let session = run_session(&compiled, &seeds, &schedule, &config).unwrap();
+
+        assert!(
+            !session.swaps.is_empty(),
+            "no hot swap happened: watchdog {:?} recert {:?}",
+            session.watchdog,
+            session.recert
+        );
+        let swap = session.swaps[0];
+        assert_eq!(swap.epoch, 1);
+        assert!(swap.certify_trials > 0);
+        assert!(
+            session.recert_charge.cycles > 0.0,
+            "recert was never charged"
+        );
+
+        // Fallback was visited before the swap and serving resumed after.
+        assert!(session.watchdog.time_in.fallback > 0);
+        let post: Vec<_> = session.datasets.iter().filter(|d| d.epoch > 0).collect();
+        assert!(!post.is_empty(), "no dataset served under the new epoch");
+        let post_rate =
+            post.iter().map(|d| d.run.invocation_rate()).sum::<f64>() / post.len() as f64;
+        assert!(
+            post_rate > 0.02,
+            "post-swap serving is not accelerated: rate {post_rate}"
+        );
+        // The re-certified pair defends q on most post-swap datasets.
+        let passes = post
+            .iter()
+            .filter(|d| d.run.quality_loss <= spec.max_quality_loss)
+            .count();
+        assert!(
+            passes * 10 >= post.len() * 7,
+            "only {passes}/{} post-swap datasets met q",
+            post.len()
+        );
+    }
+
+    #[test]
+    fn session_aborts_recert_when_transient_drift_reverts() {
+        // Drift-then-revert: the watchdog recovers on its own once the
+        // distribution returns, and the in-flight calibration window —
+        // which describes the transient distribution — must be dropped,
+        // not certified.
+        let compiled = compiled_for("sobel");
+        let spec = QualitySpec::new(0.1, 0.9, 0.8).unwrap();
+        let mut config = session_config(&compiled, spec);
+        // A long collection phase so the transient reverts mid-flight.
+        config.recert.select_after = 40;
+        let drift = mithra_axbench::dataset::DriftSpec {
+            scale: 1.25,
+            offset: 0.15,
+            noise_std: 0.0,
+            seed: 41,
+        };
+        let schedule = DriftSchedule::Transient {
+            at: 1,
+            until: 8,
+            drift,
+        };
+        let seeds: Vec<u64> = (0..40).map(|i| 5_200_000 + i).collect();
+
+        let session = run_session(&compiled, &seeds, &schedule, &config).unwrap();
+
+        assert!(session.swaps.is_empty(), "swapped on a transient");
+        assert_eq!(session.recert.swaps, 0);
+        let last = session.datasets.last().unwrap();
+        assert_eq!(last.epoch, 0, "epoch must not advance");
+        assert_eq!(
+            last.recert_phase,
+            RecertPhase::Idle,
+            "in-flight recert must abort on self-recovery"
+        );
+        assert_eq!(
+            last.guard_state,
+            GuardState::Monitoring,
+            "watchdog must self-recover after the revert: {:?}",
+            session.watchdog
+        );
+        assert!(session.watchdog.recoveries > 0);
     }
 
     #[test]

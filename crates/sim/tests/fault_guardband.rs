@@ -6,17 +6,28 @@
 //!   stay byte-comparable);
 //! * the watchdog never fires on clean certified runs, across seeds — the
 //!   no-false-alarm property;
-//! * armed plans are deterministic and refuse to arm when empty.
+//! * armed plans are deterministic and refuse to arm when empty;
+//! * the online re-certification gate spends at most its α: across seeds,
+//!   a still-violating stream (true pass rate at the certified target `S`)
+//!   is never re-certified beyond the nominal error budget, even under
+//!   per-dataset peeking and the full multi-attempt retry protocol, and
+//!   the sequential breach test never fires on clean oracle streams.
 
 use mithra_axbench::benchmark::Benchmark;
 use mithra_axbench::dataset::DatasetScale;
 use mithra_axbench::suite;
 use mithra_core::pipeline::{compile, CompileConfig, Compiled};
 use mithra_core::profile::DatasetProfile;
+use mithra_core::recert::RecertConfig;
 use mithra_core::watchdog::{GuardState, QualityWatchdog, WatchdogConfig};
 use mithra_sim::fault::FaultPlan;
 use mithra_sim::system::{run, simulate, RunHooks, SimOptions};
 use mithra_sim::SimError;
+use mithra_stats::clopper_pearson::Confidence;
+use mithra_stats::sequential::SequentialBinomial;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::sync::{Arc, OnceLock};
 
 fn compiled_sobel() -> &'static Compiled {
@@ -91,6 +102,103 @@ fn disarmed_plans_refuse_to_arm_and_armed_plans_are_deterministic() {
         let b = plan.arm(compiled, &ds).unwrap();
         assert_eq!(a.profile.errors(), b.profile.errors(), "seed {seed}");
         assert_eq!(a.fifo_events, b.fifo_events, "seed {seed}");
+    }
+}
+
+/// Runs the re-certification gate exactly as [`RecertEngine`] runs it —
+/// up to `max_attempts` frozen candidates, each judged by a fresh
+/// e-process at the Bonferroni share `α / max_attempts`, peeked after
+/// every dataset, abandoned after `max_certify_trials` — against a
+/// synthetic candidate whose per-dataset quality pass is Bernoulli
+/// `pass_rate`. Returns whether any attempt certified `target_rate`.
+///
+/// [`RecertEngine`]: mithra_core::recert::RecertEngine
+fn gate_certifies(
+    cfg: &RecertConfig,
+    alpha: f64,
+    target_rate: f64,
+    pass_rate: f64,
+    seed: u64,
+) -> bool {
+    let attempt_confidence = Confidence::new(1.0 - alpha / cfg.max_attempts as f64).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _attempt in 0..cfg.max_attempts {
+        let mut test = SequentialBinomial::new();
+        for _trial in 0..cfg.max_certify_trials {
+            test.observe(rng.gen_bool(pass_rate));
+            if test.certifies(target_rate, attempt_confidence).unwrap() {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[test]
+fn recert_gate_never_certifies_still_violating_streams_beyond_alpha() {
+    // The certificate claims "pass rate > S"; a candidate whose true rate
+    // is exactly S is the hardest still-violating stream — anything the
+    // gate grants it is pure type-I error. Across seeds, the fraction of
+    // such streams that EVER certify (peeking after every dataset, across
+    // the whole multi-attempt retry budget) must stay within the α the
+    // Bonferroni split promises. A naive repeated Clopper–Pearson monitor
+    // fails exactly this property (see `mithra_stats::sequential`).
+    let cfg = RecertConfig::paper_default();
+    let (alpha, s) = (0.1, 0.8); // QualitySpec::new(q, 0.9, 0.8)
+    let runs = 300u32;
+    let false_certs = (0..runs)
+        .filter(|&i| gate_certifies(&cfg, alpha, s, s, 0xFA15_7A7E + u64::from(i)))
+        .count();
+    let rate = false_certs as f64 / f64::from(runs);
+    // Budget plus three binomial standard errors of Monte-Carlo slack.
+    let slack = 3.0 * (alpha * (1.0 - alpha) / f64::from(runs)).sqrt();
+    assert!(
+        rate <= alpha + slack,
+        "gate re-certified {false_certs}/{runs} still-violating streams \
+         (rate {rate:.3}, budget {alpha})"
+    );
+}
+
+#[test]
+fn recert_gate_retains_power_for_genuinely_recovered_streams() {
+    // The α budget must not be bought with vacuous conservatism: a
+    // candidate whose true pass rate sits well above S (the selection
+    // margin exists precisely to produce such candidates) certifies
+    // within the trial budget nearly always.
+    let cfg = RecertConfig::paper_default();
+    let (alpha, s) = (0.1, 0.8);
+    let runs = 100u32;
+    let certified = (0..runs)
+        .filter(|&i| gate_certifies(&cfg, alpha, s, 0.97, 0x9000_D000 + u64::from(i)))
+        .count();
+    assert!(
+        certified >= 95,
+        "only {certified}/{runs} genuinely-recovered streams certified"
+    );
+}
+
+proptest! {
+    #[test]
+    fn sequential_test_never_fires_on_clean_oracle_streams(
+        n in 1u64..400,
+        limit in 0.02f64..0.5,
+        level in 0.80f64..0.999,
+    ) {
+        // A clean oracle stream has zero violations: at no prefix, for no
+        // limit, at no confidence may the breach side of the sequential
+        // test conclude the quality target is being missed — and the
+        // certify side must eventually grant a long-enough clean stream.
+        let conf = Confidence::new(level).unwrap();
+        let mut test = SequentialBinomial::new();
+        for _ in 0..n {
+            test.observe(true);
+            prop_assert!(!test.refutes(1.0 - limit, conf).unwrap());
+        }
+        if n >= 60 {
+            // ~29–45 consecutive passes certify S = 0.9 at α = 0.05; every
+            // generated confidence here is no stricter than that.
+            prop_assert!(test.certifies(0.9, Confidence::new(0.95).unwrap()).unwrap());
+        }
     }
 }
 

@@ -14,6 +14,8 @@
 //! * [`fdist`] — the F distribution, used to express the interval in the
 //!   paper's Equation (3) form;
 //! * [`clopper_pearson`] — one-sided and two-sided exact binomial intervals;
+//! * [`sequential`] — always-valid e-process variants of the same bounds,
+//!   safe under continuous monitoring (the online re-certifier's test);
 //! * [`descriptive`] — means, geometric means, percentiles and empirical
 //!   CDFs used throughout the evaluation harness.
 //!
@@ -44,6 +46,7 @@ pub mod clopper_pearson;
 pub mod descriptive;
 pub mod fdist;
 pub mod intervals;
+pub mod sequential;
 pub mod special;
 
 mod error;

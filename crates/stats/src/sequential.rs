@@ -1,0 +1,469 @@
+//! Always-valid sequential binomial tests (e-processes).
+//!
+//! The compile-time certificate uses a *fixed-sample* Clopper–Pearson bound:
+//! collect `n` validation datasets once, compute the bound once. The online
+//! re-certifier cannot do that — it watches a stream of calibration datasets
+//! and wants to stop *the moment* the evidence suffices. Re-running the
+//! fixed-sample test after every observation ("peeking") silently spends its
+//! α: each look is another chance for a still-violating stream to get lucky,
+//! and after enough looks the realized false-certification rate can be far
+//! above the nominal 1 − β. (With α = 0.05 and unbounded looks at a
+//! borderline stream, the law of the iterated logarithm guarantees the naive
+//! monitor eventually "certifies" with probability 1.)
+//!
+//! The fix is a test that is valid *at every stopping time*: an e-process.
+//! For the composite null `H0: p ≤ p0` we track the mixture likelihood
+//! ratio
+//!
+//! ```text
+//! E_n(p0) = ∫_{p0}^1 Π_i (q/p0)^{x_i} ((1−q)/(1−p0))^{1−x_i} dq / (1 − p0)
+//!         = ∫_{p0}^1 q^k (1−q)^{n−k} dq / ((1 − p0) · p0^k (1−p0)^{n−k})
+//! ```
+//!
+//! where `k` successes were seen in `n` trials. Every component likelihood
+//! ratio with alternative `q > p0` has per-step expectation
+//! `p·q/p0 + (1−p)(1−q)/(1−p0) ≤ 1` for all `p ≤ p0` (linear in `p`, equal
+//! to 1 at `p = p0`, increasing in `p` for `q > p0`), so `E_n(p0)` is a
+//! nonnegative supermartingale under the whole null and Ville's inequality
+//! gives `P[sup_n E_n(p0) ≥ 1/α] ≤ α` — no matter how often we look or when
+//! we stop. Rejecting `H0` when `E_n(p0) ≥ 1/α` therefore certifies
+//! `p > p0` with honest confidence `1 − α` under continuous monitoring.
+//!
+//! The numerator integral has the closed form
+//! `B(k+1, n−k+1) · (1 − I_{p0}(k+1, n−k+1))` (regularized incomplete
+//! beta), so the whole e-process is computable from the running counts
+//! `(k, n)` alone — no per-observation state beyond two integers.
+//!
+//! Inverting the family `{E_n(p0)}` over `p0` yields an *anytime-valid
+//! confidence sequence*: `lower_bound(α) = inf{p0 : E_n(p0) < 1/α}` covers
+//! the true `p` at all times simultaneously with probability `1 − α`.
+
+use crate::clopper_pearson::Confidence;
+use crate::special::{betainc, ln_beta};
+use crate::{Result, StatsError};
+
+/// Bisection iterations for confidence-sequence bound inversion: enough to
+/// pin an f64 in `[0, 1]` to ~1e-15.
+const BISECT_ITERS: u32 = 60;
+
+/// A streaming Bernoulli record with always-valid (anytime) inference.
+///
+/// Feed outcomes with [`observe`](Self::observe); query
+/// [`e_value`](Self::e_value), [`certifies`](Self::certifies) or the
+/// confidence-sequence bounds at *any* time, as often as you like — the
+/// error guarantee is not eroded by peeking, unlike a repeated
+/// Clopper–Pearson test.
+///
+/// # Example
+///
+/// Certifying the paper's `S = 0.9` at `β = 0.95` from a clean stream needs
+/// about 29 consecutive successes (`ln 20 / ln(1/0.9) ≈ 28.4`, plus the
+/// mixture's overhead):
+///
+/// ```
+/// use mithra_stats::clopper_pearson::Confidence;
+/// use mithra_stats::sequential::SequentialBinomial;
+///
+/// let beta = Confidence::new(0.95)?;
+/// let mut test = SequentialBinomial::new();
+/// let mut certified_at = None;
+/// for n in 1..=60u64 {
+///     test.observe(true);
+///     if certified_at.is_none() && test.certifies(0.9, beta)? {
+///         certified_at = Some(n);
+///     }
+/// }
+/// let n = certified_at.expect("a clean stream certifies");
+/// assert!((29..=45).contains(&n), "certified at {n}");
+/// # Ok::<(), mithra_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SequentialBinomial {
+    successes: u64,
+    trials: u64,
+}
+
+impl SequentialBinomial {
+    /// An empty record: no observations yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reconstructs a record from counts (e.g. a deserialized snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::SuccessesExceedTrials`] if the counts are
+    /// inconsistent.
+    pub fn from_counts(successes: u64, trials: u64) -> Result<Self> {
+        if successes > trials {
+            return Err(StatsError::SuccessesExceedTrials { successes, trials });
+        }
+        Ok(Self { successes, trials })
+    }
+
+    /// Records one Bernoulli outcome.
+    pub fn observe(&mut self, success: bool) {
+        self.trials += 1;
+        if success {
+            self.successes += 1;
+        }
+    }
+
+    /// Successes observed so far.
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    /// Trials observed so far.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Discards all observations (a fresh α budget: only sound when the
+    /// *hypothesis under test* changes, e.g. a new frozen candidate).
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
+
+    /// The one-sided mixture e-value against `H0: p ≤ p0`.
+    ///
+    /// Values ≥ `1/α` reject the null with anytime validity (see module
+    /// docs). Returns `1.0` before any observation (an e-value must start
+    /// at its initial wealth).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] unless `0 < p0 < 1`.
+    pub fn e_value(&self, p0: f64) -> Result<f64> {
+        Ok(self.ln_e_value(p0)?.exp())
+    }
+
+    /// `ln` of [`e_value`](Self::e_value), safe against overflow for long
+    /// streams (the wealth grows geometrically on a clean stream).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] unless `0 < p0 < 1`.
+    pub fn ln_e_value(&self, p0: f64) -> Result<f64> {
+        if !p0.is_finite() || p0 <= 0.0 || p0 >= 1.0 {
+            return Err(StatsError::InvalidArgument {
+                parameter: "p0",
+                constraint: "0 < p0 < 1",
+                value: p0,
+            });
+        }
+        if self.trials == 0 {
+            return Ok(0.0);
+        }
+        let k = self.successes as f64;
+        let n = self.trials as f64;
+        // ln ∫_{p0}^1 q^k (1−q)^{n−k} dq
+        //   = ln B(k+1, n−k+1) + ln(1 − I_{p0}(k+1, n−k+1)).
+        let tail = 1.0 - betainc(p0, k + 1.0, n - k + 1.0)?;
+        if tail <= 0.0 {
+            // The entire posterior mass sits below p0: no evidence at all.
+            return Ok(f64::NEG_INFINITY);
+        }
+        let ln_numer = ln_beta(k + 1.0, n - k + 1.0)? + tail.ln();
+        let ln_denom = (1.0 - p0).ln() + k * p0.ln() + (n - k) * (1.0 - p0).ln();
+        Ok(ln_numer - ln_denom)
+    }
+
+    /// Does the stream certify a success rate **above** `target_rate` at
+    /// `confidence`, anytime-valid?
+    ///
+    /// `true` exactly when the e-value against `H0: p ≤ target_rate`
+    /// reaches `1/α`. Because the e-process is a supermartingale under the
+    /// null, the probability that a stream whose true rate is at most
+    /// `target_rate` *ever* certifies — over its entire lifetime, however
+    /// often this is polled — is at most `α = 1 − confidence`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] unless
+    /// `0 < target_rate < 1`.
+    pub fn certifies(&self, target_rate: f64, confidence: Confidence) -> Result<bool> {
+        Ok(self.ln_e_value(target_rate)? >= -confidence.alpha().ln())
+    }
+
+    /// Anytime-valid lower confidence bound on the success probability.
+    ///
+    /// The largest rate the stream currently certifies:
+    /// `inf{p0 : e_value(p0) < 1/α}`. Simultaneously over all times,
+    /// `P[∃n: lower_bound > p] ≤ α` for the true rate `p`. Wider than the
+    /// fixed-sample Clopper–Pearson bound at the same `n` — that is the
+    /// price of unlimited peeking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates numerical failures from the beta primitives.
+    pub fn lower_bound(&self, confidence: Confidence) -> Result<f64> {
+        if self.trials == 0 || self.successes == 0 {
+            return Ok(0.0);
+        }
+        let threshold = -confidence.alpha().ln();
+        // ln E is +∞ at p0 → 0 (for k > 0) and decreases through the
+        // threshold at most once before the confidence set begins; bisect
+        // the crossing.
+        if self.ln_e_value(f64::EPSILON)? < threshold {
+            return Ok(0.0);
+        }
+        let (mut lo, mut hi) = (f64::EPSILON, 1.0 - f64::EPSILON);
+        if self.ln_e_value(hi)? >= threshold {
+            return Ok(hi);
+        }
+        for _ in 0..BISECT_ITERS {
+            let mid = 0.5 * (lo + hi);
+            if self.ln_e_value(mid)? >= threshold {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(lo)
+    }
+
+    /// Anytime-valid upper confidence bound on the success probability:
+    /// the mirror of [`lower_bound`](Self::lower_bound), obtained by
+    /// running the same e-process on the failure stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates numerical failures from the beta primitives.
+    pub fn upper_bound(&self, confidence: Confidence) -> Result<f64> {
+        let mirrored = Self {
+            successes: self.trials - self.successes,
+            trials: self.trials,
+        };
+        Ok(1.0 - mirrored.lower_bound(confidence)?)
+    }
+
+    /// Does the stream establish that the success rate is **below**
+    /// `limit_rate` at `confidence`, anytime-valid? The breach-detection
+    /// mirror of [`certifies`](Self::certifies): feed it violation
+    /// indicators inverted, or call this with the success stream directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] unless `0 < limit_rate < 1`.
+    pub fn refutes(&self, limit_rate: f64, confidence: Confidence) -> Result<bool> {
+        let mirrored = Self {
+            successes: self.trials - self.successes,
+            trials: self.trials,
+        };
+        mirrored.certifies(1.0 - limit_rate, confidence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clopper_pearson;
+
+    fn conf(level: f64) -> Confidence {
+        Confidence::new(level).unwrap()
+    }
+
+    /// xorshift64* — deterministic, dependency-free stream for the
+    /// stochastic tests.
+    struct Rng(u64);
+    impl Rng {
+        fn new(seed: u64) -> Self {
+            Self(seed.max(1))
+        }
+        fn next_f64(&mut self) -> f64 {
+            self.0 ^= self.0 >> 12;
+            self.0 ^= self.0 << 25;
+            self.0 ^= self.0 >> 27;
+            let bits = self.0.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            (bits >> 11) as f64 / (1u64 << 53) as f64
+        }
+        fn bernoulli(&mut self, p: f64) -> bool {
+            self.next_f64() < p
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_neutral() {
+        let t = SequentialBinomial::new();
+        assert_eq!(t.e_value(0.5).unwrap(), 1.0);
+        assert!(!t.certifies(0.5, conf(0.95)).unwrap());
+        assert_eq!(t.lower_bound(conf(0.95)).unwrap(), 0.0);
+        assert_eq!(t.upper_bound(conf(0.95)).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn from_counts_validates() {
+        assert!(SequentialBinomial::from_counts(5, 4).is_err());
+        let t = SequentialBinomial::from_counts(3, 4).unwrap();
+        assert_eq!(t.successes(), 3);
+        assert_eq!(t.trials(), 4);
+    }
+
+    #[test]
+    fn clean_stream_certifies_near_theory() {
+        // ln(1/α) / ln(1/S) ≈ 28.4 is the information-theoretic floor for
+        // S = 0.9, α = 0.05 with point alternatives; the mixture pays a
+        // modest logarithmic overhead above it.
+        let beta = conf(0.95);
+        let mut t = SequentialBinomial::new();
+        let mut fired = None;
+        for n in 1..=80u64 {
+            t.observe(true);
+            if fired.is_none() && t.certifies(0.9, beta).unwrap() {
+                fired = Some(n);
+            }
+        }
+        let n = fired.expect("clean stream must certify");
+        assert!((29..=45).contains(&n), "certified at {n}");
+    }
+
+    #[test]
+    fn e_value_monotone_in_evidence() {
+        // More successes at fixed n → more evidence against p ≤ 0.6.
+        let mut prev = 0.0;
+        for k in 0..=30u64 {
+            let e = SequentialBinomial::from_counts(k, 30)
+                .unwrap()
+                .e_value(0.6)
+                .unwrap();
+            assert!(e > prev, "e-value not increasing at k={k}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn ln_e_value_matches_direct_integration() {
+        // Direct Riemann sum of the defining mixture integral.
+        let (k, n, p0) = (18u64, 22u64, 0.6f64);
+        let t = SequentialBinomial::from_counts(k, n).unwrap();
+        let steps = 400_000;
+        let mut sum = 0.0f64;
+        for i in 0..steps {
+            let q = p0 + (1.0 - p0) * (i as f64 + 0.5) / steps as f64;
+            sum += q.powi(k as i32) * (1.0 - q).powi((n - k) as i32);
+        }
+        sum *= (1.0 - p0) / steps as f64;
+        let direct = sum / ((1.0 - p0) * p0.powi(k as i32) * (1.0 - p0).powi((n - k) as i32));
+        let closed = t.e_value(p0).unwrap();
+        assert!(
+            (closed / direct - 1.0).abs() < 1e-4,
+            "closed {closed} vs direct {direct}"
+        );
+    }
+
+    #[test]
+    fn lower_bound_consistent_with_certifies() {
+        let beta = conf(0.95);
+        for &(k, n) in &[(40u64, 45u64), (90, 100), (29, 29), (10, 30)] {
+            let t = SequentialBinomial::from_counts(k, n).unwrap();
+            let lb = t.lower_bound(beta).unwrap();
+            if lb > 1e-9 {
+                // Just inside the bound: certified. Just above: not.
+                assert!(t.certifies(lb * 0.999, beta).unwrap(), "k={k} n={n}");
+            }
+            if lb < 1.0 - 1e-9 {
+                let above = (lb + 1e-6).min(1.0 - 1e-9);
+                assert!(!t.certifies(above, beta).unwrap(), "k={k} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn anytime_bound_wider_than_fixed_sample() {
+        // The peeking-safe bound must be more conservative than the
+        // fixed-n Clopper–Pearson bound it replaces.
+        let beta = conf(0.95);
+        for &(k, n) in &[(45u64, 50u64), (90, 100), (230, 250)] {
+            let seq = SequentialBinomial::from_counts(k, n)
+                .unwrap()
+                .lower_bound(beta)
+                .unwrap();
+            let fixed = clopper_pearson::lower_bound(k, n, beta).unwrap();
+            assert!(seq < fixed, "k={k} n={n}: seq {seq} !< fixed {fixed}");
+        }
+    }
+
+    #[test]
+    fn lower_bound_anytime_coverage_under_continuous_monitoring() {
+        // The property the naive repeated CP test fails: monitor a
+        // borderline stream (true p exactly at the target) at EVERY step
+        // and count streams that ever falsely certify. Must stay ≤ α
+        // (plus Monte-Carlo slack).
+        let beta = conf(0.95);
+        let p_true = 0.9;
+        let (mut seq_false, mut cp_false) = (0u32, 0u32);
+        let runs = 400u32;
+        for seed in 0..runs {
+            let mut rng = Rng::new(0xA11C_E000 + u64::from(seed));
+            let mut t = SequentialBinomial::new();
+            let (mut seq_fired, mut cp_fired) = (false, false);
+            for _ in 0..400 {
+                t.observe(rng.bernoulli(p_true));
+                if !seq_fired && t.certifies(p_true, beta).unwrap() {
+                    seq_fired = true;
+                }
+                if !cp_fired
+                    && t.successes() > 0
+                    && clopper_pearson::lower_bound(t.successes(), t.trials(), beta).unwrap()
+                        > p_true
+                {
+                    cp_fired = true;
+                }
+            }
+            seq_false += u32::from(seq_fired);
+            cp_false += u32::from(cp_fired);
+        }
+        let seq_rate = f64::from(seq_false) / f64::from(runs);
+        let cp_rate = f64::from(cp_false) / f64::from(runs);
+        assert!(
+            seq_rate <= 0.08,
+            "e-process false rate {seq_rate} > α+slack"
+        );
+        // And demonstrate the failure this module exists to prevent: the
+        // peeked fixed-sample test blows way past its nominal α.
+        assert!(
+            cp_rate > 2.0 * 0.05,
+            "peeked CP rate {cp_rate} unexpectedly honest — test is vacuous"
+        );
+    }
+
+    #[test]
+    fn refutes_mirrors_certifies() {
+        // 2 successes in 40: strong evidence the rate is below 50%.
+        let t = SequentialBinomial::from_counts(2, 40).unwrap();
+        assert!(t.refutes(0.5, conf(0.95)).unwrap());
+        // 38 in 40: no evidence of being below 50%.
+        let t = SequentialBinomial::from_counts(38, 40).unwrap();
+        assert!(!t.refutes(0.5, conf(0.95)).unwrap());
+    }
+
+    #[test]
+    fn upper_and_lower_bracket_point_estimate() {
+        let beta = conf(0.95);
+        for &(k, n) in &[(20u64, 50u64), (45, 50), (5, 50)] {
+            let t = SequentialBinomial::from_counts(k, n).unwrap();
+            let lb = t.lower_bound(beta).unwrap();
+            let ub = t.upper_bound(beta).unwrap();
+            let point = k as f64 / n as f64;
+            assert!(lb <= point + 1e-12 && point <= ub + 1e-12, "k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn e_value_rejects_bad_domain() {
+        let t = SequentialBinomial::from_counts(1, 2).unwrap();
+        assert!(t.e_value(0.0).is_err());
+        assert!(t.e_value(1.0).is_err());
+        assert!(t.e_value(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn reset_restores_initial_wealth() {
+        let mut t = SequentialBinomial::from_counts(30, 30).unwrap();
+        t.reset();
+        assert_eq!(t.trials(), 0);
+        assert_eq!(t.e_value(0.9).unwrap(), 1.0);
+    }
+}

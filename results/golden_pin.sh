@@ -51,4 +51,24 @@ if ! cmp -s "$OUT/$name.$b.expected" "$OUT/$name.$b.actual"; then
   exit 1
 fi
 echo "pinned: $name/$b ($(wc -l < "$OUT/$name.$b.actual") lines byte-identical)"
+
+# One figw slice: the closed-loop self-healing rows for inversek2j
+# (step + ramp + transient at the per-benchmark default drift severity),
+# re-run with exactly the flags run_all.sh uses and byte-compared the
+# same way — pins the whole watchdog → recert → hot-swap → conformance
+# chain, swap epoch and trial counts included.
+name=figw_self_healing
+b=inversek2j
+cargo run --locked --release -q -p mithra-bench --bin "$name" -- \
+  --scale full --quality 5 --cache-dir target/mithra-cache \
+  --out "$OUT/BENCH_recert_pin.json" \
+  --bench "$b" > "$OUT/$name.txt" 2> "$OUT/$name.log"
+grep "^$b" "$R/$name.txt" | tr -s ' ' > "$OUT/$name.$b.expected"
+grep "^$b" "$OUT/$name.txt" | tr -s ' ' > "$OUT/$name.$b.actual"
+if ! cmp -s "$OUT/$name.$b.expected" "$OUT/$name.$b.actual"; then
+  echo "GOLDEN PIN FAILED: $name/$b diverged from committed $R/$name.txt" >&2
+  diff -u "$OUT/$name.$b.expected" "$OUT/$name.$b.actual" >&2 || true
+  exit 1
+fi
+echo "pinned: $name/$b ($(wc -l < "$OUT/$name.$b.actual") lines byte-identical)"
 echo "golden pin OK"

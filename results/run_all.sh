@@ -42,4 +42,10 @@ run figy_guarantee_validation --scale full --quality 5 --cache-dir target/mithra
 # benchmark and requires its conformance report to be byte-identical to
 # the binary baseline's.
 run figz_multi_approximator --scale full --quality 5 --cache-dir target/mithra-cache --pool 3 --pool-check --out BENCH_route.json
+# Closed-loop self-healing: per benchmark × drift scenario, the watchdog
+# detects injected input drift, the recert engine re-certifies a fresh
+# operating point online under the always-valid sequential test, and the
+# swapped pair is judged on unseen drifted datasets. Drift severity is
+# per-benchmark (see figw's default_noise_for).
+run figw_self_healing --scale full --quality 5 --cache-dir target/mithra-cache --out BENCH_recert.json
 echo ALL_DONE >> $R/progress.txt
