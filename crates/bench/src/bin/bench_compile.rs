@@ -40,6 +40,11 @@ struct StageTime {
     stage: String,
     wall_ms: f64,
     invocations: u64,
+    /// Artifact-cache lookups satisfied from disk in the last rep (0 on
+    /// these cold passes by construction — recorded so warm reruns of
+    /// the JSON are self-describing).
+    cache_hits: u32,
+    cache_misses: u32,
 }
 
 /// One (benchmark, threads) grid point.
@@ -48,6 +53,8 @@ struct RunRecord {
     threads: usize,
     total_wall_ms: f64,
     total_invocations: u64,
+    total_cache_hits: u32,
+    total_cache_misses: u32,
     speedup_vs_single_thread: f64,
     stages: Vec<StageTime>,
 }
@@ -283,6 +290,8 @@ fn run_point(
                     stage: s.stage.label().to_string(),
                     wall_ms: s.wall.as_secs_f64() * 1e3,
                     invocations: s.invocations,
+                    cache_hits: s.cache_hits,
+                    cache_misses: s.cache_misses,
                 })
                 .collect();
         } else {
@@ -298,6 +307,8 @@ fn run_point(
         threads,
         total_wall_ms: stages.iter().map(|s| s.wall_ms).sum(),
         total_invocations: stages.iter().map(|s| s.invocations).sum(),
+        total_cache_hits: stages.iter().map(|s| s.cache_hits).sum(),
+        total_cache_misses: stages.iter().map(|s| s.cache_misses).sum(),
         speedup_vs_single_thread: 0.0, // filled once the baseline is known
         stages,
     })

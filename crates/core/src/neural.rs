@@ -248,6 +248,243 @@ impl NeuralClassifier {
     }
 }
 
+/// One labeled K-ary training tuple: an input vector and the class it
+/// maps to (for routing: class `m` = pool member `m`, class `K` =
+/// precise).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KaryExample {
+    /// The raw input vector.
+    pub input: Vec<f32>,
+    /// The target class, `0..classes`.
+    pub class: usize,
+}
+
+/// The K-ary generalization of [`NeuralClassifier`] (§IV-B extended):
+/// the same three-layer MLP and topology search, but with one sigmoid
+/// output neuron per class instead of the approximate/precise pair. The
+/// largest output wins; ties break toward the lowest class index, so
+/// decisions are deterministic.
+///
+/// Used as the swept *neural router* axis of the design-space explorer —
+/// a single K+1-class network consulted once per invocation, against the
+/// table cascade's one-stage-per-member walk. With `classes == 2` the
+/// decision rule degenerates to the binary classifier's
+/// (`out[1] > out[0]` = reject).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct KaryNeuralClassifier {
+    mlp: Mlp,
+    input_norm: Normalizer,
+    classes: usize,
+    validation_accuracy: f64,
+    #[serde(skip)]
+    scratch: DecideScratch,
+}
+
+impl KaryNeuralClassifier {
+    /// Trains the K-class classifier with the paper's topology search,
+    /// spread across up to `threads` workers. Candidates train from
+    /// their own seeded RNGs and the winner is selected by a sequential
+    /// fold in candidate order, so the result is bit-identical at any
+    /// thread count.
+    ///
+    /// The rarest class is oversampled the same way the binary trainer
+    /// oversamples rejects: under an MSE objective the majority route
+    /// would otherwise drown out the precise fallback, and missed
+    /// fallbacks are what breach the quality target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MithraError::InsufficientData`] with fewer than 10
+    /// examples, [`MithraError::InvalidConfig`] for fewer than two
+    /// classes or an out-of-range label, and propagates NPU training
+    /// errors.
+    pub fn train_with_threads(
+        input_dim: usize,
+        examples: &[KaryExample],
+        classes: usize,
+        config: &NeuralTrainConfig,
+        threads: Option<usize>,
+    ) -> Result<Self> {
+        if examples.len() < 10 {
+            return Err(MithraError::InsufficientData {
+                stage: "k-ary neural classifier training",
+                available: examples.len(),
+                needed: 10,
+            });
+        }
+        if classes < 2 {
+            return Err(MithraError::InvalidConfig {
+                parameter: "classes",
+                constraint: "at least two classes",
+            });
+        }
+        if examples.iter().any(|e| e.class >= classes) {
+            return Err(MithraError::InvalidConfig {
+                parameter: "examples",
+                constraint: "every class label below `classes`",
+            });
+        }
+        if config.hidden_candidates.is_empty() {
+            return Err(MithraError::InvalidConfig {
+                parameter: "hidden_candidates",
+                constraint: "at least one hidden width",
+            });
+        }
+
+        let inputs: Vec<Vec<f32>> = examples.iter().map(|e| e.input.clone()).collect();
+        let input_norm = Normalizer::fit(&inputs, 0.0, 1.0);
+
+        // Reuse the binary splitter by smuggling the class through a
+        // parallel vector: shuffle indices, not examples.
+        let index_examples: Vec<crate::training::TrainingExample> = examples
+            .iter()
+            .enumerate()
+            .map(|(i, _)| crate::training::TrainingExample {
+                input: vec![i as f32],
+                reject: false,
+            })
+            .collect();
+        let (train_idx, val_idx) =
+            split_examples(index_examples, config.validation_fraction, config.seed);
+        let to_pairs = |set: &[crate::training::TrainingExample]| -> Vec<(Vec<f32>, Vec<f32>)> {
+            set.iter()
+                .map(|ie| {
+                    let e = &examples[ie.input[0] as usize];
+                    let mut target = vec![0.0; classes];
+                    target[e.class] = 1.0;
+                    (input_norm.forward(&e.input), target)
+                })
+                .collect()
+        };
+        let mut train_pairs = to_pairs(&train_idx);
+
+        // Oversample the rarest class (ties break toward the highest
+        // class index — the precise fallback, the costly one to miss).
+        let mut counts = vec![0usize; classes];
+        for ie in &train_idx {
+            counts[examples[ie.input[0] as usize].class] += 1;
+        }
+        let rare = (0..classes)
+            .rev()
+            .filter(|&c| counts[c] > 0)
+            .min_by_key(|&c| counts[c])
+            .unwrap_or(0);
+        if counts[rare] > 0 && counts[rare] * 4 < train_idx.len() {
+            let replicas = ((train_idx.len() - counts[rare]) / counts[rare].max(1)).min(5);
+            let rares: Vec<(Vec<f32>, Vec<f32>)> = train_idx
+                .iter()
+                .zip(&train_pairs)
+                .filter(|(ie, _)| examples[ie.input[0] as usize].class == rare)
+                .map(|(_, p)| p.clone())
+                .collect();
+            for _ in 1..replicas {
+                train_pairs.extend(rares.iter().cloned());
+            }
+        }
+        let val_pairs = to_pairs(if val_idx.is_empty() {
+            &train_idx
+        } else {
+            &val_idx
+        });
+
+        let candidates: Vec<Result<(usize, f64, Mlp)>> =
+            par_map_indexed(config.hidden_candidates.len(), threads, |i| {
+                let hidden = config.hidden_candidates[i];
+                let topology = Topology::new(&[input_dim, hidden, classes])?;
+                let mlp = Trainer::new(topology)
+                    .epochs(config.epochs)
+                    .learning_rate(0.5)
+                    .batch_size(32)
+                    .output_activation(Activation::Sigmoid)
+                    .seed(config.seed ^ hidden as u64)
+                    .train(&train_pairs)?;
+                let accuracy = kary_accuracy(&mlp, &val_pairs);
+                Ok((hidden, accuracy, mlp))
+            });
+        let mut best: Option<(usize, f64, Mlp)> = None;
+        for candidate in candidates {
+            let (hidden, accuracy, mlp) = candidate?;
+            let better = match &best {
+                None => true,
+                Some((best_hidden, best_acc, _)) => {
+                    accuracy > best_acc + config.accuracy_tolerance
+                        || (accuracy >= best_acc - config.accuracy_tolerance
+                            && hidden < *best_hidden
+                            && accuracy >= *best_acc)
+                }
+            };
+            if better {
+                best = Some((hidden, accuracy, mlp));
+            }
+        }
+        let (_, validation_accuracy, mlp) = best.expect("at least one candidate trained");
+        Ok(Self {
+            mlp,
+            input_norm,
+            classes,
+            validation_accuracy,
+            scratch: DecideScratch::default(),
+        })
+    }
+
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// The selected network topology.
+    pub fn topology(&self) -> &Topology {
+        self.mlp.topology()
+    }
+
+    /// Held-out accuracy of the selected candidate.
+    pub fn validation_accuracy(&self) -> f64 {
+        self.validation_accuracy
+    }
+
+    /// The class decision for one input vector: the largest output wins,
+    /// ties toward the lowest class index.
+    pub fn decide_class(&mut self, input: &[f32]) -> usize {
+        self.input_norm
+            .forward_into(input, &mut self.scratch.normalized);
+        let out = self
+            .mlp
+            .forward_into(&self.scratch.normalized, &mut self.scratch.fwd)
+            .expect("input width fixed at training time");
+        let mut best = 0usize;
+        for (c, v) in out.iter().enumerate() {
+            if *v > out[best] {
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+fn kary_accuracy(mlp: &Mlp, pairs: &[(Vec<f32>, Vec<f32>)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let argmax = |v: &[f32]| -> usize {
+        let mut best = 0usize;
+        for (c, x) in v.iter().enumerate() {
+            if *x > v[best] {
+                best = c;
+            }
+        }
+        best
+    };
+    let mut scratch = ForwardScratch::new();
+    let correct = pairs
+        .iter()
+        .filter(|(x, target)| {
+            let out = mlp.forward_into(x, &mut scratch).expect("widths match");
+            argmax(out) == argmax(target)
+        })
+        .count();
+    correct as f64 / pairs.len() as f64
+}
+
 fn classification_accuracy(mlp: &Mlp, pairs: &[(Vec<f32>, Vec<f32>)]) -> f64 {
     if pairs.is_empty() {
         return 0.0;
@@ -376,5 +613,69 @@ mod tests {
         let a = NeuralClassifier::train(2, &ex, &quick_config()).unwrap();
         let b = NeuralClassifier::train(2, &ex, &quick_config()).unwrap();
         assert_eq!(a.mlp.to_parameters(), b.mlp.to_parameters());
+    }
+
+    /// Three bands on one axis: class 0 below 0.33, class 1 below 0.66,
+    /// class 2 (the "precise" fallback) above.
+    fn banded_examples(n: usize) -> Vec<KaryExample> {
+        (0..n)
+            .map(|i| {
+                let x = i as f32 / (n - 1) as f32;
+                let class = if x < 0.33 {
+                    0
+                } else if x < 0.66 {
+                    1
+                } else {
+                    2
+                };
+                KaryExample {
+                    input: vec![x, 1.0 - x],
+                    class,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn kary_learns_banded_classes() {
+        let ex = banded_examples(300);
+        let mut c =
+            KaryNeuralClassifier::train_with_threads(2, &ex, 3, &quick_config(), Some(1)).unwrap();
+        assert_eq!(c.classes(), 3);
+        assert_eq!(c.topology().outputs(), 3);
+        assert_eq!(c.decide_class(&[0.1, 0.9]), 0);
+        assert_eq!(c.decide_class(&[0.5, 0.5]), 1);
+        assert_eq!(c.decide_class(&[0.95, 0.05]), 2);
+        assert!(c.validation_accuracy() > 0.8, "{}", c.validation_accuracy());
+    }
+
+    #[test]
+    fn kary_is_bit_identical_across_thread_counts() {
+        let ex = banded_examples(200);
+        let cfg = NeuralTrainConfig {
+            hidden_candidates: vec![2, 4, 8],
+            epochs: 60,
+            ..NeuralTrainConfig::default()
+        };
+        let a = KaryNeuralClassifier::train_with_threads(2, &ex, 3, &cfg, Some(1)).unwrap();
+        let b = KaryNeuralClassifier::train_with_threads(2, &ex, 3, &cfg, Some(4)).unwrap();
+        assert_eq!(a.mlp.to_parameters(), b.mlp.to_parameters());
+    }
+
+    #[test]
+    fn kary_rejects_bad_configs() {
+        let ex = banded_examples(100);
+        assert!(matches!(
+            KaryNeuralClassifier::train_with_threads(2, &ex, 1, &quick_config(), Some(1)),
+            Err(MithraError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            KaryNeuralClassifier::train_with_threads(2, &ex, 2, &quick_config(), Some(1)),
+            Err(MithraError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            KaryNeuralClassifier::train_with_threads(2, &ex[..5], 3, &quick_config(), Some(1)),
+            Err(MithraError::InsufficientData { .. })
+        ));
     }
 }

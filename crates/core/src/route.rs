@@ -69,12 +69,52 @@ pub fn route_bits(pool_size: usize) -> u32 {
     usize::BITS - pool_size.leading_zeros()
 }
 
-/// An ordered pool specification: NPU topologies, cheapest first. The last
-/// member is conventionally the benchmark's default ("accurate") topology.
+/// Which deployed router a routed design point uses — a swept axis of
+/// the design-space explorer, not a fixed choice.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouterKind {
+    /// The default K-stage table-classifier cascade, consulted
+    /// cheapest-first (one MISR-table stage per pool member).
+    TableCascade,
+    /// A single K+1-class neural network consulted once per invocation
+    /// (one output class per pool member plus the precise fallback),
+    /// trained with the carried configuration. Motivated by the
+    /// invocation-driven multiclass-classifier line of work.
+    KaryNeural(crate::neural::NeuralTrainConfig),
+}
+
+impl RouterKind {
+    /// The neural router axis with a compact default configuration: a
+    /// narrow candidate set and a short epoch budget, because the
+    /// deployed-in-the-loop certifier retrains the router at every
+    /// bisection probe.
+    pub fn kary_neural_default() -> Self {
+        RouterKind::KaryNeural(crate::neural::NeuralTrainConfig {
+            hidden_candidates: vec![8],
+            epochs: 30,
+            ..crate::neural::NeuralTrainConfig::default()
+        })
+    }
+}
+
+/// An ordered pool specification: NPU topologies, cheapest first (the last
+/// member is conventionally the benchmark's default "accurate" topology),
+/// plus the routed design point's swept parameters — the deployed router
+/// kind and the per-member labeling margins.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PoolSpec {
     /// Member topologies, cheapest first.
     pub topologies: Vec<Topology>,
+    /// The deployed router kind. `TableCascade` is the default and the
+    /// only kind whose artifacts predate the explorer (cache keys for it
+    /// are unchanged).
+    pub router: RouterKind,
+    /// Per-member labeling margins: stage/class `m` labels an invocation
+    /// acceptable when its error is within `threshold * margins[m]`.
+    /// Empty means 1.0 everywhere — bit-identical to the unmargined
+    /// pipeline. Tightening a cheap member's margin below 1.0 trades some
+    /// of its serving share for fewer compounded false-accepts.
+    pub margins: Vec<f64>,
 }
 
 impl PoolSpec {
@@ -83,6 +123,8 @@ impl PoolSpec {
     pub fn single(topology: Topology) -> Self {
         Self {
             topologies: vec![topology],
+            router: RouterKind::TableCascade,
+            margins: Vec::new(),
         }
     }
 
@@ -98,16 +140,71 @@ impl PoolSpec {
     /// 1 = just the accurate topology, 2 = cheap + accurate, 3 or more =
     /// cheap + medium + accurate (deduplicated).
     pub fn sized(accurate: &Topology, pool_size: usize) -> Self {
-        let mut topologies = Vec::new();
+        let mut divisors = Vec::new();
         if pool_size >= 3 {
-            topologies.push(scale_hidden(accurate, 4));
-            topologies.push(scale_hidden(accurate, 2));
+            divisors.push(4);
+            divisors.push(2);
         } else if pool_size == 2 {
-            topologies.push(scale_hidden(accurate, 4));
+            divisors.push(4);
         }
-        topologies.push(accurate.clone());
+        divisors.push(1);
+        Self::from_divisors(accurate, &divisors)
+    }
+
+    /// A pool whose member `m` runs `accurate` with every hidden width
+    /// divided by `divisors[m]` (floor, clamped to 2; divisor 1 is the
+    /// accurate topology itself). Divisors are expected cheapest-first
+    /// (descending); duplicate topologies collapse. This is the
+    /// explorer's enumeration primitive — `sized(t, 3)` is exactly
+    /// `from_divisors(t, &[4, 2, 1])`, which is what pins the fixed
+    /// PR-6 tiering as one enumerated candidate verbatim.
+    pub fn from_divisors(accurate: &Topology, divisors: &[usize]) -> Self {
+        let mut topologies: Vec<Topology> = divisors
+            .iter()
+            .map(|&d| {
+                if d <= 1 {
+                    accurate.clone()
+                } else {
+                    scale_hidden(accurate, d)
+                }
+            })
+            .collect();
         topologies.dedup();
-        Self { topologies }
+        Self {
+            topologies,
+            router: RouterKind::TableCascade,
+            margins: Vec::new(),
+        }
+    }
+
+    /// This spec with the deployed router kind replaced.
+    pub fn with_router(mut self, router: RouterKind) -> Self {
+        self.router = router;
+        self
+    }
+
+    /// This spec with per-member labeling margins. Margins are truncated
+    /// or padded (with 1.0) to the member count elsewhere via
+    /// [`PoolSpec::margin_for`]; an all-1.0 vector normalizes to empty so
+    /// the default spec compares (and cache-keys) identically.
+    pub fn with_margins(mut self, margins: Vec<f64>) -> Self {
+        self.margins = if margins.iter().all(|m| *m == 1.0) {
+            Vec::new()
+        } else {
+            margins
+        };
+        self
+    }
+
+    /// Member `m`'s labeling margin (1.0 when unset).
+    pub fn margin_for(&self, m: usize) -> f64 {
+        self.margins.get(m).copied().unwrap_or(1.0)
+    }
+
+    /// Whether this spec is a plain unmargined table-cascade design — the
+    /// configuration whose cache keys and artifacts predate the explorer.
+    pub fn is_default_routing(&self) -> bool {
+        self.router == RouterKind::TableCascade && self.margins.is_empty()
     }
 
     /// Number of members.
@@ -412,14 +509,104 @@ pub fn oracle_route(members: &[&DatasetProfile], i: usize, threshold: f32) -> Ro
     RouteChoice::Precise
 }
 
+/// [`oracle_route`] under per-member labeling margins: member `m`
+/// qualifies when its error is within `threshold * spec.margin_for(m)`.
+/// With no margins set this is `oracle_route` exactly (a 1.0 margin
+/// multiplies to the identical `f32`).
+pub fn oracle_route_margined(
+    members: &[&DatasetProfile],
+    i: usize,
+    threshold: f32,
+    spec: &PoolSpec,
+) -> RouteChoice {
+    for (m, profile) in members.iter().enumerate() {
+        if profile.max_error(i) <= threshold * spec.margin_for(m) as f32 {
+            return RouteChoice::Member(m);
+        }
+    }
+    RouteChoice::Precise
+}
+
+/// Labels routed K-ary training tuples for the neural router: sampled
+/// invocations (the same deterministic shuffle-and-truncate scheme as the
+/// binary [`generate_training_data`]) labeled with the margined oracle
+/// route — class `m` = pool member `m`, class `K` = precise.
+pub fn generate_route_training_data(
+    member_profiles: &[Vec<DatasetProfile>],
+    threshold: f32,
+    spec: &PoolSpec,
+    max_samples: usize,
+    seed: u64,
+) -> Vec<crate::neural::KaryExample> {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let base = &member_profiles[0];
+    let mut indices: Vec<(usize, usize)> = base
+        .iter()
+        .enumerate()
+        .flat_map(|(d, p)| (0..p.invocation_count()).map(move |i| (d, i)))
+        .collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    indices.truncate(max_samples);
+
+    let k = member_profiles.len();
+    indices
+        .into_iter()
+        .map(|(d, i)| {
+            let members: Vec<&DatasetProfile> = member_profiles.iter().map(|m| &m[d]).collect();
+            let class = match oracle_route_margined(&members, i, threshold, spec) {
+                RouteChoice::Member(m) => m,
+                RouteChoice::Precise => k,
+            };
+            crate::neural::KaryExample {
+                input: base[d].dataset().input(i).to_vec(),
+                class,
+            }
+        })
+        .collect()
+}
+
 /// The deployed K-ary router: one table-classifier stage per pool member,
 /// consulted cheapest-first. Stage `m` answers "is member `m`'s error
 /// acceptable for this input?"; the first accepting stage wins, and an
 /// invocation every stage rejects runs precise. The output is therefore a
 /// ⌈log₂(K+1)⌉-bit route rather than the binary design's single bit.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RouteClassifier {
     stages: Vec<TableClassifier>,
+    /// The neural router variant: a single K+1-class network replacing
+    /// the cascade (in which case `stages` is empty). Absent on every
+    /// table-cascade router, so cascade artifacts — including all cached
+    /// ones written before this field existed — serialize byte-identically
+    /// and deserialize via the hand-written impls below.
+    neural: Option<crate::neural::KaryNeuralClassifier>,
+}
+
+// Hand-written (de)serialization: the `neural` field is emitted only when
+// present and tolerated when absent, keeping every pre-explorer cascade
+// artifact both readable and byte-identical on rewrite. (The vendored
+// serde derive has no `skip_serializing_if`.)
+impl Serialize for RouteClassifier {
+    fn serialize(&self) -> serde::Value {
+        let mut fields: Vec<(String, serde::Value)> =
+            vec![(String::from("stages"), self.stages.serialize())];
+        if let Some(neural) = &self.neural {
+            fields.push((String::from("neural"), neural.serialize()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for RouteClassifier {
+    fn deserialize(value: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        let stages = Deserialize::deserialize(serde::get_field(value, "stages")?)?;
+        let neural = match serde::get_field(value, "neural") {
+            Ok(v) => Some(Deserialize::deserialize(v)?),
+            Err(_) => None,
+        };
+        Ok(Self { stages, neural })
+    }
 }
 
 impl RouteClassifier {
@@ -449,7 +636,73 @@ impl RouteClassifier {
                 *design, quantizer, &examples, threads,
             )?);
         }
-        Ok(Self { stages })
+        Ok(Self {
+            stages,
+            neural: None,
+        })
+    }
+
+    /// Trains the router a [`PoolSpec`] asks for. A table cascade labels
+    /// stage `m` at `threshold * spec.margin_for(m)`; with no margins set
+    /// this is [`RouteClassifier::train`] bit for bit (a 1.0 margin
+    /// multiplies to the identical `f32`). The K-ary neural kind trains
+    /// one K+1-class network on margined-oracle route labels instead.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table- or neural-training failures.
+    pub fn train_for_spec(
+        spec: &PoolSpec,
+        member_profiles: &[Vec<DatasetProfile>],
+        threshold: f32,
+        design: &TableDesign,
+        max_samples: usize,
+        seed: u64,
+        threads: Option<usize>,
+    ) -> Result<Self> {
+        match &spec.router {
+            RouterKind::TableCascade => {
+                let mut stages = Vec::with_capacity(member_profiles.len());
+                for (m, profiles) in member_profiles.iter().enumerate() {
+                    let stage_threshold = threshold * spec.margin_for(m) as f32;
+                    let examples = generate_training_data(
+                        profiles,
+                        stage_threshold,
+                        max_samples,
+                        seed ^ m as u64,
+                    );
+                    let quantizer = quantizer_from_profiles(profiles);
+                    stages.push(TableClassifier::train_with_threads(
+                        *design, quantizer, &examples, threads,
+                    )?);
+                }
+                Ok(Self {
+                    stages,
+                    neural: None,
+                })
+            }
+            RouterKind::KaryNeural(config) => {
+                let examples = generate_route_training_data(
+                    member_profiles,
+                    threshold,
+                    spec,
+                    max_samples,
+                    seed,
+                );
+                let input_dim = member_profiles[0][0].dataset().input_dim();
+                let neural = crate::neural::KaryNeuralClassifier::train_with_threads(
+                    input_dim,
+                    &examples,
+                    member_profiles.len() + 1,
+                    config,
+                    threads,
+                )?;
+                Ok(Self {
+                    stages: Vec::new(),
+                    neural: Some(neural),
+                })
+            }
+        }
     }
 
     /// Rebuilds a router from trained stages (the artifact-cache load
@@ -460,22 +713,35 @@ impl RouteClassifier {
     /// Panics on an empty stage list.
     pub fn from_stages(stages: Vec<TableClassifier>) -> Self {
         assert!(!stages.is_empty(), "a router needs at least one stage");
-        Self { stages }
+        Self {
+            stages,
+            neural: None,
+        }
     }
 
-    /// The per-member stages, cheapest first.
+    /// The per-member cascade stages, cheapest first (empty for a neural
+    /// router).
     pub fn stages(&self) -> &[TableClassifier] {
         &self.stages
     }
 
-    /// Number of stages (= pool members).
+    /// The K-ary neural network, when this router is the neural kind.
+    pub fn neural(&self) -> Option<&crate::neural::KaryNeuralClassifier> {
+        self.neural.as_ref()
+    }
+
+    /// Number of routable pool members: cascade stages, or the neural
+    /// network's classes minus the precise fallback.
     pub fn len(&self) -> usize {
-        self.stages.len()
+        match &self.neural {
+            Some(n) => n.classes().saturating_sub(1),
+            None => self.stages.len(),
+        }
     }
 
     /// Whether the router has no stages (never true once constructed).
     pub fn is_empty(&self) -> bool {
-        self.stages.is_empty()
+        self.len() == 0
     }
 
     /// Bits of route output: ⌈log₂(K+1)⌉ for K stages.
@@ -483,8 +749,19 @@ impl RouteClassifier {
         route_bits(self.len())
     }
 
-    /// Routes one invocation: the first stage accepting its member wins.
+    /// Routes one invocation. A cascade walks its stages cheapest-first
+    /// and the first accepting stage wins; the neural kind consults its
+    /// single network once and takes the argmax class (the last class is
+    /// the precise fallback).
     pub fn classify_route(&mut self, index: usize, input: &[f32]) -> RouteChoice {
+        if let Some(neural) = &mut self.neural {
+            let class = neural.decide_class(input);
+            return if class + 1 == neural.classes() {
+                RouteChoice::Precise
+            } else {
+                RouteChoice::Member(class)
+            };
+        }
         for (m, stage) in self.stages.iter_mut().enumerate() {
             if stage.classify(index, input) == Decision::Approximate {
                 return RouteChoice::Member(m);
@@ -493,12 +770,22 @@ impl RouteClassifier {
         RouteChoice::Precise
     }
 
-    /// The classifier overhead actually incurred on `route`: the summed
-    /// footprint of every stage consulted before the decision settled
-    /// (stages `0..=m` for member `m`; all stages for a precise
-    /// fallback). Costing is per-route — a cheap route consults fewer
-    /// stages than the precise fallback.
+    /// The classifier overhead actually incurred on `route`. For the
+    /// cascade: the summed footprint of every stage consulted before the
+    /// decision settled (stages `0..=m` for member `m`; all stages for a
+    /// precise fallback) — costing is per-route, a cheap route consults
+    /// fewer stages than the precise fallback. The neural router runs its
+    /// one network regardless of the decision, so every route is charged
+    /// the same single NPU invocation of the router topology.
     pub fn overhead_for(&self, route: RouteChoice) -> ClassifierOverhead {
+        if let Some(neural) = &self.neural {
+            return ClassifierOverhead {
+                decision_cycles: 0,
+                misr_shifts: 0,
+                table_bit_reads: 0,
+                npu_topology: Some(neural.topology().clone()),
+            };
+        }
         let consulted = match route {
             RouteChoice::Member(m) => m + 1,
             RouteChoice::Precise => self.len(),
@@ -616,5 +903,44 @@ mod tests {
             assert_eq!(t.inputs(), 9);
             assert_eq!(t.layers().last(), Some(&2));
         }
+    }
+
+    #[test]
+    fn from_divisors_421_is_the_fixed_tiering_verbatim() {
+        let accurate = topo(&[2, 8, 16, 1]);
+        assert_eq!(
+            PoolSpec::from_divisors(&accurate, &[4, 2, 1]),
+            PoolSpec::tiered(&accurate)
+        );
+        assert_eq!(
+            PoolSpec::from_divisors(&accurate, &[1]),
+            PoolSpec::single(accurate.clone())
+        );
+    }
+
+    #[test]
+    fn default_spec_routing_is_default() {
+        let accurate = topo(&[2, 8, 1]);
+        let spec = PoolSpec::tiered(&accurate);
+        assert!(spec.is_default_routing());
+        assert!(!spec
+            .clone()
+            .with_router(RouterKind::kary_neural_default())
+            .is_default_routing());
+        assert!(!spec
+            .clone()
+            .with_margins(vec![0.75, 1.0, 1.0])
+            .is_default_routing());
+        // All-1.0 margins normalize away: still the default design point.
+        assert!(spec.with_margins(vec![1.0, 1.0, 1.0]).is_default_routing());
+    }
+
+    #[test]
+    fn margin_for_defaults_to_unity() {
+        let accurate = topo(&[2, 8, 1]);
+        let spec = PoolSpec::tiered(&accurate).with_margins(vec![0.75]);
+        assert_eq!(spec.margin_for(0), 0.75);
+        assert_eq!(spec.margin_for(1), 1.0);
+        assert_eq!(spec.margin_for(7), 1.0);
     }
 }

@@ -119,12 +119,30 @@ pub struct StageReport {
     pub invocations: u64,
     /// Cache interaction.
     pub cache: CacheOutcome,
+    /// Artifact-cache lookups this stage satisfied from disk. Most stages
+    /// perform a single lookup; pool stages perform one per artifact
+    /// (the pool itself plus each non-default member's profiles), so a
+    /// partially warm sweep shows up as hits *and* misses on one stage.
+    pub cache_hits: u32,
+    /// Artifact-cache lookups that found nothing usable (the stage
+    /// recomputed and re-stored those artifacts). Zero when no cache is
+    /// configured: disabled lookups are neither hits nor misses.
+    pub cache_misses: u32,
 }
 
 impl StageReport {
     /// Whether the stage's work was skipped via the cache.
     pub fn is_cache_hit(&self) -> bool {
         self.cache == CacheOutcome::Hit
+    }
+}
+
+/// Per-lookup counters for a stage that consults exactly one artifact.
+fn counters_for(outcome: CacheOutcome) -> (u32, u32) {
+    match outcome {
+        CacheOutcome::Hit => (1, 0),
+        CacheOutcome::Miss => (0, 1),
+        CacheOutcome::Disabled => (0, 0),
     }
 }
 
@@ -152,6 +170,16 @@ impl SessionReport {
     pub fn total_invocations(&self) -> u64 {
         self.stages.iter().map(|r| r.invocations).sum()
     }
+
+    /// Total artifact-cache hits across all recorded stages.
+    pub fn cache_hits(&self) -> u32 {
+        self.stages.iter().map(|r| r.cache_hits).sum()
+    }
+
+    /// Total artifact-cache misses across all recorded stages.
+    pub fn cache_misses(&self) -> u32 {
+        self.stages.iter().map(|r| r.cache_misses).sum()
+    }
 }
 
 impl fmt::Display for SessionReport {
@@ -163,13 +191,21 @@ impl fmt::Display for SessionReport {
             self.total_wall()
         )?;
         for r in &self.stages {
+            let cache = match r.cache {
+                CacheOutcome::Disabled => r.cache.label().to_string(),
+                _ => format!(
+                    "{}, {} hit / {} miss",
+                    r.cache.label(),
+                    r.cache_hits,
+                    r.cache_misses
+                ),
+            };
             writeln!(
                 f,
-                "  {:<22} {:>10.2?}  {:>10} invocations  [{}]",
+                "  {:<22} {:>10.2?}  {:>10} invocations  [{cache}]",
                 r.stage.label(),
                 r.wall,
                 r.invocations,
-                r.cache.label()
             )?;
         }
         Ok(())
@@ -363,6 +399,18 @@ fn pool_member_profiles_key(
     }
 }
 
+/// Key fragment for the swept routing axes (router kind, per-member
+/// margins). Empty for the default unmargined table cascade, so every
+/// artifact written before these axes existed keeps its key — only
+/// non-default design points get distinct entries.
+fn spec_suffix(spec: &PoolSpec) -> String {
+    if spec.is_default_routing() {
+        String::new()
+    } else {
+        format!("/router={:?}/margins={:?}", spec.router, spec.margins)
+    }
+}
+
 fn routed_threshold_key(benchmark: &str, config: &CompileConfig, spec: &PoolSpec) -> String {
     // Multi-member pools certify with the deployed router in the loop, so
     // the certificate depends on the router's design and training inputs
@@ -370,12 +418,13 @@ fn routed_threshold_key(benchmark: &str, config: &CompileConfig, spec: &PoolSpec
     // below are simply redundant. The `certifier` tag retires artifacts
     // certified under the older oracle-only probe.
     format!(
-        "{}/compile_datasets={}/spec={:?}/table={:?}/train_samples={}/certifier=deployed",
+        "{}/compile_datasets={}/spec={:?}/table={:?}/train_samples={}/certifier=deployed{}",
         pool_key(benchmark, config, spec),
         config.compile_datasets,
         config.spec,
         config.table_design,
-        config.classifier_train_samples
+        config.classifier_train_samples,
+        spec_suffix(spec)
     )
 }
 
@@ -439,11 +488,14 @@ impl CompileSession<Pending> {
                 (function, invocations, self.miss_outcome())
             }
         };
+        let (cache_hits, cache_misses) = counters_for(cache);
         let report = StageReport {
             stage: Stage::NpuTraining,
             wall: started.elapsed(),
             invocations,
             cache,
+            cache_hits,
+            cache_misses,
         };
         Ok(self.advance(report, |_| TrainedFunction { function }))
     }
@@ -495,11 +547,14 @@ impl CompileSession<TrainedFunction> {
                 (profiles, invocations, self.miss_outcome())
             }
         };
+        let (cache_hits, cache_misses) = counters_for(cache);
         let report = StageReport {
             stage: Stage::Profiling,
             wall: started.elapsed(),
             invocations,
             cache,
+            cache_hits,
+            cache_misses,
         };
         Ok(self.advance(report, |s| Profiles {
             function: s.function,
@@ -569,11 +624,14 @@ impl CompileSession<Profiles> {
                     (threshold, threshold.trials, self.miss_outcome())
                 }
             };
+        let (cache_hits, cache_misses) = counters_for(cache);
         let report = StageReport {
             stage: Stage::Certification,
             wall: started.elapsed(),
             invocations,
             cache,
+            cache_hits,
+            cache_misses,
         };
         Ok(self.advance(report, |s| CertifiedThreshold {
             function: s.function,
@@ -607,6 +665,15 @@ impl CompileSession<Profiles> {
             .load_cached::<PoolArtifact>(Stage::PoolTraining, key)
             .and_then(|a| a.into_pool(&self.benchmark, spec.topologies.clone()));
         let mut invocations = 0u64;
+        let mut cache_hits = 0u32;
+        let mut cache_misses = 0u32;
+        if self.cache.is_some() {
+            if cached_pool.is_some() {
+                cache_hits += 1;
+            } else {
+                cache_misses += 1;
+            }
+        }
         let (pool, mut all_hit) = match cached_pool {
             Some(pool) => (pool, self.cache.is_some()),
             None => {
@@ -654,6 +721,13 @@ impl CompileSession<Profiles> {
                 .cache
                 .as_ref()
                 .and_then(|c| c.load_profiles(Stage::Profiling.label(), key));
+            if self.cache.is_some() {
+                if cached.is_some() {
+                    cache_hits += 1;
+                } else {
+                    cache_misses += 1;
+                }
+            }
             match cached {
                 Some(profiles) => member_profiles.push(profiles),
                 None => {
@@ -687,6 +761,8 @@ impl CompileSession<Profiles> {
             wall: started.elapsed(),
             invocations,
             cache,
+            cache_hits,
+            cache_misses,
         };
         let spec = spec.clone();
         Ok(self.advance(report, |_| PooledProfiles {
@@ -747,9 +823,11 @@ impl CompileSession<PooledProfiles> {
                         optimizer.optimize_routed(&self.state.pool, &self.state.member_profiles)?
                     } else {
                         let config = &self.config;
+                        let spec = &self.state.spec;
                         let profiles = &self.state.member_profiles;
                         optimizer.optimize_routed_deployed(&self.state.pool, profiles, |t| {
-                            RouteClassifier::train(
+                            RouteClassifier::train_for_spec(
+                                spec,
                                 profiles,
                                 t,
                                 &config.table_design,
@@ -764,11 +842,14 @@ impl CompileSession<PooledProfiles> {
                     (threshold, trials, self.miss_outcome())
                 }
             };
+        let (cache_hits, cache_misses) = counters_for(cache);
         let report = StageReport {
             stage: Stage::RoutedCertification,
             wall: started.elapsed(),
             invocations,
             cache,
+            cache_hits,
+            cache_misses,
         };
         Ok(self.advance(report, |s| RoutedCertified {
             spec: s.spec,
@@ -811,7 +892,8 @@ impl CompileSession<RoutedCertified> {
                     // `threads` is deliberately not part of the cache key: the
                     // parallel table trainer is bit-identical at every thread
                     // count, so artifacts stay interchangeable across runs.
-                    let router = RouteClassifier::train(
+                    let router = RouteClassifier::train_for_spec(
+                        &self.state.spec,
                         &self.state.member_profiles,
                         self.state.threshold.threshold,
                         &self.config.table_design,
@@ -824,11 +906,14 @@ impl CompileSession<RoutedCertified> {
                     (router, invocations, self.miss_outcome())
                 }
             };
+        let (cache_hits, cache_misses) = counters_for(cache);
         let report = StageReport {
             stage: Stage::RouterTraining,
             wall: started.elapsed(),
             invocations,
             cache,
+            cache_hits,
+            cache_misses,
         };
         Ok(self.advance(report, |s| RoutedClassifiers {
             pool: s.pool,
@@ -908,11 +993,14 @@ impl CompileSession<CertifiedThreshold> {
                     (artifact, invocations, self.miss_outcome())
                 }
             };
+        let (cache_hits, cache_misses) = counters_for(cache);
         let report = StageReport {
             stage: Stage::ClassifierTraining,
             wall: started.elapsed(),
             invocations,
             cache,
+            cache_hits,
+            cache_misses,
         };
         Ok(self.advance(report, |s| Classifiers {
             function: s.function,
@@ -979,11 +1067,14 @@ pub fn profile_validation(
             (profiles, invocations, outcome)
         }
     };
+    let (cache_hits, cache_misses) = counters_for(outcome);
     let report = StageReport {
         stage,
         wall: started.elapsed(),
         invocations,
         cache: outcome,
+        cache_hits,
+        cache_misses,
     };
     (profiles, report)
 }
@@ -1008,6 +1099,8 @@ pub fn profile_pool_validation(
     let mut member_profiles = Vec::with_capacity(pool.len());
     let mut invocations = 0u64;
     let mut all_hit = true;
+    let mut cache_hits = 0u32;
+    let mut cache_misses = 0u32;
     for (m, topology) in pool.topologies().iter().enumerate() {
         let key = if *topology == default_topology {
             fingerprint(&format!(
@@ -1024,6 +1117,13 @@ pub fn profile_pool_validation(
         let cached = cache
             .as_ref()
             .and_then(|c| c.load_profiles(stage.label(), key));
+        if cache.is_some() {
+            if cached.is_some() {
+                cache_hits += 1;
+            } else {
+                cache_misses += 1;
+            }
+        }
         match cached {
             Some(profiles) => member_profiles.push(profiles),
             None => {
@@ -1058,6 +1158,8 @@ pub fn profile_pool_validation(
         wall: started.elapsed(),
         invocations,
         cache: outcome,
+        cache_hits,
+        cache_misses,
     };
     (member_profiles, report)
 }
@@ -1152,6 +1254,11 @@ mod tests {
             "second run should hit every stage: {warm_report}"
         );
         assert_eq!(warm_report.total_invocations(), 0);
+        // The lookup counters tell the same story from committed output.
+        assert_eq!(cold_report.cache_hits(), 0);
+        assert_eq!(cold_report.cache_misses(), 4);
+        assert_eq!(warm_report.cache_hits(), 4);
+        assert_eq!(warm_report.cache_misses(), 0);
 
         // The warm artifacts are equal to the cold ones.
         assert_eq!(warm.threshold, cold.threshold);
@@ -1333,6 +1440,13 @@ mod tests {
             "second routed run should hit every stage: {warm_report}"
         );
         assert_eq!(warm_report.total_invocations(), 0);
+        // Pool training performs one lookup for the pool artifact and one
+        // per non-default member's profiles: two hits for a sized-2 pool.
+        let pool_stage = warm_report.stage(Stage::PoolTraining).unwrap();
+        assert_eq!(pool_stage.cache_hits, 2);
+        assert_eq!(pool_stage.cache_misses, 0);
+        assert_eq!(warm_report.cache_misses(), 0);
+        assert!(warm_report.cache_hits() >= 5);
         assert_eq!(warm.threshold, cold.threshold);
         assert_eq!(
             serde_json::to_string(&warm.router).unwrap(),
@@ -1409,6 +1523,30 @@ mod tests {
             assert_eq!(bp.errors(), cp.errors());
         }
         let _ = std::fs::remove_dir_all(&cache.dir);
+    }
+
+    #[test]
+    fn non_default_routing_gets_distinct_cache_keys() {
+        let config = session_config(None);
+        let spec = PoolSpec::sized(&sobel().npu_topology(), 2);
+        let default_key = routed_threshold_key("sobel", &config, &spec);
+        assert!(
+            default_key.ends_with("certifier=deployed"),
+            "default routing must keep its pre-explorer key: {default_key}"
+        );
+        let margined = spec.clone().with_margins(vec![0.75, 1.0]);
+        let neural = spec
+            .clone()
+            .with_router(crate::route::RouterKind::kary_neural_default());
+        assert_ne!(
+            routed_threshold_key("sobel", &config, &margined),
+            default_key
+        );
+        assert_ne!(routed_threshold_key("sobel", &config, &neural), default_key);
+        assert_ne!(
+            router_key("sobel", &config, &margined),
+            router_key("sobel", &config, &neural)
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@ use mithra_axbench::benchmark::Benchmark;
 use mithra_axbench::suite;
 use mithra_core::neural::NeuralClassifier;
 use mithra_core::pipeline::{compile, compile_routed, quantizer_from_profiles, CompileConfig};
-use mithra_core::route::PoolSpec;
+use mithra_core::route::{generate_route_training_data, PoolSpec, RouteClassifier, RouterKind};
 use mithra_core::table::TableClassifier;
 use mithra_core::threshold::ThresholdOptimizer;
 use std::sync::Arc;
@@ -177,6 +177,52 @@ fn routed_artifacts_are_bit_identical_across_thread_counts() {
         assert_eq!(
             outcome, baseline.threshold,
             "optimize_routed_deployed diverged at threads={threads:?}"
+        );
+    }
+}
+
+#[test]
+fn kary_router_training_is_bit_identical_across_thread_counts() {
+    // The design-space explorer sweeps the router axis, so the K-ary
+    // neural router — the one truly parallel router variant — must be as
+    // thread-invariant as the cascade: same labeled examples, byte-equal
+    // trained router at every thread count.
+    let bench: Arc<dyn Benchmark> = suite::by_name("sobel").unwrap().into();
+    let config = CompileConfig::smoke();
+    let spec =
+        PoolSpec::sized(&bench.npu_topology(), 2).with_router(RouterKind::kary_neural_default());
+    let routed = compile_routed(Arc::clone(&bench), &config, &spec).unwrap();
+    let threshold = routed.threshold.threshold;
+
+    // Labeled route examples are a sequential shuffle-truncate: the
+    // thread count never enters.
+    let baseline_examples = generate_route_training_data(
+        &routed.member_profiles,
+        threshold,
+        &spec,
+        config.classifier_train_samples,
+        config.seed_base ^ 0x7261_696E,
+    );
+    assert!(!baseline_examples.is_empty());
+
+    let router_at = |threads: Option<usize>| {
+        RouteClassifier::train_for_spec(
+            &spec,
+            &routed.member_profiles,
+            threshold,
+            &config.table_design,
+            config.classifier_train_samples,
+            config.seed_base ^ 0x7261_696E,
+            threads,
+        )
+        .unwrap()
+    };
+    let baseline = serde_json::to_string(&router_at(Some(1))).unwrap();
+    for threads in THREADS {
+        assert_eq!(
+            serde_json::to_string(&router_at(threads)).unwrap(),
+            baseline,
+            "K-ary neural router diverged at threads={threads:?}"
         );
     }
 }

@@ -1,0 +1,60 @@
+//! Exploration errors: the sweep crosses the compile, simulation and
+//! conformance layers, so its error type wraps all three.
+
+use mithra_conform::ConformError;
+use mithra_core::MithraError;
+use mithra_sim::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by a design-space exploration sweep.
+#[derive(Debug)]
+pub enum ExploreError {
+    /// A compile-layer failure (probe training, pool compilation).
+    Core(MithraError),
+    /// A simulation failure on the validation frontier arm.
+    Sim(SimError),
+    /// A conformance-harness failure on the guarantee arm.
+    Conform(ConformError),
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::Core(e) => write!(f, "compile error: {e}"),
+            ExploreError::Sim(e) => write!(f, "simulation error: {e}"),
+            ExploreError::Conform(e) => write!(f, "conformance error: {e}"),
+        }
+    }
+}
+
+impl Error for ExploreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExploreError::Core(e) => Some(e),
+            ExploreError::Sim(e) => Some(e),
+            ExploreError::Conform(e) => Some(e),
+        }
+    }
+}
+
+impl From<MithraError> for ExploreError {
+    fn from(e: MithraError) -> Self {
+        ExploreError::Core(e)
+    }
+}
+
+impl From<SimError> for ExploreError {
+    fn from(e: SimError) -> Self {
+        ExploreError::Sim(e)
+    }
+}
+
+impl From<ConformError> for ExploreError {
+    fn from(e: ConformError) -> Self {
+        ExploreError::Conform(e)
+    }
+}
+
+/// Convenience alias for exploration results.
+pub type Result<T> = std::result::Result<T, ExploreError>;

@@ -1,0 +1,45 @@
+//! Automated design-space exploration over certified approximator pools.
+//!
+//! PR 6 generalized MITHRA's binary accept/reject pipeline into certified
+//! multi-approximator routing, but left the pool itself a hand-fixed
+//! ÷4/÷2/accurate tiering. This crate sweeps the pool *composition* as a
+//! design space and emits, per benchmark, the Pareto set of certified
+//! mixtures:
+//!
+//! * [`space`] — the enumerated axes: member count `K`, hidden-width
+//!   divisor ladders, the deployed router kind (table cascade vs a K-ary
+//!   neural classifier) and per-member labeling margins;
+//! * [`predict`] — cheap compile-time predictors in the autoAx style: a
+//!   small probe set of reduced-epoch members is trained once, and every
+//!   candidate's quality/cost is *ranked* from margined-oracle replays of
+//!   those probes — orders of magnitude cheaper than pool training plus
+//!   deployed-in-the-loop certification;
+//! * [`engine`] — the sweep itself: enumerate, probe, rank, prune to an
+//!   evaluation budget, pay full [`CompileSession`] compilation and
+//!   conformance validation only for survivors, and fold the certified
+//!   results into a nondominated frontier over (speedup, energy
+//!   reduction, certified rate) via [`mithra_stats::pareto`].
+//!
+//! Exploration fan-out runs through
+//! [`mithra_core::parallel::par_map_indexed`], so every emitted report is
+//! bit-identical at any `--threads` setting; full evaluations reuse the
+//! versioned artifact cache, making warm re-sweeps cheap. Every frontier
+//! point's certificate is re-validated on unseen datasets by
+//! `mithra-conform` before it is emitted, and the predictor's rank
+//! mistakes are *counted* against the measured results — mispredictions
+//! are caught by the full-evaluation stage, never trusted.
+//!
+//! [`CompileSession`]: mithra_core::session::CompileSession
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod engine;
+pub mod error;
+pub mod predict;
+pub mod space;
+
+pub use engine::{explore, BenchmarkExploration, EvaluatedPoint, ExploreConfig};
+pub use error::{ExploreError, Result};
+pub use predict::{Prediction, PredictorMutation, ProbeSet};
+pub use space::{Candidate, DesignSpace};

@@ -1,0 +1,225 @@
+//! The enumerated design space: pool compositions as explicit candidates.
+//!
+//! A [`Candidate`] is a *recipe* — hidden-width divisors per member, the
+//! deployed router kind, whether cheap members label with a tightened
+//! margin. [`Candidate::pool_spec`] instantiates it against a benchmark's
+//! accurate topology, where tiny networks may collapse tiers;
+//! [`DesignSpace::enumerate`] deduplicates the instantiated specs so each
+//! distinct design point is evaluated at most once. The fixed PR-6
+//! ÷4/÷2/accurate tiering is, by construction, one enumerated candidate
+//! verbatim (`PoolSpec::from_divisors(t, [4, 2, 1])` *is*
+//! `PoolSpec::tiered(t)`), as is the pool of one that stays bit-identical
+//! to the binary pipeline.
+
+use mithra_core::route::{PoolSpec, RouterKind};
+use mithra_npu::topology::Topology;
+
+/// The tightened labeling margin applied to every non-accurate member
+/// when a candidate sweeps the margin axis: cheap members only accept an
+/// invocation at 75% of the certified threshold, trading serving share
+/// for fewer compounded false-accepts.
+pub const TIGHT_MARGIN: f64 = 0.75;
+
+/// One enumerated pool composition, before instantiation against a
+/// benchmark's accurate topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Hidden-width divisors, cheapest member first; divisor 1 is the
+    /// accurate topology itself (see `PoolSpec::from_divisors`).
+    pub divisors: Vec<usize>,
+    /// The deployed router kind for this design point.
+    pub router: RouterKind,
+    /// Whether non-accurate members label at [`TIGHT_MARGIN`] instead of
+    /// the full certified threshold.
+    pub tight_margins: bool,
+}
+
+impl Candidate {
+    /// A candidate with the default routing (table cascade, unmargined).
+    pub fn plain(divisors: &[usize]) -> Self {
+        Self {
+            divisors: divisors.to_vec(),
+            router: RouterKind::TableCascade,
+            tight_margins: false,
+        }
+    }
+
+    /// Short stable label for tables and JSON reports, e.g.
+    /// `"K3 d8/4/1 neural tight"`.
+    pub fn label(&self) -> String {
+        let divisors = self
+            .divisors
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("/");
+        let router = match self.router {
+            RouterKind::TableCascade => "cascade",
+            RouterKind::KaryNeural(_) => "neural",
+        };
+        let tight = if self.tight_margins { " tight" } else { "" };
+        format!("K{} d{divisors} {router}{tight}", self.divisors.len())
+    }
+
+    /// Instantiates the candidate against `accurate`. When the divisor
+    /// ladder collapses to a single member (tiny accurate topologies),
+    /// the routing axes are normalized away: a pool of one always uses
+    /// the default cascade/unmargined design, preserving the binary
+    /// parity invariant and letting the deduplication below fold the
+    /// collapsed candidates together.
+    pub fn pool_spec(&self, accurate: &Topology) -> PoolSpec {
+        let mut spec = PoolSpec::from_divisors(accurate, &self.divisors);
+        if spec.len() > 1 {
+            spec = spec.with_router(self.router.clone());
+            if self.tight_margins {
+                let mut margins = vec![TIGHT_MARGIN; spec.len()];
+                *margins.last_mut().expect("non-empty pool") = 1.0;
+                spec = spec.with_margins(margins);
+            }
+        }
+        spec
+    }
+}
+
+/// The ordered candidate list one exploration sweeps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSpace {
+    /// Candidates in enumeration order (the deterministic tie-break
+    /// order for every downstream ranking).
+    pub candidates: Vec<Candidate>,
+}
+
+impl DesignSpace {
+    /// The full-scale space: K ∈ {1, 2, 3}; three divisor ladders per
+    /// K; and for multi-member pools the router kind (cascade vs K-ary
+    /// neural) and margin (full vs tight) axes — 3 + 12 + 12 = 27
+    /// candidates before per-benchmark deduplication.
+    pub fn full() -> Self {
+        let mut candidates = Vec::new();
+        for divisors in [&[1][..], &[2][..], &[4][..]] {
+            candidates.push(Candidate::plain(divisors));
+        }
+        let ladders: [&[usize]; 6] = [
+            &[8, 1],
+            &[4, 1],
+            &[2, 1],
+            &[8, 4, 1],
+            &[8, 2, 1],
+            &[4, 2, 1],
+        ];
+        for divisors in ladders {
+            for router in [RouterKind::TableCascade, RouterKind::kary_neural_default()] {
+                for tight_margins in [false, true] {
+                    candidates.push(Candidate {
+                        divisors: divisors.to_vec(),
+                        router: router.clone(),
+                        tight_margins,
+                    });
+                }
+            }
+        }
+        Self { candidates }
+    }
+
+    /// A small space for smoke tests and CI: both pool-of-one points,
+    /// the fixed tiering, one two-member ladder under each router kind,
+    /// and one tight-margin variant.
+    pub fn smoke() -> Self {
+        Self {
+            candidates: vec![
+                Candidate::plain(&[1]),
+                Candidate::plain(&[2]),
+                Candidate::plain(&[4, 2, 1]),
+                Candidate::plain(&[4, 1]),
+                Candidate {
+                    divisors: vec![4, 1],
+                    router: RouterKind::kary_neural_default(),
+                    tight_margins: false,
+                },
+                Candidate {
+                    divisors: vec![2, 1],
+                    router: RouterKind::TableCascade,
+                    tight_margins: true,
+                },
+            ],
+        }
+    }
+
+    /// Instantiates every candidate against `accurate` and deduplicates
+    /// by the resulting [`PoolSpec`] (first occurrence wins, preserving
+    /// enumeration order). Collapsed tiers on tiny topologies fold here.
+    pub fn enumerate(&self, accurate: &Topology) -> Vec<(Candidate, PoolSpec)> {
+        let mut out: Vec<(Candidate, PoolSpec)> = Vec::new();
+        for candidate in &self.candidates {
+            let spec = candidate.pool_spec(accurate);
+            if out.iter().any(|(_, s)| *s == spec) {
+                continue;
+            }
+            out.push((candidate.clone(), spec));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo(layers: &[usize]) -> Topology {
+        Topology::new(layers).unwrap()
+    }
+
+    #[test]
+    fn full_space_has_27_candidates() {
+        assert_eq!(DesignSpace::full().candidates.len(), 27);
+    }
+
+    #[test]
+    fn full_space_contains_fixed_tiering_and_pool_of_one_verbatim() {
+        let accurate = topo(&[2, 8, 16, 1]);
+        let specs: Vec<PoolSpec> = DesignSpace::full()
+            .enumerate(&accurate)
+            .into_iter()
+            .map(|(_, s)| s)
+            .collect();
+        assert!(specs.contains(&PoolSpec::tiered(&accurate)));
+        assert!(specs.contains(&PoolSpec::single(accurate.clone())));
+    }
+
+    #[test]
+    fn collapsed_candidates_deduplicate() {
+        // A tiny accurate topology collapses every ladder to the same
+        // pool of one; the routing axes normalize away with it.
+        let accurate = topo(&[2, 2, 1]);
+        let enumerated = DesignSpace::full().enumerate(&accurate);
+        assert!(enumerated.len() < DesignSpace::full().candidates.len());
+        for (_, spec) in &enumerated {
+            if spec.len() == 1 {
+                assert!(spec.is_default_routing());
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct_within_the_full_space() {
+        let space = DesignSpace::full();
+        let mut labels: Vec<String> = space.candidates.iter().map(Candidate::label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), space.candidates.len());
+    }
+
+    #[test]
+    fn tight_margin_spec_keeps_accurate_member_at_unity() {
+        let accurate = topo(&[2, 16, 1]);
+        let candidate = Candidate {
+            divisors: vec![4, 2, 1],
+            router: RouterKind::TableCascade,
+            tight_margins: true,
+        };
+        let spec = candidate.pool_spec(&accurate);
+        assert_eq!(spec.margin_for(0), TIGHT_MARGIN);
+        assert_eq!(spec.margin_for(1), TIGHT_MARGIN);
+        assert_eq!(spec.margin_for(spec.len() - 1), 1.0);
+    }
+}

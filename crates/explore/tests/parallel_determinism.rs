@@ -1,0 +1,63 @@
+//! Thread-count invariance of the exploration sweep.
+//!
+//! An exploration fans out probe training through
+//! `par_map_indexed` and inherits every parallel stage of the routed
+//! compile path underneath. The emitted [`BenchmarkExploration`]
+//! deliberately carries no wall-clock fields, so its JSON serialization
+//! must be **byte-identical** at any `--threads` setting — the same
+//! invariant every other figure pipeline pins. A failure here means a
+//! reduction order leaked across a thread boundary somewhere in the
+//! sweep.
+
+use mithra_axbench::benchmark::Benchmark;
+use mithra_axbench::suite;
+use mithra_core::pipeline::CompileConfig;
+use mithra_explore::{explore, DesignSpace, ExploreConfig};
+use std::sync::Arc;
+
+fn smoke_explore(threads: Option<usize>) -> ExploreConfig {
+    ExploreConfig {
+        compile: CompileConfig {
+            threads,
+            ..CompileConfig::smoke()
+        },
+        validation_datasets: 2,
+        trials: 8,
+        probe_datasets: 2,
+        probe_epochs: 4,
+        budget: Some(3),
+        ..ExploreConfig::default()
+    }
+}
+
+#[test]
+fn exploration_report_is_byte_identical_across_thread_counts() {
+    let bench: Arc<dyn Benchmark> = suite::by_name("sobel").unwrap().into();
+    let space = DesignSpace::smoke();
+    let baseline = explore(&bench, &space, &smoke_explore(Some(1))).unwrap();
+
+    // The sweep under a pruning budget still measures both anchors and
+    // accounts for every enumerated candidate exactly once.
+    assert!(!baseline.points.is_empty());
+    assert_eq!(
+        baseline.pruned + baseline.evaluated,
+        baseline.enumerated,
+        "prune accounting must sum to the enumerated space"
+    );
+    assert!(
+        baseline.evaluated < baseline.enumerated,
+        "budget must prune"
+    );
+    assert!(baseline.fixed_tiering_index.is_some());
+    assert!(baseline.pool_of_one_index.is_some());
+
+    let baseline_json = serde_json::to_string(&baseline).unwrap();
+    for threads in [Some(2), Some(4)] {
+        let candidate = explore(&bench, &space, &smoke_explore(threads)).unwrap();
+        assert_eq!(
+            serde_json::to_string(&candidate).unwrap(),
+            baseline_json,
+            "exploration report diverged at threads={threads:?}"
+        );
+    }
+}

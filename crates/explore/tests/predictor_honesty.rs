@@ -1,0 +1,143 @@
+//! Predictor honesty: planted mispredictions cannot corrupt results.
+//!
+//! The compile-time predictor only *ranks* candidates; every number the
+//! exploration emits comes from full compilation, simulation and
+//! conformance validation of the survivors. These tests plant the two
+//! canonical predictor defects — an inverted cost model and an
+//! off-by-one quality ranking — and pin both halves of the honesty
+//! contract:
+//!
+//! * measured results are untouched: with the same evaluation set, every
+//!   point's measured metrics and the certified frontier are
+//!   byte-identical to the unmutated baseline;
+//! * the defect is *caught*: the discordance counters (predicted order
+//!   vs measured order over evaluated pairs) expose the mutation
+//!   exactly. Inverting the cost model reverses the predicted order of
+//!   every pair, so over certified pairs with distinct measured
+//!   speedups exactly one of the honest/inverted sweeps flags each pair
+//!   — their discordance counts sum to that pair count. Rotating the
+//!   quality ranking shifts every recorded rank by exactly one slot.
+//!   Both defects are therefore visible in `BENCH_explore.json` rather
+//!   than silently trusted.
+
+use mithra_axbench::benchmark::Benchmark;
+use mithra_axbench::suite;
+use mithra_core::cache::CacheConfig;
+use mithra_core::pipeline::CompileConfig;
+use mithra_explore::{
+    explore, BenchmarkExploration, DesignSpace, ExploreConfig, PredictorMutation,
+};
+use std::sync::Arc;
+
+/// Measured (non-predictor) content of every evaluated point, bit-exact.
+fn measured(report: &BenchmarkExploration) -> Vec<(String, u32, u64, u64, String, bool)> {
+    report
+        .points
+        .iter()
+        .map(|p| {
+            (
+                p.label.clone(),
+                p.threshold.to_bits(),
+                p.speedup.to_bits(),
+                p.certified_rate.to_bits(),
+                p.verdict.clone(),
+                p.holds,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn planted_mispredictions_are_caught_by_full_evaluation() {
+    let bench: Arc<dyn Benchmark> = suite::by_name("sobel").unwrap().into();
+    let space = DesignSpace::smoke();
+    // A shared cache makes the second and third sweeps warm: the planted
+    // mutations must not perturb any cache key.
+    let cache_dir =
+        std::env::temp_dir().join(format!("mithra-explore-honesty-{}", std::process::id()));
+    let config = |mutation: Option<PredictorMutation>| ExploreConfig {
+        compile: CompileConfig {
+            cache: Some(CacheConfig::at(cache_dir.clone())),
+            ..CompileConfig::smoke()
+        },
+        validation_datasets: 2,
+        trials: 8,
+        probe_datasets: 2,
+        probe_epochs: 4,
+        // Evaluate the whole space so all three sweeps measure the same
+        // points and the discordance counters are directly comparable.
+        budget: Some(usize::MAX),
+        mutation,
+        ..ExploreConfig::default()
+    };
+
+    let baseline = explore(&bench, &space, &config(None)).unwrap();
+    let inverted = explore(
+        &bench,
+        &space,
+        &config(Some(PredictorMutation::InvertedCost)),
+    )
+    .unwrap();
+    let rotated = explore(
+        &bench,
+        &space,
+        &config(Some(PredictorMutation::OffByOneQualityRank)),
+    )
+    .unwrap();
+    std::fs::remove_dir_all(&cache_dir).ok();
+
+    assert_eq!(baseline.evaluated, baseline.enumerated, "full budget");
+    for report in [&baseline, &inverted, &rotated] {
+        assert_eq!(
+            report.pruned + report.evaluated,
+            report.enumerated,
+            "prune accounting must sum to the enumerated space"
+        );
+    }
+
+    // Half one: the mutation never touches a measurement.
+    let baseline_measured = measured(&baseline);
+    for report in [&inverted, &rotated] {
+        assert_eq!(measured(report), baseline_measured);
+        assert_eq!(report.frontier, baseline.frontier);
+    }
+
+    // Half two: the defect is visible, exactly. Cost ranks are a
+    // permutation (ties broken by index) and `InvertedCost` reverses it
+    // wholesale, so every certified pair with distinct measured
+    // speedups is discordant in exactly one of the two sweeps: the
+    // counts are complementary.
+    let certified: Vec<_> = baseline.points.iter().filter(|p| p.certified).collect();
+    let mut distinct_speedup_pairs = 0usize;
+    for (a, p) in certified.iter().enumerate() {
+        for q in &certified[a + 1..] {
+            if p.speedup != q.speedup {
+                distinct_speedup_pairs += 1;
+            }
+        }
+    }
+    assert!(distinct_speedup_pairs > 0, "smoke points must not all tie");
+    assert_eq!(
+        baseline.discordant_cost_pairs + inverted.discordant_cost_pairs,
+        distinct_speedup_pairs,
+        "inverted cost discordance must complement the baseline's \
+         (baseline {}, inverted {}, distinct-speedup pairs {})",
+        baseline.discordant_cost_pairs,
+        inverted.discordant_cost_pairs,
+        distinct_speedup_pairs
+    );
+    assert_eq!(inverted.comparable_pairs, baseline.comparable_pairs);
+
+    // The off-by-one mutation rotates every recorded quality rank by
+    // exactly one slot over the enumerated space.
+    assert_eq!(rotated.points.len(), baseline.points.len());
+    for (b, r) in baseline.points.iter().zip(&rotated.points) {
+        assert_eq!(
+            r.predicted_quality_rank,
+            (b.predicted_quality_rank + 1) % baseline.enumerated,
+            "`{}` quality rank must rotate by one",
+            b.label
+        );
+        assert_eq!(r.predicted_cost_rank, b.predicted_cost_rank);
+    }
+}

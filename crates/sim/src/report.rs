@@ -218,12 +218,16 @@ mod tests {
                     wall: Duration::from_millis(1500),
                     invocations: 0,
                     cache: CacheOutcome::Hit,
+                    cache_hits: 1,
+                    cache_misses: 0,
                 },
                 StageReport {
                     stage: Stage::Profiling,
                     wall: Duration::from_millis(500),
                     invocations: 4096,
                     cache: CacheOutcome::Miss,
+                    cache_hits: 0,
+                    cache_misses: 1,
                 },
             ],
         };

@@ -15,6 +15,8 @@ use mithra_axbench::suite;
 use mithra_core::pipeline::{compile, compile_routed, CompileConfig};
 use mithra_core::profile::DatasetProfile;
 use mithra_core::route::PoolSpec;
+use mithra_core::session::profile_validation;
+use mithra_explore::{explore, Candidate, DesignSpace, ExploreConfig};
 use mithra_sim::system::{run_routed, simulate, SimOptions};
 use std::sync::Arc;
 
@@ -100,5 +102,100 @@ fn pool_of_one_is_bit_identical_to_binary_on_every_benchmark() {
                 "{tag}: member invocations"
             );
         }
+    }
+}
+
+#[test]
+fn explored_pool_of_one_point_is_bit_identical_to_binary_pipeline() {
+    // The design-space explorer must not be a new code path: its
+    // pool-of-one point goes through the same routed compile and the
+    // same validation-arm simulation, so its certificate and its mean
+    // frontier metrics must equal the hand-built binary pipeline's bit
+    // for bit.
+    let bench: Arc<dyn Benchmark> = suite::by_name("sobel").unwrap().into();
+    let compile_cfg = CompileConfig::smoke();
+    let config = ExploreConfig {
+        compile: compile_cfg.clone(),
+        validation_datasets: 3,
+        trials: 8,
+        probe_datasets: 2,
+        probe_epochs: 4,
+        budget: None,
+        ..ExploreConfig::default()
+    };
+    let space = DesignSpace {
+        candidates: vec![Candidate::plain(&[1])],
+    };
+    let report = explore(&bench, &space, &config).unwrap();
+    assert_eq!(report.enumerated, 1);
+    assert_eq!(report.evaluated, 1);
+    let point = &report.points[report.pool_of_one_index.unwrap()];
+    assert!(point.certified);
+
+    let compiled = compile(Arc::clone(&bench), &compile_cfg).unwrap();
+    assert_eq!(
+        point.threshold.to_bits(),
+        compiled.threshold.threshold.to_bits(),
+        "explored pool-of-one certificate vs binary"
+    );
+    assert_eq!(
+        point.certified_rate.to_bits(),
+        compiled.threshold.certified_rate.to_bits(),
+        "explored pool-of-one certified rate vs binary"
+    );
+
+    // Validation arm: the explored point's mean speedup/energy over the
+    // validation seed space equals the binary pipeline simulated over
+    // the very same datasets, folded in the same order.
+    let (validation, _) = profile_validation(
+        &compiled.function,
+        &compile_cfg,
+        config.validation_seed_base,
+        config.validation_datasets,
+    );
+    let mut speedup = 0.0f64;
+    let mut energy = 0.0f64;
+    for profile in &validation {
+        let mut table = compiled.table.clone();
+        let run = simulate(&compiled, profile, &mut table, &SimOptions::default());
+        speedup += run.speedup();
+        energy += run.energy_reduction();
+    }
+    let n = config.validation_datasets as f64;
+    assert_eq!(
+        point.speedup.to_bits(),
+        (speedup / n).to_bits(),
+        "explored pool-of-one mean speedup vs binary"
+    );
+    assert_eq!(
+        point.energy_reduction.to_bits(),
+        (energy / n).to_bits(),
+        "explored pool-of-one mean energy reduction vs binary"
+    );
+}
+
+#[test]
+fn fixed_tiering_is_one_enumerated_candidate_verbatim() {
+    // The hand-fixed PR-6 ÷4/÷2/accurate tiering must survive inside the
+    // enumerated space as an exact `PoolSpec` — same topologies, default
+    // router, no margins — on every benchmark, so explorations always
+    // measure it as an anchor.
+    for bench in suite::all() {
+        let bench: Arc<dyn Benchmark> = bench.into();
+        let accurate = bench.npu_topology();
+        let fixed = PoolSpec::tiered(&accurate);
+        let enumerated = DesignSpace::full().enumerate(&accurate);
+        assert!(
+            enumerated.iter().any(|(_, spec)| *spec == fixed),
+            "{}: fixed tiering missing from the enumerated space",
+            bench.name()
+        );
+        assert!(
+            enumerated
+                .iter()
+                .any(|(_, spec)| *spec == PoolSpec::single(accurate.clone())),
+            "{}: pool of one missing from the enumerated space",
+            bench.name()
+        );
     }
 }

@@ -17,7 +17,10 @@
 //! * [`sequential`] — always-valid e-process variants of the same bounds,
 //!   safe under continuous monitoring (the online re-certifier's test);
 //! * [`descriptive`] — means, geometric means, percentiles and empirical
-//!   CDFs used throughout the evaluation harness.
+//!   CDFs used throughout the evaluation harness;
+//! * [`pareto`] — nondominated-set extraction with deterministic
+//!   tie-breaking, used by the design-space explorer's certified
+//!   frontiers.
 //!
 //! # Example
 //!
@@ -46,6 +49,7 @@ pub mod clopper_pearson;
 pub mod descriptive;
 pub mod fdist;
 pub mod intervals;
+pub mod pareto;
 pub mod sequential;
 pub mod special;
 

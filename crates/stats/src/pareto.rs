@@ -1,0 +1,150 @@
+//! Nondominated-set (Pareto frontier) extraction for design-space sweeps.
+//!
+//! The explorer scores every certified pool composition on several
+//! maximization objectives (speedup, energy reduction, certified success
+//! rate) and keeps only the nondominated points. Extraction is a pure
+//! sequential fold over the candidate list, so the emitted set is a
+//! deterministic function of the input order — the deterministic
+//! tie-breaking rule below is what keeps committed frontiers byte-stable
+//! across reruns and thread counts.
+//!
+//! Conventions:
+//!
+//! * every objective is **maximized**; negate an objective to minimize it;
+//! * a point with any non-finite coordinate is excluded outright (it can
+//!   neither dominate nor join the frontier);
+//! * of several points equal on every objective, only the **first** (the
+//!   lowest input index) survives — duplicates never inflate a frontier.
+
+/// Whether `a` dominates `b`: at least as large on every objective and
+/// strictly larger on at least one. Points of mismatched dimensionality
+/// never dominate each other.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    if a.len() != b.len() || a.is_empty() {
+        return false;
+    }
+    let mut strictly = false;
+    for (x, y) in a.iter().zip(b) {
+        if x < y {
+            return false;
+        }
+        if x > y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Indices of the nondominated points of `points`, ascending.
+///
+/// A point is kept when no other point dominates it, no earlier point
+/// equals it on every objective, and all its coordinates are finite.
+pub fn nondominated_indices(points: &[Vec<f64>]) -> Vec<usize> {
+    let mut kept = Vec::new();
+    'outer: for (i, p) in points.iter().enumerate() {
+        if p.iter().any(|v| !v.is_finite()) {
+            continue;
+        }
+        for (j, q) in points.iter().enumerate() {
+            if i == j || q.iter().any(|v| !v.is_finite()) {
+                continue;
+            }
+            if dominates(q, p) {
+                continue 'outer;
+            }
+            // Exact duplicate: the lowest index wins the tie.
+            if j < i && q == p {
+                continue 'outer;
+            }
+        }
+        kept.push(i);
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dominance_is_strict_on_at_least_one_axis() {
+        assert!(dominates(&[2.0, 1.0], &[1.0, 1.0]));
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0]));
+        assert!(!dominates(&[2.0, 0.5], &[1.0, 1.0]));
+        assert!(!dominates(&[1.0], &[1.0, 1.0]));
+        assert!(!dominates(&[], &[]));
+    }
+
+    #[test]
+    fn simple_frontier() {
+        let pts = vec![
+            vec![1.0, 4.0], // kept
+            vec![2.0, 3.0], // kept
+            vec![1.5, 2.0], // dominated by [2,3]
+            vec![3.0, 1.0], // kept
+            vec![0.5, 0.5], // dominated
+        ];
+        assert_eq!(nondominated_indices(&pts), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn duplicates_keep_lowest_index() {
+        let pts = vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![2.0, 2.0]];
+        assert_eq!(nondominated_indices(&pts), vec![1]);
+    }
+
+    #[test]
+    fn non_finite_points_are_excluded() {
+        let pts = vec![
+            vec![f64::NAN, 9.0],
+            vec![1.0, f64::INFINITY],
+            vec![0.0, 0.0],
+        ];
+        assert_eq!(nondominated_indices(&pts), vec![2]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_frontier() {
+        assert_eq!(nondominated_indices(&[]), Vec::<usize>::new());
+    }
+
+    fn arb_points() -> impl Strategy<Value = Vec<Vec<f64>>> {
+        prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 3), 0..24)
+    }
+
+    proptest! {
+        /// No kept point is dominated by any input point.
+        #[test]
+        fn frontier_contains_no_dominated_point(pts in arb_points()) {
+            let kept = nondominated_indices(&pts);
+            for &i in &kept {
+                for q in &pts {
+                    prop_assert!(!dominates(q, &pts[i]));
+                }
+            }
+        }
+
+        /// Every excluded finite point is dominated by (or duplicates) a
+        /// kept point.
+        #[test]
+        fn every_dominated_candidate_is_excluded(pts in arb_points()) {
+            let kept = nondominated_indices(&pts);
+            for (i, p) in pts.iter().enumerate() {
+                if kept.contains(&i) {
+                    continue;
+                }
+                let explained = kept.iter().any(|&k| {
+                    dominates(&pts[k], p) || (pts[k] == *p && k < i)
+                });
+                prop_assert!(explained, "point {i} excluded without cause");
+            }
+        }
+
+        /// Extraction is a pure function: rerunning yields the same set.
+        #[test]
+        fn extraction_is_deterministic(pts in arb_points()) {
+            prop_assert_eq!(nondominated_indices(&pts), nondominated_indices(&pts));
+        }
+    }
+}

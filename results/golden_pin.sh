@@ -71,4 +71,24 @@ if ! cmp -s "$OUT/$name.$b.expected" "$OUT/$name.$b.actual"; then
   exit 1
 fi
 echo "pinned: $name/$b ($(wc -l < "$OUT/$name.$b.actual") lines byte-identical)"
+
+# One figv slice: the design-space exploration rows for inversek2j
+# (frontier lines + table row), re-run with exactly the flags
+# run_all.sh uses and byte-compared the same way — pins the probe
+# predictors, the prune/budget selection, every fully-evaluated
+# certificate and the emitted frontier.
+name=figv_design_space
+b=inversek2j
+cargo run --locked --release -q -p mithra-bench --bin "$name" -- \
+  --scale full --quality 5 --cache-dir target/mithra-cache \
+  --out "$OUT/BENCH_explore_pin.json" \
+  --bench "$b" > "$OUT/$name.txt" 2> "$OUT/$name.log"
+grep "^$b" "$R/$name.txt" | tr -s ' ' > "$OUT/$name.$b.expected"
+grep "^$b" "$OUT/$name.txt" | tr -s ' ' > "$OUT/$name.$b.actual"
+if ! cmp -s "$OUT/$name.$b.expected" "$OUT/$name.$b.actual"; then
+  echo "GOLDEN PIN FAILED: $name/$b diverged from committed $R/$name.txt" >&2
+  diff -u "$OUT/$name.$b.expected" "$OUT/$name.$b.actual" >&2 || true
+  exit 1
+fi
+echo "pinned: $name/$b ($(wc -l < "$OUT/$name.$b.actual") lines byte-identical)"
 echo "golden pin OK"

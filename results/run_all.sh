@@ -48,4 +48,11 @@ run figz_multi_approximator --scale full --quality 5 --cache-dir target/mithra-c
 # swapped pair is judged on unseen drifted datasets. Drift severity is
 # per-benchmark (see figw's default_noise_for).
 run figw_self_healing --scale full --quality 5 --cache-dir target/mithra-cache --out BENCH_recert.json
+# Design-space exploration: enumerate 27 pool compositions per
+# benchmark, prune with probe-trained predictors down to the auto
+# budget (a quarter of the space), fully certify the survivors, and
+# emit the per-benchmark Pareto frontier over (speedup, energy,
+# certified S). The fixed figz tiering and the pool of one ride along
+# as force-evaluated anchors.
+run figv_design_space --scale full --quality 5 --cache-dir target/mithra-cache --out BENCH_explore.json
 echo ALL_DONE >> $R/progress.txt

@@ -52,6 +52,7 @@ pub use mithra_axbench as axbench;
 pub use mithra_bdi as bdi;
 pub use mithra_conform as conform;
 pub use mithra_core as core;
+pub use mithra_explore as explore;
 pub use mithra_npu as npu;
 pub use mithra_serve as serve;
 pub use mithra_sim as sim;
