@@ -22,7 +22,8 @@
 //!
 //! Bench-specific flags (all optional) are consumed before the shared
 //! experiment flags: `--compile-threads 1,2,4`, `--presets table1,fig09`,
-//! `--reps N`, `--out PATH`. The shared `--scale`, `--datasets`,
+//! `--reps N`, `--out PATH`, `--kernels scalar,simd` (default: scalar
+//! plus simd when the host supports it). The shared `--scale`, `--datasets`,
 //! `--validation`, `--quality`, `--bench`, and `--npu-*` flags are
 //! honored like every other figure binary.
 
@@ -30,6 +31,7 @@ use mithra_bench::runner::VALIDATION_SEED_BASE;
 use mithra_bench::{default_threads, ExperimentConfig};
 use mithra_core::session::{profile_validation, CompileSession, SessionReport};
 use mithra_core::Result;
+use mithra_npu::kernel::{host_simd_features, KernelBackend};
 use serde::Serialize;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -47,9 +49,10 @@ struct StageTime {
     cache_misses: u32,
 }
 
-/// One (benchmark, threads) grid point.
+/// One (benchmark, kernel, threads) grid point.
 #[derive(Debug, Serialize)]
 struct RunRecord {
+    kernel: String,
     threads: usize,
     total_wall_ms: f64,
     total_invocations: u64,
@@ -97,7 +100,12 @@ struct Report {
     /// Available parallelism of the measuring host — recorded honestly;
     /// thread counts beyond it cannot show wall-clock speedup.
     host_threads: usize,
+    /// SIMD feature set of the measuring host (empty = scalar-only host).
+    host_simd: Vec<String>,
     thread_counts: Vec<usize>,
+    /// Kernel backends swept; each (benchmark, threads) point is measured
+    /// once per backend.
+    kernels: Vec<String>,
     presets: Vec<PresetReport>,
     seed_baseline: SeedBaseline,
 }
@@ -136,6 +144,8 @@ struct BenchArgs {
     presets: Vec<Preset>,
     reps: usize,
     out: PathBuf,
+    /// `None` = scalar plus simd when the host supports it.
+    kernels: Option<Vec<KernelBackend>>,
 }
 
 impl Default for BenchArgs {
@@ -145,6 +155,7 @@ impl Default for BenchArgs {
             presets: vec![Preset::Table1, Preset::Fig09],
             reps: 1,
             out: PathBuf::from("BENCH_compile.json"),
+            kernels: None,
         }
     }
 }
@@ -165,6 +176,20 @@ impl BenchArgs {
         counts.sort_unstable();
         counts.dedup();
         counts
+    }
+
+    /// The kernel sweep: scalar first (the reference every speedup is
+    /// judged against), then simd when the host can run it.
+    fn kernel_backends(&self) -> Vec<KernelBackend> {
+        let mut kernels = self.kernels.clone().unwrap_or_else(|| {
+            if KernelBackend::simd_available() {
+                vec![KernelBackend::Scalar, KernelBackend::Simd]
+            } else {
+                vec![KernelBackend::Scalar]
+            }
+        });
+        kernels.dedup();
+        kernels
     }
 }
 
@@ -215,6 +240,19 @@ fn extract_bench_args(args: &mut Vec<String>) -> BenchArgs {
             "--presets" => bench.presets = parse_presets(&take_value()),
             "--reps" => bench.reps = parse_list(&flag, &take_value())[0].max(1),
             "--out" => bench.out = PathBuf::from(take_value()),
+            "--kernels" => {
+                bench.kernels = Some(
+                    take_value()
+                        .split(',')
+                        .map(|s| {
+                            s.trim().parse().unwrap_or_else(|e: String| {
+                                eprintln!("{e}");
+                                std::process::exit(2);
+                            })
+                        })
+                        .collect(),
+                );
+            }
             _ => i += 1,
         }
     }
@@ -229,12 +267,14 @@ fn run_pass(
     quality: f64,
     preset: Preset,
     threads: usize,
+    kernel: KernelBackend,
 ) -> Result<SessionReport> {
     let mut compile_cfg = cfg.compile_config(quality)?;
     // Every pass is cold by construction: timing the cache would measure
     // disk I/O, not the compile kernels.
     compile_cfg.cache = None;
     compile_cfg.threads = Some(threads);
+    compile_cfg.kernel = kernel;
     match preset {
         Preset::Table1 => {
             let session =
@@ -277,11 +317,12 @@ fn run_point(
     quality: f64,
     preset: Preset,
     threads: usize,
+    kernel: KernelBackend,
     reps: usize,
 ) -> Result<RunRecord> {
     let mut stages: Vec<StageTime> = Vec::new();
     for rep in 0..reps {
-        let report = run_pass(bench, cfg, quality, preset, threads)?;
+        let report = run_pass(bench, cfg, quality, preset, threads, kernel)?;
         if rep == 0 {
             stages = report
                 .stages
@@ -304,6 +345,7 @@ fn run_point(
         stage.wall_ms /= reps as f64;
     }
     Ok(RunRecord {
+        kernel: kernel.to_string(),
         threads,
         total_wall_ms: stages.iter().map(|s| s.wall_ms).sum(),
         total_invocations: stages.iter().map(|s| s.invocations).sum(),
@@ -323,7 +365,7 @@ fn main() {
             eprintln!("{e}");
             eprintln!(
                 "bench flags: --compile-threads 1,2,4 --presets table1,fig09 \
-                 --reps N --out PATH"
+                 --reps N --out PATH --kernels scalar,simd"
             );
             std::process::exit(2);
         }
@@ -331,13 +373,15 @@ fn main() {
     let quality = cfg.quality_levels.first().copied().unwrap_or(0.05);
     let host_threads = default_threads();
     let thread_counts = bench_args.thread_counts(host_threads);
+    let kernels = bench_args.kernel_backends();
     eprintln!(
-        "compile sweep: presets {:?} × threads {:?}, {} timed rep(s), host_threads {}",
+        "compile sweep: presets {:?} × kernels {:?} × threads {:?}, {} timed rep(s), host_threads {}",
         bench_args
             .presets
             .iter()
             .map(|p| p.name())
             .collect::<Vec<_>>(),
+        kernels.iter().map(|k| k.as_str()).collect::<Vec<_>>(),
         thread_counts,
         bench_args.reps,
         host_threads
@@ -352,32 +396,49 @@ fn main() {
             // Untimed warmup: first-touch page faults and allocator
             // arena growth land here, not in the measurement.
             let warm_start = std::time::Instant::now();
-            run_pass(bench, &cfg, quality, preset, thread_counts[0])
+            run_pass(bench, &cfg, quality, preset, thread_counts[0], kernels[0])
                 .unwrap_or_else(|e| panic!("{}/{name} warmup failed: {e}", preset.name()));
             eprintln!(
                 "{} [{name}] warmup: {:.2}s",
                 preset.name(),
                 warm_start.elapsed().as_secs_f64()
             );
-            let mut runs: Vec<RunRecord> = thread_counts
-                .iter()
-                .map(|&threads| {
-                    run_point(bench, &cfg, quality, preset, threads, bench_args.reps)
-                        .unwrap_or_else(|e| panic!("{}/{name} failed: {e}", preset.name()))
-                })
-                .collect();
-            let baseline = runs
-                .iter()
-                .find(|r| r.threads == 1)
-                .expect("the 1-thread baseline is always in the grid")
-                .total_wall_ms;
-            for run in &mut runs {
-                run.speedup_vs_single_thread = baseline / run.total_wall_ms;
+            let mut runs: Vec<RunRecord> = Vec::new();
+            for &kernel in &kernels {
+                for &threads in &thread_counts {
+                    runs.push(
+                        run_point(
+                            bench,
+                            &cfg,
+                            quality,
+                            preset,
+                            threads,
+                            kernel,
+                            bench_args.reps,
+                        )
+                        .unwrap_or_else(|e| panic!("{}/{name} failed: {e}", preset.name())),
+                    );
+                }
+            }
+            // Speedups are judged within a kernel: each backend's runs
+            // against its own 1-thread baseline.
+            for &kernel in &kernels {
+                let baseline = runs
+                    .iter()
+                    .find(|r| r.threads == 1 && r.kernel == kernel.as_str())
+                    .expect("the 1-thread baseline is always in the grid")
+                    .total_wall_ms;
+                for run in &mut runs {
+                    if run.kernel == kernel.as_str() {
+                        run.speedup_vs_single_thread = baseline / run.total_wall_ms;
+                    }
+                }
             }
             for run in &runs {
                 eprintln!(
-                    "{} [{name}] threads={}: {:.2}s total ({:.2}x vs 1 thread)",
+                    "{} [{name}] kernel={} threads={}: {:.2}s total ({:.2}x vs 1 thread)",
                     preset.name(),
+                    run.kernel,
                     run.threads,
                     run.total_wall_ms / 1e3,
                     run.speedup_vs_single_thread
@@ -399,7 +460,9 @@ fn main() {
         quality,
         reps: bench_args.reps,
         host_threads,
+        host_simd: host_simd_features().iter().map(|s| s.to_string()).collect(),
         thread_counts,
+        kernels: kernels.iter().map(|k| k.to_string()).collect(),
         presets,
         seed_baseline: SeedBaseline {
             commit: "65a455a".to_string(),

@@ -19,6 +19,7 @@ use mithra_core::random::RandomFilter;
 use mithra_core::session::{profile_validation, CompileSession};
 use mithra_core::threshold::QualitySpec;
 use mithra_core::Result;
+use mithra_npu::kernel::KernelBackend;
 use mithra_sim::report::{BenchmarkSummary, CompileCost};
 use mithra_sim::system::{simulate, RunResult, SimOptions};
 use std::fmt;
@@ -39,7 +40,8 @@ const USAGE: &str = "usage: --scale smoke|full --datasets N --validation N \
                      --quality 2.5,5,7.5,10 --confidence 0.95 --success-rate 0.90 \
                      --bench name,name --npu-epochs N --npu-train-datasets N \
                      --cache-dir PATH --no-cache --fault-rates 0.0005,0.002,0.008 \
-                     --fault-seed N --watchdog-period N --threads N";
+                     --fault-seed N --watchdog-period N --threads N \
+                     --kernel scalar|simd";
 
 /// A command-line parsing or configuration error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,6 +106,10 @@ pub struct ExperimentConfig {
     /// worker pool (`None` = available parallelism). Wall time only —
     /// results are thread-count independent.
     pub threads: Option<usize>,
+    /// Arithmetic kernel backend (scalar reference by default; `simd`
+    /// opts into the vectorized path, subject to host support and the
+    /// `MITHRA_KERNEL` environment override).
+    pub kernel: KernelBackend,
 }
 
 impl Default for ExperimentConfig {
@@ -126,6 +132,7 @@ impl Default for ExperimentConfig {
             fault_seed: 0xFA17,
             watchdog_period: 16,
             threads: None,
+            kernel: KernelBackend::Scalar,
         }
     }
 }
@@ -244,6 +251,10 @@ impl ExperimentConfig {
                     cfg.threads = (t > 0).then_some(t);
                     i += 2;
                 }
+                "--kernel" => {
+                    cfg.kernel = take()?.parse().map_err(ArgError::new)?;
+                    i += 2;
+                }
                 other => {
                     return Err(ArgError::new(format!("unknown argument `{other}`")));
                 }
@@ -309,6 +320,7 @@ impl ExperimentConfig {
             npu_train_datasets: self.npu_train_datasets.min(self.compile_datasets.max(1)),
             cache: self.cache_dir.clone().map(CacheConfig::at),
             threads: self.threads,
+            kernel: self.kernel,
             ..CompileConfig::default()
         })
     }

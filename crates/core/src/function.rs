@@ -13,7 +13,9 @@
 use crate::Result;
 use mithra_axbench::benchmark::Benchmark;
 use mithra_axbench::dataset::{Dataset, DatasetScale};
-use mithra_npu::mlp::{Activation, ForwardScratch, Mlp};
+use mithra_npu::kernel::KernelBackend;
+use mithra_npu::mlp::{Activation, BatchScratch, ForwardScratch, Mlp};
+use mithra_npu::topology::Topology;
 use mithra_npu::train::{Normalizer, Trainer};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -56,12 +58,32 @@ pub struct InvokeScratch {
     fwd: ForwardScratch,
     precise_norm: Vec<f32>,
     approx_norm: Vec<f32>,
+    /// Batched-forward staging: normalized inputs and raw network
+    /// outputs for a whole block, plus the network's tile buffers.
+    normalized_block: Vec<f32>,
+    raw_block: Vec<f32>,
+    batch: BatchScratch,
 }
 
 impl InvokeScratch {
     /// Creates an empty scratch; buffers grow on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a scratch presized for a network of `topology`, so the
+    /// single-invocation paths never allocate after construction
+    /// (batched blocks still grow once to the first block's size).
+    pub fn for_topology(topology: &Topology) -> Self {
+        Self {
+            normalized_in: Vec::with_capacity(topology.inputs()),
+            fwd: ForwardScratch::for_topology(topology),
+            precise_norm: Vec::with_capacity(topology.outputs()),
+            approx_norm: Vec::with_capacity(topology.outputs()),
+            normalized_block: Vec::new(),
+            raw_block: Vec::new(),
+            batch: BatchScratch::for_topology(topology),
+        }
     }
 }
 
@@ -72,6 +94,10 @@ pub struct AcceleratedFunction {
     npu: Mlp,
     input_norm: Normalizer,
     output_norm: Normalizer,
+    /// Arithmetic backend for this function's forward passes (and the
+    /// backend it was trained with). Scalar unless opted in — the cache
+    /// key is salted when it is not.
+    kernel: KernelBackend,
 }
 
 impl AcceleratedFunction {
@@ -93,6 +119,24 @@ impl AcceleratedFunction {
         Self::train_with_topology(benchmark, datasets, config, &topology)
     }
 
+    /// [`AcceleratedFunction::train`] on an explicit kernel backend.
+    /// `kernel` deliberately lives outside [`NpuTrainConfig`]: the
+    /// config's `Debug` form is embedded in cache keys, and the scalar
+    /// default must keep producing byte-identical keys.
+    ///
+    /// # Errors
+    ///
+    /// Propagates NPU training failures (e.g. no samples).
+    pub fn train_with_kernel(
+        benchmark: Arc<dyn Benchmark>,
+        datasets: &[Dataset],
+        config: &NpuTrainConfig,
+        kernel: KernelBackend,
+    ) -> Result<Self> {
+        let topology = benchmark.npu_topology();
+        Self::train_with_topology_kernel(benchmark, datasets, config, &topology, kernel)
+    }
+
     /// [`AcceleratedFunction::train`] on an explicit network topology —
     /// how an approximator pool trains its cheap/medium members. With
     /// `topology == benchmark.npu_topology()` this is the same code path
@@ -106,7 +150,32 @@ impl AcceleratedFunction {
         benchmark: Arc<dyn Benchmark>,
         datasets: &[Dataset],
         config: &NpuTrainConfig,
-        topology: &mithra_npu::topology::Topology,
+        topology: &Topology,
+    ) -> Result<Self> {
+        Self::train_with_topology_kernel(
+            benchmark,
+            datasets,
+            config,
+            topology,
+            KernelBackend::Scalar,
+        )
+    }
+
+    /// [`AcceleratedFunction::train_with_topology`] on an explicit kernel
+    /// backend — the fully general training entry point. Both backends
+    /// consume the RNG identically, so a SIMD-trained network is a
+    /// deterministic function of the same seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates NPU training failures (e.g. no samples, or a topology
+    /// whose input/output widths do not match the benchmark).
+    pub fn train_with_topology_kernel(
+        benchmark: Arc<dyn Benchmark>,
+        datasets: &[Dataset],
+        config: &NpuTrainConfig,
+        topology: &Topology,
+        kernel: KernelBackend,
     ) -> Result<Self> {
         // Collect raw (input, precise output) pairs, subsampled.
         let mut pairs: Vec<(Vec<f32>, Vec<f32>)> = Vec::new();
@@ -142,6 +211,7 @@ impl AcceleratedFunction {
             .batch_size(32)
             .seed(config.seed)
             .output_activation(Activation::Linear)
+            .kernel(kernel)
             .train(&normalized)?;
 
         Ok(Self {
@@ -149,11 +219,14 @@ impl AcceleratedFunction {
             npu,
             input_norm,
             output_norm,
+            kernel,
         })
     }
 
     /// Builds an accelerated function from pre-trained parts (loading a
-    /// stored accelerator configuration).
+    /// stored accelerator configuration). The kernel backend defaults to
+    /// scalar; reattach a non-default one with
+    /// [`AcceleratedFunction::with_kernel`].
     pub fn from_parts(
         benchmark: Arc<dyn Benchmark>,
         npu: Mlp,
@@ -165,7 +238,22 @@ impl AcceleratedFunction {
             npu,
             input_norm,
             output_norm,
+            kernel: KernelBackend::Scalar,
         }
+    }
+
+    /// Rebinds the arithmetic backend — how a cache hit reattaches the
+    /// kernel the artifact was trained under (the stored parameters are
+    /// backend-agnostic; only the forward-pass dispatch changes).
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: KernelBackend) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The arithmetic backend this function's forward passes run on.
+    pub fn kernel(&self) -> KernelBackend {
+        self.kernel
     }
 
     /// The underlying benchmark.
@@ -237,11 +325,58 @@ impl AcceleratedFunction {
     ) -> Result<()> {
         self.input_norm
             .forward_into(input, &mut scratch.normalized_in);
-        let raw = self
-            .npu
-            .forward_into(&scratch.normalized_in, &mut scratch.fwd)?;
+        let raw =
+            self.npu
+                .forward_into_with(self.kernel, &scratch.normalized_in, &mut scratch.fwd)?;
         self.output_norm.inverse_into(raw, out);
         Ok(())
+    }
+
+    /// Batched form of [`AcceleratedFunction::approx_with`]: `inputs`
+    /// holds `count` raw-space input vectors concatenated sample-major;
+    /// `outputs` receives the `count` raw-space output vectors in the
+    /// same layout. One network weight traversal is amortized across the
+    /// whole block on the SIMD backend; on either backend every sample's
+    /// result is bit-identical to the per-invocation
+    /// [`approx_with`](AcceleratedFunction::approx_with) call (pinned by
+    /// `mithra-npu/tests/kernel_parity.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is not `count` input widths long — batch
+    /// callers own the layout.
+    pub fn approx_batch_with(
+        &self,
+        inputs: &[f32],
+        count: usize,
+        outputs: &mut Vec<f32>,
+        scratch: &mut InvokeScratch,
+    ) {
+        let in_dim = self.input_norm.dims();
+        assert_eq!(inputs.len(), count * in_dim, "batch input layout");
+        scratch.normalized_block.clear();
+        for input in inputs.chunks_exact(in_dim.max(1)).take(count) {
+            self.input_norm
+                .forward_into(input, &mut scratch.normalized_in);
+            scratch
+                .normalized_block
+                .extend_from_slice(&scratch.normalized_in);
+        }
+        self.npu
+            .forward_batch_into_with(
+                self.kernel,
+                &scratch.normalized_block,
+                count,
+                &mut scratch.raw_block,
+                &mut scratch.batch,
+            )
+            .expect("normalized batch matches the network input width");
+        let out_dim = self.npu.topology().outputs();
+        outputs.clear();
+        for raw in scratch.raw_block.chunks_exact(out_dim).take(count) {
+            self.output_norm.inverse_into(raw, &mut scratch.approx_norm);
+            outputs.extend_from_slice(&scratch.approx_norm);
+        }
     }
 
     /// Runs the precise function for one invocation.

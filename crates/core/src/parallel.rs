@@ -11,6 +11,31 @@
 
 use crate::profile::default_threads;
 
+/// Minimum accelerator invocations a worker thread must amortize before
+/// forking is worth its setup cost. Below this, thread spawn + cache
+/// cold-start outweigh the arithmetic and `--threads 2` runs *slower*
+/// than sequential (measured: blackscholes smoke validation-profiling
+/// 150→161 ms, fft 76→99 ms).
+const MIN_WORK_PER_THREAD: usize = 8192;
+
+/// Clamps a requested worker count by how much work there actually is
+/// and by the host's hardware parallelism.
+///
+/// `requested = None`/`Some(0)` starts from [`default_threads`]. The
+/// result never exceeds `total_work / MIN_WORK_PER_THREAD` (so small
+/// jobs stay sequential), never exceeds the host's available
+/// parallelism (forking past physical cores only adds contention), and
+/// is at least 1. `total_work` is in caller-chosen units — profiling
+/// passes accelerator invocations.
+///
+/// Results are unaffected: [`par_map_indexed`] is order-deterministic
+/// for any worker count, so this only moves the fork/no-fork decision.
+pub fn work_bounded_threads(requested: Option<usize>, total_work: usize) -> usize {
+    let requested = requested.filter(|&t| t > 0).unwrap_or_else(default_threads);
+    let work_cap = (total_work / MIN_WORK_PER_THREAD).max(1);
+    requested.min(work_cap).min(default_threads()).max(1)
+}
+
 /// Applies `f` to every index in `0..count` across up to `threads`
 /// workers, returning the results in index order.
 ///
@@ -71,5 +96,51 @@ mod tests {
     fn more_threads_than_items_is_fine() {
         let out = par_map_indexed(2, Some(16), |i| i + 1);
         assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn float_fold_over_results_is_bit_identical_for_any_worker_count() {
+        // The contract that keeps the work cutoff result-neutral: any
+        // cross-item float reduction happens in the caller, folded over
+        // the returned vector in index order. Non-associative summation
+        // must therefore come out bit-identical for every worker count.
+        let item = |i: usize| ((i as f32) * 0.1).sin() * 1e-3 + 1.0 / (i as f32 + 1.0);
+        let fold = |v: Vec<f32>| v.into_iter().fold(0.0f32, |acc, x| acc + x);
+        let seq = fold(par_map_indexed(257, Some(1), item));
+        for threads in [None, Some(2), Some(3), Some(7), Some(64)] {
+            let par = fold(par_map_indexed(257, threads, item));
+            assert_eq!(seq.to_bits(), par.to_bits(), "threads {threads:?}");
+        }
+    }
+
+    #[test]
+    fn small_jobs_stay_sequential() {
+        // Under one MIN_WORK_PER_THREAD quantum no request forks.
+        for req in [None, Some(1), Some(2), Some(64)] {
+            assert_eq!(work_bounded_threads(req, MIN_WORK_PER_THREAD - 1), 1);
+            assert_eq!(work_bounded_threads(req, 0), 1);
+        }
+    }
+
+    #[test]
+    fn explicit_request_is_an_upper_bound() {
+        for work in [0, 1, MIN_WORK_PER_THREAD, 100 * MIN_WORK_PER_THREAD] {
+            for req in 1..=8 {
+                assert!(work_bounded_threads(Some(req), work) <= req);
+            }
+        }
+    }
+
+    #[test]
+    fn hardware_parallelism_is_an_upper_bound() {
+        let hw = default_threads();
+        assert!(work_bounded_threads(Some(1024), 1024 * MIN_WORK_PER_THREAD) <= hw);
+    }
+
+    #[test]
+    fn large_jobs_honor_the_request_up_to_the_host() {
+        let hw = default_threads();
+        let got = work_bounded_threads(Some(2), 64 * MIN_WORK_PER_THREAD);
+        assert_eq!(got, 2.min(hw));
     }
 }

@@ -27,6 +27,7 @@ use crate::threshold::{QualitySpec, ThresholdOutcome};
 use crate::training::TrainingExample;
 use mithra_axbench::benchmark::Benchmark;
 use mithra_axbench::dataset::DatasetScale;
+use mithra_npu::kernel::KernelBackend;
 use std::sync::Arc;
 
 use crate::Result;
@@ -60,6 +61,12 @@ pub struct CompileConfig {
     /// parallelism). Affects wall time only, never results, so the
     /// artifact cache ignores it.
     pub threads: Option<usize>,
+    /// Arithmetic kernel backend for NPU training and inference.
+    /// [`KernelBackend::Scalar`] (the default) is the bit-exact reference
+    /// every committed result pins; [`KernelBackend::Simd`] opts into the
+    /// vectorized path, which is deterministic but rounds differently, so
+    /// the artifact cache keys on it (scalar keys stay unchanged).
+    pub kernel: KernelBackend,
 }
 
 impl Default for CompileConfig {
@@ -76,6 +83,7 @@ impl Default for CompileConfig {
             npu_train_datasets: 10,
             cache: None,
             threads: None,
+            kernel: KernelBackend::Scalar,
         }
     }
 }

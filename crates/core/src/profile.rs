@@ -16,6 +16,11 @@ use crate::function::{AcceleratedFunction, InvokeScratch};
 use crate::Result;
 use mithra_axbench::dataset::{Dataset, OutputBuffer};
 
+/// Invocations per accelerator batch inside [`DatasetProfile::collect`].
+/// Large enough to amortize one weight-matrix traversal per SIMD tile,
+/// small enough that the staging buffers stay cache-resident.
+const PROFILE_BLOCK: usize = 64;
+
 /// Where one invocation's output came from when a run is scored after the
 /// fact — the generalization of [`Decision`] the fault model needs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,23 +74,47 @@ impl ReplayOutcome {
 impl DatasetProfile {
     /// Profiles one dataset: runs the precise function and the accelerator
     /// for every invocation and caches everything the optimizer needs.
+    ///
+    /// The accelerator side runs through
+    /// [`AcceleratedFunction::approx_batch_with`] in blocks of
+    /// [`PROFILE_BLOCK`] invocations, amortizing one weight traversal per
+    /// block on the SIMD backend; per-invocation results are
+    /// bit-identical to the one-at-a-time loop on whichever backend the
+    /// function carries, so the scalar default reproduces every pinned
+    /// number.
     pub fn collect(function: &AcceleratedFunction, dataset: Dataset) -> Self {
         let bench = function.benchmark();
         let n = dataset.invocation_count();
-        let mut precise = OutputBuffer::with_capacity(bench.output_dim(), n);
-        let mut approx = OutputBuffer::with_capacity(bench.output_dim(), n);
+        let in_dim = dataset.input_dim();
+        let out_dim = bench.output_dim();
+        let mut precise = OutputBuffer::with_capacity(out_dim, n);
+        let mut approx = OutputBuffer::with_capacity(out_dim, n);
         let mut max_err = Vec::with_capacity(n);
-        let (mut p, mut a) = (Vec::new(), Vec::new());
+        let mut p = Vec::new();
+        let mut block_out = Vec::new();
         // One scratch across the whole dataset: the profiling loop is the
         // compile path's hottest, and per-invocation allocation would
         // dominate the network arithmetic.
         let mut scratch = InvokeScratch::new();
-        for input in dataset.iter() {
-            function.precise_into(input, &mut p);
-            function.approx_with(input, &mut a, &mut scratch);
-            max_err.push(function.max_normalized_error_with(&p, &a, &mut scratch));
-            precise.push(&p);
-            approx.push(&a);
+        let flat = dataset.as_flat();
+        let mut base = 0;
+        while base < n {
+            let count = PROFILE_BLOCK.min(n - base);
+            function.approx_batch_with(
+                &flat[base * in_dim..(base + count) * in_dim],
+                count,
+                &mut block_out,
+                &mut scratch,
+            );
+            for j in 0..count {
+                let input = dataset.input(base + j);
+                function.precise_into(input, &mut p);
+                let a = &block_out[j * out_dim..(j + 1) * out_dim];
+                max_err.push(function.max_normalized_error_with(&p, a, &mut scratch));
+                precise.push(&p);
+                approx.push(a);
+            }
+            base += count;
         }
         let final_precise = bench.run_application(&dataset, &precise);
         Self {
@@ -334,7 +363,11 @@ pub fn default_threads() -> usize {
 /// Profiles `count` seeded datasets in parallel across worker threads.
 ///
 /// `threads` overrides the worker count (`None` or `Some(0)` = available
-/// parallelism via [`default_threads`]; always clamped to `count`).
+/// parallelism via [`default_threads`]; always clamped to `count`). The
+/// request is additionally bounded by
+/// [`crate::parallel::work_bounded_threads`] over the job's total
+/// invocation count, so small jobs — where thread setup costs more than
+/// the arithmetic — run sequentially even under `--threads 2`.
 /// Dataset `i` uses seed `seed_base + i`, exactly as the sequential loop
 /// would. Each profile is computed independently from its own dataset, so
 /// the result is bit-identical to calling [`DatasetProfile::collect`]
@@ -346,7 +379,15 @@ pub fn collect_profiles_parallel(
     scale: mithra_axbench::dataset::DatasetScale,
     threads: Option<usize>,
 ) -> Vec<DatasetProfile> {
-    crate::parallel::par_map_indexed(count, threads, |i| {
+    // Invocation count is constant across seeds for a benchmark/scale, so
+    // one probe dataset prices the whole job.
+    let per_dataset = if count == 0 {
+        0
+    } else {
+        function.dataset(seed_base, scale).invocation_count()
+    };
+    let bounded = crate::parallel::work_bounded_threads(threads, per_dataset * count);
+    crate::parallel::par_map_indexed(count, Some(bounded), |i| {
         let ds = function.dataset(seed_base + i as u64, scale);
         DatasetProfile::collect(function, ds)
     })

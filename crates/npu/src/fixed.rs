@@ -153,6 +153,37 @@ struct FixedLayer {
     activation: Activation,
 }
 
+/// Reusable layer buffers for allocation-free fixed-point inference
+/// ([`FixedMlp::run_into`]).
+#[derive(Debug, Clone, Default)]
+pub struct FixedScratch {
+    cur: Vec<i32>,
+    next: Vec<i32>,
+}
+
+impl FixedScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a scratch presized for `fixed`, so no buffer ever
+    /// reallocates once construction returns.
+    pub fn for_network(fixed: &FixedMlp) -> Self {
+        let widest = fixed
+            .layers
+            .iter()
+            .map(|l| l.biases.len())
+            .chain([fixed.inputs])
+            .max()
+            .unwrap_or(0);
+        Self {
+            cur: Vec::with_capacity(widest),
+            next: Vec::with_capacity(widest),
+        }
+    }
+}
+
 impl FixedMlp {
     /// Quantizes a trained floating-point network into this datapath.
     pub fn quantize(mlp: &Mlp, format: QFormat) -> Self {
@@ -187,19 +218,53 @@ impl FixedMlp {
     ///
     /// Returns [`NpuError::DimensionMismatch`] on input length mismatch.
     pub fn run(&self, input: &[f32]) -> Result<Vec<f32>> {
+        let mut out = Vec::new();
+        self.run_into(input, &mut out, &mut FixedScratch::new())?;
+        Ok(out)
+    }
+
+    /// [`run`](Self::run) through caller-owned buffers — the hot-path
+    /// form the fault re-profiling loop uses, performing no allocation
+    /// with a presized [`FixedScratch`].
+    ///
+    /// The accumulation interleaves four partial sums per neuron, but
+    /// integer addition is associative, so — unlike the float datapath —
+    /// this is bit-exact against the plain sequential sum on every
+    /// backend and needs no opt-in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NpuError::DimensionMismatch`] on input length mismatch.
+    pub fn run_into(
+        &self,
+        input: &[f32],
+        output: &mut Vec<f32>,
+        scratch: &mut FixedScratch,
+    ) -> Result<()> {
         if input.len() != self.inputs {
             return Err(NpuError::DimensionMismatch {
                 expected: self.inputs,
                 actual: input.len(),
             });
         }
-        let mut current: Vec<i32> = input.iter().map(|&v| self.format.quantize(v)).collect();
+        scratch.cur.clear();
+        scratch
+            .cur
+            .extend(input.iter().map(|&v| self.format.quantize(v)));
         for layer in &self.layers {
-            let mut next = Vec::with_capacity(layer.biases.len());
+            scratch.next.clear();
             for n in 0..layer.biases.len() {
                 let row = &layer.weights[n * layer.fan_in..(n + 1) * layer.fan_in];
-                let mut acc = i64::from(layer.biases[n]);
-                for (w, x) in row.iter().zip(&current) {
+                let mut accs = [0i64, 0, 0, 0];
+                let mut quads = row.chunks_exact(4);
+                let mut inputs = scratch.cur.chunks_exact(4);
+                for (w, x) in quads.by_ref().zip(inputs.by_ref()) {
+                    for k in 0..4 {
+                        accs[k] += self.format.mul(w[k], x[k]);
+                    }
+                }
+                let mut acc = i64::from(layer.biases[n]) + accs[0] + accs[1] + accs[2] + accs[3];
+                for (w, x) in quads.remainder().iter().zip(inputs.remainder()) {
                     acc += self.format.mul(*w, *x);
                 }
                 let acc = self.format.saturate(acc);
@@ -209,11 +274,13 @@ impl FixedMlp {
                         .quantize(self.lut.eval(self.format.dequantize(acc))),
                     Activation::Linear => acc,
                 };
-                next.push(v);
+                scratch.next.push(v);
             }
-            current = next;
+            std::mem::swap(&mut scratch.cur, &mut scratch.next);
         }
-        Ok(current.iter().map(|&v| self.format.dequantize(v)).collect())
+        output.clear();
+        output.extend(scratch.cur.iter().map(|&v| self.format.dequantize(v)));
+        Ok(())
     }
 
     /// The sigmoid LUT, for fault plans corrupting its entries.

@@ -54,6 +54,7 @@ pub mod cost;
 pub mod fault;
 pub mod fifo;
 pub mod fixed;
+pub mod kernel;
 pub mod mlp;
 pub mod pe;
 pub mod simulator;
@@ -70,6 +71,7 @@ pub type Result<T> = std::result::Result<T, NpuError>;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use crate::cost::{InvocationCost, NpuCostModel};
+    pub use crate::kernel::KernelBackend;
     pub use crate::mlp::{Activation, Mlp};
     pub use crate::topology::Topology;
     pub use crate::train::{Normalizer, Trainer};

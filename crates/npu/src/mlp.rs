@@ -4,6 +4,7 @@
 //! same order the PE array streams them — so the forward pass is a plain
 //! sequence of dot products.
 
+use crate::kernel::{self, KernelBackend, LANES};
 use crate::topology::Topology;
 use crate::{NpuError, Result};
 use serde::{Deserialize, Serialize};
@@ -93,10 +94,12 @@ impl Layer {
 ///
 /// One scratch adapts to any network — buffers are resized to each
 /// topology on use — but buffers only stop reallocating once they have
-/// seen the widest layer, so keep one scratch per thread and reuse it.
-/// After a forward pass the scratch retains every layer's activations
-/// (slot 0 is a copy of the input), which is exactly the trace
-/// backpropagation consumes.
+/// seen the widest layer, so prefer [`ForwardScratch::for_topology`],
+/// which presizes every buffer so no allocation happens after
+/// construction (pinned by `tests/alloc_free.rs`). Keep one scratch per
+/// thread and reuse it. After a forward pass the scratch retains every
+/// layer's activations (slot 0 is a copy of the input), which is
+/// exactly the trace backpropagation consumes.
 #[derive(Debug, Clone, Default)]
 pub struct ForwardScratch {
     /// `activations[0]` is the input copy; `activations[l + 1]` is the
@@ -110,10 +113,57 @@ impl ForwardScratch {
         Self::default()
     }
 
+    /// Creates a scratch presized for `topology`, so no buffer ever
+    /// reallocates — on either backend — once construction returns.
+    pub fn for_topology(topology: &Topology) -> Self {
+        let shape = topology.layers();
+        Self {
+            activations: shape.iter().map(|&w| Vec::with_capacity(w)).collect(),
+        }
+    }
+
     /// The activations at network level `l` after a forward pass
     /// (0 = the input copy, layer count = the output).
     pub(crate) fn activation(&self, l: usize) -> &[f32] {
         &self.activations[l]
+    }
+}
+
+/// Reusable buffers for the batched forward pass
+/// ([`Mlp::forward_batch_into`]): two tile ping-pong buffers for the
+/// SIMD backend and two per-sample layer buffers for the scalar
+/// reference. [`BatchScratch::for_topology`] presizes everything.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    tile_a: Vec<f32>,
+    tile_b: Vec<f32>,
+    cur: Vec<f32>,
+    next: Vec<f32>,
+}
+
+impl BatchScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a scratch presized for `topology`, so no buffer ever
+    /// reallocates once construction returns.
+    pub fn for_topology(topology: &Topology) -> Self {
+        let widest = topology.layers().iter().copied().max().unwrap_or(0);
+        Self {
+            tile_a: vec![0.0; widest * LANES],
+            tile_b: vec![0.0; widest * LANES],
+            cur: Vec::with_capacity(widest),
+            next: Vec::with_capacity(widest),
+        }
+    }
+
+    fn ensure(&mut self, widest: usize) {
+        if self.tile_a.len() < widest * LANES {
+            self.tile_a.resize(widest * LANES, 0.0);
+            self.tile_b.resize(widest * LANES, 0.0);
+        }
     }
 }
 
@@ -296,6 +346,210 @@ impl Mlp {
             .activations
             .last()
             .expect("seeded with the input above"))
+    }
+
+    /// Backend-dispatched [`forward_into`]: `Scalar` runs the bit-exact
+    /// reference path; `Simd` runs the single-lane kernel
+    /// ([`kernel::layer_forward_lane`]), which replicates a tile lane's
+    /// exact operation sequence and is therefore bit-identical to the
+    /// same sample inside a full [`forward_batch_into_with`] tile
+    /// (per-lane independence — see [`crate::kernel`]) without paying
+    /// for seven padding lanes. Both paths leave the full activation
+    /// trace in `scratch`.
+    ///
+    /// [`forward_into`]: Self::forward_into
+    /// [`forward_batch_into`]: Self::forward_batch_into
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NpuError::DimensionMismatch`] if `input` does not match
+    /// the input layer width.
+    pub fn forward_into_with<'s>(
+        &self,
+        backend: KernelBackend,
+        input: &[f32],
+        scratch: &'s mut ForwardScratch,
+    ) -> Result<&'s [f32]> {
+        match backend {
+            KernelBackend::Scalar => self.forward_into(input, scratch),
+            KernelBackend::Simd => {
+                if input.len() != self.topology.inputs() {
+                    return Err(NpuError::DimensionMismatch {
+                        expected: self.topology.inputs(),
+                        actual: input.len(),
+                    });
+                }
+                scratch
+                    .activations
+                    .resize_with(self.layers.len() + 1, Vec::new);
+                scratch.activations[0].clear();
+                scratch.activations[0].extend_from_slice(input);
+                for (l, layer) in self.layers.iter().enumerate() {
+                    let fan_out = layer.biases.len();
+                    let (prev, next) = scratch.activations.split_at_mut(l + 1);
+                    next[0].clear();
+                    next[0].resize(fan_out, 0.0);
+                    kernel::layer_forward_lane(
+                        &layer.weights,
+                        &layer.biases,
+                        layer.fan_in,
+                        layer.activation,
+                        &prev[l],
+                        &mut next[0],
+                    );
+                }
+                Ok(scratch
+                    .activations
+                    .last()
+                    .expect("seeded with the input above"))
+            }
+        }
+    }
+
+    /// Batched matrix–matrix forward on the **scalar reference** path:
+    /// `inputs` holds `count` samples concatenated sample-major, and
+    /// `outputs` receives the `count` output vectors in the same layout.
+    /// Arithmetic is exactly a per-invocation [`run_into`] loop — same
+    /// operation order per sample, bit-identical — with the per-layer
+    /// buffers reused from `scratch` instead of reallocated.
+    ///
+    /// [`run_into`]: Self::run_into
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NpuError::DimensionMismatch`] if `inputs` is not
+    /// `count` input-layer widths long.
+    pub fn forward_batch_into(
+        &self,
+        inputs: &[f32],
+        count: usize,
+        outputs: &mut Vec<f32>,
+        scratch: &mut BatchScratch,
+    ) -> Result<()> {
+        let in_dim = self.topology.inputs();
+        if inputs.len() != count * in_dim {
+            return Err(NpuError::DimensionMismatch {
+                expected: count * in_dim,
+                actual: inputs.len(),
+            });
+        }
+        outputs.clear();
+        for input in inputs.chunks_exact(in_dim.max(1)).take(count) {
+            scratch.cur.clear();
+            scratch.cur.extend_from_slice(input);
+            for layer in &self.layers {
+                layer.forward_into(&scratch.cur, &mut scratch.next);
+                std::mem::swap(&mut scratch.cur, &mut scratch.next);
+            }
+            outputs.extend_from_slice(&scratch.cur);
+        }
+        Ok(())
+    }
+
+    /// Backend-dispatched [`forward_batch_into`]. The `Simd` backend
+    /// packs [`LANES`] samples per tile (the last tile zero-padded) and
+    /// amortizes one weight traversal across all of them; each sample's
+    /// result is bit-identical to [`forward_into_with`] on the same
+    /// backend.
+    ///
+    /// [`forward_batch_into`]: Self::forward_batch_into
+    /// [`forward_into_with`]: Self::forward_into_with
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NpuError::DimensionMismatch`] if `inputs` is not
+    /// `count` input-layer widths long.
+    pub fn forward_batch_into_with(
+        &self,
+        backend: KernelBackend,
+        inputs: &[f32],
+        count: usize,
+        outputs: &mut Vec<f32>,
+        scratch: &mut BatchScratch,
+    ) -> Result<()> {
+        match backend {
+            KernelBackend::Scalar => self.forward_batch_into(inputs, count, outputs, scratch),
+            KernelBackend::Simd => {
+                let in_dim = self.topology.inputs();
+                let out_dim = self.topology.outputs();
+                if inputs.len() != count * in_dim {
+                    return Err(NpuError::DimensionMismatch {
+                        expected: count * in_dim,
+                        actual: inputs.len(),
+                    });
+                }
+                scratch.ensure(self.widest());
+                outputs.clear();
+                outputs.resize(count * out_dim, 0.0);
+                for group in 0..count.div_ceil(LANES) {
+                    let base = group * LANES;
+                    let lanes = LANES.min(count - base);
+                    if lanes <= kernel::LANE_REMAINDER_CUTOFF {
+                        // A thin remainder group: a padded tile would
+                        // spend most of its lanes on zeros, so each
+                        // sample runs the single-lane kernel instead —
+                        // bit-identical to its lane in a padded tile.
+                        for l in 0..lanes {
+                            let sample = &inputs[(base + l) * in_dim..(base + l + 1) * in_dim];
+                            scratch.tile_a[..in_dim].copy_from_slice(sample);
+                            for layer in &self.layers {
+                                let fan_out = layer.biases.len();
+                                kernel::layer_forward_lane(
+                                    &layer.weights,
+                                    &layer.biases,
+                                    layer.fan_in,
+                                    layer.activation,
+                                    &scratch.tile_a[..layer.fan_in],
+                                    &mut scratch.tile_b[..fan_out],
+                                );
+                                std::mem::swap(&mut scratch.tile_a, &mut scratch.tile_b);
+                            }
+                            outputs[(base + l) * out_dim..(base + l + 1) * out_dim]
+                                .copy_from_slice(&scratch.tile_a[..out_dim]);
+                        }
+                        continue;
+                    }
+                    for i in 0..in_dim {
+                        let tile = &mut scratch.tile_a[i * LANES..(i + 1) * LANES];
+                        for (l, t) in tile.iter_mut().enumerate() {
+                            *t = if l < lanes {
+                                inputs[(base + l) * in_dim + i]
+                            } else {
+                                0.0
+                            };
+                        }
+                    }
+                    for layer in &self.layers {
+                        let fan_out = layer.biases.len();
+                        kernel::layer_forward_tile(
+                            &layer.weights,
+                            &layer.biases,
+                            layer.fan_in,
+                            layer.activation,
+                            &scratch.tile_a[..layer.fan_in * LANES],
+                            &mut scratch.tile_b[..fan_out * LANES],
+                        );
+                        std::mem::swap(&mut scratch.tile_a, &mut scratch.tile_b);
+                    }
+                    for n in 0..out_dim {
+                        for l in 0..lanes {
+                            outputs[(base + l) * out_dim + n] = scratch.tile_a[n * LANES + l];
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Width of the widest level (input, hidden or output).
+    pub(crate) fn widest(&self) -> usize {
+        self.topology
+            .layers()
+            .iter()
+            .copied()
+            .max()
+            .expect("a topology has at least two levels")
     }
 
     pub(crate) fn layers_mut(&mut self) -> &mut [Layer] {

@@ -7,6 +7,7 @@
 //! momentum on mean-squared error, plus the input/output normalization the
 //! NPU compiler applies so sigmoid layers see well-scaled values.
 
+use crate::kernel::{self, KernelBackend, LANES};
 use crate::mlp::{Activation, ForwardScratch, Mlp};
 use crate::topology::Topology;
 use crate::{NpuError, Result};
@@ -119,13 +120,18 @@ impl Normalizer {
 }
 
 /// Preallocated training buffers: forward activations, per-layer error
-/// terms, gradient accumulators, and the transposed weight copies the
-/// backward pass streams.
+/// terms, gradient accumulators, the transposed weight copies the
+/// backward pass streams, and — for the SIMD backend — the
+/// lane-per-sample tile mirrors of all of the above.
 ///
-/// One instance is created per [`Trainer::train`] call and reused across
-/// every example, batch and epoch, so the inner SGD loop performs no
-/// allocation at all.
-struct TrainScratch {
+/// [`Trainer::train`] creates one per call via
+/// [`TrainScratch::for_topology`] and reuses it across every example,
+/// batch and epoch, so the inner SGD loop performs no allocation at all
+/// (pinned by `tests/alloc_free.rs`). Callers that train repeatedly can
+/// hold their own scratch and pass it to
+/// [`Trainer::train_with_scratch`].
+#[derive(Debug, Clone, Default)]
+pub struct TrainScratch {
     fwd: ForwardScratch,
     /// `delta[l]` holds layer `l`'s error terms during backpropagation.
     delta: Vec<Vec<f32>>,
@@ -138,38 +144,89 @@ struct TrainScratch {
     /// across rows. Layer 0 never propagates further; its slot stays
     /// empty.
     wt: Vec<Vec<f32>>,
+    /// SIMD tile state, [`LANES`] samples wide: `act8[lvl]` are the
+    /// activation tiles per network level, `delta8[l]` the error-term
+    /// tiles, and `w_grad8`/`b_grad8` lane-resolved gradient
+    /// accumulators reduced in ascending-lane order at each batch end.
+    act8: Vec<Vec<f32>>,
+    delta8: Vec<Vec<f32>>,
+    w_grad8: Vec<Vec<f32>>,
+    b_grad8: Vec<Vec<f32>>,
 }
 
 impl TrainScratch {
-    fn for_network(mlp: &Mlp) -> Self {
-        let layers = mlp.layers();
+    /// Creates an empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a scratch presized for `topology` — on either backend no
+    /// buffer reallocates once construction returns.
+    pub fn for_topology(topology: &Topology) -> Self {
+        let shape = topology.layers();
+        let layer = |l: usize| (shape[l], shape[l + 1]);
+        let per_layer = 0..shape.len() - 1;
         Self {
-            fwd: ForwardScratch::new(),
-            delta: layers
-                .iter()
-                .map(|l| Vec::with_capacity(l.biases.len()))
+            fwd: ForwardScratch::for_topology(topology),
+            delta: per_layer
+                .clone()
+                .map(|l| Vec::with_capacity(layer(l).1))
                 .collect(),
-            w_grad: layers.iter().map(|l| vec![0.0; l.weights.len()]).collect(),
-            b_grad: layers.iter().map(|l| vec![0.0; l.biases.len()]).collect(),
-            wt: layers
-                .iter()
-                .enumerate()
-                .map(|(l, layer)| {
+            w_grad: per_layer
+                .clone()
+                .map(|l| vec![0.0; layer(l).0 * layer(l).1])
+                .collect(),
+            b_grad: per_layer.clone().map(|l| vec![0.0; layer(l).1]).collect(),
+            wt: per_layer
+                .clone()
+                .map(|l| {
                     if l == 0 {
                         Vec::new()
                     } else {
-                        let fan_in = layer.fan_in;
-                        let fan_out = layer.biases.len();
-                        let mut wt = vec![0.0; layer.weights.len()];
-                        for n in 0..fan_out {
-                            for i in 0..fan_in {
-                                wt[i * fan_out + n] = layer.weights[n * fan_in + i];
-                            }
-                        }
-                        wt
+                        vec![0.0; layer(l).0 * layer(l).1]
                     }
                 })
                 .collect(),
+            act8: shape.iter().map(|&w| vec![0.0; w * LANES]).collect(),
+            delta8: per_layer
+                .clone()
+                .map(|l| vec![0.0; layer(l).1 * LANES])
+                .collect(),
+            w_grad8: per_layer
+                .clone()
+                .map(|l| vec![0.0; layer(l).0 * layer(l).1 * LANES])
+                .collect(),
+            b_grad8: per_layer.map(|l| vec![0.0; layer(l).1 * LANES]).collect(),
+        }
+    }
+
+    /// Rebuilds the scratch if it was not sized for `topology`.
+    fn ensure(&mut self, topology: &Topology) {
+        let shape = topology.layers();
+        let fits = self.w_grad.len() == shape.len() - 1
+            && self
+                .w_grad
+                .iter()
+                .enumerate()
+                .all(|(l, g)| g.len() == shape[l] * shape[l + 1])
+            && self.act8.len() == shape.len();
+        if !fits {
+            *self = Self::for_topology(topology);
+        }
+    }
+
+    /// Refills the transposed weight mirrors from `mlp` (after
+    /// initialization; updates keep them in sync incrementally).
+    fn sync_weights(&mut self, mlp: &Mlp) {
+        for (l, layer) in mlp.layers().iter().enumerate().skip(1) {
+            let fan_in = layer.fan_in;
+            let fan_out = layer.biases.len();
+            let wt = &mut self.wt[l];
+            for n in 0..fan_out {
+                for i in 0..fan_in {
+                    wt[i * fan_out + n] = layer.weights[n * fan_in + i];
+                }
+            }
         }
     }
 }
@@ -189,6 +246,7 @@ pub struct Trainer {
     seed: u64,
     output_activation: Activation,
     target_mse: Option<f32>,
+    kernel: KernelBackend,
 }
 
 impl Trainer {
@@ -205,6 +263,7 @@ impl Trainer {
             seed: 0x4D49_5448,
             output_activation: Activation::Linear,
             target_mse: None,
+            kernel: KernelBackend::Scalar,
         }
     }
 
@@ -252,6 +311,18 @@ impl Trainer {
         self
     }
 
+    /// Selects the arithmetic backend for the inner SGD loops. The
+    /// default [`KernelBackend::Scalar`] is the bit-reproducible
+    /// reference; [`KernelBackend::Simd`] runs the lane-per-sample tile
+    /// kernels (see [`crate::kernel`]) — deterministic for a fixed seed
+    /// and identical across machines, but not bit-equal to the
+    /// reference. RNG consumption (initialization, shuffles) is
+    /// identical on both backends.
+    pub fn kernel(&mut self, backend: KernelBackend) -> &mut Self {
+        self.kernel = backend;
+        self
+    }
+
     /// Trains a network on `(input, target)` pairs in *normalized* space —
     /// the caller is responsible for normalization (see
     /// [`train_normalized`](Self::train) vs the usual flow in
@@ -263,6 +334,25 @@ impl Trainer {
     /// [`NpuError::DimensionMismatch`] if any pair disagrees with the
     /// topology.
     pub fn train(&self, samples: &[(Vec<f32>, Vec<f32>)]) -> Result<Mlp> {
+        let mut scratch = TrainScratch::for_topology(&self.topology);
+        self.train_with_scratch(samples, &mut scratch)
+    }
+
+    /// [`train`](Self::train) with caller-owned scratch buffers, for
+    /// callers that train many networks of the same topology and want
+    /// zero allocation per call beyond the returned network. A scratch
+    /// sized for a different topology is rebuilt transparently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NpuError::InvalidTrainingSet`] if `samples` is empty, or
+    /// [`NpuError::DimensionMismatch`] if any pair disagrees with the
+    /// topology.
+    pub fn train_with_scratch(
+        &self,
+        samples: &[(Vec<f32>, Vec<f32>)],
+        scratch: &mut TrainScratch,
+    ) -> Result<Mlp> {
         if samples.is_empty() {
             return Err(NpuError::InvalidTrainingSet {
                 reason: "no samples",
@@ -298,20 +388,20 @@ impl Trainer {
             .map(|l| vec![0.0; l.biases.len()])
             .collect();
 
-        let mut scratch = TrainScratch::for_network(&mlp);
+        scratch.ensure(&self.topology);
+        scratch.sync_weights(&mlp);
         let mut order: Vec<usize> = (0..samples.len()).collect();
         for _epoch in 0..self.epochs {
             order.shuffle(&mut rng);
             let mut epoch_sse = 0.0f64;
             for batch in order.chunks(self.batch_size) {
-                epoch_sse += self.sgd_step(
-                    &mut mlp,
-                    samples,
-                    batch,
-                    &mut w_vel,
-                    &mut b_vel,
-                    &mut scratch,
-                );
+                epoch_sse += match self.kernel {
+                    KernelBackend::Scalar => {
+                        self.sgd_step(&mut mlp, samples, batch, &mut w_vel, &mut b_vel, scratch)
+                    }
+                    KernelBackend::Simd => self
+                        .sgd_step_simd(&mut mlp, samples, batch, &mut w_vel, &mut b_vel, scratch),
+                };
             }
             let mse = epoch_sse / (samples.len() * self.topology.outputs()) as f64;
             if let Some(target) = self.target_mse {
@@ -448,7 +538,139 @@ impl Trainer {
             }
         }
 
-        let scale = self.learning_rate / batch.len() as f32;
+        self.apply_update(mlp, batch.len(), w_vel, b_vel, scratch);
+        sse
+    }
+
+    /// One minibatch step on the SIMD backend; returns the batch's
+    /// summed squared error.
+    ///
+    /// Samples run [`LANES`] at a time through lane-per-sample tiles
+    /// (see [`crate::kernel`]); a partial final group zero-pads its
+    /// spare lanes, whose output deltas are forced to zero so every
+    /// gradient contribution from a padding lane is an exact zero.
+    /// Gradients accumulate lane-resolved across the whole batch and are
+    /// reduced once, in ascending lane order, before the same momentum
+    /// update as the scalar step — so for a fixed seed the result is
+    /// deterministic, merely not bit-equal to the reference order.
+    fn sgd_step_simd(
+        &self,
+        mlp: &mut Mlp,
+        samples: &[(Vec<f32>, Vec<f32>)],
+        batch: &[usize],
+        w_vel: &mut [Vec<f32>],
+        b_vel: &mut [Vec<f32>],
+        scratch: &mut TrainScratch,
+    ) -> f64 {
+        let n_layers = mlp.layers().len();
+        let in_dim = self.topology.inputs();
+        let out_dim = self.topology.outputs();
+        for g in scratch.w_grad8.iter_mut() {
+            g.fill(0.0);
+        }
+        for g in scratch.b_grad8.iter_mut() {
+            g.fill(0.0);
+        }
+        let mut sse = 0.0f64;
+
+        for group in batch.chunks(LANES) {
+            let lanes = group.len();
+            let input_tile = &mut scratch.act8[0];
+            for i in 0..in_dim {
+                let tile = &mut input_tile[i * LANES..(i + 1) * LANES];
+                for (l, t) in tile.iter_mut().enumerate() {
+                    *t = if l < lanes {
+                        samples[group[l]].0[i]
+                    } else {
+                        0.0
+                    };
+                }
+            }
+            for (l, layer) in mlp.layers().iter().enumerate() {
+                let (prev, next) = scratch.act8.split_at_mut(l + 1);
+                kernel::layer_forward_tile(
+                    &layer.weights,
+                    &layer.biases,
+                    layer.fan_in,
+                    layer.activation,
+                    &prev[l],
+                    &mut next[0],
+                );
+            }
+
+            let out_activation = mlp.layers()[n_layers - 1].activation;
+            let out_tile = &scratch.act8[n_layers];
+            let out_delta = &mut scratch.delta8[n_layers - 1];
+            for n in 0..out_dim {
+                for l in 0..LANES {
+                    let idx = n * LANES + l;
+                    out_delta[idx] = if l < lanes {
+                        let o = out_tile[idx];
+                        let err = o - samples[group[l]].1[n];
+                        sse += f64::from(err) * f64::from(err);
+                        err * out_activation.derivative_from_output(o)
+                    } else {
+                        0.0
+                    };
+                }
+            }
+
+            for l in (0..n_layers).rev() {
+                let fan_in = mlp.layers()[l].fan_in;
+                kernel::grad_accum_tile(
+                    &scratch.delta8[l],
+                    fan_in,
+                    &scratch.act8[l],
+                    &mut scratch.w_grad8[l],
+                    &mut scratch.b_grad8[l],
+                );
+                if l > 0 {
+                    let fan_out = mlp.layers()[l].biases.len();
+                    let prev_activation = mlp.layers()[l - 1].activation;
+                    let (lower, upper) = scratch.delta8.split_at_mut(l);
+                    kernel::backprop_delta_tile(
+                        &scratch.wt[l],
+                        fan_out,
+                        &upper[0],
+                        &scratch.act8[l],
+                        prev_activation,
+                        &mut lower[l - 1],
+                    );
+                }
+            }
+        }
+
+        for l in 0..n_layers {
+            for (g, lane_accs) in scratch.w_grad[l]
+                .iter_mut()
+                .zip(scratch.w_grad8[l].chunks_exact(LANES))
+            {
+                *g = lane_accs.iter().sum();
+            }
+            for (g, lane_accs) in scratch.b_grad[l]
+                .iter_mut()
+                .zip(scratch.b_grad8[l].chunks_exact(LANES))
+            {
+                *g = lane_accs.iter().sum();
+            }
+        }
+        self.apply_update(mlp, batch.len(), w_vel, b_vel, scratch);
+        sse
+    }
+
+    /// Applies the accumulated batch gradients with momentum — shared
+    /// verbatim by both backends, so the scalar path's bit-exact update
+    /// order is untouched.
+    fn apply_update(
+        &self,
+        mlp: &mut Mlp,
+        batch_len: usize,
+        w_vel: &mut [Vec<f32>],
+        b_vel: &mut [Vec<f32>],
+        scratch: &mut TrainScratch,
+    ) {
+        let n_layers = mlp.layers().len();
+        let scale = self.learning_rate / batch_len as f32;
         for l in 0..n_layers {
             let layer = &mut mlp.layers_mut()[l];
             let fan_in = layer.fan_in;
@@ -482,7 +704,6 @@ impl Trainer {
                 layer.biases[n] += *v;
             }
         }
-        sse
     }
 }
 

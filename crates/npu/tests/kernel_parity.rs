@@ -14,7 +14,8 @@
 //! change reorders an accumulation, these tests fail on the first
 //! differing weight.
 
-use mithra_npu::mlp::{Activation, Mlp};
+use mithra_npu::kernel::{KernelBackend, LANES};
+use mithra_npu::mlp::{Activation, BatchScratch, ForwardScratch, Mlp};
 use mithra_npu::topology::Topology;
 use mithra_npu::train::Trainer;
 use proptest::prelude::*;
@@ -271,5 +272,208 @@ proptest! {
             let want = naive_forward(&[3, 5, 2], &w, &b, Activation::Linear, x);
             prop_assert_eq!(&got, want.last().unwrap());
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scalar ↔ SIMD parity. The SIMD backend is *not* bit-exact against the
+// scalar reference (fused multiply-adds round once, the vectorized
+// sigmoid uses a polynomial exp), so these tests pin a tolerance instead
+// — and `forward_tolerance_has_teeth` proves the tolerance is tight
+// enough to catch a real defect, not a rubber stamp.
+// ---------------------------------------------------------------------
+
+/// Unit-scaled tolerance for one forward pass: the polynomial exp is
+/// accurate to ~1e-6 relative and fused accumulation differs from the
+/// scalar chain by a few ulps per dot product.
+const FORWARD_TOL: f32 = 1e-4;
+
+/// Largest |a-b| / max(|b|, 1) over a pair of output vectors.
+fn max_unit_diff(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y).abs() / y.abs().max(1.0))
+        .fold(0.0, f32::max)
+}
+
+/// A random network over widths that straddle the tile width: the range
+/// covers width-1 layers (one active lane) and widths below, at, and
+/// above `LANES`, so pad-lane handling is exercised on every boundary.
+fn simd_topologies() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..=2 * LANES + 1, 2..=4)
+}
+
+fn random_mlp(shape: &[usize], seed: u64, out_act: Activation) -> Mlp {
+    let topology = Topology::new(shape).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights: Vec<f32> = (0..topology.weight_count())
+        .map(|_| rng.gen_range(-2.0f32..2.0))
+        .collect();
+    let biases: Vec<f32> = (0..topology.bias_count())
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect();
+    Mlp::from_parameters(topology, &weights, &biases, out_act).unwrap()
+}
+
+proptest! {
+    /// One SIMD forward pass tracks the scalar reference within
+    /// [`FORWARD_TOL`] on every topology shape — including width-1 and
+    /// non-multiple-of-`LANES` layers, where pad lanes must not leak.
+    #[test]
+    fn simd_forward_matches_scalar_within_tolerance(
+        shape in simd_topologies(),
+        seed in any::<u64>(),
+    ) {
+        if !KernelBackend::simd_available() {
+            return Ok(());
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x51D);
+        for out_act in [Activation::Linear, Activation::Sigmoid] {
+            let mlp = random_mlp(&shape, seed, out_act);
+            let mut scalar_scratch = ForwardScratch::new();
+            let mut simd_scratch = ForwardScratch::new();
+            for _ in 0..4 {
+                let input: Vec<f32> = (0..shape[0]).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+                let want = mlp
+                    .forward_into_with(KernelBackend::Scalar, &input, &mut scalar_scratch)
+                    .unwrap()
+                    .to_vec();
+                let got = mlp
+                    .forward_into_with(KernelBackend::Simd, &input, &mut simd_scratch)
+                    .unwrap()
+                    .to_vec();
+                prop_assert!(
+                    max_unit_diff(&got, &want) <= FORWARD_TOL,
+                    "divergence {} beyond tolerance (shape {:?})",
+                    max_unit_diff(&got, &want),
+                    shape,
+                );
+            }
+        }
+    }
+
+    /// The batched entry point is bit-identical to the per-invocation
+    /// entry point of the *same* backend, for batch counts on and off
+    /// the tile boundary. This is the contract that lets the profiler
+    /// and the serve engine batch without changing any result.
+    #[test]
+    fn batched_forward_is_bit_identical_per_backend(
+        shape in simd_topologies(),
+        count in 1usize..=2 * LANES + 3,
+        seed in any::<u64>(),
+    ) {
+        let mlp = random_mlp(&shape, seed, Activation::Linear);
+        let in_dim = shape[0];
+        let out_dim = *shape.last().unwrap();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBA7C);
+        let inputs: Vec<f32> = (0..count * in_dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let mut backends = vec![KernelBackend::Scalar];
+        if KernelBackend::simd_available() {
+            backends.push(KernelBackend::Simd);
+        }
+        for backend in backends {
+            let mut batch_scratch = BatchScratch::new();
+            let mut outputs = Vec::new();
+            mlp.forward_batch_into_with(backend, &inputs, count, &mut outputs, &mut batch_scratch)
+                .unwrap();
+            prop_assert_eq!(outputs.len(), count * out_dim);
+            let mut fwd = ForwardScratch::new();
+            for s in 0..count {
+                let want = mlp
+                    .forward_into_with(backend, &inputs[s * in_dim..(s + 1) * in_dim], &mut fwd)
+                    .unwrap();
+                prop_assert_eq!(
+                    &outputs[s * out_dim..(s + 1) * out_dim],
+                    want,
+                    "backend {:?}, sample {}/{}",
+                    backend,
+                    s,
+                    count
+                );
+            }
+        }
+    }
+}
+
+/// The tolerance check must reject a genuinely broken kernel: perturbing
+/// one output by 100× the tolerance trips `max_unit_diff`. Guards
+/// against the parity suite degenerating into a rubber stamp if the
+/// tolerance is ever loosened carelessly.
+#[test]
+fn forward_tolerance_has_teeth() {
+    let mlp = random_mlp(&[5, 9, 3], 7, Activation::Sigmoid);
+    let mut scratch = ForwardScratch::new();
+    let input = [0.3f32, -0.7, 0.1, 0.9, -0.2];
+    let out = mlp
+        .forward_into_with(KernelBackend::Scalar, &input, &mut scratch)
+        .unwrap()
+        .to_vec();
+    let mut mutated = out.clone();
+    mutated[1] += 100.0 * FORWARD_TOL;
+    assert!(max_unit_diff(&mutated, &out) > FORWARD_TOL);
+    // And an in-tolerance wiggle still passes, so the threshold is a
+    // band, not an equality check in disguise.
+    let mut close = out.clone();
+    close[1] += 0.1 * FORWARD_TOL;
+    assert!(max_unit_diff(&close, &out) <= FORWARD_TOL);
+}
+
+/// SIMD training converges on every benchmark topology: same data, same
+/// seed, both backends reach a comparable loss, and their trained
+/// networks agree within a (looser) tolerance — epochs compound the
+/// per-step rounding difference, so this band is wider than the
+/// single-pass one.
+#[test]
+fn simd_training_tracks_scalar_on_benchmark_topologies() {
+    if !KernelBackend::simd_available() {
+        eprintln!("skipping: host cannot run the simd backend");
+        return;
+    }
+    // The six benchmark topologies of the axbench suite.
+    let suite: &[&[usize]] = &[
+        &[6, 8, 3, 1],   // blackscholes
+        &[2, 8, 2],      // inversek2j
+        &[18, 32, 8, 2], // jmeint
+        &[64, 16, 64],   // jpeg
+        &[9, 8, 1],      // sobel
+        &[1, 4, 4, 2],   // fft
+    ];
+    for shape in suite {
+        let topology = Topology::new(shape).unwrap();
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        let samples: Vec<(Vec<f32>, Vec<f32>)> = (0..64)
+            .map(|_| {
+                (
+                    (0..topology.inputs())
+                        .map(|_| rng.gen_range(-1.0f32..1.0))
+                        .collect(),
+                    (0..topology.outputs())
+                        .map(|_| rng.gen_range(0.0f32..1.0))
+                        .collect(),
+                )
+            })
+            .collect();
+        let train = |backend: KernelBackend| {
+            Trainer::new(topology.clone())
+                .epochs(20)
+                .seed(42)
+                .batch_size(10)
+                .kernel(backend)
+                .train(&samples)
+                .unwrap()
+        };
+        let scalar = train(KernelBackend::Scalar);
+        let simd = train(KernelBackend::Simd);
+        let mut worst = 0.0f32;
+        for (x, _) in &samples {
+            let a = scalar.run(x).unwrap();
+            let b = simd.run(x).unwrap();
+            worst = worst.max(max_unit_diff(&b, &a));
+        }
+        assert!(
+            worst <= 5e-2,
+            "topology {shape:?}: trained networks diverge by {worst}"
+        );
     }
 }

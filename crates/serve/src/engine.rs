@@ -27,6 +27,7 @@ use crate::metrics::{
 };
 use crate::queue::{BoundedQueue, PushError};
 use mithra_core::classifier::{Classifier, Decision};
+use mithra_core::function::InvokeScratch;
 use mithra_core::profile::default_threads;
 use mithra_core::route::{RouteChoice, RouteClassifier};
 use mithra_core::table::TableClassifier;
@@ -100,6 +101,16 @@ struct WorkerCtx {
     out: Vec<f32>,
     /// Scratch for [`EndpointState::fill_slots`] freshness flags.
     fresh: Vec<bool>,
+    /// Persistent accelerator scratch: one set of buffers per worker per
+    /// endpoint, so the serve hot loop allocates nothing per invocation.
+    scratch: InvokeScratch,
+    /// Decision per request of the current sub-batch, aligned with the
+    /// request slice: `(decision, shadow_sampled)`.
+    decisions: Vec<(Decision, bool)>,
+    /// Flat input staging for the approximate subset of a sub-batch.
+    batch_in: Vec<f32>,
+    /// Flat accelerator outputs for the approximate subset.
+    batch_out: Vec<f32>,
 }
 
 impl WorkerCtx {
@@ -112,6 +123,10 @@ impl WorkerCtx {
             watchdog: op.watchdog_proto.as_ref().map(QualityWatchdog::fork),
             out: Vec::new(),
             fresh: Vec::new(),
+            scratch: InvokeScratch::new(),
+            decisions: Vec::new(),
+            batch_in: Vec::new(),
+            batch_out: Vec::new(),
             op,
         }
     }
@@ -589,6 +604,13 @@ fn serve_sub_batch(
     // One configuration stream per sub-batch — the per-invocation setup
     // cost batching amortizes.
     delta.config_bursts += ctx.queues.stream_config(&state.config_words) as u64;
+
+    // Pass 1 — decide. Classification, watchdog admission and shadow
+    // sampling are sequential (the watchdog is stateful), and the inputs
+    // the accelerator will run are staged flat, in request order.
+    ctx.decisions.clear();
+    ctx.batch_in.clear();
+    let mut approx_count = 0usize;
     for request in requests {
         let inv = request.invocation;
         let input = state.profile.dataset().input(inv);
@@ -620,15 +642,46 @@ fn serve_sub_batch(
                 }
             }
         }
+        if decision == Decision::Approximate {
+            ctx.batch_in.extend_from_slice(input);
+            approx_count += 1;
+        }
+        ctx.decisions.push((decision, shadow));
+    }
+
+    // Pass 2 — one batched accelerator run over the approximate subset.
+    // Per-sample results are bit-identical to the per-invocation path on
+    // whichever backend the function carries; on the SIMD backend this is
+    // where the lane-parallel tiles earn their keep.
+    let function = &state.compiled.function;
+    if approx_count > 0 {
+        let t0 = std::time::Instant::now();
+        function.approx_batch_with(
+            &ctx.batch_in[..],
+            approx_count,
+            &mut ctx.batch_out,
+            &mut ctx.scratch,
+        );
+        delta.approx_wall_nanos += t0.elapsed().as_nanos() as u64;
+    }
+
+    // Pass 3 — model and charge, in request (FIFO) order.
+    let out_dim = function.benchmark().output_dim();
+    let in_dim = function.benchmark().input_dim();
+    let mut next_approx = 0usize;
+    for (request, &(decision, shadow)) in requests.iter().zip(&ctx.decisions) {
+        let inv = request.invocation;
         let approx = decision == Decision::Approximate;
         if approx {
-            // The real accelerator work: stream operands through the
-            // input FIFO, run the fixed-point network, drain results.
+            // The modeled accelerator traffic: operands stream through
+            // the input FIFO, results drain from the output FIFO.
+            let input = &ctx.batch_in[next_approx * in_dim..(next_approx + 1) * in_dim];
+            let out = &ctx.batch_out[next_approx * out_dim..(next_approx + 1) * out_dim];
             ctx.queues.input.enqueue_slice(input);
             ctx.queues.input.clear();
-            state.compiled.function.approx_into(input, &mut ctx.out);
-            ctx.queues.output.enqueue_slice(&ctx.out);
+            ctx.queues.output.enqueue_slice(out);
             ctx.queues.output.clear();
+            next_approx += 1;
         }
         let charge = state.model.charge(decision, CLEAN_EVENT, shadow);
         pending.push((
@@ -707,11 +760,13 @@ fn serve_sub_batch_routed(state: &EndpointState, ctx: &mut WorkerCtx, requests: 
             // FIFO, the member's fixed-point network, results drained.
             ctx.queues.input.enqueue_slice(input);
             ctx.queues.input.clear();
+            let t0 = std::time::Instant::now();
             routed
                 .routed
                 .pool
                 .member(m)
-                .approx_into(input, &mut ctx.out);
+                .approx_with(input, &mut ctx.out, &mut ctx.scratch);
+            delta.approx_wall_nanos += t0.elapsed().as_nanos() as u64;
             ctx.queues.output.enqueue_slice(&ctx.out);
             ctx.queues.output.clear();
         }

@@ -177,6 +177,12 @@ pub struct EndpointCounters {
     pub duplicates: u64,
     /// Config-FIFO refill bursts (amortized across each batch).
     pub config_bursts: u64,
+    /// Host wall time spent inside the batched accelerator forward
+    /// (`approx_batch_with`), in nanoseconds, summed across sub-batches
+    /// and shards. This isolates the kernel-backend-sensitive segment of
+    /// serving from queue/scheduling overhead, which dwarfs it at the
+    /// suite's topology sizes.
+    pub approx_wall_nanos: u64,
     /// Served requests per pool member, cheapest first — populated only
     /// on routed endpoints (empty on the binary path). When non-empty its
     /// sum must equal `approx`: every accelerated request was served by
@@ -303,6 +309,7 @@ impl EndpointCounters {
         self.rejected_invalid += delta.rejected_invalid;
         self.duplicates += delta.duplicates;
         self.config_bursts += delta.config_bursts;
+        self.approx_wall_nanos += delta.approx_wall_nanos;
         if self.route_served.len() < delta.route_served.len() {
             self.route_served.resize(delta.route_served.len(), 0);
         }

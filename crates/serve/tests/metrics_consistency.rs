@@ -134,6 +134,7 @@ fn counters_from(fields: &[u64]) -> EndpointCounters {
         rejected_invalid: scalars[4],
         duplicates: scalars[5],
         config_bursts: scalars[6],
+        approx_wall_nanos: scalars[1] + scalars[6],
         route_served: vec![scalars[11], scalars[12]],
         epoch_served: vec![scalars[1] + scalars[2]],
         swaps: scalars[6] % 4,
