@@ -39,8 +39,10 @@ pub mod image;
 pub mod inversek2j;
 pub mod jmeint;
 pub mod jpeg;
+pub mod kmeans;
 pub mod pgm;
 pub mod quality;
+pub mod raytrace;
 pub mod sobel;
 pub mod suite;
 

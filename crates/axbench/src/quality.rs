@@ -51,6 +51,12 @@ pub enum QualityMetric {
     MissRate,
     /// Mean absolute pixel difference, normalized to the 0–255 range.
     ImageDiff,
+    /// Fraction of discrete labels (cluster assignments) that differ —
+    /// the k-ary generalization of [`QualityMetric::MissRate`] the
+    /// kmeans workload reports. Labels compare by `round()`, so any
+    /// perturbation below half a label is free and anything across a
+    /// label boundary is a full miss.
+    ClusterMismatch,
 }
 
 impl fmt::Display for QualityMetric {
@@ -59,6 +65,7 @@ impl fmt::Display for QualityMetric {
             QualityMetric::AvgRelativeError => "Avg. Relative Error",
             QualityMetric::MissRate => "Miss Rate",
             QualityMetric::ImageDiff => "Image Diff",
+            QualityMetric::ClusterMismatch => "Cluster Mismatch",
         };
         f.write_str(name)
     }
@@ -143,6 +150,13 @@ impl QualityMetric {
                 }
             }
             QualityMetric::ImageDiff => ((approx - precise).abs() / 255.0).min(1.0),
+            QualityMetric::ClusterMismatch => {
+                if precise.round() == approx.round() {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
         }
     }
 }
@@ -162,6 +176,7 @@ mod tests {
             QualityMetric::AvgRelativeError,
             QualityMetric::MissRate,
             QualityMetric::ImageDiff,
+            QualityMetric::ClusterMismatch,
         ] {
             assert_eq!(m.quality_loss(&v, &v), 0.0, "{m}");
         }
@@ -204,6 +219,21 @@ mod tests {
     }
 
     #[test]
+    fn cluster_mismatch_counts_label_flips() {
+        // Two of four labels flip across a rounding boundary.
+        let p = [0.0, 1.0, 2.0, 3.0];
+        let a = [0.2, 1.6, 2.0, 2.4];
+        assert_eq!(QualityMetric::ClusterMismatch.quality_loss(&p, &a), 0.5);
+    }
+
+    #[test]
+    fn cluster_mismatch_ignores_sub_label_noise() {
+        let p = [0.0, 1.0, 2.0];
+        let a = [0.4, 0.6, 2.4];
+        assert_eq!(QualityMetric::ClusterMismatch.quality_loss(&p, &a), 0.0);
+    }
+
+    #[test]
     fn element_errors_align_with_loss() {
         let p = [1.0, 2.0, 4.0];
         let a = [1.1, 2.0, 4.4];
@@ -225,6 +255,7 @@ mod tests {
             QualityMetric::AvgRelativeError,
             QualityMetric::MissRate,
             QualityMetric::ImageDiff,
+            QualityMetric::ClusterMismatch,
         ] {
             // NaN in the approximate output.
             assert_eq!(m.quality_loss(&[1.0], &[f64::NAN]), 1.0, "{m} approx NaN");
@@ -289,5 +320,9 @@ mod tests {
         );
         assert_eq!(QualityMetric::MissRate.to_string(), "Miss Rate");
         assert_eq!(QualityMetric::ImageDiff.to_string(), "Image Diff");
+        assert_eq!(
+            QualityMetric::ClusterMismatch.to_string(),
+            "Cluster Mismatch"
+        );
     }
 }

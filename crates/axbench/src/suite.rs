@@ -1,4 +1,5 @@
-//! The assembled suite: the paper's six workloads (Table I).
+//! The assembled suite: the paper's six workloads (Table I) plus the
+//! post-paper extension roster.
 
 use crate::benchmark::Benchmark;
 use crate::blackscholes::BlackScholes;
@@ -6,6 +7,8 @@ use crate::fft::Fft;
 use crate::inversek2j::InverseK2J;
 use crate::jmeint::Jmeint;
 use crate::jpeg::Jpeg;
+use crate::kmeans::Kmeans;
+use crate::raytrace::Raytrace;
 use crate::sobel::Sobel;
 
 /// Returns the six paper benchmarks in Table I order.
@@ -31,7 +34,20 @@ pub fn all() -> Vec<Box<dyn Benchmark>> {
     ]
 }
 
-/// Looks a benchmark up by its Table I name.
+/// The extended roster: the paper's six plus the post-paper workloads
+/// (`kmeans`, `raytrace`). [`all`] stays pinned to Table I — every
+/// published figure and the byte-identical `results/*.txt` pins depend
+/// on the six-member default — so experiments opt into the extension
+/// explicitly, either through this roster or `--bench kmeans,raytrace`.
+pub fn extended() -> Vec<Box<dyn Benchmark>> {
+    let mut v = all();
+    v.push(Box::new(Kmeans));
+    v.push(Box::new(Raytrace));
+    v
+}
+
+/// Looks a benchmark up by name — Table I members and the extended
+/// workloads alike.
 pub fn by_name(name: &str) -> Option<Box<dyn Benchmark>> {
     match name {
         "blackscholes" => Some(Box::new(BlackScholes)),
@@ -39,6 +55,8 @@ pub fn by_name(name: &str) -> Option<Box<dyn Benchmark>> {
         "inversek2j" => Some(Box::new(InverseK2J)),
         "jmeint" => Some(Box::new(Jmeint)),
         "jpeg" => Some(Box::new(Jpeg)),
+        "kmeans" => Some(Box::new(Kmeans)),
+        "raytrace" => Some(Box::new(Raytrace)),
         "sobel" => Some(Box::new(Sobel)),
         _ => None,
     }
@@ -56,8 +74,25 @@ mod tests {
     }
 
     #[test]
+    fn extended_roster_appends_new_workloads() {
+        let names: Vec<&str> = extended().iter().map(|b| b.name()).collect();
+        assert_eq!(
+            &names[..6],
+            [
+                "blackscholes",
+                "fft",
+                "inversek2j",
+                "jmeint",
+                "jpeg",
+                "sobel"
+            ]
+        );
+        assert_eq!(&names[6..], ["kmeans", "raytrace"]);
+    }
+
+    #[test]
     fn lookup_by_name_round_trips() {
-        for bench in all() {
+        for bench in extended() {
             let found = by_name(bench.name()).expect("suite member must be findable");
             assert_eq!(found.name(), bench.name());
         }
@@ -66,7 +101,7 @@ mod tests {
 
     #[test]
     fn topologies_match_io_dims() {
-        for bench in all() {
+        for bench in extended() {
             let t = bench.npu_topology();
             assert_eq!(t.inputs(), bench.input_dim(), "{}", bench.name());
             assert_eq!(t.outputs(), bench.output_dim(), "{}", bench.name());
@@ -75,7 +110,7 @@ mod tests {
 
     #[test]
     fn precise_runs_fill_output_dim() {
-        for bench in all() {
+        for bench in extended() {
             let ds = bench.dataset(1, DatasetScale::Smoke);
             let mut out = Vec::new();
             bench.precise(ds.input(0), &mut out);
@@ -86,7 +121,7 @@ mod tests {
 
     #[test]
     fn datasets_deterministic_and_distinct() {
-        for bench in all() {
+        for bench in extended() {
             let a = bench.dataset(5, DatasetScale::Smoke);
             let b = bench.dataset(5, DatasetScale::Smoke);
             let c = bench.dataset(6, DatasetScale::Smoke);
@@ -100,7 +135,7 @@ mod tests {
 
     #[test]
     fn perfect_outputs_give_zero_quality_loss() {
-        for bench in all() {
+        for bench in extended() {
             let ds = bench.dataset(2, DatasetScale::Smoke);
             let out = run_precise(bench.as_ref(), &ds);
             let fin_a = bench.run_application(&ds, &out);
@@ -112,7 +147,7 @@ mod tests {
 
     #[test]
     fn profiles_are_sane() {
-        for bench in all() {
+        for bench in extended() {
             let p = bench.profile();
             assert!(p.kernel_cycles > 0, "{}", bench.name());
             assert!(
@@ -125,10 +160,15 @@ mod tests {
 
     #[test]
     fn paper_error_levels_in_published_range() {
-        // Table I: 6.03% .. 17.69%.
+        // Table I: 6.03% .. 17.69%. Only the paper's six have a
+        // published level; the extended workloads carry measured values.
         for bench in all() {
             let e = bench.paper_full_approx_error();
             assert!((0.06..=0.177).contains(&e), "{}: {e}", bench.name());
+        }
+        for bench in extended().into_iter().skip(6) {
+            let e = bench.paper_full_approx_error();
+            assert!((0.0..=1.0).contains(&e), "{}: {e}", bench.name());
         }
     }
 }

@@ -44,8 +44,8 @@ use std::time::Instant;
 
 /// Seed base for the datasets the engine serves — disjoint from both the
 /// compilation seeds (0..) and the validation seeds (1_000_000..), so
-/// serving always faces unseen data.
-const SERVE_SEED_BASE: u64 = 2_000_000;
+/// serving always faces unseen data. Pinned in [`mithra_core::seeds`].
+use mithra_core::seeds::SERVE_SEED_BASE;
 
 /// Requests offered per [`ServeEngine::submit_batch`] call — large enough
 /// to amortize producer-side synchronization, small against the queue.

@@ -33,7 +33,7 @@
 
 use mithra_axbench::dataset::DriftSpec;
 use mithra_bench::{ExperimentConfig, TextTable};
-use mithra_conform::{validate_profiles, GuaranteeReport, ValidatorConfig, CONFORM_SEED_BASE};
+use mithra_conform::{validate_profiles, GuaranteeReport, ValidatorConfig};
 use mithra_core::profile::DatasetProfile;
 use mithra_core::recert::RecertConfig;
 use mithra_core::session::CompileSession;
@@ -50,8 +50,9 @@ use std::sync::Arc;
 const SESSION_SEED_BASE: u64 = 7_000_000;
 
 /// First seed of the *drifted* conformance space judging re-certified
-/// pairs: offset past everything `figy` can reach.
-const DRIFT_CONFORM_SEED_BASE: u64 = CONFORM_SEED_BASE + 500_000;
+/// pairs: offset past everything `figy` can reach. Pinned in
+/// [`mithra_core::seeds`].
+use mithra_core::seeds::DRIFT_CONFORM_SEED_BASE;
 
 /// One (benchmark, scenario) session in `BENCH_recert.json`.
 #[derive(Debug, Serialize)]

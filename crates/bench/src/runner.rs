@@ -29,8 +29,9 @@ use std::sync::Arc;
 pub use mithra_core::profile::{collect_profiles_parallel, default_threads};
 
 /// Seed offset separating validation datasets from compilation datasets —
-/// the paper's "250 different unseen datasets".
-pub const VALIDATION_SEED_BASE: u64 = 1_000_000;
+/// the paper's "250 different unseen datasets". Re-exported from the
+/// pinned workspace partition in [`mithra_core::seeds`].
+pub use mithra_core::seeds::VALIDATION_SEED_BASE;
 
 /// Default root of the on-disk artifact cache (relative to the working
 /// directory; disable with `--no-cache`).

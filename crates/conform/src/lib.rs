@@ -52,11 +52,10 @@ pub use validator::{validate, validate_profiles, validate_routed, ValidatorConfi
 use std::fmt;
 
 /// Seed base for conformance trials. Disjoint from every other seed space
-/// in the repository: compilation datasets start at 0, the figure
-/// harness's validation datasets at 1,000,000, the serving load generator
-/// at 2,000,000, and the extension integration tests at 7,000,000.
-/// Dataset `i` of a conformance run uses `CONFORM_SEED_BASE + i`.
-pub const CONFORM_SEED_BASE: u64 = 3_000_000;
+/// in the repository — the full partition is pinned in
+/// [`mithra_core::seeds`], which this constant re-exports. Dataset `i` of
+/// a conformance run uses `CONFORM_SEED_BASE + i`.
+pub use mithra_core::seeds::CONFORM_SEED_BASE;
 
 /// Errors from the conformance harness.
 #[derive(Debug)]

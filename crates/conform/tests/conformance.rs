@@ -243,14 +243,31 @@ fn simd_compiled_function_certifies_and_holds() {
 
 #[test]
 fn conform_seed_space_is_disjoint_from_compile_and_validation_seeds() {
-    // Compile seeds start at 0, figure-harness validation at 1,000,000,
-    // serving load generation at 2,000,000. The conformance base sits
-    // strictly above all of them, and a full-size run stays inside its
-    // own window.
+    // The partition is pinned once, in `mithra_core::seeds`, and this
+    // crate re-exports (never re-declares) its base. A full-size
+    // conformance run stays inside its own window: below the drifted
+    // window at 3,500,000, well clear of the fuzzing window at
+    // 4,000,000 and the extension window at 7,000,000.
+    use mithra_core::seeds::{self, ALL_BASES};
     assert_eq!(CONFORM_SEED_BASE, 3_000_000);
+    assert_eq!(CONFORM_SEED_BASE, seeds::CONFORM_SEED_BASE);
     let largest_conform_seed = CONFORM_SEED_BASE + 999;
+    assert!(largest_conform_seed < seeds::DRIFT_CONFORM_SEED_BASE);
+    assert!(largest_conform_seed < seeds::FUZZ_SEED_BASE);
+    assert!(largest_conform_seed < seeds::EXTENSION_SEED_BASE);
+
+    // Pairwise disjointness of every window in the roster, so adding a
+    // new consumer (as the fuzz harness did) must join this proof.
+    for (i, (name_a, base_a)) in ALL_BASES.iter().enumerate() {
+        for (name_b, base_b) in ALL_BASES.iter().skip(i + 1) {
+            assert!(
+                base_a < base_b,
+                "seed windows {name_a} and {name_b} are not disjoint"
+            );
+        }
+    }
     assert!(
-        largest_conform_seed < 7_000_000,
-        "extension tests start at 7,000,000"
+        ALL_BASES.iter().any(|(name, _)| *name == "fuzz"),
+        "the fuzzing window must be part of the pinned roster"
     );
 }

@@ -64,6 +64,7 @@ pub mod random;
 pub mod recert;
 pub mod regression;
 pub mod route;
+pub mod seeds;
 pub mod session;
 pub mod table;
 pub mod threshold;

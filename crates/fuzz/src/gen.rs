@@ -1,0 +1,55 @@
+//! Shared seeded-generation helpers for the oracle families.
+//!
+//! Every family derives all randomness from its case seed through
+//! [`rng_for`], so a `(seed, scale)` pair replays bit-identically; the
+//! scale indexes a family-chosen size ladder via [`scale_size`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The deterministic RNG for one fuzzed case.
+pub fn rng_for(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Picks the size for `scale` from a family's four-rung ladder
+/// (`scale` is clamped into the ladder).
+pub fn scale_size(scale: u32, ladder: [usize; 4]) -> usize {
+    ladder[scale.min(3) as usize]
+}
+
+/// A vector of `dim` uniform samples from `lo..hi`.
+pub fn uniform_vec(rng: &mut StdRng, dim: usize, lo: f32, hi: f32) -> Vec<f32> {
+    (0..dim).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_replays_bit_identically() {
+        use rand::RngCore;
+        let mut r1 = rng_for(7);
+        let mut r2 = rng_for(7);
+        for _ in 0..32 {
+            assert_eq!(r1.next_u64(), r2.next_u64());
+        }
+    }
+
+    #[test]
+    fn scale_ladder_clamps() {
+        let ladder = [4, 8, 16, 32];
+        assert_eq!(scale_size(0, ladder), 4);
+        assert_eq!(scale_size(3, ladder), 32);
+        assert_eq!(scale_size(9, ladder), 32);
+    }
+
+    #[test]
+    fn uniform_vec_respects_bounds() {
+        let mut rng = rng_for(3);
+        let v = uniform_vec(&mut rng, 64, -1.0, 1.0);
+        assert_eq!(v.len(), 64);
+        assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+    }
+}

@@ -1,0 +1,278 @@
+//! Oracle family `kernel`: scalar-vs-SIMD forward-pass agreement on
+//! fuzzed topologies.
+//!
+//! Each case builds a random MLP (fuzzed layer count, widths, weights,
+//! biases and output activation) and a small input batch, then checks:
+//!
+//! * **scalar determinism** — two scalar forward passes over the same
+//!   input are bit-identical;
+//! * **batch/single identity** — the batched kernel entry point equals
+//!   the per-invocation one bit for bit, on each available backend;
+//! * **backend tolerance** — the SIMD result stays within the
+//!   unit-scaled `FORWARD_TOL` band of the scalar result. A nonzero
+//!   difference inside the band is a *counted allowance*
+//!   (`simd-tolerance-band`), never a silent pass; SIMD being compiled
+//!   out of the binary is likewise an explicit `simd-unavailable`
+//!   allowance.
+//!
+//! Because this family's comparators are tolerance checks rather than
+//! recounts, the planted mutations weaken the *comparators* and the
+//! harness proves they still have teeth with per-case **probes**: every
+//! case also feeds each comparator a known-bad pair (a perturbation
+//! beyond the band, a flipped mantissa bit) that it must flag. A
+//! mutated comparator that misses its probe reports a `probe-missed`
+//! divergence — which is exactly how the mutation pass detects the
+//! planted defect.
+
+use crate::gen::{rng_for, scale_size, uniform_vec};
+use crate::harness::{CaseOutcome, OracleFamily};
+use mithra_npu::kernel::KernelBackend;
+use mithra_npu::mlp::{Activation, BatchScratch, ForwardScratch, Mlp};
+use mithra_npu::topology::Topology;
+use rand::Rng;
+
+/// Unit-scaled tolerance for scalar-vs-SIMD disagreement — the same
+/// band `mithra-npu`'s kernel-parity suite pins.
+pub const FORWARD_TOL: f32 = 1e-4;
+
+/// Labels of the planted comparator mutations, in `run_case` index
+/// order.
+pub const MUTATIONS: [&str; 3] = [
+    "infinite-tolerance",
+    "first-element-only",
+    "bit-identity-disabled",
+];
+
+/// Comparator-weakening knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CheckerMutation {
+    InfiniteTolerance,
+    FirstElementOnly,
+    BitIdentityDisabled,
+}
+
+/// Tolerance comparator: is every element of `b` within the unit-scaled
+/// band of `a`? Returns the worst unit-scaled difference it *examined*.
+fn within_band(a: &[f32], b: &[f32], mutation: Option<CheckerMutation>) -> (bool, f32) {
+    let tol = if mutation == Some(CheckerMutation::InfiniteTolerance) {
+        f32::INFINITY
+    } else {
+        FORWARD_TOL
+    };
+    let take = if mutation == Some(CheckerMutation::FirstElementOnly) {
+        1
+    } else {
+        a.len()
+    };
+    let mut worst = 0.0f32;
+    let mut ok = true;
+    for (&x, &y) in a.iter().zip(b).take(take) {
+        let unit = (x - y).abs() / x.abs().max(1.0);
+        worst = worst.max(unit);
+        if unit > tol {
+            ok = false;
+        }
+    }
+    (ok, worst)
+}
+
+/// Bit-identity comparator for batch-vs-single agreement.
+fn bit_identical(a: &[f32], b: &[f32], mutation: Option<CheckerMutation>) -> bool {
+    if mutation == Some(CheckerMutation::BitIdentityDisabled) {
+        return true;
+    }
+    let take = if mutation == Some(CheckerMutation::FirstElementOnly) {
+        1
+    } else {
+        a.len()
+    };
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .take(take)
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// The `kernel` oracle family.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KernelFamily;
+
+impl OracleFamily for KernelFamily {
+    fn name(&self) -> &'static str {
+        "kernel"
+    }
+
+    fn family_index(&self) -> u64 {
+        3
+    }
+
+    fn mutation_labels(&self) -> &'static [&'static str] {
+        &MUTATIONS
+    }
+
+    fn run_case(&self, seed: u64, scale: u32, mutation: Option<usize>) -> CaseOutcome {
+        let mut outcome = CaseOutcome::default();
+        let mut rng = rng_for(seed);
+        let checker = match mutation {
+            Some(0) => Some(CheckerMutation::InfiniteTolerance),
+            Some(1) => Some(CheckerMutation::FirstElementOnly),
+            Some(2) => Some(CheckerMutation::BitIdentityDisabled),
+            _ => None,
+        };
+
+        // Fuzzed topology: 1-2 hidden layers, output width >= 2 so the
+        // first-element-only probe has a last element to perturb.
+        let mut shape = vec![rng.gen_range(2usize..=6)];
+        for _ in 0..rng.gen_range(1usize..=2) {
+            shape.push(rng.gen_range(2usize..=8));
+        }
+        shape.push(rng.gen_range(2usize..=4));
+        let topology = match Topology::new(&shape) {
+            Ok(t) => t,
+            Err(e) => {
+                outcome.diverge(format!("topology {shape:?} rejected: {e}"));
+                return outcome;
+            }
+        };
+        let weights = uniform_vec(&mut rng, topology.weight_count(), -2.0, 2.0);
+        let biases = uniform_vec(&mut rng, topology.bias_count(), -2.0, 2.0);
+        let activation = if rng.gen_range(0u32..2) == 0 {
+            Activation::Sigmoid
+        } else {
+            Activation::Linear
+        };
+        let mlp = match Mlp::from_parameters(topology.clone(), &weights, &biases, activation) {
+            Ok(m) => m,
+            Err(e) => {
+                outcome.diverge(format!("from_parameters failed: {e}"));
+                return outcome;
+            }
+        };
+
+        let count = scale_size(scale, [2, 3, 5, 8]);
+        let inputs = uniform_vec(&mut rng, count * topology.inputs(), -1.0, 1.0);
+        let mut scratch = ForwardScratch::for_topology(&topology);
+        let mut batch_scratch = BatchScratch::for_topology(&topology);
+
+        // Scalar reference, one input at a time — and determinism.
+        let mut scalar = Vec::new();
+        for chunk in inputs.chunks_exact(topology.inputs()) {
+            let first = match mlp.forward_into_with(KernelBackend::Scalar, chunk, &mut scratch) {
+                Ok(out) => out.to_vec(),
+                Err(e) => {
+                    outcome.diverge(format!("scalar forward failed: {e}"));
+                    return outcome;
+                }
+            };
+            let second = mlp
+                .forward_into_with(KernelBackend::Scalar, chunk, &mut scratch)
+                .expect("same input cannot fail on retry")
+                .to_vec();
+            if !bit_identical(&first, &second, None) {
+                outcome.diverge("scalar forward is nondeterministic".to_string());
+            }
+            scalar.extend_from_slice(&second);
+        }
+
+        // Batch/single identity per backend, plus SIMD-vs-scalar band.
+        let mut backends = vec![KernelBackend::Scalar];
+        if KernelBackend::simd_available() {
+            backends.push(KernelBackend::Simd);
+        } else {
+            outcome.allow("simd-unavailable");
+        }
+        for backend in backends {
+            let mut single = Vec::new();
+            for chunk in inputs.chunks_exact(topology.inputs()) {
+                match mlp.forward_into_with(backend, chunk, &mut scratch) {
+                    Ok(out) => single.extend_from_slice(out),
+                    Err(e) => {
+                        outcome.diverge(format!("{backend:?} forward failed: {e}"));
+                        return outcome;
+                    }
+                }
+            }
+            let mut batched = Vec::new();
+            if let Err(e) = mlp.forward_batch_into_with(
+                backend,
+                &inputs,
+                count,
+                &mut batched,
+                &mut batch_scratch,
+            ) {
+                outcome.diverge(format!("{backend:?} batch forward failed: {e}"));
+                return outcome;
+            }
+            if !bit_identical(&single, &batched, checker) {
+                outcome.diverge(format!("{backend:?}: batched != single bit-for-bit"));
+            }
+            let (ok, worst) = within_band(&scalar, &single, checker);
+            if !ok {
+                outcome.diverge(format!(
+                    "{backend:?}: unit diff {worst} beyond tolerance {FORWARD_TOL}"
+                ));
+            } else if backend == KernelBackend::Simd && worst > 0.0 {
+                outcome.allow("simd-tolerance-band");
+            }
+        }
+
+        // Probes: each comparator must flag a known-bad pair. A miss is
+        // a divergence — on a clean case it means the checker has no
+        // teeth; on a mutated case it is the detection itself.
+        let mut beyond = scalar.clone();
+        let last = beyond.len() - 1;
+        beyond[last] += 10.0 * FORWARD_TOL * beyond[last].abs().max(1.0);
+        if within_band(&scalar, &beyond, checker).0 {
+            outcome.diverge(
+                "probe-missed: tolerance comparator accepted out-of-band pair".to_string(),
+            );
+        }
+        let mut flipped = scalar.clone();
+        flipped[last] = f32::from_bits(flipped[last].to_bits() ^ 1);
+        if bit_identical(&scalar, &flipped, checker) {
+            outcome
+                .diverge("probe-missed: bit-identity comparator accepted flipped bit".to_string());
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{family_seed_base, DEFAULT_SCALE};
+
+    #[test]
+    fn clean_cases_have_no_divergence() {
+        let fam = KernelFamily;
+        for i in 0..50 {
+            let out = fam.run_case(family_seed_base(3) + i, DEFAULT_SCALE, None);
+            assert!(out.divergences.is_empty(), "{:?}", out.divergences);
+        }
+    }
+
+    #[test]
+    fn every_mutation_is_detected_at_every_scale() {
+        let fam = KernelFamily;
+        for scale in 0..=DEFAULT_SCALE {
+            for (m, label) in MUTATIONS.iter().enumerate() {
+                let out = fam.run_case(family_seed_base(3) + 5, scale, Some(m));
+                assert!(
+                    !out.divergences.is_empty(),
+                    "mutation {label} missed at scale {scale}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn comparators_have_teeth_unmutated() {
+        let a = [1.0f32, 2.0, 3.0];
+        let mut b = a;
+        b[2] += 1.0;
+        assert!(!within_band(&a, &b, None).0);
+        assert!(!bit_identical(&a, &b, None));
+        assert!(within_band(&a, &a, None).0);
+        assert!(bit_identical(&a, &a, None));
+    }
+}

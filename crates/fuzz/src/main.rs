@@ -1,0 +1,197 @@
+//! `mithra-fuzz` — drives the differential-fuzzing oracle families.
+//!
+//! ```text
+//! mithra-fuzz [--budget N] [--mutation-budget N] [--family a,b]
+//! mithra-fuzz --family stream --replay 4200013 [--scale 0..=3]
+//! mithra-fuzz --list
+//! ```
+//!
+//! Exits `0` only when every family's clean pass reported zero
+//! unexplained divergences *and* every planted mutation was detected on
+//! every mutated case. The report is deterministic text: fixed family
+//! order, sorted allowance labels, seeds over wall-clock anywhere.
+
+use mithra_fuzz::harness::{family_seed_base, DEFAULT_SCALE};
+use mithra_fuzz::{
+    all_families, run_family, OracleFamily, DEFAULT_BUDGET, DEFAULT_MUTATION_BUDGET,
+};
+use std::process::ExitCode;
+
+struct Options {
+    budget: u64,
+    mutation_budget: u64,
+    families: Option<Vec<String>>,
+    replay: Option<u64>,
+    scale: u32,
+    list: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        budget: DEFAULT_BUDGET,
+        mutation_budget: DEFAULT_MUTATION_BUDGET,
+        families: None,
+        replay: None,
+        scale: DEFAULT_SCALE,
+        list: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--budget" => {
+                opts.budget = value("--budget")?
+                    .parse()
+                    .map_err(|e| format!("--budget: {e}"))?;
+            }
+            "--mutation-budget" => {
+                opts.mutation_budget = value("--mutation-budget")?
+                    .parse()
+                    .map_err(|e| format!("--mutation-budget: {e}"))?;
+            }
+            "--family" => {
+                let list = value("--family")?;
+                opts.families = Some(list.split(',').map(str::to_string).collect());
+            }
+            "--replay" => {
+                opts.replay = Some(
+                    value("--replay")?
+                        .parse()
+                        .map_err(|e| format!("--replay: {e}"))?,
+                );
+            }
+            "--scale" => {
+                opts.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?;
+            }
+            "--list" => opts.list = true,
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn selected_families(opts: &Options) -> Result<Vec<Box<dyn OracleFamily>>, String> {
+    let all = all_families();
+    match &opts.families {
+        None => Ok(all),
+        Some(names) => {
+            let mut picked = Vec::new();
+            for name in names {
+                match all_families().into_iter().find(|f| f.name() == name) {
+                    Some(f) => picked.push(f),
+                    None => {
+                        let known: Vec<&str> = all.iter().map(|f| f.name()).collect();
+                        return Err(format!("unknown family '{name}' (known: {known:?})"));
+                    }
+                }
+            }
+            Ok(picked)
+        }
+    }
+}
+
+fn replay(families: &[Box<dyn OracleFamily>], seed: u64, scale: u32) -> ExitCode {
+    if families.len() != 1 {
+        eprintln!("--replay requires exactly one --family");
+        return ExitCode::from(2);
+    }
+    let family = &families[0];
+    let outcome = family.run_case(seed, scale, None);
+    println!("replay family={} seed={seed} scale={scale}", family.name());
+    for d in &outcome.divergences {
+        println!("  divergence: {d}");
+    }
+    for (label, n) in &outcome.allowances {
+        println!("  allowance: {label} x{n}");
+    }
+    if outcome.divergences.is_empty() {
+        println!("  clean");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("mithra-fuzz: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let families = match selected_families(&opts) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("mithra-fuzz: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list {
+        for fam in &families {
+            println!(
+                "{}: seeds {}.. mutations {:?}",
+                fam.name(),
+                family_seed_base(fam.family_index()),
+                fam.mutation_labels()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(seed) = opts.replay {
+        return replay(&families, seed, opts.scale);
+    }
+
+    println!(
+        "== mithra-fuzz: {} clean cases + {} cases/mutation per family ==",
+        opts.budget, opts.mutation_budget
+    );
+    let mut all_passed = true;
+    for fam in &families {
+        let report = run_family(fam.as_ref(), opts.budget, opts.mutation_budget);
+        let status = if report.passed() { "PASS" } else { "FAIL" };
+        println!(
+            "family {}: {} cases, {} divergent — {status}{}",
+            report.name,
+            report.cases_run,
+            report.failures.len(),
+            if report.truncated {
+                " (stopped at failure cap)"
+            } else {
+                ""
+            }
+        );
+        for (label, n) in &report.allowances {
+            println!("  allowance {label}: {n}");
+        }
+        for m in &report.mutations {
+            println!(
+                "  mutation {}: {}/{} detected",
+                m.label, m.detected, m.cases
+            );
+        }
+        for f in &report.failures {
+            println!(
+                "  FAILURE seed={} scale={} (replay: mithra-fuzz --family {} --replay {} --scale {})",
+                f.seed, f.scale, report.name, f.seed, f.scale
+            );
+            for d in &f.divergences {
+                println!("    {d}");
+            }
+        }
+        all_passed &= report.passed();
+    }
+    if all_passed {
+        println!("RESULT: PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("RESULT: FAIL");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,491 @@
+//! Oracle family `stream`: BDI encode/decode round-trips and FIFO
+//! costing identities under fuzzed stream shapes.
+//!
+//! **BDI half.** Each case builds a batch of 64-byte lines that is
+//! *guaranteed* to exercise every reference-decoder mutation — an
+//! all-zeros line, a repeated line whose 8-byte word has distinct
+//! bytes, a base+delta line with a nonzero base and a negative delta —
+//! plus scale-many random lines. Every line must round-trip through
+//! `compress`/`decompress`, and an **independently written reference
+//! decoder** in this module must agree with `decompress` byte for
+//! byte. The planted mutations weaken the reference decoder (skipped
+//! delta sign-extension, repeated fill at byte stride, base read as
+//! zero); the mandatory lines make each one diverge on every case.
+//!
+//! **FIFO half.** A fuzzed op sequence runs against [`Fifo`] and an
+//! independent [`VecDeque`]-based model, comparing length, free-slot
+//! count, full/empty flags, element order and stall (overflow/underflow)
+//! tallies after every op; a forced prologue (two distinct enqueues,
+//! one dequeue) makes the order and off-by-one mutations detectable on
+//! every case. The [`QueueInterface::stream_config`] burst count is
+//! checked against the `ceil(len/32)` identity on a length forced off
+//! the 32-word boundary, so the floored-division mutation always shows.
+
+use crate::gen::{rng_for, scale_size};
+use crate::harness::{CaseOutcome, OracleFamily};
+use mithra_bdi::{compress, decompress, EncodedLine, Encoding, LINE_BYTES};
+use mithra_npu::fifo::{Fifo, QueueInterface};
+use rand::{Rng, RngCore};
+use std::collections::VecDeque;
+
+/// Labels of the planted mutations, in `run_case` index order. The
+/// first three corrupt the BDI reference decoder, the last three the
+/// FIFO reference model.
+pub const MUTATIONS: [&str; 6] = [
+    "bdi-skip-sign-extension",
+    "bdi-repeated-stride-one",
+    "bdi-base-from-zero",
+    "fifo-lifo-order",
+    "fifo-free-off-by-one",
+    "fifo-burst-floor-div",
+];
+
+/// Mutation knobs for the BDI reference decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BdiMutation {
+    SkipSignExtension,
+    RepeatedStrideOne,
+    BaseFromZero,
+}
+
+/// An independent BDI decoder, written against the format description
+/// rather than the production `decompress` — the differential oracle.
+fn reference_decode(encoded: &EncodedLine, mutation: Option<BdiMutation>) -> [u8; LINE_BYTES] {
+    let payload = encoded.payload();
+    let mut out = [0u8; LINE_BYTES];
+    match encoded.encoding() {
+        Encoding::Zeros => {}
+        Encoding::Repeated => {
+            if mutation == Some(BdiMutation::RepeatedStrideOne) {
+                out = [payload[0]; LINE_BYTES];
+            } else {
+                for chunk in out.chunks_exact_mut(8) {
+                    chunk.copy_from_slice(&payload[..8]);
+                }
+            }
+        }
+        Encoding::Uncompressed => out.copy_from_slice(payload),
+        enc => {
+            let (base, delta_bytes) = match enc {
+                Encoding::Base8Delta1 => (8usize, 1usize),
+                Encoding::Base8Delta2 => (8, 2),
+                Encoding::Base8Delta4 => (8, 4),
+                Encoding::Base4Delta1 => (4, 1),
+                Encoding::Base4Delta2 => (4, 2),
+                Encoding::Base2Delta1 => (2, 1),
+                _ => unreachable!("tag-only formats handled above"),
+            };
+            out[..base].copy_from_slice(&payload[..base]);
+            let mut base_val: i128 = 0;
+            for (b, &byte) in payload[..base].iter().enumerate() {
+                base_val |= i128::from(byte) << (8 * b);
+            }
+            // Sign-extend the base the same way the encoder read it.
+            let shift = 128 - base as u32 * 8;
+            base_val = (base_val << shift) >> shift;
+            if mutation == Some(BdiMutation::BaseFromZero) {
+                base_val = 0;
+            }
+            let words = LINE_BYTES / base;
+            for i in 1..words {
+                let start = base + (i - 1) * delta_bytes;
+                let mut delta: i128 = 0;
+                for b in 0..delta_bytes {
+                    delta |= i128::from(payload[start + b]) << (8 * b);
+                }
+                if mutation != Some(BdiMutation::SkipSignExtension) {
+                    let shift = 128 - delta_bytes as u32 * 8;
+                    delta = (delta << shift) >> shift;
+                }
+                let value = (base_val + delta) as u64;
+                for b in 0..base {
+                    out[i * base + b] = ((value >> (8 * b)) & 0xff) as u8;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Mutation knobs for the FIFO reference model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FifoMutation {
+    LifoOrder,
+    FreeOffByOne,
+    BurstFloorDiv,
+}
+
+/// The independent FIFO model: a deque plus explicit capacity and
+/// stall accounting.
+struct RefModel {
+    items: VecDeque<u32>,
+    capacity: usize,
+    stalls: u64,
+    mutation: Option<FifoMutation>,
+}
+
+impl RefModel {
+    fn new(capacity: usize, mutation: Option<FifoMutation>) -> Self {
+        Self {
+            items: VecDeque::new(),
+            capacity,
+            stalls: 0,
+            mutation,
+        }
+    }
+
+    fn enqueue(&mut self, v: u32) {
+        if self.items.len() == self.capacity {
+            self.stalls += 1;
+        } else {
+            self.items.push_back(v);
+        }
+    }
+
+    fn dequeue(&mut self) -> Option<u32> {
+        let popped = if self.mutation == Some(FifoMutation::LifoOrder) {
+            self.items.pop_back()
+        } else {
+            self.items.pop_front()
+        };
+        if popped.is_none() {
+            self.stalls += 1;
+        }
+        popped
+    }
+
+    fn enqueue_slice(&mut self, values: &[u32]) -> usize {
+        let take = values.len().min(self.capacity - self.items.len());
+        self.items.extend(&values[..take]);
+        take
+    }
+
+    fn drain_into(&mut self, out: &mut Vec<u32>, max: usize) -> usize {
+        let take = max.min(self.items.len());
+        out.extend(self.items.drain(..take));
+        take
+    }
+
+    fn free(&self) -> usize {
+        let free = self.capacity - self.items.len();
+        if self.mutation == Some(FifoMutation::FreeOffByOne) {
+            free.saturating_sub(1)
+        } else {
+            free
+        }
+    }
+}
+
+/// Compares the production FIFO against the model; returns a
+/// description of the first mismatch.
+fn compare_fifo(fifo: &Fifo<u32>, model: &RefModel, op: &str) -> Option<String> {
+    if fifo.len() != model.items.len() {
+        return Some(format!(
+            "after {op}: len {} != model {}",
+            fifo.len(),
+            model.items.len()
+        ));
+    }
+    if fifo.free() != model.free() {
+        return Some(format!(
+            "after {op}: free {} != model {}",
+            fifo.free(),
+            model.free()
+        ));
+    }
+    if fifo.is_empty() != model.items.is_empty()
+        || fifo.is_full() != (model.items.len() == model.capacity)
+    {
+        return Some(format!("after {op}: empty/full flags disagree"));
+    }
+    if !fifo.iter().copied().eq(model.items.iter().copied()) {
+        return Some(format!("after {op}: element order disagrees"));
+    }
+    None
+}
+
+/// The `stream` oracle family.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamFamily;
+
+impl StreamFamily {
+    fn run_bdi(
+        &self,
+        rng: &mut rand::rngs::StdRng,
+        scale: u32,
+        mutation: Option<BdiMutation>,
+        outcome: &mut CaseOutcome,
+    ) {
+        let mut lines: Vec<[u8; LINE_BYTES]> = Vec::new();
+
+        // Mandatory lines: one per reference-decoder failure mode.
+        lines.push([0u8; LINE_BYTES]);
+
+        let mut word = [0u8; 8];
+        rng.fill_bytes(&mut word);
+        word[1] = word[0].wrapping_add(1); // distinct bytes inside the word
+        let mut repeated = [0u8; LINE_BYTES];
+        for chunk in repeated.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&word);
+        }
+        lines.push(repeated);
+
+        // Nonzero base, deltas with at least one forced negative.
+        let base: i64 = rng.gen_range(1_000i64..1_000_000);
+        let mut delta_line = [0u8; LINE_BYTES];
+        for (i, chunk) in delta_line.chunks_exact_mut(8).enumerate() {
+            let delta: i64 = if i == 3 {
+                -rng.gen_range(1i64..100)
+            } else if i == 0 {
+                0
+            } else {
+                rng.gen_range(-100i64..100)
+            };
+            chunk.copy_from_slice(&(base + delta).to_le_bytes());
+        }
+        lines.push(delta_line);
+
+        // Scale-many random lines: raw noise plus random base+delta
+        // shapes at other widths.
+        for _ in 0..scale_size(scale, [2, 4, 8, 16]) {
+            let mut line = [0u8; LINE_BYTES];
+            if rng.gen_range(0u32..2) == 0 {
+                rng.fill_bytes(&mut line[..]);
+            } else {
+                let base_width = *[2usize, 4, 8]
+                    .get(rng.gen_range(0usize..3))
+                    .expect("in range");
+                let b: i32 = rng.gen_range(-5_000i32..5_000);
+                for (i, chunk) in line.chunks_exact_mut(base_width).enumerate() {
+                    let v =
+                        i64::from(b) + i64::from(rng.gen_range(-120i32..120)) * i64::from(i as i32);
+                    chunk.copy_from_slice(&v.to_le_bytes()[..base_width]);
+                }
+            }
+            lines.push(line);
+        }
+
+        for (li, line) in lines.iter().enumerate() {
+            let encoded = compress(line);
+            // `payload_len()` is the *hardware* size (base + one delta
+            // per word, the paper's Table II accounting); the software
+            // payload omits word 0's always-zero delta, so base+delta
+            // formats store exactly `delta_bytes` fewer bytes.
+            let implicit_delta = match encoded.encoding() {
+                Encoding::Base8Delta1 | Encoding::Base4Delta1 | Encoding::Base2Delta1 => 1,
+                Encoding::Base8Delta2 | Encoding::Base4Delta2 => 2,
+                Encoding::Base8Delta4 => 4,
+                _ => 0,
+            };
+            if encoded.payload().len() + implicit_delta != encoded.encoding().payload_len() {
+                outcome.diverge(format!(
+                    "line {li}: payload length {} + implicit delta {implicit_delta} != declared {}",
+                    encoded.payload().len(),
+                    encoded.encoding().payload_len()
+                ));
+            }
+            if decompress(&encoded) != *line {
+                outcome.diverge(format!(
+                    "line {li}: round trip failed ({:?})",
+                    encoded.encoding()
+                ));
+            }
+            if reference_decode(&encoded, mutation) != *line {
+                outcome.diverge(format!(
+                    "line {li}: reference decoder disagrees ({:?})",
+                    encoded.encoding()
+                ));
+            }
+        }
+    }
+
+    fn run_fifo(
+        &self,
+        rng: &mut rand::rngs::StdRng,
+        scale: u32,
+        mutation: Option<FifoMutation>,
+        outcome: &mut CaseOutcome,
+    ) {
+        let capacity = rng.gen_range(4usize..=16);
+        let mut fifo: Fifo<u32> = Fifo::new(capacity);
+        let mut model = RefModel::new(capacity, mutation);
+        let mut fifo_stalls = 0u64;
+        let mut next = 0u32;
+
+        // Prologue: two distinct elements then a dequeue, so the order
+        // and free-count mutations always have something to corrupt.
+        let mut ops: Vec<u32> = vec![0, 0, 60];
+        ops.extend((0..scale_size(scale, [16, 32, 64, 128])).map(|_| rng.gen_range(0u32..100)));
+
+        for (oi, op) in ops.into_iter().enumerate() {
+            let name;
+            match op {
+                0..=59 => {
+                    name = "enqueue";
+                    if fifo.enqueue(next).is_err() {
+                        fifo_stalls += 1;
+                    }
+                    model.enqueue(next);
+                    next += 1;
+                }
+                60..=84 => {
+                    name = "dequeue";
+                    let got = fifo.dequeue().ok();
+                    if got.is_none() {
+                        fifo_stalls += 1;
+                    }
+                    let want = model.dequeue();
+                    if got != want {
+                        outcome.diverge(format!("op {oi}: dequeue {got:?} != model {want:?}"));
+                        return;
+                    }
+                }
+                85..=91 => {
+                    name = "enqueue_slice";
+                    let len = rng.gen_range(0usize..=capacity);
+                    let values: Vec<u32> = (0..len).map(|i| next + i as u32).collect();
+                    next += len as u32;
+                    let a = fifo.enqueue_slice(&values);
+                    let b = model.enqueue_slice(&values);
+                    if a != b {
+                        outcome.diverge(format!("op {oi}: enqueue_slice took {a} != model {b}"));
+                        return;
+                    }
+                }
+                92..=96 => {
+                    name = "drain_into";
+                    let max = rng.gen_range(0usize..=capacity);
+                    let mut a_out = Vec::new();
+                    let mut b_out = Vec::new();
+                    let a = fifo.drain_into(&mut a_out, max);
+                    let b = model.drain_into(&mut b_out, max);
+                    if a != b || a_out != b_out {
+                        outcome.diverge(format!("op {oi}: drain {a}/{a_out:?} != {b}/{b_out:?}"));
+                        return;
+                    }
+                }
+                _ => {
+                    name = "clear";
+                    fifo.clear();
+                    model.items.clear();
+                }
+            }
+            if let Some(msg) = compare_fifo(&fifo, &model, name) {
+                outcome.diverge(format!("op {oi}: {msg}"));
+                return;
+            }
+        }
+        if fifo_stalls != model.stalls {
+            outcome.diverge(format!(
+                "stall count {fifo_stalls} != model {}",
+                model.stalls
+            ));
+        }
+
+        // Burst-costing identity: streaming `len` config words through
+        // the 32-deep config queue takes ceil(len/32) bursts. The length
+        // is forced off the burst boundary so the floored-division
+        // mutation always disagrees.
+        let mut len = rng.gen_range(1usize..=96);
+        if len % 32 == 0 {
+            len += 1;
+        }
+        let words: Vec<u32> = (0..len as u32).collect();
+        let mut iface = QueueInterface::new();
+        let bursts = iface.stream_config(&words);
+        let expected = if mutation == Some(FifoMutation::BurstFloorDiv) {
+            len / 32
+        } else {
+            len.div_ceil(32)
+        };
+        if bursts != expected {
+            outcome.diverge(format!(
+                "stream_config({len} words) took {bursts} bursts, model expects {expected}"
+            ));
+        }
+    }
+}
+
+impl OracleFamily for StreamFamily {
+    fn name(&self) -> &'static str {
+        "stream"
+    }
+
+    fn family_index(&self) -> u64 {
+        2
+    }
+
+    fn mutation_labels(&self) -> &'static [&'static str] {
+        &MUTATIONS
+    }
+
+    fn run_case(&self, seed: u64, scale: u32, mutation: Option<usize>) -> CaseOutcome {
+        let mut outcome = CaseOutcome::default();
+        let mut rng = rng_for(seed);
+        let bdi_mutation = match mutation {
+            Some(0) => Some(BdiMutation::SkipSignExtension),
+            Some(1) => Some(BdiMutation::RepeatedStrideOne),
+            Some(2) => Some(BdiMutation::BaseFromZero),
+            _ => None,
+        };
+        let fifo_mutation = match mutation {
+            Some(3) => Some(FifoMutation::LifoOrder),
+            Some(4) => Some(FifoMutation::FreeOffByOne),
+            Some(5) => Some(FifoMutation::BurstFloorDiv),
+            _ => None,
+        };
+        self.run_bdi(&mut rng, scale, bdi_mutation, &mut outcome);
+        self.run_fifo(&mut rng, scale, fifo_mutation, &mut outcome);
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{family_seed_base, DEFAULT_SCALE};
+
+    #[test]
+    fn clean_cases_have_no_divergence() {
+        let fam = StreamFamily;
+        for i in 0..50 {
+            let out = fam.run_case(family_seed_base(2) + i, DEFAULT_SCALE, None);
+            assert!(out.divergences.is_empty(), "{:?}", out.divergences);
+        }
+    }
+
+    #[test]
+    fn every_mutation_is_detected_at_every_scale() {
+        let fam = StreamFamily;
+        for scale in 0..=DEFAULT_SCALE {
+            for (m, label) in MUTATIONS.iter().enumerate() {
+                let out = fam.run_case(family_seed_base(2) + 13, scale, Some(m));
+                assert!(
+                    !out.divergences.is_empty(),
+                    "mutation {label} missed at scale {scale}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reference_decoder_matches_production_on_crafted_lines() {
+        // A base8delta1 line with a negative delta and nonzero base.
+        let mut line = [0u8; LINE_BYTES];
+        for (i, chunk) in line.chunks_exact_mut(8).enumerate() {
+            chunk.copy_from_slice(&(5_000i64 + if i == 2 { -7 } else { i as i64 }).to_le_bytes());
+        }
+        let enc = compress(&line);
+        assert_eq!(reference_decode(&enc, None), decompress(&enc));
+        assert_ne!(
+            reference_decode(&enc, Some(BdiMutation::SkipSignExtension)),
+            line,
+            "negative delta must expose skipped sign extension"
+        );
+        assert_ne!(
+            reference_decode(&enc, Some(BdiMutation::BaseFromZero)),
+            line,
+            "nonzero base must expose the zeroed base"
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Integration checks for the differential-fuzzing harness: every
+//! family runs clean on a small seeded budget, detects 100% of its
+//! planted mutations, and draws from the workspace seed partition's
+//! fuzz window — which stays pairwise disjoint from every other
+//! layer's window.
+
+use mithra_core::seeds::{
+    ALL_BASES, CONFORM_SEED_BASE, EXTENSION_SEED_BASE, FUZZ_FAMILY_STRIDE, FUZZ_SEED_BASE,
+    SERVE_SEED_BASE,
+};
+use mithra_fuzz::harness::family_seed_base;
+use mithra_fuzz::{all_families, run_family};
+
+const SMOKE_BUDGET: u64 = 40;
+const SMOKE_MUTATION_BUDGET: u64 = 5;
+
+#[test]
+fn every_family_passes_a_smoke_budget() {
+    for fam in all_families() {
+        let report = run_family(fam.as_ref(), SMOKE_BUDGET, SMOKE_MUTATION_BUDGET);
+        assert!(
+            report.failures.is_empty(),
+            "family {} diverged: {:?}",
+            report.name,
+            report.failures
+        );
+        for m in &report.mutations {
+            assert_eq!(
+                m.detected, m.cases,
+                "family {} missed planted mutation {}",
+                report.name, m.label
+            );
+        }
+    }
+}
+
+#[test]
+fn mutated_runs_are_distinguishable_from_clean_ones() {
+    // The harness's detection signal is "divergences present": for each
+    // family, at least the first smoke seed must separate the mutated
+    // and clean worlds.
+    for fam in all_families() {
+        let seed = family_seed_base(fam.family_index());
+        let clean = fam.run_case(seed, 3, None);
+        assert!(clean.divergences.is_empty(), "{}", fam.name());
+        for mi in 0..fam.mutation_labels().len() {
+            let mutated = fam.run_case(seed, 3, Some(mi));
+            assert!(
+                !mutated.divergences.is_empty(),
+                "family {} mutation {} invisible",
+                fam.name(),
+                fam.mutation_labels()[mi]
+            );
+        }
+    }
+}
+
+/// The seed-space partition: one roster, pinned in `mithra_core::seeds`,
+/// re-exported (not re-declared) by consuming crates, pairwise disjoint.
+#[test]
+fn seed_windows_are_pairwise_disjoint_and_centralized() {
+    // Constants live in exactly one place: the conform crate's public
+    // base is the core roster's value, not an independent copy.
+    assert_eq!(mithra_conform::CONFORM_SEED_BASE, CONFORM_SEED_BASE);
+
+    // Windows are [base, next base): strict ascent makes them pairwise
+    // disjoint. Check every pair, not just neighbors.
+    for (i, (name_a, base_a)) in ALL_BASES.iter().enumerate() {
+        for (name_b, base_b) in ALL_BASES.iter().skip(i + 1) {
+            assert!(
+                base_a < base_b,
+                "windows {name_a} and {name_b} are not ordered"
+            );
+        }
+    }
+
+    // The fuzz window holds every family with room to spare and ends
+    // before the extension window.
+    let families = all_families();
+    for fam in &families {
+        let base = family_seed_base(fam.family_index());
+        assert!(
+            base >= FUZZ_SEED_BASE,
+            "{} below the fuzz window",
+            fam.name()
+        );
+        assert!(
+            base + FUZZ_FAMILY_STRIDE <= EXTENSION_SEED_BASE,
+            "{} overflows the fuzz window",
+            fam.name()
+        );
+    }
+
+    // Fuzzing never touches the serving or conformance windows —
+    // compile-time pins, so moving the fuzz window below either one
+    // fails the build, not just this test.
+    const {
+        assert!(FUZZ_SEED_BASE > SERVE_SEED_BASE);
+        assert!(FUZZ_SEED_BASE > CONFORM_SEED_BASE);
+    }
+}
+
+#[test]
+fn case_outcomes_replay_bit_identically() {
+    for fam in all_families() {
+        let seed = family_seed_base(fam.family_index()) + 17;
+        let a = fam.run_case(seed, 2, None);
+        let b = fam.run_case(seed, 2, None);
+        assert_eq!(a.divergences, b.divergences, "{}", fam.name());
+        assert_eq!(a.allowances, b.allowances, "{}", fam.name());
+    }
+}

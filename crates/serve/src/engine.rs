@@ -376,7 +376,7 @@ impl ServeEngine {
                     .rejected_queue_full += 1;
                 Err(RejectReason::QueueFull)
             }
-            Err(PushError::Closed) => Err(RejectReason::Closed),
+            Err(PushError::Closed) => Err(RejectReason::ShuttingDown),
         }
     }
 
@@ -390,7 +390,7 @@ impl ServeEngine {
     ///
     /// The first invalid request (unknown endpoint or out-of-range
     /// invocation) rejects the whole slice before anything is enqueued; a
-    /// closed engine rejects with [`RejectReason::Closed`].
+    /// closed engine rejects with [`RejectReason::ShuttingDown`].
     pub fn submit_batch(&self, requests: &[Request]) -> Result<usize, RejectReason> {
         for request in requests {
             let state = self
@@ -418,7 +418,7 @@ impl ServeEngine {
                 }
                 Ok(accepted)
             }
-            Err(PushError::Closed) => Err(RejectReason::Closed),
+            Err(PushError::Closed) => Err(RejectReason::ShuttingDown),
             Err(PushError::Full) => unreachable!("batch push reports full as Ok(0)"),
         }
     }
@@ -443,6 +443,17 @@ impl ServeEngine {
                 other => return other,
             }
         }
+    }
+
+    /// Initiates shutdown without consuming the engine: the queue stops
+    /// admitting (subsequent submissions reject with
+    /// [`RejectReason::ShuttingDown`]) while already-accepted requests
+    /// still drain. Idempotent, and implied by [`join`](Self::join) —
+    /// this entry point exists so producers that only hold `&self` (e.g.
+    /// scoped submitter threads) can race shutdown against in-flight
+    /// [`submit_batch`](Self::submit_batch) calls.
+    pub fn shutdown(&self) {
+        self.shared.queue.close();
     }
 
     /// Closes the queue, drains the backlog, and joins every worker —

@@ -58,7 +58,7 @@ pub enum RejectReason {
     /// The request queue is at capacity — backpressure, retry later.
     QueueFull,
     /// The engine is shutting down; no further requests are accepted.
-    Closed,
+    ShuttingDown,
     /// The endpoint id does not name a registered endpoint.
     UnknownEndpoint,
     /// The invocation index is outside the endpoint's dataset.
@@ -69,7 +69,7 @@ impl fmt::Display for RejectReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RejectReason::QueueFull => write!(f, "queue full"),
-            RejectReason::Closed => write!(f, "engine closed"),
+            RejectReason::ShuttingDown => write!(f, "engine shutting down"),
             RejectReason::UnknownEndpoint => write!(f, "unknown endpoint"),
             RejectReason::InvalidInvocation => write!(f, "invocation out of range"),
         }

@@ -8,9 +8,10 @@ use mithra_axbench::dataset::DatasetScale;
 use mithra_axbench::suite;
 use mithra_core::pipeline::{compile, CompileConfig};
 use mithra_core::profile::DatasetProfile;
-use mithra_serve::{BoundedQueue, EndpointSpec, RejectReason, ServeConfig, ServeEngine};
+use mithra_serve::{BoundedQueue, EndpointSpec, RejectReason, Request, ServeConfig, ServeEngine};
 use mithra_sim::system::{simulate, SimOptions};
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 #[test]
@@ -118,6 +119,130 @@ fn submit_or_wait_completes_through_a_constantly_full_queue() {
     assert!(
         endpoint.counters.rejected_queue_full > 0,
         "the tiny queue must actually have refused submissions"
+    );
+}
+
+#[test]
+fn shutdown_racing_in_flight_batches_keeps_exactly_once_accounting() {
+    // `shutdown(&self)` closes admission while producers are mid-flight
+    // with `submit_batch`. The race window is the point of the test:
+    // whatever interleaving the scheduler picks, (a) every producer
+    // eventually observes `RejectReason::ShuttingDown` and stops, (b)
+    // every request a batch submission *accepted* (the returned prefix
+    // count) is served exactly once — distinct accepted invocations
+    // equal `served`, re-offers equal `duplicates`, nothing accepted is
+    // dropped on the floor by the closing queue.
+    let bench: Arc<dyn Benchmark> = suite::by_name("sobel").unwrap().into();
+    let compiled = Arc::new(compile(bench, &CompileConfig::smoke()).unwrap());
+    let dataset = compiled.function.dataset(5152, DatasetScale::Smoke);
+    let profile = DatasetProfile::collect(&compiled.function, dataset);
+    let n = profile.invocation_count();
+
+    let engine = ServeEngine::start(
+        vec![EndpointSpec {
+            name: "sobel".into(),
+            compiled: Arc::clone(&compiled),
+            profile,
+            routed: None,
+        }],
+        &ServeConfig {
+            workers: 2,
+            batch: 4,
+            queue_depth: 16,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+
+    const PRODUCERS: usize = 4;
+    const BATCH: usize = 3;
+    let accepted_signal = AtomicU64::new(0);
+    let accepted_sets: Mutex<Vec<HashSet<usize>>> = Mutex::new(Vec::new());
+    let accepted_total = AtomicU64::new(0);
+    let chunk = n.div_ceil(PRODUCERS);
+
+    std::thread::scope(|scope| {
+        let engine = &engine;
+        let accepted_signal = &accepted_signal;
+        let accepted_sets = &accepted_sets;
+        let accepted_total = &accepted_total;
+        for p in 0..PRODUCERS {
+            scope.spawn(move || {
+                let lo = p * chunk;
+                let hi = ((p + 1) * chunk).min(n);
+                let mut mine: HashSet<usize> = HashSet::new();
+                let mut offset = 0usize;
+                // Cycle the producer's disjoint range until shutdown:
+                // re-offers past the first lap are legitimate duplicates
+                // the engine must serve once and count as such.
+                loop {
+                    let batch: Vec<Request> = (0..BATCH)
+                        .map(|i| Request {
+                            endpoint: 0,
+                            invocation: lo + (offset + i) % (hi - lo).max(1),
+                        })
+                        .collect();
+                    offset = (offset + BATCH) % (hi - lo).max(1);
+                    match engine.submit_batch(&batch) {
+                        Ok(accepted) => {
+                            for request in &batch[..accepted] {
+                                mine.insert(request.invocation);
+                            }
+                            accepted_total.fetch_add(accepted as u64, Ordering::Relaxed);
+                            if accepted > 0 {
+                                accepted_signal.fetch_add(1, Ordering::Release);
+                            }
+                        }
+                        Err(RejectReason::ShuttingDown) => break,
+                        Err(other) => panic!("unexpected rejection: {other}"),
+                    }
+                }
+                accepted_sets.lock().unwrap().push(mine);
+            });
+        }
+        // Close admission only after at least one batch landed, so the
+        // race always has in-flight work on both sides of the close.
+        scope.spawn(move || {
+            while accepted_signal.load(Ordering::Acquire) == 0 {
+                std::thread::yield_now();
+            }
+            engine.shutdown();
+            // Idempotent: a second close must be a no-op.
+            engine.shutdown();
+        });
+    });
+
+    // Admission is closed for late submitters of every flavor.
+    assert_eq!(engine.submit(0, 0), Err(RejectReason::ShuttingDown));
+    assert_eq!(
+        engine.submit_batch(&[Request {
+            endpoint: 0,
+            invocation: 0,
+        }]),
+        Err(RejectReason::ShuttingDown)
+    );
+
+    let sets = accepted_sets.into_inner().unwrap();
+    assert_eq!(sets.len(), PRODUCERS, "every producer observed shutdown");
+    let distinct: u64 = sets.iter().map(|s| s.len() as u64).sum();
+    let total = accepted_total.load(Ordering::Relaxed);
+    assert!(total >= distinct && distinct > 0, "some batches must land");
+
+    let report = engine.finish().unwrap();
+    let endpoint = &report.endpoints[0];
+    assert_eq!(
+        endpoint.counters.served, distinct,
+        "every accepted invocation served exactly once across the close"
+    );
+    assert_eq!(
+        endpoint.counters.duplicates,
+        total - distinct,
+        "re-offered invocations are deduplicated, never re-served or lost"
+    );
+    assert_eq!(
+        endpoint.counters.latency.total(),
+        distinct,
+        "one latency observation per served invocation"
     );
 }
 

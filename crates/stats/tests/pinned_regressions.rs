@@ -1,0 +1,44 @@
+//! Named regression pins promoted from recorded proptest failures.
+//!
+//! Proptest's `.proptest-regressions` sidecar replays shrunken failures
+//! silently inside the property run; promoting them to named tests
+//! keeps the exact failing point under version control with an
+//! explanation, survives edits to the property's input strategy, and
+//! shows up by name when it breaks again.
+
+use mithra_stats::beta::Beta;
+
+/// The shrunken point from `beta_quantile_round_trips`'s recorded
+/// regression (`proptest_stats.proptest-regressions`):
+/// `p = 0.9955…, a = 10.43…, b = 0.2`.
+///
+/// `b = 0.2` sits *outside* the property's current domain — shapes
+/// below 0.5 were carved out because the Beta density is singular at
+/// the upper boundary there, where one f64 ulp in `x` moves the CDF by
+/// more than any useful tolerance. The Clopper-Pearson call sites never
+/// produce such shapes (their parameters are success/failure counts),
+/// but the quantile must still behave at the point that once failed:
+/// stay finite, stay inside the open unit interval, and round-trip
+/// through the CDF within the same 5e-6 the in-domain property demands
+/// (measured error today: ~3.5e-7, so the pin has ~14x headroom).
+#[test]
+fn beta_quantile_survives_singular_shape_regression_point() {
+    let p = 0.9955442920023898_f64;
+    let a = 10.433428103414583_f64;
+    let b = 0.2_f64;
+
+    let d = Beta::new(a, b).expect("shapes are positive");
+    let x = d.quantile(p).expect("quantile must not error");
+    assert!(x.is_finite(), "quantile diverged: {x}");
+    assert!((0.0..1.0).contains(&x), "quantile escaped [0, 1): {x}");
+    // The point lives deep in the singular regime: the mass piles up
+    // against 1 (b < 1), so the quantile is within ~1e-13 of it.
+    assert!(x > 0.9999, "quantile left the singular boundary: {x}");
+
+    let back = d.cdf(x).expect("cdf must not error");
+    let err = (back - p).abs();
+    assert!(
+        err < 5e-6,
+        "round trip degraded at the regression point: |cdf(quantile(p)) - p| = {err:.3e}"
+    );
+}

@@ -32,6 +32,24 @@ pin() {
 pin table1_benchmarks
 pin fig01_error_cdf
 
+# Extended-workload slice: the kmeans rows of the *_extended Table I and
+# Figure 1 files (run_all.sh regenerates those with --bench
+# kmeans,raytrace; rows are per-benchmark independent, so a kmeans-only
+# re-run compares byte-exactly after space collapsing, same as above).
+b=kmeans
+for name in table1_benchmarks fig01_error_cdf; do
+  cargo run --locked --release -q -p mithra-bench --bin "$name" -- \
+    --bench "$b" > "$OUT/${name}_extended.txt" 2> "$OUT/${name}_extended.log"
+  grep "^$b" "$R/${name}_extended.txt" | tr -s ' ' > "$OUT/${name}_extended.$b.expected"
+  grep "^$b" "$OUT/${name}_extended.txt" | tr -s ' ' > "$OUT/${name}_extended.$b.actual"
+  if ! cmp -s "$OUT/${name}_extended.$b.expected" "$OUT/${name}_extended.$b.actual"; then
+    echo "GOLDEN PIN FAILED: ${name}_extended/$b diverged from committed $R/${name}_extended.txt" >&2
+    diff -u "$OUT/${name}_extended.$b.expected" "$OUT/${name}_extended.$b.actual" >&2 || true
+    exit 1
+  fi
+  echo "pinned: ${name}_extended/$b ($(wc -l < "$OUT/${name}_extended.$b.actual") lines byte-identical)"
+done
+
 # One figz slice: the routed-frontier rows for inversek2j, re-run with
 # exactly the flags run_all.sh uses (the figz defaults differ) and
 # byte-compared the same way. --pool-check doubles as a parity assert:
